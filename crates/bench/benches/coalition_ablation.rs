@@ -1,0 +1,66 @@
+//! E12 — coalition algorithm ablation: exact vs. greedy
+//! (individually / socially oriented) vs. local search, on clustered
+//! networks with a coalition budget.
+//!
+//! Measured shape (EXPERIMENTS.md): exact is optimal but exponential;
+//! local search matches the optimum at polynomial cost; the greedy
+//! baselines are linear-time but fragile under coalition budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsoa_coalition::{
+    exact_formation, individually_oriented, local_search, socially_oriented, FormationConfig,
+    TrustComposition, TrustNetwork,
+};
+use std::hint::black_box;
+
+fn cfg() -> FormationConfig {
+    FormationConfig {
+        compose: TrustComposition::Average,
+        require_stability: false,
+        max_coalitions: Some(3),
+    }
+}
+
+fn report_quality() {
+    println!("--- E12 / coalition ablation (quality on clustered n=9, 3 clusters) ---");
+    let net = TrustNetwork::clustered(9, 3, 0.85, 0.15, 11);
+    let exact = exact_formation(&net, cfg()).unwrap();
+    let ind = individually_oriented(&net, TrustComposition::Average);
+    let soc = socially_oriented(&net, TrustComposition::Average);
+    let loc = local_search(&net, cfg(), 11, 2000);
+    println!("  exact:        score {} ({} partitions)", exact.score, exact.explored);
+    println!("  individual:   score {}", ind.score);
+    println!("  social:       score {}", soc.score);
+    println!("  local search: score {}", loc.score);
+    assert!(exact.score >= loc.score);
+}
+
+fn bench(c: &mut Criterion) {
+    report_quality();
+    let mut group = c.benchmark_group("coalition");
+    for n in [8u32, 10, 12] {
+        let net = TrustNetwork::clustered(n, 3, 0.85, 0.15, n as u64);
+        if n <= 10 {
+            group.bench_with_input(BenchmarkId::new("exact", n), &net, |b, net| {
+                b.iter(|| exact_formation(black_box(net), cfg()).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("individually_oriented", n), &net, |b, net| {
+            b.iter(|| individually_oriented(black_box(net), TrustComposition::Average))
+        });
+        group.bench_with_input(BenchmarkId::new("socially_oriented", n), &net, |b, net| {
+            b.iter(|| socially_oriented(black_box(net), TrustComposition::Average))
+        });
+        group.bench_with_input(BenchmarkId::new("local_search_500", n), &net, |b, net| {
+            b.iter(|| local_search(black_box(net), cfg(), 1, 500))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E3 — Example 1 (tell): the failed negotiation.
+//!
+//! The merged policies `c4 ⊗ c3 ≡ 3x + 5` cost 5 hours even with zero
+//! failures; P2's interval `[1, 4]` can never accept, so the session
+//! deadlocks at consistency level 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softsoa_bench::{example1_agent, negotiation_store};
+use softsoa_nmsccp::{Interpreter, Outcome, Program};
+use std::hint::black_box;
+
+fn report_row() {
+    let report = Interpreter::new(Program::new())
+        .run(example1_agent(), negotiation_store())
+        .expect("runs");
+    println!("--- E3 / Example 1 (paper: no agreement, σ⇓∅ = 5) ---");
+    match &report.outcome {
+        Outcome::Deadlock { store, .. } => {
+            let level = store.consistency().unwrap();
+            println!("measured: deadlock at σ⇓∅ = {level} after {} steps", report.steps);
+            assert_eq!(level, 5);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_row();
+    c.bench_function("ex1/run_to_deadlock", |b| {
+        b.iter(|| {
+            Interpreter::new(Program::new())
+                .run(black_box(example1_agent()), negotiation_store())
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E4 — Example 2 (retract): relaxation via semiring division.
+//!
+//! Retracting `c1 = x + 3` (never told!) from `c4 ⊗ c3 ≡ 3x + 5`
+//! leaves `2x + 2`; the consistency level drops from 5 to 2 hours and
+//! both providers succeed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softsoa_bench::{example2_agent, fig7_constraint, negotiation_store};
+use softsoa_nmsccp::{Interpreter, Policy, Program};
+use std::hint::black_box;
+
+fn report_row() {
+    let report = Interpreter::new(Program::new())
+        .with_policy(Policy::Random(3))
+        .run(example2_agent(), negotiation_store())
+        .expect("runs");
+    println!("--- E4 / Example 2 (paper: store ≡ 2x + 2, σ⇓∅ = 2, success) ---");
+    assert!(report.outcome.is_success());
+    let level = report.outcome.store().consistency().unwrap();
+    println!("measured: success at σ⇓∅ = {level} after {} steps", report.steps);
+    assert_eq!(level, 2);
+}
+
+fn bench(c: &mut Criterion) {
+    report_row();
+    let mut group = c.benchmark_group("ex2");
+    group.bench_function("run_to_agreement", |b| {
+        b.iter(|| {
+            Interpreter::new(Program::new())
+                .with_policy(Policy::Random(3))
+                .run(black_box(example2_agent()), negotiation_store())
+                .unwrap()
+        })
+    });
+    // The raw store operation behind the example: tell, tell, retract.
+    group.bench_function("store_tell_tell_retract", |b| {
+        let c4 = fig7_constraint(1, 5, "x");
+        let c3 = fig7_constraint(2, 0, "x");
+        let c1 = fig7_constraint(1, 3, "x");
+        b.iter(|| {
+            negotiation_store()
+                .tell(black_box(&c4))
+                .unwrap()
+                .tell(black_box(&c3))
+                .unwrap()
+                .retract(black_box(&c1))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

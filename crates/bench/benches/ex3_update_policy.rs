@@ -1,0 +1,62 @@
+//! E5 — Example 3 (update): the transactional policy refresh.
+//!
+//! `tell(c1)` then `update{x}(c2)` projects away everything known
+//! about `x` and adds `c2 = y + 1`, leaving the store `≡ y + 4` —
+//! the fixed 3-hour management delay of the old policy survives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softsoa_bench::{example3_agent, example3_domains, fig7_constraint};
+use softsoa_core::Var;
+use softsoa_nmsccp::{Interpreter, Program, Store};
+use softsoa_semiring::WeightedInt;
+use std::hint::black_box;
+
+fn report_row() {
+    let report = Interpreter::new(Program::new())
+        .run(example3_agent(), Store::empty(WeightedInt, example3_domains()))
+        .expect("runs");
+    println!("--- E5 / Example 3 (paper: store ≡ y + 4) ---");
+    assert!(report.outcome.is_success());
+    let store = report.outcome.store();
+    let level = store.consistency().unwrap();
+    println!(
+        "measured: success, σ⇓∅ = {level}, support = {:?}",
+        store.sigma().scope()
+    );
+    assert_eq!(level, 4);
+    assert_eq!(store.sigma().scope(), &[Var::new("y")]);
+}
+
+fn bench(c: &mut Criterion) {
+    report_row();
+    let mut group = c.benchmark_group("ex3");
+    group.bench_function("run_update_session", |b| {
+        b.iter(|| {
+            Interpreter::new(Program::new())
+                .run(
+                    black_box(example3_agent()),
+                    Store::empty(WeightedInt, example3_domains()),
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("store_update_only", |b| {
+        let c1 = fig7_constraint(1, 3, "x");
+        let c2 = fig7_constraint(1, 1, "y");
+        let base = Store::empty(WeightedInt, example3_domains())
+            .tell(&c1)
+            .unwrap();
+        b.iter(|| {
+            base.update(black_box(&[Var::new("x")]), black_box(&c2))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

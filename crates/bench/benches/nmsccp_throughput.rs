@@ -1,0 +1,78 @@
+//! E10 — negotiation throughput: independent nmsccp sessions executed
+//! sequentially vs. on one thread per session, and the shared-store
+//! concurrent executor as agent count grows.
+//!
+//! Measured finding (EXPERIMENTS.md): sessions of the paper's size are
+//! tens of microseconds — below thread spawn cost — so the threaded
+//! variant only pays off for long-running sessions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsoa_bench::{example2_agent, negotiation_store};
+use softsoa_nmsccp::{
+    run_sessions, Agent, ConcurrentExecutor, Interpreter, Interval, Policy, Program,
+};
+use softsoa_core::Constraint;
+use softsoa_semiring::WeightedInt;
+use std::hint::black_box;
+
+fn sessions(n: usize) -> Vec<(Agent<WeightedInt>, softsoa_nmsccp::Store<WeightedInt>)> {
+    (0..n)
+        .map(|_| (example2_agent(), negotiation_store()))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    println!("--- E10 / nmsccp throughput (sequential vs threaded; shared-store wakeups) ---");
+    let mut group = c.benchmark_group("sessions");
+    for n in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+            b.iter(|| {
+                for (agent, store) in sessions(n) {
+                    Interpreter::new(Program::new())
+                        .with_policy(Policy::Random(3))
+                        .run(black_box(agent), store)
+                        .unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, &n| {
+            b.iter(|| run_sessions(&Program::new(), black_box(sessions(n)), 3).unwrap())
+        });
+    }
+    group.finish();
+
+    // Shared-store executor: one teller, k waiters woken by the tell.
+    let mut group = c.benchmark_group("shared_store");
+    for k in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("one_teller_k_askers", k), &k, |b, &k| {
+            b.iter(|| {
+                let signal = Constraint::unary(WeightedInt, "x", |v| v.as_int().unwrap() as u64)
+                    .with_label("signal");
+                let mut agents = vec![Agent::tell(
+                    signal.clone(),
+                    Interval::any(&WeightedInt),
+                    Agent::success(),
+                )];
+                for _ in 0..k {
+                    agents.push(Agent::ask(
+                        signal.clone(),
+                        Interval::any(&WeightedInt),
+                        Agent::success(),
+                    ));
+                }
+                let report = ConcurrentExecutor::new(Program::new())
+                    .run(black_box(agents), negotiation_store())
+                    .unwrap();
+                assert!(report.all_succeeded());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E6 — Sec. 5: crisp integrity of the photo-editing pipeline.
+//!
+//! `Imp1 ⇓ {incomp, outcomp} ⊑ Memory` holds; `Imp2` (the unreliable
+//! red filter) breaks it. The measured series sweeps the domain
+//! discretisation of the byte-size axes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsoa_dependability::{check_refinement, locally_refines, photo};
+use std::hint::black_box;
+
+fn report_row() {
+    let doms = photo::domains(4096, 512);
+    let imp1_ok =
+        locally_refines(&photo::imp1(), &photo::memory(), &photo::interface(), &doms).unwrap();
+    let imp2_ok =
+        locally_refines(&photo::imp2(), &photo::memory(), &photo::interface(), &doms).unwrap();
+    println!("--- E6 / Sec. 5 crisp (paper: Imp1 ⊑ Memory holds, Imp2 fails) ---");
+    println!("measured: Imp1 {imp1_ok}, Imp2 {imp2_ok}");
+    assert!(imp1_ok && !imp2_ok);
+}
+
+fn bench(c: &mut Criterion) {
+    report_row();
+    let mut group = c.benchmark_group("sec5_crisp");
+    for step in [1024i64, 512, 256] {
+        let doms = photo::domains(4096, step);
+        let points = 4096 / step + 1;
+        group.bench_with_input(
+            BenchmarkId::new("imp1_refines_memory", points),
+            &doms,
+            |b, doms| {
+                b.iter(|| {
+                    locally_refines(
+                        black_box(&photo::imp1()),
+                        &photo::memory(),
+                        &photo::interface(),
+                        doms,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("imp2_counterexample", points),
+            &doms,
+            |b, doms| {
+                b.iter(|| {
+                    check_refinement(
+                        black_box(&photo::imp2()),
+                        &photo::memory(),
+                        &photo::interface(),
+                        doms,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

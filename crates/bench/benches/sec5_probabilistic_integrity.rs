@@ -1,0 +1,48 @@
+//! E7 — Sec. 5: quantitative (probabilistic) integrity.
+//!
+//! The paper's spot value `c1(4096 Kb, 1024 Kb) = 0.96`, the
+//! minimum-reliability requirement check `MemoryProb ⊑ Imp3`, and the
+//! best-configuration search via `blevel`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsoa_dependability::{meets_requirement, photo};
+use softsoa_semiring::Unit;
+use std::hint::black_box;
+
+fn report_row() {
+    let spot = photo::stage_reliability(4096, 1024);
+    println!("--- E7 / Sec. 5 quantitative (paper: c1(4096,1024) = 0.96) ---");
+    println!("measured: {spot}");
+    assert!((spot.get() - 0.96).abs() < 1e-12);
+}
+
+fn bench(c: &mut Criterion) {
+    report_row();
+    let mut group = c.benchmark_group("sec5_prob");
+    for step in [1024i64, 512] {
+        let doms = photo::domains(4096, step);
+        let points = 4096 / step + 1;
+        group.bench_with_input(
+            BenchmarkId::new("meets_requirement", points),
+            &doms,
+            |b, doms| {
+                let imp3 = photo::imp3();
+                let req = photo::memory_prob(Unit::clamped(0.5));
+                b.iter(|| meets_requirement(black_box(&imp3), &req, doms).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("best_configuration", points),
+            &doms,
+            |b, doms| b.iter(|| photo::best_configuration(black_box(2048), doms).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E8 — Sec. 6: trustworthy coalition formation.
+//!
+//! Reproduces the Fig. 10 blocking detection and its best-response
+//! repair, and measures stability checking and formation as the
+//! network grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsoa_coalition::{
+    exact_formation, find_blocking, is_stable, scsp_formation, stabilize, FormationConfig,
+    Partition, TrustComposition, TrustNetwork,
+};
+use std::hint::black_box;
+
+fn report_row() {
+    let net = TrustNetwork::fig10();
+    let fig10 = Partition::new(
+        7,
+        vec![
+            [0, 1, 2].into_iter().collect(),
+            [3, 4, 5, 6].into_iter().collect(),
+        ],
+    )
+    .unwrap();
+    let blocking = find_blocking(&net, &fig10, TrustComposition::Average).expect("blocked");
+    let (repaired, ok) = stabilize(&net, fig10, TrustComposition::Average, 100);
+    println!("--- E8 / Sec. 6 (paper: Fig. 10 partition is blocked by x4) ---");
+    println!(
+        "measured: x{} defects from #{} to #{}; repaired to {repaired} (stable: {ok})",
+        blocking.agent + 1,
+        blocking.source + 1,
+        blocking.target + 1
+    );
+    assert_eq!(blocking.agent, 3);
+}
+
+fn bench(c: &mut Criterion) {
+    report_row();
+    let mut group = c.benchmark_group("sec6");
+
+    // Stability checking across network sizes.
+    for n in [8u32, 16, 32] {
+        let net = TrustNetwork::clustered(n, 4, 0.85, 0.15, 3);
+        let partition = {
+            let mut coalitions = vec![std::collections::BTreeSet::new(); 4];
+            for i in 0..n {
+                coalitions[(i % 4) as usize].insert(i);
+            }
+            Partition::new(n, coalitions).unwrap()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("is_stable", n),
+            &(net, partition),
+            |b, (net, partition)| {
+                b.iter(|| is_stable(black_box(net), partition, TrustComposition::Average))
+            },
+        );
+    }
+
+    // Exact stable formation on the Fig. 10 network and slightly
+    // larger ones (Bell-number growth is the point of the series).
+    for n in [6u32, 7, 8] {
+        let net = if n == 7 {
+            TrustNetwork::fig10()
+        } else {
+            TrustNetwork::clustered(n, 2, 0.85, 0.15, n as u64)
+        };
+        let cfg = FormationConfig {
+            compose: TrustComposition::Average,
+            require_stability: true,
+            max_coalitions: Some(3),
+        };
+        group.bench_with_input(BenchmarkId::new("exact_stable", n), &net, |b, net| {
+            b.iter(|| exact_formation(black_box(net), cfg).unwrap())
+        });
+    }
+
+    // The paper's SCSP encoding (exponential, small n only).
+    for n in [3u32, 4] {
+        let net = TrustNetwork::random(n, 1);
+        group.bench_with_input(BenchmarkId::new("scsp_encoding", n), &net, |b, net| {
+            b.iter(|| {
+                scsp_formation(black_box(net), TrustComposition::Average, true)
+                    .unwrap()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! E11 — raw operator costs across all semiring instances, plus the
+//! constraint-level ⊗ / ⇓ / ÷ they drive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use softsoa_core::{Constraint, Domain, Domains, Var};
+use softsoa_semiring::{
+    Boolean, Fuzzy, Probabilistic, Product, Residuated, Semiring, SetSemiring, Unit, Weight,
+    Weighted, WeightedInt,
+};
+use std::hint::black_box;
+
+fn scalar_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semiring_times");
+    group.bench_function("weighted_f64", |b| {
+        let s = Weighted;
+        let (x, y) = (Weight::new(2.5).unwrap(), Weight::new(3.5).unwrap());
+        b.iter(|| s.times(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("weighted_int", |b| {
+        let s = WeightedInt;
+        b.iter(|| s.times(black_box(&2), black_box(&3)))
+    });
+    group.bench_function("fuzzy", |b| {
+        let s = Fuzzy;
+        let (x, y) = (Unit::new(0.4).unwrap(), Unit::new(0.7).unwrap());
+        b.iter(|| s.times(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("probabilistic", |b| {
+        let s = Probabilistic;
+        let (x, y) = (Unit::new(0.4).unwrap(), Unit::new(0.7).unwrap());
+        b.iter(|| s.times(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("boolean", |b| {
+        let s = Boolean;
+        b.iter(|| s.times(black_box(&true), black_box(&false)))
+    });
+    group.bench_function("set_16", |b| {
+        let s: SetSemiring<u8> = (0u8..16).collect();
+        let x = s.subset(0..8).unwrap();
+        let y = s.subset(4..12).unwrap();
+        b.iter(|| s.times(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("product_weighted_prob", |b| {
+        let s = Product::new(Weighted, Probabilistic);
+        let x = (Weight::new(2.0).unwrap(), Unit::new(0.9).unwrap());
+        let y = (Weight::new(3.0).unwrap(), Unit::new(0.8).unwrap());
+        b.iter(|| s.times(black_box(&x), black_box(&y)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("semiring_div");
+    group.bench_function("weighted_int", |b| {
+        let s = WeightedInt;
+        b.iter(|| s.div(black_box(&7), black_box(&3)))
+    });
+    group.bench_function("probabilistic", |b| {
+        let s = Probabilistic;
+        let (x, y) = (Unit::new(0.2).unwrap(), Unit::new(0.8).unwrap());
+        b.iter(|| s.div(black_box(&x), black_box(&y)))
+    });
+    group.bench_function("set_16", |b| {
+        let s: SetSemiring<u8> = (0u8..16).collect();
+        let x = s.subset(0..4).unwrap();
+        let y = s.subset(2..10).unwrap();
+        b.iter(|| s.div(black_box(&x), black_box(&y)))
+    });
+    group.finish();
+}
+
+fn constraint_ops(c: &mut Criterion) {
+    let doms = Domains::new()
+        .with("x", Domain::ints(0..32))
+        .with("y", Domain::ints(0..32));
+    let a = Constraint::binary(WeightedInt, "x", "y", |p, q| {
+        (p.as_int().unwrap() - q.as_int().unwrap()).unsigned_abs()
+    });
+    let b_c = Constraint::unary(WeightedInt, "y", |p| p.as_int().unwrap() as u64);
+
+    let mut group = c.benchmark_group("constraint_ops");
+    group.bench_function("combine_materialize_32x32", |bch| {
+        bch.iter(|| a.combine(black_box(&b_c)).materialize(&doms).unwrap())
+    });
+    group.bench_function("project_32x32_to_x", |bch| {
+        let combined = a.combine(&b_c).materialize(&doms).unwrap();
+        let keep = [Var::new("x")];
+        bch.iter(|| black_box(&combined).project(&keep, &doms).unwrap())
+    });
+    group.bench_function("divide_materialize_32x32", |bch| {
+        let combined = a.combine(&b_c).materialize(&doms).unwrap();
+        bch.iter(|| black_box(&combined).divide(&b_c).materialize(&doms).unwrap())
+    });
+    group.bench_function("leq_32x32", |bch| {
+        let combined = a.combine(&b_c).materialize(&doms).unwrap();
+        bch.iter(|| black_box(&combined).leq(&a, &doms).unwrap())
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    println!("--- E11 / semiring op costs (shape: scalar instances flat; set/product pay per element) ---");
+    scalar_ops(c);
+    constraint_ops(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! E9 — solver comparison: the evaluation the paper defers to future
+//! work ("we could program it from scratch or extend Gecode").
+//!
+//! Random dense problems: branch-and-bound prunes, enumeration pays
+//! the full product of domains, bucket elimination depends on induced
+//! width. Chains (induced width 1): bucket elimination wins by orders
+//! of magnitude and enumeration becomes infeasible first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsoa_core::generate::{chain_weighted, random_fuzzy, random_weighted, RandomScsp};
+use softsoa_core::solve::{
+    add_unary_projections, prune_zero_supports, BranchAndBound, BucketElimination,
+    EliminationOrder, EnumerationSolver, Solver, VarOrder,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("--- E9 / solver comparison (shape: bnb & bucket beat enumeration; gap grows with n) ---");
+    let mut group = c.benchmark_group("solvers_random");
+    for n in [6usize, 8, 10] {
+        let cfg = RandomScsp {
+            vars: n,
+            domain_size: 3,
+            constraints: 2 * n,
+            arity: 2,
+            seed: 42,
+        };
+        let p = random_weighted(&cfg);
+        group.bench_with_input(BenchmarkId::new("enumeration", n), &p, |b, p| {
+            b.iter(|| EnumerationSolver::new().solve(black_box(p)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &p, |b, p| {
+            b.iter(|| {
+                BranchAndBound::new(VarOrder::MostConstrained)
+                    .solve(black_box(p))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_min_degree", n), &p, |b, p| {
+            b.iter(|| {
+                BucketElimination::new(EliminationOrder::MinDegree)
+                    .solve(black_box(p))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("solvers_chain");
+    for n in [8usize, 12, 16] {
+        let p = chain_weighted(n, 4, 7);
+        // Enumeration only up to n = 8 (4^12 tuples already cost ~10⁸
+        // evaluations per solve; 4^16 would take hours).
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("enumeration", n), &p, |b, p| {
+                b.iter(|| EnumerationSolver::new().solve(black_box(p)).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &p, |b, p| {
+            b.iter(|| {
+                BranchAndBound::new(VarOrder::Input)
+                    .solve(black_box(p))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bucket_min_degree", n), &p, |b, p| {
+            b.iter(|| {
+                BucketElimination::new(EliminationOrder::MinDegree)
+                    .solve(black_box(p))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Preprocessing ablation: arc-consistency pruning on weighted
+    // problems (many ∞ entries) and unary projections on fuzzy ones.
+    let mut group = c.benchmark_group("preprocess");
+    let cfg = RandomScsp {
+        vars: 8,
+        domain_size: 4,
+        constraints: 16,
+        arity: 2,
+        seed: 13,
+    };
+    let pw = random_weighted(&cfg);
+    group.bench_function("bnb_plain", |b| {
+        b.iter(|| BranchAndBound::default().solve(black_box(&pw)).unwrap())
+    });
+    group.bench_function("bnb_after_prune", |b| {
+        let (pruned, _) = prune_zero_supports(&pw).unwrap();
+        b.iter(|| BranchAndBound::default().solve(black_box(&pruned)).unwrap())
+    });
+    group.bench_function("prune_pass_itself", |b| {
+        b.iter(|| prune_zero_supports(black_box(&pw)).unwrap())
+    });
+    let pf = random_fuzzy(&cfg);
+    group.bench_function("fuzzy_bnb_plain", |b| {
+        b.iter(|| BranchAndBound::default().solve(black_box(&pf)).unwrap())
+    });
+    group.bench_function("fuzzy_bnb_with_unary_projections", |b| {
+        let extended = add_unary_projections(&pf).unwrap();
+        b.iter(|| BranchAndBound::default().solve(black_box(&extended)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,527 @@
+//! The command implementations, as pure functions from specification
+//! text to report text (the binary in `main.rs` is a thin shell).
+
+use std::fmt::Write as _;
+
+use softsoa_coalition::{
+    exact_formation, individually_oriented, local_search, socially_oriented, FormationConfig,
+};
+use softsoa_core::solve::{
+    BranchAndBound, BucketElimination, EnumerationSolver, Solver, VarOrder,
+};
+use softsoa_core::{Domain, Domains, Scsp, Var};
+use softsoa_dependability::{check_refinement, photo};
+use softsoa_nmsccp::{parse_program, Interpreter, Outcome, ParseEnv, Policy, Store};
+use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Semiring, Weighted};
+
+use crate::format::{
+    bool_level, unit_level, weight_level, CoalitionSpec, FormatError, NegotiationSpec,
+    PolicySpec, ProblemSpec, SemiringKind,
+};
+
+/// An error from a command.
+#[derive(Debug)]
+pub enum CommandError {
+    /// The specification was malformed or invalid.
+    Format(FormatError),
+    /// An unknown option value was supplied.
+    Usage(String),
+    /// The underlying engine failed.
+    Engine(String),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Format(e) => write!(f, "{e}"),
+            CommandError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CommandError::Engine(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<FormatError> for CommandError {
+    fn from(e: FormatError) -> CommandError {
+        CommandError::Format(e)
+    }
+}
+
+/// The solver to use for `solve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// Exhaustive reference solver.
+    #[default]
+    Enumeration,
+    /// Branch-and-bound (totally ordered semirings).
+    BranchAndBound,
+    /// Bucket elimination.
+    Bucket,
+}
+
+impl SolverChoice {
+    /// Parses a `--solver` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommandError::Usage`] for unknown names.
+    pub fn parse(name: &str) -> Result<SolverChoice, CommandError> {
+        match name {
+            "enum" | "enumeration" => Ok(SolverChoice::Enumeration),
+            "bnb" | "branch-and-bound" => Ok(SolverChoice::BranchAndBound),
+            "bucket" | "elimination" => Ok(SolverChoice::Bucket),
+            other => Err(CommandError::Usage(format!("unknown solver `{other}`"))),
+        }
+    }
+}
+
+fn solve_generic<S: Semiring>(
+    problem: &Scsp<S>,
+    solver: SolverChoice,
+    fmt_level: impl Fn(&S::Value) -> String,
+) -> Result<String, CommandError> {
+    let solution = match solver {
+        SolverChoice::Enumeration => EnumerationSolver::new().solve(problem),
+        SolverChoice::BranchAndBound => {
+            BranchAndBound::new(VarOrder::MostConstrained).solve(problem)
+        }
+        SolverChoice::Bucket => BucketElimination::default().solve(problem),
+    }
+    .map_err(|e| CommandError::Engine(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "blevel: {}", fmt_level(solution.blevel()));
+    if solution.best().is_empty() {
+        let _ = writeln!(out, "no solution above the semiring zero");
+    }
+    for (eta, level) in solution.best() {
+        let _ = writeln!(out, "best: {eta} at {}", fmt_level(level));
+    }
+    if let Some(table) = solution.solution_constraint() {
+        let _ = writeln!(out, "solution table over {:?}:", table.scope());
+        let doms = problem.domains();
+        if let Ok(tuples) = doms.tuples(table.scope()) {
+            for tuple in tuples {
+                let level = table.eval_tuple(&tuple);
+                let row: Vec<String> = tuple.iter().map(ToString::to_string).collect();
+                let _ = writeln!(out, "  ⟨{}⟩ → {}", row.join(", "), fmt_level(&level));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `softsoa solve`: parse an SCSP document and solve it.
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents, bad levels or
+/// solver failures.
+pub fn solve(text: &str, solver: SolverChoice) -> Result<String, CommandError> {
+    let spec = ProblemSpec::from_json(text)?;
+    match spec.semiring {
+        SemiringKind::Weighted => {
+            let p = spec.build(Weighted, weight_level)?;
+            solve_generic(&p, solver, ToString::to_string)
+        }
+        SemiringKind::Fuzzy => {
+            let p = spec.build(Fuzzy, unit_level)?;
+            solve_generic(&p, solver, ToString::to_string)
+        }
+        SemiringKind::Probabilistic => {
+            let p = spec.build(Probabilistic, unit_level)?;
+            solve_generic(&p, solver, ToString::to_string)
+        }
+        SemiringKind::Boolean => {
+            let p = spec.build(Boolean, bool_level)?;
+            solve_generic(&p, solver, ToString::to_string)
+        }
+    }
+}
+
+fn negotiate_generic<S, L>(
+    spec: &NegotiationSpec,
+    semiring: S,
+    level: L,
+    fmt_level: impl Fn(&S::Value) -> String,
+) -> Result<String, CommandError>
+where
+    S: softsoa_semiring::Residuated,
+    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+{
+    let mut env = ParseEnv::new(semiring.clone());
+    for (name, cspec) in &spec.constraints {
+        env = env.with_constraint(name, cspec.to_constraint(semiring.clone(), level.clone())?);
+    }
+    for (name, raw) in &spec.levels {
+        env = env.with_level(name, level(*raw)?);
+    }
+    let (program, agent) = parse_program(&spec.agent, &env)
+        .map_err(|e| CommandError::Engine(format!("agent syntax: {e}")))?;
+
+    let mut domains = Domains::new();
+    for (name, dspec) in &spec.domains {
+        domains.insert(Var::new(name), dspec.to_domain()?);
+    }
+    let policy = match spec.policy {
+        PolicySpec::First => Policy::First,
+        PolicySpec::RoundRobin => Policy::RoundRobin,
+        PolicySpec::Random(seed) => Policy::Random(seed),
+    };
+    let report = Interpreter::new(program)
+        .with_policy(policy)
+        .with_max_steps(spec.max_steps)
+        .run(agent, Store::empty(semiring, domains))
+        .map_err(|e| CommandError::Engine(e.to_string()))?;
+
+    let mut out = String::new();
+    for entry in &report.trace {
+        let _ = writeln!(
+            out,
+            "step {:3}  {:12} {:24} σ⇓∅ = {}",
+            entry.step,
+            entry.rule.to_string(),
+            entry.note,
+            fmt_level(&entry.consistency)
+        );
+    }
+    match &report.outcome {
+        Outcome::Success { store } => {
+            let level = store
+                .consistency()
+                .map_err(|e| CommandError::Engine(e.to_string()))?;
+            let _ = writeln!(out, "outcome: SUCCESS at σ⇓∅ = {}", fmt_level(&level));
+        }
+        Outcome::Deadlock { store, agent } => {
+            let level = store
+                .consistency()
+                .map_err(|e| CommandError::Engine(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "outcome: DEADLOCK at σ⇓∅ = {} (residual: {agent})",
+                fmt_level(&level)
+            );
+        }
+        Outcome::OutOfFuel { .. } => {
+            let _ = writeln!(out, "outcome: OUT OF FUEL after {} steps", report.steps);
+        }
+    }
+    Ok(out)
+}
+
+/// `softsoa negotiate`: run an `nmsccp` scenario and report the trace
+/// and outcome.
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents, agent syntax
+/// errors or engine failures.
+pub fn negotiate(text: &str) -> Result<String, CommandError> {
+    let spec = NegotiationSpec::from_json(text)?;
+    match spec.semiring {
+        SemiringKind::Weighted => {
+            negotiate_generic(&spec, Weighted, weight_level, ToString::to_string)
+        }
+        SemiringKind::Fuzzy => negotiate_generic(&spec, Fuzzy, unit_level, ToString::to_string),
+        SemiringKind::Probabilistic => {
+            negotiate_generic(&spec, Probabilistic, unit_level, ToString::to_string)
+        }
+        SemiringKind::Boolean => {
+            negotiate_generic(&spec, Boolean, bool_level, ToString::to_string)
+        }
+    }
+}
+
+fn explore_generic<S, L>(
+    spec: &NegotiationSpec,
+    semiring: S,
+    level: L,
+) -> Result<String, CommandError>
+where
+    S: softsoa_semiring::Residuated,
+    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+{
+    let mut env = ParseEnv::new(semiring.clone());
+    for (name, cspec) in &spec.constraints {
+        env = env.with_constraint(name, cspec.to_constraint(semiring.clone(), level.clone())?);
+    }
+    for (name, raw) in &spec.levels {
+        env = env.with_level(name, level(*raw)?);
+    }
+    let (program, agent) = parse_program(&spec.agent, &env)
+        .map_err(|e| CommandError::Engine(format!("agent syntax: {e}")))?;
+    let mut domains = Domains::new();
+    for (name, dspec) in &spec.domains {
+        domains.insert(Var::new(name), dspec.to_domain()?);
+    }
+    let verdict = softsoa_nmsccp::Explorer::new(program)
+        .explore(agent, Store::empty(semiring, domains))
+        .map_err(|e| CommandError::Engine(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "configurations: {} ({} transitions{})",
+        verdict.configurations,
+        verdict.transitions,
+        if verdict.truncated { ", TRUNCATED" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "agreement possible:   {}",
+        if verdict.success_reachable { "YES" } else { "NO" }
+    );
+    let _ = writeln!(
+        out,
+        "agreement guaranteed: {}",
+        if verdict.always_succeeds && !verdict.truncated {
+            "YES"
+        } else {
+            "NO"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "deadlock reachable:   {}",
+        if verdict.deadlock_reachable { "YES" } else { "NO" }
+    );
+    Ok(out)
+}
+
+/// `softsoa explore`: model-check a negotiation — can it succeed under
+/// some schedule, and must it under every one?
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents, agent syntax
+/// errors or engine failures.
+pub fn explore(text: &str) -> Result<String, CommandError> {
+    let spec = NegotiationSpec::from_json(text)?;
+    match spec.semiring {
+        SemiringKind::Weighted => explore_generic(&spec, Weighted, weight_level),
+        SemiringKind::Fuzzy => explore_generic(&spec, Fuzzy, unit_level),
+        SemiringKind::Probabilistic => explore_generic(&spec, Probabilistic, unit_level),
+        SemiringKind::Boolean => explore_generic(&spec, Boolean, bool_level),
+    }
+}
+
+/// `softsoa coalitions`: form trustworthy coalitions from a trust
+/// matrix.
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents or unknown
+/// algorithm names.
+pub fn coalitions(text: &str) -> Result<String, CommandError> {
+    let spec = CoalitionSpec::from_json(text)?;
+    let network = spec.network()?;
+    let compose = spec.composition()?;
+    let cfg = FormationConfig {
+        compose,
+        require_stability: spec.require_stability,
+        max_coalitions: spec.max_coalitions,
+    };
+    let result = match spec.algorithm.as_str() {
+        "exact" => exact_formation(&network, cfg)
+            .ok_or_else(|| CommandError::Engine("no feasible partition".into()))?,
+        "individual" => individually_oriented(&network, compose),
+        "social" => socially_oriented(&network, compose),
+        "local" => local_search(&network, cfg, 0, 2_000),
+        other => {
+            return Err(CommandError::Usage(format!("unknown algorithm `{other}`")));
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "partition: {}", result.partition);
+    let _ = writeln!(out, "objective (min coalition trust): {}", result.score);
+    let stable = softsoa_coalition::is_stable(&network, &result.partition, compose);
+    let _ = writeln!(out, "stable: {stable}");
+    Ok(out)
+}
+
+/// `softsoa integrity`: the Sec. 5 photo-editing integrity analysis at
+/// a chosen domain resolution.
+///
+/// # Errors
+///
+/// Returns [`CommandError::Usage`] for a non-positive step.
+pub fn integrity(step: i64) -> Result<String, CommandError> {
+    if step <= 0 {
+        return Err(CommandError::Usage("step must be positive".into()));
+    }
+    let doms = photo::domains(4096, step);
+    let mut out = String::new();
+    for (name, imp) in [("Imp1", photo::imp1()), ("Imp2", photo::imp2())] {
+        let report = check_refinement(&imp, &photo::memory(), &photo::interface(), &doms)
+            .map_err(|e| CommandError::Engine(e.to_string()))?;
+        if report.holds() {
+            let _ = writeln!(out, "{name} ⇓ {{incomp, outcomp}} ⊑ Memory: HOLDS");
+        } else {
+            let ce = report.counterexample().expect("failing check");
+            let _ = writeln!(
+                out,
+                "{name} ⇓ {{incomp, outcomp}} ⊑ Memory: VIOLATED at {}",
+                ce.assignment
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "c1(4096 Kb, 1024 Kb) = {}",
+        photo::stage_reliability(4096, 1024)
+    );
+    Ok(out)
+}
+
+/// Resolves domains for display in `solve` reports (kept for parity
+/// with the library API; unused variables are reported as-is).
+#[allow(dead_code)]
+fn domain_summary(domains: &Domains) -> String {
+    domains
+        .iter()
+        .map(|(v, d): (&Var, &Domain)| format!("{v}: {d}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG1: &str = r#"{
+        "semiring": "weighted",
+        "domains": {"x": {"syms": ["a", "b"]}, "y": {"syms": ["a", "b"]}},
+        "constraints": [
+            {"table": {"scope": ["x"], "entries": [[["a"], 1.0], [["b"], 9.0]], "label": "c1"}},
+            {"table": {"scope": ["x", "y"], "entries": [
+                [["a", "a"], 5.0], [["a", "b"], 1.0],
+                [["b", "a"], 2.0], [["b", "b"], 2.0]], "label": "c2"}},
+            {"table": {"scope": ["y"], "entries": [[["a"], 5.0], [["b"], 5.0]], "label": "c3"}}
+        ],
+        "con": ["x"]
+    }"#;
+
+    #[test]
+    fn solve_fig1_via_every_solver() {
+        for solver in [
+            SolverChoice::Enumeration,
+            SolverChoice::BranchAndBound,
+            SolverChoice::Bucket,
+        ] {
+            let report = solve(FIG1, solver).unwrap();
+            assert!(report.contains("blevel: 7"), "{solver:?}: {report}");
+            assert!(report.contains("[x:=a]"), "{solver:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn solve_rejects_bad_documents() {
+        assert!(matches!(
+            solve("{not json", SolverChoice::Enumeration),
+            Err(CommandError::Format(_))
+        ));
+        let bad_level = FIG1.replace("9.0", "-9.0");
+        assert!(matches!(
+            solve(&bad_level, SolverChoice::Enumeration),
+            Err(CommandError::Format(FormatError::Invalid(_)))
+        ));
+    }
+
+    #[test]
+    fn negotiate_example2_from_document() {
+        let doc = r#"{
+            "semiring": "weighted",
+            "domains": {"x": {"ints": [0, 10]}},
+            "constraints": {
+                "c1": {"linear": {"var": "x", "slope": 1.0, "intercept": 3.0}},
+                "c3": {"linear": {"var": "x", "slope": 2.0, "intercept": 0.0}},
+                "c4": {"linear": {"var": "x", "slope": 1.0, "intercept": 5.0}},
+                "one": {"linear": {"var": "x", "slope": 0.0, "intercept": 0.0}}
+            },
+            "levels": {"two": 2.0, "four": 4.0, "ten": 10.0},
+            "agent": "tell(c4) retract(c1) ->[ten, two] success || tell(c3) ask(one) ->[four, two] success",
+            "policy": {"random": 3}
+        }"#;
+        let report = negotiate(doc).unwrap();
+        assert!(report.contains("SUCCESS"), "{report}");
+        assert!(report.contains("σ⇓∅ = 2"), "{report}");
+    }
+
+    #[test]
+    fn negotiate_reports_deadlocks() {
+        let doc = r#"{
+            "semiring": "weighted",
+            "domains": {"x": {"ints": [0, 10]}},
+            "constraints": {
+                "c3": {"linear": {"var": "x", "slope": 2.0, "intercept": 0.0}},
+                "c4": {"linear": {"var": "x", "slope": 1.0, "intercept": 5.0}},
+                "one": {"linear": {"var": "x", "slope": 0.0, "intercept": 0.0}}
+            },
+            "levels": {"two": 2.0, "four": 4.0},
+            "agent": "tell(c4) success || tell(c3) ask(one) ->[four, two] success"
+        }"#;
+        let report = negotiate(doc).unwrap();
+        assert!(report.contains("DEADLOCK"), "{report}");
+        assert!(report.contains("σ⇓∅ = 5"), "{report}");
+    }
+
+    #[test]
+    fn explore_distinguishes_possibility_from_guarantee() {
+        let doc = r#"{
+            "semiring": "weighted",
+            "domains": {"x": {"ints": [0, 10]}},
+            "constraints": {
+                "c1": {"linear": {"var": "x", "slope": 1.0, "intercept": 3.0}},
+                "c3": {"linear": {"var": "x", "slope": 2.0, "intercept": 0.0}},
+                "c4": {"linear": {"var": "x", "slope": 1.0, "intercept": 5.0}},
+                "one": {"linear": {"var": "x", "slope": 0.0, "intercept": 0.0}}
+            },
+            "levels": {"two": 2.0, "four": 4.0, "ten": 10.0},
+            "agent": "tell(c4) retract(c1) ->[ten, two] success || tell(c3) ask(one) ->[four, two] success"
+        }"#;
+        let report = explore(doc).unwrap();
+        assert!(report.contains("agreement possible:   YES"), "{report}");
+        assert!(report.contains("agreement guaranteed: YES"), "{report}");
+        // Example 1 (no retract): impossible.
+        let doc1 = doc.replace("tell(c4) retract(c1) ->[ten, two] success", "tell(c4) success");
+        let report1 = explore(&doc1).unwrap();
+        assert!(report1.contains("agreement possible:   NO"), "{report1}");
+        assert!(report1.contains("deadlock reachable:   YES"), "{report1}");
+    }
+
+    #[test]
+    fn coalitions_from_matrix() {
+        let doc = r#"{
+            "trust": [
+                [1.0, 0.9, 0.1, 0.1],
+                [0.9, 1.0, 0.1, 0.1],
+                [0.1, 0.1, 1.0, 0.9],
+                [0.1, 0.1, 0.9, 1.0]
+            ],
+            "compose": "avg",
+            "algorithm": "exact",
+            "max_coalitions": 2
+        }"#;
+        let report = coalitions(doc).unwrap();
+        assert!(report.contains("{0,1} | {2,3}"), "{report}");
+    }
+
+    #[test]
+    fn coalitions_unknown_algorithm() {
+        let doc = r#"{"trust": [[1.0]], "algorithm": "quantum"}"#;
+        assert!(matches!(
+            coalitions(doc),
+            Err(CommandError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn integrity_reproduces_the_paper() {
+        let report = integrity(512).unwrap();
+        assert!(report.contains("Imp1 ⇓ {incomp, outcomp} ⊑ Memory: HOLDS"));
+        assert!(report.contains("Imp2 ⇓ {incomp, outcomp} ⊑ Memory: VIOLATED"));
+        assert!(report.contains("0.96"));
+        assert!(integrity(0).is_err());
+    }
+}

@@ -1,0 +1,530 @@
+//! JSON problem formats for the command-line suite.
+//!
+//! Three document kinds, all `serde`-backed:
+//!
+//! - [`ProblemSpec`] — an SCSP: semiring, domains, constraints, `con`;
+//! - [`NegotiationSpec`] — an `nmsccp` scenario: named constraints and
+//!   levels, the agent text, policy and fuel;
+//! - [`CoalitionSpec`] — a trust matrix plus formation options.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use softsoa_core::{Constraint, Domain, Scsp, Val, Var};
+use softsoa_semiring::{Semiring, Unit, Weight};
+
+/// An error while reading or interpreting a specification.
+#[derive(Debug)]
+pub enum FormatError {
+    /// The document is not valid JSON for the expected schema.
+    Json(serde_json::Error),
+    /// The document is schema-valid but semantically wrong.
+    Invalid(String),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Json(e) => write!(f, "malformed document: {e}"),
+            FormatError::Invalid(msg) => write!(f, "invalid specification: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Json(e) => Some(e),
+            FormatError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for FormatError {
+    fn from(e: serde_json::Error) -> FormatError {
+        FormatError::Json(e)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> FormatError {
+    FormatError::Invalid(msg.into())
+}
+
+/// The semiring a document is valued in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SemiringKind {
+    /// `⟨ℝ⁺∪{∞}, min, +, ∞, 0⟩` — additive costs.
+    Weighted,
+    /// `⟨[0,1], max, min, 0, 1⟩` — fuzzy preference.
+    Fuzzy,
+    /// `⟨[0,1], max, ·, 0, 1⟩` — probabilities.
+    Probabilistic,
+    /// `⟨{0,1}, ∨, ∧, 0, 1⟩` — crisp.
+    Boolean,
+}
+
+/// A variable domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum DomainSpec {
+    /// An inclusive integer range `[lo, hi]`.
+    Ints([i64; 2]),
+    /// A stepped integer range `[lo, hi, step]`.
+    Stepped([i64; 3]),
+    /// Symbolic values.
+    Syms(Vec<String>),
+}
+
+impl DomainSpec {
+    /// Builds the concrete domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Invalid`] for empty or inverted ranges.
+    pub fn to_domain(&self) -> Result<Domain, FormatError> {
+        match self {
+            DomainSpec::Ints([lo, hi]) => {
+                if lo > hi {
+                    return Err(invalid(format!("empty int range [{lo}, {hi}]")));
+                }
+                Ok(Domain::ints(*lo..=*hi))
+            }
+            DomainSpec::Stepped([lo, hi, step]) => {
+                if *step <= 0 {
+                    return Err(invalid("step must be positive"));
+                }
+                if lo > hi {
+                    return Err(invalid(format!("empty int range [{lo}, {hi}]")));
+                }
+                Ok(Domain::ints_stepped(*lo, *hi, *step))
+            }
+            DomainSpec::Syms(names) => {
+                if names.is_empty() {
+                    return Err(invalid("empty symbolic domain"));
+                }
+                Ok(Domain::syms(names))
+            }
+        }
+    }
+}
+
+/// A domain value in a table entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ValSpec {
+    /// An integer.
+    Int(i64),
+    /// A symbol.
+    Sym(String),
+}
+
+impl ValSpec {
+    fn to_val(&self) -> Val {
+        match self {
+            ValSpec::Int(n) => Val::Int(*n),
+            ValSpec::Sym(s) => Val::sym(s),
+        }
+    }
+}
+
+/// A constraint definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ConstraintSpec {
+    /// An extensional table.
+    Table {
+        /// Scope variables, fixing entry tuple order.
+        scope: Vec<String>,
+        /// `(tuple, level)` rows.
+        entries: Vec<(Vec<ValSpec>, f64)>,
+        /// Level of unlisted tuples (defaults to the semiring zero).
+        #[serde(default)]
+        default: Option<f64>,
+        /// Optional label for reports.
+        #[serde(default)]
+        label: Option<String>,
+    },
+    /// The paper's linear policies: `level = slope · var + intercept`.
+    Linear {
+        /// The single scope variable (must have an integer domain).
+        var: String,
+        /// Level change per unit.
+        slope: f64,
+        /// Level at zero.
+        intercept: f64,
+        /// Optional label for reports.
+        #[serde(default)]
+        label: Option<String>,
+    },
+}
+
+impl ConstraintSpec {
+    /// Builds the constraint over a concrete semiring, converting raw
+    /// `f64` levels through `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Invalid`] when a level is outside the
+    /// semiring carrier or a table row is malformed.
+    pub fn to_constraint<S, L>(&self, semiring: S, level: L) -> Result<Constraint<S>, FormatError>
+    where
+        S: Semiring,
+        L: Fn(f64) -> Result<S::Value, FormatError> + Send + Sync + 'static,
+    {
+        match self {
+            ConstraintSpec::Table {
+                scope,
+                entries,
+                default,
+                label,
+            } => {
+                let vars: Vec<Var> = scope.iter().map(Var::new).collect();
+                let mut rows = Vec::with_capacity(entries.len());
+                for (tuple, raw) in entries {
+                    if tuple.len() != vars.len() {
+                        return Err(invalid(format!(
+                            "table row arity {} does not match scope arity {}",
+                            tuple.len(),
+                            vars.len()
+                        )));
+                    }
+                    let vals: Vec<Val> = tuple.iter().map(ValSpec::to_val).collect();
+                    rows.push((vals, level(*raw)?));
+                }
+                let default_level = match default {
+                    Some(raw) => level(*raw)?,
+                    None => semiring.zero(),
+                };
+                let mut c = Constraint::table(semiring, &vars, rows, default_level);
+                if let Some(label) = label {
+                    c = c.with_label(label);
+                }
+                Ok(c)
+            }
+            ConstraintSpec::Linear {
+                var,
+                slope,
+                intercept,
+                label,
+            } => {
+                let (slope, intercept) = (*slope, *intercept);
+                let zero = semiring.zero();
+                let c = Constraint::unary(semiring, Var::new(var), move |v| {
+                    let Some(x) = v.as_int() else {
+                        return zero.clone();
+                    };
+                    level(slope * x as f64 + intercept).unwrap_or_else(|_| zero.clone())
+                });
+                Ok(match label {
+                    Some(label) => c.with_label(label),
+                    None => c,
+                })
+            }
+        }
+    }
+}
+
+/// An SCSP document for `softsoa solve`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProblemSpec {
+    /// The semiring of the problem.
+    pub semiring: SemiringKind,
+    /// Variable domains.
+    pub domains: BTreeMap<String, DomainSpec>,
+    /// The constraint set.
+    pub constraints: Vec<ConstraintSpec>,
+    /// The variables of interest.
+    pub con: Vec<String>,
+}
+
+impl ProblemSpec {
+    /// Parses a document from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<ProblemSpec, FormatError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Builds the problem over a concrete semiring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Invalid`] on bad domains or levels.
+    pub fn build<S, L>(&self, semiring: S, level: L) -> Result<Scsp<S>, FormatError>
+    where
+        S: Semiring,
+        L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+    {
+        let mut problem = Scsp::new(semiring.clone());
+        for (name, spec) in &self.domains {
+            problem.add_domain(Var::new(name), spec.to_domain()?);
+        }
+        for spec in &self.constraints {
+            problem.add_constraint(spec.to_constraint(semiring.clone(), level.clone())?);
+        }
+        Ok(problem.of_interest(self.con.iter().map(Var::new)))
+    }
+}
+
+/// Level conversion for the weighted semiring.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Invalid`] for NaN or negative levels.
+pub fn weight_level(raw: f64) -> Result<Weight, FormatError> {
+    Weight::new(raw).map_err(|_| invalid(format!("{raw} is not a valid weight")))
+}
+
+/// Level conversion for the `[0, 1]` semirings.
+///
+/// # Errors
+///
+/// Returns [`FormatError::Invalid`] for levels outside `[0, 1]`.
+pub fn unit_level(raw: f64) -> Result<Unit, FormatError> {
+    Unit::new(raw).map_err(|_| invalid(format!("{raw} is not in [0, 1]")))
+}
+
+/// Level conversion for the classical semiring (`0.0` or `1.0`).
+///
+/// # Errors
+///
+/// Returns [`FormatError::Invalid`] for anything but 0 and 1.
+pub fn bool_level(raw: f64) -> Result<bool, FormatError> {
+    match raw {
+        0.0 => Ok(false),
+        1.0 => Ok(true),
+        other => Err(invalid(format!("{other} is not a crisp level (0 or 1)"))),
+    }
+}
+
+/// Scheduling policy for a negotiation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum PolicySpec {
+    /// Left-most enabled transition.
+    First,
+    /// Fair rotation.
+    RoundRobin,
+    /// Seeded uniform choice.
+    Random(u64),
+}
+
+/// An `nmsccp` negotiation document for `softsoa negotiate`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NegotiationSpec {
+    /// The semiring of the store.
+    pub semiring: SemiringKind,
+    /// Variable domains.
+    pub domains: BTreeMap<String, DomainSpec>,
+    /// Named constraints referenced by the agent text.
+    pub constraints: BTreeMap<String, ConstraintSpec>,
+    /// Named threshold levels referenced by interval bounds.
+    #[serde(default)]
+    pub levels: BTreeMap<String, f64>,
+    /// The agent, in the textual syntax of `softsoa-nmsccp` (may
+    /// include clause declarations).
+    pub agent: String,
+    /// The scheduling policy (defaults to `first`).
+    #[serde(default = "default_policy")]
+    pub policy: PolicySpec,
+    /// The step budget (defaults to 10 000).
+    #[serde(default = "default_fuel")]
+    pub max_steps: usize,
+}
+
+fn default_policy() -> PolicySpec {
+    PolicySpec::First
+}
+
+fn default_fuel() -> usize {
+    10_000
+}
+
+impl NegotiationSpec {
+    /// Parses a document from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<NegotiationSpec, FormatError> {
+        Ok(serde_json::from_str(text)?)
+    }
+}
+
+/// A coalition-formation document for `softsoa coalitions`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoalitionSpec {
+    /// The row-major trust matrix (`trust[i][j]` = trust of `i` in
+    /// `j`), entries in `[0, 1]`.
+    pub trust: Vec<Vec<f64>>,
+    /// The `◦` operator: `min`, `max` or `avg`.
+    #[serde(default = "default_compose")]
+    pub compose: String,
+    /// Whether Def. 4 stability is required.
+    #[serde(default)]
+    pub require_stability: bool,
+    /// Optional upper bound on the number of coalitions.
+    #[serde(default)]
+    pub max_coalitions: Option<usize>,
+    /// The algorithm: `exact`, `individual`, `social` or `local`.
+    #[serde(default = "default_algorithm")]
+    pub algorithm: String,
+}
+
+fn default_compose() -> String {
+    "avg".into()
+}
+
+fn default_algorithm() -> String {
+    "exact".into()
+}
+
+impl CoalitionSpec {
+    /// Parses a document from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Json`] on malformed input.
+    pub fn from_json(text: &str) -> Result<CoalitionSpec, FormatError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Builds the trust network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Invalid`] for ragged or out-of-range
+    /// matrices.
+    pub fn network(&self) -> Result<softsoa_coalition::TrustNetwork, FormatError> {
+        let n = self.trust.len();
+        let mut net = softsoa_coalition::TrustNetwork::new(n as u32, Unit::MIN);
+        for (i, row) in self.trust.iter().enumerate() {
+            if row.len() != n {
+                return Err(invalid(format!(
+                    "trust matrix row {i} has {} entries, expected {n}",
+                    row.len()
+                )));
+            }
+            for (j, raw) in row.iter().enumerate() {
+                net.set(i as u32, j as u32, unit_level(*raw)?);
+            }
+        }
+        Ok(net)
+    }
+
+    /// Resolves the `◦` operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::Invalid`] for an unknown name.
+    pub fn composition(&self) -> Result<softsoa_coalition::TrustComposition, FormatError> {
+        match self.compose.as_str() {
+            "min" => Ok(softsoa_coalition::TrustComposition::Min),
+            "max" => Ok(softsoa_coalition::TrustComposition::Max),
+            "avg" | "average" => Ok(softsoa_coalition::TrustComposition::Average),
+            other => Err(invalid(format!("unknown composition `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_semiring::WeightedInt;
+
+    #[test]
+    fn problem_roundtrip_and_build() {
+        let text = r#"{
+            "semiring": "weighted",
+            "domains": {"x": {"syms": ["a", "b"]}, "y": {"syms": ["a", "b"]}},
+            "constraints": [
+                {"table": {"scope": ["x"], "entries": [[["a"], 1.0], [["b"], 9.0]]}},
+                {"table": {"scope": ["x", "y"], "entries": [
+                    [["a", "a"], 5.0], [["a", "b"], 1.0],
+                    [["b", "a"], 2.0], [["b", "b"], 2.0]]}},
+                {"table": {"scope": ["y"], "entries": [[["a"], 5.0], [["b"], 5.0]]}}
+            ],
+            "con": ["x"]
+        }"#;
+        let spec = ProblemSpec::from_json(text).unwrap();
+        assert_eq!(spec.semiring, SemiringKind::Weighted);
+        let p = spec.build(softsoa_semiring::Weighted, weight_level).unwrap();
+        assert_eq!(p.blevel().unwrap(), Weight::new(7.0).unwrap());
+    }
+
+    #[test]
+    fn linear_constraints_build() {
+        let spec = ConstraintSpec::Linear {
+            var: "x".into(),
+            slope: 2.0,
+            intercept: 3.0,
+            label: Some("c".into()),
+        };
+        let c = spec.to_constraint(softsoa_semiring::Weighted, weight_level).unwrap();
+        let eta = softsoa_core::Assignment::new().bind("x", 4);
+        assert_eq!(c.eval(&eta), Weight::new(11.0).unwrap());
+        assert_eq!(c.label(), Some("c"));
+    }
+
+    #[test]
+    fn bad_levels_are_rejected() {
+        assert!(weight_level(-1.0).is_err());
+        assert!(unit_level(1.5).is_err());
+        assert!(bool_level(0.5).is_err());
+        assert!(bool_level(1.0).unwrap());
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let spec = ConstraintSpec::Table {
+            scope: vec!["x".into(), "y".into()],
+            entries: vec![(vec![ValSpec::Int(0)], 1.0)],
+            default: None,
+            label: None,
+        };
+        let err = spec.to_constraint(WeightedInt, |v| Ok(v as u64)).unwrap_err();
+        assert!(err.to_string().contains("arity"));
+    }
+
+    #[test]
+    fn domain_specs() {
+        assert_eq!(DomainSpec::Ints([0, 3]).to_domain().unwrap().len(), 4);
+        assert_eq!(DomainSpec::Stepped([0, 10, 5]).to_domain().unwrap().len(), 3);
+        assert!(DomainSpec::Ints([3, 0]).to_domain().is_err());
+        assert!(DomainSpec::Syms(vec![]).to_domain().is_err());
+        assert!(DomainSpec::Stepped([0, 10, 0]).to_domain().is_err());
+    }
+
+    #[test]
+    fn coalition_spec_builds_network() {
+        let text = r#"{
+            "trust": [[1.0, 0.5], [0.25, 1.0]],
+            "compose": "min",
+            "algorithm": "exact"
+        }"#;
+        let spec = CoalitionSpec::from_json(text).unwrap();
+        let net = spec.network().unwrap();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.get(0, 1), Unit::new(0.5).unwrap());
+        assert!(matches!(
+            spec.composition().unwrap(),
+            softsoa_coalition::TrustComposition::Min
+        ));
+    }
+
+    #[test]
+    fn ragged_matrix_is_rejected() {
+        let spec = CoalitionSpec {
+            trust: vec![vec![1.0, 0.5], vec![0.25]],
+            compose: "min".into(),
+            require_stability: false,
+            max_coalitions: None,
+            algorithm: "exact".into(),
+        };
+        assert!(spec.network().is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Command-line suite for the `softsoa` framework.
+//!
+//! The paper's conclusion calls for the models "implemented and
+//! integrated together in a suite of tools, in order to manage and
+//! monitor dependability while building SOAs"; this crate is that
+//! suite. Every command is a pure function from a JSON specification
+//! to a textual report (see [`commands`]), with the `softsoa` binary
+//! as a thin shell:
+//!
+//! ```console
+//! $ softsoa solve problem.json --solver bucket
+//! $ softsoa negotiate scenario.json
+//! $ softsoa explore scenario.json
+//! $ softsoa coalitions trust.json
+//! $ softsoa integrity --step 512
+//! ```
+//!
+//! Document formats are defined in the [`mod@format`]
+//! module; see the repository's
+//! `examples/specs/` directory for ready-to-run samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod format;
+
+pub use commands::{coalitions, explore, integrity, negotiate, solve, CommandError, SolverChoice};
+pub use format::{
+    CoalitionSpec, ConstraintSpec, DomainSpec, FormatError, NegotiationSpec, PolicySpec,
+    ProblemSpec, SemiringKind, ValSpec,
+};

@@ -1,0 +1,88 @@
+//! The `softsoa` command-line binary.
+
+use std::process::ExitCode;
+
+use softsoa_cli::{coalitions, explore, integrity, negotiate, solve, SolverChoice};
+
+const USAGE: &str = "softsoa — soft constraints for dependable SOAs
+
+USAGE:
+    softsoa solve <problem.json> [--solver enum|bnb|bucket]
+    softsoa negotiate <scenario.json>
+    softsoa explore <scenario.json>
+    softsoa coalitions <trust.json>
+    softsoa integrity [--step <kb>]
+
+Document formats are described in the softsoa-cli crate docs.";
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| USAGE.to_string())?;
+    match command.as_str() {
+        "solve" => {
+            let path = it.next().ok_or("solve: missing <problem.json>")?;
+            let mut solver = SolverChoice::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--solver" => {
+                        let name = it.next().ok_or("--solver: missing value")?;
+                        solver = SolverChoice::parse(name).map_err(|e| e.to_string())?;
+                    }
+                    other => return Err(format!("solve: unknown flag `{other}`")),
+                }
+            }
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            solve(&text, solver).map_err(|e| e.to_string())
+        }
+        "negotiate" => {
+            let path = it.next().ok_or("negotiate: missing <scenario.json>")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            negotiate(&text).map_err(|e| e.to_string())
+        }
+        "explore" => {
+            let path = it.next().ok_or("explore: missing <scenario.json>")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            explore(&text).map_err(|e| e.to_string())
+        }
+        "coalitions" => {
+            let path = it.next().ok_or("coalitions: missing <trust.json>")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            coalitions(&text).map_err(|e| e.to_string())
+        }
+        "integrity" => {
+            let mut step = 512i64;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--step" => {
+                        let value = it.next().ok_or("--step: missing value")?;
+                        step = value
+                            .parse()
+                            .map_err(|e| format!("--step: not an integer: {e}"))?;
+                    }
+                    other => return Err(format!("integrity: unknown flag `{other}`")),
+                }
+            }
+            integrity(step).map_err(|e| e.to_string())
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

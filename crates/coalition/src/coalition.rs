@@ -1,0 +1,322 @@
+//! Coalitions, partitions and their trustworthiness (Defs. 3–4).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use softsoa_semiring::Unit;
+
+use crate::{AgentId, TrustNetwork};
+
+/// The trust-composition operator `◦` of Def. 3.
+///
+/// `◦` aggregates the 1-to-1 trust relationships inside a coalition
+/// into a single trustworthiness score. The paper stresses that it is
+/// a *social* aggregation, independent of the semiring operators; its
+/// example instantiations are the minimum, the maximum and the
+/// arithmetic mean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TrustComposition {
+    /// The weakest link: a coalition is as trustworthy as its least
+    /// trusted relationship.
+    #[default]
+    Min,
+    /// The strongest link (the paper's `max` example).
+    Max,
+    /// The arithmetic mean (the paper's `avg` example).
+    Average,
+}
+
+impl TrustComposition {
+    /// Composes a sequence of trust scores.
+    ///
+    /// The empty composition is [`Unit::MIN`]: an agent with no
+    /// relationships in a group places no trust in it. (Def. 4's
+    /// preference comparison then makes a lonely agent willing to
+    /// join any coalition that would have it.)
+    pub fn compose<I: IntoIterator<Item = Unit>>(&self, scores: I) -> Unit {
+        let mut iter = scores.into_iter();
+        let Some(first) = iter.next() else {
+            return Unit::MIN;
+        };
+        match self {
+            TrustComposition::Min => iter.fold(first, |acc, s| acc.min(s)),
+            TrustComposition::Max => iter.fold(first, |acc, s| acc.max(s)),
+            TrustComposition::Average => {
+                let mut sum = first.get();
+                let mut count = 1usize;
+                for s in iter {
+                    sum += s.get();
+                    count += 1;
+                }
+                Unit::clamped(sum / count as f64)
+            }
+        }
+    }
+}
+
+/// A coalition: a set of agent ids.
+pub type Coalition = BTreeSet<AgentId>;
+
+/// The trustworthiness `T(C)` of a coalition (Def. 3): the `◦`
+/// composition of every ordered 1-to-1 trust relationship inside it,
+/// self-trust included.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_coalition::{coalition_trust, Coalition, TrustComposition, TrustNetwork};
+/// use softsoa_semiring::Unit;
+///
+/// let net = TrustNetwork::fig10();
+/// let c1: Coalition = [0, 1, 2].into_iter().collect();
+/// let t = coalition_trust(&net, &c1, TrustComposition::Min);
+/// assert_eq!(t.get(), 0.8); // the weakest intra-C1 link
+/// ```
+pub fn coalition_trust(
+    network: &TrustNetwork,
+    coalition: &Coalition,
+    compose: TrustComposition,
+) -> Unit {
+    compose.compose(
+        coalition
+            .iter()
+            .flat_map(|&i| coalition.iter().map(move |&j| (i, j)))
+            .map(|(i, j)| network.get(i, j)),
+    )
+}
+
+/// How much `agent` trusts the members of `group` (excluding itself),
+/// composed with `◦` — the quantity Def. 4 compares across coalitions.
+pub fn attachment(
+    network: &TrustNetwork,
+    agent: AgentId,
+    group: &Coalition,
+    compose: TrustComposition,
+) -> Unit {
+    compose.compose(
+        group
+            .iter()
+            .filter(|&&j| j != agent)
+            .map(|&j| network.get(agent, j)),
+    )
+}
+
+/// A partition of the agents into disjoint coalitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    coalitions: Vec<Coalition>,
+}
+
+/// An error returned when a candidate partition is not a partition:
+/// overlapping coalitions, missing agents, out-of-range ids or empty
+/// coalitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPartitionError {
+    reason: String,
+}
+
+impl fmt::Display for InvalidPartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid partition: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidPartitionError {}
+
+impl Partition {
+    /// Validates and creates a partition of the `n` agents `0 .. n`.
+    ///
+    /// Every agent must belong to exactly one coalition ("a single
+    /// entity can appear in only one coalition at \[a\] time"); empty
+    /// coalitions are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPartitionError`] when the candidate is not a
+    /// partition of `0 .. n`.
+    pub fn new(n: u32, coalitions: Vec<Coalition>) -> Result<Partition, InvalidPartitionError> {
+        let mut seen: BTreeSet<AgentId> = BTreeSet::new();
+        for c in &coalitions {
+            if c.is_empty() {
+                return Err(InvalidPartitionError {
+                    reason: "empty coalition".into(),
+                });
+            }
+            for &agent in c {
+                if agent >= n {
+                    return Err(InvalidPartitionError {
+                        reason: format!("agent {agent} out of range (n = {n})"),
+                    });
+                }
+                if !seen.insert(agent) {
+                    return Err(InvalidPartitionError {
+                        reason: format!("agent {agent} appears in two coalitions"),
+                    });
+                }
+            }
+        }
+        if seen.len() != n as usize {
+            return Err(InvalidPartitionError {
+                reason: format!("only {}/{n} agents are assigned", seen.len()),
+            });
+        }
+        Ok(Partition { coalitions })
+    }
+
+    /// The all-singletons partition (every agent alone).
+    pub fn singletons(n: u32) -> Partition {
+        Partition {
+            coalitions: (0..n).map(|i| BTreeSet::from([i])).collect(),
+        }
+    }
+
+    /// The grand coalition (everyone together); `n` must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn grand(n: u32) -> Partition {
+        assert!(n > 0, "grand coalition of zero agents");
+        Partition {
+            coalitions: vec![(0..n).collect()],
+        }
+    }
+
+    /// The coalitions.
+    pub fn coalitions(&self) -> &[Coalition] {
+        &self.coalitions
+    }
+
+    /// The number of coalitions.
+    pub fn len(&self) -> usize {
+        self.coalitions.len()
+    }
+
+    /// Whether the partition has no coalitions (the `n = 0` case).
+    pub fn is_empty(&self) -> bool {
+        self.coalitions.is_empty()
+    }
+
+    /// The index of the coalition containing `agent`.
+    pub fn coalition_of(&self, agent: AgentId) -> Option<usize> {
+        self.coalitions.iter().position(|c| c.contains(&agent))
+    }
+
+    /// The *fuzzy objective* of Sec. 6.1: the minimum trustworthiness
+    /// over all coalitions (the quantity the Fuzzy-semiring SCSP
+    /// maximises). The empty partition scores [`Unit::MAX`].
+    pub fn score(&self, network: &TrustNetwork, compose: TrustComposition) -> Unit {
+        self.coalitions
+            .iter()
+            .map(|c| coalition_trust(network, c, compose))
+            .min()
+            .unwrap_or(Unit::MAX)
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.coalitions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            f.write_str("{")?;
+            for (k, a) in c.iter().enumerate() {
+                if k > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{a}")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: f64) -> Unit {
+        Unit::clamped(v)
+    }
+
+    #[test]
+    fn composition_operators() {
+        let scores = [u(0.2), u(0.8), u(0.5)];
+        assert_eq!(TrustComposition::Min.compose(scores), u(0.2));
+        assert_eq!(TrustComposition::Max.compose(scores), u(0.8));
+        assert_eq!(TrustComposition::Average.compose(scores), u(0.5));
+        assert_eq!(TrustComposition::Min.compose([]), Unit::MIN);
+    }
+
+    #[test]
+    fn singleton_trust_is_self_trust() {
+        let net = TrustNetwork::fig10();
+        let c: Coalition = BTreeSet::from([4]);
+        assert_eq!(
+            coalition_trust(&net, &c, TrustComposition::Min),
+            Unit::MAX
+        );
+    }
+
+    #[test]
+    fn attachment_ignores_self() {
+        let net = TrustNetwork::fig10();
+        let c1: Coalition = [0, 1, 2, 3].into_iter().collect();
+        // x4's (agent 3) attachment to C1 ∪ {x4} counts only 0, 1, 2.
+        assert_eq!(attachment(&net, 3, &c1, TrustComposition::Min), u(0.9));
+    }
+
+    #[test]
+    fn partition_validation() {
+        let ok = Partition::new(3, vec![BTreeSet::from([0, 1]), BTreeSet::from([2])]);
+        assert!(ok.is_ok());
+        let overlap = Partition::new(3, vec![BTreeSet::from([0, 1]), BTreeSet::from([1, 2])]);
+        assert!(overlap.is_err());
+        let missing = Partition::new(3, vec![BTreeSet::from([0, 1])]);
+        assert!(missing.is_err());
+        let out_of_range = Partition::new(2, vec![BTreeSet::from([0, 5]), BTreeSet::from([1])]);
+        assert!(out_of_range.is_err());
+        let empty = Partition::new(1, vec![BTreeSet::from([0]), BTreeSet::new()]);
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    fn canonical_partitions() {
+        let s = Partition::singletons(4);
+        assert_eq!(s.len(), 4);
+        let g = Partition::grand(4);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.coalition_of(2), Some(0));
+        assert_eq!(s.coalition_of(2), Some(2));
+        assert_eq!(s.coalition_of(9), None);
+    }
+
+    #[test]
+    fn score_is_min_over_coalitions() {
+        let net = TrustNetwork::fig10();
+        let p = Partition::new(
+            7,
+            vec![
+                [0, 1, 2].into_iter().collect(),
+                [3, 4, 5, 6].into_iter().collect(),
+            ],
+        )
+        .unwrap();
+        let t1 = coalition_trust(&net, &p.coalitions()[0], TrustComposition::Min);
+        let t2 = coalition_trust(&net, &p.coalitions()[1], TrustComposition::Min);
+        assert_eq!(p.score(&net, TrustComposition::Min), t1.min(t2));
+        // Singletons are fully self-trusting.
+        assert_eq!(
+            Partition::singletons(7).score(&net, TrustComposition::Min),
+            Unit::MAX
+        );
+    }
+
+    #[test]
+    fn display() {
+        let p = Partition::new(3, vec![BTreeSet::from([0, 2]), BTreeSet::from([1])]).unwrap();
+        assert_eq!(p.to_string(), "{0,2} | {1}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Semiring-based trust propagation across the network.
+//!
+//! The paper notes that "by changing the semiring structure we can
+//! represent different trust metrics" (citing Bistarelli & Santini's
+//! *multitrust* propagation and Theodorakopoulos & Baras' ad-hoc-network
+//! trust evaluation). Direct trust scores only exist between agents
+//! that have interacted; [`propagate`] closes the network over a
+//! chosen c-semiring: the derived trust `t*(i, j)` is the `+`-sum
+//! (best) over all paths of the `×`-product (composition) of the edge
+//! scores along the path.
+//!
+//! - with the **probabilistic** semiring, trust decays multiplicatively
+//!   along a referral chain and the best chain wins;
+//! - with the **fuzzy** semiring, a chain is as strong as its weakest
+//!   referral (widest-path trust).
+
+use softsoa_semiring::{Semiring, Unit};
+
+use crate::TrustNetwork;
+
+/// Closes the trust network over a semiring: the algebraic-path
+/// (Floyd–Warshall) computation of
+/// `t*(i, j) = Σ_paths Π_edges t(…)`.
+///
+/// The result dominates the input pointwise (`t*(i, j) ≥ t(i, j)` in
+/// the semiring order) and is a fixpoint: propagating again changes
+/// nothing. Diagonal entries are preserved.
+///
+/// The semiring's carrier must be [`Unit`] so the result is again a
+/// [`TrustNetwork`]; both paper-relevant instances (probabilistic and
+/// fuzzy) qualify.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_coalition::{propagate, TrustNetwork};
+/// use softsoa_semiring::{Probabilistic, Unit};
+///
+/// // 0 trusts 1 (0.9), 1 trusts 2 (0.8); 0 has no direct score on 2.
+/// let mut net = TrustNetwork::new(3, Unit::MIN);
+/// net.set(0, 1, Unit::new(0.9)?);
+/// net.set(1, 2, Unit::new(0.8)?);
+/// let closed = propagate(&net, &Probabilistic);
+/// assert!((closed.get(0, 2).get() - 0.72).abs() < 1e-12);
+/// # Ok::<(), softsoa_semiring::UnitRangeError>(())
+/// ```
+pub fn propagate<S>(network: &TrustNetwork, semiring: &S) -> TrustNetwork
+where
+    S: Semiring<Value = Unit>,
+{
+    let n = network.len();
+    let mut closed = network.clone();
+    for k in 0..n {
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let ik = closed.get(i, k);
+            for j in 0..n {
+                if j == k || i == j {
+                    continue;
+                }
+                let through_k = semiring.times(&ik, &closed.get(k, j));
+                let best = semiring.plus(&closed.get(i, j), &through_k);
+                closed.set(i, j, best);
+            }
+        }
+    }
+    closed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_semiring::{Fuzzy, Probabilistic};
+
+    fn u(v: f64) -> Unit {
+        Unit::clamped(v)
+    }
+
+    fn chain() -> TrustNetwork {
+        // 0 → 1 → 2 → 3 referral chain plus a weak direct 0 → 3 edge.
+        let mut net = TrustNetwork::new(4, Unit::MIN);
+        for i in 0..4 {
+            net.set(i, i, Unit::MAX);
+        }
+        net.set(0, 1, u(0.9));
+        net.set(1, 2, u(0.8));
+        net.set(2, 3, u(0.5));
+        net.set(0, 3, u(0.3));
+        net
+    }
+
+    #[test]
+    fn probabilistic_propagation_decays_along_chains() {
+        let closed = propagate(&chain(), &Probabilistic);
+        // 0→1→2: 0.9 × 0.8 = 0.72.
+        assert!((closed.get(0, 2).get() - 0.72).abs() < 1e-12);
+        // 0→3: the chain 0.9·0.8·0.5 = 0.36 beats the direct 0.3.
+        assert!((closed.get(0, 3).get() - 0.36).abs() < 1e-12);
+        // No path 3 → 0.
+        assert_eq!(closed.get(3, 0), Unit::MIN);
+    }
+
+    #[test]
+    fn fuzzy_propagation_is_widest_path() {
+        let closed = propagate(&chain(), &Fuzzy);
+        // min(0.9, 0.8) = 0.8 for 0→2; min(0.9, 0.8, 0.5) = 0.5 for 0→3.
+        assert_eq!(closed.get(0, 2), u(0.8));
+        assert_eq!(closed.get(0, 3), u(0.5));
+    }
+
+    #[test]
+    fn propagation_dominates_input_and_is_idempotent() {
+        let net = TrustNetwork::random(6, 13);
+        for s_name in ["prob", "fuzzy"] {
+            let (once, twice) = if s_name == "prob" {
+                let once = propagate(&net, &Probabilistic);
+                (once.clone(), propagate(&once, &Probabilistic))
+            } else {
+                let once = propagate(&net, &Fuzzy);
+                (once.clone(), propagate(&once, &Fuzzy))
+            };
+            for i in 0..6 {
+                for j in 0..6 {
+                    assert!(once.get(i, j) >= net.get(i, j), "{s_name} ({i},{j})");
+                    let a = once.get(i, j).get();
+                    let b = twice.get(i, j).get();
+                    assert!((a - b).abs() < 1e-9, "{s_name} not a fixpoint at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_preserved() {
+        let mut net = TrustNetwork::new(3, u(0.9));
+        net.set(1, 1, u(0.2)); // unusual self-doubt
+        let closed = propagate(&net, &Probabilistic);
+        assert_eq!(closed.get(1, 1), u(0.2));
+    }
+
+    #[test]
+    fn propagation_enables_coalitions_between_strangers() {
+        use crate::{coalition_trust, TrustComposition};
+        // Two strangers connected only through a broker agent.
+        let mut net = TrustNetwork::new(3, Unit::MIN);
+        for i in 0..3 {
+            net.set(i, i, Unit::MAX);
+        }
+        net.set(0, 1, u(0.9));
+        net.set(1, 0, u(0.9));
+        net.set(1, 2, u(0.9));
+        net.set(2, 1, u(0.9));
+        let direct: crate::Coalition = [0, 2].into_iter().collect();
+        assert_eq!(
+            coalition_trust(&net, &direct, TrustComposition::Min),
+            Unit::MIN
+        );
+        let closed = propagate(&net, &Probabilistic);
+        let t = coalition_trust(&closed, &direct, TrustComposition::Min);
+        assert!((t.get() - 0.81).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,502 @@
+//! Coalition-formation algorithms: exact, greedy baselines and local
+//! search.
+//!
+//! The exact solver maximises the Sec. 6.1 fuzzy objective (the
+//! minimum coalition trustworthiness) over *all* set partitions,
+//! optionally restricted to stable ones. The greedy baselines are the
+//! two mechanisms the paper contrasts (after Breban & Vassileva):
+//! *individually oriented* — each agent clusters with the agent it
+//! trusts most — and *socially oriented* — each agent joins the
+//! coalition holding its highest summative trust. Local search and
+//! best-response stabilisation scale to networks the exact solver
+//! cannot touch; the `coalition_ablation` bench (experiment E12)
+//! compares them all.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use softsoa_semiring::Unit;
+
+use crate::{
+    find_blocking, is_stable, AgentId, Coalition, Partition, TrustComposition, TrustNetwork,
+};
+
+/// Configuration of a coalition-formation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FormationConfig {
+    /// The trust-composition operator `◦`.
+    pub compose: TrustComposition,
+    /// Whether only stable partitions (Def. 4) are feasible.
+    pub require_stability: bool,
+    /// An upper bound on the number of coalitions. The paper motivates
+    /// coalitions by *consumable shared resources* ("the same resource
+    /// cannot be assigned to more than a user at a given time"): with
+    /// one resource pool per coalition, only so many coalitions can be
+    /// provisioned. Unbounded (`None`) formation under a min-trust
+    /// objective degenerates to all-singletons (full self-trust).
+    pub max_coalitions: Option<usize>,
+}
+
+/// The outcome of a formation algorithm.
+#[derive(Debug, Clone)]
+pub struct FormationResult {
+    /// The chosen partition.
+    pub partition: Partition,
+    /// Its fuzzy objective: the minimum coalition trustworthiness.
+    pub score: Unit,
+    /// Work counter: partitions examined (exact), or moves tried
+    /// (local search), or agents placed (greedy).
+    pub explored: usize,
+}
+
+/// Exhaustively searches every set partition (restricted-growth-string
+/// enumeration) for the best objective; `None` when stability is
+/// required and no stable partition exists.
+///
+/// The number of partitions is the Bell number `B(n)` — callers are
+/// limited to `n ≤ 13` (`B(13) ≈ 2.7·10⁷`).
+///
+/// # Panics
+///
+/// Panics if `network.len() > 13`.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_coalition::{exact_formation, is_stable, FormationConfig,
+///     TrustComposition, TrustNetwork};
+///
+/// let net = TrustNetwork::fig10();
+/// let cfg = FormationConfig {
+///     compose: TrustComposition::Average,
+///     require_stability: true,
+///     ..Default::default()
+/// };
+/// let best = exact_formation(&net, cfg).unwrap();
+/// assert!(is_stable(&net, &best.partition, TrustComposition::Average));
+/// // The Fig. 10 partition {x1..x3} | {x4..x7} is blocked, so the
+/// // optimum is a different (here: better-scoring) partition.
+/// assert!(best.score.get() >= 0.8);
+/// ```
+pub fn exact_formation(network: &TrustNetwork, cfg: FormationConfig) -> Option<FormationResult> {
+    let n = network.len();
+    assert!(n <= 13, "exact formation is limited to 13 agents");
+    if n == 0 {
+        return Some(FormationResult {
+            partition: Partition::new(0, vec![]).expect("empty partition"),
+            score: Unit::MAX,
+            explored: 1,
+        });
+    }
+
+    let mut best: Option<(Partition, Unit)> = None;
+    let mut explored = 0usize;
+    let mut labels = vec![0u32; n as usize];
+    enumerate_rgs(&mut labels, 1, network, cfg, &mut best, &mut explored);
+    best.map(|(partition, score)| FormationResult {
+        partition,
+        score,
+        explored,
+    })
+}
+
+/// Recursively enumerates restricted growth strings over `labels`.
+fn enumerate_rgs(
+    labels: &mut Vec<u32>,
+    depth: usize,
+    network: &TrustNetwork,
+    cfg: FormationConfig,
+    best: &mut Option<(Partition, Unit)>,
+    explored: &mut usize,
+) {
+    let n = labels.len();
+    if depth == n {
+        *explored += 1;
+        let partition = partition_from_labels(network.len(), labels);
+        if cfg.require_stability && !is_stable(network, &partition, cfg.compose) {
+            return;
+        }
+        let score = partition.score(network, cfg.compose);
+        match best {
+            Some((_, best_score)) if *best_score >= score => {}
+            _ => *best = Some((partition, score)),
+        }
+        return;
+    }
+    let max_label = labels[..depth].iter().copied().max().unwrap_or(0);
+    let mut highest = max_label + 1;
+    if let Some(limit) = cfg.max_coalitions {
+        highest = highest.min(limit.saturating_sub(1) as u32);
+    }
+    for label in 0..=highest {
+        labels[depth] = label;
+        enumerate_rgs(labels, depth + 1, network, cfg, best, explored);
+    }
+    labels[depth] = 0;
+}
+
+fn partition_from_labels(n: u32, labels: &[u32]) -> Partition {
+    let groups = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut coalitions: Vec<Coalition> = vec![Coalition::new(); groups as usize];
+    for (agent, &label) in labels.iter().enumerate() {
+        coalitions[label as usize].insert(agent as AgentId);
+    }
+    coalitions.retain(|c| !c.is_empty());
+    Partition::new(n, coalitions).expect("labels induce a partition")
+}
+
+/// The *individually oriented* baseline: every agent clusters with the
+/// single agent it trusts most (ties to the lowest id); the coalitions
+/// are the connected components of that "best friend" graph.
+pub fn individually_oriented(
+    network: &TrustNetwork,
+    compose: TrustComposition,
+) -> FormationResult {
+    let n = network.len();
+    if n == 0 {
+        return FormationResult {
+            partition: Partition::new(0, vec![]).expect("empty partition"),
+            score: Unit::MAX,
+            explored: 0,
+        };
+    }
+    // Union-find over "agent — most trusted other".
+    let mut parent: Vec<u32> = (0..n).collect();
+    fn find(parent: &mut Vec<u32>, i: u32) -> u32 {
+        if parent[i as usize] != i {
+            let root = find(parent, parent[i as usize]);
+            parent[i as usize] = root;
+        }
+        parent[i as usize]
+    }
+    for i in 0..n {
+        let mut best: Option<(Unit, u32)> = None;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let t = network.get(i, j);
+            match best {
+                Some((bt, _)) if bt >= t => {}
+                _ => best = Some((t, j)),
+            }
+        }
+        if let Some((_, j)) = best {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri != rj {
+                parent[ri as usize] = rj;
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<u32, Coalition> = Default::default();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().insert(i);
+    }
+    let partition =
+        Partition::new(n, groups.into_values().collect()).expect("components partition");
+    let score = partition.score(network, compose);
+    FormationResult {
+        partition,
+        score,
+        explored: n as usize,
+    }
+}
+
+/// The *socially oriented* baseline: agents are placed in id order;
+/// each joins the existing coalition where its *summative* trust is
+/// highest, or opens a singleton when no coalition beats its
+/// self-trust.
+pub fn socially_oriented(network: &TrustNetwork, compose: TrustComposition) -> FormationResult {
+    let n = network.len();
+    let mut coalitions: Vec<Coalition> = Vec::new();
+    for i in 0..n {
+        let mut best: Option<(f64, usize)> = None;
+        for (idx, c) in coalitions.iter().enumerate() {
+            let sum: f64 = c.iter().map(|&j| network.get(i, j).get()).sum();
+            match best {
+                Some((bs, _)) if bs >= sum => {}
+                _ => best = Some((sum, idx)),
+            }
+        }
+        match best {
+            Some((sum, idx)) if sum > network.get(i, i).get() => {
+                coalitions[idx].insert(i);
+            }
+            _ => coalitions.push(Coalition::from([i])),
+        }
+    }
+    let partition = if n == 0 {
+        Partition::new(0, vec![]).expect("empty partition")
+    } else {
+        Partition::new(n, coalitions).expect("greedy placement partitions")
+    };
+    let score = partition.score(network, compose);
+    FormationResult {
+        partition,
+        score,
+        explored: n as usize,
+    }
+}
+
+/// Seeded hill-climbing on the fuzzy objective: random single-agent
+/// moves (to another coalition or to a fresh singleton), keeping
+/// strict improvements, starting from the socially-oriented greedy
+/// solution.
+pub fn local_search(
+    network: &TrustNetwork,
+    cfg: FormationConfig,
+    seed: u64,
+    max_moves: usize,
+) -> FormationResult {
+    let n = network.len();
+    let start = socially_oriented(network, cfg.compose);
+    if n < 2 {
+        return start;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current = match cfg.max_coalitions {
+        Some(limit) if limit > 0 && start.partition.len() > limit => {
+            // Round-robin the agents into `limit` coalitions.
+            let buckets = limit.min(n as usize);
+            let mut coalitions: Vec<Coalition> = vec![Coalition::new(); buckets];
+            for i in 0..n {
+                coalitions[(i as usize) % buckets].insert(i);
+            }
+            Partition::new(n, coalitions).expect("round-robin partitions")
+        }
+        _ => start.partition,
+    };
+    let mut score = current.score(network, cfg.compose);
+    let mut explored = 0usize;
+
+    for _ in 0..max_moves {
+        explored += 1;
+        let agent: AgentId = rng.random_range(0..n);
+        let from = current.coalition_of(agent).expect("agent placed");
+        // Candidate targets: every other coalition, or a new singleton.
+        let target = rng.random_range(0..=current.len());
+        if target == from {
+            continue;
+        }
+        let mut coalitions: Vec<Coalition> = current.coalitions().to_vec();
+        coalitions[from].remove(&agent);
+        if target == current.len() {
+            coalitions.push(Coalition::from([agent]));
+        } else {
+            coalitions[target].insert(agent);
+        }
+        coalitions.retain(|c| !c.is_empty());
+        let candidate = Partition::new(n, coalitions).expect("move preserves partition");
+        if cfg.max_coalitions.is_some_and(|limit| candidate.len() > limit) {
+            continue;
+        }
+        if cfg.require_stability && !is_stable(network, &candidate, cfg.compose) {
+            continue;
+        }
+        let candidate_score = candidate.score(network, cfg.compose);
+        if candidate_score > score {
+            current = candidate;
+            score = candidate_score;
+        }
+    }
+    FormationResult {
+        partition: current,
+        score,
+        explored,
+    }
+}
+
+/// Best-response stabilisation: repeatedly resolve the first blocking
+/// pair (Def. 4) by moving the defecting agent into the coalition it
+/// prefers, until stable or out of moves.
+///
+/// Returns the final partition and whether it is stable. Best-response
+/// dynamics may cycle, hence the bound.
+pub fn stabilize(
+    network: &TrustNetwork,
+    partition: Partition,
+    compose: TrustComposition,
+    max_moves: usize,
+) -> (Partition, bool) {
+    let n = network.len();
+    let mut current = partition;
+    for _ in 0..max_moves {
+        let Some(blocking) = find_blocking(network, &current, compose) else {
+            return (current, true);
+        };
+        let mut coalitions: Vec<Coalition> = current.coalitions().to_vec();
+        coalitions[blocking.source].remove(&blocking.agent);
+        coalitions[blocking.target].insert(blocking.agent);
+        coalitions.retain(|c| !c.is_empty());
+        current = Partition::new(n, coalitions).expect("defection preserves partition");
+    }
+    let stable = is_stable(network, &current, compose);
+    (current, stable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_clustered_network_recovers_clusters() {
+        let net = TrustNetwork::clustered(6, 2, 0.9, 0.1, 5);
+        let cfg = FormationConfig {
+            compose: TrustComposition::Min,
+            require_stability: false,
+            ..Default::default()
+        };
+        let best = exact_formation(&net, cfg).unwrap();
+        // Agents with the same parity belong together.
+        for c in best.partition.coalitions() {
+            let parities: std::collections::BTreeSet<u32> = c.iter().map(|a| a % 2).collect();
+            assert_eq!(parities.len(), 1, "mixed coalition {c:?}");
+        }
+        assert!(best.explored >= 203); // B(6) = 203 partitions
+    }
+
+    #[test]
+    fn exact_with_stability_resolves_fig10() {
+        let net = TrustNetwork::fig10();
+        let cfg = FormationConfig {
+            compose: TrustComposition::Average,
+            require_stability: true,
+            ..Default::default()
+        };
+        let best = exact_formation(&net, cfg).unwrap();
+        assert!(is_stable(&net, &best.partition, TrustComposition::Average));
+        // The Fig. 10 partition is blocked, so it cannot be chosen.
+        let fig10 = Partition::new(
+            7,
+            vec![
+                [0, 1, 2].into_iter().collect(),
+                [3, 4, 5, 6].into_iter().collect(),
+            ],
+        )
+        .unwrap();
+        assert_ne!(best.partition, fig10);
+    }
+
+    #[test]
+    fn singletons_are_an_exact_lower_bound() {
+        // The all-singleton partition scores MAX (full self-trust), so
+        // the unconstrained exact optimum is always MAX-scored.
+        let net = TrustNetwork::random(5, 11);
+        let cfg = FormationConfig {
+            compose: TrustComposition::Min,
+            require_stability: false,
+            ..Default::default()
+        };
+        let best = exact_formation(&net, cfg).unwrap();
+        assert_eq!(best.score, Unit::MAX);
+    }
+
+    #[test]
+    fn individually_oriented_pairs_mutual_friends() {
+        let u = |v: f64| Unit::clamped(v);
+        let mut net = TrustNetwork::new(4, u(0.1));
+        for i in 0..4 {
+            net.set(i, i, Unit::MAX);
+        }
+        // 0↔1 and 2↔3 are mutual best friends.
+        net.set(0, 1, u(0.9));
+        net.set(1, 0, u(0.9));
+        net.set(2, 3, u(0.9));
+        net.set(3, 2, u(0.9));
+        let result = individually_oriented(&net, TrustComposition::Min);
+        assert_eq!(result.partition.len(), 2);
+        assert_eq!(
+            result.partition.coalition_of(0),
+            result.partition.coalition_of(1)
+        );
+        assert_eq!(
+            result.partition.coalition_of(2),
+            result.partition.coalition_of(3)
+        );
+    }
+
+    #[test]
+    fn socially_oriented_prefers_summative_trust() {
+        let u = |v: f64| Unit::clamped(v);
+        let mut net = TrustNetwork::new(3, u(0.4));
+        net.set(0, 0, u(0.5));
+        net.set(1, 1, u(0.5));
+        net.set(2, 2, u(0.5));
+        // Agent 2 trusts both 0 and 1 at 0.4 each: summative 0.8 beats
+        // its self-trust 0.5 once 0 and 1 are together.
+        net.set(1, 0, u(0.6));
+        let result = socially_oriented(&net, TrustComposition::Average);
+        assert_eq!(result.partition.len(), 1);
+    }
+
+    #[test]
+    fn local_search_never_worse_than_greedy_start() {
+        for seed in 0..5 {
+            let net = TrustNetwork::random(8, seed);
+            let cfg = FormationConfig {
+                compose: TrustComposition::Average,
+                require_stability: false,
+            ..Default::default()
+            };
+            let greedy = socially_oriented(&net, cfg.compose);
+            let improved = local_search(&net, cfg, seed, 300);
+            assert!(improved.score >= greedy.score, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stabilize_fixes_fig10() {
+        let net = TrustNetwork::fig10();
+        let fig10 = Partition::new(
+            7,
+            vec![
+                [0, 1, 2].into_iter().collect(),
+                [3, 4, 5, 6].into_iter().collect(),
+            ],
+        )
+        .unwrap();
+        let (stable, ok) = stabilize(&net, fig10, TrustComposition::Average, 50);
+        assert!(ok);
+        // x4 defected into the first coalition.
+        let c = stable.coalition_of(3).unwrap();
+        assert!(stable.coalitions()[c].contains(&0));
+    }
+
+    #[test]
+    fn max_coalitions_bounds_the_partition() {
+        let net = TrustNetwork::clustered(6, 2, 0.9, 0.1, 5);
+        let cfg = FormationConfig {
+            compose: TrustComposition::Average,
+            require_stability: false,
+            max_coalitions: Some(2),
+        };
+        let best = exact_formation(&net, cfg).unwrap();
+        assert!(best.partition.len() <= 2);
+        // With the budget, the clustered structure is recovered (the
+        // two parity classes), instead of the all-singletons optimum.
+        for c in best.partition.coalitions() {
+            let parities: std::collections::BTreeSet<u32> = c.iter().map(|a| a % 2).collect();
+            assert_eq!(parities.len(), 1, "mixed coalition {c:?}");
+        }
+        let ls = local_search(&net, cfg, 1, 500);
+        assert!(ls.partition.len() <= 2);
+        assert!(ls.score <= best.score);
+    }
+
+    #[test]
+    fn exact_matches_brute_force_score_small() {
+        // Cross-check the RGS enumeration against scores of the two
+        // canonical partitions on a 3-agent network.
+        let net = TrustNetwork::random(3, 2);
+        let cfg = FormationConfig {
+            compose: TrustComposition::Average,
+            require_stability: false,
+            ..Default::default()
+        };
+        let best = exact_formation(&net, cfg).unwrap();
+        assert_eq!(best.explored, 5); // B(3) = 5
+        for p in [Partition::singletons(3), Partition::grand(3)] {
+            assert!(best.score >= p.score(&net, cfg.compose));
+        }
+    }
+}

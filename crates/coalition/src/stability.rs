@@ -1,0 +1,180 @@
+//! The stability condition of Def. 4: blocking coalitions.
+
+use crate::{attachment, coalition_trust, AgentId, Partition, TrustComposition, TrustNetwork};
+
+/// A witness that two coalitions block a partition (Fig. 10).
+///
+/// `agent` (the paper's `x_k ∈ C_v`) prefers the coalition at index
+/// `target` (the paper's `C_u`) to the rest of its own coalition at
+/// index `source`, and the target's trustworthiness grows by admitting
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockingPair {
+    /// Index of the agent's current coalition (`C_v`).
+    pub source: usize,
+    /// Index of the coalition the agent would rather join (`C_u`).
+    pub target: usize,
+    /// The defecting agent (`x_k`).
+    pub agent: AgentId,
+}
+
+/// Finds the first blocking pair of a partition, if any (Def. 4).
+///
+/// Coalitions `C_u` and `C_v` are *blocking* iff there is an
+/// `x_k ∈ C_v` with
+///
+/// - `◦_{x_i ∈ C_u} t(x_k, x_i)  >  ◦_{x_j ∈ C_v, j ≠ k} t(x_k, x_j)`
+///   (the agent trusts the other coalition more than its own), and
+/// - `T(C_u ∪ {x_k}) > T(C_u)` (the other coalition gains by
+///   admitting it).
+///
+/// Note that under [`TrustComposition::Min`] the second condition can
+/// never hold strictly (adding a member never raises a minimum), so
+/// every partition is trivially stable; the interesting instantiations
+/// for stability are `Average` and `Max`.
+///
+/// # Examples
+///
+/// The Fig. 10 situation: `x4` would defect from `{x4..x7}` to
+/// `{x1, x2, x3}`.
+///
+/// ```
+/// use softsoa_coalition::{find_blocking, Partition, TrustComposition, TrustNetwork};
+///
+/// let net = TrustNetwork::fig10();
+/// let p = Partition::new(7, vec![
+///     [0, 1, 2].into_iter().collect(),
+///     [3, 4, 5, 6].into_iter().collect(),
+/// ]).unwrap();
+/// let blocking = find_blocking(&net, &p, TrustComposition::Average).unwrap();
+/// assert_eq!(blocking.agent, 3); // x4 (0-indexed)
+/// assert_eq!(blocking.target, 0);
+/// ```
+pub fn find_blocking(
+    network: &TrustNetwork,
+    partition: &Partition,
+    compose: TrustComposition,
+) -> Option<BlockingPair> {
+    let coalitions = partition.coalitions();
+    for (v, cv) in coalitions.iter().enumerate() {
+        for &agent in cv {
+            let own_attachment = attachment(network, agent, cv, compose);
+            for (u, cu) in coalitions.iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                let other_attachment = attachment(network, agent, cu, compose);
+                if other_attachment <= own_attachment {
+                    continue;
+                }
+                let t_cu = coalition_trust(network, cu, compose);
+                let mut extended = cu.clone();
+                extended.insert(agent);
+                let t_extended = coalition_trust(network, &extended, compose);
+                if t_extended > t_cu {
+                    return Some(BlockingPair {
+                        source: v,
+                        target: u,
+                        agent,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether a partition is *stable*: no blocking coalitions exist
+/// ("a set of coalitions is stable, i.e. is a valid solution, if no
+/// blocking coalitions exist in the partitioning").
+pub fn is_stable(
+    network: &TrustNetwork,
+    partition: &Partition,
+    compose: TrustComposition,
+) -> bool {
+    find_blocking(network, partition, compose).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_semiring::Unit;
+
+    #[test]
+    fn fig10_partition_is_blocking() {
+        let net = TrustNetwork::fig10();
+        let p = Partition::new(
+            7,
+            vec![
+                [0, 1, 2].into_iter().collect(),
+                [3, 4, 5, 6].into_iter().collect(),
+            ],
+        )
+        .unwrap();
+        let blocking = find_blocking(&net, &p, TrustComposition::Average).unwrap();
+        assert_eq!(
+            blocking,
+            BlockingPair {
+                source: 1,
+                target: 0,
+                agent: 3,
+            }
+        );
+        assert!(!is_stable(&net, &p, TrustComposition::Average));
+        // Under Min, admission can never strictly improve a coalition's
+        // trustworthiness, so the same partition is trivially stable.
+        assert!(is_stable(&net, &p, TrustComposition::Min));
+    }
+
+    #[test]
+    fn moving_the_defector_stabilises_fig10() {
+        let net = TrustNetwork::fig10();
+        let p = Partition::new(
+            7,
+            vec![
+                [0, 1, 2, 3].into_iter().collect(),
+                [4, 5, 6].into_iter().collect(),
+            ],
+        )
+        .unwrap();
+        assert!(is_stable(&net, &p, TrustComposition::Average));
+    }
+
+    #[test]
+    fn grand_coalition_is_trivially_stable() {
+        // With a single coalition there is no C_u ≠ C_v.
+        let net = TrustNetwork::random(5, 1);
+        assert!(is_stable(&net, &Partition::grand(5), TrustComposition::Average));
+    }
+
+    #[test]
+    fn indifferent_agents_do_not_block() {
+        // Uniform trust: attachments are equal everywhere, so the
+        // strict preference of Def. 4 never holds.
+        let net = TrustNetwork::new(4, Unit::new(0.5).unwrap());
+        let p = Partition::new(
+            4,
+            vec![[0, 1].into_iter().collect(), [2, 3].into_iter().collect()],
+        )
+        .unwrap();
+        assert!(is_stable(&net, &p, TrustComposition::Average));
+    }
+
+    #[test]
+    fn admission_must_improve_target_trust() {
+        // Agent 0 prefers coalition {1, 2}, but admitting 0 would
+        // *lower* that coalition's trustworthiness → not blocking.
+        let u = |v: f64| Unit::clamped(v);
+        let mut net = TrustNetwork::new(3, u(0.9));
+        // 0 loves 1 and 2; they despise 0.
+        net.set(1, 0, u(0.1));
+        net.set(2, 0, u(0.1));
+        // 0 is alone; {1, 2} are together.
+        let p = Partition::new(
+            3,
+            vec![[0].into_iter().collect(), [1, 2].into_iter().collect()],
+        )
+        .unwrap();
+        assert!(is_stable(&net, &p, TrustComposition::Average));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the coalition-formation algorithms.
+
+use proptest::prelude::*;
+use softsoa_coalition::{
+    exact_formation, find_blocking, individually_oriented, is_stable, local_search, propagate,
+    socially_oriented, stabilize, FormationConfig, Partition, TrustComposition, TrustNetwork,
+};
+use softsoa_semiring::{Fuzzy, Probabilistic, Unit};
+
+fn network_strategy() -> impl Strategy<Value = TrustNetwork> {
+    (2u32..7, any::<u64>()).prop_map(|(n, seed)| TrustNetwork::random(n, seed))
+}
+
+fn compose_strategy() -> impl Strategy<Value = TrustComposition> {
+    prop_oneof![
+        Just(TrustComposition::Min),
+        Just(TrustComposition::Max),
+        Just(TrustComposition::Average),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every algorithm returns a valid partition of all agents.
+    #[test]
+    fn algorithms_return_valid_partitions(net in network_strategy(), compose in compose_strategy()) {
+        let n = net.len();
+        let cfg = FormationConfig { compose, require_stability: false, ..Default::default() };
+        let results = [
+            exact_formation(&net, cfg).unwrap().partition,
+            individually_oriented(&net, compose).partition,
+            socially_oriented(&net, compose).partition,
+            local_search(&net, cfg, 0, 200).partition,
+        ];
+        for p in results {
+            // Re-validating through the constructor checks coverage,
+            // disjointness and ranges.
+            let coalitions = p.coalitions().to_vec();
+            prop_assert!(Partition::new(n, coalitions).is_ok());
+        }
+    }
+
+    /// The exact optimum dominates every heuristic.
+    #[test]
+    fn exact_dominates_heuristics(net in network_strategy(), compose in compose_strategy()) {
+        let cfg = FormationConfig { compose, require_stability: false, ..Default::default() };
+        let exact = exact_formation(&net, cfg).unwrap();
+        prop_assert!(exact.score >= individually_oriented(&net, compose).score);
+        prop_assert!(exact.score >= socially_oriented(&net, compose).score);
+        prop_assert!(exact.score >= local_search(&net, cfg, 1, 200).score);
+    }
+
+    /// With a coalition budget the same dominance holds among
+    /// budget-respecting algorithms, and the budget is respected.
+    #[test]
+    fn budget_is_respected(net in network_strategy(), compose in compose_strategy(), k in 1usize..4) {
+        let cfg = FormationConfig { compose, require_stability: false, max_coalitions: Some(k) };
+        let exact = exact_formation(&net, cfg).unwrap();
+        prop_assert!(exact.partition.len() <= k);
+        let ls = local_search(&net, cfg, 2, 200);
+        prop_assert!(ls.partition.len() <= k);
+        prop_assert!(exact.score >= ls.score);
+    }
+
+    /// `stabilize` either reports stability truthfully or runs out of
+    /// moves; when it claims stability, no blocking pair exists.
+    #[test]
+    fn stabilize_is_truthful(net in network_strategy(), compose in compose_strategy()) {
+        let start = Partition::grand(net.len());
+        let (partition, claimed) = stabilize(&net, start, compose, 64);
+        prop_assert_eq!(claimed, find_blocking(&net, &partition, compose).is_none());
+        prop_assert_eq!(claimed, is_stable(&net, &partition, compose));
+    }
+
+    /// Under Min composition every partition is stable (adding a
+    /// member never raises a minimum), so stability never constrains
+    /// the optimum.
+    #[test]
+    fn min_composition_makes_everything_stable(net in network_strategy()) {
+        let with = exact_formation(&net, FormationConfig {
+            compose: TrustComposition::Min,
+            require_stability: true,
+            ..Default::default()
+        }).unwrap();
+        let without = exact_formation(&net, FormationConfig {
+            compose: TrustComposition::Min,
+            require_stability: false,
+            ..Default::default()
+        }).unwrap();
+        prop_assert_eq!(with.score, without.score);
+    }
+
+    /// Trust propagation dominates the input network pointwise and is
+    /// a fixpoint, for both paper-relevant semirings.
+    #[test]
+    fn propagation_properties(net in network_strategy()) {
+        let closed = propagate(&net, &Probabilistic);
+        let twice = propagate(&closed, &Probabilistic);
+        for i in net.agents() {
+            for j in net.agents() {
+                prop_assert!(closed.get(i, j) >= net.get(i, j));
+                prop_assert!((closed.get(i, j).get() - twice.get(i, j).get()).abs() < 1e-9);
+            }
+        }
+        // Fuzzy (widest-path) closure dominates probabilistic closure:
+        // min along a path is ≥ the product along it.
+        let fuzzy = propagate(&net, &Fuzzy);
+        for i in net.agents() {
+            for j in net.agents() {
+                if i != j {
+                    prop_assert!(fuzzy.get(i, j) >= closed.get(i, j));
+                }
+            }
+        }
+    }
+
+    /// Scores always lie in [0, 1] and singletons always score 1 when
+    /// self-trust is full.
+    #[test]
+    fn score_bounds(net in network_strategy(), compose in compose_strategy()) {
+        let p = Partition::singletons(net.len());
+        prop_assert_eq!(p.score(&net, compose), Unit::MAX);
+        let g = Partition::grand(net.len());
+        let s = g.score(&net, compose);
+        prop_assert!(s >= Unit::MIN && s <= Unit::MAX);
+    }
+}

@@ -1,0 +1,183 @@
+//! Variable assignments (the `η : V → D` of the paper).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Val, Var};
+
+/// A (partial) assignment of values to variables — the paper's `η`.
+///
+/// The paper treats `η` as a total function on `V`; since every
+/// constraint depends only on its finite *support*, a partial map
+/// binding at least the support is sufficient to evaluate it.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{Assignment, Val, Var};
+///
+/// let eta = Assignment::new()
+///     .bind(Var::new("x"), Val::sym("a"))
+///     .bind(Var::new("y"), Val::Int(3));
+/// assert_eq!(eta.get(&Var::new("y")), Some(&Val::Int(3)));
+/// assert_eq!(eta.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Assignment {
+    map: BTreeMap<Var, Val>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Builder-style binding: returns the assignment with `var := val`.
+    ///
+    /// This is the paper's `η[v := d]` update.
+    pub fn bind(mut self, var: impl Into<Var>, val: impl Into<Val>) -> Assignment {
+        self.map.insert(var.into(), val.into());
+        self
+    }
+
+    /// In-place binding of `var := val`, returning the previous value.
+    pub fn set(&mut self, var: impl Into<Var>, val: impl Into<Val>) -> Option<Val> {
+        self.map.insert(var.into(), val.into())
+    }
+
+    /// Looks up the value bound to `var`.
+    pub fn get(&self, var: &Var) -> Option<&Val> {
+        self.map.get(var)
+    }
+
+    /// Whether `var` is bound.
+    pub fn binds(&self, var: &Var) -> bool {
+        self.map.contains_key(var)
+    }
+
+    /// Removes the binding of `var`, returning it.
+    pub fn unbind(&mut self, var: &Var) -> Option<Val> {
+        self.map.remove(var)
+    }
+
+    /// The number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Val)> {
+        self.map.iter()
+    }
+
+    /// Builds an assignment by zipping variables with values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn from_tuple(vars: &[Var], vals: &[Val]) -> Assignment {
+        assert_eq!(
+            vars.len(),
+            vals.len(),
+            "assignment tuple arity mismatch: {} vars, {} vals",
+            vars.len(),
+            vals.len()
+        );
+        Assignment {
+            map: vars.iter().cloned().zip(vals.iter().cloned()).collect(),
+        }
+    }
+
+    /// Projects this assignment onto the given variables, in order.
+    ///
+    /// Returns `None` if any of the variables is unbound.
+    pub fn tuple(&self, vars: &[Var]) -> Option<Vec<Val>> {
+        vars.iter().map(|v| self.get(v).cloned()).collect()
+    }
+
+    /// Merges `other` into `self` (bindings in `other` win) and returns
+    /// the result.
+    pub fn merged(mut self, other: &Assignment) -> Assignment {
+        for (v, d) in other.iter() {
+            self.map.insert(v.clone(), d.clone());
+        }
+        self
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, (v, d)) in self.map.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}:={d}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl FromIterator<(Var, Val)> for Assignment {
+    fn from_iter<I: IntoIterator<Item = (Var, Val)>>(iter: I) -> Assignment {
+        Assignment {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_get() {
+        let eta = Assignment::new().bind("x", 1).bind("y", "a");
+        assert_eq!(eta.get(&Var::new("x")), Some(&Val::Int(1)));
+        assert_eq!(eta.get(&Var::new("y")), Some(&Val::sym("a")));
+        assert_eq!(eta.get(&Var::new("z")), None);
+    }
+
+    #[test]
+    fn rebinding_overwrites() {
+        let mut eta = Assignment::new().bind("x", 1);
+        assert_eq!(eta.set("x", 2), Some(Val::Int(1)));
+        assert_eq!(eta.get(&Var::new("x")), Some(&Val::Int(2)));
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let vars = crate::vars(["x", "y"]);
+        let vals = vec![Val::Int(1), Val::Int(2)];
+        let eta = Assignment::from_tuple(&vars, &vals);
+        assert_eq!(eta.tuple(&vars), Some(vals));
+        assert_eq!(eta.tuple(&crate::vars(["x", "z"])), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn from_tuple_arity_checked() {
+        let _ = Assignment::from_tuple(&crate::vars(["x"]), &[]);
+    }
+
+    #[test]
+    fn merged_prefers_other() {
+        let a = Assignment::new().bind("x", 1).bind("y", 2);
+        let b = Assignment::new().bind("y", 9);
+        let m = a.merged(&b);
+        assert_eq!(m.get(&Var::new("y")), Some(&Val::Int(9)));
+        assert_eq!(m.get(&Var::new("x")), Some(&Val::Int(1)));
+    }
+
+    #[test]
+    fn display() {
+        let eta = Assignment::new().bind("x", 1);
+        assert_eq!(eta.to_string(), "[x:=1]");
+    }
+}

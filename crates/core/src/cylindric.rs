@@ -1,0 +1,144 @@
+//! The cylindric constraint system `SC = ⟨C, ⊗, 0̄, 1̄, ∃x, d_xy⟩`.
+
+use softsoa_semiring::Semiring;
+
+use crate::{entails, Constraint, Domains, MissingDomainError, Var};
+
+/// The cylindric constraint system *à la Saraswat* of Sec. 2:
+/// `SC = ⟨C, ⊗, 0̄, 1̄, ∃x, d_xy⟩`.
+///
+/// A thin façade bundling a semiring with the domain map, exposing the
+/// constants, combination, hiding (the cylindrification operator) and
+/// diagonal constraints — exactly the signature the `nmsccp` language
+/// is defined over. The underlying operations are those of
+/// [`Constraint`]; this type just fixes their ambient structure once.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{CylindricSystem, Domain, Assignment};
+/// use softsoa_semiring::Boolean;
+///
+/// let sc = CylindricSystem::new(Boolean,
+///     softsoa_core::Domains::new().with("x", Domain::ints(0..=3)));
+/// let dxy = sc.diagonal("x", "y");
+/// assert!(sc.one().eval(&Assignment::new()));
+/// assert!(dxy.eval(&Assignment::new().bind("x", 1).bind("y", 1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CylindricSystem<S: Semiring> {
+    semiring: S,
+    domains: Domains,
+}
+
+impl<S: Semiring> CylindricSystem<S> {
+    /// Creates the system over a semiring and a domain map.
+    pub fn new(semiring: S, domains: Domains) -> CylindricSystem<S> {
+        CylindricSystem { semiring, domains }
+    }
+
+    /// The semiring of the system.
+    pub fn semiring(&self) -> &S {
+        &self.semiring
+    }
+
+    /// The domain map of the system.
+    pub fn domains(&self) -> &Domains {
+        &self.domains
+    }
+
+    /// The constant `1̄` (fully satisfied everywhere).
+    pub fn one(&self) -> Constraint<S> {
+        Constraint::always(self.semiring.clone())
+    }
+
+    /// The constant `0̄` (violated everywhere).
+    pub fn zero(&self) -> Constraint<S> {
+        Constraint::never(self.semiring.clone())
+    }
+
+    /// The combination `c1 ⊗ c2`.
+    pub fn combine(&self, c1: &Constraint<S>, c2: &Constraint<S>) -> Constraint<S> {
+        c1.combine(c2)
+    }
+
+    /// The cylindrification (hiding) `∃x c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingDomainError`] if `x` is in the support of `c`
+    /// but has no domain.
+    pub fn hide(&self, x: &Var, c: &Constraint<S>) -> Result<Constraint<S>, MissingDomainError> {
+        c.hide(x, &self.domains)
+    }
+
+    /// The diagonal constraint `d_xy`.
+    pub fn diagonal(&self, x: impl Into<Var>, y: impl Into<Var>) -> Constraint<S> {
+        Constraint::diagonal(self.semiring.clone(), x, y)
+    }
+
+    /// The entailment `C ⊢ c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingDomainError`] if a support variable has no
+    /// domain.
+    pub fn entails<'a, I>(&self, set: I, c: &Constraint<S>) -> Result<bool, MissingDomainError>
+    where
+        I: IntoIterator<Item = &'a Constraint<S>>,
+    {
+        entails(self.semiring.clone(), set, c, &self.domains)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, Domain};
+    use softsoa_semiring::Boolean;
+
+    fn sys() -> CylindricSystem<Boolean> {
+        CylindricSystem::new(
+            Boolean,
+            Domains::new()
+                .with("x", Domain::ints(0..=2))
+                .with("y", Domain::ints(0..=2)),
+        )
+    }
+
+    #[test]
+    fn constants() {
+        let sc = sys();
+        assert!(sc.one().eval(&Assignment::new()));
+        assert!(!sc.zero().eval(&Assignment::new()));
+    }
+
+    #[test]
+    fn cylindrification_makes_constraint_independent_of_x() {
+        let sc = sys();
+        let c = Constraint::crisp(Boolean, &crate::vars(["x", "y"]), |vals| {
+            vals[0].as_int().unwrap() == vals[1].as_int().unwrap()
+        });
+        let hidden = sc.hide(&Var::new("x"), &c).unwrap();
+        // ∃x (x = y) is true for every y.
+        for y in 0..=2 {
+            assert!(hidden.eval(&Assignment::new().bind("y", y)));
+        }
+        assert_eq!(hidden.scope(), &[Var::new("y")]);
+    }
+
+    #[test]
+    fn diagonal_models_parameter_passing() {
+        let sc = sys();
+        // Entailment: {x = 1 combined with d_xy} ⊢ (y = 1-ish check)
+        let x_is_1 = Constraint::crisp(Boolean, &crate::vars(["x"]), |vals| {
+            vals[0].as_int().unwrap() == 1
+        });
+        let d = sc.diagonal("x", "y");
+        let y_is_1 = Constraint::crisp(Boolean, &crate::vars(["y"]), |vals| {
+            vals[0].as_int().unwrap() == 1
+        });
+        assert!(sc.entails([&x_is_1, &d], &y_is_1).unwrap());
+        assert!(!sc.entails([&d], &y_is_1).unwrap());
+    }
+}

@@ -1,0 +1,183 @@
+//! Seeded generators of random and structured SCSPs.
+//!
+//! Used by the benchmark harness (experiment E9, `solver_comparison`)
+//! and by cross-solver property tests. All generators are deterministic
+//! given their seed.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use softsoa_semiring::{Fuzzy, Semiring, Unit, WeightedInt};
+
+use crate::{Constraint, Domain, Scsp, Var};
+
+/// Parameters of a random SCSP.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::generate::{RandomScsp, random_weighted};
+///
+/// let cfg = RandomScsp { vars: 6, domain_size: 3, constraints: 8, arity: 2, seed: 42 };
+/// let p = random_weighted(&cfg);
+/// assert_eq!(p.constraints().len(), 8);
+/// assert!(p.blevel().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomScsp {
+    /// Number of variables `x0 .. x(vars-1)`.
+    pub vars: usize,
+    /// Size of every integer domain `{0 .. domain_size-1}`.
+    pub domain_size: usize,
+    /// Number of constraints.
+    pub constraints: usize,
+    /// Arity of each constraint (clamped to `vars`).
+    pub arity: usize,
+    /// RNG seed; equal seeds give equal problems.
+    pub seed: u64,
+}
+
+fn var(i: usize) -> Var {
+    Var::new(format!("x{i}"))
+}
+
+/// Generates a random SCSP over an arbitrary semiring, drawing each
+/// table entry's level from `level`.
+///
+/// The first variable is the variable of interest.
+pub fn random_scsp<S, F>(semiring: S, cfg: &RandomScsp, mut level: F) -> Scsp<S>
+where
+    S: Semiring,
+    F: FnMut(&mut StdRng) -> S::Value,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let arity = cfg.arity.clamp(1, cfg.vars.max(1));
+    let mut p = Scsp::new(semiring.clone());
+    for i in 0..cfg.vars {
+        p.add_domain(var(i), Domain::ints(0..cfg.domain_size as i64));
+    }
+    let indices: Vec<usize> = (0..cfg.vars).collect();
+    for _ in 0..cfg.constraints {
+        let mut chosen: Vec<usize> = indices
+            .choose_multiple(&mut rng, arity)
+            .copied()
+            .collect();
+        chosen.sort();
+        let scope: Vec<Var> = chosen.iter().map(|&i| var(i)).collect();
+        let doms = p.domains().clone();
+        let mut entries = Vec::new();
+        for tuple in doms.tuples(&scope).expect("domains declared") {
+            entries.push((tuple, level(&mut rng)));
+        }
+        let zero = semiring.zero();
+        p.add_constraint(Constraint::table(semiring.clone(), &scope, entries, zero));
+    }
+    p.of_interest([var(0)])
+}
+
+/// A random weighted SCSP with integer costs in `0..=9` (and an
+/// occasional `∞` forbidding the tuple).
+pub fn random_weighted(cfg: &RandomScsp) -> Scsp<WeightedInt> {
+    random_scsp(WeightedInt, cfg, |rng| {
+        if rng.random_ratio(1, 10) {
+            u64::MAX
+        } else {
+            rng.random_range(0..10)
+        }
+    })
+}
+
+/// A random fuzzy SCSP with preference levels drawn uniformly from
+/// `{0.0, 0.1, .., 1.0}`.
+pub fn random_fuzzy(cfg: &RandomScsp) -> Scsp<Fuzzy> {
+    random_scsp(Fuzzy, cfg, |rng| {
+        Unit::clamped(rng.random_range(0..=10) as f64 / 10.0)
+    })
+}
+
+/// A weighted *chain* `x0 — x1 — ... — x(n-1)` of binary distance
+/// constraints: induced width 1, the best case for bucket elimination.
+pub fn chain_weighted(n: usize, domain_size: usize, seed: u64) -> Scsp<WeightedInt> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Scsp::new(WeightedInt);
+    for i in 0..n {
+        p.add_domain(var(i), Domain::ints(0..domain_size as i64));
+    }
+    for i in 0..n.saturating_sub(1) {
+        let offset = rng.random_range(0..domain_size as i64);
+        p.add_constraint(Constraint::binary(
+            WeightedInt,
+            var(i),
+            var(i + 1),
+            move |a, b| {
+                (a.as_int().unwrap() + offset - b.as_int().unwrap()).unsigned_abs()
+            },
+        ));
+    }
+    p.of_interest([var(0)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{BranchAndBound, BucketElimination, EnumerationSolver, Solver};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomScsp {
+            vars: 5,
+            domain_size: 3,
+            constraints: 6,
+            arity: 2,
+            seed: 7,
+        };
+        let a = random_weighted(&cfg).blevel().unwrap();
+        let b = random_weighted(&cfg).blevel().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn solvers_agree_on_random_weighted_problems() {
+        for seed in 0..10 {
+            let cfg = RandomScsp {
+                vars: 5,
+                domain_size: 3,
+                constraints: 7,
+                arity: 2,
+                seed,
+            };
+            let p = random_weighted(&cfg);
+            let reference = EnumerationSolver::new().solve(&p).unwrap();
+            let bnb = BranchAndBound::default().solve(&p).unwrap();
+            let be = BucketElimination::default().solve(&p).unwrap();
+            assert_eq!(reference.blevel(), bnb.blevel(), "seed {seed}");
+            assert_eq!(reference.blevel(), be.blevel(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solvers_agree_on_random_fuzzy_problems() {
+        for seed in 0..10 {
+            let cfg = RandomScsp {
+                vars: 4,
+                domain_size: 4,
+                constraints: 5,
+                arity: 2,
+                seed,
+            };
+            let p = random_fuzzy(&cfg);
+            let reference = EnumerationSolver::new().solve(&p).unwrap();
+            let bnb = BranchAndBound::default().solve(&p).unwrap();
+            let be = BucketElimination::default().solve(&p).unwrap();
+            assert_eq!(reference.blevel(), bnb.blevel(), "seed {seed}");
+            assert_eq!(reference.blevel(), be.blevel(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chain_has_binary_constraints_only() {
+        let p = chain_weighted(6, 3, 1);
+        assert_eq!(p.constraints().len(), 5);
+        assert!(p.constraints().iter().all(|c| c.scope().len() == 2));
+    }
+}

@@ -1,0 +1,74 @@
+//! Soft constraint systems, SCSPs and solvers over c-semirings.
+//!
+//! This crate is the core of the `softsoa` workspace — a Rust
+//! implementation of *Bistarelli & Santini, "Soft Constraints for
+//! Dependable Service Oriented Architectures"* (DSN 2008). It provides
+//! the soft constraint system of Sec. 2 of the paper:
+//!
+//! - [`Constraint`] — functions `η → A` with finite support, over any
+//!   [`Semiring`](softsoa_semiring::Semiring);
+//! - the operators `⊗` ([`Constraint::combine`]), `÷`
+//!   ([`Constraint::divide`]), `⇓` ([`Constraint::project`]), `∃x`
+//!   ([`Constraint::hide`]), the order `⊑` ([`Constraint::leq`]) and
+//!   entailment ([`entails`]);
+//! - diagonal constraints and the cylindric system
+//!   ([`CylindricSystem`]) used to define the `nmsccp` language;
+//! - [`Scsp`] problems `⟨C, con⟩` with `blevel` / α-consistency, and
+//!   three interchangeable solvers in [`solve`].
+//!
+//! # Quick start
+//!
+//! The weighted problem of Fig. 1 of the paper:
+//!
+//! ```
+//! use softsoa_core::{Scsp, Constraint, Domain, Val, Var};
+//! use softsoa_semiring::WeightedInt;
+//!
+//! let p = Scsp::new(WeightedInt)
+//!     .with_domain("x", Domain::syms(["a", "b"]))
+//!     .with_domain("y", Domain::syms(["a", "b"]))
+//!     .with_constraint(Constraint::table(
+//!         WeightedInt, &[Var::new("x")],
+//!         [(vec![Val::sym("a")], 1), (vec![Val::sym("b")], 9)], u64::MAX))
+//!     .with_constraint(Constraint::table(
+//!         WeightedInt, &[Var::new("x"), Var::new("y")],
+//!         [
+//!             (vec![Val::sym("a"), Val::sym("a")], 5),
+//!             (vec![Val::sym("a"), Val::sym("b")], 1),
+//!             (vec![Val::sym("b"), Val::sym("a")], 2),
+//!             (vec![Val::sym("b"), Val::sym("b")], 2),
+//!         ], u64::MAX))
+//!     .with_constraint(Constraint::table(
+//!         WeightedInt, &[Var::new("y")],
+//!         [(vec![Val::sym("a")], 5), (vec![Val::sym("b")], 5)], u64::MAX))
+//!     .of_interest(["x"]);
+//!
+//! assert_eq!(p.blevel()?, 7); // the paper's best level of consistency
+//! # Ok::<(), softsoa_core::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod constraint;
+mod cylindric;
+mod domain;
+pub mod generate;
+mod ops;
+mod problem;
+pub mod solve;
+#[cfg(test)]
+mod testutil;
+mod value;
+mod var;
+
+pub use assignment::Assignment;
+pub use constraint::{Constraint, UnboundVarError};
+pub use cylindric::CylindricSystem;
+pub use domain::{Domain, Domains, MissingDomainError, TupleIter};
+pub use ops::{combine_all, entails};
+pub use problem::Scsp;
+pub use solve::{Solution, SolveError};
+pub use value::Val;
+pub use var::{vars, Var};

@@ -1,0 +1,449 @@
+//! The algebraic operators of the soft constraint system.
+//!
+//! This module implements, exactly as defined in Sec. 2 of the paper:
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | combination `c1 ⊗ c2` | [`Constraint::combine`] |
+//! | division `c1 ÷ c2` | [`Constraint::divide`] |
+//! | projection `c ⇓ V` | [`Constraint::project`] |
+//! | hiding `∃x c` | [`Constraint::hide`] |
+//! | order `c1 ⊑ c2` | [`Constraint::leq`] |
+//! | entailment `C ⊢ c` | [`entails`] |
+//! | `c ⇓ ∅` (consistency level) | [`Constraint::consistency`] |
+//!
+//! Combination and division are *lazy*: they return an intensional
+//! constraint over the union scope that evaluates both operands on
+//! demand (call [`Constraint::materialize`] to pay the enumeration cost
+//! once). Projection is necessarily *eager* — it sums over the
+//! eliminated variables' domains — and therefore needs a [`Domains`]
+//! map and can fail with [`MissingDomainError`].
+
+use softsoa_semiring::{Residuated, Semiring};
+
+use crate::{Constraint, Domains, MissingDomainError, Val, Var};
+
+/// Positions of each `sub` variable inside `sup` (both sorted).
+///
+/// # Panics
+///
+/// Panics if `sub` is not a subset of `sup`.
+fn embedding(sub: &[Var], sup: &[Var]) -> Vec<usize> {
+    sub.iter()
+        .map(|v| {
+            sup.binary_search(v)
+                .expect("operand scope must embed in the union scope")
+        })
+        .collect()
+}
+
+fn union_scope(a: &[Var], b: &[Var]) -> Vec<Var> {
+    let mut scope: Vec<Var> = a.iter().chain(b.iter()).cloned().collect();
+    scope.sort();
+    scope.dedup();
+    scope
+}
+
+impl<S: Semiring> Constraint<S> {
+    /// The combination `self ⊗ other`: `(c1 ⊗ c2)η = c1η × c2η`.
+    ///
+    /// The support of the result is the union of the supports. The
+    /// result is lazy; each evaluation evaluates both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two constraints are valued in different semirings
+    /// (e.g. set-based semirings with different universes).
+    pub fn combine(&self, other: &Constraint<S>) -> Constraint<S> {
+        assert!(
+            self.semiring() == other.semiring(),
+            "cannot combine constraints over different semirings"
+        );
+        let semiring = self.semiring().clone();
+        let scope = union_scope(self.scope(), other.scope());
+        let left = self.clone();
+        let right = other.clone();
+        let left_idx = embedding(self.scope(), &scope);
+        let right_idx = embedding(other.scope(), &scope);
+        Constraint::from_fn(semiring.clone(), &scope, move |vals| {
+            let lt: Vec<Val> = left_idx.iter().map(|&i| vals[i].clone()).collect();
+            let rt: Vec<Val> = right_idx.iter().map(|&i| vals[i].clone()).collect();
+            semiring.times(&left.eval_tuple(&lt), &right.eval_tuple(&rt))
+        })
+    }
+
+    /// The division `self ÷ other`: `(c1 ÷ c2)η = c1η ÷ c2η`.
+    ///
+    /// This is the constraint-level residuation used by the `retract`
+    /// action of the `nmsccp` language to remove `other`'s contribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two constraints are valued in different semirings.
+    pub fn divide(&self, other: &Constraint<S>) -> Constraint<S>
+    where
+        S: Residuated,
+    {
+        assert!(
+            self.semiring() == other.semiring(),
+            "cannot divide constraints over different semirings"
+        );
+        let semiring = self.semiring().clone();
+        let scope = union_scope(self.scope(), other.scope());
+        let left = self.clone();
+        let right = other.clone();
+        let left_idx = embedding(self.scope(), &scope);
+        let right_idx = embedding(other.scope(), &scope);
+        Constraint::from_fn(semiring.clone(), &scope, move |vals| {
+            let lt: Vec<Val> = left_idx.iter().map(|&i| vals[i].clone()).collect();
+            let rt: Vec<Val> = right_idx.iter().map(|&i| vals[i].clone()).collect();
+            semiring.div(&left.eval_tuple(&lt), &right.eval_tuple(&rt))
+        })
+    }
+
+    /// The projection `self ⇓ keep`, eliminating every support variable
+    /// not in `keep` by summing over its domain.
+    ///
+    /// The result is an extensional constraint over `scope ∩ keep`.
+    /// Projection is how the paper extracts the *interface* of a
+    /// service from its implementation (Sec. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingDomainError`] if an eliminated variable has no
+    /// domain.
+    pub fn project(
+        &self,
+        keep: &[Var],
+        domains: &Domains,
+    ) -> Result<Constraint<S>, MissingDomainError> {
+        let kept: Vec<Var> = self
+            .scope()
+            .iter()
+            .filter(|v| keep.contains(v))
+            .cloned()
+            .collect();
+        let eliminated: Vec<Var> = self
+            .scope()
+            .iter()
+            .filter(|v| !keep.contains(v))
+            .cloned()
+            .collect();
+        if eliminated.is_empty() {
+            // Nothing to eliminate; materialise for a stable result shape.
+            return self.materialize(domains);
+        }
+        let semiring = self.semiring().clone();
+        // Where each kept/eliminated variable sits in the sorted scope.
+        let kept_idx = embedding(&kept, self.scope());
+        let elim_idx = embedding(&eliminated, self.scope());
+        let elim_tuples: Vec<Vec<Val>> = domains.tuples(&eliminated)?.collect();
+
+        let mut entries = Vec::new();
+        for kept_tuple in domains.tuples(&kept)? {
+            let mut acc = semiring.zero();
+            let mut full = vec![Val::Bool(false); self.scope().len()];
+            for (slot, v) in kept_idx.iter().zip(&kept_tuple) {
+                full[*slot] = v.clone();
+            }
+            for elim_tuple in &elim_tuples {
+                for (slot, v) in elim_idx.iter().zip(elim_tuple) {
+                    full[*slot] = v.clone();
+                }
+                acc = semiring.plus(&acc, &self.eval_tuple(&full));
+            }
+            entries.push((kept_tuple, acc));
+        }
+        let zero = semiring.zero();
+        let mut projected = Constraint::table(semiring, &kept, entries, zero);
+        if let Some(label) = self.label() {
+            projected = projected.with_label(format!("{label}⇓"));
+        }
+        Ok(projected)
+    }
+
+    /// The hiding operator `∃x self`: `(∃x c)η = Σ_{d ∈ D} cη[x := d]`.
+    ///
+    /// Equivalent to projecting the support onto `scope \ {x}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingDomainError`] if `x` is in the support but has
+    /// no domain.
+    pub fn hide(&self, x: &Var, domains: &Domains) -> Result<Constraint<S>, MissingDomainError> {
+        let keep: Vec<Var> = self
+            .scope()
+            .iter()
+            .filter(|v| *v != x)
+            .cloned()
+            .collect();
+        self.project(&keep, domains)
+    }
+
+    /// The consistency level `self ⇓ ∅`: the `+`-sum of the constraint
+    /// over every assignment of its support.
+    ///
+    /// Applied to a problem's solution this is the paper's *best level
+    /// of consistency* `blevel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingDomainError`] if a support variable has no
+    /// domain.
+    pub fn consistency(&self, domains: &Domains) -> Result<S::Value, MissingDomainError> {
+        let semiring = self.semiring().clone();
+        let mut acc = semiring.zero();
+        for tuple in domains.tuples(self.scope())? {
+            acc = semiring.plus(&acc, &self.eval_tuple(&tuple));
+        }
+        Ok(acc)
+    }
+
+    /// The constraint order `self ⊑ other`: `∀η. self η ≤S other η`.
+    ///
+    /// Quantifies over all assignments of the union scope drawn from
+    /// `domains`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingDomainError`] if a support variable has no
+    /// domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two constraints are valued in different semirings.
+    pub fn leq(
+        &self,
+        other: &Constraint<S>,
+        domains: &Domains,
+    ) -> Result<bool, MissingDomainError> {
+        assert!(
+            self.semiring() == other.semiring(),
+            "cannot compare constraints over different semirings"
+        );
+        let semiring = self.semiring().clone();
+        let scope = union_scope(self.scope(), other.scope());
+        let self_idx = embedding(self.scope(), &scope);
+        let other_idx = embedding(other.scope(), &scope);
+        for tuple in domains.tuples(&scope)? {
+            let st: Vec<Val> = self_idx.iter().map(|&i| tuple[i].clone()).collect();
+            let ot: Vec<Val> = other_idx.iter().map(|&i| tuple[i].clone()).collect();
+            if !semiring.leq(&self.eval_tuple(&st), &other.eval_tuple(&ot)) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Extensional equality: `self ⊑ other ∧ other ⊑ self` over
+    /// `domains`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingDomainError`] if a support variable has no
+    /// domain.
+    pub fn equivalent(
+        &self,
+        other: &Constraint<S>,
+        domains: &Domains,
+    ) -> Result<bool, MissingDomainError> {
+        Ok(self.leq(other, domains)? && other.leq(self, domains)?)
+    }
+}
+
+/// Combines all constraints with `⊗`; the empty combination is `1̄`.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{combine_all, Constraint, Assignment};
+/// use softsoa_semiring::WeightedInt;
+///
+/// let c1 = Constraint::unary(WeightedInt, "x", |v| v.as_int().unwrap() as u64 + 3);
+/// let c3 = Constraint::unary(WeightedInt, "x", |v| 2 * v.as_int().unwrap() as u64);
+/// let combined = combine_all(WeightedInt, [&c1, &c3]);
+/// let eta = Assignment::new().bind("x", 2);
+/// assert_eq!(combined.eval(&eta), 9); // (2+3) + (2*2)
+/// ```
+pub fn combine_all<'a, S, I>(semiring: S, constraints: I) -> Constraint<S>
+where
+    S: Semiring,
+    I: IntoIterator<Item = &'a Constraint<S>>,
+{
+    constraints
+        .into_iter()
+        .fold(Constraint::always(semiring), |acc, c| acc.combine(c))
+}
+
+/// The entailment relation `C ⊢ c ⇔ ⊗C ⊑ c` (Sec. 2).
+///
+/// # Errors
+///
+/// Returns [`MissingDomainError`] if a support variable has no domain.
+pub fn entails<'a, S, I>(
+    semiring: S,
+    constraints: I,
+    c: &Constraint<S>,
+    domains: &Domains,
+) -> Result<bool, MissingDomainError>
+where
+    S: Semiring,
+    I: IntoIterator<Item = &'a Constraint<S>>,
+{
+    combine_all(semiring, constraints).leq(c, domains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, Domain};
+    use softsoa_semiring::{Fuzzy, Unit, WeightedInt};
+
+    fn doms_xy() -> Domains {
+        Domains::new()
+            .with("x", Domain::syms(["a", "b"]))
+            .with("y", Domain::syms(["a", "b"]))
+    }
+
+    /// The three constraints of Fig. 1 (weighted semiring).
+    fn fig1() -> (Constraint<WeightedInt>, Constraint<WeightedInt>, Constraint<WeightedInt>) {
+        let c1 = Constraint::table(
+            WeightedInt,
+            &[Var::new("x")],
+            vec![
+                (vec![Val::sym("a")], 1u64),
+                (vec![Val::sym("b")], 9),
+            ],
+            u64::MAX,
+        );
+        let c2 = Constraint::table(
+            WeightedInt,
+            &[Var::new("x"), Var::new("y")],
+            vec![
+                (vec![Val::sym("a"), Val::sym("a")], 5u64),
+                (vec![Val::sym("a"), Val::sym("b")], 1),
+                (vec![Val::sym("b"), Val::sym("a")], 2),
+                (vec![Val::sym("b"), Val::sym("b")], 2),
+            ],
+            u64::MAX,
+        );
+        let c3 = Constraint::table(
+            WeightedInt,
+            &[Var::new("y")],
+            vec![
+                (vec![Val::sym("a")], 5u64),
+                (vec![Val::sym("b")], 5),
+            ],
+            u64::MAX,
+        );
+        (c1, c2, c3)
+    }
+
+    #[test]
+    fn fig1_combination_values() {
+        let (c1, c2, c3) = fig1();
+        let all = c1.combine(&c2).combine(&c3);
+        let eta = |x: &str, y: &str| Assignment::new().bind("x", x).bind("y", y);
+        assert_eq!(all.eval(&eta("a", "a")), 11);
+        assert_eq!(all.eval(&eta("a", "b")), 7);
+        assert_eq!(all.eval(&eta("b", "a")), 16);
+        assert_eq!(all.eval(&eta("b", "b")), 16);
+    }
+
+    #[test]
+    fn fig1_projection_and_blevel() {
+        let (c1, c2, c3) = fig1();
+        let all = c1.combine(&c2).combine(&c3);
+        let sol = all.project(&[Var::new("x")], &doms_xy()).unwrap();
+        let eta = |x: &str| Assignment::new().bind("x", x);
+        assert_eq!(sol.eval(&eta("a")), 7);
+        assert_eq!(sol.eval(&eta("b")), 16);
+        assert_eq!(all.consistency(&doms_xy()).unwrap(), 7);
+    }
+
+    #[test]
+    fn combine_is_commutative_and_has_unit() {
+        let (c1, _, c3) = fig1();
+        let doms = doms_xy();
+        let ab = c1.combine(&c3);
+        let ba = c3.combine(&c1);
+        assert!(ab.equivalent(&ba, &doms).unwrap());
+        let with_one = c1.combine(&Constraint::always(WeightedInt));
+        assert!(with_one.equivalent(&c1, &doms).unwrap());
+    }
+
+    #[test]
+    fn divide_undoes_combine_pointwise() {
+        let (c1, c2, _) = fig1();
+        let doms = doms_xy();
+        let combined = c1.combine(&c2);
+        let back = combined.divide(&c1);
+        assert!(back.equivalent(&c2, &doms).unwrap());
+    }
+
+    #[test]
+    fn projection_of_projection_composes() {
+        let (c1, c2, c3) = fig1();
+        let doms = doms_xy();
+        let all = c1.combine(&c2).combine(&c3);
+        let direct = all.project(&[], &doms).unwrap();
+        let via_x = all
+            .project(&[Var::new("x")], &doms)
+            .unwrap()
+            .project(&[], &doms)
+            .unwrap();
+        assert!(direct.equivalent(&via_x, &doms).unwrap());
+    }
+
+    #[test]
+    fn hide_removes_variable_from_support() {
+        let (_, c2, _) = fig1();
+        let doms = doms_xy();
+        let hidden = c2.hide(&Var::new("y"), &doms).unwrap();
+        assert_eq!(hidden.scope(), &[Var::new("x")]);
+        // For x=a the best extension is y=b with level 1.
+        assert_eq!(hidden.eval(&Assignment::new().bind("x", "a")), 1);
+        // Hiding a variable not in the support is the identity.
+        let same = c2.hide(&Var::new("z"), &doms).unwrap();
+        assert!(same.equivalent(&c2, &doms).unwrap());
+    }
+
+    #[test]
+    fn leq_and_entailment() {
+        let (c1, c2, c3) = fig1();
+        let doms = doms_xy();
+        // ⊗C ⊑ each member (combination only worsens levels).
+        let all = combine_all(WeightedInt, [&c1, &c2, &c3]);
+        assert!(all.leq(&c1, &doms).unwrap());
+        assert!(all.leq(&c2, &doms).unwrap());
+        assert!(entails(WeightedInt, [&c1, &c2, &c3], &c3, &doms).unwrap());
+        // c1 alone does not entail c2.
+        assert!(!entails(WeightedInt, [&c1], &c2, &doms).unwrap());
+    }
+
+    #[test]
+    fn fuzzy_combination_flattens_to_min() {
+        let u = |v: f64| Unit::new(v).unwrap();
+        let cp = Constraint::unary(Fuzzy, "x", move |v| {
+            u(1.0 / (v.as_int().unwrap() as f64))
+        });
+        let cc = Constraint::unary(Fuzzy, "x", move |v| {
+            u((v.as_int().unwrap() as f64 - 1.0) / 9.0)
+        });
+        let both = cp.combine(&cc);
+        let eta = Assignment::new().bind("x", 2);
+        let expected = (1.0f64 / 2.0).min((2.0 - 1.0) / 9.0);
+        assert!((both.eval(&eta).get() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different semirings")]
+    fn combine_rejects_mismatched_semirings() {
+        use softsoa_semiring::SetSemiring;
+        let s1 = SetSemiring::from_iter(0u8..2);
+        let s2 = SetSemiring::from_iter(0u8..3);
+        let a = Constraint::always(s1);
+        let b = Constraint::always(s2);
+        let _ = a.combine(&b);
+    }
+}

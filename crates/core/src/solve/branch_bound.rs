@@ -1,0 +1,251 @@
+//! Depth-first branch-and-bound search.
+
+use softsoa_semiring::Semiring;
+
+use crate::solve::{Solution, SolveError, Solver};
+use crate::{Assignment, Scsp, Val, Var};
+
+/// Variable-ordering heuristics for [`BranchAndBound`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VarOrder {
+    /// The problem's natural (sorted) variable order.
+    #[default]
+    Input,
+    /// Smallest domain first (fail-first).
+    SmallestDomain,
+    /// Variable appearing in the most constraints first.
+    MostConstrained,
+}
+
+/// A depth-first branch-and-bound solver for totally ordered semirings.
+///
+/// Exploits `×`-monotonicity — combining can only *worsen* a level
+/// (`a × b ≤ a` in every c-semiring) — to prune any branch whose
+/// partial combination already fails to beat the incumbent. Returns the
+/// `blevel` and one witness assignment; it does **not** build the
+/// solution table (see
+/// [`Solution::solution_constraint`](crate::solve::Solution::solution_constraint)).
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{Scsp, Constraint, Domain};
+/// use softsoa_core::solve::{BranchAndBound, VarOrder, Solver};
+/// use softsoa_semiring::WeightedInt;
+///
+/// let p = Scsp::new(WeightedInt)
+///     .with_domain("x", Domain::ints(0..=99))
+///     .with_constraint(Constraint::unary(WeightedInt, "x", |v| {
+///         (v.as_int().unwrap() as u64).pow(2)
+///     }))
+///     .of_interest(["x"]);
+/// let solution = BranchAndBound::new(VarOrder::SmallestDomain).solve(&p)?;
+/// assert_eq!(*solution.blevel(), 0);
+/// # Ok::<(), softsoa_core::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchAndBound {
+    order: VarOrder,
+}
+
+impl BranchAndBound {
+    /// Creates the solver with the given variable ordering.
+    pub fn new(order: VarOrder) -> BranchAndBound {
+        BranchAndBound { order }
+    }
+
+    fn order_vars<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Vec<Var>, SolveError> {
+        let mut vars = problem.problem_vars();
+        match self.order {
+            VarOrder::Input => {}
+            VarOrder::SmallestDomain => {
+                let mut keyed: Vec<(usize, Var)> = vars
+                    .into_iter()
+                    .map(|v| Ok((problem.domains().get(&v)?.len(), v)))
+                    .collect::<Result<_, SolveError>>()?;
+                keyed.sort();
+                vars = keyed.into_iter().map(|(_, v)| v).collect();
+            }
+            VarOrder::MostConstrained => {
+                let mut keyed: Vec<(usize, Var)> = vars
+                    .into_iter()
+                    .map(|v| {
+                        let degree = problem
+                            .constraints()
+                            .iter()
+                            .filter(|c| c.scope().contains(&v))
+                            .count();
+                        (usize::MAX - degree, v)
+                    })
+                    .collect();
+                keyed.sort();
+                vars = keyed.into_iter().map(|(_, v)| v).collect();
+            }
+        }
+        Ok(vars)
+    }
+}
+
+impl<S: Semiring> Solver<S> for BranchAndBound {
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let semiring = problem.semiring().clone();
+        if !semiring.is_total() {
+            return Err(SolveError::RequiresTotalOrder);
+        }
+        let vars = self.order_vars(problem)?;
+        // Validate domains up front so the search cannot fail mid-way.
+        let domains: Vec<&crate::Domain> = vars
+            .iter()
+            .map(|v| problem.domains().get(v).map_err(SolveError::from))
+            .collect::<Result<_, _>>()?;
+
+        // For each constraint: the depth at which its scope is fully
+        // assigned, and the positions of its scope vars in `vars`.
+        let mut completing: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); vars.len() + 1];
+        for (ci, c) in problem.constraints().iter().enumerate() {
+            let positions: Vec<usize> = c
+                .scope()
+                .iter()
+                .map(|v| vars.iter().position(|u| u == v).expect("scope var ordered"))
+                .collect();
+            let depth = positions.iter().copied().max().map_or(0, |d| d + 1);
+            completing[depth].push((ci, positions));
+        }
+
+        let mut search = Search {
+            semiring: semiring.clone(),
+            problem,
+            vars: &vars,
+            domains: &domains,
+            completing: &completing,
+            slots: vec![None; vars.len()],
+            best_value: semiring.zero(),
+            best_assignment: None,
+        };
+
+        // Constraints with empty scope complete at depth 0.
+        let root = search.apply_completed(0, semiring.one());
+        search.dfs(0, root);
+
+        let best_value = search.best_value;
+        let best = match search.best_assignment {
+            Some(full) if !semiring.is_zero(&best_value) => {
+                let con_eta: Assignment = problem
+                    .con()
+                    .iter()
+                    .map(|v| (v.clone(), full.get(v).expect("assigned").clone()))
+                    .collect();
+                vec![(con_eta, best_value.clone())]
+            }
+            _ => Vec::new(),
+        };
+        Ok(Solution::new(best_value, best, None))
+    }
+}
+
+struct Search<'a, S: Semiring> {
+    semiring: S,
+    problem: &'a Scsp<S>,
+    vars: &'a [Var],
+    domains: &'a [&'a crate::Domain],
+    completing: &'a [Vec<(usize, Vec<usize>)>],
+    slots: Vec<Option<Val>>,
+    best_value: S::Value,
+    best_assignment: Option<Assignment>,
+}
+
+impl<'a, S: Semiring> Search<'a, S> {
+    /// Multiplies in every constraint whose scope completes at `depth`.
+    fn apply_completed(&self, depth: usize, value: S::Value) -> S::Value {
+        let mut acc = value;
+        for (ci, positions) in &self.completing[depth] {
+            if self.semiring.is_zero(&acc) {
+                break;
+            }
+            let tuple: Vec<Val> = positions
+                .iter()
+                .map(|&p| self.slots[p].clone().expect("assigned slot"))
+                .collect();
+            let level = self.problem.constraints()[*ci].eval_tuple(&tuple);
+            acc = self.semiring.times(&acc, &level);
+        }
+        acc
+    }
+
+    fn dfs(&mut self, depth: usize, value: S::Value) {
+        // Prune: extensions cannot beat the incumbent (×-monotonicity).
+        if self.semiring.leq(&value, &self.best_value)
+            && (self.best_assignment.is_some() || self.semiring.is_zero(&value))
+        {
+            return;
+        }
+        if depth == self.vars.len() {
+            self.best_value = value;
+            self.best_assignment = Some(
+                self.vars
+                    .iter()
+                    .zip(&self.slots)
+                    .map(|(v, s)| (v.clone(), s.clone().expect("complete assignment")))
+                    .collect(),
+            );
+            return;
+        }
+        for val in self.domains[depth].values().to_vec() {
+            self.slots[depth] = Some(val);
+            let next = self.apply_completed(depth + 1, value.clone());
+            self.dfs(depth + 1, next);
+        }
+        self.slots[depth] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::EnumerationSolver;
+    use crate::testutil::fig1_problem;
+    use crate::{Constraint, Domain};
+    use softsoa_semiring::{Boolean, Product, WeightedInt};
+
+    #[test]
+    fn agrees_with_enumeration_on_fig1() {
+        let p = fig1_problem();
+        let reference = EnumerationSolver::new().solve(&p).unwrap();
+        for order in [VarOrder::Input, VarOrder::SmallestDomain, VarOrder::MostConstrained] {
+            let bnb = BranchAndBound::new(order).solve(&p).unwrap();
+            assert_eq!(bnb.blevel(), reference.blevel());
+            assert_eq!(
+                bnb.best_assignment().unwrap().get(&Var::new("x")),
+                reference.best_assignment().unwrap().get(&Var::new("x"))
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_partial_orders() {
+        let s = Product::new(Boolean, Boolean);
+        let p = crate::Scsp::new(s);
+        assert!(matches!(
+            BranchAndBound::default().solve(&p),
+            Err(SolveError::RequiresTotalOrder)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_problem_has_no_witness() {
+        let p = crate::Scsp::new(WeightedInt)
+            .with_domain("x", Domain::ints(0..=3))
+            .with_constraint(Constraint::never(WeightedInt))
+            .of_interest(["x"]);
+        let sol = BranchAndBound::default().solve(&p).unwrap();
+        assert_eq!(*sol.blevel(), u64::MAX);
+        assert!(sol.best_assignment().is_none());
+    }
+
+    #[test]
+    fn no_solution_table_is_materialised() {
+        let sol = BranchAndBound::default().solve(&fig1_problem()).unwrap();
+        assert!(sol.solution_constraint().is_none());
+    }
+}

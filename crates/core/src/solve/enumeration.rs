@@ -1,0 +1,177 @@
+//! The reference exhaustive solver.
+
+use std::collections::HashMap;
+
+use softsoa_semiring::Semiring;
+
+use crate::solve::{best_from_entries, Solution, SolveError, Solver};
+use crate::{Constraint, Scsp, Val, Var};
+
+/// The reference solver: enumerate every assignment of the problem
+/// variables, combine all constraints pointwise and aggregate over
+/// `con` with the semiring sum.
+///
+/// Complexity is `O(Π |Dᵢ| · |C|)` — exponential in the total number
+/// of variables — but the implementation follows the definitions of
+/// Sec. 2 literally, which makes it the semantics every other solver is
+/// tested against.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{Scsp, Constraint, Domain};
+/// use softsoa_core::solve::{EnumerationSolver, Solver};
+/// use softsoa_semiring::WeightedInt;
+///
+/// let p = Scsp::new(WeightedInt)
+///     .with_domain("x", Domain::ints(0..=9))
+///     .with_constraint(Constraint::unary(WeightedInt, "x", |v| {
+///         v.as_int().unwrap() as u64 + 3
+///     }))
+///     .of_interest(["x"]);
+/// let solution = EnumerationSolver::new().solve(&p)?;
+/// assert_eq!(*solution.blevel(), 3); // best at x = 0
+/// # Ok::<(), softsoa_core::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnumerationSolver {
+    _private: (),
+}
+
+impl EnumerationSolver {
+    /// Creates the solver.
+    pub fn new() -> EnumerationSolver {
+        EnumerationSolver::default()
+    }
+}
+
+impl<S: Semiring> Solver<S> for EnumerationSolver {
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let semiring = problem.semiring().clone();
+        let all_vars = problem.problem_vars();
+        let con: Vec<Var> = problem.con().to_vec();
+
+        // Position of each constraint-scope variable and each con
+        // variable within the full variable tuple.
+        let scope_embeddings: Vec<Vec<usize>> = problem
+            .constraints()
+            .iter()
+            .map(|c| {
+                c.scope()
+                    .iter()
+                    .map(|v| all_vars.binary_search(v).expect("scope var is a problem var"))
+                    .collect()
+            })
+            .collect();
+        let con_embedding: Vec<usize> = con
+            .iter()
+            .map(|v| all_vars.binary_search(v).expect("con var is a problem var"))
+            .collect();
+
+        let mut per_con: HashMap<Vec<Val>, S::Value> = HashMap::new();
+        for tuple in problem.domains().tuples(&all_vars)? {
+            let mut value = semiring.one();
+            for (c, emb) in problem.constraints().iter().zip(&scope_embeddings) {
+                if semiring.is_zero(&value) {
+                    break; // 0 absorbs ×
+                }
+                let sub: Vec<Val> = emb.iter().map(|&i| tuple[i].clone()).collect();
+                value = semiring.times(&value, &c.eval_tuple(&sub));
+            }
+            let key: Vec<Val> = con_embedding.iter().map(|&i| tuple[i].clone()).collect();
+            match per_con.get_mut(&key) {
+                Some(acc) => *acc = semiring.plus(acc, &value),
+                None => {
+                    per_con.insert(key, value);
+                }
+            }
+        }
+
+        let entries: Vec<(Vec<Val>, S::Value)> = per_con.into_iter().collect();
+        let blevel = semiring.sum(entries.iter().map(|(_, v)| v));
+        let best = best_from_entries(&semiring, &con, &entries);
+        let table = Constraint::table(semiring.clone(), &con, entries, semiring.zero())
+            .with_label("Sol(P)");
+        Ok(Solution::new(blevel, best, Some(table)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Assignment, Domain};
+    use softsoa_semiring::{Fuzzy, Unit, WeightedInt};
+
+    fn fig1() -> Scsp<WeightedInt> {
+        crate::testutil::fig1_problem()
+    }
+
+    #[test]
+    fn fig1_solution_table() {
+        let sol = EnumerationSolver::new().solve(&fig1()).unwrap();
+        assert_eq!(*sol.blevel(), 7);
+        let table = sol.solution_constraint().unwrap();
+        assert_eq!(table.eval(&Assignment::new().bind("x", "a")), 7);
+        assert_eq!(table.eval(&Assignment::new().bind("x", "b")), 16);
+        // The single best solution is X = a (reached with Y = b).
+        assert_eq!(sol.best().len(), 1);
+        assert_eq!(
+            sol.best()[0].0.get(&Var::new("x")),
+            Some(&Val::sym("a"))
+        );
+        assert_eq!(sol.best()[0].1, 7);
+    }
+
+    #[test]
+    fn empty_con_projects_to_scalar() {
+        let mut p = fig1();
+        p = p.of_interest(Vec::<Var>::new());
+        let sol = EnumerationSolver::new().solve(&p).unwrap();
+        assert_eq!(*sol.blevel(), 7);
+        let table = sol.solution_constraint().unwrap();
+        assert_eq!(table.eval(&Assignment::new()), 7);
+    }
+
+    #[test]
+    fn no_constraints_is_fully_consistent() {
+        let p = Scsp::new(WeightedInt)
+            .with_domain("x", Domain::ints(0..=3))
+            .of_interest(["x"]);
+        let sol = EnumerationSolver::new().solve(&p).unwrap();
+        assert_eq!(*sol.blevel(), 0); // weighted one
+        assert_eq!(sol.best().len(), 4);
+    }
+
+    #[test]
+    fn fuzzy_maximin() {
+        let u = |v: f64| Unit::new(v).unwrap();
+        let p = Scsp::new(Fuzzy)
+            .with_domain("x", Domain::ints(1..=9))
+            .with_constraint(Constraint::unary(Fuzzy, "x", move |v| {
+                // Client preference rises with x.
+                Unit::clamped((v.as_int().unwrap() as f64 - 1.0) / 8.0)
+            }))
+            .with_constraint(Constraint::unary(Fuzzy, "x", move |v| {
+                // Provider preference falls with x.
+                Unit::clamped((9.0 - v.as_int().unwrap() as f64) / 8.0)
+            }))
+            .of_interest(["x"]);
+        let sol = EnumerationSolver::new().solve(&p).unwrap();
+        assert_eq!(*sol.blevel(), u(0.5));
+        assert_eq!(
+            sol.best_assignment().unwrap().get(&Var::new("x")),
+            Some(&Val::Int(5))
+        );
+    }
+
+    #[test]
+    fn missing_domain_is_an_error() {
+        let p = Scsp::new(WeightedInt)
+            .with_constraint(Constraint::unary(WeightedInt, "x", |_| 0))
+            .of_interest(["x"]);
+        assert!(matches!(
+            EnumerationSolver::new().solve(&p),
+            Err(SolveError::MissingDomain(_))
+        ));
+    }
+}

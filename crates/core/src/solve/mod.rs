@@ -1,0 +1,222 @@
+//! SCSP solvers.
+//!
+//! Three algorithms, all computing the same semantics (they are
+//! property-tested against each other):
+//!
+//! - [`EnumerationSolver`] — the reference implementation: combine all
+//!   constraints and project on `con` by exhaustive enumeration.
+//! - [`BranchAndBound`] — depth-first search with `×`-monotonicity
+//!   pruning; finds a best assignment and `blevel` for *totally
+//!   ordered* semirings without building the solution table.
+//! - [`BucketElimination`] — variable elimination; cost is exponential
+//!   only in the induced width of the chosen elimination order, not in
+//!   the total number of variables.
+//! - [`ParetoBranchAndBound`] — frontier-bounded search for *partially
+//!   ordered* semirings (multi-criteria Pareto optimisation).
+//!
+//! Plus two equivalence-preserving preprocessing passes:
+//! [`prune_zero_supports`] (semiring arc consistency, any semiring)
+//! and [`add_unary_projections`] (idempotent-`×` semirings only).
+
+mod branch_bound;
+mod bucket;
+mod enumeration;
+mod pareto;
+mod preprocess;
+
+pub use branch_bound::{BranchAndBound, VarOrder};
+pub use bucket::{BucketElimination, EliminationOrder};
+pub use enumeration::EnumerationSolver;
+pub use pareto::ParetoBranchAndBound;
+pub use preprocess::{add_unary_projections, prune_zero_supports, PruneReport};
+
+use std::fmt;
+
+use softsoa_semiring::Semiring;
+
+use crate::{Assignment, Constraint, MissingDomainError, Scsp, Val, Var};
+
+/// An error produced while solving an SCSP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// A problem variable has no declared domain.
+    MissingDomain(MissingDomainError),
+    /// The chosen algorithm requires a totally ordered semiring.
+    RequiresTotalOrder,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::MissingDomain(e) => write!(f, "{e}"),
+            SolveError::RequiresTotalOrder => {
+                write!(f, "this solver requires a totally ordered semiring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::MissingDomain(e) => Some(e),
+            SolveError::RequiresTotalOrder => None,
+        }
+    }
+}
+
+impl From<MissingDomainError> for SolveError {
+    fn from(e: MissingDomainError) -> SolveError {
+        SolveError::MissingDomain(e)
+    }
+}
+
+/// The result of solving an SCSP.
+///
+/// Always carries the best level of consistency `blevel(P)` and the set
+/// of *maximal* solutions over `con` (for totally ordered semirings:
+/// the assignments achieving `blevel`; for partial orders: the
+/// non-dominated frontier). Solvers that materialise `Sol(P)` also
+/// expose it as a constraint table.
+#[derive(Debug, Clone)]
+pub struct Solution<S: Semiring> {
+    blevel: S::Value,
+    best: Vec<(Assignment, S::Value)>,
+    table: Option<Constraint<S>>,
+}
+
+impl<S: Semiring> Solution<S> {
+    pub(crate) fn new(
+        blevel: S::Value,
+        best: Vec<(Assignment, S::Value)>,
+        table: Option<Constraint<S>>,
+    ) -> Solution<S> {
+        Solution {
+            blevel,
+            best,
+            table,
+        }
+    }
+
+    /// The best level of consistency `blevel(P) = Sol(P) ⇓ ∅`.
+    pub fn blevel(&self) -> &S::Value {
+        &self.blevel
+    }
+
+    /// The maximal solutions: assignments over `con` whose level is not
+    /// dominated by any other, with their levels.
+    pub fn best(&self) -> &[(Assignment, S::Value)] {
+        &self.best
+    }
+
+    /// A single best assignment, if any solution is better than `0`.
+    pub fn best_assignment(&self) -> Option<&Assignment> {
+        self.best.first().map(|(eta, _)| eta)
+    }
+
+    /// The solution constraint `Sol(P) = (⊗C) ⇓ con`, if the solver
+    /// materialised it ([`BranchAndBound`] does not).
+    pub fn solution_constraint(&self) -> Option<&Constraint<S>> {
+        self.table.as_ref()
+    }
+}
+
+/// A strategy for solving SCSPs.
+pub trait Solver<S: Semiring> {
+    /// Solves the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::MissingDomain`] if a problem variable has
+    /// no domain, or algorithm-specific errors such as
+    /// [`SolveError::RequiresTotalOrder`].
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError>;
+}
+
+/// Extracts the non-dominated `(tuple, value)` entries.
+///
+/// For totally ordered semirings this is "all entries achieving the
+/// maximum"; for partial orders, the Pareto frontier.
+pub(crate) fn non_dominated<S: Semiring>(
+    semiring: &S,
+    entries: &[(Vec<Val>, S::Value)],
+) -> Vec<(Vec<Val>, S::Value)> {
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    if semiring.is_total() {
+        let max = entries
+            .iter()
+            .fold(semiring.zero(), |acc, (_, v)| semiring.plus(&acc, v));
+        entries
+            .iter()
+            .filter(|(_, v)| *v == max)
+            .cloned()
+            .collect()
+    } else {
+        entries
+            .iter()
+            .filter(|(_, v)| {
+                !entries
+                    .iter()
+                    .any(|(_, w)| semiring.lt(v, w))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+/// Turns non-dominated tuples over `con` into `(Assignment, value)`
+/// pairs, dropping entries at level `0` (they satisfy nothing).
+pub(crate) fn best_from_entries<S: Semiring>(
+    semiring: &S,
+    con: &[Var],
+    entries: &[(Vec<Val>, S::Value)],
+) -> Vec<(Assignment, S::Value)> {
+    non_dominated(semiring, entries)
+        .into_iter()
+        .filter(|(_, v)| !semiring.is_zero(v))
+        .map(|(tuple, v)| (Assignment::from_tuple(con, &tuple), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_semiring::{Boolean, Product, WeightedInt};
+
+    #[test]
+    fn non_dominated_total_order() {
+        let entries = vec![
+            (vec![Val::Int(0)], 7u64),
+            (vec![Val::Int(1)], 16),
+            (vec![Val::Int(2)], 7),
+        ];
+        let best = non_dominated(&WeightedInt, &entries);
+        // Weighted: smaller is better, so both 7s are maximal.
+        assert_eq!(best.len(), 2);
+        assert!(best.iter().all(|(_, v)| *v == 7));
+    }
+
+    #[test]
+    fn non_dominated_partial_order_keeps_frontier() {
+        let s = Product::new(Boolean, WeightedInt);
+        let entries = vec![
+            (vec![Val::Int(0)], (true, 5u64)),
+            (vec![Val::Int(1)], (false, 1)),
+            (vec![Val::Int(2)], (false, 9)), // dominated by both others? (false,9) vs (true,5): 9≥5 and false≤true → dominated
+        ];
+        let best = non_dominated(&s, &entries);
+        assert_eq!(best.len(), 2);
+        assert!(best.iter().any(|(_, v)| *v == (true, 5)));
+        assert!(best.iter().any(|(_, v)| *v == (false, 1)));
+    }
+
+    #[test]
+    fn best_from_entries_drops_zero() {
+        let entries = vec![(vec![Val::Int(0)], u64::MAX)];
+        let best = best_from_entries(&WeightedInt, &crate::vars(["x"]), &entries);
+        assert!(best.is_empty());
+    }
+}

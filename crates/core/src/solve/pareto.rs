@@ -1,0 +1,296 @@
+//! Branch-and-bound over *partially ordered* semirings.
+
+use softsoa_semiring::Semiring;
+
+use crate::solve::{Solution, SolveError, Solver};
+use crate::{Assignment, Scsp, Val, Var};
+
+/// A depth-first solver maintaining a *Pareto frontier* of incumbents,
+/// for semirings whose order is partial (Cartesian products, the
+/// set-based instance).
+///
+/// [`BranchAndBound`](crate::solve::BranchAndBound) refuses partial
+/// orders because a single incumbent cannot bound the search; this
+/// solver instead keeps the set of non-dominated complete assignment
+/// values found so far and prunes a branch when its partial
+/// combination is already dominated by (`≤` in the semiring order)
+/// some incumbent — sound because combining can only worsen a level.
+///
+/// Returned data:
+///
+/// - `blevel` is exact: the `+`-sum of values over all assignments
+///   equals the least upper bound of the frontier (dominated values
+///   are absorbed by `+`);
+/// - `best()` holds the non-dominated **complete assignments**
+///   (restricted to `con`). Note the difference from
+///   [`EnumerationSolver`](crate::solve::EnumerationSolver), whose
+///   `best()` ranks con-tuples by their *aggregated* (`+`-summed over
+///   hidden variables) level — an aggregate may strictly dominate
+///   every single assignment achieving it. For Pareto-style
+///   multi-criteria selection, per-assignment values are the useful
+///   reading.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{Scsp, Constraint, Domain};
+/// use softsoa_core::solve::{ParetoBranchAndBound, Solver};
+/// use softsoa_semiring::{Product, Weighted, Probabilistic, Weight, Unit};
+///
+/// // Cost × reliability offers: find the non-dominated ones.
+/// let s = Product::new(Weighted, Probabilistic);
+/// let offers = [(10.0, 0.90), (25.0, 0.99), (40.0, 0.95)];
+/// let sc = s.clone();
+/// let p = Scsp::new(s)
+///     .with_domain("provider", Domain::ints(0..3))
+///     .with_constraint(Constraint::unary(sc, "provider", move |v| {
+///         let (cost, rel) = offers[v.as_int().unwrap() as usize];
+///         (Weight::saturating(cost), Unit::clamped(rel))
+///     }))
+///     .of_interest(["provider"]);
+/// let solution = ParetoBranchAndBound::new().solve(&p)?;
+/// // Provider 2 is dominated by provider 1.
+/// assert_eq!(solution.best().len(), 2);
+/// # Ok::<(), softsoa_core::SolveError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParetoBranchAndBound {
+    _private: (),
+}
+
+impl ParetoBranchAndBound {
+    /// Creates the solver.
+    pub fn new() -> ParetoBranchAndBound {
+        ParetoBranchAndBound::default()
+    }
+}
+
+impl<S: Semiring> Solver<S> for ParetoBranchAndBound {
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let semiring = problem.semiring().clone();
+        let vars = problem.problem_vars();
+        let domains: Vec<&crate::Domain> = vars
+            .iter()
+            .map(|v| problem.domains().get(v).map_err(SolveError::from))
+            .collect::<Result<_, _>>()?;
+
+        // Constraints complete at the depth where their last scope
+        // variable is assigned.
+        let mut completing: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); vars.len() + 1];
+        for (ci, c) in problem.constraints().iter().enumerate() {
+            let positions: Vec<usize> = c
+                .scope()
+                .iter()
+                .map(|v| vars.iter().position(|u| u == v).expect("scope var ordered"))
+                .collect();
+            let depth = positions.iter().copied().max().map_or(0, |d| d + 1);
+            completing[depth].push((ci, positions));
+        }
+
+        let mut search = ParetoSearch {
+            semiring: semiring.clone(),
+            problem,
+            vars: &vars,
+            domains: &domains,
+            completing: &completing,
+            slots: vec![None; vars.len()],
+            frontier: Vec::new(),
+        };
+        let root = search.apply_completed(0, semiring.one());
+        search.dfs(0, root);
+
+        let con: Vec<Var> = problem.con().to_vec();
+        let blevel = semiring.sum(search.frontier.iter().map(|(_, v)| v));
+        let best: Vec<(Assignment, S::Value)> = search
+            .frontier
+            .into_iter()
+            .filter(|(_, v)| !semiring.is_zero(v))
+            .map(|(full, v)| {
+                let eta: Assignment = con
+                    .iter()
+                    .map(|var| (var.clone(), full.get(var).expect("assigned").clone()))
+                    .collect();
+                (eta, v)
+            })
+            .collect();
+        Ok(Solution::new(blevel, best, None))
+    }
+}
+
+struct ParetoSearch<'a, S: Semiring> {
+    semiring: S,
+    problem: &'a Scsp<S>,
+    vars: &'a [Var],
+    domains: &'a [&'a crate::Domain],
+    completing: &'a [Vec<(usize, Vec<usize>)>],
+    slots: Vec<Option<Val>>,
+    /// Non-dominated `(complete assignment, value)` incumbents.
+    frontier: Vec<(Assignment, S::Value)>,
+}
+
+impl<'a, S: Semiring> ParetoSearch<'a, S> {
+    fn apply_completed(&self, depth: usize, value: S::Value) -> S::Value {
+        let mut acc = value;
+        for (ci, positions) in &self.completing[depth] {
+            if self.semiring.is_zero(&acc) {
+                break;
+            }
+            let tuple: Vec<Val> = positions
+                .iter()
+                .map(|&p| self.slots[p].clone().expect("assigned slot"))
+                .collect();
+            acc = self
+                .semiring
+                .times(&acc, &self.problem.constraints()[*ci].eval_tuple(&tuple));
+        }
+        acc
+    }
+
+    /// A branch is hopeless when its value is dominated by an
+    /// incumbent (strictly below, or equal: equal complete values are
+    /// recorded once).
+    fn dominated(&self, value: &S::Value) -> bool {
+        self.semiring.is_zero(value)
+            || self
+                .frontier
+                .iter()
+                .any(|(_, incumbent)| self.semiring.leq(value, incumbent))
+    }
+
+    fn dfs(&mut self, depth: usize, value: S::Value) {
+        if self.dominated(&value) {
+            return;
+        }
+        if depth == self.vars.len() {
+            // Evict incumbents the new value strictly dominates.
+            let semiring = &self.semiring;
+            self.frontier
+                .retain(|(_, incumbent)| !semiring.lt(incumbent, &value));
+            let eta: Assignment = self
+                .vars
+                .iter()
+                .zip(&self.slots)
+                .map(|(v, s)| (v.clone(), s.clone().expect("complete")))
+                .collect();
+            self.frontier.push((eta, value));
+            return;
+        }
+        for val in self.domains[depth].values().to_vec() {
+            self.slots[depth] = Some(val);
+            let next = self.apply_completed(depth + 1, value.clone());
+            self.dfs(depth + 1, next);
+        }
+        self.slots[depth] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::EnumerationSolver;
+    use crate::{Constraint, Domain};
+    use softsoa_semiring::{Boolean, Probabilistic, Product, Unit, Weight, Weighted, WeightedInt};
+
+    type CostRel = Product<Weighted, Probabilistic>;
+
+    fn cost_rel() -> CostRel {
+        Product::new(Weighted, Probabilistic)
+    }
+
+    fn offers_problem(offers: &'static [(f64, f64)]) -> Scsp<CostRel> {
+        let s = cost_rel();
+        Scsp::new(s.clone())
+            .with_domain("p", Domain::ints(0..offers.len() as i64))
+            .with_constraint(Constraint::unary(s, "p", move |v| {
+                let (cost, rel) = offers[v.as_int().unwrap() as usize];
+                (Weight::saturating(cost), Unit::clamped(rel))
+            }))
+            .of_interest(["p"])
+    }
+
+    #[test]
+    fn frontier_matches_enumeration_on_unary_problems() {
+        // With con covering all variables, the aggregated and
+        // per-assignment readings coincide.
+        let p = offers_problem(&[(10.0, 0.90), (25.0, 0.99), (40.0, 0.95)]);
+        let pareto = ParetoBranchAndBound::new().solve(&p).unwrap();
+        let reference = EnumerationSolver::new().solve(&p).unwrap();
+        assert_eq!(pareto.blevel(), reference.blevel());
+        let mut a: Vec<String> = pareto.best().iter().map(|(e, _)| e.to_string()).collect();
+        let mut b: Vec<String> = reference.best().iter().map(|(e, _)| e.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(pareto.best().len(), 2);
+    }
+
+    #[test]
+    fn blevel_matches_enumeration_on_random_products() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = Product::new(Boolean, WeightedInt);
+            let table: Vec<(bool, u64)> = (0..36)
+                .map(|_| (rng.random(), rng.random_range(0..6)))
+                .collect();
+            let t1 = table.clone();
+            let p = Scsp::new(s.clone())
+                .with_domain("x", Domain::ints(0..6))
+                .with_domain("y", Domain::ints(0..6))
+                .with_constraint(Constraint::binary(s, "x", "y", move |a, b| {
+                    t1[(a.as_int().unwrap() * 6 + b.as_int().unwrap()) as usize]
+                }))
+                .of_interest(["x", "y"]);
+            let pareto = ParetoBranchAndBound::new().solve(&p).unwrap();
+            let reference = EnumerationSolver::new().solve(&p).unwrap();
+            assert_eq!(pareto.blevel(), reference.blevel(), "seed {seed}");
+            // The *distinct maximal values* coincide when con covers
+            // every variable (Pareto keeps one representative per
+            // value, enumeration keeps every witnessing tuple).
+            let values = |sol: &crate::Solution<_>| {
+                let mut v: Vec<String> =
+                    sol.best().iter().map(|(_, l)| format!("{l:?}")).collect();
+                v.sort();
+                v.dedup();
+                v
+            };
+            assert_eq!(values(&pareto), values(&reference), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn works_on_total_orders_too() {
+        let p = crate::generate::random_weighted(&crate::generate::RandomScsp {
+            vars: 5,
+            domain_size: 3,
+            constraints: 6,
+            arity: 2,
+            seed: 3,
+        });
+        let pareto = ParetoBranchAndBound::new().solve(&p).unwrap();
+        let reference = EnumerationSolver::new().solve(&p).unwrap();
+        assert_eq!(pareto.blevel(), reference.blevel());
+    }
+
+    #[test]
+    fn inconsistent_problems_yield_empty_frontier() {
+        let s = cost_rel();
+        let p = Scsp::new(s.clone())
+            .with_domain("p", Domain::ints(0..3))
+            .with_constraint(Constraint::never(s))
+            .of_interest(["p"]);
+        let solution = ParetoBranchAndBound::new().solve(&p).unwrap();
+        assert!(solution.best().is_empty());
+        assert_eq!(*solution.blevel(), cost_rel().zero());
+    }
+
+    #[test]
+    fn duplicate_values_are_not_duplicated_in_frontier() {
+        // Two providers with identical offers: the first is recorded,
+        // the second is dominated (≤, equal) and skipped.
+        let p = offers_problem(&[(10.0, 0.9), (10.0, 0.9)]);
+        let solution = ParetoBranchAndBound::new().solve(&p).unwrap();
+        assert_eq!(solution.best().len(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Soft local-consistency preprocessing.
+//!
+//! Two equivalence-preserving transformations applied before search:
+//!
+//! - [`prune_zero_supports`] — a semiring generalisation of arc
+//!   consistency that is sound for **every** c-semiring: a domain
+//!   value whose every extension through some constraint is `0` can
+//!   never contribute to `blevel` and is removed from the domain.
+//! - [`add_unary_projections`] — for semirings with **idempotent `×`**
+//!   (fuzzy, crisp, set-based, capacity), combining a constraint with
+//!   its own unary projections changes nothing (`c ⊗ (c ⇓ x) ≡ c`),
+//!   but gives branch-and-bound unary information it can prune with at
+//!   depth 1 instead of at the constraint's full depth.
+//!
+//! Both return a *new* problem; `Sol`, `blevel` and maximal solutions
+//! with non-`0` level are preserved exactly (property-tested against
+//! the unpreprocessed problem).
+
+use softsoa_semiring::{IdempotentTimes, Semiring};
+
+use crate::solve::SolveError;
+use crate::{Domain, Scsp, Val, Var};
+
+/// Statistics from a [`prune_zero_supports`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Domain values removed in total.
+    pub removed_values: usize,
+    /// Fixpoint iterations performed.
+    pub iterations: usize,
+    /// Whether some domain was wiped out entirely — the problem is
+    /// inconsistent (`blevel = 0`).
+    pub wiped_out: bool,
+}
+
+/// Removes every domain value `d` of a variable `x` such that some
+/// constraint maps **all** assignments with `x := d` to `0`, iterating
+/// to fixpoint.
+///
+/// Because `0` absorbs `×`, every complete assignment through such a
+/// value has combined level `0`; and since `Σ` of `0`s is `0`, the
+/// solution table, `blevel` and the non-zero maximal solutions are
+/// unchanged. Cost per pass is the same as materialising every
+/// constraint over the *current* (already pruned) domains.
+///
+/// # Errors
+///
+/// Returns [`SolveError::MissingDomain`] if a constraint mentions a
+/// variable without a domain.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{Scsp, Constraint, Domain};
+/// use softsoa_core::solve::prune_zero_supports;
+/// use softsoa_semiring::WeightedInt;
+///
+/// // x < y over {0..3}: x = 3 and y = 0 have no support.
+/// let p = Scsp::new(WeightedInt)
+///     .with_domain("x", Domain::ints(0..=3))
+///     .with_domain("y", Domain::ints(0..=3))
+///     .with_constraint(Constraint::binary(WeightedInt, "x", "y", |a, b| {
+///         if a.as_int() < b.as_int() { 0 } else { u64::MAX }
+///     }))
+///     .of_interest(["x"]);
+/// let (pruned, report) = prune_zero_supports(&p)?;
+/// assert_eq!(report.removed_values, 2);
+/// assert_eq!(pruned.domains().get(&"x".into())?.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn prune_zero_supports<S: Semiring>(
+    problem: &Scsp<S>,
+) -> Result<(Scsp<S>, PruneReport), SolveError> {
+    let semiring = problem.semiring().clone();
+    let mut pruned = problem.clone();
+    let mut report = PruneReport::default();
+
+    loop {
+        report.iterations += 1;
+        let mut changed = false;
+
+        for constraint in problem.constraints() {
+            let scope = constraint.scope().to_vec();
+            for var in &scope {
+                let domain = pruned.domains().get(var)?.clone();
+                let others: Vec<Var> = scope
+                    .iter()
+                    .filter(|v| *v != var)
+                    .cloned()
+                    .collect();
+                // Note: for a unary constraint `others` is empty and
+                // `tuples` yields exactly one empty tuple.
+                let other_tuples: Vec<Vec<Val>> = pruned.domains().tuples(&others)?.collect();
+                let mut kept: Vec<Val> = Vec::with_capacity(domain.len());
+                for value in domain.iter() {
+                    // Σ over extensions of x := value through this
+                    // constraint is non-zero iff some extension is.
+                    let mut full = vec![Val::Bool(false); scope.len()];
+                    let mut supported = false;
+                    for ot in &other_tuples {
+                        let mut oi = 0;
+                        for (slot, v) in scope.iter().enumerate() {
+                            if v == var {
+                                full[slot] = value.clone();
+                            } else {
+                                full[slot] = ot[oi].clone();
+                                oi += 1;
+                            }
+                        }
+                        if !semiring.is_zero(&constraint.eval_tuple(&full)) {
+                            supported = true;
+                            break;
+                        }
+                    }
+                    if supported {
+                        kept.push(value.clone());
+                    } else {
+                        report.removed_values += 1;
+                        changed = true;
+                    }
+                }
+                if kept.is_empty() {
+                    report.wiped_out = true;
+                    pruned.add_domain(var.clone(), Domain::new(kept));
+                    return Ok((pruned, report));
+                }
+                if kept.len() != pruned.domains().get(var)?.len() {
+                    pruned.add_domain(var.clone(), Domain::new(kept));
+                }
+            }
+        }
+
+        if !changed {
+            return Ok((pruned, report));
+        }
+    }
+}
+
+/// Adds, for every constraint `c` and every variable `x` in its scope,
+/// the unary projection `c ⇓ {x}` as an extra constraint.
+///
+/// Sound only for semirings with idempotent `×` (enforced by the
+/// [`IdempotentTimes`] bound): there `c ⊗ (c ⇓ x) ≡ c`, because
+/// `cη ≤ (c ⇓ x)η` pointwise and `a × b = glb(a, b)`. The added unary
+/// constraints complete at depth 1 of a branch-and-bound search, so
+/// hopeless values are pruned immediately.
+///
+/// # Errors
+///
+/// Returns [`SolveError::MissingDomain`] if a constraint mentions a
+/// variable without a domain.
+pub fn add_unary_projections<S: IdempotentTimes>(
+    problem: &Scsp<S>,
+) -> Result<Scsp<S>, SolveError> {
+    let mut extended = problem.clone();
+    for constraint in problem.constraints() {
+        if constraint.scope().len() < 2 {
+            continue;
+        }
+        for var in constraint.scope().to_vec() {
+            let unary = constraint.project(std::slice::from_ref(&var), problem.domains())?;
+            extended.add_constraint(unary);
+        }
+    }
+    Ok(extended)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{BranchAndBound, EnumerationSolver, Solver};
+    use crate::Constraint;
+    use softsoa_semiring::{Fuzzy, Unit, WeightedInt};
+
+    fn lt_constraint() -> Constraint<WeightedInt> {
+        Constraint::binary(WeightedInt, "x", "y", |a, b| {
+            if a.as_int() < b.as_int() {
+                0
+            } else {
+                u64::MAX
+            }
+        })
+    }
+
+    #[test]
+    fn prune_removes_unsupported_values() {
+        let p = Scsp::new(WeightedInt)
+            .with_domain("x", Domain::ints(0..=3))
+            .with_domain("y", Domain::ints(0..=3))
+            .with_constraint(lt_constraint())
+            .of_interest(["x"]);
+        let (pruned, report) = prune_zero_supports(&p).unwrap();
+        // x = 3 has no y > 3; y = 0 has no x < 0.
+        assert_eq!(report.removed_values, 2);
+        assert!(!report.wiped_out);
+        assert!(!pruned.domains().get(&Var::new("x")).unwrap().contains(&Val::Int(3)));
+        assert!(!pruned.domains().get(&Var::new("y")).unwrap().contains(&Val::Int(0)));
+    }
+
+    #[test]
+    fn prune_iterates_to_fixpoint_on_chains() {
+        // x < y < z over {0..2}: after one pass x∈{0,1}, z∈{1,2};
+        // the second pass tightens x to {0} and z to {2} via y.
+        let mut p = Scsp::new(WeightedInt).of_interest(["x"]);
+        for v in ["x", "y", "z"] {
+            p.add_domain(v, Domain::ints(0..=2));
+        }
+        p.add_constraint(lt_constraint());
+        p.add_constraint(Constraint::binary(WeightedInt, "y", "z", |a, b| {
+            if a.as_int() < b.as_int() {
+                0
+            } else {
+                u64::MAX
+            }
+        }));
+        let (pruned, report) = prune_zero_supports(&p).unwrap();
+        assert!(report.iterations >= 2);
+        assert_eq!(
+            pruned.domains().get(&Var::new("x")).unwrap().values(),
+            &[Val::Int(0)]
+        );
+        assert_eq!(
+            pruned.domains().get(&Var::new("z")).unwrap().values(),
+            &[Val::Int(2)]
+        );
+    }
+
+    #[test]
+    fn prune_preserves_blevel_and_best() {
+        for seed in 0..8 {
+            let cfg = crate::generate::RandomScsp {
+                vars: 4,
+                domain_size: 3,
+                constraints: 6,
+                arity: 2,
+                seed,
+            };
+            let p = crate::generate::random_weighted(&cfg);
+            let before = EnumerationSolver::new().solve(&p).unwrap();
+            let (pruned, _) = prune_zero_supports(&p).unwrap();
+            let after = EnumerationSolver::new().solve(&pruned).unwrap();
+            assert_eq!(before.blevel(), after.blevel(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wipeout_detects_inconsistency() {
+        let p = Scsp::new(WeightedInt)
+            .with_domain("x", Domain::ints(0..=3))
+            .with_constraint(Constraint::unary(WeightedInt, "x", |_| u64::MAX))
+            .of_interest(["x"]);
+        let (pruned, report) = prune_zero_supports(&p).unwrap();
+        assert!(report.wiped_out);
+        assert_eq!(report.removed_values, 4);
+        assert!(pruned.domains().get(&Var::new("x")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unary_projections_preserve_semantics_fuzzy() {
+        for seed in 0..8 {
+            let cfg = crate::generate::RandomScsp {
+                vars: 4,
+                domain_size: 3,
+                constraints: 5,
+                arity: 2,
+                seed,
+            };
+            let p = crate::generate::random_fuzzy(&cfg);
+            let extended = add_unary_projections(&p).unwrap();
+            assert!(extended.constraints().len() >= p.constraints().len());
+            let before = EnumerationSolver::new().solve(&p).unwrap();
+            let after = BranchAndBound::default().solve(&extended).unwrap();
+            assert_eq!(before.blevel(), after.blevel(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unary_projections_give_bnb_early_pruning() {
+        // A fuzzy problem where the binary constraint's bad rows are
+        // only discovered at depth 2 without the projections.
+        let u = |v: f64| Unit::new(v).unwrap();
+        let p = Scsp::new(Fuzzy)
+            .with_domain("x", Domain::ints(0..=9))
+            .with_domain("y", Domain::ints(0..=9))
+            .with_constraint(Constraint::binary(Fuzzy, "x", "y", move |a, b| {
+                if a.as_int() == Some(0) && b.as_int() == Some(0) {
+                    u(1.0)
+                } else {
+                    u(0.1)
+                }
+            }))
+            .of_interest(["x"]);
+        let extended = add_unary_projections(&p).unwrap();
+        let plain = BranchAndBound::default().solve(&p).unwrap();
+        let fast = BranchAndBound::default().solve(&extended).unwrap();
+        assert_eq!(plain.blevel(), fast.blevel());
+    }
+}

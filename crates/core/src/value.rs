@@ -1,0 +1,165 @@
+//! Domain values.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A value a constraint variable can take.
+///
+/// The paper's examples range over heterogeneous domains: symbolic
+/// values `a`, `b` (Fig. 1), natural numbers of failures or bytes
+/// (Secs. 4.1, 5), and *sets* of component identifiers for the
+/// coalition variables of Sec. 6.1 (whose domain is a powerset).
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::Val;
+///
+/// let n = Val::Int(42);
+/// let s = Val::sym("a");
+/// let c = Val::set([1, 3, 5]);
+/// assert!(n != s);
+/// assert_eq!(c.to_string(), "{1, 3, 5}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Val {
+    /// An integer value (byte sizes, failure counts, hours, ...).
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+    /// A symbolic value (`a`, `b` of Fig. 1, service names, ...).
+    Sym(Arc<str>),
+    /// A finite set of small identifiers (coalition members, Sec. 6.1).
+    Set(BTreeSet<u32>),
+}
+
+impl Val {
+    /// Creates a symbolic value.
+    pub fn sym(name: impl AsRef<str>) -> Val {
+        Val::Sym(Arc::from(name.as_ref()))
+    }
+
+    /// Creates a set value from element identifiers.
+    pub fn set<I: IntoIterator<Item = u32>>(elements: I) -> Val {
+        Val::Set(elements.into_iter().collect())
+    }
+
+    /// Returns the integer payload, if this is an [`Val::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Val::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Val::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol payload, if this is a [`Val::Sym`].
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Val::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the set payload, if this is a [`Val::Set`].
+    pub fn as_set(&self) -> Option<&BTreeSet<u32>> {
+        match self {
+            Val::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(n) => write!(f, "{n}"),
+            Val::Bool(b) => write!(f, "{b}"),
+            Val::Sym(s) => f.write_str(s),
+            Val::Set(s) => {
+                f.write_str("{")?;
+                for (i, e) in s.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Val {
+    fn from(n: i64) -> Val {
+        Val::Int(n)
+    }
+}
+
+impl From<i32> for Val {
+    fn from(n: i32) -> Val {
+        Val::Int(i64::from(n))
+    }
+}
+
+impl From<bool> for Val {
+    fn from(b: bool) -> Val {
+        Val::Bool(b)
+    }
+}
+
+impl From<&str> for Val {
+    fn from(s: &str) -> Val {
+        Val::sym(s)
+    }
+}
+
+impl From<BTreeSet<u32>> for Val {
+    fn from(s: BTreeSet<u32>) -> Val {
+        Val::Set(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Val::Int(3).as_int(), Some(3));
+        assert_eq!(Val::Int(3).as_bool(), None);
+        assert_eq!(Val::Bool(true).as_bool(), Some(true));
+        assert_eq!(Val::sym("a").as_sym(), Some("a"));
+        assert_eq!(Val::set([2, 1]).as_set().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn set_values_are_canonical() {
+        assert_eq!(Val::set([3, 1, 2]), Val::set([1, 2, 3]));
+        assert_eq!(Val::set([1, 1, 2]), Val::set([1, 2]));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Val::Int(-4).to_string(), "-4");
+        assert_eq!(Val::sym("b").to_string(), "b");
+        assert_eq!(Val::Bool(false).to_string(), "false");
+        assert_eq!(Val::set([]).to_string(), "{}");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Val::from(7i64), Val::Int(7));
+        assert_eq!(Val::from(7i32), Val::Int(7));
+        assert_eq!(Val::from(true), Val::Bool(true));
+        assert_eq!(Val::from("x"), Val::sym("x"));
+    }
+}

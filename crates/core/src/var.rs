@@ -1,0 +1,107 @@
+//! Constraint variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named decision variable of a soft constraint problem.
+///
+/// Variables are cheap to clone (reference-counted name) and ordered
+/// lexicographically, so constraint scopes can be kept in canonical
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::Var;
+///
+/// let x = Var::new("x");
+/// assert_eq!(x.name(), "x");
+/// assert_eq!(x, Var::new("x"));
+/// assert!(Var::new("a") < Var::new("b"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Var {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the variable name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Creates a *fresh* variable derived from this one, guaranteed not
+    /// to collide with any variable whose name does not contain `'`.
+    ///
+    /// Used by the hiding operator `∃x` of the `nmsccp` language, whose
+    /// semantics renames the bound variable to a fresh one (rule R9).
+    pub fn fresh(&self, counter: u64) -> Var {
+        Var(Arc::from(format!("{}'{}", self.0, counter)))
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(name: &str) -> Var {
+        Var::new(name)
+    }
+}
+
+impl From<String> for Var {
+    fn from(name: String) -> Var {
+        Var(Arc::from(name))
+    }
+}
+
+/// Creates a vector of variables from a list of names.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{vars, Var};
+///
+/// let vs = vars(["x", "y"]);
+/// assert_eq!(vs, vec![Var::new("x"), Var::new("y")]);
+/// ```
+pub fn vars<I, T>(names: I) -> Vec<Var>
+where
+    I: IntoIterator<Item = T>,
+    T: AsRef<str>,
+{
+    names.into_iter().map(Var::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_by_name() {
+        assert_eq!(Var::new("x"), Var::from("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+    }
+
+    #[test]
+    fn fresh_variables_do_not_collide() {
+        let x = Var::new("x");
+        let f1 = x.fresh(1);
+        let f2 = x.fresh(2);
+        assert_ne!(f1, x);
+        assert_ne!(f1, f2);
+        assert_eq!(f1.name(), "x'1");
+    }
+
+    #[test]
+    fn display_and_order() {
+        assert_eq!(Var::new("outcomp").to_string(), "outcomp");
+        assert!(Var::new("a") < Var::new("b"));
+    }
+}

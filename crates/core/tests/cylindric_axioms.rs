@@ -1,0 +1,141 @@
+//! Property tests of the cylindric-algebra structure (Sec. 2,
+//! "a general notion of existential quantifier is introduced by using
+//! notions similar to those used in cylindric algebras").
+//!
+//! These are the axioms the `nmsccp` language's hiding and parameter
+//! passing rest on:
+//!
+//! 1. `c ⊑ ∃x c` (hiding only improves);
+//! 2. `∃x (c ⊗ ∃x d) ≡ ∃x c ⊗ ∃x d`;
+//! 3. `∃x ∃y c ≡ ∃y ∃x c`;
+//! 4. `d_xx ≡ 1̄` and `d_xy ≡ ∃z (d_xz ⊗ d_zy)` for `z ∉ {x, y}`;
+//! 5. `∃x (d_xy ⊗ c)` is the substitution `c[x := y]`.
+
+use proptest::prelude::*;
+use softsoa_core::{Assignment, Constraint, Domain, Domains, Val, Var};
+use softsoa_semiring::{Semiring, WeightedInt};
+
+const DOM: i64 = 2;
+
+fn doms() -> Domains {
+    Domains::new()
+        .with("x", Domain::ints(0..DOM))
+        .with("y", Domain::ints(0..DOM))
+        .with("z", Domain::ints(0..DOM))
+}
+
+fn x() -> Var {
+    Var::new("x")
+}
+
+fn y() -> Var {
+    Var::new("y")
+}
+
+fn z() -> Var {
+    Var::new("z")
+}
+
+/// A random extensional constraint over a subset of {x, y, z}.
+fn constraint_strategy() -> impl Strategy<Value = Constraint<WeightedInt>> {
+    let scope_strategy = prop_oneof![
+        Just(vec![x()]),
+        Just(vec![y()]),
+        Just(vec![x(), y()]),
+        Just(vec![x(), y(), z()]),
+    ];
+    scope_strategy.prop_flat_map(|scope| {
+        let arity = scope.len() as u32;
+        let rows = DOM.pow(arity) as usize;
+        proptest::collection::vec(prop_oneof![4 => 0u64..8, 1 => Just(u64::MAX)], rows).prop_map(
+            move |levels| {
+                let doms = doms();
+                let entries: Vec<(Vec<Val>, u64)> = doms
+                    .tuples(&scope)
+                    .unwrap()
+                    .zip(levels)
+                    .collect();
+                Constraint::table(WeightedInt, &scope, entries, u64::MAX)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Axiom: hiding only improves — `c ⊑ ∃x c`.
+    #[test]
+    fn hiding_improves(c in constraint_strategy()) {
+        let doms = doms();
+        let hidden = c.hide(&x(), &doms).unwrap();
+        prop_assert!(c.leq(&hidden, &doms).unwrap());
+    }
+
+    /// Axiom: `∃x (c ⊗ ∃x d) ≡ (∃x c) ⊗ (∃x d)`.
+    #[test]
+    fn hiding_distributes(c in constraint_strategy(), d in constraint_strategy()) {
+        let doms = doms();
+        let left = c.combine(&d.hide(&x(), &doms).unwrap()).hide(&x(), &doms).unwrap();
+        let right = c.hide(&x(), &doms).unwrap().combine(&d.hide(&x(), &doms).unwrap());
+        prop_assert!(left.equivalent(&right, &doms).unwrap());
+    }
+
+    /// Axiom: hiding commutes — `∃x ∃y c ≡ ∃y ∃x c`.
+    #[test]
+    fn hiding_commutes(c in constraint_strategy()) {
+        let doms = doms();
+        let xy = c.hide(&x(), &doms).unwrap().hide(&y(), &doms).unwrap();
+        let yx = c.hide(&y(), &doms).unwrap().hide(&x(), &doms).unwrap();
+        prop_assert!(xy.equivalent(&yx, &doms).unwrap());
+    }
+
+    /// Hiding twice over the same variable is hiding once.
+    #[test]
+    fn hiding_is_idempotent(c in constraint_strategy()) {
+        let doms = doms();
+        let once = c.hide(&x(), &doms).unwrap();
+        let twice = once.hide(&x(), &doms).unwrap();
+        prop_assert!(once.equivalent(&twice, &doms).unwrap());
+    }
+
+    /// `∃x (d_xy ⊗ c)` is `c[x := y]`: evaluating it under η equals
+    /// evaluating `c` under `η[x := η(y)]` — the parameter-passing
+    /// reading the paper uses for procedure calls.
+    #[test]
+    fn diagonal_substitutes(c in constraint_strategy()) {
+        let doms = doms();
+        let dxy = Constraint::diagonal(WeightedInt, x(), y());
+        let substituted = dxy.combine(&c).hide(&x(), &doms).unwrap();
+        for vy in 0..DOM {
+            for vz in 0..DOM {
+                let eta = Assignment::new().bind("y", vy).bind("z", vz);
+                let direct = c.eval(&eta.clone().bind("x", vy));
+                prop_assert_eq!(substituted.eval(&eta), direct);
+            }
+        }
+    }
+}
+
+/// Axiom: `d_xx ≡ 1̄` (in spirit — our constructor rejects a repeated
+/// variable, so the check is that `d_xy` restricted to `x = y` is `1`).
+#[test]
+fn diagonal_is_reflexive_on_the_diagonal() {
+    let dxy = Constraint::diagonal(WeightedInt, x(), y());
+    for v in 0..DOM {
+        let eta = Assignment::new().bind("x", v).bind("y", v);
+        assert_eq!(dxy.eval(&eta), WeightedInt.one());
+    }
+}
+
+/// Axiom: `d_xy ≡ ∃z (d_xz ⊗ d_zy)` for `z ∉ {x, y}` (diagonal
+/// composition — transitivity of parameter passing).
+#[test]
+fn diagonals_compose_through_a_third_variable() {
+    let doms = doms();
+    let dxy = Constraint::diagonal(WeightedInt, x(), y());
+    let dxz = Constraint::diagonal(WeightedInt, x(), z());
+    let dzy = Constraint::diagonal(WeightedInt, z(), y());
+    let composed = dxz.combine(&dzy).hide(&z(), &doms).unwrap();
+    assert!(composed.equivalent(&dxy, &doms).unwrap());
+}

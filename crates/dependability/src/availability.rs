@@ -1,0 +1,178 @@
+//! Availability modelling: from component failure/repair rates to
+//! soft constraints.
+//!
+//! Availability — "the probability that a service is present and ready
+//! for use" — is the first attribute of the paper's taxonomy, and
+//! Sec. 4 sketches policies of the form "the reliability is equal to
+//! 80% plus 5% for each other processor used to execute the service".
+//! This module derives such curves from first principles instead of
+//! postulating them: a component's steady-state availability is
+//! `MTBF / (MTBF + MTTR)`; series composition multiplies
+//! availabilities, parallel redundancy composes failure probabilities;
+//! and [`redundancy_constraint`] turns "availability as a function of
+//! replica count" into an ordinary probabilistic soft constraint ready
+//! for the broker.
+
+use softsoa_core::{Constraint, Var};
+use softsoa_semiring::{Probabilistic, Unit};
+
+/// The failure/repair model of one component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentModel {
+    /// Mean time between failures, in hours.
+    pub mtbf_hours: f64,
+    /// Mean time to repair, in hours.
+    pub mttr_hours: f64,
+}
+
+impl ComponentModel {
+    /// The steady-state availability `MTBF / (MTBF + MTTR)`.
+    ///
+    /// Degenerate models (non-positive MTBF) yield availability `0`;
+    /// a zero MTTR yields `1`.
+    pub fn availability(&self) -> Unit {
+        if self.mtbf_hours <= 0.0 {
+            return Unit::MIN;
+        }
+        if self.mttr_hours <= 0.0 {
+            return Unit::MAX;
+        }
+        Unit::clamped(self.mtbf_hours / (self.mtbf_hours + self.mttr_hours))
+    }
+
+    /// Expected downtime per (365-day) year, in hours.
+    pub fn downtime_hours_per_year(&self) -> f64 {
+        (1.0 - self.availability().get()) * 365.0 * 24.0
+    }
+}
+
+/// Availability of components in *series*: all must be up — the
+/// product of the availabilities (the `×` of the probabilistic
+/// semiring, which is why pipeline QoS composes with `⊗`).
+pub fn series<I: IntoIterator<Item = Unit>>(availabilities: I) -> Unit {
+    availabilities
+        .into_iter()
+        .fold(Unit::MAX, |acc, a| acc.mul(a))
+}
+
+/// Availability of `n` redundant replicas in *parallel*: the service
+/// is down only when every replica is — `1 − Π (1 − aᵢ)`.
+pub fn parallel<I: IntoIterator<Item = Unit>>(availabilities: I) -> Unit {
+    let all_down = availabilities
+        .into_iter()
+        .fold(1.0, |acc, a| acc * (1.0 - a.get()));
+    Unit::clamped(1.0 - all_down)
+}
+
+/// Availability of `replicas` identical replicas of a component.
+pub fn replicated(base: Unit, replicas: u32) -> Unit {
+    parallel(std::iter::repeat(base).take(replicas as usize))
+}
+
+/// A probabilistic soft constraint over the replica-count variable:
+/// the offered availability as a function of how many replicas the
+/// client pays for (zero replicas = no service).
+///
+/// This is the principled version of the paper's "80% plus 5% per
+/// processor" polynomial: the curve saturates at 1 instead of growing
+/// linearly forever.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::Assignment;
+/// use softsoa_dependability::availability::{redundancy_constraint, ComponentModel};
+///
+/// let model = ComponentModel { mtbf_hours: 720.0, mttr_hours: 80.0 }; // A = 0.9
+/// let offer = redundancy_constraint("replicas", model);
+/// let one = offer.eval(&Assignment::new().bind("replicas", 1));
+/// let two = offer.eval(&Assignment::new().bind("replicas", 2));
+/// assert!((one.get() - 0.9).abs() < 1e-12);
+/// assert!((two.get() - 0.99).abs() < 1e-12); // 1 − 0.1²
+/// ```
+pub fn redundancy_constraint(
+    variable: impl Into<Var>,
+    model: ComponentModel,
+) -> Constraint<Probabilistic> {
+    let base = model.availability();
+    Constraint::unary(Probabilistic, variable, move |v| {
+        match v.as_int() {
+            Some(n) if n > 0 => replicated(base, n as u32),
+            _ => Unit::MIN,
+        }
+    })
+    .with_label("availability(replicas)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_core::{Assignment, Domain, Scsp};
+    use softsoa_semiring::Semiring;
+
+    fn u(v: f64) -> Unit {
+        Unit::clamped(v)
+    }
+
+    #[test]
+    fn steady_state_availability() {
+        let m = ComponentModel {
+            mtbf_hours: 990.0,
+            mttr_hours: 10.0,
+        };
+        assert!((m.availability().get() - 0.99).abs() < 1e-12);
+        assert!((m.downtime_hours_per_year() - 87.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_models() {
+        assert_eq!(
+            ComponentModel { mtbf_hours: 0.0, mttr_hours: 5.0 }.availability(),
+            Unit::MIN
+        );
+        assert_eq!(
+            ComponentModel { mtbf_hours: 100.0, mttr_hours: 0.0 }.availability(),
+            Unit::MAX
+        );
+    }
+
+    #[test]
+    fn series_matches_semiring_product() {
+        let parts = [u(0.9), u(0.99), u(0.95)];
+        let direct = series(parts);
+        let via_semiring = Probabilistic.product(parts.iter());
+        assert!((direct.get() - via_semiring.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_redundancy() {
+        assert!((parallel([u(0.9), u(0.9)]).get() - 0.99).abs() < 1e-12);
+        assert!((replicated(u(0.9), 3).get() - 0.999).abs() < 1e-12);
+        assert_eq!(replicated(u(0.9), 0), Unit::MIN);
+        // A perfect replica makes the group perfect.
+        assert_eq!(parallel([u(0.5), Unit::MAX]), Unit::MAX);
+    }
+
+    #[test]
+    fn redundancy_constraint_in_a_problem() {
+        // How many replicas for ≥ 0.999 availability at minimum count?
+        let model = ComponentModel {
+            mtbf_hours: 900.0,
+            mttr_hours: 100.0,
+        }; // A = 0.9
+        let offer = redundancy_constraint("n", model);
+        let floor = Constraint::crisp(Probabilistic, &softsoa_core::vars(["n"]), |v| {
+            v[0].as_int().unwrap() <= 3
+        });
+        let p = Scsp::new(Probabilistic)
+            .with_domain("n", Domain::ints(0..=6))
+            .with_constraint(offer.clone())
+            .with_constraint(floor)
+            .of_interest(["n"]);
+        let solution = p.solve().unwrap();
+        // Best within the budget of 3 replicas: 1 − 0.1³ = 0.999.
+        assert!((solution.blevel().get() - 0.999).abs() < 1e-12);
+        let eta = Assignment::new().bind("n", 0);
+        assert_eq!(offer.eval(&eta), Unit::MIN);
+    }
+}

@@ -1,0 +1,186 @@
+//! Fault injection for policy-level robustness analysis.
+//!
+//! Sec. 5 of the paper shows integrity breaking when one module
+//! (`REDF`) "could take on any behaviour". This module generalises
+//! that experiment: inject a fault into each policy of a composed
+//! implementation in turn and re-check refinement, yielding the set of
+//! modules whose failure is *safe* and the set whose failure violates
+//! the requirement.
+
+use softsoa_core::{Constraint, Domains, MissingDomainError, Var};
+use softsoa_semiring::{Probabilistic, Semiring, Unit};
+
+use crate::refinement::locally_refines;
+
+/// Replaces a policy by the vacuous policy `1̄` over the same scope —
+/// the module "could take on any behaviour" (the paper's unreliable
+/// `RedFilter`).
+pub fn unconstrain<S: Semiring>(policy: &Constraint<S>) -> Constraint<S> {
+    let semiring = policy.semiring().clone();
+    let one = semiring.one();
+    let scope: Vec<Var> = policy.scope().to_vec();
+    let label = policy
+        .label()
+        .map_or_else(|| "faulty".to_string(), |l| format!("{l}(faulty)"));
+    Constraint::from_fn(semiring, &scope, move |_| one.clone()).with_label(label)
+}
+
+/// Degrades a probabilistic policy by multiplying every level by
+/// `factor` (e.g. an ageing component at 90% of its nominal
+/// reliability).
+pub fn degrade(policy: &Constraint<Probabilistic>, factor: Unit) -> Constraint<Probabilistic> {
+    let inner = policy.clone();
+    let scope: Vec<Var> = policy.scope().to_vec();
+    let label = policy
+        .label()
+        .map_or_else(|| "degraded".to_string(), |l| format!("{l}(degraded)"));
+    Constraint::from_fn(Probabilistic, &scope, move |vals| {
+        inner.eval_tuple(vals).mul(factor)
+    })
+    .with_label(label)
+}
+
+/// The verdict for injecting a fault into one module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultVerdict {
+    /// Index of the faulted module in the campaign's policy list.
+    pub module: usize,
+    /// The module's label, if any.
+    pub label: Option<String>,
+    /// Whether the requirement still holds with this module faulty.
+    pub still_safe: bool,
+}
+
+/// Runs a single-fault campaign: for each policy in `policies`,
+/// replace it by its unconstrained version, recompose, and check
+/// Def. 1 refinement against `requirement` at `interface`.
+///
+/// Returns one verdict per module. A module whose verdict is
+/// `still_safe` is one the composition tolerates failing — the
+/// system's integrity does not depend on it.
+///
+/// # Errors
+///
+/// Returns [`MissingDomainError`] if a support or interface variable
+/// has no domain.
+///
+/// # Examples
+///
+/// The paper's experiment, systematised — only the composition with a
+/// faulty module on the `incomp ≤ outcomp` path breaks `Memory`:
+///
+/// ```
+/// use softsoa_dependability::{photo, single_fault_campaign};
+///
+/// let doms = photo::domains(4096, 1024);
+/// let verdicts = single_fault_campaign(
+///     &[photo::red_filter(), photo::bw_filter(), photo::compression()],
+///     &photo::memory(),
+///     &photo::interface(),
+///     &doms,
+/// )?;
+/// // Every module is on the size chain: any single fault breaks it.
+/// assert!(verdicts.iter().all(|v| !v.still_safe));
+/// # Ok::<(), softsoa_core::MissingDomainError>(())
+/// ```
+pub fn single_fault_campaign<S: Semiring>(
+    policies: &[Constraint<S>],
+    requirement: &Constraint<S>,
+    interface: &[Var],
+    domains: &Domains,
+) -> Result<Vec<FaultVerdict>, MissingDomainError> {
+    let semiring = requirement.semiring().clone();
+    let mut verdicts = Vec::with_capacity(policies.len());
+    for (module, _) in policies.iter().enumerate() {
+        let composed = policies
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i == module {
+                    unconstrain(p)
+                } else {
+                    p.clone()
+                }
+            })
+            .fold(Constraint::always(semiring.clone()), |acc, p| {
+                acc.combine(&p)
+            });
+        let still_safe = locally_refines(&composed, requirement, interface, domains)?;
+        verdicts.push(FaultVerdict {
+            module,
+            label: policies[module].label().map(str::to_string),
+            still_safe,
+        });
+    }
+    Ok(verdicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::photo;
+    use softsoa_core::{vars, Assignment, Domain};
+    use softsoa_semiring::Boolean;
+
+    #[test]
+    fn unconstrain_keeps_scope() {
+        let c = photo::red_filter();
+        let f = unconstrain(&c);
+        assert_eq!(f.scope(), c.scope());
+        let eta = Assignment::new()
+            .bind(photo::redbyte(), 4096)
+            .bind(photo::bwbyte(), 0);
+        assert!(!c.eval(&eta));
+        assert!(f.eval(&eta));
+        assert_eq!(f.label(), Some("RedFilter(faulty)"));
+    }
+
+    #[test]
+    fn degrade_scales_levels() {
+        let c = photo::c1();
+        let d = degrade(&c, Unit::new(0.5).unwrap());
+        let eta = Assignment::new()
+            .bind(photo::outcomp(), 4096)
+            .bind(photo::bwbyte(), 1024);
+        assert!((d.eval(&eta).get() - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn campaign_reproduces_the_paper_imp2_result() {
+        let doms = photo::domains(4096, 1024);
+        let verdicts = single_fault_campaign(
+            &[photo::red_filter(), photo::bw_filter(), photo::compression()],
+            &photo::memory(),
+            &photo::interface(),
+            &doms,
+        )
+        .unwrap();
+        // Faulting RedFilter is exactly the paper's Imp2: not safe.
+        assert!(!verdicts[0].still_safe);
+        assert_eq!(verdicts[0].label.as_deref(), Some("RedFilter"));
+    }
+
+    #[test]
+    fn campaign_identifies_redundant_modules() {
+        // A system with a redundant parallel check: y ≤ x enforced twice.
+        let doms = Domains::new()
+            .with("x", Domain::ints(0..=2))
+            .with("y", Domain::ints(0..=2));
+        let check = |label: &str| {
+            Constraint::crisp(Boolean, &vars(["x", "y"]), |t| {
+                t[1].as_int().unwrap() <= t[0].as_int().unwrap()
+            })
+            .with_label(label)
+        };
+        let requirement = check("req");
+        let verdicts = single_fault_campaign(
+            &[check("primary"), check("backup")],
+            &requirement,
+            &vars(["x", "y"]),
+            &doms,
+        )
+        .unwrap();
+        // Either check alone still upholds the requirement.
+        assert!(verdicts.iter().all(|v| v.still_safe));
+    }
+}

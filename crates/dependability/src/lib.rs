@@ -1,0 +1,54 @@
+//! Dependability attributes and integrity-as-refinement analysis over
+//! soft constraints.
+//!
+//! This crate implements Secs. 3 and 5 of *Bistarelli & Santini, "Soft
+//! Constraints for Dependable Service Oriented Architectures"* (DSN
+//! 2008):
+//!
+//! - the **attribute taxonomy** of dependable computing
+//!   ([`Attribute`]) and the mapping from metric classes to c-semiring
+//!   instances ([`MetricClass`]);
+//! - **integrity as refinement**: `S` locally refines `R` at interface
+//!   `V` iff `S⇓V ⊑ R⇓V` ([`locally_refines`], Def. 1) and its
+//!   dependable-safety reading ([`dependably_safe`], Def. 2), with
+//!   counterexample extraction ([`check_refinement`]);
+//! - the **federated photo-editing case study** of Fig. 8 ([`photo`]),
+//!   both crisp (`Imp1`/`Imp2` against `Memory`) and quantitative
+//!   (the probabilistic `c1 ⊗ c2 ⊗ c3` against `MemoryProb`);
+//! - **fault injection** ([`single_fault_campaign`]) generalising the
+//!   paper's unreliable-module experiment;
+//! - **availability modelling** ([`availability`]): MTBF/MTTR to
+//!   steady-state availability, series/parallel composition, and
+//!   replica-count soft constraints (the principled version of the
+//!   paper's "80% plus 5% per processor" policy).
+//!
+//! # Example
+//!
+//! ```
+//! use softsoa_dependability::{locally_refines, photo};
+//!
+//! let doms = photo::domains(4096, 512);
+//! // The composed pipeline upholds the client's memory requirement...
+//! assert!(locally_refines(&photo::imp1(), &photo::memory(),
+//!     &photo::interface(), &doms)?);
+//! // ...but not when the red filter can take on any behaviour.
+//! assert!(!locally_refines(&photo::imp2(), &photo::memory(),
+//!     &photo::interface(), &doms)?);
+//! # Ok::<(), softsoa_core::MissingDomainError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attributes;
+pub mod availability;
+mod fault;
+pub mod photo;
+mod refinement;
+
+pub use attributes::{Attribute, MetricClass};
+pub use fault::{degrade, single_fault_campaign, unconstrain, FaultVerdict};
+pub use refinement::{
+    check_refinement, dependably_safe, locally_refines, meets_requirement, Counterexample,
+    RefinementReport,
+};

@@ -1,0 +1,315 @@
+//! The federated photo-editing system of Fig. 8 (Sec. 5).
+//!
+//! A client-side compression module (`COMPF`) and two provider-side
+//! filters (`REDF`, `BWF`) form a federated pipeline. Four variables
+//! track the photo's size in Kb along the pipeline (the paper's
+//! `outcomp`, `bwbyte`, `redbyte`, `incomp`); each module publishes a
+//! policy constraint, and the client's high-level `Memory` requirement
+//! is checked against the composed implementation by refinement.
+//!
+//! Two analyses, both from the paper:
+//!
+//! - **crisp** (Classical semiring): `Imp1 = RedFilter ⊗ BWFilter ⊗
+//!   Compression` upholds `Memory`; replacing `RedFilter` with the
+//!   unreliable `true` policy (`Imp2`) breaks it;
+//! - **quantitative** (Probabilistic semiring): module reliabilities
+//!   `c1, c2, c3` depend on how aggressively each stage shrinks the
+//!   image; their composition `Imp3` is compared against a
+//!   minimum-reliability requirement.
+
+use softsoa_core::{vars, Constraint, Domain, Domains, Var};
+use softsoa_semiring::{Boolean, Probabilistic, Unit};
+
+/// The photo size (Kb) at the start of the process.
+pub fn outcomp() -> Var {
+    Var::new("outcomp")
+}
+
+/// The photo size after the black-and-white filter.
+pub fn bwbyte() -> Var {
+    Var::new("bwbyte")
+}
+
+/// The photo size after the red filter.
+pub fn redbyte() -> Var {
+    Var::new("redbyte")
+}
+
+/// The photo size after the final compression, back at the client.
+pub fn incomp() -> Var {
+    Var::new("incomp")
+}
+
+/// The domains of the four size variables: `{0, step, 2·step, …,
+/// max_kb}`.
+///
+/// The paper's quantitative constraints speak of sizes up to 4096 Kb;
+/// `step` trades fidelity for solver cost (benches sweep it).
+///
+/// # Panics
+///
+/// Panics if `step == 0`.
+pub fn domains(max_kb: i64, step: i64) -> Domains {
+    let size = Domain::ints_stepped(0, max_kb, step);
+    Domains::new()
+        .with(outcomp(), size.clone())
+        .with(bwbyte(), size.clone())
+        .with(redbyte(), size.clone())
+        .with(incomp(), size)
+}
+
+fn leq(x: Var, y: Var) -> Constraint<Boolean> {
+    Constraint::binary(Boolean, x, y, |a, b| {
+        a.as_int().unwrap() <= b.as_int().unwrap()
+    })
+}
+
+/// The client's requirement: `Memory ≡ incomp ≤ outcomp` — the photo
+/// must not occupy more memory after the round trip.
+pub fn memory() -> Constraint<Boolean> {
+    leq(incomp(), outcomp()).with_label("Memory")
+}
+
+/// The red-filter staff's policy: `RedFilter ≡ redbyte ≤ bwbyte`.
+pub fn red_filter() -> Constraint<Boolean> {
+    leq(redbyte(), bwbyte()).with_label("RedFilter")
+}
+
+/// The black-and-white staff's policy: `BWFilter ≡ bwbyte ≤ outcomp`.
+pub fn bw_filter() -> Constraint<Boolean> {
+    leq(bwbyte(), outcomp()).with_label("BWFilter")
+}
+
+/// The compression module's policy: `Compression ≡ incomp ≤ redbyte`.
+pub fn compression() -> Constraint<Boolean> {
+    leq(incomp(), redbyte()).with_label("Compression")
+}
+
+/// The *unreliable* red filter of the paper's `Imp2`: a small bug lets
+/// it take on any behaviour, so its policy is the vacuous
+/// `redbyte ≤ bwbyte ∨ redbyte > bwbyte = true`.
+pub fn unreliable_red_filter() -> Constraint<Boolean> {
+    Constraint::crisp(Boolean, &vars(["redbyte", "bwbyte"]), |_| true)
+        .with_label("RedFilter(unreliable)")
+}
+
+/// `Imp1 ≡ RedFilter ⊗ BWFilter ⊗ Compression` — the design that
+/// assumes every module reliable.
+pub fn imp1() -> Constraint<Boolean> {
+    red_filter()
+        .combine(&bw_filter())
+        .combine(&compression())
+        .with_label("Imp1")
+}
+
+/// `Imp2 ≡ BWFilter ⊗ RedFilter(unreliable) ⊗ Compression` — the more
+/// realistic design acknowledging the red filter's bug.
+pub fn imp2() -> Constraint<Boolean> {
+    bw_filter()
+        .combine(&unreliable_red_filter())
+        .combine(&compression())
+        .with_label("Imp2")
+}
+
+/// The interface of the federated service: the client-visible
+/// variables `{incomp, outcomp}`.
+pub fn interface() -> Vec<Var> {
+    vec![incomp(), outcomp()]
+}
+
+/// The paper's reliability shape for a size-reducing stage, as given
+/// for `c1`:
+///
+/// ```text
+/// c(in, out) = 1                       if in ≤ 1024 Kb
+///            = 0                       if in > 4096 Kb
+///            = 1 − in / (100 · out)    otherwise
+/// ```
+///
+/// "The more the image size is reduced during the compression, the
+/// more it is possible to experience some errors." Degenerate cases
+/// (`out = 0`, negative values) clamp to `0`.
+pub fn stage_reliability(input_kb: i64, output_kb: i64) -> Unit {
+    if input_kb <= 1024 {
+        Unit::MAX
+    } else if input_kb > 4096 {
+        Unit::MIN
+    } else if output_kb <= 0 {
+        Unit::MIN
+    } else {
+        Unit::clamped(1.0 - input_kb as f64 / (100.0 * output_kb as f64))
+    }
+}
+
+fn reliability_constraint(input: Var, output: Var, label: &str) -> Constraint<Probabilistic> {
+    Constraint::binary(Probabilistic, input, output, |a, b| {
+        stage_reliability(a.as_int().unwrap(), b.as_int().unwrap())
+    })
+    .with_label(label)
+}
+
+/// `c1(outcomp, bwbyte)`: the BW-filter stage's reliability (the
+/// constraint spelled out in the paper, with `c1(4096, 1024) = 0.96`).
+pub fn c1() -> Constraint<Probabilistic> {
+    reliability_constraint(outcomp(), bwbyte(), "c1")
+}
+
+/// `c2(bwbyte, redbyte)`: the red-filter stage's reliability
+/// ("in the same way, we can define c2 and c3").
+pub fn c2() -> Constraint<Probabilistic> {
+    reliability_constraint(bwbyte(), redbyte(), "c2")
+}
+
+/// `c3(redbyte, incomp)`: the compression stage's reliability.
+pub fn c3() -> Constraint<Probabilistic> {
+    reliability_constraint(redbyte(), incomp(), "c3")
+}
+
+/// `Imp3 = c1 ⊗ c2 ⊗ c3`: the global reliability of the system.
+pub fn imp3() -> Constraint<Probabilistic> {
+    c1().combine(&c2()).combine(&c3()).with_label("Imp3")
+}
+
+/// The client's minimum-reliability requirement `MemoryProb`: a
+/// constant demanded level over the interface variables.
+pub fn memory_prob(min_reliability: Unit) -> Constraint<Probabilistic> {
+    Constraint::from_fn(
+        Probabilistic,
+        &interface(),
+        move |_| min_reliability,
+    )
+    .with_label("MemoryProb")
+}
+
+/// Finds the most reliable end-to-end configuration: the assignment of
+/// all four size variables maximising `Imp3`, given a fixed input size.
+///
+/// Uses the `blevel` machinery of the solver (the paper: "by exploiting
+/// the notion of best level of consistency, we can find the best (i.e.
+/// the most reliable) implementation among those possible").
+///
+/// # Errors
+///
+/// Returns [`softsoa_core::SolveError`] if the sizes exceed the
+/// declared domains.
+pub fn best_configuration(
+    input_kb: i64,
+    domains: &Domains,
+) -> Result<(softsoa_core::Assignment, Unit), softsoa_core::SolveError> {
+    use softsoa_core::Scsp;
+    let fixed_input = Constraint::unary(Probabilistic, outcomp(), move |v| {
+        if v.as_int() == Some(input_kb) {
+            Unit::MAX
+        } else {
+            Unit::MIN
+        }
+    });
+    // The pipeline's size-ordering policies, cast into the
+    // probabilistic semiring as crisp constraints: a feasible
+    // configuration must still be a run of the Fig. 8 pipeline.
+    let chain = |x: Var, y: Var| {
+        Constraint::binary(Probabilistic, x, y, |a, b| {
+            if a.as_int().unwrap() <= b.as_int().unwrap() {
+                Unit::MAX
+            } else {
+                Unit::MIN
+            }
+        })
+    };
+    let mut p = Scsp::new(Probabilistic)
+        .with_constraint(imp3())
+        .with_constraint(fixed_input)
+        .with_constraint(chain(bwbyte(), outcomp()))
+        .with_constraint(chain(redbyte(), bwbyte()))
+        .with_constraint(chain(incomp(), redbyte()))
+        .of_interest([outcomp(), bwbyte(), redbyte(), incomp()]);
+    for (v, d) in domains.iter() {
+        p.add_domain(v.clone(), d.clone());
+    }
+    let solution = p.solve()?;
+    let best = solution
+        .best()
+        .first()
+        .cloned()
+        .map(|(eta, level)| (eta, level))
+        .unwrap_or_else(|| (softsoa_core::Assignment::new(), Unit::MIN));
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refinement::{check_refinement, locally_refines, meets_requirement};
+    use softsoa_core::Assignment;
+
+    fn doms() -> Domains {
+        domains(4096, 512)
+    }
+
+    #[test]
+    fn imp1_upholds_memory() {
+        // Imp1 ⇓ {incomp, outcomp} ⊑ Memory (the paper's integrity check).
+        assert!(locally_refines(&imp1(), &memory(), &interface(), &doms()).unwrap());
+    }
+
+    #[test]
+    fn imp2_fails_memory() {
+        // With the unreliable red filter, redbyte is unconstrained and
+        // the memory probity requirement no longer holds.
+        let report = check_refinement(&imp2(), &memory(), &interface(), &doms()).unwrap();
+        assert!(!report.holds());
+        let ce = report.counterexample().unwrap();
+        let inc = ce.assignment.get(&incomp()).unwrap().as_int().unwrap();
+        let out = ce.assignment.get(&outcomp()).unwrap().as_int().unwrap();
+        assert!(inc > out, "counterexample must violate incomp ≤ outcomp");
+    }
+
+    #[test]
+    fn paper_reliability_value() {
+        // c1(4096, 1024) = 1 − 4096/(100·1024) = 0.96.
+        assert!((stage_reliability(4096, 1024).get() - 0.96).abs() < 1e-12);
+        // ≤ 1 Mb inputs are fully reliable; > 4 Mb inputs fail.
+        assert_eq!(stage_reliability(1024, 1), Unit::MAX);
+        assert_eq!(stage_reliability(4097, 4096), Unit::MIN);
+        // Degenerate zero output.
+        assert_eq!(stage_reliability(2048, 0), Unit::MIN);
+    }
+
+    #[test]
+    fn c1_matches_formula_on_assignments() {
+        let eta = Assignment::new().bind(outcomp(), 4096).bind(bwbyte(), 1024);
+        assert!((c1().eval(&eta).get() - 0.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imp3_multiplies_stage_reliabilities() {
+        let eta = Assignment::new()
+            .bind(outcomp(), 2048)
+            .bind(bwbyte(), 2048)
+            .bind(redbyte(), 1024)
+            .bind(incomp(), 512);
+        let expected = stage_reliability(2048, 2048).get()
+            * stage_reliability(2048, 1024).get()
+            * stage_reliability(1024, 512).get();
+        assert!((imp3().eval(&eta).get() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_requirement_direction() {
+        // A modest requirement is met; a perfect one is not (large
+        // inputs can always fail).
+        let imp = imp3();
+        assert!(meets_requirement(&imp, &memory_prob(Unit::MIN), &doms()).unwrap());
+        assert!(!meets_requirement(&imp, &memory_prob(Unit::MAX), &doms()).unwrap());
+    }
+
+    #[test]
+    fn best_configuration_prefers_gentle_stages() {
+        let doms = domains(4096, 1024);
+        let (eta, level) = best_configuration(2048, &doms).unwrap();
+        assert!(level > Unit::MIN);
+        // The best plan keeps every stage at ≤ 1024 Kb input or shrinks
+        // minimally; in particular outcomp is fixed at the input size.
+        assert_eq!(eta.get(&outcomp()).unwrap().as_int(), Some(2048));
+    }
+}

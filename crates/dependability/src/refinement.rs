@@ -1,0 +1,241 @@
+//! Integrity as refinement (Sec. 5, Defs. 1 and 2).
+
+use softsoa_core::{Assignment, Constraint, Domains, MissingDomainError, Var};
+use softsoa_semiring::Semiring;
+
+/// The result of a refinement check, with a counterexample when it
+/// fails.
+///
+/// Returned by [`check_refinement`]; [`locally_refines`] is the
+/// boolean shortcut.
+#[derive(Debug, Clone)]
+pub struct RefinementReport<S: Semiring> {
+    holds: bool,
+    counterexample: Option<Counterexample<S>>,
+}
+
+/// An interface assignment witnessing a refinement failure.
+#[derive(Debug, Clone)]
+pub struct Counterexample<S: Semiring> {
+    /// The assignment of the interface variables.
+    pub assignment: Assignment,
+    /// The implementation's level there (`S⇓V η`).
+    pub implementation_level: S::Value,
+    /// The requirement's level there (`R⇓V η`).
+    pub requirement_level: S::Value,
+}
+
+impl<S: Semiring> RefinementReport<S> {
+    /// Whether the refinement holds.
+    pub fn holds(&self) -> bool {
+        self.holds
+    }
+
+    /// A counterexample, when the refinement fails.
+    pub fn counterexample(&self) -> Option<&Counterexample<S>> {
+        self.counterexample.as_ref()
+    }
+}
+
+/// Definition 1: `S` *locally refines* `R` through the interface `V`
+/// iff `S⇓V ⊑ R⇓V`.
+///
+/// Projection hides the internal variables; the comparison then
+/// quantifies over interface assignments only, which is exactly how
+/// Sec. 5 checks that the composed photo-editing implementation
+/// upholds the client's `Memory` requirement.
+///
+/// # Errors
+///
+/// Returns [`MissingDomainError`] if a support or interface variable
+/// has no domain.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::{vars, Constraint, Domain, Domains};
+/// use softsoa_dependability::locally_refines;
+/// use softsoa_semiring::Boolean;
+///
+/// let doms = Domains::new()
+///     .with("in", Domain::ints(0..=3))
+///     .with("mid", Domain::ints(0..=3))
+///     .with("out", Domain::ints(0..=3));
+/// let stage1 = Constraint::crisp(Boolean, &vars(["in", "mid"]), |t| {
+///     t[1].as_int() <= t[0].as_int()
+/// });
+/// let stage2 = Constraint::crisp(Boolean, &vars(["mid", "out"]), |t| {
+///     t[1].as_int() <= t[0].as_int()
+/// });
+/// let requirement = Constraint::crisp(Boolean, &vars(["in", "out"]), |t| {
+///     t[1].as_int() <= t[0].as_int()
+/// });
+/// let implementation = stage1.combine(&stage2);
+/// assert!(locally_refines(&implementation, &requirement, &vars(["in", "out"]), &doms)?);
+/// # Ok::<(), softsoa_core::MissingDomainError>(())
+/// ```
+pub fn locally_refines<S: Semiring>(
+    implementation: &Constraint<S>,
+    requirement: &Constraint<S>,
+    interface: &[Var],
+    domains: &Domains,
+) -> Result<bool, MissingDomainError> {
+    Ok(check_refinement(implementation, requirement, interface, domains)?.holds())
+}
+
+/// Definition 2: `S` is *as dependably safe as* `R` at the interface
+/// `E` iff `S⇓E ⊑ R⇓E`.
+///
+/// The same relation as [`locally_refines`]; the paper's Def. 2 adds
+/// the reading that `S` includes "details about the nature of the
+/// reliability of its infrastructure" — dependability is a class of
+/// refinement.
+///
+/// # Errors
+///
+/// Returns [`MissingDomainError`] if a support or interface variable
+/// has no domain.
+pub fn dependably_safe<S: Semiring>(
+    implementation: &Constraint<S>,
+    requirement: &Constraint<S>,
+    interface: &[Var],
+    domains: &Domains,
+) -> Result<bool, MissingDomainError> {
+    locally_refines(implementation, requirement, interface, domains)
+}
+
+/// Checks Definition 1 and, on failure, produces the first interface
+/// assignment where `S⇓V η ≰ R⇓V η`.
+///
+/// # Errors
+///
+/// Returns [`MissingDomainError`] if a support or interface variable
+/// has no domain.
+pub fn check_refinement<S: Semiring>(
+    implementation: &Constraint<S>,
+    requirement: &Constraint<S>,
+    interface: &[Var],
+    domains: &Domains,
+) -> Result<RefinementReport<S>, MissingDomainError> {
+    let semiring = implementation.semiring().clone();
+    let s_proj = implementation.project(interface, domains)?;
+    let r_proj = requirement.project(interface, domains)?;
+
+    // Quantify over the interface variables (sorted, deduplicated).
+    let mut vars: Vec<Var> = interface.to_vec();
+    vars.sort();
+    vars.dedup();
+    for tuple in domains.tuples(&vars)? {
+        let eta = Assignment::from_tuple(&vars, &tuple);
+        let s_level = s_proj.eval(&eta);
+        let r_level = r_proj.eval(&eta);
+        if !semiring.leq(&s_level, &r_level) {
+            return Ok(RefinementReport {
+                holds: false,
+                counterexample: Some(Counterexample {
+                    assignment: eta,
+                    implementation_level: s_level,
+                    requirement_level: r_level,
+                }),
+            });
+        }
+    }
+    Ok(RefinementReport {
+        holds: true,
+        counterexample: None,
+    })
+}
+
+/// The quantitative reading of Sec. 5: the composition `imp` *meets*
+/// the minimum-level requirement `req` iff `req ⊑ imp` — the
+/// implementation's level is at least the required one everywhere.
+///
+/// Note the direction flip with respect to [`locally_refines`]: for
+/// crisp integrity the implementation must *allow no more* than the
+/// requirement, while for quantitative reliability it must *provide
+/// at least* the required level (the paper's `MemoryProb ⊑ Imp3`).
+///
+/// # Errors
+///
+/// Returns [`MissingDomainError`] if a support variable has no domain.
+pub fn meets_requirement<S: Semiring>(
+    implementation: &Constraint<S>,
+    requirement: &Constraint<S>,
+    domains: &Domains,
+) -> Result<bool, MissingDomainError> {
+    requirement.leq(implementation, domains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_core::{vars, Domain};
+    use softsoa_semiring::{Boolean, Probabilistic, Unit};
+
+    fn doms() -> Domains {
+        Domains::new()
+            .with("a", Domain::ints(0..=3))
+            .with("b", Domain::ints(0..=3))
+            .with("c", Domain::ints(0..=3))
+    }
+
+    fn leq_constraint(x: &str, y: &str) -> Constraint<Boolean> {
+        Constraint::crisp(Boolean, &vars([x, y]), |t| {
+            t[0].as_int().unwrap() <= t[1].as_int().unwrap()
+        })
+    }
+
+    #[test]
+    fn chain_refines_end_to_end_requirement() {
+        // a ≤ b ⊗ b ≤ c refines a ≤ c at interface {a, c}.
+        let imp = leq_constraint("a", "b").combine(&leq_constraint("b", "c"));
+        let req = leq_constraint("a", "c");
+        assert!(locally_refines(&imp, &req, &vars(["a", "c"]), &doms()).unwrap());
+    }
+
+    #[test]
+    fn broken_chain_fails_with_counterexample() {
+        // Drop the middle constraint: b unconstrained, so a ≤ c is not
+        // enforced.
+        let imp = leq_constraint("a", "b").combine(&Constraint::always(Boolean));
+        let req = leq_constraint("a", "c");
+        let report = check_refinement(&imp, &req, &vars(["a", "c"]), &doms()).unwrap();
+        assert!(!report.holds());
+        let ce = report.counterexample().unwrap();
+        // The implementation allows (true) an assignment the
+        // requirement forbids (false).
+        assert!(ce.implementation_level);
+        assert!(!ce.requirement_level);
+        let a = ce.assignment.get(&Var::new("a")).unwrap().as_int().unwrap();
+        let c = ce.assignment.get(&Var::new("c")).unwrap().as_int().unwrap();
+        assert!(a > c);
+    }
+
+    #[test]
+    fn dependably_safe_is_an_alias() {
+        let imp = leq_constraint("a", "b");
+        let req = leq_constraint("a", "b");
+        assert!(dependably_safe(&imp, &req, &vars(["a", "b"]), &doms()).unwrap());
+    }
+
+    #[test]
+    fn meets_requirement_quantitative_direction() {
+        let u = |v: f64| Unit::new(v).unwrap();
+        let imp = Constraint::unary(Probabilistic, "a", move |_| u(0.9));
+        let req_ok = Constraint::unary(Probabilistic, "a", move |_| u(0.8));
+        let req_too_high = Constraint::unary(Probabilistic, "a", move |_| u(0.95));
+        assert!(meets_requirement(&imp, &req_ok, &doms()).unwrap());
+        assert!(!meets_requirement(&imp, &req_too_high, &doms()).unwrap());
+    }
+
+    #[test]
+    fn refinement_is_reflexive_and_transitive_on_samples() {
+        let c1 = leq_constraint("a", "b");
+        let c2 = c1.combine(&leq_constraint("b", "c"));
+        let iface = vars(["a", "b"]);
+        // Reflexive.
+        assert!(locally_refines(&c1, &c1, &iface, &doms()).unwrap());
+        // c2 ⊑ c1 (combination only constrains further) → c2 refines c1.
+        assert!(locally_refines(&c2, &c1, &iface, &doms()).unwrap());
+    }
+}

@@ -1,0 +1,384 @@
+//! Bounded exploration of the `nmsccp` transition system.
+//!
+//! The interpreter resolves the semantics' nondeterminism with one
+//! policy; the [`Explorer`] instead walks **every** schedule (up to
+//! configurable bounds), turning the operational semantics of Fig. 4
+//! into a model checker for negotiation questions the paper's broker
+//! would ask before signing anything:
+//!
+//! - *possibility* — is there **some** schedule under which all
+//!   parties reach `success`?
+//! - *guarantee* — does **every** maximal schedule reach `success`
+//!   (no deadlock and no livelock within the bound)?
+//!
+//! Configurations are deduplicated by a canonical key (agent structure
+//! plus the store's extensional table), so commuting interleavings are
+//! explored once.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use softsoa_semiring::{Residuated, Semiring};
+
+use crate::semantics::{enabled, FreshGen, SemanticsError};
+use crate::{Agent, Program, Store};
+
+/// The verdicts of a bounded exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exploration {
+    /// Distinct configurations visited.
+    pub configurations: usize,
+    /// Transitions traversed.
+    pub transitions: usize,
+    /// Whether some schedule reaches `success`.
+    pub success_reachable: bool,
+    /// Whether some schedule reaches a deadlock (suspension with no
+    /// enabled transition).
+    pub deadlock_reachable: bool,
+    /// Whether every explored maximal path ends in `success`. Only
+    /// meaningful when the exploration is complete (`!truncated`).
+    pub always_succeeds: bool,
+    /// Whether a bound was hit before the state space was exhausted;
+    /// when `true`, negative answers ("not reachable") are not
+    /// conclusive.
+    pub truncated: bool,
+}
+
+/// A breadth-first explorer of all schedules of a configuration.
+///
+/// # Examples
+///
+/// The paper's Example 1 can never succeed — under *any* schedule —
+/// while Example 2 succeeds under *every* schedule:
+///
+/// ```
+/// use softsoa_core::{Constraint, Domain, Domains};
+/// use softsoa_nmsccp::{parse_agent, Explorer, ParseEnv, Program, Store};
+/// use softsoa_semiring::WeightedInt;
+///
+/// let lin = |a: u64, b: u64| Constraint::unary(WeightedInt, "x", move |v| {
+///     a * v.as_int().unwrap() as u64 + b
+/// });
+/// let env = ParseEnv::new(WeightedInt)
+///     .with_constraint("c1", lin(1, 3))
+///     .with_constraint("c3", lin(2, 0))
+///     .with_constraint("c4", lin(1, 5))
+///     .with_constraint("one", Constraint::always(WeightedInt))
+///     .with_level("two", 2u64).with_level("four", 4u64).with_level("ten", 10u64);
+/// let store = || Store::empty(WeightedInt,
+///     Domains::new().with("x", Domain::ints(0..=10)));
+///
+/// let explorer = Explorer::new(Program::new());
+/// let ex1 = parse_agent(
+///     "tell(c4) success || tell(c3) ask(one) ->[four, two] success", &env)?;
+/// let verdict = explorer.explore(ex1, store())?;
+/// assert!(!verdict.success_reachable && verdict.deadlock_reachable);
+///
+/// let ex2 = parse_agent(
+///     "tell(c4) retract(c1) ->[ten, two] success \
+///      || tell(c3) ask(one) ->[four, two] success", &env)?;
+/// let verdict = explorer.explore(ex2, store())?;
+/// assert!(verdict.success_reachable && verdict.always_succeeds);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer<S: Semiring> {
+    program: Program<S>,
+    max_configurations: usize,
+    max_depth: usize,
+}
+
+impl<S: Residuated> Explorer<S> {
+    /// Creates an explorer bounded at 10 000 configurations and depth
+    /// 256.
+    pub fn new(program: Program<S>) -> Explorer<S> {
+        Explorer {
+            program,
+            max_configurations: 10_000,
+            max_depth: 256,
+        }
+    }
+
+    /// Sets the configuration bound.
+    pub fn with_max_configurations(mut self, bound: usize) -> Explorer<S> {
+        self.max_configurations = bound;
+        self
+    }
+
+    /// Sets the depth bound.
+    pub fn with_max_depth(mut self, bound: usize) -> Explorer<S> {
+        self.max_depth = bound;
+        self
+    }
+
+    /// Explores every schedule of `⟨agent, store⟩` breadth-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemanticsError`] if any configuration's transitions
+    /// cannot be computed (missing domains, unknown procedures, ...).
+    pub fn explore(
+        &self,
+        agent: Agent<S>,
+        store: Store<S>,
+    ) -> Result<Exploration, SemanticsError> {
+        let mut fresh = FreshGen::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut queue: VecDeque<(Agent<S>, Store<S>, usize)> = VecDeque::new();
+        let mut result = Exploration {
+            configurations: 0,
+            transitions: 0,
+            success_reachable: false,
+            deadlock_reachable: false,
+            always_succeeds: true,
+            truncated: false,
+        };
+
+        let agent = agent.normalize();
+        seen.insert(config_key(&agent, &store)?);
+        queue.push_back((agent, store, 0));
+
+        while let Some((agent, store, depth)) = queue.pop_front() {
+            result.configurations += 1;
+            if agent.is_success() {
+                result.success_reachable = true;
+                continue;
+            }
+            if depth >= self.max_depth {
+                result.truncated = true;
+                result.always_succeeds = false;
+                continue;
+            }
+            let transitions = enabled(&self.program, &agent, &store, &mut fresh)?;
+            if transitions.is_empty() {
+                result.deadlock_reachable = true;
+                result.always_succeeds = false;
+                continue;
+            }
+            for t in transitions {
+                result.transitions += 1;
+                let next = t.agent.normalize();
+                let key = config_key(&next, &t.store)?;
+                if seen.contains(&key) {
+                    continue;
+                }
+                if seen.len() >= self.max_configurations {
+                    result.truncated = true;
+                    result.always_succeeds = false;
+                    continue;
+                }
+                seen.insert(key);
+                queue.push_back((next, t.store, depth + 1));
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// A canonical key for a configuration: the agent's display form plus
+/// the store's extensional content over its support.
+///
+/// Hiding introduces fresh variable *names*, so configurations that
+/// differ only in the numbering of fresh variables get distinct keys —
+/// the exploration stays sound (it may only visit more states, never
+/// fewer).
+fn config_key<S: Semiring>(agent: &Agent<S>, store: &Store<S>) -> Result<String, SemanticsError> {
+    use std::fmt::Write as _;
+    let mut key = agent.to_string();
+    key.push('|');
+    let sigma = store.sigma();
+    let tuples = store
+        .domains()
+        .tuples(sigma.scope())
+        .map_err(crate::StoreError::from)?;
+    for tuple in tuples {
+        let level = sigma.eval_tuple(&tuple);
+        let _ = write!(key, "{level:?};");
+    }
+    Ok(key)
+}
+
+/// Summary statistics of exploring many scenarios (used by tooling and
+/// tests that sweep scenario families).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExplorationStats {
+    /// Scenarios where success is possible.
+    pub possible: usize,
+    /// Scenarios where success is guaranteed.
+    pub guaranteed: usize,
+    /// Scenarios explored.
+    pub total: usize,
+}
+
+impl ExplorationStats {
+    /// Folds one exploration into the stats.
+    pub fn record(&mut self, e: &Exploration) {
+        self.total += 1;
+        if e.success_reachable {
+            self.possible += 1;
+        }
+        if e.always_succeeds && !e.truncated {
+            self.guaranteed += 1;
+        }
+    }
+}
+
+/// A private map alias kept out of the public API.
+#[allow(dead_code)]
+type ConfigMap<S> = HashMap<String, (Agent<S>, Store<S>)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Guard, Interval};
+    use softsoa_core::{Constraint, Domain, Domains, Var};
+    use softsoa_semiring::WeightedInt;
+
+    fn doms() -> Domains {
+        Domains::new().with("x", Domain::ints(0..=10))
+    }
+
+    fn store() -> Store<WeightedInt> {
+        Store::empty(WeightedInt, doms())
+    }
+
+    fn lin(a: u64, b: u64, name: &str) -> Constraint<WeightedInt> {
+        Constraint::unary(WeightedInt, "x", move |v| {
+            a * v.as_int().unwrap() as u64 + b
+        })
+        .with_label(name)
+    }
+
+    fn any() -> Interval<WeightedInt> {
+        Interval::any(&WeightedInt)
+    }
+
+    #[test]
+    fn example1_is_impossible_example2_is_guaranteed() {
+        let explorer = Explorer::new(Program::new());
+        // Example 1.
+        let e1 = Agent::par(
+            Agent::tell(lin(1, 5, "c4"), any(), Agent::success()),
+            Agent::tell(
+                lin(2, 0, "c3"),
+                any(),
+                Agent::ask(
+                    Constraint::always(WeightedInt),
+                    Interval::levels(4u64, 1u64),
+                    Agent::success(),
+                ),
+            ),
+        );
+        let v1 = explorer.explore(e1, store()).unwrap();
+        assert!(!v1.success_reachable);
+        assert!(v1.deadlock_reachable);
+        assert!(!v1.truncated);
+
+        // Example 2.
+        let e2 = Agent::par(
+            Agent::tell(
+                lin(1, 5, "c4"),
+                any(),
+                Agent::retract(lin(1, 3, "c1"), Interval::levels(10u64, 2u64), Agent::success()),
+            ),
+            Agent::tell(
+                lin(2, 0, "c3"),
+                any(),
+                Agent::ask(
+                    Constraint::always(WeightedInt),
+                    Interval::levels(4u64, 1u64),
+                    Agent::success(),
+                ),
+            ),
+        );
+        let v2 = explorer.explore(e2, store()).unwrap();
+        assert!(v2.success_reachable);
+        assert!(v2.always_succeeds, "{v2:?}");
+        assert!(!v2.deadlock_reachable);
+    }
+
+    #[test]
+    fn schedule_dependent_success_is_detected() {
+        // A race: the asker needs the store at exactly level 1, but a
+        // second teller can push it to 2 first. Success is possible
+        // (ask before the second tell) but not guaranteed.
+        let asker = Agent::ask(
+            Constraint::always(WeightedInt),
+            Interval::levels(1u64, 1u64),
+            Agent::success(),
+        );
+        let first = Agent::tell(lin(0, 1, "one"), any(), Agent::success());
+        let second = Agent::tell(lin(0, 1, "one-more"), any(), Agent::success());
+        let agent = Agent::par(first, Agent::par(asker, second));
+        let v = Explorer::new(Program::new()).explore(agent, store()).unwrap();
+        assert!(v.success_reachable);
+        assert!(!v.always_succeeds);
+        assert!(v.deadlock_reachable);
+    }
+
+    #[test]
+    fn nondeterministic_sums_fan_out() {
+        let agent = Agent::sum([
+            Guard::nask(lin(1, 1, "a"), any(), Agent::tell(lin(0, 1, "ta"), any(), Agent::success())),
+            Guard::nask(lin(2, 2, "b"), any(), Agent::tell(lin(0, 2, "tb"), any(), Agent::success())),
+        ]);
+        let v = Explorer::new(Program::new()).explore(agent, store()).unwrap();
+        assert!(v.success_reachable);
+        assert!(v.always_succeeds);
+        // Both branches and both final stores are distinct configs.
+        assert!(v.configurations >= 4, "{v:?}");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        // An unbounded livelock: p :: tell(one-more) p.
+        let program: Program<WeightedInt> = Program::new().with_clause(
+            "p",
+            [Var::new("x")],
+            Agent::tell(lin(0, 1, "more"), any(), Agent::call("p", [Var::new("x")])),
+        );
+        let v = Explorer::new(program)
+            .with_max_configurations(40)
+            .with_max_depth(20)
+            .explore(Agent::call("p", [Var::new("x")]), store())
+            .unwrap();
+        assert!(v.truncated);
+        assert!(!v.always_succeeds);
+    }
+
+    #[test]
+    fn interleavings_are_deduplicated() {
+        // Two commuting tells: 2 orders, but the final store is shared,
+        // so we see 4 configurations (start, two mids, one end), not 5.
+        let a = Agent::tell(lin(0, 1, "a"), any(), Agent::success());
+        let b = Agent::tell(lin(0, 2, "b"), any(), Agent::success());
+        let v = Explorer::new(Program::new())
+            .explore(Agent::par(a, b), store())
+            .unwrap();
+        assert_eq!(v.configurations, 4, "{v:?}");
+        assert!(v.always_succeeds);
+    }
+
+    #[test]
+    fn stats_fold() {
+        let mut stats = ExplorationStats::default();
+        stats.record(&Exploration {
+            configurations: 1,
+            transitions: 0,
+            success_reachable: true,
+            deadlock_reachable: false,
+            always_succeeds: true,
+            truncated: false,
+        });
+        stats.record(&Exploration {
+            configurations: 1,
+            transitions: 0,
+            success_reachable: false,
+            deadlock_reachable: true,
+            always_succeeds: false,
+            truncated: false,
+        });
+        assert_eq!(stats.total, 2);
+        assert_eq!(stats.possible, 1);
+        assert_eq!(stats.guaranteed, 1);
+    }
+}

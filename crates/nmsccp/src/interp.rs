@@ -1,0 +1,412 @@
+//! A sequential interleaving interpreter for `nmsccp` configurations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use softsoa_semiring::{Residuated, Semiring};
+
+use crate::semantics::{enabled, FreshGen, Rule, SemanticsError};
+use crate::{Agent, Program, Store};
+
+/// How the interpreter picks among enabled transitions.
+///
+/// The operational semantics is nondeterministic (rules R3/R5); a
+/// policy resolves that nondeterminism. Both policies are
+/// deterministic given their inputs, so every run is reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Always take the first enabled transition (left-most agent).
+    First,
+    /// Rotate through the enabled transitions by step index — a fair
+    /// deterministic schedule: no agent is starved forever while
+    /// enabled.
+    RoundRobin,
+    /// Pick uniformly at random with the given seed.
+    Random(u64),
+}
+
+/// One executed step, for post-mortem inspection of a run.
+#[derive(Debug, Clone)]
+pub struct TraceEntry<S: Semiring> {
+    /// 0-based step index.
+    pub step: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Description of the action (e.g. `tell(c4)`).
+    pub note: String,
+    /// The store consistency `σ ⇓ ∅` after the step.
+    pub consistency: S::Value,
+    /// How many transitions were enabled when this one was chosen.
+    pub enabled: usize,
+}
+
+/// The terminal state of a run.
+#[derive(Debug, Clone)]
+pub enum Outcome<S: Semiring> {
+    /// Every agent reached `success`.
+    Success {
+        /// The final store.
+        store: Store<S>,
+    },
+    /// No transition is enabled but agents remain: the configuration
+    /// is suspended forever (a failed negotiation, in the paper's
+    /// reading).
+    Deadlock {
+        /// The store at the deadlock.
+        store: Store<S>,
+        /// The suspended residual agent.
+        agent: Agent<S>,
+    },
+    /// The step budget ran out (e.g. a livelock of asks and retracts).
+    OutOfFuel {
+        /// The store when the budget ran out.
+        store: Store<S>,
+        /// The residual agent.
+        agent: Agent<S>,
+    },
+}
+
+impl<S: Semiring> Outcome<S> {
+    /// Whether the run terminated with `success`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success { .. })
+    }
+
+    /// The store carried by any outcome.
+    pub fn store(&self) -> &Store<S> {
+        match self {
+            Outcome::Success { store }
+            | Outcome::Deadlock { store, .. }
+            | Outcome::OutOfFuel { store, .. } => store,
+        }
+    }
+}
+
+/// The full report of a run: outcome, step count and trace.
+#[derive(Debug, Clone)]
+pub struct RunReport<S: Semiring> {
+    /// The terminal state.
+    pub outcome: Outcome<S>,
+    /// Number of executed transitions.
+    pub steps: usize,
+    /// The executed transitions, in order.
+    pub trace: Vec<TraceEntry<S>>,
+}
+
+/// A sequential interpreter executing an agent against a store.
+///
+/// # Examples
+///
+/// Example 1 of the paper — providers P1 and P2 merge their policies
+/// and P2's final interval check fails, so the run deadlocks:
+///
+/// ```
+/// use softsoa_nmsccp::{Agent, Interpreter, Interval, Program, Store};
+/// use softsoa_core::{Constraint, Domain, Domains};
+/// use softsoa_semiring::WeightedInt;
+///
+/// let doms = Domains::new().with("x", Domain::ints(0..=10));
+/// let c4 = Constraint::unary(WeightedInt, "x", |v| v.as_int().unwrap() as u64 + 5);
+/// let c3 = Constraint::unary(WeightedInt, "x", |v| 2 * v.as_int().unwrap() as u64);
+///
+/// let p1 = Agent::tell(c4, Interval::any(&WeightedInt), Agent::success());
+/// let p2 = Agent::tell(c3, Interval::any(&WeightedInt),
+///     // ask(1̄) →^1_4: succeed only if the merged store needs 1–4 hours
+///     Agent::ask(Constraint::always(WeightedInt), Interval::levels(4u64, 1u64),
+///         Agent::success()));
+///
+/// let report = Interpreter::new(Program::new())
+///     .run(Agent::par(p1, p2), Store::empty(WeightedInt, doms))?;
+/// assert!(!report.outcome.is_success()); // σ⇓∅ = 5 ∉ [1, 4]
+/// # Ok::<(), softsoa_nmsccp::SemanticsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter<S: Semiring> {
+    program: Program<S>,
+    policy: Policy,
+    max_steps: usize,
+}
+
+impl<S: Residuated> Interpreter<S> {
+    /// Creates an interpreter with the [`Policy::First`] policy and a
+    /// budget of 10 000 steps.
+    pub fn new(program: Program<S>) -> Interpreter<S> {
+        Interpreter {
+            program,
+            policy: Policy::First,
+            max_steps: 10_000,
+        }
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: Policy) -> Interpreter<S> {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Interpreter<S> {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs `agent` to termination, deadlock or fuel exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemanticsError`] on missing domains, unknown
+    /// procedures, arity mismatches or unproductive recursion.
+    pub fn run(&self, agent: Agent<S>, store: Store<S>) -> Result<RunReport<S>, SemanticsError> {
+        let mut rng = match self.policy {
+            Policy::First | Policy::RoundRobin => None,
+            Policy::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        };
+        let mut fresh = FreshGen::new();
+        let mut agent = agent.normalize();
+        let mut store = store;
+        let mut trace = Vec::new();
+        let mut steps = 0;
+
+        loop {
+            if agent.is_success() {
+                return Ok(RunReport {
+                    outcome: Outcome::Success { store },
+                    steps,
+                    trace,
+                });
+            }
+            if steps >= self.max_steps {
+                return Ok(RunReport {
+                    outcome: Outcome::OutOfFuel { store, agent },
+                    steps,
+                    trace,
+                });
+            }
+            let transitions = enabled(&self.program, &agent, &store, &mut fresh)?;
+            if transitions.is_empty() {
+                return Ok(RunReport {
+                    outcome: Outcome::Deadlock { store, agent },
+                    steps,
+                    trace,
+                });
+            }
+            let count = transitions.len();
+            let index = match (&self.policy, &mut rng) {
+                (Policy::RoundRobin, _) => steps % count,
+                (_, Some(rng)) => rng.random_range(0..count),
+                _ => 0,
+            };
+            let chosen = transitions.into_iter().nth(index).expect("index in range");
+            trace.push(TraceEntry {
+                step: steps,
+                rule: chosen.rule,
+                note: chosen.note,
+                consistency: chosen.store.consistency()?,
+                enabled: count,
+            });
+            agent = chosen.agent.normalize();
+            store = chosen.store;
+            steps += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interval;
+    use softsoa_core::{Assignment, Constraint, Domain, Domains, Var};
+    use softsoa_semiring::WeightedInt;
+
+    fn doms() -> Domains {
+        Domains::new().with("x", Domain::ints(0..=10))
+    }
+
+    fn linear(a: u64, b: u64, name: &str) -> Constraint<WeightedInt> {
+        Constraint::unary(WeightedInt, "x", move |v| {
+            a * v.as_int().unwrap() as u64 + b
+        })
+        .with_label(name)
+    }
+
+    fn any() -> Interval<WeightedInt> {
+        Interval::any(&WeightedInt)
+    }
+
+    /// Example 1: merged policies cost 5 hours minimum; P2's final
+    /// interval [1, 4] rejects the store → no shared agreement.
+    #[test]
+    fn example1_no_agreement() {
+        let sp1 = linear(0, 0, "sp1"); // synchronisation constraints are
+        let sp2 = linear(0, 0, "sp2"); // zero-cost (pure signals)
+        let p1 = Agent::tell(
+            linear(1, 5, "c4"),
+            any(),
+            Agent::tell(sp2.clone(), any(), Agent::ask(sp1.clone(), Interval::levels(10u64, 2u64), Agent::success())),
+        );
+        let p2 = Agent::tell(
+            linear(2, 0, "c3"),
+            any(),
+            Agent::tell(sp1, any(), Agent::ask(sp2, Interval::levels(4u64, 1u64), Agent::success())),
+        );
+        let report = Interpreter::new(Program::new())
+            .run(Agent::par(p1, p2), Store::empty(WeightedInt, doms()))
+            .unwrap();
+        match &report.outcome {
+            Outcome::Deadlock { store, .. } => {
+                assert_eq!(store.consistency().unwrap(), 5);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    /// Example 2: retracting c1 relaxes the store to 2x + 2, level 2,
+    /// inside both intervals → both providers succeed.
+    #[test]
+    fn example2_agreement_after_retract() {
+        let p1 = Agent::tell(
+            linear(1, 5, "c4"),
+            any(),
+            Agent::retract(linear(1, 3, "c1"), Interval::levels(10u64, 2u64), Agent::success()),
+        );
+        let p2 = Agent::tell(
+            linear(2, 0, "c3"),
+            any(),
+            Agent::ask(
+                Constraint::always(WeightedInt),
+                Interval::levels(4u64, 1u64),
+                Agent::success(),
+            ),
+        );
+        // P1 then P2's ask: with the First policy, P1's tell and
+        // retract run before P2's ask can see the relaxed store; use
+        // the parallel order (P1 ‖ P2) and let the scheduler find it.
+        let report = Interpreter::new(Program::new())
+            .with_policy(Policy::Random(7))
+            .run(
+                Agent::par(p1, p2),
+                Store::empty(WeightedInt, doms()),
+            )
+            .unwrap();
+        // The run may deadlock under unlucky schedules (ask before
+        // retract with level 5 ∉ [1,4] suspends, then retract enables
+        // it again) — ask is re-evaluated, so success must eventually
+        // happen.
+        match &report.outcome {
+            Outcome::Success { store } => {
+                assert_eq!(store.consistency().unwrap(), 2);
+                let eta = Assignment::new().bind("x", 4);
+                assert_eq!(store.sigma().eval(&eta), 10); // 2·4 + 2
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    /// Example 3: update{x}(c2) refreshes x and leaves the store y + 4.
+    #[test]
+    fn example3_update() {
+        let doms = Domains::new()
+            .with("x", Domain::ints(0..=10))
+            .with("y", Domain::ints(0..=10));
+        let c1 = linear(1, 3, "c1");
+        let c2 = Constraint::unary(WeightedInt, "y", |v| v.as_int().unwrap() as u64 + 1)
+            .with_label("c2");
+        let agent = Agent::tell(
+            c1,
+            any(),
+            Agent::update([Var::new("x")], c2, any(), Agent::success()),
+        );
+        let report = Interpreter::new(Program::new())
+            .run(agent, Store::empty(WeightedInt, doms))
+            .unwrap();
+        match &report.outcome {
+            Outcome::Success { store } => {
+                assert_eq!(store.consistency().unwrap(), 4);
+                assert!(!store.sigma().scope().contains(&Var::new("x")));
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_records_rules_and_levels() {
+        let agent = Agent::tell(linear(1, 1, "c"), any(), Agent::success());
+        let report = Interpreter::new(Program::new())
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert_eq!(report.steps, 1);
+        assert_eq!(report.trace.len(), 1);
+        assert_eq!(report.trace[0].rule, Rule::Tell);
+        assert_eq!(report.trace[0].consistency, 1);
+        assert!(report.trace[0].note.contains("c"));
+    }
+
+    #[test]
+    fn fuel_exhaustion_on_livelock() {
+        // p :: tell(1̄) → p  — productive but never terminating.
+        let program: Program<WeightedInt> = Program::new().with_clause(
+            "p",
+            [],
+            Agent::tell(
+                Constraint::always(WeightedInt).with_label("1"),
+                any(),
+                Agent::call("p", []),
+            ),
+        );
+        let report = Interpreter::new(program)
+            .with_max_steps(50)
+            .run(Agent::call("p", []), Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(matches!(report.outcome, Outcome::OutOfFuel { .. }));
+        assert_eq!(report.steps, 50);
+    }
+
+    #[test]
+    fn round_robin_is_fair_and_deterministic() {
+        // Two branches both enabled: round-robin alternates between
+        // them, so the second branch's tell lands before the first
+        // branch finishes its chain.
+        let chain = |tag: u64| {
+            Agent::tell(
+                linear(0, tag, "a"),
+                any(),
+                Agent::tell(linear(0, tag, "b"), any(), Agent::success()),
+            )
+        };
+        let run = || {
+            Interpreter::new(Program::new())
+                .with_policy(Policy::RoundRobin)
+                .run(
+                    Agent::par(chain(1), chain(2)),
+                    Store::empty(WeightedInt, doms()),
+                )
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.outcome.is_success());
+        let notes: Vec<&str> = a.trace.iter().map(|t| t.note.as_str()).collect();
+        assert_eq!(notes, b.trace.iter().map(|t| t.note.as_str()).collect::<Vec<_>>());
+        assert_eq!(a.outcome.store().consistency().unwrap(), 6);
+    }
+
+    #[test]
+    fn random_policy_is_reproducible() {
+        let mk = || {
+            Agent::par(
+                Agent::tell(linear(0, 1, "a"), any(), Agent::success()),
+                Agent::tell(linear(0, 2, "b"), any(), Agent::success()),
+            )
+        };
+        let run = |seed| {
+            Interpreter::new(Program::new())
+                .with_policy(Policy::Random(seed))
+                .run(mk(), Store::empty(WeightedInt, doms()))
+                .unwrap()
+                .trace
+                .iter()
+                .map(|t| t.note.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

@@ -1,0 +1,516 @@
+//! The structural operational semantics of `nmsccp` (Fig. 4).
+//!
+//! [`enabled`] computes every transition a configuration `⟨A, σ⟩` can
+//! take, labelled with the rule (R1–R10) that justifies it. The
+//! [`Interpreter`](crate::Interpreter) and the concurrent executor are
+//! thin drivers around this relation.
+
+use std::fmt;
+
+use softsoa_core::Var;
+use softsoa_semiring::{Residuated, Semiring};
+
+use crate::{Agent, GuardKind, Program, Store, StoreError};
+
+/// The transition rules of Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: `tell(c) ▷ A`.
+    Tell,
+    /// R2: `ask(c) ▷ A`.
+    Ask,
+    /// R6: `nask(c) ▷ A`.
+    Nask,
+    /// R7: `retract(c) ▷ A`.
+    Retract,
+    /// R8: `update_X(c) ▷ A`.
+    Update,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Rule::Tell => "R1 tell",
+            Rule::Ask => "R2 ask",
+            Rule::Nask => "R6 nask",
+            Rule::Retract => "R7 retract",
+            Rule::Update => "R8 update",
+        };
+        f.write_str(text)
+    }
+}
+
+/// One enabled transition of a configuration `⟨A, σ⟩`.
+#[derive(Debug, Clone)]
+pub struct Transition<S: Semiring> {
+    /// The agent after the step.
+    pub agent: Agent<S>,
+    /// The store after the step.
+    pub store: Store<S>,
+    /// The basic rule performing the step (parallel composition,
+    /// nondeterminism, hiding and procedure calls are contexts, not
+    /// steps of their own).
+    pub rule: Rule,
+    /// A human-readable description of the step.
+    pub note: String,
+}
+
+/// An error produced while computing the transition relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SemanticsError {
+    /// A store operation failed (missing domain).
+    Store(StoreError),
+    /// A call names a procedure the program does not declare.
+    UnknownProcedure(String),
+    /// A call's argument count differs from the declaration's.
+    ArityMismatch {
+        /// The procedure name.
+        name: String,
+        /// Number of formal parameters declared.
+        expected: usize,
+        /// Number of actual arguments supplied.
+        found: usize,
+    },
+    /// Unfolding procedure calls exceeded the recursion limit without
+    /// reaching an action (e.g. `p :: p`).
+    RecursionLimit,
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::Store(e) => write!(f, "{e}"),
+            SemanticsError::UnknownProcedure(name) => {
+                write!(f, "unknown procedure `{name}`")
+            }
+            SemanticsError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "procedure `{name}` expects {expected} arguments, got {found}"
+            ),
+            SemanticsError::RecursionLimit => {
+                write!(f, "procedure unfolding exceeded the recursion limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SemanticsError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for SemanticsError {
+    fn from(e: StoreError) -> SemanticsError {
+        SemanticsError::Store(e)
+    }
+}
+
+/// A generator of fresh variables for the hiding rule (R9).
+#[derive(Debug, Clone, Default)]
+pub struct FreshGen {
+    counter: u64,
+}
+
+impl FreshGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> FreshGen {
+        FreshGen::default()
+    }
+
+    /// Returns a fresh variable derived from `base`.
+    pub fn next(&mut self, base: &Var) -> Var {
+        self.counter += 1;
+        base.fresh(self.counter)
+    }
+
+    /// Advances the internal counter to at least `n` (used to give
+    /// concurrent executors disjoint fresh-name ranges).
+    pub fn advance_to(&mut self, n: u64) {
+        self.counter = self.counter.max(n);
+    }
+}
+
+const CALL_UNFOLD_LIMIT: usize = 64;
+
+/// Computes every enabled transition of `⟨agent, store⟩` under
+/// `program` (the relation `→` of Fig. 4).
+///
+/// An empty result with a non-`success` agent means the configuration
+/// is *suspended*: it may become enabled again after another agent
+/// changes the store, or it is deadlocked if no other agent can.
+///
+/// # Errors
+///
+/// Returns [`SemanticsError`] on missing domains, unknown procedures,
+/// arity mismatches, or unproductive recursion.
+pub fn enabled<S: Residuated>(
+    program: &Program<S>,
+    agent: &Agent<S>,
+    store: &Store<S>,
+    fresh: &mut FreshGen,
+) -> Result<Vec<Transition<S>>, SemanticsError> {
+    enabled_rec(program, agent, store, fresh, 0)
+}
+
+fn enabled_rec<S: Residuated>(
+    program: &Program<S>,
+    agent: &Agent<S>,
+    store: &Store<S>,
+    fresh: &mut FreshGen,
+    depth: usize,
+) -> Result<Vec<Transition<S>>, SemanticsError> {
+    if depth > CALL_UNFOLD_LIMIT {
+        return Err(SemanticsError::RecursionLimit);
+    }
+    match agent {
+        Agent::Success => Ok(Vec::new()),
+
+        // R1: the check is evaluated on the prospective store σ ⊗ c.
+        Agent::Tell(action) => {
+            let next = store.tell(action.constraint())?;
+            if action.check().check(&next)? {
+                Ok(vec![Transition {
+                    agent: (*action.then()).clone(),
+                    store: next,
+                    rule: Rule::Tell,
+                    note: format!("tell({})", label(action.constraint())),
+                }])
+            } else {
+                Ok(Vec::new())
+            }
+        }
+
+        // R7: requires σ ⊑ c; the check is evaluated on σ ÷ c.
+        Agent::Retract(action) => {
+            if !store.entails(action.constraint())? {
+                return Ok(Vec::new());
+            }
+            let next = store.retract(action.constraint())?;
+            if action.check().check(&next)? {
+                Ok(vec![Transition {
+                    agent: (*action.then()).clone(),
+                    store: next,
+                    rule: Rule::Retract,
+                    note: format!("retract({})", label(action.constraint())),
+                }])
+            } else {
+                Ok(Vec::new())
+            }
+        }
+
+        // R8: transactional removal of X plus tell; check on the result.
+        Agent::Update { vars, action } => {
+            let next = store.update(vars, action.constraint())?;
+            if action.check().check(&next)? {
+                Ok(vec![Transition {
+                    agent: (*action.then()).clone(),
+                    store: next,
+                    rule: Rule::Update,
+                    note: format!("update({})", label(action.constraint())),
+                }])
+            } else {
+                Ok(Vec::new())
+            }
+        }
+
+        // R2/R5/R6: every enabled guard is one nondeterministic branch.
+        Agent::Sum(guards) => {
+            let mut out = Vec::new();
+            for guard in guards {
+                let entailed = store.entails(&guard.constraint)?;
+                let (wanted, rule, op) = match guard.kind {
+                    GuardKind::Ask => (true, Rule::Ask, "ask"),
+                    GuardKind::Nask => (false, Rule::Nask, "nask"),
+                };
+                if entailed == wanted && guard.check.check(store)? {
+                    out.push(Transition {
+                        agent: guard.then.clone(),
+                        store: store.clone(),
+                        rule,
+                        note: format!("{op}({})", label(&guard.constraint)),
+                    });
+                }
+            }
+            Ok(out)
+        }
+
+        // R3/R4: interleaving; a branch stepping to success dissolves.
+        Agent::Par(a, b) => {
+            let mut out = Vec::new();
+            for t in enabled_rec(program, a, store, fresh, depth)? {
+                let agent = if t.agent.is_success() {
+                    (**b).clone()
+                } else {
+                    Agent::par(t.agent, (**b).clone())
+                };
+                out.push(Transition { agent, ..t });
+            }
+            for t in enabled_rec(program, b, store, fresh, depth)? {
+                let agent = if t.agent.is_success() {
+                    (**a).clone()
+                } else {
+                    Agent::par((**a).clone(), t.agent)
+                };
+                out.push(Transition { agent, ..t });
+            }
+            Ok(out)
+        }
+
+        // R9: rename the bound variable to a fresh one (with the same
+        // domain) and step the body.
+        Agent::Hide { var, body } => {
+            let domain = store
+                .domains()
+                .get(var)
+                .map_err(StoreError::from)?
+                .clone();
+            let y = fresh.next(var);
+            let mut next_store = store.clone();
+            next_store.declare(y.clone(), domain);
+            let renamed = body.rename_var(var, &y);
+            enabled_rec(program, &renamed, &next_store, fresh, depth + 1)
+        }
+
+        // R10: unfold the declaration with parameter passing.
+        Agent::Call { name, args } => {
+            let clause = program
+                .clause(name)
+                .ok_or_else(|| SemanticsError::UnknownProcedure(name.clone()))?;
+            if clause.params().len() != args.len() {
+                return Err(SemanticsError::ArityMismatch {
+                    name: name.clone(),
+                    expected: clause.params().len(),
+                    found: args.len(),
+                });
+            }
+            // Two-phase renaming (formals → fresh temporaries →
+            // actuals) so that swapped arguments, e.g. p(y, x) for
+            // p(x, y), substitute correctly.
+            let mut body = clause.body().clone();
+            let temps: Vec<Var> = clause.params().iter().map(|p| fresh.next(p)).collect();
+            for (formal, temp) in clause.params().iter().zip(&temps) {
+                body = body.rename_var(formal, temp);
+            }
+            for (temp, actual) in temps.iter().zip(args) {
+                body = body.rename_var(temp, actual);
+            }
+            enabled_rec(program, &body, store, fresh, depth + 1)
+        }
+    }
+}
+
+fn label<S: Semiring>(c: &softsoa_core::Constraint<S>) -> String {
+    c.label().map_or_else(|| "c".to_string(), str::to_string)
+}
+
+impl<S: Semiring> Agent<S> {
+    /// Structurally simplifies the agent by dissolving terminated
+    /// parallel branches: `success ‖ A ≡ A`.
+    pub fn normalize(self) -> Agent<S> {
+        match self {
+            Agent::Par(a, b) => {
+                let a = a.normalize();
+                let b = b.normalize();
+                match (a.is_success(), b.is_success()) {
+                    (true, _) => b,
+                    (_, true) => a,
+                    _ => Agent::par(a, b),
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interval;
+    use softsoa_core::{Constraint, Domain, Domains};
+    use softsoa_semiring::WeightedInt;
+
+    fn store() -> Store<WeightedInt> {
+        Store::empty(
+            WeightedInt,
+            Domains::new().with("x", Domain::ints(0..=10)),
+        )
+    }
+
+    fn linear(a: u64, b: u64, name: &str) -> Constraint<WeightedInt> {
+        Constraint::unary(WeightedInt, "x", move |v| {
+            a * v.as_int().unwrap() as u64 + b
+        })
+        .with_label(name)
+    }
+
+    fn prog() -> Program<WeightedInt> {
+        Program::new()
+    }
+
+    #[test]
+    fn tell_is_enabled_within_interval() {
+        let agent = Agent::tell(
+            linear(1, 5, "c4"),
+            Interval::levels(10u64, 0u64),
+            Agent::success(),
+        );
+        let ts = enabled(&prog(), &agent, &store(), &mut FreshGen::new()).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].rule, Rule::Tell);
+        assert_eq!(ts[0].store.consistency().unwrap(), 5);
+    }
+
+    #[test]
+    fn tell_is_disabled_outside_interval() {
+        // The prospective store has level 5, worse than the floor 4.
+        let agent = Agent::tell(
+            linear(1, 5, "c4"),
+            Interval::levels(4u64, 1u64),
+            Agent::success(),
+        );
+        let ts = enabled(&prog(), &agent, &store(), &mut FreshGen::new()).unwrap();
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn ask_requires_entailment() {
+        let base = store().tell(&linear(2, 2, "c")).unwrap();
+        let weaker = linear(1, 1, "w");
+        let ask = Agent::ask(weaker.clone(), Interval::any(&WeightedInt), Agent::success());
+        assert_eq!(enabled(&prog(), &ask, &base, &mut FreshGen::new()).unwrap().len(), 1);
+        // nask of the same constraint is disabled...
+        let nask = Agent::nask(weaker, Interval::any(&WeightedInt), Agent::success());
+        assert!(enabled(&prog(), &nask, &base, &mut FreshGen::new()).unwrap().is_empty());
+        // ...and vice versa for a non-entailed constraint.
+        let stronger = linear(3, 3, "s");
+        let nask2 = Agent::nask(stronger, Interval::any(&WeightedInt), Agent::success());
+        assert_eq!(enabled(&prog(), &nask2, &base, &mut FreshGen::new()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sum_collects_all_enabled_branches() {
+        let base = store().tell(&linear(1, 1, "c")).unwrap();
+        let agent = Agent::sum([
+            crate::Guard::ask(linear(1, 0, "e"), Interval::any(&WeightedInt), Agent::success()),
+            crate::Guard::nask(linear(9, 9, "n"), Interval::any(&WeightedInt), Agent::success()),
+        ]);
+        let ts = enabled(&prog(), &agent, &base, &mut FreshGen::new()).unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn parallel_interleaves_and_dissolves_success() {
+        let a = Agent::tell(linear(0, 1, "a"), Interval::any(&WeightedInt), Agent::success());
+        let b = Agent::tell(linear(0, 2, "b"), Interval::any(&WeightedInt), Agent::success());
+        let ts = enabled(&prog(), &Agent::par(a, b), &store(), &mut FreshGen::new()).unwrap();
+        assert_eq!(ts.len(), 2);
+        // Each transition leaves the *other* branch, not a Par wrapper.
+        assert!(ts.iter().all(|t| matches!(t.agent, Agent::Tell(_))));
+    }
+
+    #[test]
+    fn retract_disabled_when_not_entailed() {
+        let agent = Agent::retract(
+            linear(1, 3, "c1"),
+            Interval::any(&WeightedInt),
+            Agent::success(),
+        );
+        // Empty store entails only weaker-than-1̄ constraints... σ = 1̄
+        // entails nothing that charges a positive cost, so retract is
+        // suspended rather than an error.
+        let ts = enabled(&prog(), &agent, &store(), &mut FreshGen::new()).unwrap();
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn hide_steps_with_fresh_variable() {
+        let body = Agent::tell(
+            linear(1, 0, "c"),
+            Interval::any(&WeightedInt),
+            Agent::success(),
+        );
+        let agent = Agent::hide("x", body);
+        let ts = enabled(&prog(), &agent, &store(), &mut FreshGen::new()).unwrap();
+        assert_eq!(ts.len(), 1);
+        // The told constraint ranges over a fresh variable, not x.
+        let sigma_scope = ts[0].store.sigma().scope().to_vec();
+        assert!(!sigma_scope.contains(&Var::new("x")));
+        assert_eq!(sigma_scope.len(), 1);
+        assert!(sigma_scope[0].name().starts_with("x'"));
+    }
+
+    #[test]
+    fn call_unfolds_with_parameter_passing() {
+        let program: Program<WeightedInt> = Program::new().with_clause(
+            "p",
+            [Var::new("u")],
+            Agent::tell(
+                Constraint::unary(WeightedInt, "u", |v| v.as_int().unwrap() as u64)
+                    .with_label("cu"),
+                Interval::any(&WeightedInt),
+                Agent::success(),
+            ),
+        );
+        let call = Agent::call("p", [Var::new("x")]);
+        let ts = enabled(&program, &call, &store(), &mut FreshGen::new()).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].store.sigma().scope(), &[Var::new("x")]);
+    }
+
+    #[test]
+    fn call_swapped_arguments() {
+        // p(u, w) :: tell(c(u, w)); calling p(y, x) must swap correctly.
+        let c = Constraint::binary(WeightedInt, "u", "w", |a, b| {
+            (10 * a.as_int().unwrap() + b.as_int().unwrap()) as u64
+        });
+        let program: Program<WeightedInt> = Program::new().with_clause(
+            "p",
+            [Var::new("u"), Var::new("w")],
+            Agent::tell(c, Interval::any(&WeightedInt), Agent::success()),
+        );
+        let doms = Domains::new()
+            .with("x", Domain::ints(0..=3))
+            .with("y", Domain::ints(0..=3));
+        let st = Store::empty(WeightedInt, doms);
+        let call = Agent::call("p", [Var::new("y"), Var::new("x")]);
+        let ts = enabled(&program, &call, &st, &mut FreshGen::new()).unwrap();
+        assert_eq!(ts.len(), 1);
+        // c(u=y, w=x): at (x=1, y=2) the level must be 10·2 + 1 = 21.
+        let eta = softsoa_core::Assignment::new().bind("x", 1).bind("y", 2);
+        assert_eq!(ts[0].store.sigma().eval(&eta), 21);
+    }
+
+    #[test]
+    fn unknown_procedure_is_an_error() {
+        let call: Agent<WeightedInt> = Agent::call("missing", []);
+        let err = enabled(&prog(), &call, &store(), &mut FreshGen::new()).unwrap_err();
+        assert!(matches!(err, SemanticsError::UnknownProcedure(_)));
+    }
+
+    #[test]
+    fn unproductive_recursion_hits_the_limit() {
+        let program: Program<WeightedInt> =
+            Program::new().with_clause("p", [], Agent::call("p", []));
+        let err = enabled(&program, &Agent::call("p", []), &store(), &mut FreshGen::new())
+            .unwrap_err();
+        assert_eq!(err, SemanticsError::RecursionLimit);
+    }
+
+    #[test]
+    fn normalize_dissolves_success() {
+        let a: Agent<WeightedInt> = Agent::par(
+            Agent::success(),
+            Agent::par(Agent::success(), Agent::success()),
+        );
+        assert!(a.normalize().is_success());
+    }
+}

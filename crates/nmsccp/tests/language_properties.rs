@@ -1,0 +1,163 @@
+//! Property-based tests of the nmsccp language: confluence of
+//! monotonic fragments, executor agreement and crash-freedom on
+//! randomly generated agents.
+
+use proptest::prelude::*;
+use softsoa_core::{Constraint, Domain, Domains};
+use softsoa_nmsccp::{
+    Agent, ConcurrentExecutor, Guard, Interpreter, Interval, Policy, Program, Store,
+};
+use softsoa_semiring::{Semiring, WeightedInt};
+
+fn doms() -> Domains {
+    Domains::new().with("x", Domain::ints(0..=6))
+}
+
+fn store() -> Store<WeightedInt> {
+    Store::empty(WeightedInt, doms())
+}
+
+fn lin(a: u64, b: u64) -> Constraint<WeightedInt> {
+    Constraint::unary(WeightedInt, "x", move |v| {
+        a * v.as_int().unwrap() as u64 + b
+    })
+    .with_label(format!("{a}x+{b}"))
+}
+
+fn any_iv() -> Interval<WeightedInt> {
+    Interval::any(&WeightedInt)
+}
+
+/// A random chain of tells over a small constraint pool.
+fn tell_chain_strategy() -> impl Strategy<Value = Agent<WeightedInt>> {
+    proptest::collection::vec((0u64..3, 0u64..4), 1..4).prop_map(|coeffs| {
+        coeffs.into_iter().rev().fold(Agent::success(), |acc, (a, b)| {
+            Agent::tell(lin(a, b), any_iv(), acc)
+        })
+    })
+}
+
+/// A random agent over the full action alphabet (no procedure calls).
+fn agent_strategy() -> impl Strategy<Value = Agent<WeightedInt>> {
+    let leaf = prop_oneof![
+        Just(Agent::<WeightedInt>::success()),
+        (0u64..3, 0u64..4).prop_map(|(a, b)| Agent::tell(lin(a, b), any_iv(), Agent::success())),
+        (0u64..3, 0u64..4).prop_map(|(a, b)| Agent::ask(lin(a, b), any_iv(), Agent::success())),
+        (0u64..3, 0u64..4).prop_map(|(a, b)| Agent::nask(lin(a, b), any_iv(), Agent::success())),
+        (0u64..3, 0u64..4)
+            .prop_map(|(a, b)| Agent::retract(lin(a, b), any_iv(), Agent::success())),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Agent::par(a, b)),
+            ((0u64..3, 0u64..4), inner.clone()).prop_map(|((a, b), then)| {
+                Agent::tell(lin(a, b), any_iv(), then)
+            }),
+            ((0u64..3, 0u64..4), (0u64..3, 0u64..4), inner.clone(), inner).prop_map(
+                |((a1, b1), (a2, b2), t1, t2)| {
+                    Agent::sum([
+                        Guard::ask(lin(a1, b1), any_iv(), t1),
+                        Guard::nask(lin(a2, b2), any_iv(), t2),
+                    ])
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Monotonic (tell-only) programs are confluent: every policy
+    /// reaches success with the same final store level.
+    #[test]
+    fn tell_only_programs_are_confluent(
+        left in tell_chain_strategy(),
+        right in tell_chain_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let agent = Agent::par(left, right);
+        let mut levels = Vec::new();
+        for policy in [Policy::First, Policy::RoundRobin, Policy::Random(seed)] {
+            let report = Interpreter::new(Program::new())
+                .with_policy(policy)
+                .run(agent.clone(), store())
+                .unwrap();
+            prop_assert!(report.outcome.is_success());
+            levels.push(report.outcome.store().consistency().unwrap());
+        }
+        prop_assert!(levels.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// The concurrent executor agrees with the sequential one on
+    /// tell-only programs.
+    #[test]
+    fn concurrent_matches_sequential_on_tells(
+        left in tell_chain_strategy(),
+        right in tell_chain_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let sequential = Interpreter::new(Program::new())
+            .run(Agent::par(left.clone(), right.clone()), store())
+            .unwrap();
+        let concurrent = ConcurrentExecutor::new(Program::new())
+            .with_seed(seed)
+            .run(vec![left, right], store())
+            .unwrap();
+        prop_assert!(concurrent.all_succeeded());
+        prop_assert_eq!(
+            concurrent.store.consistency().unwrap(),
+            sequential.outcome.store().consistency().unwrap()
+        );
+    }
+
+    /// Random agents never error or hang: the interpreter always
+    /// returns an outcome within fuel (there are no procedure calls,
+    /// so fuel exhaustion itself would indicate a bug).
+    #[test]
+    fn random_agents_terminate_cleanly(agent in agent_strategy(), seed in any::<u64>()) {
+        let report = Interpreter::new(Program::new())
+            .with_policy(Policy::Random(seed))
+            .with_max_steps(500)
+            .run(agent, store())
+            .unwrap();
+        prop_assert!(report.steps < 500, "loop-free agents must not exhaust fuel");
+        // The store level can only be a valid semiring value.
+        let level = report.outcome.store().consistency().unwrap();
+        prop_assert!(WeightedInt.leq(&WeightedInt.zero(), &level));
+    }
+
+    /// tell(c) then retract(c) is observationally a no-op on the store
+    /// level whenever the retract is reachable.
+    #[test]
+    fn tell_then_retract_roundtrips(a in 0u64..3, b in 0u64..4) {
+        let c = lin(a, b);
+        let agent = Agent::tell(
+            c.clone(),
+            any_iv(),
+            Agent::retract(c, any_iv(), Agent::success()),
+        );
+        let report = Interpreter::new(Program::new()).run(agent, store()).unwrap();
+        prop_assert!(report.outcome.is_success());
+        prop_assert_eq!(report.outcome.store().consistency().unwrap(), 0);
+    }
+
+    /// Deadlocked runs keep a truthful residual: re-running the
+    /// residual agent on the final store deadlocks again immediately.
+    #[test]
+    fn deadlock_residuals_are_stable(agent in agent_strategy(), seed in any::<u64>()) {
+        let report = Interpreter::new(Program::new())
+            .with_policy(Policy::Random(seed))
+            .run(agent, store())
+            .unwrap();
+        if let softsoa_nmsccp::Outcome::Deadlock { store, agent } = report.outcome {
+            let again = Interpreter::new(Program::new())
+                .run(agent, store)
+                .unwrap();
+            let deadlocked_again =
+                matches!(again.outcome, softsoa_nmsccp::Outcome::Deadlock { .. });
+            prop_assert!(deadlocked_again);
+            prop_assert_eq!(again.steps, 0);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Robustness tests of the nmsccp text parser: arbitrary input must
+//! never panic, and structurally valid programs must parse and print
+//! consistently.
+
+use proptest::prelude::*;
+use softsoa_core::Constraint;
+use softsoa_nmsccp::{parse_agent, parse_program, Agent, ParseEnv};
+use softsoa_semiring::WeightedInt;
+
+fn env() -> ParseEnv<WeightedInt> {
+    ParseEnv::new(WeightedInt)
+        .with_constraint(
+            "c",
+            Constraint::unary(WeightedInt, "x", |v| v.as_int().unwrap() as u64),
+        )
+        .with_constraint("d", Constraint::always(WeightedInt))
+        .with_level("lo", 9u64)
+        .with_level("hi", 1u64)
+}
+
+/// A generator of *syntactically plausible* agent texts built from the
+/// grammar's tokens (most are valid; some are rejected — either way,
+/// no panics, no hangs).
+fn token_soup() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        Just("success".to_string()),
+        Just("tell(c)".to_string()),
+        Just("tell(d)".to_string()),
+        Just("ask(c)".to_string()),
+        Just("nask(d)".to_string()),
+        Just("retract(c)".to_string()),
+        Just("update{x}(c)".to_string()),
+        Just("->[lo, hi]".to_string()),
+        Just("->[bot, top]".to_string()),
+        Just("||".to_string()),
+        Just("+".to_string()),
+        Just("exists x.".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("p(x)".to_string()),
+        Just("# comment\n".to_string()),
+    ];
+    proptest::collection::vec(token, 0..12).prop_map(|tokens| tokens.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total: any token soup yields Ok or Err, never a
+    /// panic.
+    #[test]
+    fn parser_never_panics_on_token_soup(text in token_soup()) {
+        let _ = parse_agent(&text, &env());
+        let _ = parse_program(&text, &env());
+    }
+
+    /// The parser is total on fully arbitrary byte-ish input too.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,64}") {
+        let _ = parse_agent(&text, &env());
+    }
+
+    /// Well-formed tell chains always parse, and their display form
+    /// mentions every constraint in order.
+    #[test]
+    fn tell_chains_parse(n in 1usize..6) {
+        let text = "tell(c) ".repeat(n) + "success";
+        let agent = parse_agent(&text, &env()).unwrap();
+        let mut depth = 0;
+        let mut cursor = agent;
+        while let Agent::Tell(action) = cursor {
+            depth += 1;
+            cursor = action.then().clone();
+        }
+        prop_assert!(cursor.is_success());
+        prop_assert_eq!(depth, n);
+    }
+
+    /// Error offsets always lie within the input.
+    #[test]
+    fn error_offsets_are_in_bounds(text in token_soup()) {
+        if let Err(e) = parse_agent(&text, &env()) {
+            prop_assert!(e.offset() <= text.len());
+        }
+    }
+}
+
+/// Deterministic pathological inputs.
+#[test]
+fn pathological_inputs() {
+    let env = env();
+    // Deep nesting parses (no recursion blowup at sane depths).
+    let deep = "(".repeat(64) + "success" + &")".repeat(64);
+    assert!(parse_agent(&deep, &env).is_ok());
+    // Unbalanced parens are an error, not a hang.
+    assert!(parse_agent("((success)", &env).is_err());
+    // Empty input is an error.
+    assert!(parse_agent("", &env).is_err());
+    // An interval with swapped brackets is an error.
+    assert!(parse_agent("tell(c) ->]lo, hi[ success", &env).is_err());
+    // Unicode in identifiers is rejected cleanly.
+    assert!(parse_agent("tell(café) success", &env).is_err());
+}

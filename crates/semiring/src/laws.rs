@@ -1,0 +1,257 @@
+//! Reusable checkers for the c-semiring axioms.
+//!
+//! Each function takes a semiring and sampled values and panics with a
+//! descriptive message on the first violated law. They are intended to
+//! be driven by `proptest` (or exhaustive loops for small carriers) in
+//! the tests of every [`Semiring`] instance, in this crate and
+//! downstream.
+//!
+//! # Examples
+//!
+//! ```
+//! use softsoa_semiring::{laws, Boolean};
+//!
+//! laws::assert_semiring_laws(&Boolean, &[false, true]);
+//! laws::assert_residuation_laws(&Boolean, &[false, true]);
+//! ```
+
+use crate::{Residuated, Semiring};
+
+/// Asserts every c-semiring axiom on all pairs/triples drawn from
+/// `samples`.
+///
+/// Checked laws: commutativity, associativity and idempotence of `+`;
+/// commutativity and associativity of `×`; unit and absorbing elements;
+/// distribution of `×` over `+`; monotonicity of both operations with
+/// respect to the induced order; `0` minimum and `1` maximum; `a + b`
+/// being the least upper bound.
+///
+/// # Panics
+///
+/// Panics with a message naming the violated law and the witnesses.
+pub fn assert_semiring_laws<S: Semiring>(s: &S, samples: &[S::Value]) {
+    let zero = s.zero();
+    let one = s.one();
+
+    for a in samples {
+        // Units.
+        assert_eq!(s.plus(a, &zero), *a, "0 must be the unit of +: a={a:?}");
+        assert_eq!(s.times(a, &one), *a, "1 must be the unit of ×: a={a:?}");
+        // Absorbing elements.
+        assert_eq!(s.times(a, &zero), zero, "0 must absorb ×: a={a:?}");
+        assert_eq!(s.plus(a, &one), one, "1 must absorb +: a={a:?}");
+        // Idempotence of +.
+        assert_eq!(s.plus(a, a), *a, "+ must be idempotent: a={a:?}");
+        // Bounds.
+        assert!(s.leq(&zero, a), "0 must be the minimum: a={a:?}");
+        assert!(s.leq(a, &one), "1 must be the maximum: a={a:?}");
+    }
+
+    for a in samples {
+        for b in samples {
+            assert_eq!(
+                s.plus(a, b),
+                s.plus(b, a),
+                "+ must be commutative: a={a:?} b={b:?}"
+            );
+            assert_eq!(
+                s.times(a, b),
+                s.times(b, a),
+                "× must be commutative: a={a:?} b={b:?}"
+            );
+            // a + b is an upper bound of both.
+            let lub = s.plus(a, b);
+            assert!(s.leq(a, &lub), "a ≤ a+b must hold: a={a:?} b={b:?}");
+            assert!(s.leq(b, &lub), "b ≤ a+b must hold: a={a:?} b={b:?}");
+            // The derived order must agree with the `leq` override.
+            assert_eq!(
+                s.leq(a, b),
+                s.plus(a, b) == *b,
+                "leq must agree with a+b=b: a={a:?} b={b:?}"
+            );
+        }
+    }
+
+    for a in samples {
+        for b in samples {
+            for c in samples {
+                assert_eq!(
+                    s.plus(&s.plus(a, b), c),
+                    s.plus(a, &s.plus(b, c)),
+                    "+ must be associative: a={a:?} b={b:?} c={c:?}"
+                );
+                assert_eq!(
+                    s.times(&s.times(a, b), c),
+                    s.times(a, &s.times(b, c)),
+                    "× must be associative: a={a:?} b={b:?} c={c:?}"
+                );
+                assert_eq!(
+                    s.times(a, &s.plus(b, c)),
+                    s.plus(&s.times(a, b), &s.times(a, c)),
+                    "× must distribute over +: a={a:?} b={b:?} c={c:?}"
+                );
+                // Monotonicity: b ≤ c ⇒ a∘b ≤ a∘c.
+                if s.leq(b, c) {
+                    assert!(
+                        s.leq(&s.plus(a, b), &s.plus(a, c)),
+                        "+ must be monotonic: a={a:?} b={b:?} c={c:?}"
+                    );
+                    assert!(
+                        s.leq(&s.times(a, b), &s.times(a, c)),
+                        "× must be monotonic: a={a:?} b={b:?} c={c:?}"
+                    );
+                }
+                // a + b must be the *least* upper bound.
+                if s.leq(a, c) && s.leq(b, c) {
+                    assert!(
+                        s.leq(&s.plus(a, b), c),
+                        "a+b must be the least upper bound: a={a:?} b={b:?} c={c:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Asserts the residuation (Galois) laws on all pairs drawn from
+/// `samples`.
+///
+/// Checked laws: `b × (a ÷ b) ≤ a` (division under-approximates) and
+/// maximality of the quotient among the samples:
+/// `b × x ≤ a ⇒ x ≤ a ÷ b`. Together these state the Galois property
+/// `b × x ≤ a ⇔ x ≤ a ÷ b` restricted to the sampled carrier.
+///
+/// # Panics
+///
+/// Panics with a message naming the violated law and the witnesses.
+pub fn assert_residuation_laws<S: Residuated>(s: &S, samples: &[S::Value]) {
+    for a in samples {
+        for b in samples {
+            let d = s.div(a, b);
+            assert!(
+                s.leq(&s.times(b, &d), a),
+                "b × (a ÷ b) ≤ a must hold: a={a:?} b={b:?} quotient={d:?}"
+            );
+            for x in samples {
+                if s.leq(&s.times(b, x), a) {
+                    assert!(
+                        s.leq(x, &d),
+                        "quotient must be maximal: a={a:?} b={b:?} x={x:?} quotient={d:?}"
+                    );
+                }
+            }
+            // Identities that follow from the Galois property.
+            assert_eq!(
+                s.div(a, &s.one()),
+                *a,
+                "a ÷ 1 must equal a: a={a:?}"
+            );
+            assert!(
+                s.is_one(&s.div(a, &s.zero())),
+                "a ÷ 0 must be 1: a={a:?}"
+            );
+        }
+    }
+}
+
+/// Asserts that `div` inverts `times` on comparable pairs:
+/// `a ≤ b ⇒ b × (a ÷ b) = a` (invertibility by residuation).
+///
+/// Not every residuated semiring is invertible; call this only for
+/// instances documented as invertible (all instances in this crate
+/// except floating-point round-off cases, for which a tolerance-based
+/// test is more appropriate).
+///
+/// # Panics
+///
+/// Panics with a message naming the witnesses.
+pub fn assert_invertibility<S: Residuated>(s: &S, samples: &[S::Value]) {
+    for a in samples {
+        for b in samples {
+            if s.leq(a, b) {
+                let d = s.div(a, b);
+                assert_eq!(
+                    s.times(b, &d),
+                    *a,
+                    "b × (a ÷ b) must equal a when a ≤ b: a={a:?} b={b:?}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Boolean, Fuzzy, SetSemiring, Unit, Weight, Weighted, WeightedInt};
+    use crate::{Probabilistic, Product};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn boolean_laws() {
+        assert_semiring_laws(&Boolean, &[false, true]);
+        assert_residuation_laws(&Boolean, &[false, true]);
+        assert_invertibility(&Boolean, &[false, true]);
+    }
+
+    #[test]
+    fn fuzzy_laws() {
+        let samples: Vec<Unit> = [0.0, 0.2, 0.5, 0.8, 1.0]
+            .iter()
+            .map(|&v| Unit::new(v).unwrap())
+            .collect();
+        assert_semiring_laws(&Fuzzy, &samples);
+        assert_residuation_laws(&Fuzzy, &samples);
+        assert_invertibility(&Fuzzy, &samples);
+    }
+
+    #[test]
+    fn probabilistic_laws() {
+        let samples: Vec<Unit> = [0.0, 0.25, 0.5, 1.0]
+            .iter()
+            .map(|&v| Unit::new(v).unwrap())
+            .collect();
+        assert_semiring_laws(&Probabilistic, &samples);
+        assert_residuation_laws(&Probabilistic, &samples);
+    }
+
+    #[test]
+    fn weighted_laws() {
+        let samples: Vec<Weight> = [0.0, 1.0, 2.5, 7.0, f64::INFINITY]
+            .iter()
+            .map(|&v| Weight::new(v).unwrap())
+            .collect();
+        assert_semiring_laws(&Weighted, &samples);
+        assert_residuation_laws(&Weighted, &samples);
+    }
+
+    #[test]
+    fn weighted_int_laws() {
+        let samples: Vec<u64> = vec![0, 1, 3, 9, 100, u64::MAX];
+        assert_semiring_laws(&WeightedInt, &samples);
+        assert_residuation_laws(&WeightedInt, &samples);
+    }
+
+    #[test]
+    fn set_laws() {
+        let s = SetSemiring::from_iter(0u8..3);
+        let powerset: Vec<BTreeSet<u8>> = (0u8..8)
+            .map(|bits| (0u8..3).filter(|i| bits & (1 << i) != 0).collect())
+            .collect();
+        assert_semiring_laws(&s, &powerset);
+        assert_residuation_laws(&s, &powerset);
+    }
+
+    #[test]
+    fn product_laws() {
+        let s = Product::new(Boolean, WeightedInt);
+        let mut samples = Vec::new();
+        for b in [false, true] {
+            for w in [0u64, 2, 5, u64::MAX] {
+                samples.push((b, w));
+            }
+        }
+        assert_semiring_laws(&s, &samples);
+        assert_residuation_laws(&s, &samples);
+    }
+}

@@ -1,0 +1,92 @@
+//! Absorptive, residuated c-semirings for semiring-based soft
+//! constraint solving.
+//!
+//! This crate provides the algebraic foundation of the `softsoa`
+//! workspace, a Rust implementation of *Bistarelli & Santini, "Soft
+//! Constraints for Dependable Service Oriented Architectures"* (DSN
+//! 2008). A **c-semiring** `⟨A, +, ×, 0, 1⟩` fixes the set of
+//! satisfiability levels of a soft constraint problem: `+` induces the
+//! order in which levels are compared (`a ≤ b ⇔ a + b = b`) and `×`
+//! combines levels when constraints are aggregated.
+//!
+//! # Instances and the dependability metrics they model
+//!
+//! | Instance | Structure | Metric (paper, Sec. 4) |
+//! |---|---|---|
+//! | [`Weighted`] / [`WeightedInt`] | ⟨ℝ⁺∪{∞}, min, +, ∞, 0⟩ | additive: cost, downtime |
+//! | [`Fuzzy`] | ⟨\[0,1\], max, min, 0, 1⟩ | concave: coarse preference |
+//! | [`Probabilistic`] | ⟨\[0,1\], max, ·, 0, 1⟩ | multiplicative: reliability |
+//! | [`SetSemiring`] | ⟨𝒫(A), ∪, ∩, ∅, A⟩ | rights, time slots |
+//! | [`Boolean`] | ⟨{0,1}, ∨, ∧, 0, 1⟩ | crisp feature checks |
+//! | [`Product`] | componentwise pairing | multi-criteria |
+//! | [`Capacity`] | ⟨ℝ⁺∪{∞}, max, min, 0, ∞⟩ | bottleneck: bandwidth |
+//! | [`Lukasiewicz`] | ⟨\[0,1\], max, ⊗_Ł, 0, 1⟩ | bounded penalty accumulation |
+//!
+//! Every instance is also [`Residuated`]: it supports the division
+//! `a ÷ b = max{x | b × x ≤ a}` that powers nonmonotonic constraint
+//! *retraction* in the `nmsccp` language.
+//!
+//! # Examples
+//!
+//! ```
+//! use softsoa_semiring::{Semiring, Residuated, Weighted, Weight};
+//!
+//! // Model "hours spent recovering from failures" (Sec. 4.1).
+//! let hours = Weighted;
+//! let p1 = Weight::new(5.0)?; // provider 1 needs 5 hours
+//! let p2 = Weight::new(2.0)?; // provider 2 needs 2 hours
+//!
+//! // Combining the two policies costs the sum of the hours...
+//! assert_eq!(hours.times(&p1, &p2).get(), 7.0);
+//! // ...and retracting provider 1's policy refunds its cost.
+//! assert_eq!(hours.div(&hours.times(&p1, &p2), &p1), p2);
+//! # Ok::<(), softsoa_semiring::InvalidWeightError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boolean;
+mod extra;
+mod fuzzy;
+pub mod laws;
+mod probabilistic;
+mod product;
+mod set;
+mod traits;
+mod unit;
+mod weighted;
+
+pub use boolean::Boolean;
+pub use extra::{Capacity, Lukasiewicz};
+pub use fuzzy::Fuzzy;
+pub use probabilistic::Probabilistic;
+pub use product::{triple, Product};
+pub use set::{NotInUniverseError, SetElement, SetSemiring};
+pub use traits::{IdempotentTimes, Residuated, Semiring};
+pub use unit::{Unit, UnitRangeError};
+pub use weighted::{InvalidWeightError, Weight, Weighted, WeightedInt, INT_INFINITY};
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn semirings_are_send_sync() {
+        assert_send_sync::<Weighted>();
+        assert_send_sync::<WeightedInt>();
+        assert_send_sync::<Fuzzy>();
+        assert_send_sync::<Probabilistic>();
+        assert_send_sync::<Boolean>();
+        assert_send_sync::<SetSemiring<u32>>();
+        assert_send_sync::<Product<Weighted, Fuzzy>>();
+    }
+
+    #[test]
+    fn values_are_send_sync() {
+        assert_send_sync::<Weight>();
+        assert_send_sync::<Unit>();
+    }
+}

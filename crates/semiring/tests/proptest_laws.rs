@@ -1,0 +1,116 @@
+//! Property-based verification of the c-semiring axioms on randomly
+//! sampled carriers, for every instance the crate ships.
+//!
+//! The `laws` checkers verify every axiom on all pairs/triples drawn
+//! from the sample vector, so each proptest case covers O(n³)
+//! algebraic identities.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use softsoa_semiring::{
+    laws, Boolean, Capacity, Fuzzy, Lukasiewicz, Probabilistic, Product, SetSemiring, Unit,
+    Weight, Weighted, WeightedInt,
+};
+use std::collections::BTreeSet;
+
+/// Exact decimals in [0, 1] so equality-based laws are not defeated by
+/// float rounding: k/64 with k ∈ 0..=64.
+fn unit_strategy() -> impl Strategy<Value = Unit> {
+    (0u32..=64).prop_map(|k| Unit::new(f64::from(k) / 64.0).unwrap())
+}
+
+/// Exact non-negative dyadics plus ∞.
+fn weight_strategy() -> impl Strategy<Value = Weight> {
+    prop_oneof![
+        8 => (0u32..=512).prop_map(|k| Weight::new(f64::from(k) / 8.0).unwrap()),
+        1 => Just(Weight::INFINITY),
+    ]
+}
+
+fn set_strategy() -> impl Strategy<Value = BTreeSet<u8>> {
+    vec(0u8..6, 0..6).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_laws(samples in vec(weight_strategy(), 1..7)) {
+        laws::assert_semiring_laws(&Weighted, &samples);
+        laws::assert_residuation_laws(&Weighted, &samples);
+    }
+
+    #[test]
+    fn weighted_int_laws(samples in vec(prop_oneof![8 => 0u64..1000, 1 => Just(u64::MAX)], 1..7)) {
+        laws::assert_semiring_laws(&WeightedInt, &samples);
+        laws::assert_residuation_laws(&WeightedInt, &samples);
+        laws::assert_invertibility(&WeightedInt, &samples);
+    }
+
+    #[test]
+    fn fuzzy_laws(samples in vec(unit_strategy(), 1..7)) {
+        laws::assert_semiring_laws(&Fuzzy, &samples);
+        laws::assert_residuation_laws(&Fuzzy, &samples);
+        laws::assert_invertibility(&Fuzzy, &samples);
+    }
+
+    #[test]
+    fn capacity_laws(samples in vec(weight_strategy(), 1..7)) {
+        laws::assert_semiring_laws(&Capacity, &samples);
+        laws::assert_residuation_laws(&Capacity, &samples);
+        laws::assert_invertibility(&Capacity, &samples);
+    }
+
+    #[test]
+    fn boolean_laws(samples in vec(any::<bool>(), 1..5)) {
+        laws::assert_semiring_laws(&Boolean, &samples);
+        laws::assert_residuation_laws(&Boolean, &samples);
+        laws::assert_invertibility(&Boolean, &samples);
+    }
+
+    #[test]
+    fn set_laws(samples in vec(set_strategy(), 1..6)) {
+        let s = SetSemiring::from_iter(0u8..6);
+        laws::assert_semiring_laws(&s, &samples);
+        laws::assert_residuation_laws(&s, &samples);
+    }
+
+    #[test]
+    fn product_laws(samples in vec((any::<bool>(), 0u64..50), 1..6)) {
+        let s = Product::new(Boolean, WeightedInt);
+        laws::assert_semiring_laws(&s, &samples);
+        laws::assert_residuation_laws(&s, &samples);
+    }
+
+    /// Probabilistic × is float multiplication, which is not exactly
+    /// associative; restrict the carrier to {0, 1/2ᵏ, 1} where it is.
+    #[test]
+    fn probabilistic_laws(samples in vec(
+        prop_oneof![
+            1 => Just(Unit::MIN),
+            4 => (0u32..8).prop_map(|k| Unit::new(1.0 / f64::from(1u32 << k)).unwrap()),
+            1 => Just(Unit::MAX),
+        ], 1..6))
+    {
+        laws::assert_semiring_laws(&Probabilistic, &samples);
+        laws::assert_residuation_laws(&Probabilistic, &samples);
+    }
+
+    /// Łukasiewicz ⊗ on multiples of 1/64 stays on multiples of 1/64,
+    /// so exact equality holds.
+    #[test]
+    fn lukasiewicz_laws(samples in vec(unit_strategy(), 1..6)) {
+        laws::assert_semiring_laws(&Lukasiewicz, &samples);
+        laws::assert_residuation_laws(&Lukasiewicz, &samples);
+    }
+
+    /// The derived order agrees with the numeric order on every
+    /// totally ordered scalar instance.
+    #[test]
+    fn orders_match_numeric(a in unit_strategy(), b in unit_strategy()) {
+        use softsoa_semiring::Semiring;
+        prop_assert_eq!(Fuzzy.leq(&a, &b), a <= b);
+        prop_assert_eq!(Probabilistic.leq(&a, &b), a <= b);
+        prop_assert_eq!(Lukasiewicz.leq(&a, &b), a <= b);
+    }
+}

@@ -1,0 +1,603 @@
+//! The QoS broker and its negotiation protocol (Sec. 4, Fig. 6).
+//!
+//! The broker sits between clients and providers, embeds a soft
+//! constraint solver, and runs the five-step protocol of the paper:
+//!
+//! 1. the client requests a binding, stating the required QoS;
+//! 2. the broker *discovers* matching providers in the registry;
+//! 3. the broker *negotiates*: client and provider policies are
+//!    translated into soft constraints and executed as `nmsccp`
+//!    agents on the broker's store;
+//! 4. the offered and required QoS are compared — the agreed QoS is
+//!    the consistency level of the combined store, accepted iff it
+//!    lies within the client's checked-transition interval;
+//! 5. on success a *binding* (an [`Sla`]) is returned to both parties.
+
+use std::fmt;
+
+use softsoa_core::{Assignment, Constraint, Domain, Domains, Scsp, SolveError, Var};
+use softsoa_nmsccp::{Agent, Interpreter, Interval, Outcome, Program, SemanticsError, Store};
+use softsoa_semiring::{Residuated, Semiring};
+
+use crate::{QosOffer, Registry, ServiceDescription, ServiceId};
+use crate::registry::ProviderId;
+
+/// A client's request for a service binding (protocol step 1).
+#[derive(Debug, Clone)]
+pub struct NegotiationRequest<S: Semiring> {
+    /// The capability to discover providers by.
+    pub capability: String,
+    /// The negotiation variable (e.g. failures to absorb, processors).
+    pub variable: Var,
+    /// The variable's domain.
+    pub domain: Domain,
+    /// The client's own policy, as a soft constraint.
+    pub constraint: Constraint<S>,
+    /// The client's acceptance interval (Fig. 3 checked transition):
+    /// the agreed level must fall inside it.
+    pub acceptance: Interval<S>,
+}
+
+/// A concluded Service Level Agreement (protocol step 5).
+#[derive(Debug, Clone)]
+pub struct Sla<S: Semiring> {
+    /// The bound service.
+    pub service: ServiceId,
+    /// Its provider.
+    pub provider: ProviderId,
+    /// The agreed QoS level (`σ ⇓ ∅` of the final store).
+    pub agreed_level: S::Value,
+    /// The best value of the negotiation variable and its level.
+    pub binding: Option<(Assignment, S::Value)>,
+}
+
+/// An error produced by a negotiation.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum NegotiationError {
+    /// No provider advertises the requested capability (step 2 found
+    /// nothing).
+    NoProvider(String),
+    /// Providers exist, but no negotiation reached an agreement inside
+    /// the client's acceptance interval.
+    NoAgreement(String),
+    /// The client's acceptance interval is intrinsically contradictory
+    /// (its lower threshold is better than its upper one — the
+    /// parenthesised side conditions of the paper's Fig. 3).
+    InvalidAcceptance(String),
+    /// The underlying `nmsccp` machinery failed.
+    Semantics(SemanticsError),
+    /// Solving for the best binding failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for NegotiationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NegotiationError::NoProvider(cap) => {
+                write!(f, "no provider advertises capability `{cap}`")
+            }
+            NegotiationError::NoAgreement(cap) => {
+                write!(f, "no agreement reached for capability `{cap}`")
+            }
+            NegotiationError::InvalidAcceptance(cap) => write!(
+                f,
+                "the acceptance interval for `{cap}` is contradictory (lower bound better than upper)"
+            ),
+            NegotiationError::Semantics(e) => write!(f, "{e}"),
+            NegotiationError::Solve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NegotiationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NegotiationError::Semantics(e) => Some(e),
+            NegotiationError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SemanticsError> for NegotiationError {
+    fn from(e: SemanticsError) -> NegotiationError {
+        NegotiationError::Semantics(e)
+    }
+}
+
+impl From<SolveError> for NegotiationError {
+    fn from(e: SolveError) -> NegotiationError {
+        NegotiationError::Solve(e)
+    }
+}
+
+/// The QoS broker: a registry plus an embedded soft constraint solver
+/// and `nmsccp` engine.
+///
+/// The broker is generic in the semiring, so the same machinery
+/// negotiates hours of failure recovery (weighted), preference levels
+/// (fuzzy, Fig. 5) or reliabilities (probabilistic); the caller
+/// supplies the QoS-document translation for its semiring.
+///
+/// # Examples
+///
+/// The fuzzy agreement of Fig. 5 — client preference rising with the
+/// resource, provider preference falling, agreement at the
+/// intersection (level 0.5):
+///
+/// ```
+/// use softsoa_core::{Constraint, Domain, Var};
+/// use softsoa_nmsccp::Interval;
+/// use softsoa_semiring::{Fuzzy, Unit};
+/// use softsoa_soa::{Broker, NegotiationRequest, OfferShape, QosDocument,
+///     QosOffer, Registry, ServiceDescription};
+/// use softsoa_dependability::Attribute;
+///
+/// let mut registry = Registry::new();
+/// registry.publish(ServiceDescription::new(
+///     "svc-1", "acme", "web-service",
+///     QosDocument::new("svc-1").with_offer(QosOffer {
+///         attribute: Attribute::Reliability,
+///         variable: "x".into(),
+///         // Provider preference falls from 1 at x=1 to 0 at x=9.
+///         shape: OfferShape::Piecewise { points: vec![(1, 1.0), (9, 0.0)] },
+///     })));
+///
+/// let request = NegotiationRequest {
+///     capability: "web-service".into(),
+///     variable: Var::new("x"),
+///     domain: Domain::ints(1..=9),
+///     // Client preference rises from 0 at x=1 to 1 at x=9.
+///     constraint: Constraint::unary(Fuzzy, "x", |v| {
+///         Unit::clamped((v.as_int().unwrap() as f64 - 1.0) / 8.0)
+///     }),
+///     acceptance: Interval::levels(Unit::new(0.3).unwrap(), Unit::MAX),
+/// };
+///
+/// let broker = Broker::new(Fuzzy, registry);
+/// let sla = broker.negotiate(&request, QosOffer::to_fuzzy)?;
+/// assert_eq!(sla.agreed_level, Unit::new(0.5).unwrap());
+/// # Ok::<(), softsoa_soa::NegotiationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Broker<S: Semiring> {
+    semiring: S,
+    registry: Registry,
+}
+
+impl<S: Residuated> Broker<S> {
+    /// Creates a broker over a registry.
+    pub fn new(semiring: S, registry: Registry) -> Broker<S> {
+        Broker { semiring, registry }
+    }
+
+    /// The semiring the broker negotiates over.
+    pub fn semiring(&self) -> &S {
+        &self.semiring
+    }
+
+    /// The broker's registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (to publish or deregister).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Negotiates a binding for the request, returning the best
+    /// agreement among all discovered providers (steps 1–5).
+    ///
+    /// `translate` converts each provider QoS offer into a soft
+    /// constraint over the broker's semiring — the paper's
+    /// XML-to-constraint translation step.
+    ///
+    /// # Errors
+    ///
+    /// [`NegotiationError::NoProvider`] if discovery finds nothing,
+    /// [`NegotiationError::NoAgreement`] if every per-provider
+    /// negotiation fails the client's acceptance interval.
+    pub fn negotiate<F>(
+        &self,
+        request: &NegotiationRequest<S>,
+        translate: F,
+    ) -> Result<Sla<S>, NegotiationError>
+    where
+        F: Fn(&QosOffer) -> Constraint<S>,
+    {
+        let agreements = self.negotiate_all(request, translate)?;
+        // Keep the maximal agreed levels (non-dominated under the
+        // semiring order), then the first by service id.
+        agreements
+            .into_iter()
+            .fold(None::<Sla<S>>, |best, sla| match best {
+                None => Some(sla),
+                Some(best) => {
+                    if self.semiring.lt(&best.agreed_level, &sla.agreed_level) {
+                        Some(sla)
+                    } else {
+                        Some(best)
+                    }
+                }
+            })
+            .ok_or_else(|| NegotiationError::NoAgreement(request.capability.clone()))
+    }
+
+    /// Negotiates with every discovered provider and returns every
+    /// *successful* agreement (in registry order).
+    ///
+    /// # Errors
+    ///
+    /// [`NegotiationError::NoProvider`] if discovery finds nothing, or
+    /// an underlying semantics/solve error.
+    pub fn negotiate_all<F>(
+        &self,
+        request: &NegotiationRequest<S>,
+        translate: F,
+    ) -> Result<Vec<Sla<S>>, NegotiationError>
+    where
+        F: Fn(&QosOffer) -> Constraint<S>,
+    {
+        let candidates = self.registry.discover(&request.capability);
+        if candidates.is_empty() {
+            return Err(NegotiationError::NoProvider(request.capability.clone()));
+        }
+        // Reject contradictory acceptance intervals up front (Fig. 3's
+        // side conditions): they would silently suspend every session.
+        let domains = Domains::new().with(request.variable.clone(), request.domain.clone());
+        if matches!(
+            request.acceptance.validate(&self.semiring, &domains),
+            Err(softsoa_nmsccp::ValidationError::Invalid(_))
+        ) {
+            return Err(NegotiationError::InvalidAcceptance(
+                request.capability.clone(),
+            ));
+        }
+        let mut agreements = Vec::new();
+        for service in candidates {
+            if let Some(sla) = self.negotiate_one(request, service, &translate)? {
+                agreements.push(sla);
+            }
+        }
+        Ok(agreements)
+    }
+
+    /// Negotiates with iterative *relaxation*: if no provider yields an
+    /// agreement inside the acceptance interval, the client retracts
+    /// the next constraint from `relaxations` (a concession, applied
+    /// through nmsccp's nonmonotonic `retract`) and the negotiation is
+    /// retried — the generalisation of the paper's Example 2, where
+    /// retracting `c1` turns a failed negotiation into an agreement.
+    ///
+    /// Returns the SLA together with the number of concessions spent.
+    ///
+    /// # Errors
+    ///
+    /// [`NegotiationError::NoProvider`] if discovery finds nothing;
+    /// [`NegotiationError::NoAgreement`] if even the fully relaxed
+    /// negotiation fails.
+    pub fn negotiate_with_relaxation<F>(
+        &self,
+        request: &NegotiationRequest<S>,
+        relaxations: &[Constraint<S>],
+        translate: F,
+    ) -> Result<(Sla<S>, usize), NegotiationError>
+    where
+        F: Fn(&QosOffer) -> Constraint<S> + Copy,
+    {
+        let mut current = request.clone();
+        for (concessions, relaxation) in std::iter::once(None)
+            .chain(relaxations.iter().map(Some))
+            .enumerate()
+        {
+            if let Some(relaxation) = relaxation {
+                // The concession: divide the client's policy by the
+                // relaxed part (Example 2's partial removal).
+                current.constraint = current.constraint.divide(relaxation);
+            }
+            match self.negotiate(&current, translate) {
+                Ok(sla) => return Ok((sla, concessions)),
+                Err(NegotiationError::NoAgreement(_)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(NegotiationError::NoAgreement(request.capability.clone()))
+    }
+
+    /// Runs the nmsccp negotiation session against one provider
+    /// (steps 3–4); `None` means the session failed the acceptance
+    /// check.
+    fn negotiate_one<F>(
+        &self,
+        request: &NegotiationRequest<S>,
+        service: &ServiceDescription,
+        translate: &F,
+    ) -> Result<Option<Sla<S>>, NegotiationError>
+    where
+        F: Fn(&QosOffer) -> Constraint<S>,
+    {
+        // Translate the offers concerning the negotiation variable.
+        let offers: Vec<Constraint<S>> = service
+            .qos
+            .offers
+            .iter()
+            .filter(|o| o.variable == request.variable.name())
+            .map(translate)
+            .collect();
+        if offers.is_empty() {
+            return Ok(None);
+        }
+        let provider_constraint = offers
+            .iter()
+            .skip(1)
+            .fold(offers[0].clone(), |acc, c| acc.combine(c));
+
+        // The provider agent publishes its policy; the client agent
+        // publishes its own and then checks the agreement interval.
+        let provider = Agent::tell(
+            provider_constraint,
+            Interval::any(&self.semiring),
+            Agent::success(),
+        );
+        let client = Agent::tell(
+            request.constraint.clone(),
+            Interval::any(&self.semiring),
+            Agent::ask(
+                Constraint::always(self.semiring.clone()),
+                request.acceptance.clone(),
+                Agent::success(),
+            ),
+        );
+        let domains =
+            Domains::new().with(request.variable.clone(), request.domain.clone());
+        let store = Store::empty(self.semiring.clone(), domains.clone());
+        let report = Interpreter::new(Program::new())
+            .run(Agent::par(provider, client), store)?;
+
+        let final_store = match report.outcome {
+            Outcome::Success { store } => store,
+            _ => return Ok(None),
+        };
+        let agreed_level = final_store
+            .consistency()
+            .map_err(SemanticsError::from)?;
+
+        // The concrete binding: the best value of the negotiation
+        // variable under the agreed store.
+        let problem = Scsp::new(self.semiring.clone())
+            .with_domain(request.variable.clone(), request.domain.clone())
+            .with_constraint(final_store.sigma().clone())
+            .of_interest([request.variable.clone()]);
+        let solution = problem.solve()?;
+        let binding = solution.best().first().cloned();
+
+        Ok(Some(Sla {
+            service: service.id.clone(),
+            provider: service.provider.clone(),
+            agreed_level,
+            binding,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OfferShape, QosDocument};
+    use softsoa_dependability::Attribute;
+    use softsoa_semiring::{Fuzzy, Unit, Weight, Weighted};
+
+    fn fuzzy_provider(id: &str, points: Vec<(i64, f64)>) -> ServiceDescription {
+        ServiceDescription::new(
+            id,
+            "acme",
+            "web-service",
+            QosDocument::new(id).with_offer(QosOffer {
+                attribute: Attribute::Reliability,
+                variable: "x".into(),
+                shape: OfferShape::Piecewise { points },
+            }),
+        )
+    }
+
+    fn fig5_request() -> NegotiationRequest<Fuzzy> {
+        NegotiationRequest {
+            capability: "web-service".into(),
+            variable: Var::new("x"),
+            domain: Domain::ints(1..=9),
+            constraint: Constraint::unary(Fuzzy, "x", |v| {
+                Unit::clamped((v.as_int().unwrap() as f64 - 1.0) / 8.0)
+            }),
+            acceptance: Interval::levels(Unit::new(0.3).unwrap(), Unit::MAX),
+        }
+    }
+
+    #[test]
+    fn fig5_fuzzy_agreement_at_half() {
+        let mut registry = Registry::new();
+        registry.publish(fuzzy_provider("svc-1", vec![(1, 1.0), (9, 0.0)]));
+        let broker = Broker::new(Fuzzy, registry);
+        let sla = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap();
+        assert_eq!(sla.agreed_level, Unit::new(0.5).unwrap());
+        // The agreement is at the intersection x = 5.
+        let (eta, level) = sla.binding.unwrap();
+        assert_eq!(eta.get(&Var::new("x")).unwrap().as_int(), Some(5));
+        assert_eq!(level, Unit::new(0.5).unwrap());
+    }
+
+    #[test]
+    fn broker_picks_the_better_provider() {
+        let mut registry = Registry::new();
+        // svc-flat keeps a high preference everywhere → better blevel
+        // (0.8 against svc-steep's 0.5).
+        registry.publish(fuzzy_provider("svc-steep", vec![(1, 1.0), (9, 0.0)]));
+        registry.publish(fuzzy_provider("svc-flat", vec![(1, 0.8), (9, 0.8)]));
+        let broker = Broker::new(Fuzzy, registry);
+        let sla = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap();
+        assert_eq!(sla.service, ServiceId::new("svc-flat"));
+        assert_eq!(sla.agreed_level, Unit::new(0.8).unwrap());
+    }
+
+    #[test]
+    fn acceptance_interval_rejects_poor_agreements() {
+        let mut registry = Registry::new();
+        // The provider's preference peaks at 0.2: below the client's
+        // floor of 0.3.
+        registry.publish(fuzzy_provider("svc-bad", vec![(1, 0.2), (9, 0.2)]));
+        let broker = Broker::new(Fuzzy, registry);
+        let err = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap_err();
+        assert!(matches!(err, NegotiationError::NoAgreement(_)));
+    }
+
+    #[test]
+    fn contradictory_acceptance_is_rejected_up_front() {
+        let mut registry = Registry::new();
+        registry.publish(fuzzy_provider("svc", vec![(1, 1.0), (9, 0.0)]));
+        let broker = Broker::new(Fuzzy, registry);
+        let mut request = fig5_request();
+        // Fuzzy: lower 0.9 is better than upper 0.2 → contradictory.
+        request.acceptance =
+            Interval::levels(Unit::new(0.9).unwrap(), Unit::new(0.2).unwrap());
+        let err = broker.negotiate(&request, QosOffer::to_fuzzy).unwrap_err();
+        assert!(matches!(err, NegotiationError::InvalidAcceptance(_)));
+    }
+
+    #[test]
+    fn missing_capability_is_no_provider() {
+        let broker = Broker::new(Fuzzy, Registry::new());
+        let err = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap_err();
+        assert!(matches!(err, NegotiationError::NoProvider(_)));
+    }
+
+    #[test]
+    fn provider_without_matching_variable_is_skipped() {
+        let mut registry = Registry::new();
+        registry.publish(ServiceDescription::new(
+            "svc-other",
+            "acme",
+            "web-service",
+            QosDocument::new("svc-other").with_offer(QosOffer {
+                attribute: Attribute::Reliability,
+                variable: "y".into(), // not the negotiation variable
+                shape: OfferShape::Constant { level: 1.0 },
+            }),
+        ));
+        let broker = Broker::new(Fuzzy, registry);
+        let err = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap_err();
+        assert!(matches!(err, NegotiationError::NoAgreement(_)));
+    }
+
+    #[test]
+    fn relaxation_turns_failure_into_agreement() {
+        // The paper's Example 2 through the broker: the client's policy
+        // c4 = x + 5 makes the merged cost 3x + 5 ∉ [1, 4]; conceding
+        // c1 = x + 3 leaves 2x + 2, level 2 ∈ [1, 4].
+        let mut registry = Registry::new();
+        registry.publish(ServiceDescription::new(
+            "svc",
+            "acme",
+            "failure-mgmt",
+            QosDocument::new("svc").with_offer(QosOffer {
+                attribute: Attribute::Reliability,
+                variable: "x".into(),
+                shape: OfferShape::Linear { slope: 2.0, intercept: 0.0 }, // c3 = 2x
+            }),
+        ));
+        let request = NegotiationRequest {
+            capability: "failure-mgmt".into(),
+            variable: Var::new("x"),
+            domain: Domain::ints(0..=10),
+            constraint: Constraint::unary(Weighted, "x", |v| {
+                Weight::saturating(v.as_int().unwrap() as f64 + 5.0) // c4
+            }),
+            acceptance: Interval::levels(
+                Weight::new(4.0).unwrap(), // no worse than 4 hours
+                Weight::new(1.0).unwrap(), // no better than 1 hour
+            ),
+        };
+        let broker = Broker::new(Weighted, registry);
+        // Without relaxation: no agreement (level 5 ∉ [1, 4]).
+        assert!(matches!(
+            broker.negotiate(&request, QosOffer::to_weighted),
+            Err(NegotiationError::NoAgreement(_))
+        ));
+        // Conceding c1 = x + 3 reaches level 2.
+        let c1 = Constraint::unary(Weighted, "x", |v| {
+            Weight::saturating(v.as_int().unwrap() as f64 + 3.0)
+        });
+        let (sla, concessions) = broker
+            .negotiate_with_relaxation(&request, &[c1], QosOffer::to_weighted)
+            .unwrap();
+        assert_eq!(concessions, 1);
+        assert_eq!(sla.agreed_level, Weight::new(2.0).unwrap());
+    }
+
+    #[test]
+    fn exhausted_relaxations_still_fail() {
+        let broker = Broker::new(Weighted, {
+            let mut r = Registry::new();
+            r.publish(ServiceDescription::new(
+                "svc",
+                "acme",
+                "compute",
+                QosDocument::new("svc").with_offer(QosOffer {
+                    attribute: Attribute::Reliability,
+                    variable: "x".into(),
+                    shape: OfferShape::Constant { level: 100.0 }, // hopeless cost
+                }),
+            ));
+            r
+        });
+        let request = NegotiationRequest {
+            capability: "compute".into(),
+            variable: Var::new("x"),
+            domain: Domain::ints(0..=3),
+            constraint: Constraint::always(Weighted),
+            acceptance: Interval::levels(Weight::new(4.0).unwrap(), Weight::ZERO),
+        };
+        let err = broker
+            .negotiate_with_relaxation(&request, &[], QosOffer::to_weighted)
+            .unwrap_err();
+        assert!(matches!(err, NegotiationError::NoAgreement(_)));
+    }
+
+    #[test]
+    fn weighted_negotiation_minimises_cost() {
+        // Weighted variant: provider charges 2x, client charges x + 1;
+        // acceptance requires total cost within [1, 6] at the best x.
+        let mut registry = Registry::new();
+        registry.publish(ServiceDescription::new(
+            "svc-w",
+            "acme",
+            "compute",
+            QosDocument::new("svc-w").with_offer(QosOffer {
+                attribute: Attribute::Availability,
+                variable: "x".into(),
+                shape: OfferShape::Linear {
+                    slope: 2.0,
+                    intercept: 0.0,
+                },
+            }),
+        ));
+        let request = NegotiationRequest {
+            capability: "compute".into(),
+            variable: Var::new("x"),
+            domain: Domain::ints(0..=10),
+            constraint: Constraint::unary(Weighted, "x", |v| {
+                Weight::saturating(v.as_int().unwrap() as f64 + 1.0)
+            }),
+            acceptance: Interval::levels(
+                Weight::new(6.0).unwrap(),
+                Weight::new(1.0).unwrap(),
+            ),
+        };
+        let broker = Broker::new(Weighted, registry);
+        let sla = broker.negotiate(&request, QosOffer::to_weighted).unwrap();
+        // Best at x = 0: cost 1.
+        assert_eq!(sla.agreed_level, Weight::new(1.0).unwrap());
+        let (eta, _) = sla.binding.unwrap();
+        assert_eq!(eta.get(&Var::new("x")).unwrap().as_int(), Some(0));
+    }
+}

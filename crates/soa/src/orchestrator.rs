@@ -1,0 +1,294 @@
+//! Execution-time orchestration of a composed service.
+//!
+//! The paper's broker "is also an orchestrator in the sense that [it]
+//! describes the automated arrangement, coordination, and management
+//! of complex services". This module is the management part: it
+//! drives a workload through the pipeline of (simulated) services a
+//! composition selected, retries failed stage invocations, measures
+//! per-stage and end-to-end reliability, and checks each stage's
+//! measurement against its negotiated SLA level — closing the loop
+//! between the *declared* QoS the solver optimised and the *observed*
+//! QoS of the running system.
+
+use softsoa_semiring::Unit;
+
+use crate::{ServiceId, SimConfig, SimService, Sla};
+
+/// Per-stage statistics of a workload run.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// The stage's service.
+    pub service: ServiceId,
+    /// Stage invocations (including retries).
+    pub invocations: u64,
+    /// Failed invocations.
+    pub failures: u64,
+    /// Measured per-invocation reliability.
+    pub measured_reliability: f64,
+}
+
+/// The outcome of driving a workload through the pipeline.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Requests attempted.
+    pub requests: u64,
+    /// Requests that completed every stage.
+    pub completed: u64,
+    /// Fraction of requests that completed.
+    pub end_to_end_reliability: f64,
+    /// Mean end-to-end latency of completed requests (ms).
+    pub mean_latency_ms: f64,
+    /// Per-stage statistics, in pipeline order.
+    pub stages: Vec<StageStats>,
+}
+
+/// The verdict of checking one stage's measurement against its SLA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaVerdict {
+    /// The stage's service.
+    pub service: ServiceId,
+    /// The reliability level agreed in the SLA.
+    pub agreed: f64,
+    /// The reliability measured during the workload.
+    pub measured: f64,
+    /// Whether the measurement (plus tolerance) falls short.
+    pub violated: bool,
+}
+
+/// Drives workloads through a pipeline of simulated services.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_soa::{Orchestrator, ServiceId, SimConfig};
+///
+/// let mut orch = Orchestrator::new(1) // one retry per stage
+///     .with_stage(ServiceId::new("red"), SimConfig { reliability: 0.95, ..Default::default() })
+///     .with_stage(ServiceId::new("bw"), SimConfig { reliability: 0.99, ..Default::default() });
+/// let report = orch.run_workload(2000);
+/// assert!(report.end_to_end_reliability > 0.97); // retries mask most faults
+/// ```
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    stages: Vec<(ServiceId, SimService)>,
+    retries: u32,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator allowing `retries` retries per stage
+    /// invocation.
+    pub fn new(retries: u32) -> Orchestrator {
+        Orchestrator {
+            stages: Vec::new(),
+            retries,
+        }
+    }
+
+    /// Appends a pipeline stage backed by a simulated service.
+    pub fn with_stage(mut self, service: ServiceId, config: SimConfig) -> Orchestrator {
+        self.stages.push((service, SimService::new(config)));
+        self
+    }
+
+    /// The number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Sends `requests` requests through the pipeline; each stage is
+    /// retried up to the configured budget before the request is
+    /// abandoned.
+    pub fn run_workload(&mut self, requests: u64) -> WorkloadReport {
+        let mut completed = 0u64;
+        let mut total_latency = 0.0f64;
+
+        let before: Vec<(u64, u64)> = self
+            .stages
+            .iter()
+            .map(|(_, svc)| (svc.invocations(), svc.failures()))
+            .collect();
+
+        'requests: for _ in 0..requests {
+            let mut latency = 0.0f64;
+            for (_, service) in self.stages.iter_mut() {
+                let mut ok = false;
+                for _ in 0..=self.retries {
+                    match service.invoke() {
+                        Ok(ms) => {
+                            latency += ms;
+                            ok = true;
+                            break;
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                if !ok {
+                    continue 'requests;
+                }
+            }
+            completed += 1;
+            total_latency += latency;
+        }
+
+        let stages = self
+            .stages
+            .iter()
+            .zip(before)
+            .map(|((id, svc), (inv0, fail0))| {
+                let inv = svc.invocations() - inv0;
+                let fail = svc.failures() - fail0;
+                StageStats {
+                    service: id.clone(),
+                    invocations: inv,
+                    failures: fail,
+                    measured_reliability: if inv == 0 {
+                        0.0
+                    } else {
+                        1.0 - fail as f64 / inv as f64
+                    },
+                }
+            })
+            .collect();
+
+        WorkloadReport {
+            requests,
+            completed,
+            end_to_end_reliability: if requests == 0 {
+                0.0
+            } else {
+                completed as f64 / requests as f64
+            },
+            mean_latency_ms: if completed == 0 {
+                0.0
+            } else {
+                total_latency / completed as f64
+            },
+            stages,
+        }
+    }
+
+    /// Checks a workload report against the SLAs a negotiation
+    /// produced, matching stages to SLAs by service id.
+    ///
+    /// `tolerance` absorbs sampling noise, as in
+    /// [`SlaMonitor`](crate::SlaMonitor).
+    pub fn check_slas<S>(
+        report: &WorkloadReport,
+        slas: &[Sla<S>],
+        agreed_level: impl Fn(&Sla<S>) -> Unit,
+        tolerance: f64,
+    ) -> Vec<SlaVerdict>
+    where
+        S: softsoa_semiring::Semiring,
+    {
+        report
+            .stages
+            .iter()
+            .filter_map(|stage| {
+                let sla = slas.iter().find(|s| s.service == stage.service)?;
+                let agreed = agreed_level(sla).get();
+                Some(SlaVerdict {
+                    service: stage.service.clone(),
+                    agreed,
+                    measured: stage.measured_reliability,
+                    violated: stage.measured_reliability + tolerance < agreed,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ProviderId;
+
+    fn sim(reliability: f64, seed: u64) -> SimConfig {
+        SimConfig {
+            reliability,
+            mean_latency_ms: 5.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn end_to_end_reliability_is_roughly_the_product() {
+        let mut orch = Orchestrator::new(0)
+            .with_stage(ServiceId::new("a"), sim(0.9, 1))
+            .with_stage(ServiceId::new("b"), sim(0.8, 2));
+        let report = orch.run_workload(20_000);
+        let expected = 0.9 * 0.8;
+        assert!(
+            (report.end_to_end_reliability - expected).abs() < 0.02,
+            "measured {}",
+            report.end_to_end_reliability
+        );
+    }
+
+    #[test]
+    fn retries_improve_completion() {
+        let run = |retries| {
+            let mut orch = Orchestrator::new(retries)
+                .with_stage(ServiceId::new("a"), sim(0.7, 3))
+                .with_stage(ServiceId::new("b"), sim(0.7, 4));
+            orch.run_workload(5_000).end_to_end_reliability
+        };
+        let without = run(0);
+        let with = run(2);
+        assert!(with > without + 0.2, "without {without}, with {with}");
+    }
+
+    #[test]
+    fn per_stage_stats_are_tracked() {
+        let mut orch = Orchestrator::new(0)
+            .with_stage(ServiceId::new("a"), sim(1.0, 5))
+            .with_stage(ServiceId::new("b"), sim(0.5, 6));
+        let report = orch.run_workload(1_000);
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].invocations, 1_000);
+        assert!((report.stages[0].measured_reliability - 1.0).abs() < 1e-12);
+        assert!((report.stages[1].measured_reliability - 0.5).abs() < 0.05);
+        assert!(report.mean_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn sla_verdicts_flag_the_dishonest_stage() {
+        let mut orch = Orchestrator::new(0)
+            .with_stage(ServiceId::new("honest"), sim(0.95, 7))
+            .with_stage(ServiceId::new("dishonest"), sim(0.70, 8));
+        let report = orch.run_workload(3_000);
+        let slas: Vec<Sla<softsoa_semiring::Probabilistic>> = vec![
+            Sla {
+                service: ServiceId::new("honest"),
+                provider: ProviderId::new("p"),
+                agreed_level: Unit::clamped(0.95),
+                binding: None,
+            },
+            Sla {
+                service: ServiceId::new("dishonest"),
+                provider: ProviderId::new("p"),
+                agreed_level: Unit::clamped(0.95),
+                binding: None,
+            },
+        ];
+        let verdicts =
+            Orchestrator::check_slas(&report, &slas, |sla| sla.agreed_level, 0.02);
+        assert_eq!(verdicts.len(), 2);
+        assert!(!verdicts[0].violated);
+        assert!(verdicts[1].violated);
+    }
+
+    #[test]
+    fn empty_pipeline_completes_everything() {
+        let mut orch = Orchestrator::new(0);
+        assert!(orch.is_empty());
+        let report = orch.run_workload(10);
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.end_to_end_reliability, 1.0);
+    }
+}

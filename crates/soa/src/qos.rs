@@ -1,0 +1,296 @@
+//! QoS documents and their translation into soft constraints.
+//!
+//! Providers "publish QoS-enabled web services" by attaching an
+//! XML-based QoS document to each service (Sec. 4, after the W3C QoS
+//! note the paper cites). This module is the stand-in for that
+//! document format: a typed, serialisable description of QoS offers
+//! that the broker *translates into soft constraints* before adding
+//! them to its store — the paper's "all the XML-translations are
+//! executed inside [the solver component]".
+
+use serde::{Deserialize, Serialize};
+use softsoa_core::{Constraint, Var};
+use softsoa_dependability::Attribute;
+use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Unit, Weight, Weighted};
+
+/// The shape of a QoS offer: how the offered level depends on the
+/// negotiation variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OfferShape {
+    /// `level(x) = slope · x + intercept` — the paper's polynomial
+    /// policies ("the reliability is equal to 80% plus 5% for each
+    /// other processor", `c(x) = 2x`, ...).
+    Linear {
+        /// Level change per unit of the variable.
+        slope: f64,
+        /// Level at `x = 0`.
+        intercept: f64,
+    },
+    /// Piecewise-linear interpolation through `(x, level)` points,
+    /// clamped at the extremes (used for the preference profiles of
+    /// Fig. 5).
+    Piecewise {
+        /// Interpolation points, sorted by `x`.
+        points: Vec<(i64, f64)>,
+    },
+    /// A constant level, independent of the variable.
+    Constant {
+        /// The offered level.
+        level: f64,
+    },
+    /// A crisp admissible range: full level inside `[min, max]`,
+    /// bottom outside.
+    Range {
+        /// Smallest admissible value.
+        min: i64,
+        /// Largest admissible value.
+        max: i64,
+    },
+}
+
+impl OfferShape {
+    /// The raw offered level at `x`, before any semiring
+    /// interpretation.
+    pub fn level_at(&self, x: i64) -> f64 {
+        match self {
+            OfferShape::Linear { slope, intercept } => slope * x as f64 + intercept,
+            OfferShape::Constant { level } => *level,
+            OfferShape::Range { min, max } => {
+                if (*min..=*max).contains(&x) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            OfferShape::Piecewise { points } => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if x <= points[0].0 {
+                    return points[0].1;
+                }
+                if x >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for pair in points.windows(2) {
+                    let (x0, y0) = pair[0];
+                    let (x1, y1) = pair[1];
+                    if (x0..=x1).contains(&x) && x0 != x1 {
+                        let t = (x - x0) as f64 / (x1 - x0) as f64;
+                        return y0 + t * (y1 - y0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+}
+
+/// One QoS offer: an attribute, the negotiation variable it depends
+/// on, and the offered level as a function of that variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosOffer {
+    /// The dependability attribute being offered.
+    pub attribute: Attribute,
+    /// The negotiation variable name (e.g. `"failures"`).
+    pub variable: String,
+    /// The offered level as a function of the variable.
+    pub shape: OfferShape,
+}
+
+impl QosOffer {
+    /// Interprets the offer as a *cost* in the weighted semiring
+    /// (levels clamp below at 0; additive metrics).
+    pub fn to_weighted(&self) -> Constraint<Weighted> {
+        let shape = self.shape.clone();
+        Constraint::unary(Weighted, Var::new(&self.variable), move |v| {
+            Weight::saturating(shape.level_at(v.as_int().unwrap_or(0)))
+        })
+        .with_label(format!("{}/{}", self.attribute, self.variable))
+    }
+
+    /// Interprets the offer as a *preference* in the fuzzy semiring
+    /// (levels clamp into `[0, 1]`).
+    pub fn to_fuzzy(&self) -> Constraint<Fuzzy> {
+        let shape = self.shape.clone();
+        Constraint::unary(Fuzzy, Var::new(&self.variable), move |v| {
+            Unit::clamped(shape.level_at(v.as_int().unwrap_or(0)))
+        })
+        .with_label(format!("{}/{}", self.attribute, self.variable))
+    }
+
+    /// Interprets the offer as a *probability* in the probabilistic
+    /// semiring (levels clamp into `[0, 1]`).
+    pub fn to_probabilistic(&self) -> Constraint<Probabilistic> {
+        let shape = self.shape.clone();
+        Constraint::unary(Probabilistic, Var::new(&self.variable), move |v| {
+            Unit::clamped(shape.level_at(v.as_int().unwrap_or(0)))
+        })
+        .with_label(format!("{}/{}", self.attribute, self.variable))
+    }
+
+    /// Interprets the offer crisply: admissible iff the level is
+    /// positive.
+    pub fn to_crisp(&self) -> Constraint<Boolean> {
+        let shape = self.shape.clone();
+        Constraint::unary(Boolean, Var::new(&self.variable), move |v| {
+            shape.level_at(v.as_int().unwrap_or(0)) > 0.0
+        })
+        .with_label(format!("{}/{}", self.attribute, self.variable))
+    }
+}
+
+/// A provider's QoS document: the offers attached to one service.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_soa::{QosDocument, QosOffer, OfferShape};
+/// use softsoa_dependability::Attribute;
+///
+/// let doc = QosDocument::new("photo-filter")
+///     .with_offer(QosOffer {
+///         attribute: Attribute::Reliability,
+///         variable: "procs".into(),
+///         // "reliability is 80% plus 5% per extra processor"
+///         shape: OfferShape::Linear { slope: 0.05, intercept: 0.80 },
+///     });
+/// let json = doc.to_json().unwrap();
+/// assert_eq!(QosDocument::from_json(&json).unwrap(), doc);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosDocument {
+    /// The service the document describes.
+    pub service: String,
+    /// The offers, one per attribute/variable pair.
+    pub offers: Vec<QosOffer>,
+}
+
+impl QosDocument {
+    /// Creates an empty document for a service.
+    pub fn new(service: impl Into<String>) -> QosDocument {
+        QosDocument {
+            service: service.into(),
+            offers: Vec::new(),
+        }
+    }
+
+    /// Adds an offer (builder style).
+    pub fn with_offer(mut self, offer: QosOffer) -> QosDocument {
+        self.offers.push(offer);
+        self
+    }
+
+    /// The offer for a given attribute, if present.
+    pub fn offer(&self, attribute: Attribute) -> Option<&QosOffer> {
+        self.offers.iter().find(|o| o.attribute == attribute)
+    }
+
+    /// Serialises the document (the wire stand-in for the paper's
+    /// XML-based QoS documents).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on serialisation failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a document from its serialised form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`serde_json::Error`] on malformed input.
+    pub fn from_json(json: &str) -> Result<QosDocument, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_core::Assignment;
+
+    fn offer(shape: OfferShape) -> QosOffer {
+        QosOffer {
+            attribute: Attribute::Reliability,
+            variable: "x".into(),
+            shape,
+        }
+    }
+
+    #[test]
+    fn linear_shape() {
+        let s = OfferShape::Linear {
+            slope: 0.05,
+            intercept: 0.80,
+        };
+        assert!((s.level_at(0) - 0.80).abs() < 1e-12);
+        assert!((s.level_at(3) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_clamps() {
+        let s = OfferShape::Piecewise {
+            points: vec![(1, 0.0), (5, 1.0), (9, 0.0)],
+        };
+        assert_eq!(s.level_at(0), 0.0); // clamp left
+        assert!((s.level_at(3) - 0.5).abs() < 1e-12);
+        assert_eq!(s.level_at(5), 1.0);
+        assert!((s.level_at(7) - 0.5).abs() < 1e-12);
+        assert_eq!(s.level_at(20), 0.0); // clamp right
+    }
+
+    #[test]
+    fn range_shape_is_crisp() {
+        let s = OfferShape::Range { min: 2, max: 4 };
+        assert_eq!(s.level_at(1), 0.0);
+        assert_eq!(s.level_at(2), 1.0);
+        assert_eq!(s.level_at(5), 0.0);
+    }
+
+    #[test]
+    fn empty_piecewise_is_zero() {
+        let s = OfferShape::Piecewise { points: vec![] };
+        assert_eq!(s.level_at(3), 0.0);
+    }
+
+    #[test]
+    fn translations_agree_with_shape() {
+        let o = offer(OfferShape::Linear {
+            slope: 1.0,
+            intercept: 2.0,
+        });
+        let eta = Assignment::new().bind("x", 3);
+        assert_eq!(o.to_weighted().eval(&eta).get(), 5.0);
+        // Fuzzy/probabilistic clamp 5.0 into [0, 1].
+        assert_eq!(o.to_fuzzy().eval(&eta), Unit::MAX);
+        assert_eq!(o.to_probabilistic().eval(&eta), Unit::MAX);
+        assert!(o.to_crisp().eval(&eta));
+    }
+
+    #[test]
+    fn crisp_translation_of_range() {
+        let o = offer(OfferShape::Range { min: 0, max: 2 });
+        let inside = Assignment::new().bind("x", 1);
+        let outside = Assignment::new().bind("x", 3);
+        assert!(o.to_crisp().eval(&inside));
+        assert!(!o.to_crisp().eval(&outside));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let doc = QosDocument::new("svc")
+            .with_offer(offer(OfferShape::Constant { level: 0.9 }))
+            .with_offer(QosOffer {
+                attribute: Attribute::Availability,
+                variable: "slots".into(),
+                shape: OfferShape::Range { min: 1, max: 8 },
+            });
+        let json = doc.to_json().unwrap();
+        let back = QosDocument::from_json(&json).unwrap();
+        assert_eq!(back, doc);
+        assert!(back.offer(Attribute::Availability).is_some());
+        assert!(back.offer(Attribute::Safety).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! The service registry (the paper's UDDI stand-in).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::QosDocument;
+
+/// A unique service identifier.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(Arc<str>);
+
+impl ServiceId {
+    /// Creates a service id.
+    pub fn new(id: impl AsRef<str>) -> ServiceId {
+        ServiceId(Arc::from(id.as_ref()))
+    }
+
+    /// The id as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServiceId {
+    fn from(id: &str) -> ServiceId {
+        ServiceId::new(id)
+    }
+}
+
+/// A provider (the organisation offering services).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProviderId(Arc<str>);
+
+impl ProviderId {
+    /// Creates a provider id.
+    pub fn new(id: impl AsRef<str>) -> ProviderId {
+        ProviderId(Arc::from(id.as_ref()))
+    }
+
+    /// The id as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ProviderId {
+    fn from(id: &str) -> ProviderId {
+        ProviderId::new(id)
+    }
+}
+
+/// A published service: identity, provider, advertised capability and
+/// the QoS document describing its non-functional behaviour.
+///
+/// "Service descriptions are used to advertise the service
+/// capabilities, interface, behaviour, and quality" (Sec. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceDescription {
+    /// The service identity.
+    pub id: ServiceId,
+    /// The organisation providing the service.
+    pub provider: ProviderId,
+    /// The advertised capability (discovery key).
+    pub capability: String,
+    /// The non-functional offer.
+    pub qos: QosDocument,
+}
+
+impl ServiceDescription {
+    /// Creates a description.
+    pub fn new(
+        id: impl Into<ServiceId>,
+        provider: impl AsRef<str>,
+        capability: impl Into<String>,
+        qos: QosDocument,
+    ) -> ServiceDescription {
+        ServiceDescription {
+            id: id.into(),
+            provider: ProviderId::new(provider),
+            capability: capability.into(),
+            qos,
+        }
+    }
+}
+
+/// The registry where providers publish services and the broker
+/// discovers them (step 2 of the negotiation protocol).
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_soa::{QosDocument, Registry, ServiceDescription};
+///
+/// let mut registry = Registry::new();
+/// registry.publish(ServiceDescription::new(
+///     "red-filter-1", "acme", "red-filter", QosDocument::new("red-filter-1")));
+/// assert_eq!(registry.discover("red-filter").len(), 1);
+/// assert!(registry.discover("blur-filter").is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    services: BTreeMap<ServiceId, ServiceDescription>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Publishes (or republishes) a service, returning any previous
+    /// description under the same id.
+    pub fn publish(&mut self, description: ServiceDescription) -> Option<ServiceDescription> {
+        self.services.insert(description.id.clone(), description)
+    }
+
+    /// Removes a service from the registry.
+    pub fn deregister(&mut self, id: &ServiceId) -> Option<ServiceDescription> {
+        self.services.remove(id)
+    }
+
+    /// Looks up a service by id.
+    pub fn get(&self, id: &ServiceId) -> Option<&ServiceDescription> {
+        self.services.get(id)
+    }
+
+    /// All services advertising the given capability, in id order.
+    pub fn discover(&self, capability: &str) -> Vec<&ServiceDescription> {
+        self.services
+            .values()
+            .filter(|s| s.capability == capability)
+            .collect()
+    }
+
+    /// Iterates over all published services in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ServiceDescription> {
+        self.services.values()
+    }
+
+    /// The number of published services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(id: &str, capability: &str) -> ServiceDescription {
+        ServiceDescription::new(id, "prov", capability, QosDocument::new(id))
+    }
+
+    #[test]
+    fn publish_and_discover() {
+        let mut r = Registry::new();
+        r.publish(desc("a", "filter"));
+        r.publish(desc("b", "filter"));
+        r.publish(desc("c", "storage"));
+        assert_eq!(r.len(), 3);
+        let filters = r.discover("filter");
+        assert_eq!(filters.len(), 2);
+        assert_eq!(filters[0].id, ServiceId::new("a"));
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let mut r = Registry::new();
+        assert!(r.publish(desc("a", "filter")).is_none());
+        let old = r.publish(desc("a", "storage")).unwrap();
+        assert_eq!(old.capability, "filter");
+        assert_eq!(r.len(), 1);
+        assert!(r.discover("filter").is_empty());
+    }
+
+    #[test]
+    fn deregister() {
+        let mut r = Registry::new();
+        r.publish(desc("a", "filter"));
+        assert!(r.deregister(&ServiceId::new("a")).is_some());
+        assert!(r.is_empty());
+        assert!(r.deregister(&ServiceId::new("a")).is_none());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ServiceId::new("svc-1").to_string(), "svc-1");
+        assert_eq!(ProviderId::new("acme").to_string(), "acme");
+    }
+}

@@ -1,0 +1,253 @@
+//! Simulated services and SLA monitoring.
+//!
+//! The paper's services live on the Internet; here they are simulated
+//! in-process with seeded failure and latency models, which is all the
+//! framework ever observes of them. The [`SlaMonitor`] implements the
+//! paper's requirement that "this composition needs to be monitored":
+//! it drives invocations against a simulated service and compares the
+//! measured reliability with the level agreed in the SLA.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use softsoa_semiring::Unit;
+
+/// The failure/latency model of a simulated service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Probability that an invocation succeeds.
+    pub reliability: f64,
+    /// Mean latency of a successful invocation, in milliseconds.
+    pub mean_latency_ms: f64,
+    /// RNG seed; equal seeds give identical behaviour.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            reliability: 0.99,
+            mean_latency_ms: 20.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A failed invocation of a simulated service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceFault;
+
+impl std::fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("simulated service fault")
+    }
+}
+
+impl std::error::Error for ServiceFault {}
+
+/// An in-process simulated service.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_soa::{SimConfig, SimService};
+///
+/// let mut svc = SimService::new(SimConfig { reliability: 0.8, ..Default::default() });
+/// for _ in 0..1000 { let _ = svc.invoke(); }
+/// let measured = svc.measured_reliability().unwrap();
+/// assert!((measured - 0.8).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimService {
+    config: SimConfig,
+    rng: StdRng,
+    invocations: u64,
+    failures: u64,
+}
+
+impl SimService {
+    /// Creates a service from its model.
+    pub fn new(config: SimConfig) -> SimService {
+        SimService {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            invocations: 0,
+            failures: 0,
+        }
+    }
+
+    /// Invokes the service once, returning the latency in
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceFault`] with probability
+    /// `1 - config.reliability`.
+    pub fn invoke(&mut self) -> Result<f64, ServiceFault> {
+        self.invocations += 1;
+        if self.rng.random::<f64>() >= self.config.reliability {
+            self.failures += 1;
+            return Err(ServiceFault);
+        }
+        // Exponentially distributed latency around the mean.
+        let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        Ok(-u.ln() * self.config.mean_latency_ms)
+    }
+
+    /// Total invocations so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Failed invocations so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// The empirically measured reliability, if any invocation
+    /// happened.
+    pub fn measured_reliability(&self) -> Option<f64> {
+        if self.invocations == 0 {
+            None
+        } else {
+            Some(1.0 - self.failures as f64 / self.invocations as f64)
+        }
+    }
+}
+
+/// The verdict of monitoring a service against its agreed level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorReport {
+    /// The reliability agreed in the SLA.
+    pub agreed: f64,
+    /// The reliability measured over the monitoring window.
+    pub measured: f64,
+    /// Number of invocations in the window.
+    pub window: u64,
+    /// Whether the SLA is violated (measured below agreed minus
+    /// tolerance).
+    pub violated: bool,
+}
+
+/// Monitors a simulated service against an agreed reliability level.
+#[derive(Debug, Clone, Copy)]
+pub struct SlaMonitor {
+    /// Invocations per monitoring window.
+    pub window: u64,
+    /// Slack below the agreed level tolerated before declaring a
+    /// violation (absorbs sampling noise).
+    pub tolerance: f64,
+}
+
+impl Default for SlaMonitor {
+    fn default() -> SlaMonitor {
+        SlaMonitor {
+            window: 1000,
+            tolerance: 0.02,
+        }
+    }
+}
+
+impl SlaMonitor {
+    /// Drives one monitoring window and issues a verdict.
+    pub fn observe(&self, service: &mut SimService, agreed: Unit) -> MonitorReport {
+        let before_inv = service.invocations();
+        let before_fail = service.failures();
+        for _ in 0..self.window {
+            let _ = service.invoke();
+        }
+        let inv = service.invocations() - before_inv;
+        let fail = service.failures() - before_fail;
+        let measured = if inv == 0 {
+            0.0
+        } else {
+            1.0 - fail as f64 / inv as f64
+        };
+        MonitorReport {
+            agreed: agreed.get(),
+            measured,
+            window: inv,
+            violated: measured + self.tolerance < agreed.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliability_estimate_converges() {
+        let mut svc = SimService::new(SimConfig {
+            reliability: 0.7,
+            seed: 1,
+            ..Default::default()
+        });
+        for _ in 0..5000 {
+            let _ = svc.invoke();
+        }
+        let measured = svc.measured_reliability().unwrap();
+        assert!((measured - 0.7).abs() < 0.03, "measured {measured}");
+    }
+
+    #[test]
+    fn same_seed_same_behaviour() {
+        let run = |seed| {
+            let mut svc = SimService::new(SimConfig {
+                reliability: 0.5,
+                seed,
+                ..Default::default()
+            });
+            (0..64).map(|_| svc.invoke().is_ok()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn monitor_accepts_honest_service() {
+        let mut svc = SimService::new(SimConfig {
+            reliability: 0.95,
+            seed: 2,
+            ..Default::default()
+        });
+        let report = SlaMonitor::default().observe(&mut svc, Unit::new(0.95).unwrap());
+        assert!(!report.violated, "measured {}", report.measured);
+        assert_eq!(report.window, 1000);
+    }
+
+    #[test]
+    fn monitor_flags_dishonest_service() {
+        // Agreed 0.99 but actually 0.7.
+        let mut svc = SimService::new(SimConfig {
+            reliability: 0.7,
+            seed: 3,
+            ..Default::default()
+        });
+        let report = SlaMonitor::default().observe(&mut svc, Unit::new(0.99).unwrap());
+        assert!(report.violated);
+        assert!(report.measured < report.agreed);
+    }
+
+    #[test]
+    fn no_invocations_no_estimate() {
+        let svc = SimService::new(SimConfig::default());
+        assert_eq!(svc.measured_reliability(), None);
+    }
+
+    #[test]
+    fn latency_is_positive_and_roughly_mean() {
+        let mut svc = SimService::new(SimConfig {
+            reliability: 1.0,
+            mean_latency_ms: 10.0,
+            seed: 4,
+        });
+        let mut total = 0.0;
+        let n = 4000;
+        for _ in 0..n {
+            let l = svc.invoke().unwrap();
+            assert!(l >= 0.0);
+            total += l;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 10.0).abs() < 1.0, "mean {mean}");
+    }
+}

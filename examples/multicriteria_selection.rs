@@ -1,0 +1,92 @@
+//! Multi-criteria service selection and SLA monitoring.
+//!
+//! Sec. 4 of the paper notes that "the cartesian product of multiple
+//! c-semirings is still a c-semiring and, therefore, we can model also
+//! a multicriteria optimization". This example scores providers on
+//! *cost* (weighted semiring) and *reliability* (probabilistic
+//! semiring) at once: the product order is partial, so the solver
+//! returns the Pareto frontier of non-dominated offers. The chosen
+//! binding is then monitored against a simulated service, as the
+//! paper's composition monitoring requires.
+//!
+//! Run with `cargo run --example multicriteria_selection`.
+
+use softsoa::core::{Constraint, Domain, Scsp, Var};
+use softsoa::semiring::{Probabilistic, Product, Unit, Weight, Weighted};
+use softsoa::soa::{SimConfig, SimService, SlaMonitor};
+
+type CostRel = Product<Weighted, Probabilistic>;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let semiring = CostRel::new(Weighted, Probabilistic);
+
+    // One decision variable: which provider to bind (0, 1, 2).
+    let provider = Var::new("provider");
+    // Each provider's offer: (cost in €/month, reliability).
+    let offers: Vec<(f64, f64)> = vec![(10.0, 0.90), (25.0, 0.99), (40.0, 0.95)];
+    println!("== Offers ==");
+    for (i, (cost, rel)) in offers.iter().enumerate() {
+        println!("  provider {i}: {cost:5.1} €/month, reliability {rel}");
+    }
+
+    let offers_for_constraint = offers.clone();
+    let offer_constraint = Constraint::unary(semiring.clone(), provider.clone(), move |v| {
+        let (cost, rel) = offers_for_constraint[v.as_int().unwrap() as usize];
+        (Weight::saturating(cost), Unit::clamped(rel))
+    });
+
+    let problem = Scsp::new(semiring.clone())
+        .with_domain(provider.clone(), Domain::ints(0..3))
+        .with_constraint(offer_constraint)
+        .of_interest([provider.clone()]);
+
+    let solution = problem.solve()?;
+    println!("\n== Pareto frontier (non-dominated offers) ==");
+    for (eta, level) in solution.best() {
+        println!("  {eta} → cost {}, reliability {}", level.0, level.1);
+    }
+    // Provider 2 is dominated by provider 1 (more expensive AND less
+    // reliable), so the frontier has exactly two entries.
+    assert_eq!(solution.best().len(), 2);
+
+    // blevel is the componentwise lub — the (unattainable) ideal point.
+    let blevel = solution.blevel();
+    println!(
+        "\n  blevel (ideal point): cost {}, reliability {}",
+        blevel.0, blevel.1
+    );
+
+    // --- Pick the cheapest frontier point meeting a reliability floor ----
+    let floor = Unit::new(0.95)?;
+    let choice = solution
+        .best()
+        .iter()
+        .filter(|(_, (_, rel))| *rel >= floor)
+        .min_by(|(_, (c1, _)), (_, (c2, _))| c1.cmp(c2))
+        .expect("some offer meets the floor");
+    let chosen = choice.0.get(&provider).unwrap().as_int().unwrap() as usize;
+    println!("\n== Binding: provider {chosen} (cheapest with reliability ≥ {floor}) ==");
+
+    // --- Monitor the SLA against the simulated service -------------------
+    let agreed = Unit::clamped(offers[chosen].1);
+    // The provider actually delivers slightly less than agreed.
+    let mut service = SimService::new(SimConfig {
+        reliability: offers[chosen].1 - 0.03,
+        mean_latency_ms: 12.0,
+        seed: 99,
+    });
+    let report = SlaMonitor {
+        window: 5000,
+        tolerance: 0.01,
+    }
+    .observe(&mut service, agreed);
+    println!(
+        "  monitored over {} invocations: agreed {:.3}, measured {:.3} → {}",
+        report.window,
+        report.agreed,
+        report.measured,
+        if report.violated { "SLA VIOLATED" } else { "within SLA" }
+    );
+
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Model-checking negotiations before signing: possibility vs.
+//! guarantee.
+//!
+//! The broker of Sec. 4 should not bind parties to a negotiation that
+//! *can* fail. The [`Explorer`] walks every schedule of an `nmsccp`
+//! configuration and answers:
+//!
+//! - can the negotiation succeed under **some** schedule?
+//! - is success **guaranteed** under every schedule?
+//!
+//! Shown on the paper's Examples 1 and 2 and on a schedule-dependent
+//! race, plus a timed rendition where the environment relaxes the
+//! store mid-negotiation.
+//!
+//! Run with `cargo run --example negotiation_analysis`.
+
+use softsoa::core::{Constraint, Domain, Domains};
+use softsoa::nmsccp::{
+    parse_agent, Explorer, ParseEnv, Program, Store, TimedAction, TimedEvent, TimedInterpreter,
+};
+use softsoa::semiring::WeightedInt;
+
+fn env() -> ParseEnv<WeightedInt> {
+    let lin = |a: u64, b: u64| {
+        Constraint::unary(WeightedInt, "x", move |v| {
+            a * v.as_int().unwrap() as u64 + b
+        })
+    };
+    ParseEnv::new(WeightedInt)
+        .with_constraint("c1", lin(1, 3))
+        .with_constraint("c3", lin(2, 0))
+        .with_constraint("c4", lin(1, 5))
+        .with_constraint("one", Constraint::always(WeightedInt))
+        .with_constraint("h1", lin(0, 1))
+        .with_level("one_h", 1u64)
+        .with_level("two", 2u64)
+        .with_level("four", 4u64)
+        .with_level("ten", 10u64)
+}
+
+fn doms() -> Domains {
+    Domains::new().with("x", Domain::ints(0..=10))
+}
+
+fn analyse(label: &str, agent_text: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let agent = parse_agent(agent_text, &env())?;
+    let verdict = Explorer::new(Program::new())
+        .explore(agent, Store::empty(WeightedInt, doms()))?;
+    println!("  {label}");
+    println!(
+        "    possible: {:3}   guaranteed: {:3}   deadlock reachable: {:3}   ({} configs)",
+        if verdict.success_reachable { "YES" } else { "no" },
+        if verdict.always_succeeds && !verdict.truncated { "YES" } else { "no" },
+        if verdict.deadlock_reachable { "YES" } else { "no" },
+        verdict.configurations,
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Exploring every schedule ==");
+    analyse(
+        "Example 1 (no relaxation):",
+        "tell(c4) success || tell(c3) ask(one) ->[four, two] success",
+    )?;
+    analyse(
+        "Example 2 (retract c1):",
+        "tell(c4) retract(c1) ->[ten, two] success || tell(c3) ask(one) ->[four, two] success",
+    )?;
+    // A race: the client needs the store at exactly 1 hour, but two
+    // 1-hour policies can both land first and push it to 2.
+    analyse(
+        "race (schedule-dependent):",
+        "tell(h1) success || tell(h1) success || ask(one) ->[one_h, one_h] success",
+    )?;
+
+    // --- Timed relaxation ---------------------------------------------------
+    println!("\n== Timed environment (Example 2 as a schedule) ==");
+    let agent = parse_agent(
+        "tell(c4) tell(c3) ask(one) ->[four, two] success",
+        &env(),
+    )?;
+    let schedule = vec![TimedEvent {
+        at_step: 3,
+        action: TimedAction::Retract(
+            Constraint::unary(WeightedInt, "x", |v| v.as_int().unwrap() as u64 + 3)
+                .with_label("c1"),
+        ),
+    }];
+    let report = TimedInterpreter::new(Program::new(), schedule)
+        .run(agent, Store::empty(WeightedInt, doms()))?;
+    for entry in &report.report.trace {
+        println!(
+            "  step {:2} {:22} σ⇓∅ = {}",
+            entry.step, entry.note, entry.consistency
+        );
+    }
+    println!(
+        "  outcome: {}",
+        if report.report.outcome.is_success() {
+            "SUCCESS"
+        } else {
+            "no agreement"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! System integrity in the federated photo-editing pipeline (Sec. 5).
+//!
+//! A photo shop compresses photos and sends them through a remote
+//! red filter and black-and-white filter (Fig. 8). Each module
+//! publishes its policy as a soft constraint; the client's `Memory`
+//! requirement (`incomp ≤ outcomp`) is checked against the composed
+//! implementation by *refinement* through the service interface
+//! (`Imp ⇓ {incomp, outcomp} ⊑ Memory`). The quantitative variant
+//! scores each module's reliability in the probabilistic semiring.
+//!
+//! Run with `cargo run --example photo_editing_integrity`.
+
+use softsoa::dependability::{
+    check_refinement, locally_refines, meets_requirement, photo, single_fault_campaign,
+};
+use softsoa::semiring::Unit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let doms = photo::domains(4096, 512);
+
+    // --- Crisp integrity (Classical semiring) ---------------------------
+    println!("== Crisp integrity (Sec. 5) ==");
+    let imp1_ok = locally_refines(&photo::imp1(), &photo::memory(), &photo::interface(), &doms)?;
+    println!("  Imp1 ⇓ {{incomp, outcomp}} ⊑ Memory ?  {imp1_ok}");
+
+    let report = check_refinement(&photo::imp2(), &photo::memory(), &photo::interface(), &doms)?;
+    println!(
+        "  Imp2 (unreliable red filter) upholds Memory ?  {}",
+        report.holds()
+    );
+    if let Some(ce) = report.counterexample() {
+        println!("    counterexample: {}", ce.assignment);
+    }
+
+    // --- Single-fault campaign -------------------------------------------
+    println!("\n== Single-fault campaign ==");
+    let verdicts = single_fault_campaign(
+        &[photo::red_filter(), photo::bw_filter(), photo::compression()],
+        &photo::memory(),
+        &photo::interface(),
+        &doms,
+    )?;
+    for v in &verdicts {
+        println!(
+            "  faulting {:12} → integrity {}",
+            v.label.as_deref().unwrap_or("?"),
+            if v.still_safe { "SAFE" } else { "VIOLATED" }
+        );
+    }
+
+    // --- Quantitative analysis (Probabilistic semiring) -------------------
+    println!("\n== Quantitative reliability ==");
+    println!(
+        "  c1(4096 Kb → 1024 Kb) = {}  (the paper's 0.96)",
+        photo::stage_reliability(4096, 1024)
+    );
+    let imp3 = photo::imp3();
+    for min in [0.0, 0.5, 0.9] {
+        let req = photo::memory_prob(Unit::clamped(min));
+        println!(
+            "  MemoryProb({min:.1}) ⊑ Imp3 ?  {}",
+            meets_requirement(&imp3, &req, &doms)?
+        );
+    }
+
+    // Best (most reliable) end-to-end configuration for a 2 Mb input.
+    let coarse = photo::domains(4096, 1024);
+    let (eta, level) = photo::best_configuration(2048, &coarse)?;
+    println!("\n  best configuration for a 2048 Kb input: {eta}");
+    println!("  end-to-end reliability (blevel) = {level}");
+
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Quickstart: soft constraints, SCSPs and the paper's Fig. 1.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use softsoa::core::{Assignment, Constraint, Domain, Scsp, Val, Var};
+use softsoa::semiring::{Residuated, Semiring, WeightedInt};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Semiring levels ------------------------------------------------
+    // The weighted semiring ⟨ℕ∪{∞}, min, +, ∞, 0⟩ models additive costs.
+    let s = WeightedInt;
+    println!("weighted semiring: 3 × 4 = {}", s.times(&3, &4)); // costs add
+    println!("weighted semiring: 3 + 4 = {}", s.plus(&3, &4)); // best wins
+    println!("weighted residuation: 7 ÷ 3 = {}", s.div(&7, &3));
+    println!();
+
+    // --- The Fig. 1 problem ---------------------------------------------
+    // Two variables over {a, b}; c1 and c3 unary, c2 binary; con = {x}.
+    let x = Var::new("x");
+    let y = Var::new("y");
+    let problem = Scsp::new(WeightedInt)
+        .with_domain(x.clone(), Domain::syms(["a", "b"]))
+        .with_domain(y.clone(), Domain::syms(["a", "b"]))
+        .with_constraint(
+            Constraint::table(
+                WeightedInt,
+                &[x.clone()],
+                [(vec![Val::sym("a")], 1), (vec![Val::sym("b")], 9)],
+                u64::MAX,
+            )
+            .with_label("c1"),
+        )
+        .with_constraint(
+            Constraint::table(
+                WeightedInt,
+                &[x.clone(), y.clone()],
+                [
+                    (vec![Val::sym("a"), Val::sym("a")], 5),
+                    (vec![Val::sym("a"), Val::sym("b")], 1),
+                    (vec![Val::sym("b"), Val::sym("a")], 2),
+                    (vec![Val::sym("b"), Val::sym("b")], 2),
+                ],
+                u64::MAX,
+            )
+            .with_label("c2"),
+        )
+        .with_constraint(
+            Constraint::table(
+                WeightedInt,
+                &[y.clone()],
+                [(vec![Val::sym("a")], 5), (vec![Val::sym("b")], 5)],
+                u64::MAX,
+            )
+            .with_label("c3"),
+        )
+        .of_interest([x.clone()]);
+
+    let solution = problem.solve()?;
+    println!("Fig. 1 weighted SCSP");
+    let table = solution.solution_constraint().expect("table solver");
+    for val in ["a", "b"] {
+        let eta = Assignment::new().bind("x", val);
+        println!("  solution ⟨{val}⟩ → {}", table.eval(&eta));
+    }
+    println!("  blevel(P) = {}", solution.blevel());
+    let best = solution.best_assignment().expect("consistent problem");
+    println!("  best assignment: {best}");
+    println!();
+
+    // --- Operators at a glance -------------------------------------------
+    // Combination ⊗, projection ⇓ and entailment on the same constraints.
+    let c1 = &problem.constraints()[0];
+    let c2 = &problem.constraints()[1];
+    let combined = c1.combine(c2);
+    println!("scope of c1 ⊗ c2 = {:?}", combined.scope());
+    let projected = combined.project(&[x.clone()], problem.domains())?;
+    println!(
+        "(c1 ⊗ c2) ⇓ x at ⟨a⟩ = {}",
+        projected.eval(&Assignment::new().bind("x", "a"))
+    );
+    println!(
+        "c1 ⊗ c2 entails c1? {}",
+        softsoa::core::entails(WeightedInt, [c1, c2], c1, problem.domains())?
+    );
+
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! `softsoa` — Soft Constraints for Dependable Service-Oriented
+//! Architectures.
+//!
+//! A Rust implementation of *Stefano Bistarelli and Francesco Santini,
+//! "Soft Constraints for Dependable Service Oriented Architectures"*
+//! (DSN 2008 Workshops). This façade crate re-exports the whole
+//! workspace under one name:
+//!
+//! - [`semiring`] — absorptive, residuated c-semirings (weighted,
+//!   fuzzy, probabilistic, set-based, classical, Cartesian products);
+//! - [`core`] — soft constraints, the operators `⊗ ÷ ⇓ ∃x ⊑`,
+//!   SCSPs and three solvers;
+//! - [`nmsccp`] — the nonmonotonic soft concurrent constraint
+//!   language with checked transitions, sequential/concurrent/timed
+//!   executors and a textual syntax;
+//! - [`soa`] — services, registry, the QoS broker and SLA
+//!   negotiation/composition/monitoring;
+//! - [`dependability`] — the attribute taxonomy and integrity as
+//!   refinement, with the photo-editing case study;
+//! - [`coalition`] — trust networks and trustworthy coalition
+//!   formation.
+//!
+//! # Quick start
+//!
+//! Solve the paper's Fig. 1 weighted SCSP:
+//!
+//! ```
+//! use softsoa::core::{Scsp, Constraint, Domain, Val, Var};
+//! use softsoa::semiring::WeightedInt;
+//!
+//! let p = Scsp::new(WeightedInt)
+//!     .with_domain("x", Domain::syms(["a", "b"]))
+//!     .with_domain("y", Domain::syms(["a", "b"]))
+//!     .with_constraint(Constraint::table(
+//!         WeightedInt, &[Var::new("x")],
+//!         [(vec![Val::sym("a")], 1), (vec![Val::sym("b")], 9)], u64::MAX))
+//!     .with_constraint(Constraint::table(
+//!         WeightedInt, &[Var::new("x"), Var::new("y")],
+//!         [
+//!             (vec![Val::sym("a"), Val::sym("a")], 5),
+//!             (vec![Val::sym("a"), Val::sym("b")], 1),
+//!             (vec![Val::sym("b"), Val::sym("a")], 2),
+//!             (vec![Val::sym("b"), Val::sym("b")], 2),
+//!         ], u64::MAX))
+//!     .with_constraint(Constraint::table(
+//!         WeightedInt, &[Var::new("y")],
+//!         [(vec![Val::sym("a")], 5), (vec![Val::sym("b")], 5)], u64::MAX))
+//!     .of_interest(["x"]);
+//!
+//! assert_eq!(p.blevel()?, 7);
+//! # Ok::<(), softsoa::core::SolveError>(())
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios: SLA
+//! negotiation through the broker, photo-pipeline integrity analysis
+//! and trustworthy coalition formation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use softsoa_coalition as coalition;
+pub use softsoa_core as core;
+pub use softsoa_dependability as dependability;
+pub use softsoa_nmsccp as nmsccp;
+pub use softsoa_semiring as semiring;
+pub use softsoa_soa as soa;

@@ -1,0 +1,146 @@
+//! End-to-end scenarios for the extension semirings ([`Capacity`] and
+//! [`Lukasiewicz`]) — the "other [instances] not yet defined" the
+//! semiring framework was designed to absorb.
+
+use softsoa::core::{Constraint, Domain, Scsp, Val, Var};
+use softsoa::nmsccp::{Agent, Interpreter, Interval, Program, Store};
+use softsoa::semiring::{Capacity, Lukasiewicz, Semiring, Unit, Weight};
+
+fn mbps(v: f64) -> Weight {
+    Weight::new(v).unwrap()
+}
+
+/// Bandwidth-aware route selection: the end-to-end bandwidth of a
+/// route is the bottleneck (min) of its links, and the solver picks
+/// the route with the widest bottleneck — the classic QoS-routing
+/// problem, solved by the same SCSP machinery as everything else.
+#[test]
+fn capacity_semiring_selects_widest_route() {
+    // Route r ∈ {0, 1, 2}; two hops per route with fixed capacities.
+    let hop = |caps: [f64; 3], label: &str| {
+        Constraint::unary(Capacity, "r", move |v| {
+            mbps(caps[v.as_int().unwrap() as usize])
+        })
+        .with_label(label)
+    };
+    let p = Scsp::new(Capacity)
+        .with_domain("r", Domain::ints(0..3))
+        // Route 0: 100 then 10; route 1: 40 then 40; route 2: 80 then 20.
+        .with_constraint(hop([100.0, 40.0, 80.0], "hop1"))
+        .with_constraint(hop([10.0, 40.0, 20.0], "hop2"))
+        .of_interest(["r"]);
+    let solution = p.solve().unwrap();
+    // Bottlenecks: 10, 40, 20 → route 1 wins at 40 Mb/s.
+    assert_eq!(*solution.blevel(), mbps(40.0));
+    assert_eq!(
+        solution.best_assignment().unwrap().get(&Var::new("r")),
+        Some(&Val::Int(1))
+    );
+}
+
+/// The capacity semiring is residuated like every other instance, so
+/// the nonmonotonic store operations work unchanged. Because its `×`
+/// is idempotent (min), residuation *over*-relaxes: dividing the
+/// bottleneck by the narrow link yields the top (`∞`), not the wider
+/// link — min forgets which operand was binding. The Galois property
+/// still holds: re-telling the narrow link restores the store exactly.
+#[test]
+fn capacity_store_retraction_over_relaxes() {
+    let doms = softsoa::core::Domains::new().with("r", Domain::ints(0..2));
+    let wide = Constraint::unary(Capacity, "r", |_| mbps(100.0)).with_label("wide");
+    let narrow = Constraint::unary(Capacity, "r", |_| mbps(10.0)).with_label("narrow");
+    let store = Store::empty(Capacity, doms)
+        .tell(&wide)
+        .unwrap()
+        .tell(&narrow)
+        .unwrap();
+    assert_eq!(store.consistency().unwrap(), mbps(10.0));
+    let relaxed = store.retract(&narrow).unwrap();
+    assert_eq!(relaxed.consistency().unwrap(), Weight::INFINITY);
+    // b × (a ÷ b) = a: re-telling the narrow link lands back on the
+    // original bottleneck.
+    let back = relaxed.tell(&narrow).unwrap();
+    assert_eq!(back.consistency().unwrap(), mbps(10.0));
+}
+
+/// An nmsccp negotiation over bandwidth: the client requires at least
+/// 30 Mb/s end to end; the provider's narrow offer deadlocks the
+/// session, its upgrade succeeds.
+#[test]
+fn capacity_negotiation_with_bandwidth_floor() {
+    let doms = softsoa::core::Domains::new().with("r", Domain::ints(0..2));
+    let offer = |cap: f64| {
+        Constraint::unary(Capacity, "r", move |_| mbps(cap)).with_label("offer")
+    };
+    // Interval: lower = 30 Mb/s (at least), upper = top (no cap).
+    let accept = Interval::levels(mbps(30.0), Weight::INFINITY);
+    let session = |cap: f64| {
+        let agent = Agent::tell(
+            offer(cap),
+            Interval::any(&Capacity),
+            Agent::ask(Constraint::always(Capacity), accept.clone(), Agent::success()),
+        );
+        Interpreter::new(Program::new())
+            .run(agent, Store::empty(Capacity, doms.clone()))
+            .unwrap()
+    };
+    assert!(!session(10.0).outcome.is_success());
+    assert!(session(80.0).outcome.is_success());
+}
+
+/// Łukasiewicz SLA-deviation accounting: each stage's shortfall from
+/// full satisfaction accumulates, and the composition bottoms out once
+/// the total shortfall exceeds 1 — stricter than fuzzy min, softer
+/// than a hard conjunction.
+#[test]
+fn lukasiewicz_accumulates_sla_deviations() {
+    let s = Lukasiewicz;
+    let stage = |levels: [f64; 2], label: &str| {
+        Constraint::unary(s, "plan", move |v| {
+            Unit::clamped(levels[v.as_int().unwrap() as usize])
+        })
+        .with_label(label)
+    };
+    let p = Scsp::new(s)
+        .with_domain("plan", Domain::ints(0..2))
+        // Plan 0: two mild deviations (0.9, 0.9); plan 1: one perfect
+        // stage and one poor one (1.0, 0.75).
+        .with_constraint(stage([0.9, 1.0], "stage-a"))
+        .with_constraint(stage([0.9, 0.75], "stage-b"))
+        .of_interest(["plan"]);
+    let solution = p.solve().unwrap();
+    // Łukasiewicz: plan 0 scores 0.8 (shortfalls add), plan 1 scores
+    // 0.75 — mild deviations beat one bad stage, unlike fuzzy min
+    // which would score them 0.9 vs 0.75 identically in ranking but
+    // would hide the accumulation.
+    assert!((solution.blevel().get() - 0.8).abs() < 1e-12);
+    assert_eq!(
+        solution.best_assignment().unwrap().get(&Var::new("plan")),
+        Some(&Val::Int(0))
+    );
+
+    // Three deviations of 0.6 bottom out entirely (total shortfall
+    // 1.2 > 1), while three of 0.7 still leave 0.1.
+    let triple_06 = Lukasiewicz.product([Unit::clamped(0.6); 3].iter());
+    assert_eq!(triple_06, Unit::MIN);
+    let triple_07 = Lukasiewicz.product([Unit::clamped(0.7); 3].iter());
+    assert!((triple_07.get() - 0.1).abs() < 1e-9);
+}
+
+/// Both extension instances satisfy the residuation Galois property
+/// through the constraint layer (retract-after-tell restores levels).
+#[test]
+fn extension_semirings_roundtrip_through_stores() {
+    let doms = softsoa::core::Domains::new().with("x", Domain::ints(0..3));
+    // Lukasiewicz store round trip.
+    let c = Constraint::unary(Lukasiewicz, "x", |v| {
+        Unit::clamped(1.0 - v.as_int().unwrap() as f64 * 0.25)
+    });
+    let store = Store::empty(Lukasiewicz, doms);
+    let told = store.tell(&c).unwrap();
+    let back = told.retract(&c).unwrap();
+    assert_eq!(
+        back.consistency().unwrap(),
+        store.consistency().unwrap()
+    );
+}

@@ -1,0 +1,276 @@
+//! Integration tests of the nmsccp language: parser, sequential and
+//! concurrent executors, timed stores, procedure calls and hiding.
+
+use softsoa::core::{Constraint, Domain, Domains, Var};
+use softsoa::nmsccp::{
+    parse_program, run_sessions, Agent, AgentOutcome, ConcurrentExecutor, EventStatus,
+    Interpreter, Interval, Outcome, ParseEnv, Policy, Program, Store, TimedAction, TimedEvent,
+    TimedInterpreter,
+};
+use softsoa::semiring::WeightedInt;
+
+fn lin(a: u64, b: u64) -> Constraint<WeightedInt> {
+    Constraint::unary(WeightedInt, "x", move |v| {
+        a * v.as_int().unwrap() as u64 + b
+    })
+}
+
+fn env() -> ParseEnv<WeightedInt> {
+    ParseEnv::new(WeightedInt)
+        .with_constraint("c1", lin(1, 3))
+        .with_constraint("c3", lin(2, 0))
+        .with_constraint("c4", lin(1, 5))
+        .with_constraint("one", Constraint::always(WeightedInt))
+        .with_level("two", 2u64)
+        .with_level("four", 4u64)
+        .with_level("ten", 10u64)
+}
+
+fn doms() -> Domains {
+    Domains::new().with("x", Domain::ints(0..=10))
+}
+
+/// A full program text: clause declarations plus an initial agent with
+/// procedure calls, executed to success.
+#[test]
+fn parsed_program_with_procedures_runs() {
+    let text = "
+        # provider publishes its policy, then signals
+        publish(x) :: tell(c3) success .
+        main(x) :: publish(x) .
+        main(x) || ask(c3) ->[ten, top] success
+    ";
+    let (program, agent) = parse_program(text, &env()).unwrap();
+    assert_eq!(program.len(), 2);
+    let report = Interpreter::new(program)
+        .with_policy(Policy::Random(11))
+        .run(agent, Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert!(report.outcome.is_success());
+    assert_eq!(report.outcome.store().consistency().unwrap(), 0);
+}
+
+/// Hiding gives each call its own local variable: two parallel hidden
+/// tells do not interfere on `x`.
+#[test]
+fn hiding_isolates_local_state() {
+    let tell_local = |cost: u64| {
+        Agent::hide(
+            "x",
+            Agent::tell(lin(0, cost), Interval::any(&WeightedInt), Agent::success()),
+        )
+    };
+    let report = Interpreter::new(Program::new())
+        .run(
+            Agent::par(tell_local(1), tell_local(2)),
+            Store::empty(WeightedInt, doms()),
+        )
+        .unwrap();
+    assert!(report.outcome.is_success());
+    let store = report.outcome.store();
+    // Both constants combined: 1 + 2 = 3 hours, over fresh variables.
+    assert_eq!(store.consistency().unwrap(), 3);
+    assert!(!store.sigma().scope().contains(&Var::new("x")));
+}
+
+/// The sequential and concurrent executors agree on the outcome of the
+/// Example 2 negotiation.
+#[test]
+fn sequential_and_concurrent_agree_on_example2() {
+    let any = Interval::any(&WeightedInt);
+    let p1 = || {
+        Agent::tell(
+            lin(1, 5),
+            any.clone(),
+            Agent::retract(lin(1, 3), Interval::levels(10u64, 2u64), Agent::success()),
+        )
+    };
+    let p2 = || {
+        Agent::tell(
+            lin(2, 0),
+            any.clone(),
+            Agent::ask(
+                Constraint::always(WeightedInt),
+                Interval::levels(4u64, 1u64),
+                Agent::success(),
+            ),
+        )
+    };
+
+    let sequential = Interpreter::new(Program::new())
+        .with_policy(Policy::Random(5))
+        .run(Agent::par(p1(), p2()), Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert!(sequential.outcome.is_success());
+
+    let concurrent = ConcurrentExecutor::new(Program::new())
+        .with_seed(5)
+        .run(vec![p1(), p2()], Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert!(concurrent.all_succeeded());
+    assert_eq!(
+        concurrent.store.consistency().unwrap(),
+        sequential.outcome.store().consistency().unwrap()
+    );
+}
+
+/// Many independent negotiation sessions run in parallel and each
+/// reproduces its own result.
+#[test]
+fn parallel_sessions_are_isolated() {
+    let sessions: Vec<_> = (0..6u64)
+        .map(|i| {
+            let agent = Agent::tell(
+                lin(1, i),
+                Interval::any(&WeightedInt),
+                Agent::success(),
+            );
+            (agent, Store::empty(WeightedInt, doms()))
+        })
+        .collect();
+    let reports = run_sessions(&Program::new(), sessions, 0).unwrap();
+    for (i, report) in reports.iter().enumerate() {
+        assert!(report.outcome.is_success());
+        assert_eq!(report.outcome.store().consistency().unwrap(), i as u64);
+    }
+}
+
+/// The concurrent executor detects a three-way deadlock where every
+/// agent waits on a constraint nobody will tell.
+#[test]
+fn three_way_deadlock() {
+    let waiter = |c: Constraint<WeightedInt>| {
+        Agent::ask(c, Interval::any(&WeightedInt), Agent::success())
+    };
+    let report = ConcurrentExecutor::new(Program::new())
+        .run(
+            vec![waiter(lin(1, 1)), waiter(lin(2, 2)), waiter(lin(3, 3))],
+            Store::empty(WeightedInt, doms()),
+        )
+        .unwrap();
+    assert!(report
+        .agents
+        .iter()
+        .all(|a| a.outcome == AgentOutcome::Deadlock));
+}
+
+/// Timed environment events both relax and tighten a running store.
+#[test]
+fn timed_schedule_drives_the_negotiation() {
+    // The agent waits for an agreement within [1, 4] hours; the
+    // environment first tells an expensive policy, then retracts it.
+    let agent = Agent::ask(
+        Constraint::always(WeightedInt),
+        Interval::levels(4u64, 1u64),
+        Agent::success(),
+    );
+    let schedule = vec![
+        TimedEvent {
+            at_step: 0,
+            action: TimedAction::Tell(lin(1, 7)),
+        },
+        TimedEvent {
+            at_step: 1,
+            action: TimedAction::Retract(lin(1, 5)),
+        },
+    ];
+    let report = TimedInterpreter::new(Program::new(), schedule)
+        .run(agent, Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert!(report.report.outcome.is_success());
+    // x + 7 ÷ (x + 5) = 2̄: within the interval.
+    assert_eq!(report.report.outcome.store().consistency().unwrap(), 2);
+    assert!(report
+        .events
+        .iter()
+        .all(|(_, status)| *status == EventStatus::Applied));
+}
+
+/// Stress: a pipeline of guarded handovers across five concurrent
+/// agents completes deterministically under every seed.
+#[test]
+fn five_stage_concurrent_pipeline() {
+    let stage = |level: u64, next_level: u64| {
+        Agent::ask(
+            lin(0, level),
+            Interval::any(&WeightedInt),
+            Agent::tell(lin(0, next_level - level), Interval::any(&WeightedInt), Agent::success()),
+        )
+    };
+    for seed in 0..5 {
+        let mut agents = vec![Agent::tell(
+            lin(0, 1),
+            Interval::any(&WeightedInt),
+            Agent::success(),
+        )];
+        for i in 1..5u64 {
+            agents.push(stage(i, i + 1));
+        }
+        let report = ConcurrentExecutor::new(Program::new())
+            .with_seed(seed)
+            .run(agents, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(report.all_succeeded(), "seed {seed}");
+        assert_eq!(report.store.consistency().unwrap(), 5, "seed {seed}");
+    }
+}
+
+/// Constraint-valued thresholds (the C2–C4 checked transitions of
+/// Fig. 3) work through the parser: interval bounds that name
+/// constraints compare the whole store pointwise, not just its level.
+#[test]
+fn constraint_thresholds_via_parser() {
+    use softsoa::nmsccp::{parse_agent, ParseEnv};
+    // Lower threshold φ1 = 3x + 9 (every store must stay at least as
+    // good); upper threshold φ2 = x (no store may beat paying x hours
+    // for x failures).
+    let env = ParseEnv::new(WeightedInt)
+        .with_constraint("c3", lin(2, 0))
+        .with_constraint("c4", lin(1, 5))
+        .with_constraint("phi_lo", lin(3, 9))
+        .with_constraint("phi_hi", lin(1, 0));
+    // C4 interval on the tell of c4 over a store already holding c3:
+    // σ' = 3x + 5 satisfies φ1 ⊑ σ' (3x+9 ≥ 3x+5 pointwise) and
+    // σ' ⊑ φ2 (3x+5 ≥ x pointwise) → enabled.
+    let agent = parse_agent("tell(c3) tell(c4) ->[phi_lo, phi_hi] success", &env).unwrap();
+    let report = Interpreter::new(Program::new())
+        .run(agent, Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert!(report.outcome.is_success());
+
+    // Swap the thresholds: the interval is contradictory, the tell is
+    // permanently disabled, and validation catches it statically.
+    let bad = parse_agent("tell(c3) tell(c4) ->[phi_hi, phi_lo] success", &env).unwrap();
+    assert!(bad
+        .validate_intervals(&WeightedInt, &doms())
+        .is_err());
+    let report = Interpreter::new(Program::new())
+        .run(bad, Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert!(matches!(report.outcome, Outcome::Deadlock { .. }));
+}
+
+/// Fuel exhaustion is reported, not looped forever, in both executors.
+#[test]
+fn livelock_is_bounded() {
+    let program: Program<WeightedInt> = Program::new().with_clause(
+        "spin",
+        [],
+        Agent::tell(
+            Constraint::always(WeightedInt),
+            Interval::any(&WeightedInt),
+            Agent::call("spin", []),
+        ),
+    );
+    let report = Interpreter::new(program.clone())
+        .with_max_steps(25)
+        .run(Agent::call("spin", []), Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert!(matches!(report.outcome, Outcome::OutOfFuel { .. }));
+
+    let concurrent = ConcurrentExecutor::new(program)
+        .with_max_steps(25)
+        .run(vec![Agent::call("spin", [])], Store::empty(WeightedInt, doms()))
+        .unwrap();
+    assert_eq!(concurrent.agents[0].outcome, AgentOutcome::OutOfFuel);
+}
