@@ -28,7 +28,10 @@ fn report_quality() {
     let ind = individually_oriented(&net, TrustComposition::Average);
     let soc = socially_oriented(&net, TrustComposition::Average);
     let loc = local_search(&net, cfg(), 11, 2000);
-    println!("  exact:        score {} ({} partitions)", exact.score, exact.explored);
+    println!(
+        "  exact:        score {} ({} partitions)",
+        exact.score, exact.explored
+    );
     println!("  individual:   score {}", ind.score);
     println!("  social:       score {}", soc.score);
     println!("  local search: score {}", loc.score);
@@ -45,9 +48,11 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| exact_formation(black_box(net), cfg()).unwrap())
             });
         }
-        group.bench_with_input(BenchmarkId::new("individually_oriented", n), &net, |b, net| {
-            b.iter(|| individually_oriented(black_box(net), TrustComposition::Average))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("individually_oriented", n),
+            &net,
+            |b, net| b.iter(|| individually_oriented(black_box(net), TrustComposition::Average)),
+        );
         group.bench_with_input(BenchmarkId::new("socially_oriented", n), &net, |b, net| {
             b.iter(|| socially_oriented(black_box(net), TrustComposition::Average))
         });

@@ -17,7 +17,10 @@ fn report_row() {
     match &report.outcome {
         Outcome::Deadlock { store, .. } => {
             let level = store.consistency().unwrap();
-            println!("measured: deadlock at σ⇓∅ = {level} after {} steps", report.steps);
+            println!(
+                "measured: deadlock at σ⇓∅ = {level} after {} steps",
+                report.steps
+            );
             assert_eq!(level, 5);
         }
         other => panic!("expected deadlock, got {other:?}"),

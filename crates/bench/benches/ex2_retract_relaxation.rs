@@ -17,7 +17,10 @@ fn report_row() {
     println!("--- E4 / Example 2 (paper: store ≡ 2x + 2, σ⇓∅ = 2, success) ---");
     assert!(report.outcome.is_success());
     let level = report.outcome.store().consistency().unwrap();
-    println!("measured: success at σ⇓∅ = {level} after {} steps", report.steps);
+    println!(
+        "measured: success at σ⇓∅ = {level} after {} steps",
+        report.steps
+    );
     assert_eq!(level, 2);
 }
 

@@ -13,7 +13,10 @@ use std::hint::black_box;
 
 fn report_row() {
     let report = Interpreter::new(Program::new())
-        .run(example3_agent(), Store::empty(WeightedInt, example3_domains()))
+        .run(
+            example3_agent(),
+            Store::empty(WeightedInt, example3_domains()),
+        )
         .expect("runs");
     println!("--- E5 / Example 3 (paper: store ≡ y + 4) ---");
     assert!(report.outcome.is_success());

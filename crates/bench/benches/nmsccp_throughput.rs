@@ -8,10 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use softsoa_bench::{example2_agent, negotiation_store};
+use softsoa_core::Constraint;
 use softsoa_nmsccp::{
     run_sessions, Agent, ConcurrentExecutor, Interpreter, Interval, Policy, Program,
 };
-use softsoa_core::Constraint;
 use softsoa_semiring::WeightedInt;
 use std::hint::black_box;
 

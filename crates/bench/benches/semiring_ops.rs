@@ -87,7 +87,12 @@ fn constraint_ops(c: &mut Criterion) {
     });
     group.bench_function("divide_materialize_32x32", |bch| {
         let combined = a.combine(&b_c).materialize(&doms).unwrap();
-        bch.iter(|| black_box(&combined).divide(&b_c).materialize(&doms).unwrap())
+        bch.iter(|| {
+            black_box(&combined)
+                .divide(&b_c)
+                .materialize(&doms)
+                .unwrap()
+        })
     });
     group.bench_function("leq_32x32", |bch| {
         let combined = a.combine(&b_c).materialize(&doms).unwrap();

@@ -22,7 +22,7 @@ pub fn fig1_problem() -> Scsp<WeightedInt> {
         .with_domain(y.clone(), Domain::syms(["a", "b"]))
         .with_constraint(Constraint::table(
             WeightedInt,
-            &[x.clone()],
+            std::slice::from_ref(&x),
             [(vec![Val::sym("a")], 1), (vec![Val::sym("b")], 9)],
             u64::MAX,
         ))
@@ -39,7 +39,7 @@ pub fn fig1_problem() -> Scsp<WeightedInt> {
         ))
         .with_constraint(Constraint::table(
             WeightedInt,
-            &[y.clone()],
+            std::slice::from_ref(&y),
             [(vec![Val::sym("a")], 5), (vec![Val::sym("b")], 5)],
             u64::MAX,
         ))
@@ -109,7 +109,12 @@ pub fn example3_agent() -> Agent<WeightedInt> {
     Agent::tell(
         fig7_constraint(1, 3, "x"),
         any.clone(),
-        Agent::update([Var::new("x")], fig7_constraint(1, 1, "y"), any, Agent::success()),
+        Agent::update(
+            [Var::new("x")],
+            fig7_constraint(1, 1, "y"),
+            any,
+            Agent::success(),
+        ),
     )
 }
 

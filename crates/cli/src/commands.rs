@@ -7,7 +7,8 @@ use softsoa_coalition::{
     exact_formation, individually_oriented, local_search, socially_oriented, FormationConfig,
 };
 use softsoa_core::solve::{
-    BranchAndBound, BucketElimination, EnumerationSolver, Solver, VarOrder,
+    BranchAndBound, BucketElimination, EliminationOrder, EnumerationSolver, Parallelism, Solver,
+    SolverConfig, VarOrder,
 };
 use softsoa_core::{Domain, Domains, Scsp, Var};
 use softsoa_dependability::{check_refinement, photo};
@@ -15,8 +16,8 @@ use softsoa_nmsccp::{parse_program, Interpreter, Outcome, ParseEnv, Policy, Stor
 use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Semiring, Weighted};
 
 use crate::format::{
-    bool_level, unit_level, weight_level, CoalitionSpec, FormatError, NegotiationSpec,
-    PolicySpec, ProblemSpec, SemiringKind,
+    bool_level, unit_level, weight_level, CoalitionSpec, FormatError, NegotiationSpec, PolicySpec,
+    ProblemSpec, SemiringKind,
 };
 
 /// An error from a command.
@@ -76,17 +77,45 @@ impl SolverChoice {
     }
 }
 
+/// Engine options shared by every `solve` invocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveOptions {
+    /// Worker threads (`--jobs`); `None` picks the host parallelism.
+    pub jobs: Option<usize>,
+    /// Use the lazy reference evaluator instead of the compiled one
+    /// (`--lazy`).
+    pub lazy: bool,
+    /// Append the engine statistics to the report (`--stats`).
+    pub stats: bool,
+}
+
+impl SolveOptions {
+    fn config(&self) -> SolverConfig {
+        let parallelism = match self.jobs {
+            Some(n) => Parallelism::Threads(n.max(1)),
+            None => Parallelism::Auto,
+        };
+        SolverConfig::default()
+            .with_parallelism(parallelism)
+            .with_compiled(!self.lazy)
+    }
+}
+
 fn solve_generic<S: Semiring>(
     problem: &Scsp<S>,
     solver: SolverChoice,
+    options: SolveOptions,
     fmt_level: impl Fn(&S::Value) -> String,
 ) -> Result<String, CommandError> {
+    let config = options.config();
     let solution = match solver {
-        SolverChoice::Enumeration => EnumerationSolver::new().solve(problem),
+        SolverChoice::Enumeration => EnumerationSolver::with_config(config).solve(problem),
         SolverChoice::BranchAndBound => {
-            BranchAndBound::new(VarOrder::MostConstrained).solve(problem)
+            BranchAndBound::with_config(VarOrder::MostConstrained, config).solve(problem)
         }
-        SolverChoice::Bucket => BucketElimination::default().solve(problem),
+        SolverChoice::Bucket => {
+            BucketElimination::with_config(EliminationOrder::default(), config).solve(problem)
+        }
     }
     .map_err(|e| CommandError::Engine(e.to_string()))?;
 
@@ -109,6 +138,11 @@ fn solve_generic<S: Semiring>(
             }
         }
     }
+    if options.stats {
+        if let Some(stats) = solution.stats() {
+            let _ = writeln!(out, "engine: {stats}");
+        }
+    }
     Ok(out)
 }
 
@@ -119,23 +153,38 @@ fn solve_generic<S: Semiring>(
 /// Returns [`CommandError`] for malformed documents, bad levels or
 /// solver failures.
 pub fn solve(text: &str, solver: SolverChoice) -> Result<String, CommandError> {
+    solve_with(text, solver, SolveOptions::default())
+}
+
+/// [`solve`] with explicit engine options (thread count, lazy
+/// evaluation, statistics).
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents, bad levels or
+/// solver failures.
+pub fn solve_with(
+    text: &str,
+    solver: SolverChoice,
+    options: SolveOptions,
+) -> Result<String, CommandError> {
     let spec = ProblemSpec::from_json(text)?;
     match spec.semiring {
         SemiringKind::Weighted => {
             let p = spec.build(Weighted, weight_level)?;
-            solve_generic(&p, solver, ToString::to_string)
+            solve_generic(&p, solver, options, ToString::to_string)
         }
         SemiringKind::Fuzzy => {
             let p = spec.build(Fuzzy, unit_level)?;
-            solve_generic(&p, solver, ToString::to_string)
+            solve_generic(&p, solver, options, ToString::to_string)
         }
         SemiringKind::Probabilistic => {
             let p = spec.build(Probabilistic, unit_level)?;
-            solve_generic(&p, solver, ToString::to_string)
+            solve_generic(&p, solver, options, ToString::to_string)
         }
         SemiringKind::Boolean => {
             let p = spec.build(Boolean, bool_level)?;
-            solve_generic(&p, solver, ToString::to_string)
+            solve_generic(&p, solver, options, ToString::to_string)
         }
     }
 }
@@ -227,9 +276,7 @@ pub fn negotiate(text: &str) -> Result<String, CommandError> {
         SemiringKind::Probabilistic => {
             negotiate_generic(&spec, Probabilistic, unit_level, ToString::to_string)
         }
-        SemiringKind::Boolean => {
-            negotiate_generic(&spec, Boolean, bool_level, ToString::to_string)
-        }
+        SemiringKind::Boolean => negotiate_generic(&spec, Boolean, bool_level, ToString::to_string),
     }
 }
 
@@ -270,7 +317,11 @@ where
     let _ = writeln!(
         out,
         "agreement possible:   {}",
-        if verdict.success_reachable { "YES" } else { "NO" }
+        if verdict.success_reachable {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     let _ = writeln!(
         out,
@@ -284,7 +335,11 @@ where
     let _ = writeln!(
         out,
         "deadlock reachable:   {}",
-        if verdict.deadlock_reachable { "YES" } else { "NO" }
+        if verdict.deadlock_reachable {
+            "YES"
+        } else {
+            "NO"
+        }
     );
     Ok(out)
 }
@@ -416,6 +471,36 @@ mod tests {
     }
 
     #[test]
+    fn solve_options_control_engine_and_stats() {
+        for solver in [
+            SolverChoice::Enumeration,
+            SolverChoice::BranchAndBound,
+            SolverChoice::Bucket,
+        ] {
+            for options in [
+                SolveOptions {
+                    jobs: Some(2),
+                    lazy: false,
+                    stats: true,
+                },
+                SolveOptions {
+                    jobs: Some(1),
+                    lazy: true,
+                    stats: true,
+                },
+            ] {
+                let report = solve_with(FIG1, solver, options).unwrap();
+                assert!(report.contains("blevel: 7"), "{solver:?}: {report}");
+                assert!(report.contains("[x:=a]"), "{solver:?}: {report}");
+                assert!(report.contains("engine: nodes:"), "{solver:?}: {report}");
+            }
+        }
+        // Without --stats the engine line is absent.
+        let quiet = solve(FIG1, SolverChoice::Enumeration).unwrap();
+        assert!(!quiet.contains("engine:"), "{quiet}");
+    }
+
+    #[test]
     fn solve_rejects_bad_documents() {
         assert!(matches!(
             solve("{not json", SolverChoice::Enumeration),
@@ -484,7 +569,10 @@ mod tests {
         assert!(report.contains("agreement possible:   YES"), "{report}");
         assert!(report.contains("agreement guaranteed: YES"), "{report}");
         // Example 1 (no retract): impossible.
-        let doc1 = doc.replace("tell(c4) retract(c1) ->[ten, two] success", "tell(c4) success");
+        let doc1 = doc.replace(
+            "tell(c4) retract(c1) ->[ten, two] success",
+            "tell(c4) success",
+        );
         let report1 = explore(&doc1).unwrap();
         assert!(report1.contains("agreement possible:   NO"), "{report1}");
         assert!(report1.contains("deadlock reachable:   YES"), "{report1}");
@@ -510,10 +598,7 @@ mod tests {
     #[test]
     fn coalitions_unknown_algorithm() {
         let doc = r#"{"trust": [[1.0]], "algorithm": "quantum"}"#;
-        assert!(matches!(
-            coalitions(doc),
-            Err(CommandError::Usage(_))
-        ));
+        assert!(matches!(coalitions(doc), Err(CommandError::Usage(_))));
     }
 
     #[test]

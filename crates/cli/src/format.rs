@@ -452,7 +452,9 @@ mod tests {
         }"#;
         let spec = ProblemSpec::from_json(text).unwrap();
         assert_eq!(spec.semiring, SemiringKind::Weighted);
-        let p = spec.build(softsoa_semiring::Weighted, weight_level).unwrap();
+        let p = spec
+            .build(softsoa_semiring::Weighted, weight_level)
+            .unwrap();
         assert_eq!(p.blevel().unwrap(), Weight::new(7.0).unwrap());
     }
 
@@ -464,7 +466,9 @@ mod tests {
             intercept: 3.0,
             label: Some("c".into()),
         };
-        let c = spec.to_constraint(softsoa_semiring::Weighted, weight_level).unwrap();
+        let c = spec
+            .to_constraint(softsoa_semiring::Weighted, weight_level)
+            .unwrap();
         let eta = softsoa_core::Assignment::new().bind("x", 4);
         assert_eq!(c.eval(&eta), Weight::new(11.0).unwrap());
         assert_eq!(c.label(), Some("c"));
@@ -486,14 +490,19 @@ mod tests {
             default: None,
             label: None,
         };
-        let err = spec.to_constraint(WeightedInt, |v| Ok(v as u64)).unwrap_err();
+        let err = spec
+            .to_constraint(WeightedInt, |v| Ok(v as u64))
+            .unwrap_err();
         assert!(err.to_string().contains("arity"));
     }
 
     #[test]
     fn domain_specs() {
         assert_eq!(DomainSpec::Ints([0, 3]).to_domain().unwrap().len(), 4);
-        assert_eq!(DomainSpec::Stepped([0, 10, 5]).to_domain().unwrap().len(), 3);
+        assert_eq!(
+            DomainSpec::Stepped([0, 10, 5]).to_domain().unwrap().len(),
+            3
+        );
         assert!(DomainSpec::Ints([3, 0]).to_domain().is_err());
         assert!(DomainSpec::Syms(vec![]).to_domain().is_err());
         assert!(DomainSpec::Stepped([0, 10, 0]).to_domain().is_err());

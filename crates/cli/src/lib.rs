@@ -25,7 +25,10 @@
 pub mod commands;
 pub mod format;
 
-pub use commands::{coalitions, explore, integrity, negotiate, solve, CommandError, SolverChoice};
+pub use commands::{
+    coalitions, explore, integrity, negotiate, solve, solve_with, CommandError, SolveOptions,
+    SolverChoice,
+};
 pub use format::{
     CoalitionSpec, ConstraintSpec, DomainSpec, FormatError, NegotiationSpec, PolicySpec,
     ProblemSpec, SemiringKind, ValSpec,

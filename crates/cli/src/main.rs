@@ -2,12 +2,15 @@
 
 use std::process::ExitCode;
 
-use softsoa_cli::{coalitions, explore, integrity, negotiate, solve, SolverChoice};
+use softsoa_cli::{
+    coalitions, explore, integrity, negotiate, solve_with, SolveOptions, SolverChoice,
+};
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
 
 USAGE:
     softsoa solve <problem.json> [--solver enum|bnb|bucket]
+                  [--jobs <n>] [--lazy] [--stats]
     softsoa negotiate <scenario.json>
     softsoa explore <scenario.json>
     softsoa coalitions <trust.json>
@@ -23,35 +26,45 @@ fn run() -> Result<String, String> {
         "solve" => {
             let path = it.next().ok_or("solve: missing <problem.json>")?;
             let mut solver = SolverChoice::default();
+            let mut options = SolveOptions::default();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--solver" => {
                         let name = it.next().ok_or("--solver: missing value")?;
                         solver = SolverChoice::parse(name).map_err(|e| e.to_string())?;
                     }
+                    "--jobs" => {
+                        let value = it.next().ok_or("--jobs: missing value")?;
+                        let jobs: usize = value
+                            .parse()
+                            .map_err(|e| format!("--jobs: not an integer: {e}"))?;
+                        options.jobs = Some(jobs);
+                    }
+                    "--lazy" => options.lazy = true,
+                    "--stats" => options.stats = true,
                     other => return Err(format!("solve: unknown flag `{other}`")),
                 }
             }
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            solve(&text, solver).map_err(|e| e.to_string())
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            solve_with(&text, solver, options).map_err(|e| e.to_string())
         }
         "negotiate" => {
             let path = it.next().ok_or("negotiate: missing <scenario.json>")?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             negotiate(&text).map_err(|e| e.to_string())
         }
         "explore" => {
             let path = it.next().ok_or("explore: missing <scenario.json>")?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             explore(&text).map_err(|e| e.to_string())
         }
         "coalitions" => {
             let path = it.next().ok_or("coalitions: missing <trust.json>")?;
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             coalitions(&text).map_err(|e| e.to_string())
         }
         "integrity" => {

@@ -254,10 +254,7 @@ mod tests {
     fn singleton_trust_is_self_trust() {
         let net = TrustNetwork::fig10();
         let c: Coalition = BTreeSet::from([4]);
-        assert_eq!(
-            coalition_trust(&net, &c, TrustComposition::Min),
-            Unit::MAX
-        );
+        assert_eq!(coalition_trust(&net, &c, TrustComposition::Min), Unit::MAX);
     }
 
     #[test]

@@ -223,7 +223,11 @@ mod tests {
         let result = scsp_formation(&net, TrustComposition::Average, true)
             .unwrap()
             .expect("feasible");
-        assert!(is_stable(&net, &result.partition, TrustComposition::Average));
+        assert!(is_stable(
+            &net,
+            &result.partition,
+            TrustComposition::Average
+        ));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use softsoa_core::solve::Parallelism;
 use softsoa_semiring::Unit;
 
 use crate::{
@@ -78,6 +79,25 @@ pub struct FormationResult {
 /// assert!(best.score.get() >= 0.8);
 /// ```
 pub fn exact_formation(network: &TrustNetwork, cfg: FormationConfig) -> Option<FormationResult> {
+    exact_formation_with(network, cfg, Parallelism::Sequential)
+}
+
+/// [`exact_formation`] with an explicit parallelism level: the
+/// restricted-growth-string prefixes of a fixed depth are enumerated up
+/// front and their subtrees are distributed contiguously over worker
+/// threads. Local optima are merged in prefix order with strict
+/// improvement only, so the winning partition (and the tie-breaking
+/// towards the earliest enumerated optimum) is identical to the
+/// sequential search at every thread count.
+///
+/// # Panics
+///
+/// Panics if `network.len() > 13`.
+pub fn exact_formation_with(
+    network: &TrustNetwork,
+    cfg: FormationConfig,
+    parallelism: Parallelism,
+) -> Option<FormationResult> {
     let n = network.len();
     assert!(n <= 13, "exact formation is limited to 13 agents");
     if n == 0 {
@@ -88,15 +108,78 @@ pub fn exact_formation(network: &TrustNetwork, cfg: FormationConfig) -> Option<F
         });
     }
 
+    // Deep enough that every worker gets several independent subtrees,
+    // shallow enough that prefix enumeration stays negligible.
+    let depth = (n as usize).min(4);
+    let prefixes = rgs_prefixes(depth, cfg.max_coalitions);
+    let threads = parallelism.thread_count(prefixes.len());
+
+    let run_chunk = |chunk: &[Vec<u32>]| -> (Option<(Partition, Unit)>, usize) {
+        let mut best: Option<(Partition, Unit)> = None;
+        let mut explored = 0usize;
+        for prefix in chunk {
+            let mut labels = vec![0u32; n as usize];
+            labels[..depth].copy_from_slice(prefix);
+            enumerate_rgs(&mut labels, depth, network, cfg, &mut best, &mut explored);
+        }
+        (best, explored)
+    };
+    let parts: Vec<(Option<(Partition, Unit)>, usize)> = if threads <= 1 {
+        vec![run_chunk(&prefixes)]
+    } else {
+        std::thread::scope(|scope| {
+            let run_chunk = &run_chunk;
+            let chunk_size = prefixes.len().div_ceil(threads);
+            let handles: Vec<_> = prefixes
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || run_chunk(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("formation worker panicked"))
+                .collect()
+        })
+    };
+
     let mut best: Option<(Partition, Unit)> = None;
     let mut explored = 0usize;
-    let mut labels = vec![0u32; n as usize];
-    enumerate_rgs(&mut labels, 1, network, cfg, &mut best, &mut explored);
+    for (local, count) in parts {
+        explored += count;
+        if let Some((partition, score)) = local {
+            match &best {
+                Some((_, best_score)) if *best_score >= score => {}
+                _ => best = Some((partition, score)),
+            }
+        }
+    }
     best.map(|(partition, score)| FormationResult {
         partition,
         score,
         explored,
     })
+}
+
+/// Enumerates every valid restricted-growth-string prefix of the given
+/// length, in the order the sequential DFS would visit them.
+fn rgs_prefixes(depth: usize, max_coalitions: Option<usize>) -> Vec<Vec<u32>> {
+    fn rec(prefix: &mut Vec<u32>, depth: usize, limit: Option<usize>, out: &mut Vec<Vec<u32>>) {
+        if prefix.len() == depth {
+            out.push(prefix.clone());
+            return;
+        }
+        let mut highest = prefix.iter().copied().max().unwrap_or(0) + 1;
+        if let Some(limit) = limit {
+            highest = highest.min(limit.saturating_sub(1) as u32);
+        }
+        for label in 0..=highest {
+            prefix.push(label);
+            rec(prefix, depth, limit, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut vec![0u32], depth, max_coalitions, &mut out);
+    out
 }
 
 /// Recursively enumerates restricted growth strings over `labels`.
@@ -147,10 +230,7 @@ fn partition_from_labels(n: u32, labels: &[u32]) -> Partition {
 /// The *individually oriented* baseline: every agent clusters with the
 /// single agent it trusts most (ties to the lowest id); the coalitions
 /// are the connected components of that "best friend" graph.
-pub fn individually_oriented(
-    network: &TrustNetwork,
-    compose: TrustComposition,
-) -> FormationResult {
+pub fn individually_oriented(network: &TrustNetwork, compose: TrustComposition) -> FormationResult {
     let n = network.len();
     if n == 0 {
         return FormationResult {
@@ -287,7 +367,10 @@ pub fn local_search(
         }
         coalitions.retain(|c| !c.is_empty());
         let candidate = Partition::new(n, coalitions).expect("move preserves partition");
-        if cfg.max_coalitions.is_some_and(|limit| candidate.len() > limit) {
+        if cfg
+            .max_coalitions
+            .is_some_and(|limit| candidate.len() > limit)
+        {
             continue;
         }
         if cfg.require_stability && !is_stable(network, &candidate, cfg.compose) {
@@ -436,7 +519,7 @@ mod tests {
             let cfg = FormationConfig {
                 compose: TrustComposition::Average,
                 require_stability: false,
-            ..Default::default()
+                ..Default::default()
             };
             let greedy = socially_oriented(&net, cfg.compose);
             let improved = local_search(&net, cfg, seed, 300);
@@ -481,6 +564,28 @@ mod tests {
         let ls = local_search(&net, cfg, 1, 500);
         assert!(ls.partition.len() <= 2);
         assert!(ls.score <= best.score);
+    }
+
+    #[test]
+    fn parallel_formation_reproduces_the_sequential_optimum() {
+        for seed in 0..4 {
+            let net = TrustNetwork::random(7, seed);
+            for max_coalitions in [None, Some(3)] {
+                let cfg = FormationConfig {
+                    compose: TrustComposition::Average,
+                    require_stability: false,
+                    max_coalitions,
+                };
+                let sequential = exact_formation(&net, cfg).unwrap();
+                for threads in [1, 2, 5] {
+                    let parallel =
+                        exact_formation_with(&net, cfg, Parallelism::Threads(threads)).unwrap();
+                    assert_eq!(parallel.partition, sequential.partition, "seed {seed}");
+                    assert_eq!(parallel.score, sequential.score, "seed {seed}");
+                    assert_eq!(parallel.explored, sequential.explored, "seed {seed}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -87,11 +87,7 @@ pub fn find_blocking(
 /// Whether a partition is *stable*: no blocking coalitions exist
 /// ("a set of coalitions is stable, i.e. is a valid solution, if no
 /// blocking coalitions exist in the partitioning").
-pub fn is_stable(
-    network: &TrustNetwork,
-    partition: &Partition,
-    compose: TrustComposition,
-) -> bool {
+pub fn is_stable(network: &TrustNetwork, partition: &Partition, compose: TrustComposition) -> bool {
     find_blocking(network, partition, compose).is_none()
 }
 
@@ -144,7 +140,11 @@ mod tests {
     fn grand_coalition_is_trivially_stable() {
         // With a single coalition there is no C_u ≠ C_v.
         let net = TrustNetwork::random(5, 1);
-        assert!(is_stable(&net, &Partition::grand(5), TrustComposition::Average));
+        assert!(is_stable(
+            &net,
+            &Partition::grand(5),
+            TrustComposition::Average
+        ));
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl UnboundVarError {
 
 impl fmt::Display for UnboundVarError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "assignment does not bind support variable `{}`", self.var)
+        write!(
+            f,
+            "assignment does not bind support variable `{}`",
+            self.var
+        )
     }
 }
 
@@ -79,6 +83,11 @@ enum Def<S: Semiring> {
     Table(Arc<Table<S>>),
     /// An intensional definition: closure over values in `params` order.
     Func(Arc<FuncDef<S>>),
+    /// A structural `⊗`-combination of operands, kept flat so the
+    /// compiler can collapse whole combine DAGs into one operand list.
+    Combined(Arc<CombinedDef<S>>),
+    /// A structural division `left ÷ right`.
+    Divided(Arc<DividedDef<S>>),
 }
 
 struct Table<S: Semiring> {
@@ -86,11 +95,34 @@ struct Table<S: Semiring> {
     default: S::Value,
 }
 
+type EvalFn<S> = Box<dyn Fn(&[Val]) -> <S as Semiring>::Value + Send + Sync>;
+
 struct FuncDef<S: Semiring> {
     /// Parameter order the closure expects (may differ from the sorted
     /// scope).
     params: Vec<Var>,
-    f: Box<dyn Fn(&[Val]) -> S::Value + Send + Sync>,
+    f: EvalFn<S>,
+}
+
+/// A flat `⊗`-combination. Each operand carries the positions of its
+/// scope variables inside the parent's sorted scope, computed once at
+/// construction — nested combines compose these index maps instead of
+/// re-sorting and re-searching scopes on every level.
+///
+/// Invariant: no operand is itself `Def::Combined` (the constructor
+/// flattens), so evaluation and compilation never recurse through
+/// combination nodes.
+struct CombinedDef<S: Semiring> {
+    operands: Vec<(Constraint<S>, Vec<usize>)>,
+}
+
+/// A structural division. The `div` function pointer captures the
+/// `Residuated::div` of the semiring at construction time, where the
+/// `Residuated` bound is available.
+struct DividedDef<S: Semiring> {
+    left: (Constraint<S>, Vec<usize>),
+    right: (Constraint<S>, Vec<usize>),
+    div: fn(&S, &S::Value, &S::Value) -> S::Value,
 }
 
 fn sorted_scope(vars: &[Var]) -> Vec<Var> {
@@ -299,7 +331,11 @@ impl<S: Semiring> Constraint<S> {
             Def::Const(v) => Ok(v.clone()),
             Def::Table(table) => {
                 let key = self.scope_tuple(eta)?;
-                Ok(table.map.get(&key).cloned().unwrap_or_else(|| table.default.clone()))
+                Ok(table
+                    .map
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_else(|| table.default.clone()))
             }
             Def::Func(func) => {
                 let args: Vec<Val> = func
@@ -312,6 +348,10 @@ impl<S: Semiring> Constraint<S> {
                     })
                     .collect::<Result<_, _>>()?;
                 Ok((func.f)(&args))
+            }
+            Def::Combined(_) | Def::Divided(_) => {
+                let key = self.scope_tuple(eta)?;
+                Ok(self.eval_tuple(&key))
             }
         }
     }
@@ -336,11 +376,7 @@ impl<S: Semiring> Constraint<S> {
     ///
     /// Panics if `tuple.len() != self.scope().len()`.
     pub fn eval_tuple(&self, tuple: &[Val]) -> S::Value {
-        assert_eq!(
-            tuple.len(),
-            self.scope.len(),
-            "scope tuple arity mismatch"
-        );
+        assert_eq!(tuple.len(), self.scope.len(), "scope tuple arity mismatch");
         match &self.def {
             Def::Const(v) => v.clone(),
             Def::Table(table) => table
@@ -362,6 +398,91 @@ impl<S: Semiring> Constraint<S> {
                     .collect();
                 (func.f)(&args)
             }
+            Def::Combined(def) => {
+                let mut acc = self.semiring.one();
+                let mut sub: Vec<Val> = Vec::new();
+                for (c, emb) in &def.operands {
+                    if self.semiring.is_zero(&acc) {
+                        break; // 0 absorbs ×
+                    }
+                    sub.clear();
+                    sub.extend(emb.iter().map(|&i| tuple[i].clone()));
+                    acc = self.semiring.times(&acc, &c.eval_tuple(&sub));
+                }
+                acc
+            }
+            Def::Divided(def) => {
+                let lt: Vec<Val> = def.left.1.iter().map(|&i| tuple[i].clone()).collect();
+                let rt: Vec<Val> = def.right.1.iter().map(|&i| tuple[i].clone()).collect();
+                (def.div)(
+                    &self.semiring,
+                    &def.left.0.eval_tuple(&lt),
+                    &def.right.0.eval_tuple(&rt),
+                )
+            }
+        }
+    }
+
+    /// Builds a flat `⊗`-combination over an already-computed sorted
+    /// `scope`. Each part carries the embedding of its scope into
+    /// `scope`; parts that are themselves combinations are flattened by
+    /// composing their operands' embeddings, so the result's operand
+    /// list is always one level deep.
+    pub(crate) fn combined_from(
+        semiring: S,
+        scope: Vec<Var>,
+        parts: Vec<(Constraint<S>, Vec<usize>)>,
+    ) -> Constraint<S> {
+        let mut operands: Vec<(Constraint<S>, Vec<usize>)> = Vec::with_capacity(parts.len());
+        for (part, emb) in parts {
+            debug_assert_eq!(part.scope.len(), emb.len(), "embedding arity mismatch");
+            match &part.def {
+                Def::Combined(def) => {
+                    for (op, op_emb) in &def.operands {
+                        let composed: Vec<usize> = op_emb.iter().map(|&i| emb[i]).collect();
+                        operands.push((op.clone(), composed));
+                    }
+                }
+                _ => operands.push((part, emb)),
+            }
+        }
+        Constraint {
+            semiring,
+            scope,
+            def: Def::Combined(Arc::new(CombinedDef { operands })),
+            label: None,
+        }
+    }
+
+    /// Builds a structural division over an already-computed sorted
+    /// `scope`; `div` is the semiring's residuation operation.
+    pub(crate) fn divided_from(
+        semiring: S,
+        scope: Vec<Var>,
+        left: (Constraint<S>, Vec<usize>),
+        right: (Constraint<S>, Vec<usize>),
+        div: fn(&S, &S::Value, &S::Value) -> S::Value,
+    ) -> Constraint<S> {
+        Constraint {
+            semiring,
+            scope,
+            def: Def::Divided(Arc::new(DividedDef { left, right, div })),
+            label: None,
+        }
+    }
+
+    /// The constraint's `⊗`-operands, each with the embedding of its
+    /// scope into `self.scope()`. Non-combination constraints are their
+    /// own single operand (identity embedding). This is the entry point
+    /// the compiler uses to collapse combine DAGs into a flat list.
+    pub(crate) fn flat_operands(&self) -> Vec<(&Constraint<S>, Vec<usize>)> {
+        match &self.def {
+            Def::Combined(def) => def
+                .operands
+                .iter()
+                .map(|(c, emb)| (c, emb.clone()))
+                .collect(),
+            _ => vec![(self, (0..self.scope.len()).collect())],
         }
     }
 
@@ -447,6 +568,8 @@ impl<S: Semiring> fmt::Debug for Constraint<S> {
             Def::Const(v) => format!("const({v:?})"),
             Def::Table(t) => format!("table({} entries)", t.map.len()),
             Def::Func(_) => "fn".to_string(),
+            Def::Combined(def) => format!("⊗({} operands)", def.operands.len()),
+            Def::Divided(_) => "÷".to_string(),
         };
         let mut s = f.debug_struct("Constraint");
         if let Some(label) = &self.label {

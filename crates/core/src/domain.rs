@@ -229,10 +229,7 @@ impl Domains {
     ///
     /// Returns [`MissingDomainError`] if any variable has no domain.
     pub fn tuples(&self, vars: &[Var]) -> Result<TupleIter<'_>, MissingDomainError> {
-        let domains: Vec<&Domain> = vars
-            .iter()
-            .map(|v| self.get(v))
-            .collect::<Result<_, _>>()?;
+        let domains: Vec<&Domain> = vars.iter().map(|v| self.get(v)).collect::<Result<_, _>>()?;
         Ok(TupleIter::new(domains))
     }
 

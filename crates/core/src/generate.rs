@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
-use softsoa_semiring::{Fuzzy, Semiring, Unit, WeightedInt};
+use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Product, Semiring, Unit, WeightedInt};
 
 use crate::{Constraint, Domain, Scsp, Var};
 
@@ -58,10 +58,7 @@ where
     }
     let indices: Vec<usize> = (0..cfg.vars).collect();
     for _ in 0..cfg.constraints {
-        let mut chosen: Vec<usize> = indices
-            .choose_multiple(&mut rng, arity)
-            .copied()
-            .collect();
+        let mut chosen: Vec<usize> = indices.choose_multiple(&mut rng, arity).copied().collect();
         chosen.sort();
         let scope: Vec<Var> = chosen.iter().map(|&i| var(i)).collect();
         let doms = p.domains().clone();
@@ -95,6 +92,22 @@ pub fn random_fuzzy(cfg: &RandomScsp) -> Scsp<Fuzzy> {
     })
 }
 
+/// A random probabilistic SCSP with success probabilities drawn
+/// uniformly from `{0.0, 0.1, .., 1.0}`.
+pub fn random_probabilistic(cfg: &RandomScsp) -> Scsp<Probabilistic> {
+    random_scsp(Probabilistic, cfg, |rng| {
+        Unit::clamped(rng.random_range(0..=10) as f64 / 10.0)
+    })
+}
+
+/// A random SCSP over the partially ordered product semiring
+/// `Boolean × WeightedInt` (feasibility paired with cost).
+pub fn random_product(cfg: &RandomScsp) -> Scsp<Product<Boolean, WeightedInt>> {
+    random_scsp(Product::new(Boolean, WeightedInt), cfg, |rng| {
+        (rng.random_ratio(4, 5), rng.random_range(0..10))
+    })
+}
+
 /// A weighted *chain* `x0 — x1 — ... — x(n-1)` of binary distance
 /// constraints: induced width 1, the best case for bucket elimination.
 pub fn chain_weighted(n: usize, domain_size: usize, seed: u64) -> Scsp<WeightedInt> {
@@ -109,9 +122,7 @@ pub fn chain_weighted(n: usize, domain_size: usize, seed: u64) -> Scsp<WeightedI
             WeightedInt,
             var(i),
             var(i + 1),
-            move |a, b| {
-                (a.as_int().unwrap() + offset - b.as_int().unwrap()).unsigned_abs()
-            },
+            move |a, b| (a.as_int().unwrap() + offset - b.as_int().unwrap()).unsigned_abs(),
         ));
     }
     p.of_interest([var(0)])
@@ -172,6 +183,25 @@ mod tests {
             assert_eq!(reference.blevel(), bnb.blevel(), "seed {seed}");
             assert_eq!(reference.blevel(), be.blevel(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn probabilistic_and_product_generators_are_deterministic() {
+        let cfg = RandomScsp {
+            vars: 4,
+            domain_size: 3,
+            constraints: 5,
+            arity: 2,
+            seed: 11,
+        };
+        assert_eq!(
+            random_probabilistic(&cfg).blevel().unwrap(),
+            random_probabilistic(&cfg).blevel().unwrap()
+        );
+        assert_eq!(
+            random_product(&cfg).blevel().unwrap(),
+            random_product(&cfg).blevel().unwrap()
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod assignment;
+pub mod compile;
 mod constraint;
 mod cylindric;
 mod domain;

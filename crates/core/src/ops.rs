@@ -44,6 +44,39 @@ fn union_scope(a: &[Var], b: &[Var]) -> Vec<Var> {
     scope
 }
 
+/// Merges two sorted, deduplicated scopes in one linear pass, returning
+/// the union scope together with both operands' embeddings into it.
+///
+/// This replaces the sort + dedup + per-variable binary search that the
+/// lazy operators used to repeat on every nesting level: the embeddings
+/// fall out of the merge for free, and nested combinations *compose*
+/// them (index lookups) instead of recomputing them.
+fn merge_scopes(a: &[Var], b: &[Var]) -> (Vec<Var>, Vec<usize>, Vec<usize>) {
+    let mut scope = Vec::with_capacity(a.len() + b.len());
+    let mut emb_a = Vec::with_capacity(a.len());
+    let mut emb_b = Vec::with_capacity(b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let pos = scope.len();
+        if j >= b.len() || (i < a.len() && a[i] < b[j]) {
+            scope.push(a[i].clone());
+            emb_a.push(pos);
+            i += 1;
+        } else if i >= a.len() || b[j] < a[i] {
+            scope.push(b[j].clone());
+            emb_b.push(pos);
+            j += 1;
+        } else {
+            scope.push(a[i].clone());
+            emb_a.push(pos);
+            emb_b.push(pos);
+            i += 1;
+            j += 1;
+        }
+    }
+    (scope, emb_a, emb_b)
+}
+
 impl<S: Semiring> Constraint<S> {
     /// The combination `self ⊗ other`: `(c1 ⊗ c2)η = c1η × c2η`.
     ///
@@ -60,16 +93,12 @@ impl<S: Semiring> Constraint<S> {
             "cannot combine constraints over different semirings"
         );
         let semiring = self.semiring().clone();
-        let scope = union_scope(self.scope(), other.scope());
-        let left = self.clone();
-        let right = other.clone();
-        let left_idx = embedding(self.scope(), &scope);
-        let right_idx = embedding(other.scope(), &scope);
-        Constraint::from_fn(semiring.clone(), &scope, move |vals| {
-            let lt: Vec<Val> = left_idx.iter().map(|&i| vals[i].clone()).collect();
-            let rt: Vec<Val> = right_idx.iter().map(|&i| vals[i].clone()).collect();
-            semiring.times(&left.eval_tuple(&lt), &right.eval_tuple(&rt))
-        })
+        let (scope, left_idx, right_idx) = merge_scopes(self.scope(), other.scope());
+        Constraint::combined_from(
+            semiring,
+            scope,
+            vec![(self.clone(), left_idx), (other.clone(), right_idx)],
+        )
     }
 
     /// The division `self ÷ other`: `(c1 ÷ c2)η = c1η ÷ c2η`.
@@ -89,16 +118,14 @@ impl<S: Semiring> Constraint<S> {
             "cannot divide constraints over different semirings"
         );
         let semiring = self.semiring().clone();
-        let scope = union_scope(self.scope(), other.scope());
-        let left = self.clone();
-        let right = other.clone();
-        let left_idx = embedding(self.scope(), &scope);
-        let right_idx = embedding(other.scope(), &scope);
-        Constraint::from_fn(semiring.clone(), &scope, move |vals| {
-            let lt: Vec<Val> = left_idx.iter().map(|&i| vals[i].clone()).collect();
-            let rt: Vec<Val> = right_idx.iter().map(|&i| vals[i].clone()).collect();
-            semiring.div(&left.eval_tuple(&lt), &right.eval_tuple(&rt))
-        })
+        let (scope, left_idx, right_idx) = merge_scopes(self.scope(), other.scope());
+        Constraint::divided_from(
+            semiring,
+            scope,
+            (self.clone(), left_idx),
+            (other.clone(), right_idx),
+            <S as Residuated>::div,
+        )
     }
 
     /// The projection `self ⇓ keep`, eliminating every support variable
@@ -171,12 +198,7 @@ impl<S: Semiring> Constraint<S> {
     /// Returns [`MissingDomainError`] if `x` is in the support but has
     /// no domain.
     pub fn hide(&self, x: &Var, domains: &Domains) -> Result<Constraint<S>, MissingDomainError> {
-        let keep: Vec<Var> = self
-            .scope()
-            .iter()
-            .filter(|v| *v != x)
-            .cloned()
-            .collect();
+        let keep: Vec<Var> = self.scope().iter().filter(|v| *v != x).cloned().collect();
         self.project(&keep, domains)
     }
 
@@ -270,9 +292,35 @@ where
     S: Semiring,
     I: IntoIterator<Item = &'a Constraint<S>>,
 {
-    constraints
-        .into_iter()
-        .fold(Constraint::always(semiring), |acc, c| acc.combine(c))
+    let operands: Vec<&Constraint<S>> = constraints.into_iter().collect();
+    match operands.len() {
+        0 => Constraint::always(semiring),
+        1 => operands[0].clone(),
+        _ => {
+            // The union scope is sorted and deduplicated once for the
+            // whole combination, and each operand embedded once —
+            // instead of once per fold step as the naive
+            // `fold(always, combine)` would.
+            let mut scope: Vec<Var> = operands
+                .iter()
+                .flat_map(|c| c.scope().iter().cloned())
+                .collect();
+            scope.sort();
+            scope.dedup();
+            let parts: Vec<(Constraint<S>, Vec<usize>)> = operands
+                .into_iter()
+                .map(|c| {
+                    assert!(
+                        c.semiring() == &semiring,
+                        "cannot combine constraints over different semirings"
+                    );
+                    let emb = embedding(c.scope(), &scope);
+                    (c.clone(), emb)
+                })
+                .collect();
+            Constraint::combined_from(semiring, scope, parts)
+        }
+    }
 }
 
 /// The entailment relation `C ⊢ c ⇔ ⊗C ⊑ c` (Sec. 2).
@@ -306,14 +354,15 @@ mod tests {
     }
 
     /// The three constraints of Fig. 1 (weighted semiring).
-    fn fig1() -> (Constraint<WeightedInt>, Constraint<WeightedInt>, Constraint<WeightedInt>) {
+    fn fig1() -> (
+        Constraint<WeightedInt>,
+        Constraint<WeightedInt>,
+        Constraint<WeightedInt>,
+    ) {
         let c1 = Constraint::table(
             WeightedInt,
             &[Var::new("x")],
-            vec![
-                (vec![Val::sym("a")], 1u64),
-                (vec![Val::sym("b")], 9),
-            ],
+            vec![(vec![Val::sym("a")], 1u64), (vec![Val::sym("b")], 9)],
             u64::MAX,
         );
         let c2 = Constraint::table(
@@ -330,10 +379,7 @@ mod tests {
         let c3 = Constraint::table(
             WeightedInt,
             &[Var::new("y")],
-            vec![
-                (vec![Val::sym("a")], 5u64),
-                (vec![Val::sym("b")], 5),
-            ],
+            vec![(vec![Val::sym("a")], 5u64), (vec![Val::sym("b")], 5)],
             u64::MAX,
         );
         (c1, c2, c3)
@@ -424,9 +470,7 @@ mod tests {
     #[test]
     fn fuzzy_combination_flattens_to_min() {
         let u = |v: f64| Unit::new(v).unwrap();
-        let cp = Constraint::unary(Fuzzy, "x", move |v| {
-            u(1.0 / (v.as_int().unwrap() as f64))
-        });
+        let cp = Constraint::unary(Fuzzy, "x", move |v| u(1.0 / (v.as_int().unwrap() as f64)));
         let cc = Constraint::unary(Fuzzy, "x", move |v| {
             u((v.as_int().unwrap() as f64 - 1.0) / 9.0)
         });

@@ -142,6 +142,35 @@ impl<S: Semiring> Scsp<S> {
         EnumerationSolver::new().solve(self)
     }
 
+    /// Solves by exhaustive enumeration under an explicit engine
+    /// configuration (compiled evaluation, worker threads).
+    ///
+    /// ```
+    /// # use softsoa_core::{Scsp, Constraint, Domain};
+    /// # use softsoa_core::solve::SolverConfig;
+    /// # use softsoa_semiring::WeightedInt;
+    /// let p = Scsp::new(WeightedInt)
+    ///     .with_domain("x", Domain::ints(0..=9))
+    ///     .with_constraint(Constraint::unary(WeightedInt, "x", |v| {
+    ///         v.as_int().unwrap() as u64
+    ///     }))
+    ///     .of_interest(["x"]);
+    /// let sol = p.solve_with(&SolverConfig::default())?;
+    /// assert_eq!(*sol.blevel(), 0);
+    /// assert!(sol.stats().unwrap().threads >= 1);
+    /// # Ok::<(), softsoa_core::SolveError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] if a variable lacks a domain.
+    pub fn solve_with(
+        &self,
+        config: &crate::solve::SolverConfig,
+    ) -> Result<Solution<S>, SolveError> {
+        EnumerationSolver::with_config(*config).solve(self)
+    }
+
     /// The best level of consistency `blevel(P) = Sol(P) ⇓ ∅`.
     ///
     /// # Errors

@@ -1,8 +1,13 @@
 //! Depth-first branch-and-bound search.
 
+use std::sync::Mutex;
+use std::time::Instant;
+
 use softsoa_semiring::Semiring;
 
-use crate::solve::{Solution, SolveError, Solver};
+use crate::compile::CompiledProblem;
+use crate::solve::parallel::fan_out;
+use crate::solve::{Solution, SolveError, Solver, SolverConfig, SolverStats};
 use crate::{Assignment, Scsp, Val, Var};
 
 /// Variable-ordering heuristics for [`BranchAndBound`].
@@ -47,12 +52,22 @@ pub enum VarOrder {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BranchAndBound {
     order: VarOrder,
+    config: SolverConfig,
 }
 
 impl BranchAndBound {
-    /// Creates the solver with the given variable ordering.
+    /// Creates the solver with the given variable ordering and the
+    /// default engine (compiled, automatic thread count).
     pub fn new(order: VarOrder) -> BranchAndBound {
-        BranchAndBound { order }
+        BranchAndBound {
+            order,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Creates the solver with an explicit engine configuration.
+    pub fn with_config(order: VarOrder, config: SolverConfig) -> BranchAndBound {
+        BranchAndBound { order, config }
     }
 
     fn order_vars<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Vec<Var>, SolveError> {
@@ -87,12 +102,84 @@ impl BranchAndBound {
     }
 }
 
-impl<S: Semiring> Solver<S> for BranchAndBound {
-    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+impl BranchAndBound {
+    /// The compiled engine: DFS over domain-index tuples with dense
+    /// operand tables, the outermost variable's values split across
+    /// worker threads. Workers share a best-bound; a branch is cut
+    /// when it is *strictly* below the shared bound (safe for any
+    /// foreign bound) or when the sequential prune condition holds
+    /// against the worker's own incumbent — so the merged result,
+    /// taken in chunk order, reproduces the sequential witness.
+    fn solve_compiled<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
         let semiring = problem.semiring().clone();
-        if !semiring.is_total() {
-            return Err(SolveError::RequiresTotalOrder);
+        let vars = self.order_vars(problem)?;
+        let compiled = CompiledProblem::with_order(problem, vars)?;
+        let threads = self.config.parallelism.thread_count(compiled.outer_size());
+        let shared: Mutex<S::Value> = Mutex::new(semiring.zero());
+        let workers = fan_out(threads, compiled.outer_size(), |range| {
+            let mut worker = BnbWorker {
+                semiring: &semiring,
+                compiled: &compiled,
+                shared: &shared,
+                foreign: semiring.zero(),
+                since_refresh: 0,
+                idx: vec![0; compiled.vars().len()],
+                scratch: Vec::new(),
+                best_value: semiring.zero(),
+                witness: None,
+                nodes: 0,
+                prunings: 0,
+                evals: vec![0; compiled.num_operands()],
+            };
+            worker.run(range);
+            (
+                worker.best_value,
+                worker.witness,
+                worker.nodes,
+                worker.prunings,
+                worker.evals,
+            )
+        });
+
+        // Merge in chunk order with strict improvement only — exactly
+        // the sequential first-witness rule across chunk boundaries.
+        let mut best_value = semiring.zero();
+        let mut witness: Option<Vec<usize>> = None;
+        let mut stats = SolverStats {
+            threads,
+            compile_time: compiled.compile_time(),
+            constraint_evals: Vec::new(),
+            ..SolverStats::default()
+        };
+        let mut evals = vec![0u64; compiled.num_operands()];
+        for (value, wit, nodes, prunings, worker_evals) in workers {
+            stats.nodes += nodes;
+            stats.prunings += prunings;
+            for (acc, e) in evals.iter_mut().zip(&worker_evals) {
+                *acc += e;
+            }
+            if wit.is_some() && semiring.lt(&best_value, &value) {
+                best_value = value;
+                witness = wit;
+            }
         }
+        stats.constraint_evals = compiled.eval_stats(&evals);
+        stats.solve_time = start.elapsed();
+
+        let best = match witness {
+            Some(idx) if !semiring.is_zero(&best_value) => {
+                let con_eta = compiled.con_assignment(&idx);
+                vec![(con_eta, best_value.clone())]
+            }
+            _ => Vec::new(),
+        };
+        Ok(Solution::new(best_value, best, None).with_stats(stats))
+    }
+
+    fn solve_lazy<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
+        let semiring = problem.semiring().clone();
         let vars = self.order_vars(problem)?;
         // Validate domains up front so the search cannot fail mid-way.
         let domains: Vec<&crate::Domain> = vars
@@ -122,12 +209,21 @@ impl<S: Semiring> Solver<S> for BranchAndBound {
             slots: vec![None; vars.len()],
             best_value: semiring.zero(),
             best_assignment: None,
+            nodes: 0,
+            prunings: 0,
         };
 
         // Constraints with empty scope complete at depth 0.
         let root = search.apply_completed(0, semiring.one());
         search.dfs(0, root);
 
+        let stats = SolverStats {
+            nodes: search.nodes,
+            prunings: search.prunings,
+            threads: 1,
+            solve_time: start.elapsed(),
+            ..SolverStats::default()
+        };
         let best_value = search.best_value;
         let best = match search.best_assignment {
             Some(full) if !semiring.is_zero(&best_value) => {
@@ -140,7 +236,119 @@ impl<S: Semiring> Solver<S> for BranchAndBound {
             }
             _ => Vec::new(),
         };
-        Ok(Solution::new(best_value, best, None))
+        Ok(Solution::new(best_value, best, None).with_stats(stats))
+    }
+}
+
+impl<S: Semiring> Solver<S> for BranchAndBound {
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        if !problem.semiring().is_total() {
+            return Err(SolveError::RequiresTotalOrder);
+        }
+        if self.config.compiled {
+            self.solve_compiled(problem)
+        } else {
+            self.solve_lazy(problem)
+        }
+    }
+}
+
+/// How many nodes a worker expands between reloads of the shared
+/// best-bound (locking per node would serialise the search).
+const REFRESH_INTERVAL: u32 = 256;
+
+struct BnbWorker<'a, S: Semiring> {
+    semiring: &'a S,
+    compiled: &'a CompiledProblem<S>,
+    shared: &'a Mutex<S::Value>,
+    /// Local cache of the shared bound.
+    foreign: S::Value,
+    since_refresh: u32,
+    idx: Vec<usize>,
+    scratch: Vec<Val>,
+    best_value: S::Value,
+    witness: Option<Vec<usize>>,
+    nodes: u64,
+    prunings: u64,
+    evals: Vec<u64>,
+}
+
+impl<'a, S: Semiring> BnbWorker<'a, S> {
+    fn run(&mut self, range: std::ops::Range<usize>) {
+        let n = self.compiled.vars().len();
+        let root = self.compiled.apply_completed(
+            0,
+            self.semiring.one(),
+            &self.idx,
+            &mut self.scratch,
+            &mut self.evals,
+        );
+        if n == 0 {
+            if !range.is_empty() {
+                self.dfs(0, root);
+            }
+            return;
+        }
+        for i in range {
+            self.idx[0] = i;
+            let value = self.compiled.apply_completed(
+                1,
+                root.clone(),
+                &self.idx,
+                &mut self.scratch,
+                &mut self.evals,
+            );
+            self.dfs(1, value);
+        }
+    }
+
+    fn dfs(&mut self, depth: usize, value: S::Value) {
+        self.nodes += 1;
+        // The sequential prune: extensions cannot beat the local
+        // incumbent (×-monotonicity).
+        if self.semiring.leq(&value, &self.best_value)
+            && (self.witness.is_some() || self.semiring.is_zero(&value))
+        {
+            self.prunings += 1;
+            return;
+        }
+        // Foreign prune: strictly below a bound published by another
+        // chunk. Strictness keeps the local first-witness choice
+        // identical to the sequential run.
+        self.since_refresh += 1;
+        if self.since_refresh >= REFRESH_INTERVAL {
+            self.since_refresh = 0;
+            self.foreign = self
+                .shared
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+        }
+        if self.semiring.lt(&value, &self.foreign) {
+            self.prunings += 1;
+            return;
+        }
+        if depth == self.compiled.vars().len() {
+            self.best_value = value;
+            self.witness = Some(self.idx.clone());
+            let mut shared = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+            if self.semiring.lt(&shared, &self.best_value) {
+                *shared = self.best_value.clone();
+            }
+            self.foreign = shared.clone();
+            return;
+        }
+        for i in 0..self.compiled.sizes()[depth] {
+            self.idx[depth] = i;
+            let next = self.compiled.apply_completed(
+                depth + 1,
+                value.clone(),
+                &self.idx,
+                &mut self.scratch,
+                &mut self.evals,
+            );
+            self.dfs(depth + 1, next);
+        }
     }
 }
 
@@ -153,6 +361,8 @@ struct Search<'a, S: Semiring> {
     slots: Vec<Option<Val>>,
     best_value: S::Value,
     best_assignment: Option<Assignment>,
+    nodes: u64,
+    prunings: u64,
 }
 
 impl<'a, S: Semiring> Search<'a, S> {
@@ -174,10 +384,12 @@ impl<'a, S: Semiring> Search<'a, S> {
     }
 
     fn dfs(&mut self, depth: usize, value: S::Value) {
+        self.nodes += 1;
         // Prune: extensions cannot beat the incumbent (×-monotonicity).
         if self.semiring.leq(&value, &self.best_value)
             && (self.best_assignment.is_some() || self.semiring.is_zero(&value))
         {
+            self.prunings += 1;
             return;
         }
         if depth == self.vars.len() {
@@ -212,7 +424,11 @@ mod tests {
     fn agrees_with_enumeration_on_fig1() {
         let p = fig1_problem();
         let reference = EnumerationSolver::new().solve(&p).unwrap();
-        for order in [VarOrder::Input, VarOrder::SmallestDomain, VarOrder::MostConstrained] {
+        for order in [
+            VarOrder::Input,
+            VarOrder::SmallestDomain,
+            VarOrder::MostConstrained,
+        ] {
             let bnb = BranchAndBound::new(order).solve(&p).unwrap();
             assert_eq!(bnb.blevel(), reference.blevel());
             assert_eq!(
@@ -247,5 +463,42 @@ mod tests {
     fn no_solution_table_is_materialised() {
         let sol = BranchAndBound::default().solve(&fig1_problem()).unwrap();
         assert!(sol.solution_constraint().is_none());
+    }
+
+    #[test]
+    fn compiled_and_parallel_reproduce_the_lazy_witness() {
+        use crate::solve::{Parallelism, SolverConfig};
+        for seed in 0..6 {
+            let p = crate::generate::random_weighted(&crate::generate::RandomScsp {
+                vars: 5,
+                domain_size: 3,
+                constraints: 7,
+                arity: 2,
+                seed,
+            });
+            let lazy = BranchAndBound::with_config(VarOrder::Input, SolverConfig::reference())
+                .solve(&p)
+                .unwrap();
+            for threads in [1, 2, 3] {
+                let cfg = SolverConfig::default().with_parallelism(Parallelism::Threads(threads));
+                let fast = BranchAndBound::with_config(VarOrder::Input, cfg)
+                    .solve(&p)
+                    .unwrap();
+                assert_eq!(fast.blevel(), lazy.blevel(), "seed {seed} x{threads}");
+                assert_eq!(
+                    fast.best_assignment(),
+                    lazy.best_assignment(),
+                    "witness must match the sequential run (seed {seed}, {threads} threads)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let sol = BranchAndBound::default().solve(&fig1_problem()).unwrap();
+        let stats = sol.stats().unwrap();
+        assert!(stats.nodes > 0);
+        assert_eq!(stats.constraint_evals.len(), 3);
     }
 }

@@ -1,9 +1,17 @@
 //! Bucket (variable) elimination.
 
+use std::time::Instant;
+
 use softsoa_semiring::Semiring;
 
-use crate::solve::{best_from_entries, Solution, SolveError, Solver};
+use crate::compile::{Aggregate, CompiledProblem};
+use crate::solve::parallel::fan_out;
+use crate::solve::{best_from_entries, Solution, SolveError, Solver, SolverConfig, SolverStats};
 use crate::{combine_all, Constraint, Scsp, Val, Var};
+
+/// Materialised table entries over a kept scope, paired with the
+/// number of worker threads that produced them.
+type AggregatedEntries<S> = (Vec<(Vec<Val>, <S as Semiring>::Value)>, usize);
 
 /// Elimination-order heuristics for [`BucketElimination`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,20 +63,26 @@ pub enum EliminationOrder {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BucketElimination {
     order: EliminationOrder,
+    config: SolverConfig,
 }
 
 impl BucketElimination {
-    /// Creates the solver with the given elimination-order heuristic.
+    /// Creates the solver with the given elimination-order heuristic
+    /// and the default engine (compiled, automatic thread count).
     pub fn new(order: EliminationOrder) -> BucketElimination {
-        BucketElimination { order }
+        BucketElimination {
+            order,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Creates the solver with an explicit engine configuration.
+    pub fn with_config(order: EliminationOrder, config: SolverConfig) -> BucketElimination {
+        BucketElimination { order, config }
     }
 
     /// Chooses the order in which to eliminate `candidates`.
-    fn elimination_order<S: Semiring>(
-        &self,
-        problem: &Scsp<S>,
-        candidates: Vec<Var>,
-    ) -> Vec<Var> {
+    fn elimination_order<S: Semiring>(&self, problem: &Scsp<S>, candidates: Vec<Var>) -> Vec<Var> {
         match self.order {
             EliminationOrder::InputReverse => {
                 let mut vars = candidates;
@@ -87,8 +101,10 @@ impl BucketElimination {
                     set.remove(v);
                     set.len()
                 };
-                let mut keyed: Vec<(usize, Var)> =
-                    candidates.into_iter().map(|v| (neighbours(&v), v)).collect();
+                let mut keyed: Vec<(usize, Var)> = candidates
+                    .into_iter()
+                    .map(|v| (neighbours(&v), v))
+                    .collect();
                 keyed.sort();
                 keyed.into_iter().map(|(_, v)| v).collect()
             }
@@ -96,8 +112,84 @@ impl BucketElimination {
     }
 }
 
-impl<S: Semiring> Solver<S> for BucketElimination {
-    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+impl BucketElimination {
+    /// The compiled engine: each bucket is collapsed into a compiled
+    /// aggregation over its combined scope (flattened operands, dense
+    /// tables) and its projection table is materialised by splitting
+    /// the outermost kept variable across worker threads. The final
+    /// pool aggregation over `con` works the same way.
+    fn solve_compiled<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
+        let semiring = problem.semiring().clone();
+        let con: Vec<Var> = problem.con().to_vec();
+        let to_eliminate: Vec<Var> = problem
+            .problem_vars()
+            .into_iter()
+            .filter(|v| !con.contains(v))
+            .collect();
+        let order = self.elimination_order(problem, to_eliminate);
+
+        let mut stats = SolverStats::default();
+        let mut compile_time = std::time::Duration::ZERO;
+        let mut aggregate = |constraints: &[Constraint<S>],
+                             keep: &[Var]|
+         -> Result<AggregatedEntries<S>, SolveError> {
+            let cp = CompiledProblem::for_projection(
+                semiring.clone(),
+                constraints,
+                keep,
+                problem.domains(),
+            )?;
+            compile_time += cp.compile_time();
+            let threads = self.config.parallelism.thread_count(cp.outer_size());
+            let parts = fan_out(threads, cp.outer_size(), |range| cp.aggregate_range(range));
+            let agg = Aggregate::merge(&semiring, parts);
+            stats.nodes += agg.nodes;
+            stats.prunings += agg.prunings;
+            Ok((cp.con_entries(agg.table), threads))
+        };
+
+        let mut pool: Vec<Constraint<S>> = problem.constraints().to_vec();
+        let mut threads_used = 1;
+        for var in &order {
+            let (bucket, rest): (Vec<_>, Vec<_>) =
+                pool.into_iter().partition(|c| c.scope().contains(var));
+            pool = rest;
+            if bucket.is_empty() {
+                continue;
+            }
+            let keep: Vec<Var> = bucket
+                .iter()
+                .flat_map(|c| c.scope().iter().cloned())
+                .filter(|v| v != var)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let (entries, threads) = aggregate(&bucket, &keep)?;
+            threads_used = threads_used.max(threads);
+            pool.push(Constraint::table(
+                semiring.clone(),
+                &keep,
+                entries,
+                semiring.zero(),
+            ));
+        }
+
+        // Remaining constraints range over con only; build Sol(P).
+        let (entries, threads) = aggregate(&pool, &con)?;
+        threads_used = threads_used.max(threads);
+        let blevel = semiring.sum(entries.iter().map(|(_, v)| v));
+        let best = best_from_entries(&semiring, &con, &entries);
+        let solution = Constraint::table(semiring.clone(), &con, entries, semiring.zero())
+            .with_label("Sol(P)");
+        stats.threads = threads_used;
+        stats.compile_time = compile_time;
+        stats.solve_time = start.elapsed();
+        Ok(Solution::new(blevel, best, Some(solution)).with_stats(stats))
+    }
+
+    fn solve_lazy<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
         let semiring = problem.semiring().clone();
         let con: Vec<Var> = problem.con().to_vec();
         let to_eliminate: Vec<Var> = problem
@@ -137,14 +229,32 @@ impl<S: Semiring> Solver<S> for BucketElimination {
             })
             .collect();
         let mut entries: Vec<(Vec<Val>, S::Value)> = Vec::new();
+        let mut nodes = 0u64;
         for tuple in problem.domains().tuples(&con)? {
+            nodes += 1;
             let sub: Vec<Val> = embedding.iter().map(|&i| tuple[i].clone()).collect();
             let value = solution.eval_tuple(&sub);
             entries.push((tuple, value));
         }
         let blevel = semiring.sum(entries.iter().map(|(_, v)| v));
         let best = best_from_entries(&semiring, &con, &entries);
-        Ok(Solution::new(blevel, best, Some(solution)))
+        let stats = SolverStats {
+            nodes,
+            threads: 1,
+            solve_time: start.elapsed(),
+            ..SolverStats::default()
+        };
+        Ok(Solution::new(blevel, best, Some(solution)).with_stats(stats))
+    }
+}
+
+impl<S: Semiring> Solver<S> for BucketElimination {
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        if self.config.compiled {
+            self.solve_compiled(problem)
+        } else {
+            self.solve_lazy(problem)
+        }
     }
 }
 
@@ -193,9 +303,9 @@ mod tests {
         // Bucket elimination does not require a total order.
         let s = Product::new(Boolean, WeightedInt);
         let one = s.one();
-        let p = Scsp::new(s.clone())
+        let p = Scsp::new(s)
             .with_domain("x", Domain::ints(0..=2))
-            .with_constraint(Constraint::unary(s.clone(), "x", move |v| {
+            .with_constraint(Constraint::unary(s, "x", move |v| {
                 (v.as_int().unwrap() != 1, v.as_int().unwrap() as u64)
             }))
             .of_interest(["x"]);

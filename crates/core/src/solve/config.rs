@@ -1,0 +1,118 @@
+//! Solver execution knobs: parallelism and compiled evaluation.
+
+/// How many worker threads a solver may use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One thread, no work splitting.
+    Sequential,
+    /// Use [`std::thread::available_parallelism`] threads (capped by
+    /// the amount of splittable work).
+    #[default]
+    Auto,
+    /// Use exactly `n` threads (clamped to at least one and to the
+    /// amount of splittable work).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolves the knob to a concrete thread count for a workload
+    /// that splits into `work_items` independent pieces.
+    pub fn thread_count(&self, work_items: usize) -> usize {
+        let requested = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Parallelism::Threads(n) => (*n).max(1),
+        };
+        requested.min(work_items.max(1))
+    }
+}
+
+/// Configuration shared by every solver in this module.
+///
+/// The default is the fast path: compiled evaluation with automatic
+/// thread count. [`EnumerationSolver::new`](crate::solve::EnumerationSolver::new)
+/// deliberately stays on the lazy sequential path so it remains the
+/// literal reference semantics the other engines are tested against.
+///
+/// # Examples
+///
+/// ```
+/// use softsoa_core::solve::{Parallelism, SolverConfig};
+///
+/// let cfg = SolverConfig::default().with_parallelism(Parallelism::Threads(4));
+/// assert!(cfg.compiled);
+/// assert_eq!(cfg.parallelism.thread_count(100), 4);
+/// assert_eq!(cfg.parallelism.thread_count(2), 2); // clamped to the work
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Worker-thread policy.
+    pub parallelism: Parallelism,
+    /// Whether to compile the problem (flatten `⊗`-DAGs, precompute
+    /// scope embeddings, materialise small operand tables) before
+    /// searching. When `false`, solvers evaluate constraints lazily.
+    pub compiled: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            parallelism: Parallelism::Auto,
+            compiled: true,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The lazy sequential reference configuration.
+    pub fn reference() -> SolverConfig {
+        SolverConfig {
+            parallelism: Parallelism::Sequential,
+            compiled: false,
+        }
+    }
+
+    /// Sets the parallelism policy (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> SolverConfig {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Enables or disables compiled evaluation (builder style).
+    pub fn with_compiled(mut self, compiled: bool) -> SolverConfig {
+        self.compiled = compiled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_is_one_thread() {
+        assert_eq!(Parallelism::Sequential.thread_count(64), 1);
+    }
+
+    #[test]
+    fn explicit_threads_clamp_to_work() {
+        assert_eq!(Parallelism::Threads(8).thread_count(3), 3);
+        assert_eq!(Parallelism::Threads(0).thread_count(3), 1);
+        // Zero work still needs one worker (it just finds nothing).
+        assert_eq!(Parallelism::Threads(8).thread_count(0), 1);
+    }
+
+    #[test]
+    fn auto_is_at_least_one() {
+        assert!(Parallelism::Auto.thread_count(1024) >= 1);
+    }
+
+    #[test]
+    fn reference_config_is_lazy_sequential() {
+        let cfg = SolverConfig::reference();
+        assert!(!cfg.compiled);
+        assert_eq!(cfg.parallelism, Parallelism::Sequential);
+    }
+}

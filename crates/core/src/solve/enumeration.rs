@@ -1,10 +1,13 @@
 //! The reference exhaustive solver.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use softsoa_semiring::Semiring;
 
-use crate::solve::{best_from_entries, Solution, SolveError, Solver};
+use crate::compile::{Aggregate, CompiledProblem};
+use crate::solve::parallel::fan_out;
+use crate::solve::{best_from_entries, Solution, SolveError, Solver, SolverConfig, SolverStats};
 use crate::{Constraint, Scsp, Val, Var};
 
 /// The reference solver: enumerate every assignment of the problem
@@ -12,15 +15,19 @@ use crate::{Constraint, Scsp, Val, Var};
 /// `con` with the semiring sum.
 ///
 /// Complexity is `O(Π |Dᵢ| · |C|)` — exponential in the total number
-/// of variables — but the implementation follows the definitions of
-/// Sec. 2 literally, which makes it the semantics every other solver is
-/// tested against.
+/// of variables. [`EnumerationSolver::new`] follows the definitions of
+/// Sec. 2 literally (lazy evaluation, one thread), which makes it the
+/// semantics every other engine is tested against;
+/// [`EnumerationSolver::with_config`] enables the compiled engine —
+/// flattened `⊗`-operands, dense tables, index-tuple enumeration — and
+/// splits the outermost variable's domain across threads, merging the
+/// per-chunk `con` tables with the semiring `+`.
 ///
 /// # Examples
 ///
 /// ```
 /// use softsoa_core::{Scsp, Constraint, Domain};
-/// use softsoa_core::solve::{EnumerationSolver, Solver};
+/// use softsoa_core::solve::{EnumerationSolver, Solver, SolverConfig};
 /// use softsoa_semiring::WeightedInt;
 ///
 /// let p = Scsp::new(WeightedInt)
@@ -29,24 +36,63 @@ use crate::{Constraint, Scsp, Val, Var};
 ///         v.as_int().unwrap() as u64 + 3
 ///     }))
 ///     .of_interest(["x"]);
-/// let solution = EnumerationSolver::new().solve(&p)?;
+/// let solution = EnumerationSolver::with_config(SolverConfig::default()).solve(&p)?;
 /// assert_eq!(*solution.blevel(), 3); // best at x = 0
+/// assert!(solution.stats().is_some());
 /// # Ok::<(), softsoa_core::SolveError>(())
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EnumerationSolver {
-    _private: (),
+    config: SolverConfig,
 }
 
-impl EnumerationSolver {
-    /// Creates the solver.
-    pub fn new() -> EnumerationSolver {
-        EnumerationSolver::default()
+impl Default for EnumerationSolver {
+    fn default() -> EnumerationSolver {
+        EnumerationSolver::new()
     }
 }
 
-impl<S: Semiring> Solver<S> for EnumerationSolver {
-    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+impl EnumerationSolver {
+    /// Creates the lazy sequential reference solver.
+    pub fn new() -> EnumerationSolver {
+        EnumerationSolver {
+            config: SolverConfig::reference(),
+        }
+    }
+
+    /// Creates the solver with an explicit engine configuration.
+    pub fn with_config(config: SolverConfig) -> EnumerationSolver {
+        EnumerationSolver { config }
+    }
+
+    fn solve_compiled<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
+        let semiring = problem.semiring().clone();
+        let con: Vec<Var> = problem.con().to_vec();
+        let compiled = CompiledProblem::from_problem(problem)?;
+        let threads = self.config.parallelism.thread_count(compiled.outer_size());
+        let parts = fan_out(threads, compiled.outer_size(), |range| {
+            compiled.aggregate_range(range)
+        });
+        let agg = Aggregate::merge(&semiring, parts);
+        let entries = compiled.con_entries(agg.table);
+        let blevel = semiring.sum(entries.iter().map(|(_, v)| v));
+        let best = best_from_entries(&semiring, &con, &entries);
+        let table = Constraint::table(semiring.clone(), &con, entries, semiring.zero())
+            .with_label("Sol(P)");
+        let stats = SolverStats {
+            nodes: agg.nodes,
+            prunings: agg.prunings,
+            threads,
+            compile_time: compiled.compile_time(),
+            solve_time: start.elapsed(),
+            constraint_evals: compiled.eval_stats(&agg.evals),
+        };
+        Ok(Solution::new(blevel, best, Some(table)).with_stats(stats))
+    }
+
+    fn solve_lazy<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
         let semiring = problem.semiring().clone();
         let all_vars = problem.problem_vars();
         let con: Vec<Var> = problem.con().to_vec();
@@ -59,7 +105,11 @@ impl<S: Semiring> Solver<S> for EnumerationSolver {
             .map(|c| {
                 c.scope()
                     .iter()
-                    .map(|v| all_vars.binary_search(v).expect("scope var is a problem var"))
+                    .map(|v| {
+                        all_vars
+                            .binary_search(v)
+                            .expect("scope var is a problem var")
+                    })
                     .collect()
             })
             .collect();
@@ -68,8 +118,10 @@ impl<S: Semiring> Solver<S> for EnumerationSolver {
             .map(|v| all_vars.binary_search(v).expect("con var is a problem var"))
             .collect();
 
+        let mut nodes = 0u64;
         let mut per_con: HashMap<Vec<Val>, S::Value> = HashMap::new();
         for tuple in problem.domains().tuples(&all_vars)? {
+            nodes += 1;
             let mut value = semiring.one();
             for (c, emb) in problem.constraints().iter().zip(&scope_embeddings) {
                 if semiring.is_zero(&value) {
@@ -92,13 +144,30 @@ impl<S: Semiring> Solver<S> for EnumerationSolver {
         let best = best_from_entries(&semiring, &con, &entries);
         let table = Constraint::table(semiring.clone(), &con, entries, semiring.zero())
             .with_label("Sol(P)");
-        Ok(Solution::new(blevel, best, Some(table)))
+        let stats = SolverStats {
+            nodes,
+            threads: 1,
+            solve_time: start.elapsed(),
+            ..SolverStats::default()
+        };
+        Ok(Solution::new(blevel, best, Some(table)).with_stats(stats))
+    }
+}
+
+impl<S: Semiring> Solver<S> for EnumerationSolver {
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        if self.config.compiled {
+            self.solve_compiled(problem)
+        } else {
+            self.solve_lazy(problem)
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve::Parallelism;
     use crate::{Assignment, Domain};
     use softsoa_semiring::{Fuzzy, Unit, WeightedInt};
 
@@ -115,21 +184,39 @@ mod tests {
         assert_eq!(table.eval(&Assignment::new().bind("x", "b")), 16);
         // The single best solution is X = a (reached with Y = b).
         assert_eq!(sol.best().len(), 1);
-        assert_eq!(
-            sol.best()[0].0.get(&Var::new("x")),
-            Some(&Val::sym("a"))
-        );
+        assert_eq!(sol.best()[0].0.get(&Var::new("x")), Some(&Val::sym("a")));
         assert_eq!(sol.best()[0].1, 7);
+    }
+
+    #[test]
+    fn compiled_agrees_with_lazy_reference() {
+        for threads in [1, 3] {
+            let cfg = SolverConfig::default().with_parallelism(Parallelism::Threads(threads));
+            let sol = EnumerationSolver::with_config(cfg).solve(&fig1()).unwrap();
+            assert_eq!(*sol.blevel(), 7);
+            let table = sol.solution_constraint().unwrap();
+            assert_eq!(table.eval(&Assignment::new().bind("x", "a")), 7);
+            assert_eq!(table.eval(&Assignment::new().bind("x", "b")), 16);
+            let stats = sol.stats().unwrap();
+            assert_eq!(stats.threads, threads.min(2)); // two outer values
+            assert_eq!(stats.constraint_evals.len(), 3);
+            assert!(stats.constraint_evals.iter().all(|c| c.dense_cells > 0));
+        }
     }
 
     #[test]
     fn empty_con_projects_to_scalar() {
         let mut p = fig1();
         p = p.of_interest(Vec::<Var>::new());
-        let sol = EnumerationSolver::new().solve(&p).unwrap();
-        assert_eq!(*sol.blevel(), 7);
-        let table = sol.solution_constraint().unwrap();
-        assert_eq!(table.eval(&Assignment::new()), 7);
+        for solver in [
+            EnumerationSolver::new(),
+            EnumerationSolver::with_config(SolverConfig::default()),
+        ] {
+            let sol = solver.solve(&p).unwrap();
+            assert_eq!(*sol.blevel(), 7);
+            let table = sol.solution_constraint().unwrap();
+            assert_eq!(table.eval(&Assignment::new()), 7);
+        }
     }
 
     #[test]
@@ -137,9 +224,14 @@ mod tests {
         let p = Scsp::new(WeightedInt)
             .with_domain("x", Domain::ints(0..=3))
             .of_interest(["x"]);
-        let sol = EnumerationSolver::new().solve(&p).unwrap();
-        assert_eq!(*sol.blevel(), 0); // weighted one
-        assert_eq!(sol.best().len(), 4);
+        for solver in [
+            EnumerationSolver::new(),
+            EnumerationSolver::with_config(SolverConfig::default()),
+        ] {
+            let sol = solver.solve(&p).unwrap();
+            assert_eq!(*sol.blevel(), 0); // weighted one
+            assert_eq!(sol.best().len(), 4);
+        }
     }
 
     #[test]
@@ -169,9 +261,14 @@ mod tests {
         let p = Scsp::new(WeightedInt)
             .with_constraint(Constraint::unary(WeightedInt, "x", |_| 0))
             .of_interest(["x"]);
-        assert!(matches!(
-            EnumerationSolver::new().solve(&p),
-            Err(SolveError::MissingDomain(_))
-        ));
+        for solver in [
+            EnumerationSolver::new(),
+            EnumerationSolver::with_config(SolverConfig::default()),
+        ] {
+            assert!(matches!(
+                solver.solve(&p),
+                Err(SolveError::MissingDomain(_))
+            ));
+        }
     }
 }

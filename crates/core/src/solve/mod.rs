@@ -20,15 +20,20 @@
 
 mod branch_bound;
 mod bucket;
+mod config;
 mod enumeration;
+pub(crate) mod parallel;
 mod pareto;
 mod preprocess;
+mod stats;
 
 pub use branch_bound::{BranchAndBound, VarOrder};
 pub use bucket::{BucketElimination, EliminationOrder};
+pub use config::{Parallelism, SolverConfig};
 pub use enumeration::EnumerationSolver;
 pub use pareto::ParetoBranchAndBound;
 pub use preprocess::{add_unary_projections, prune_zero_supports, PruneReport};
+pub use stats::{ConstraintEvalStats, SolverStats};
 
 use std::fmt;
 
@@ -84,6 +89,7 @@ pub struct Solution<S: Semiring> {
     blevel: S::Value,
     best: Vec<(Assignment, S::Value)>,
     table: Option<Constraint<S>>,
+    stats: Option<SolverStats>,
 }
 
 impl<S: Semiring> Solution<S> {
@@ -96,7 +102,13 @@ impl<S: Semiring> Solution<S> {
             blevel,
             best,
             table,
+            stats: None,
         }
+    }
+
+    pub(crate) fn with_stats(mut self, stats: SolverStats) -> Solution<S> {
+        self.stats = Some(stats);
+        self
     }
 
     /// The best level of consistency `blevel(P) = Sol(P) ⇓ ∅`.
@@ -119,6 +131,12 @@ impl<S: Semiring> Solution<S> {
     /// materialised it ([`BranchAndBound`] does not).
     pub fn solution_constraint(&self) -> Option<&Constraint<S>> {
         self.table.as_ref()
+    }
+
+    /// Instrumentation counters from the solver run, if it recorded
+    /// them (all solvers in this module do).
+    pub fn stats(&self) -> Option<&SolverStats> {
+        self.stats.as_ref()
     }
 }
 
@@ -149,19 +167,11 @@ pub(crate) fn non_dominated<S: Semiring>(
         let max = entries
             .iter()
             .fold(semiring.zero(), |acc, (_, v)| semiring.plus(&acc, v));
-        entries
-            .iter()
-            .filter(|(_, v)| *v == max)
-            .cloned()
-            .collect()
+        entries.iter().filter(|(_, v)| *v == max).cloned().collect()
     } else {
         entries
             .iter()
-            .filter(|(_, v)| {
-                !entries
-                    .iter()
-                    .any(|(_, w)| semiring.lt(v, w))
-            })
+            .filter(|(_, v)| !entries.iter().any(|(_, w)| semiring.lt(v, w)))
             .cloned()
             .collect()
     }

@@ -1,0 +1,78 @@
+//! Scoped-thread fan-out used by the parallel solver paths.
+//!
+//! The workspace builds without external thread-pool crates, so the
+//! solvers split their outermost loop into contiguous index ranges and
+//! run each range on a scoped `std` thread. Results come back in chunk
+//! order, which is what lets the solvers reproduce their sequential
+//! answers (first-witness and frontier-representative choices) exactly.
+
+use std::ops::Range;
+
+/// Splits `0..total` into `threads` contiguous chunks and runs `f` on
+/// each chunk, returning the results **in chunk order**.
+///
+/// With one thread (or at most one item) `f` runs inline on the caller
+/// thread. A panicking worker propagates its panic to the caller.
+pub(crate) fn fan_out<R, F>(threads: usize, total: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let threads = threads.clamp(1, total.max(1));
+    if threads == 1 {
+        return vec![f(0..total)];
+    }
+    let base = total / threads;
+    let rem = total % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < rem);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || f(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once_in_order() {
+        for threads in 1..=5 {
+            for total in 0..=17 {
+                let parts = fan_out(threads, total, |r| r.collect::<Vec<_>>());
+                let flat: Vec<usize> = parts.into_iter().flatten().collect();
+                assert_eq!(flat, (0..total).collect::<Vec<_>>(), "{threads} x {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let parts = fan_out(1, 10, |r| r.len());
+        assert_eq!(parts, vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let _ = fan_out(2, 4, |r| {
+            if r.contains(&3) {
+                panic!("worker boom");
+            }
+            r.len()
+        });
+    }
+}

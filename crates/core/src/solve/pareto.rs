@@ -1,8 +1,12 @@
 //! Branch-and-bound over *partially ordered* semirings.
 
+use std::time::Instant;
+
 use softsoa_semiring::Semiring;
 
-use crate::solve::{Solution, SolveError, Solver};
+use crate::compile::CompiledProblem;
+use crate::solve::parallel::fan_out;
+use crate::solve::{Solution, SolveError, Solver, SolverConfig, SolverStats};
 use crate::{Assignment, Scsp, Val, Var};
 
 /// A depth-first solver maintaining a *Pareto frontier* of incumbents,
@@ -55,18 +59,84 @@ use crate::{Assignment, Scsp, Val, Var};
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ParetoBranchAndBound {
-    _private: (),
+    config: SolverConfig,
 }
 
 impl ParetoBranchAndBound {
-    /// Creates the solver.
+    /// Creates the solver with the default engine (compiled, automatic
+    /// thread count).
     pub fn new() -> ParetoBranchAndBound {
         ParetoBranchAndBound::default()
     }
-}
 
-impl<S: Semiring> Solver<S> for ParetoBranchAndBound {
-    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+    /// Creates the solver with an explicit engine configuration.
+    pub fn with_config(config: SolverConfig) -> ParetoBranchAndBound {
+        ParetoBranchAndBound { config }
+    }
+
+    /// The compiled engine: each worker explores a slice of the
+    /// outermost variable's domain with its own local frontier;
+    /// frontiers are merged by replaying their entries in chunk order
+    /// through the sequential insertion rule, which reproduces the
+    /// sequential frontier (and its representatives) exactly.
+    fn solve_compiled<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
+        let semiring = problem.semiring().clone();
+        let compiled = CompiledProblem::from_problem(problem)?;
+        let threads = self.config.parallelism.thread_count(compiled.outer_size());
+        let workers = fan_out(threads, compiled.outer_size(), |range| {
+            let mut worker = ParetoWorker {
+                semiring: &semiring,
+                compiled: &compiled,
+                idx: vec![0; compiled.vars().len()],
+                scratch: Vec::new(),
+                frontier: Vec::new(),
+                nodes: 0,
+                prunings: 0,
+                evals: vec![0; compiled.num_operands()],
+            };
+            worker.run(range);
+            (worker.frontier, worker.nodes, worker.prunings, worker.evals)
+        });
+
+        let mut frontier: Vec<(Vec<usize>, S::Value)> = Vec::new();
+        let mut stats = SolverStats {
+            threads,
+            compile_time: compiled.compile_time(),
+            ..SolverStats::default()
+        };
+        let mut evals = vec![0u64; compiled.num_operands()];
+        for (local, nodes, prunings, worker_evals) in workers {
+            stats.nodes += nodes;
+            stats.prunings += prunings;
+            for (acc, e) in evals.iter_mut().zip(&worker_evals) {
+                *acc += e;
+            }
+            for (idx, value) in local {
+                let dominated = frontier
+                    .iter()
+                    .any(|(_, incumbent)| semiring.leq(&value, incumbent));
+                if dominated {
+                    continue;
+                }
+                frontier.retain(|(_, incumbent)| !semiring.lt(incumbent, &value));
+                frontier.push((idx, value));
+            }
+        }
+        stats.constraint_evals = compiled.eval_stats(&evals);
+        stats.solve_time = start.elapsed();
+
+        let blevel = semiring.sum(frontier.iter().map(|(_, v)| v));
+        let best: Vec<(Assignment, S::Value)> = frontier
+            .into_iter()
+            .filter(|(_, v)| !semiring.is_zero(v))
+            .map(|(idx, v)| (compiled.con_assignment(&idx), v))
+            .collect();
+        Ok(Solution::new(blevel, best, None).with_stats(stats))
+    }
+
+    fn solve_lazy<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        let start = Instant::now();
         let semiring = problem.semiring().clone();
         let vars = problem.problem_vars();
         let domains: Vec<&crate::Domain> = vars
@@ -95,10 +165,19 @@ impl<S: Semiring> Solver<S> for ParetoBranchAndBound {
             completing: &completing,
             slots: vec![None; vars.len()],
             frontier: Vec::new(),
+            nodes: 0,
+            prunings: 0,
         };
         let root = search.apply_completed(0, semiring.one());
         search.dfs(0, root);
 
+        let stats = SolverStats {
+            nodes: search.nodes,
+            prunings: search.prunings,
+            threads: 1,
+            solve_time: start.elapsed(),
+            ..SolverStats::default()
+        };
         let con: Vec<Var> = problem.con().to_vec();
         let blevel = semiring.sum(search.frontier.iter().map(|(_, v)| v));
         let best: Vec<(Assignment, S::Value)> = search
@@ -113,7 +192,90 @@ impl<S: Semiring> Solver<S> for ParetoBranchAndBound {
                 (eta, v)
             })
             .collect();
-        Ok(Solution::new(blevel, best, None))
+        Ok(Solution::new(blevel, best, None).with_stats(stats))
+    }
+}
+
+impl<S: Semiring> Solver<S> for ParetoBranchAndBound {
+    fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+        if self.config.compiled {
+            self.solve_compiled(problem)
+        } else {
+            self.solve_lazy(problem)
+        }
+    }
+}
+
+struct ParetoWorker<'a, S: Semiring> {
+    semiring: &'a S,
+    compiled: &'a CompiledProblem<S>,
+    idx: Vec<usize>,
+    scratch: Vec<Val>,
+    /// Non-dominated `(index tuple, value)` incumbents, in leaf order.
+    frontier: Vec<(Vec<usize>, S::Value)>,
+    nodes: u64,
+    prunings: u64,
+    evals: Vec<u64>,
+}
+
+impl<'a, S: Semiring> ParetoWorker<'a, S> {
+    fn run(&mut self, range: std::ops::Range<usize>) {
+        let n = self.compiled.vars().len();
+        let root = self.compiled.apply_completed(
+            0,
+            self.semiring.one(),
+            &self.idx,
+            &mut self.scratch,
+            &mut self.evals,
+        );
+        if n == 0 {
+            if !range.is_empty() {
+                self.dfs(0, root);
+            }
+            return;
+        }
+        for i in range {
+            self.idx[0] = i;
+            let value = self.compiled.apply_completed(
+                1,
+                root.clone(),
+                &self.idx,
+                &mut self.scratch,
+                &mut self.evals,
+            );
+            self.dfs(1, value);
+        }
+    }
+
+    fn dfs(&mut self, depth: usize, value: S::Value) {
+        self.nodes += 1;
+        let dominated = self.semiring.is_zero(&value)
+            || self
+                .frontier
+                .iter()
+                .any(|(_, incumbent)| self.semiring.leq(&value, incumbent));
+        if dominated {
+            self.prunings += 1;
+            return;
+        }
+        if depth == self.compiled.vars().len() {
+            let semiring = self.semiring;
+            self.frontier
+                .retain(|(_, incumbent)| !semiring.lt(incumbent, &value));
+            self.frontier.push((self.idx.clone(), value));
+            return;
+        }
+        for i in 0..self.compiled.sizes()[depth] {
+            self.idx[depth] = i;
+            let next = self.compiled.apply_completed(
+                depth + 1,
+                value.clone(),
+                &self.idx,
+                &mut self.scratch,
+                &mut self.evals,
+            );
+            self.dfs(depth + 1, next);
+        }
     }
 }
 
@@ -126,6 +288,8 @@ struct ParetoSearch<'a, S: Semiring> {
     slots: Vec<Option<Val>>,
     /// Non-dominated `(complete assignment, value)` incumbents.
     frontier: Vec<(Assignment, S::Value)>,
+    nodes: u64,
+    prunings: u64,
 }
 
 impl<'a, S: Semiring> ParetoSearch<'a, S> {
@@ -158,7 +322,9 @@ impl<'a, S: Semiring> ParetoSearch<'a, S> {
     }
 
     fn dfs(&mut self, depth: usize, value: S::Value) {
+        self.nodes += 1;
         if self.dominated(&value) {
+            self.prunings += 1;
             return;
         }
         if depth == self.vars.len() {
@@ -199,7 +365,7 @@ mod tests {
 
     fn offers_problem(offers: &'static [(f64, f64)]) -> Scsp<CostRel> {
         let s = cost_rel();
-        Scsp::new(s.clone())
+        Scsp::new(s)
             .with_domain("p", Domain::ints(0..offers.len() as i64))
             .with_constraint(Constraint::unary(s, "p", move |v| {
                 let (cost, rel) = offers[v.as_int().unwrap() as usize];
@@ -217,7 +383,11 @@ mod tests {
         let reference = EnumerationSolver::new().solve(&p).unwrap();
         assert_eq!(pareto.blevel(), reference.blevel());
         let mut a: Vec<String> = pareto.best().iter().map(|(e, _)| e.to_string()).collect();
-        let mut b: Vec<String> = reference.best().iter().map(|(e, _)| e.to_string()).collect();
+        let mut b: Vec<String> = reference
+            .best()
+            .iter()
+            .map(|(e, _)| e.to_string())
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);
@@ -235,7 +405,7 @@ mod tests {
                 .map(|_| (rng.random(), rng.random_range(0..6)))
                 .collect();
             let t1 = table.clone();
-            let p = Scsp::new(s.clone())
+            let p = Scsp::new(s)
                 .with_domain("x", Domain::ints(0..6))
                 .with_domain("y", Domain::ints(0..6))
                 .with_constraint(Constraint::binary(s, "x", "y", move |a, b| {
@@ -249,8 +419,7 @@ mod tests {
             // every variable (Pareto keeps one representative per
             // value, enumeration keeps every witnessing tuple).
             let values = |sol: &crate::Solution<_>| {
-                let mut v: Vec<String> =
-                    sol.best().iter().map(|(_, l)| format!("{l:?}")).collect();
+                let mut v: Vec<String> = sol.best().iter().map(|(_, l)| format!("{l:?}")).collect();
                 v.sort();
                 v.dedup();
                 v
@@ -276,7 +445,7 @@ mod tests {
     #[test]
     fn inconsistent_problems_yield_empty_frontier() {
         let s = cost_rel();
-        let p = Scsp::new(s.clone())
+        let p = Scsp::new(s)
             .with_domain("p", Domain::ints(0..3))
             .with_constraint(Constraint::never(s))
             .of_interest(["p"]);
@@ -292,5 +461,45 @@ mod tests {
         let p = offers_problem(&[(10.0, 0.9), (10.0, 0.9)]);
         let solution = ParetoBranchAndBound::new().solve(&p).unwrap();
         assert_eq!(solution.best().len(), 1);
+    }
+
+    #[test]
+    fn compiled_and_parallel_reproduce_the_lazy_frontier() {
+        use crate::solve::{Parallelism, SolverConfig};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = Product::new(Boolean, WeightedInt);
+            let table: Vec<(bool, u64)> = (0..16)
+                .map(|_| (rng.random(), rng.random_range(0..5)))
+                .collect();
+            let t1 = table.clone();
+            let p = Scsp::new(s)
+                .with_domain("x", Domain::ints(0..4))
+                .with_domain("y", Domain::ints(0..4))
+                .with_constraint(Constraint::binary(s, "x", "y", move |a, b| {
+                    t1[(a.as_int().unwrap() * 4 + b.as_int().unwrap()) as usize]
+                }))
+                .of_interest(["x", "y"]);
+            let lazy = ParetoBranchAndBound::with_config(SolverConfig::reference())
+                .solve(&p)
+                .unwrap();
+            for threads in [1, 2, 3] {
+                let cfg = SolverConfig::default().with_parallelism(Parallelism::Threads(threads));
+                let fast = ParetoBranchAndBound::with_config(cfg).solve(&p).unwrap();
+                assert_eq!(fast.blevel(), lazy.blevel(), "seed {seed} x{threads}");
+                // The merged frontier must list the *same
+                // representatives in the same order* as the
+                // sequential run.
+                let render = |sol: &crate::Solution<_>| -> Vec<String> {
+                    sol.best()
+                        .iter()
+                        .map(|(eta, v)| format!("{eta} -> {v:?}"))
+                        .collect()
+                };
+                assert_eq!(render(&fast), render(&lazy), "seed {seed} x{threads}");
+            }
+        }
     }
 }

@@ -83,11 +83,7 @@ pub fn prune_zero_supports<S: Semiring>(
             let scope = constraint.scope().to_vec();
             for var in &scope {
                 let domain = pruned.domains().get(var)?.clone();
-                let others: Vec<Var> = scope
-                    .iter()
-                    .filter(|v| *v != var)
-                    .cloned()
-                    .collect();
+                let others: Vec<Var> = scope.iter().filter(|v| *v != var).cloned().collect();
                 // Note: for a unary constraint `others` is empty and
                 // `tuples` yields exactly one empty tuple.
                 let other_tuples: Vec<Vec<Val>> = pruned.domains().tuples(&others)?.collect();
@@ -149,9 +145,7 @@ pub fn prune_zero_supports<S: Semiring>(
 ///
 /// Returns [`SolveError::MissingDomain`] if a constraint mentions a
 /// variable without a domain.
-pub fn add_unary_projections<S: IdempotentTimes>(
-    problem: &Scsp<S>,
-) -> Result<Scsp<S>, SolveError> {
+pub fn add_unary_projections<S: IdempotentTimes>(problem: &Scsp<S>) -> Result<Scsp<S>, SolveError> {
     let mut extended = problem.clone();
     for constraint in problem.constraints() {
         if constraint.scope().len() < 2 {
@@ -193,8 +187,16 @@ mod tests {
         // x = 3 has no y > 3; y = 0 has no x < 0.
         assert_eq!(report.removed_values, 2);
         assert!(!report.wiped_out);
-        assert!(!pruned.domains().get(&Var::new("x")).unwrap().contains(&Val::Int(3)));
-        assert!(!pruned.domains().get(&Var::new("y")).unwrap().contains(&Val::Int(0)));
+        assert!(!pruned
+            .domains()
+            .get(&Var::new("x"))
+            .unwrap()
+            .contains(&Val::Int(3)));
+        assert!(!pruned
+            .domains()
+            .get(&Var::new("y"))
+            .unwrap()
+            .contains(&Val::Int(0)));
     }
 
     #[test]

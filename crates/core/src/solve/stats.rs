@@ -1,0 +1,66 @@
+//! Instrumentation counters threaded through [`Solution`](crate::solve::Solution).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Per-operand evaluation counters collected by the compiled engine.
+///
+/// One entry per `⊗`-operand of the compiled problem (combine DAGs are
+/// flattened first, so an operand is always a leaf constraint).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintEvalStats {
+    /// The operand's label, or `c{i}` when unlabeled.
+    pub label: String,
+    /// How many times the operand was evaluated during the search.
+    ///
+    /// Dense operands count slice lookups; lazy operands count calls
+    /// into the underlying constraint.
+    pub evals: u64,
+    /// Number of cells in the operand's dense table (`0` when the
+    /// operand stayed lazy because its table would exceed
+    /// [`DENSE_TABLE_LIMIT`](crate::compile::DENSE_TABLE_LIMIT)).
+    pub dense_cells: usize,
+    /// Time spent materialising the dense table at compile time.
+    pub materialize_time: Duration,
+}
+
+/// Counters describing one solver run.
+///
+/// Attached to [`Solution`](crate::solve::Solution) by every solver;
+/// the compiled engine additionally fills the per-operand
+/// [`constraint_evals`](SolverStats::constraint_evals).
+#[derive(Debug, Clone, Default)]
+pub struct SolverStats {
+    /// Search-tree nodes visited (for enumeration: prefixes explored).
+    pub nodes: u64,
+    /// Subtrees pruned (bound, domination or zero-absorption cuts).
+    pub prunings: u64,
+    /// Worker threads used (`1` for sequential runs).
+    pub threads: usize,
+    /// Time spent compiling the problem (flattening, embeddings, dense
+    /// tables); zero on lazy paths.
+    pub compile_time: Duration,
+    /// Wall-clock time of the whole solve, compilation included.
+    pub solve_time: Duration,
+    /// Per-operand evaluation counters (compiled paths only).
+    pub constraint_evals: Vec<ConstraintEvalStats>,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes: {}, prunings: {}, threads: {}, compile: {:?}, solve: {:?}",
+            self.nodes, self.prunings, self.threads, self.compile_time, self.solve_time
+        )?;
+        for c in &self.constraint_evals {
+            write!(f, "\n  {}: {} evals", c.label, c.evals)?;
+            if c.dense_cells > 0 {
+                write!(f, " (dense, {} cells)", c.dense_cells)?;
+            } else {
+                write!(f, " (lazy)")?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -18,7 +18,7 @@ pub(crate) fn fig1_problem() -> Scsp<WeightedInt> {
         .with_constraint(
             Constraint::table(
                 WeightedInt,
-                &[x.clone()],
+                std::slice::from_ref(&x),
                 [(vec![Val::sym("a")], 1), (vec![Val::sym("b")], 9)],
                 u64::MAX,
             )
@@ -41,7 +41,7 @@ pub(crate) fn fig1_problem() -> Scsp<WeightedInt> {
         .with_constraint(
             Constraint::table(
                 WeightedInt,
-                &[y.clone()],
+                std::slice::from_ref(&y),
                 [(vec![Val::sym("a")], 5), (vec![Val::sym("b")], 5)],
                 u64::MAX,
             )

@@ -50,11 +50,8 @@ fn constraint_strategy() -> impl Strategy<Value = Constraint<WeightedInt>> {
         proptest::collection::vec(prop_oneof![4 => 0u64..8, 1 => Just(u64::MAX)], rows).prop_map(
             move |levels| {
                 let doms = doms();
-                let entries: Vec<(Vec<Val>, u64)> = doms
-                    .tuples(&scope)
-                    .unwrap()
-                    .zip(levels)
-                    .collect();
+                let entries: Vec<(Vec<Val>, u64)> =
+                    doms.tuples(&scope).unwrap().zip(levels).collect();
                 Constraint::table(WeightedInt, &scope, entries, u64::MAX)
             },
         )

@@ -70,9 +70,7 @@ impl Attribute {
             // "availability and reliability can be modeled [as additive
             // metrics]"; "also availability can be represented with a
             // percentage value".
-            Attribute::Availability => {
-                &[MetricClass::Additive, MetricClass::Multiplicative]
-            }
+            Attribute::Availability => &[MetricClass::Additive, MetricClass::Multiplicative],
             // "the frequency of system faults can [be] studied from a
             // probabilistic point of view"; fuzzy when detailed
             // information is not available.

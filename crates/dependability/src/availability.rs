@@ -95,11 +95,9 @@ pub fn redundancy_constraint(
     model: ComponentModel,
 ) -> Constraint<Probabilistic> {
     let base = model.availability();
-    Constraint::unary(Probabilistic, variable, move |v| {
-        match v.as_int() {
-            Some(n) if n > 0 => replicated(base, n as u32),
-            _ => Unit::MIN,
-        }
+    Constraint::unary(Probabilistic, variable, move |v| match v.as_int() {
+        Some(n) if n > 0 => replicated(base, n as u32),
+        _ => Unit::MIN,
     })
     .with_label("availability(replicas)")
 }
@@ -127,11 +125,19 @@ mod tests {
     #[test]
     fn degenerate_models() {
         assert_eq!(
-            ComponentModel { mtbf_hours: 0.0, mttr_hours: 5.0 }.availability(),
+            ComponentModel {
+                mtbf_hours: 0.0,
+                mttr_hours: 5.0
+            }
+            .availability(),
             Unit::MIN
         );
         assert_eq!(
-            ComponentModel { mtbf_hours: 100.0, mttr_hours: 0.0 }.availability(),
+            ComponentModel {
+                mtbf_hours: 100.0,
+                mttr_hours: 0.0
+            }
+            .availability(),
             Unit::MAX
         );
     }

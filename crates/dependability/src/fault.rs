@@ -149,7 +149,11 @@ mod tests {
     fn campaign_reproduces_the_paper_imp2_result() {
         let doms = photo::domains(4096, 1024);
         let verdicts = single_fault_campaign(
-            &[photo::red_filter(), photo::bw_filter(), photo::compression()],
+            &[
+                photo::red_filter(),
+                photo::bw_filter(),
+                photo::compression(),
+            ],
             &photo::memory(),
             &photo::interface(),
             &doms,

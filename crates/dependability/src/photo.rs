@@ -132,9 +132,7 @@ pub fn interface() -> Vec<Var> {
 pub fn stage_reliability(input_kb: i64, output_kb: i64) -> Unit {
     if input_kb <= 1024 {
         Unit::MAX
-    } else if input_kb > 4096 {
-        Unit::MIN
-    } else if output_kb <= 0 {
+    } else if input_kb > 4096 || output_kb <= 0 {
         Unit::MIN
     } else {
         Unit::clamped(1.0 - input_kb as f64 / (100.0 * output_kb as f64))
@@ -173,12 +171,8 @@ pub fn imp3() -> Constraint<Probabilistic> {
 /// The client's minimum-reliability requirement `MemoryProb`: a
 /// constant demanded level over the interface variables.
 pub fn memory_prob(min_reliability: Unit) -> Constraint<Probabilistic> {
-    Constraint::from_fn(
-        Probabilistic,
-        &interface(),
-        move |_| min_reliability,
-    )
-    .with_label("MemoryProb")
+    Constraint::from_fn(Probabilistic, &interface(), move |_| min_reliability)
+        .with_label("MemoryProb")
 }
 
 /// Finds the most reliable end-to-end configuration: the assignment of
@@ -231,7 +225,6 @@ pub fn best_configuration(
         .best()
         .first()
         .cloned()
-        .map(|(eta, level)| (eta, level))
         .unwrap_or_else(|| (softsoa_core::Assignment::new(), Unit::MIN));
     Ok(best)
 }

@@ -431,8 +431,7 @@ impl<S: Semiring> Program<S> {
         params: impl IntoIterator<Item = Var>,
         body: Agent<S>,
     ) -> Program<S> {
-        self.clauses
-            .insert(name.into(), Clause::new(params, body));
+        self.clauses.insert(name.into(), Clause::new(params, body));
         self
     }
 
@@ -547,11 +546,8 @@ mod tests {
 
     #[test]
     fn program_lookup() {
-        let p: Program<WeightedInt> = Program::new().with_clause(
-            "p",
-            [Var::new("x")],
-            Agent::success(),
-        );
+        let p: Program<WeightedInt> =
+            Program::new().with_clause("p", [Var::new("x")], Agent::success());
         assert!(p.clause("p").is_some());
         assert!(p.clause("q").is_none());
         assert_eq!(p.len(), 1);

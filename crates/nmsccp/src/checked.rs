@@ -281,9 +281,7 @@ mod tests {
         // σ ⊑ (x) holds: x + 5 is pointwise worse than x.
         let iv = Interval::level_to_constraint(u64::MAX, weaker);
         assert!(iv.check(&store).unwrap());
-        let stronger = Constraint::unary(WeightedInt, "x", |v| {
-            2 * v.as_int().unwrap() as u64 + 9
-        });
+        let stronger = Constraint::unary(WeightedInt, "x", |v| 2 * v.as_int().unwrap() as u64 + 9);
         let iv = Interval::level_to_constraint(u64::MAX, stronger);
         assert!(!iv.check(&store).unwrap());
     }
@@ -291,10 +289,8 @@ mod tests {
     #[test]
     fn c3_constraint_lower() {
         let store = store_with_level(5); // σ = x + 5
-        // φ1 ⊑ σ requires φ1 pointwise worse than the store.
-        let phi1 = Constraint::unary(WeightedInt, "x", |v| {
-            2 * v.as_int().unwrap() as u64 + 9
-        });
+                                         // φ1 ⊑ σ requires φ1 pointwise worse than the store.
+        let phi1 = Constraint::unary(WeightedInt, "x", |v| 2 * v.as_int().unwrap() as u64 + 9);
         let iv = Interval::constraint_to_level(phi1, 0u64);
         assert!(iv.check(&store).unwrap());
         let phi_bad = Constraint::unary(WeightedInt, "x", |_| 0u64);
@@ -305,9 +301,7 @@ mod tests {
     #[test]
     fn c4_constraint_bounds() {
         let store = store_with_level(5);
-        let worse = Constraint::unary(WeightedInt, "x", |v| {
-            3 * v.as_int().unwrap() as u64 + 9
-        });
+        let worse = Constraint::unary(WeightedInt, "x", |v| 3 * v.as_int().unwrap() as u64 + 9);
         let better = Constraint::unary(WeightedInt, "x", |_| 0u64);
         let iv = Interval::constraints(worse.clone(), better.clone());
         assert!(iv.check(&store).unwrap());

@@ -161,9 +161,9 @@ impl<S: Residuated> ConcurrentExecutor<S> {
                 let program = &self.program;
                 let max_steps = self.max_steps_per_agent;
                 let seed = self.seed;
-                handles.push(scope.spawn(move || {
-                    agent_loop(index, agent, program, shared, max_steps, seed)
-                }));
+                handles.push(
+                    scope.spawn(move || agent_loop(index, agent, program, shared, max_steps, seed)),
+                );
             }
             for handle in handles {
                 reports.push(handle.join().expect("agent thread panicked"));

@@ -116,11 +116,7 @@ impl<S: Residuated> Explorer<S> {
     ///
     /// Returns [`SemanticsError`] if any configuration's transitions
     /// cannot be computed (missing domains, unknown procedures, ...).
-    pub fn explore(
-        &self,
-        agent: Agent<S>,
-        store: Store<S>,
-    ) -> Result<Exploration, SemanticsError> {
+    pub fn explore(&self, agent: Agent<S>, store: Store<S>) -> Result<Exploration, SemanticsError> {
         let mut fresh = FreshGen::new();
         let mut seen: HashSet<String> = HashSet::new();
         let mut queue: VecDeque<(Agent<S>, Store<S>, usize)> = VecDeque::new();
@@ -278,7 +274,11 @@ mod tests {
             Agent::tell(
                 lin(1, 5, "c4"),
                 any(),
-                Agent::retract(lin(1, 3, "c1"), Interval::levels(10u64, 2u64), Agent::success()),
+                Agent::retract(
+                    lin(1, 3, "c1"),
+                    Interval::levels(10u64, 2u64),
+                    Agent::success(),
+                ),
             ),
             Agent::tell(
                 lin(2, 0, "c3"),
@@ -309,7 +309,9 @@ mod tests {
         let first = Agent::tell(lin(0, 1, "one"), any(), Agent::success());
         let second = Agent::tell(lin(0, 1, "one-more"), any(), Agent::success());
         let agent = Agent::par(first, Agent::par(asker, second));
-        let v = Explorer::new(Program::new()).explore(agent, store()).unwrap();
+        let v = Explorer::new(Program::new())
+            .explore(agent, store())
+            .unwrap();
         assert!(v.success_reachable);
         assert!(!v.always_succeeds);
         assert!(v.deadlock_reachable);
@@ -318,10 +320,20 @@ mod tests {
     #[test]
     fn nondeterministic_sums_fan_out() {
         let agent = Agent::sum([
-            Guard::nask(lin(1, 1, "a"), any(), Agent::tell(lin(0, 1, "ta"), any(), Agent::success())),
-            Guard::nask(lin(2, 2, "b"), any(), Agent::tell(lin(0, 2, "tb"), any(), Agent::success())),
+            Guard::nask(
+                lin(1, 1, "a"),
+                any(),
+                Agent::tell(lin(0, 1, "ta"), any(), Agent::success()),
+            ),
+            Guard::nask(
+                lin(2, 2, "b"),
+                any(),
+                Agent::tell(lin(0, 2, "tb"), any(), Agent::success()),
+            ),
         ]);
-        let v = Explorer::new(Program::new()).explore(agent, store()).unwrap();
+        let v = Explorer::new(Program::new())
+            .explore(agent, store())
+            .unwrap();
         assert!(v.success_reachable);
         assert!(v.always_succeeds);
         // Both branches and both final stores are distinct configs.

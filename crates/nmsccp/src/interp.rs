@@ -241,12 +241,20 @@ mod tests {
         let p1 = Agent::tell(
             linear(1, 5, "c4"),
             any(),
-            Agent::tell(sp2.clone(), any(), Agent::ask(sp1.clone(), Interval::levels(10u64, 2u64), Agent::success())),
+            Agent::tell(
+                sp2.clone(),
+                any(),
+                Agent::ask(sp1.clone(), Interval::levels(10u64, 2u64), Agent::success()),
+            ),
         );
         let p2 = Agent::tell(
             linear(2, 0, "c3"),
             any(),
-            Agent::tell(sp1, any(), Agent::ask(sp2, Interval::levels(4u64, 1u64), Agent::success())),
+            Agent::tell(
+                sp1,
+                any(),
+                Agent::ask(sp2, Interval::levels(4u64, 1u64), Agent::success()),
+            ),
         );
         let report = Interpreter::new(Program::new())
             .run(Agent::par(p1, p2), Store::empty(WeightedInt, doms()))
@@ -266,7 +274,11 @@ mod tests {
         let p1 = Agent::tell(
             linear(1, 5, "c4"),
             any(),
-            Agent::retract(linear(1, 3, "c1"), Interval::levels(10u64, 2u64), Agent::success()),
+            Agent::retract(
+                linear(1, 3, "c1"),
+                Interval::levels(10u64, 2u64),
+                Agent::success(),
+            ),
         );
         let p2 = Agent::tell(
             linear(2, 0, "c3"),
@@ -282,10 +294,7 @@ mod tests {
         // the parallel order (P1 ‖ P2) and let the scheduler find it.
         let report = Interpreter::new(Program::new())
             .with_policy(Policy::Random(7))
-            .run(
-                Agent::par(p1, p2),
-                Store::empty(WeightedInt, doms()),
-            )
+            .run(Agent::par(p1, p2), Store::empty(WeightedInt, doms()))
             .unwrap();
         // The run may deadlock under unlucky schedules (ask before
         // retract with level 5 ∉ [1,4] suspends, then retract enables
@@ -385,7 +394,10 @@ mod tests {
         let b = run();
         assert!(a.outcome.is_success());
         let notes: Vec<&str> = a.trace.iter().map(|t| t.note.as_str()).collect();
-        assert_eq!(notes, b.trace.iter().map(|t| t.note.as_str()).collect::<Vec<_>>());
+        assert_eq!(
+            notes,
+            b.trace.iter().map(|t| t.note.as_str()).collect::<Vec<_>>()
+        );
         assert_eq!(a.outcome.store().consistency().unwrap(), 6);
     }
 

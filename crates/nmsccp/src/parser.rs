@@ -57,11 +57,7 @@ impl<S: Semiring> ParseEnv<S> {
 
     /// Binds a constraint name (builder style). The constraint is also
     /// labelled with the name for readable traces.
-    pub fn with_constraint(
-        mut self,
-        name: impl Into<String>,
-        c: Constraint<S>,
-    ) -> ParseEnv<S> {
+    pub fn with_constraint(mut self, name: impl Into<String>, c: Constraint<S>) -> ParseEnv<S> {
         let name = name.into();
         let c = c.with_label(&name);
         self.constraints.insert(name, c);
@@ -86,7 +82,11 @@ impl<S: Semiring> ParseEnv<S> {
                 .levels
                 .get(name)
                 .map(|v| Bound::Level(v.clone()))
-                .or_else(|| self.constraints.get(name).map(|c| Bound::Constraint(c.clone()))),
+                .or_else(|| {
+                    self.constraints
+                        .get(name)
+                        .map(|c| Bound::Constraint(c.clone()))
+                }),
         }
     }
 }
@@ -277,15 +277,15 @@ impl<'a, S: Semiring> Parser<'a, S> {
         if !self.peek_symbol("+") {
             return Ok(first);
         }
-        let mut guards = self.into_guards(first)?;
+        let mut guards = self.sum_guards(first)?;
         while self.eat_symbol("+") {
             let next = self.prim()?;
-            guards.extend(self.into_guards(next)?);
+            guards.extend(self.sum_guards(next)?);
         }
         Ok(Agent::sum(guards))
     }
 
-    fn into_guards(&self, agent: Agent<S>) -> Result<Vec<Guard<S>>, ParseError> {
+    fn sum_guards(&self, agent: Agent<S>) -> Result<Vec<Guard<S>>, ParseError> {
         match agent {
             Agent::Sum(guards) => Ok(guards),
             _ => Err(self.error("only ask/nask guards can appear in a sum")),

@@ -268,11 +268,7 @@ fn enabled_rec<S: Residuated>(
         // R9: rename the bound variable to a fresh one (with the same
         // domain) and step the body.
         Agent::Hide { var, body } => {
-            let domain = store
-                .domains()
-                .get(var)
-                .map_err(StoreError::from)?
-                .clone();
+            let domain = store.domains().get(var).map_err(StoreError::from)?.clone();
             let y = fresh.next(var);
             let mut next_store = store.clone();
             next_store.declare(y.clone(), domain);
@@ -339,10 +335,7 @@ mod tests {
     use softsoa_semiring::WeightedInt;
 
     fn store() -> Store<WeightedInt> {
-        Store::empty(
-            WeightedInt,
-            Domains::new().with("x", Domain::ints(0..=10)),
-        )
+        Store::empty(WeightedInt, Domains::new().with("x", Domain::ints(0..=10)))
     }
 
     fn linear(a: u64, b: u64, name: &str) -> Constraint<WeightedInt> {
@@ -385,23 +378,47 @@ mod tests {
     fn ask_requires_entailment() {
         let base = store().tell(&linear(2, 2, "c")).unwrap();
         let weaker = linear(1, 1, "w");
-        let ask = Agent::ask(weaker.clone(), Interval::any(&WeightedInt), Agent::success());
-        assert_eq!(enabled(&prog(), &ask, &base, &mut FreshGen::new()).unwrap().len(), 1);
+        let ask = Agent::ask(
+            weaker.clone(),
+            Interval::any(&WeightedInt),
+            Agent::success(),
+        );
+        assert_eq!(
+            enabled(&prog(), &ask, &base, &mut FreshGen::new())
+                .unwrap()
+                .len(),
+            1
+        );
         // nask of the same constraint is disabled...
         let nask = Agent::nask(weaker, Interval::any(&WeightedInt), Agent::success());
-        assert!(enabled(&prog(), &nask, &base, &mut FreshGen::new()).unwrap().is_empty());
+        assert!(enabled(&prog(), &nask, &base, &mut FreshGen::new())
+            .unwrap()
+            .is_empty());
         // ...and vice versa for a non-entailed constraint.
         let stronger = linear(3, 3, "s");
         let nask2 = Agent::nask(stronger, Interval::any(&WeightedInt), Agent::success());
-        assert_eq!(enabled(&prog(), &nask2, &base, &mut FreshGen::new()).unwrap().len(), 1);
+        assert_eq!(
+            enabled(&prog(), &nask2, &base, &mut FreshGen::new())
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn sum_collects_all_enabled_branches() {
         let base = store().tell(&linear(1, 1, "c")).unwrap();
         let agent = Agent::sum([
-            crate::Guard::ask(linear(1, 0, "e"), Interval::any(&WeightedInt), Agent::success()),
-            crate::Guard::nask(linear(9, 9, "n"), Interval::any(&WeightedInt), Agent::success()),
+            crate::Guard::ask(
+                linear(1, 0, "e"),
+                Interval::any(&WeightedInt),
+                Agent::success(),
+            ),
+            crate::Guard::nask(
+                linear(9, 9, "n"),
+                Interval::any(&WeightedInt),
+                Agent::success(),
+            ),
         ]);
         let ts = enabled(&prog(), &agent, &base, &mut FreshGen::new()).unwrap();
         assert_eq!(ts.len(), 2);
@@ -409,8 +426,16 @@ mod tests {
 
     #[test]
     fn parallel_interleaves_and_dissolves_success() {
-        let a = Agent::tell(linear(0, 1, "a"), Interval::any(&WeightedInt), Agent::success());
-        let b = Agent::tell(linear(0, 2, "b"), Interval::any(&WeightedInt), Agent::success());
+        let a = Agent::tell(
+            linear(0, 1, "a"),
+            Interval::any(&WeightedInt),
+            Agent::success(),
+        );
+        let b = Agent::tell(
+            linear(0, 2, "b"),
+            Interval::any(&WeightedInt),
+            Agent::success(),
+        );
         let ts = enabled(&prog(), &Agent::par(a, b), &store(), &mut FreshGen::new()).unwrap();
         assert_eq!(ts.len(), 2);
         // Each transition leaves the *other* branch, not a Par wrapper.
@@ -500,8 +525,13 @@ mod tests {
     fn unproductive_recursion_hits_the_limit() {
         let program: Program<WeightedInt> =
             Program::new().with_clause("p", [], Agent::call("p", []));
-        let err = enabled(&program, &Agent::call("p", []), &store(), &mut FreshGen::new())
-            .unwrap_err();
+        let err = enabled(
+            &program,
+            &Agent::call("p", []),
+            &store(),
+            &mut FreshGen::new(),
+        )
+        .unwrap_err();
         assert_eq!(err, SemanticsError::RecursionLimit);
     }
 

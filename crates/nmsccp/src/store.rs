@@ -21,7 +21,10 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::MissingDomain(e) => write!(f, "{e}"),
             StoreError::NotEntailed => {
-                write!(f, "cannot retract a constraint that the store does not entail")
+                write!(
+                    f,
+                    "cannot retract a constraint that the store does not entail"
+                )
             }
         }
     }

@@ -138,8 +138,7 @@ impl<S: Residuated> TimedInterpreter<S> {
         let mut trace = Vec::new();
         let mut events = Vec::new();
         let mut steps = 0usize;
-        let mut schedule: Vec<(usize, &TimedEvent<S>)> =
-            self.schedule.iter().enumerate().collect();
+        let mut schedule: Vec<(usize, &TimedEvent<S>)> = self.schedule.iter().enumerate().collect();
         schedule.sort_by_key(|(i, e)| (e.at_step, *i));
         let mut next_event = 0usize;
 
@@ -283,7 +282,11 @@ mod tests {
 
     #[test]
     fn non_entailed_retraction_is_skipped() {
-        let agent = Agent::tell(lin(1, 1, "c"), Interval::any(&WeightedInt), Agent::success());
+        let agent = Agent::tell(
+            lin(1, 1, "c"),
+            Interval::any(&WeightedInt),
+            Agent::success(),
+        );
         let schedule = vec![TimedEvent {
             at_step: 0,
             action: TimedAction::Retract(lin(9, 9, "big")),

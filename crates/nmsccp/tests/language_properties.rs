@@ -31,9 +31,12 @@ fn any_iv() -> Interval<WeightedInt> {
 /// A random chain of tells over a small constraint pool.
 fn tell_chain_strategy() -> impl Strategy<Value = Agent<WeightedInt>> {
     proptest::collection::vec((0u64..3, 0u64..4), 1..4).prop_map(|coeffs| {
-        coeffs.into_iter().rev().fold(Agent::success(), |acc, (a, b)| {
-            Agent::tell(lin(a, b), any_iv(), acc)
-        })
+        coeffs
+            .into_iter()
+            .rev()
+            .fold(Agent::success(), |acc, (a, b)| {
+                Agent::tell(lin(a, b), any_iv(), acc)
+            })
     })
 }
 
@@ -44,15 +47,13 @@ fn agent_strategy() -> impl Strategy<Value = Agent<WeightedInt>> {
         (0u64..3, 0u64..4).prop_map(|(a, b)| Agent::tell(lin(a, b), any_iv(), Agent::success())),
         (0u64..3, 0u64..4).prop_map(|(a, b)| Agent::ask(lin(a, b), any_iv(), Agent::success())),
         (0u64..3, 0u64..4).prop_map(|(a, b)| Agent::nask(lin(a, b), any_iv(), Agent::success())),
-        (0u64..3, 0u64..4)
-            .prop_map(|(a, b)| Agent::retract(lin(a, b), any_iv(), Agent::success())),
+        (0u64..3, 0u64..4).prop_map(|(a, b)| Agent::retract(lin(a, b), any_iv(), Agent::success())),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Agent::par(a, b)),
-            ((0u64..3, 0u64..4), inner.clone()).prop_map(|((a, b), then)| {
-                Agent::tell(lin(a, b), any_iv(), then)
-            }),
+            ((0u64..3, 0u64..4), inner.clone())
+                .prop_map(|((a, b), then)| { Agent::tell(lin(a, b), any_iv(), then) }),
             ((0u64..3, 0u64..4), (0u64..3, 0u64..4), inner.clone(), inner).prop_map(
                 |((a1, b1), (a2, b2), t1, t2)| {
                     Agent::sum([

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn residuation_galois_property_sampled() {
         let s = Fuzzy;
-        let samples: Vec<Unit> = [0.0, 0.1, 0.3, 0.5, 0.8, 1.0].iter().map(|&v| u(v)).collect();
+        let samples: Vec<Unit> = [0.0, 0.1, 0.3, 0.5, 0.8, 1.0]
+            .iter()
+            .map(|&v| u(v))
+            .collect();
         for a in &samples {
             for b in &samples {
                 let d = s.div(a, b);

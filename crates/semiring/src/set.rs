@@ -50,7 +50,10 @@ pub struct NotInUniverseError(());
 
 impl fmt::Display for NotInUniverseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "set value contains elements outside the semiring universe")
+        write!(
+            f,
+            "set value contains elements outside the semiring universe"
+        )
     }
 }
 

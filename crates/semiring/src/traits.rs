@@ -193,10 +193,10 @@ mod tests {
     fn sum_and_product_identities() {
         let s = Boolean;
         let empty: [bool; 0] = [];
-        assert_eq!(s.sum(empty.iter()), false);
-        assert_eq!(s.product(empty.iter()), true);
-        assert_eq!(s.sum([true, false].iter()), true);
-        assert_eq!(s.product([true, false].iter()), false);
+        assert!(!s.sum(empty.iter()));
+        assert!(s.product(empty.iter()));
+        assert!(s.sum([true, false].iter()));
+        assert!(!s.product([true, false].iter()));
     }
 
     #[test]

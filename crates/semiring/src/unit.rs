@@ -76,6 +76,10 @@ impl Unit {
     }
 
     /// Multiplies two unit values (stays in `[0, 1]`).
+    ///
+    /// An inherent method rather than `std::ops::Mul` so call sites
+    /// stay explicit that this is semiring ×, not float arithmetic.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Unit) -> Unit {
         Unit(self.0 * rhs.0)
     }

@@ -8,8 +8,8 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use softsoa_semiring::{
-    laws, Boolean, Capacity, Fuzzy, Lukasiewicz, Probabilistic, Product, SetSemiring, Unit,
-    Weight, Weighted, WeightedInt,
+    laws, Boolean, Capacity, Fuzzy, Lukasiewicz, Probabilistic, Product, SetSemiring, Unit, Weight,
+    Weighted, WeightedInt,
 };
 use std::collections::BTreeSet;
 

@@ -19,8 +19,8 @@ use softsoa_core::{Assignment, Constraint, Domain, Domains, Scsp, SolveError, Va
 use softsoa_nmsccp::{Agent, Interpreter, Interval, Outcome, Program, SemanticsError, Store};
 use softsoa_semiring::{Residuated, Semiring};
 
-use crate::{QosOffer, Registry, ServiceDescription, ServiceId};
 use crate::registry::ProviderId;
+use crate::{QosOffer, Registry, ServiceDescription, ServiceId};
 
 /// A client's request for a service binding (protocol step 1).
 #[derive(Debug, Clone)]
@@ -350,19 +350,15 @@ impl<S: Residuated> Broker<S> {
                 Agent::success(),
             ),
         );
-        let domains =
-            Domains::new().with(request.variable.clone(), request.domain.clone());
+        let domains = Domains::new().with(request.variable.clone(), request.domain.clone());
         let store = Store::empty(self.semiring.clone(), domains.clone());
-        let report = Interpreter::new(Program::new())
-            .run(Agent::par(provider, client), store)?;
+        let report = Interpreter::new(Program::new()).run(Agent::par(provider, client), store)?;
 
         let final_store = match report.outcome {
             Outcome::Success { store } => store,
             _ => return Ok(None),
         };
-        let agreed_level = final_store
-            .consistency()
-            .map_err(SemanticsError::from)?;
+        let agreed_level = final_store.consistency().map_err(SemanticsError::from)?;
 
         // The concrete binding: the best value of the negotiation
         // variable under the agreed store.
@@ -419,7 +415,9 @@ mod tests {
         let mut registry = Registry::new();
         registry.publish(fuzzy_provider("svc-1", vec![(1, 1.0), (9, 0.0)]));
         let broker = Broker::new(Fuzzy, registry);
-        let sla = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap();
+        let sla = broker
+            .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap();
         assert_eq!(sla.agreed_level, Unit::new(0.5).unwrap());
         // The agreement is at the intersection x = 5.
         let (eta, level) = sla.binding.unwrap();
@@ -435,7 +433,9 @@ mod tests {
         registry.publish(fuzzy_provider("svc-steep", vec![(1, 1.0), (9, 0.0)]));
         registry.publish(fuzzy_provider("svc-flat", vec![(1, 0.8), (9, 0.8)]));
         let broker = Broker::new(Fuzzy, registry);
-        let sla = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap();
+        let sla = broker
+            .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap();
         assert_eq!(sla.service, ServiceId::new("svc-flat"));
         assert_eq!(sla.agreed_level, Unit::new(0.8).unwrap());
     }
@@ -447,7 +447,9 @@ mod tests {
         // floor of 0.3.
         registry.publish(fuzzy_provider("svc-bad", vec![(1, 0.2), (9, 0.2)]));
         let broker = Broker::new(Fuzzy, registry);
-        let err = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap_err();
+        let err = broker
+            .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap_err();
         assert!(matches!(err, NegotiationError::NoAgreement(_)));
     }
 
@@ -458,8 +460,7 @@ mod tests {
         let broker = Broker::new(Fuzzy, registry);
         let mut request = fig5_request();
         // Fuzzy: lower 0.9 is better than upper 0.2 → contradictory.
-        request.acceptance =
-            Interval::levels(Unit::new(0.9).unwrap(), Unit::new(0.2).unwrap());
+        request.acceptance = Interval::levels(Unit::new(0.9).unwrap(), Unit::new(0.2).unwrap());
         let err = broker.negotiate(&request, QosOffer::to_fuzzy).unwrap_err();
         assert!(matches!(err, NegotiationError::InvalidAcceptance(_)));
     }
@@ -467,7 +468,9 @@ mod tests {
     #[test]
     fn missing_capability_is_no_provider() {
         let broker = Broker::new(Fuzzy, Registry::new());
-        let err = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap_err();
+        let err = broker
+            .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap_err();
         assert!(matches!(err, NegotiationError::NoProvider(_)));
     }
 
@@ -485,7 +488,9 @@ mod tests {
             }),
         ));
         let broker = Broker::new(Fuzzy, registry);
-        let err = broker.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap_err();
+        let err = broker
+            .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap_err();
         assert!(matches!(err, NegotiationError::NoAgreement(_)));
     }
 
@@ -502,7 +507,10 @@ mod tests {
             QosDocument::new("svc").with_offer(QosOffer {
                 attribute: Attribute::Reliability,
                 variable: "x".into(),
-                shape: OfferShape::Linear { slope: 2.0, intercept: 0.0 }, // c3 = 2x
+                shape: OfferShape::Linear {
+                    slope: 2.0,
+                    intercept: 0.0,
+                }, // c3 = 2x
             }),
         ));
         let request = NegotiationRequest {
@@ -588,10 +596,7 @@ mod tests {
             constraint: Constraint::unary(Weighted, "x", |v| {
                 Weight::saturating(v.as_int().unwrap() as f64 + 1.0)
             }),
-            acceptance: Interval::levels(
-                Weight::new(6.0).unwrap(),
-                Weight::new(1.0).unwrap(),
-            ),
+            acceptance: Interval::levels(Weight::new(6.0).unwrap(), Weight::new(1.0).unwrap()),
         };
         let broker = Broker::new(Weighted, registry);
         let sla = broker.negotiate(&request, QosOffer::to_weighted).unwrap();

@@ -276,8 +276,7 @@ mod tests {
                 binding: None,
             },
         ];
-        let verdicts =
-            Orchestrator::check_slas(&report, &slas, |sla| sla.agreed_level, 0.02);
+        let verdicts = Orchestrator::check_slas(&report, &slas, |sla| sla.agreed_level, 0.02);
         assert_eq!(verdicts.len(), 2);
         assert!(!verdicts[0].violated);
         assert!(verdicts[1].violated);

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use softsoa_core::solve::{BranchAndBound, ParetoBranchAndBound, Solver, VarOrder};
+use softsoa_core::solve::{BranchAndBound, ParetoBranchAndBound, Solver, SolverConfig, VarOrder};
 use softsoa_core::{Assignment, Constraint, Domain, Scsp, SolveError, Val, Var};
 use softsoa_semiring::{Residuated, Semiring};
 
@@ -246,12 +246,30 @@ impl<S: Residuated> Broker<S> {
     where
         F: Fn(&QosOffer) -> Constraint<S>,
     {
+        self.query_with(query, translate, &SolverConfig::default())
+    }
+
+    /// Like [`Broker::query`] but under an explicit solver engine
+    /// configuration (compiled evaluation, worker threads).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Broker::query`].
+    pub fn query_with<F>(
+        &self,
+        query: &ServiceQuery<S>,
+        translate: F,
+        config: &SolverConfig,
+    ) -> Result<QueryPlan<S>, QueryError>
+    where
+        F: Fn(&QosOffer) -> Constraint<S>,
+    {
         let semiring = self.semiring().clone();
         let problem = self.compile_query(query, translate)?;
         let solution = if semiring.is_total() {
-            BranchAndBound::new(VarOrder::MostConstrained).solve(&problem)?
+            BranchAndBound::with_config(VarOrder::MostConstrained, *config).solve(&problem)?
         } else {
-            ParetoBranchAndBound::new().solve(&problem)?
+            ParetoBranchAndBound::with_config(*config).solve(&problem)?
         };
         let Some((eta, level)) = solution.best().first() else {
             return Err(QueryError::NoPlan);
@@ -326,8 +344,18 @@ mod tests {
     #[test]
     fn single_stage_query_picks_best_provider() {
         let mut registry = Registry::new();
-        registry.publish(provider("a", "filter", "f", OfferShape::Constant { level: 0.8 }));
-        registry.publish(provider("b", "filter", "f", OfferShape::Constant { level: 0.95 }));
+        registry.publish(provider(
+            "a",
+            "filter",
+            "f",
+            OfferShape::Constant { level: 0.8 },
+        ));
+        registry.publish(provider(
+            "b",
+            "filter",
+            "f",
+            OfferShape::Constant { level: 0.95 },
+        ));
         let broker = Broker::new(Probabilistic, registry);
         let query = ServiceQuery {
             stages: vec![stage(
@@ -358,24 +386,39 @@ mod tests {
             "s1",
             "stage1",
             "q1",
-            OfferShape::Linear { slope: 5.0, intercept: 1.0 },
+            OfferShape::Linear {
+                slope: 5.0,
+                intercept: 1.0,
+            },
         ));
         registry.publish(provider(
             "s2",
             "stage2",
             "q2",
-            OfferShape::Linear { slope: 3.0, intercept: 1.0 },
+            OfferShape::Linear {
+                slope: 3.0,
+                intercept: 1.0,
+            },
         ));
         let broker = Broker::new(Weighted, registry);
-        let quality_floor = Constraint::crisp(
-            Weighted,
-            &softsoa_core::vars(["q1", "q2"]),
-            |vals| vals[0].as_int().unwrap() + vals[1].as_int().unwrap() >= 1,
-        );
+        let quality_floor =
+            Constraint::crisp(Weighted, &softsoa_core::vars(["q1", "q2"]), |vals| {
+                vals[0].as_int().unwrap() + vals[1].as_int().unwrap() >= 1
+            });
         let query = ServiceQuery {
             stages: vec![
-                stage("stage1", "q1", Domain::ints(0..=1), Constraint::always(Weighted)),
-                stage("stage2", "q2", Domain::ints(0..=1), Constraint::always(Weighted)),
+                stage(
+                    "stage1",
+                    "q1",
+                    Domain::ints(0..=1),
+                    Constraint::always(Weighted),
+                ),
+                stage(
+                    "stage2",
+                    "q2",
+                    Domain::ints(0..=1),
+                    Constraint::always(Weighted),
+                ),
             ],
             cross_constraints: vec![quality_floor],
             min_level: None,
@@ -397,13 +440,19 @@ mod tests {
             "cheap-low",
             "compute",
             "k1",
-            OfferShape::Linear { slope: 10.0, intercept: 0.0 },
+            OfferShape::Linear {
+                slope: 10.0,
+                intercept: 0.0,
+            },
         ));
         registry.publish(provider(
             "cheap-high",
             "compute",
             "k1",
-            OfferShape::Linear { slope: -10.0, intercept: 20.0 },
+            OfferShape::Linear {
+                slope: -10.0,
+                intercept: 20.0,
+            },
         ));
         let broker = Broker::new(Weighted, registry);
         let query = ServiceQuery {
@@ -432,7 +481,11 @@ mod tests {
         type CostRel = Product<Weighted, Probabilistic>;
         let semiring = CostRel::new(Weighted, Probabilistic);
         let mut registry = Registry::new();
-        for (id, cost, rel) in [("cheap", 5.0, 0.8), ("solid", 20.0, 0.99), ("bad", 25.0, 0.7)] {
+        for (id, cost, rel) in [
+            ("cheap", 5.0, 0.8),
+            ("solid", 20.0, 0.99),
+            ("bad", 25.0, 0.7),
+        ] {
             registry.publish(ServiceDescription::new(
                 id,
                 "org",
@@ -452,13 +505,13 @@ mod tests {
             });
             registry.publish(desc);
         }
-        let broker = Broker::new(semiring.clone(), registry);
+        let broker = Broker::new(semiring, registry);
         let query = ServiceQuery {
             stages: vec![stage(
                 "compute",
                 "k",
                 Domain::ints(0..=0),
-                Constraint::always(semiring.clone()),
+                Constraint::always(semiring),
             )],
             cross_constraints: vec![],
             min_level: None,
@@ -502,6 +555,44 @@ mod tests {
     }
 
     #[test]
+    fn query_with_reference_config_agrees_with_default() {
+        let mut registry = Registry::new();
+        registry.publish(provider(
+            "a",
+            "filter",
+            "f",
+            OfferShape::Constant { level: 0.8 },
+        ));
+        registry.publish(provider(
+            "b",
+            "filter",
+            "f",
+            OfferShape::Constant { level: 0.95 },
+        ));
+        let broker = Broker::new(Probabilistic, registry);
+        let query = ServiceQuery {
+            stages: vec![stage(
+                "filter",
+                "f",
+                Domain::ints(0..=1),
+                Constraint::always(Probabilistic),
+            )],
+            cross_constraints: vec![],
+            min_level: None,
+        };
+        let default = broker.query(&query, QosOffer::to_probabilistic).unwrap();
+        let reference = broker
+            .query_with(
+                &query,
+                QosOffer::to_probabilistic,
+                &SolverConfig::reference(),
+            )
+            .unwrap();
+        assert_eq!(default.selections, reference.selections);
+        assert_eq!(default.level, reference.level);
+    }
+
+    #[test]
     fn missing_capability_is_reported_with_its_stage() {
         let broker = Broker::new(WeightedInt, Registry::new());
         let query: ServiceQuery<WeightedInt> = ServiceQuery {
@@ -526,7 +617,12 @@ mod tests {
     #[test]
     fn min_level_rejects_poor_plans() {
         let mut registry = Registry::new();
-        registry.publish(provider("a", "filter", "f", OfferShape::Constant { level: 0.5 }));
+        registry.publish(provider(
+            "a",
+            "filter",
+            "f",
+            OfferShape::Constant { level: 0.5 },
+        ));
         let broker = Broker::new(Probabilistic, registry);
         let query = ServiceQuery {
             stages: vec![stage(
@@ -547,7 +643,12 @@ mod tests {
     #[test]
     fn infeasible_cross_constraint_is_no_plan() {
         let mut registry = Registry::new();
-        registry.publish(provider("a", "filter", "f", OfferShape::Constant { level: 0.9 }));
+        registry.publish(provider(
+            "a",
+            "filter",
+            "f",
+            OfferShape::Constant { level: 0.9 },
+        ));
         let broker = Broker::new(Probabilistic, registry);
         let query = ServiceQuery {
             stages: vec![stage(

@@ -30,12 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let offers_for_constraint = offers.clone();
-    let offer_constraint = Constraint::unary(semiring.clone(), provider.clone(), move |v| {
+    let offer_constraint = Constraint::unary(semiring, provider.clone(), move |v| {
         let (cost, rel) = offers_for_constraint[v.as_int().unwrap() as usize];
         (Weight::saturating(cost), Unit::clamped(rel))
     });
 
-    let problem = Scsp::new(semiring.clone())
+    let problem = Scsp::new(semiring)
         .with_domain(provider.clone(), Domain::ints(0..3))
         .with_constraint(offer_constraint)
         .of_interest([provider.clone()]);
@@ -85,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.window,
         report.agreed,
         report.measured,
-        if report.violated { "SLA VIOLATED" } else { "within SLA" }
+        if report.violated {
+            "SLA VIOLATED"
+        } else {
+            "within SLA"
+        }
     );
 
     Ok(())

@@ -44,14 +44,26 @@ fn doms() -> Domains {
 
 fn analyse(label: &str, agent_text: &str) -> Result<(), Box<dyn std::error::Error>> {
     let agent = parse_agent(agent_text, &env())?;
-    let verdict = Explorer::new(Program::new())
-        .explore(agent, Store::empty(WeightedInt, doms()))?;
+    let verdict =
+        Explorer::new(Program::new()).explore(agent, Store::empty(WeightedInt, doms()))?;
     println!("  {label}");
     println!(
         "    possible: {:3}   guaranteed: {:3}   deadlock reachable: {:3}   ({} configs)",
-        if verdict.success_reachable { "YES" } else { "no" },
-        if verdict.always_succeeds && !verdict.truncated { "YES" } else { "no" },
-        if verdict.deadlock_reachable { "YES" } else { "no" },
+        if verdict.success_reachable {
+            "YES"
+        } else {
+            "no"
+        },
+        if verdict.always_succeeds && !verdict.truncated {
+            "YES"
+        } else {
+            "no"
+        },
+        if verdict.deadlock_reachable {
+            "YES"
+        } else {
+            "no"
+        },
         verdict.configurations,
     );
     Ok(())
@@ -76,10 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Timed relaxation ---------------------------------------------------
     println!("\n== Timed environment (Example 2 as a schedule) ==");
-    let agent = parse_agent(
-        "tell(c4) tell(c3) ask(one) ->[four, two] success",
-        &env(),
-    )?;
+    let agent = parse_agent("tell(c4) tell(c3) ask(one) ->[four, two] success", &env())?;
     let schedule = vec![TimedEvent {
         at_step: 3,
         action: TimedAction::Retract(

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Single-fault campaign -------------------------------------------
     println!("\n== Single-fault campaign ==");
     let verdicts = single_fault_campaign(
-        &[photo::red_filter(), photo::bw_filter(), photo::compression()],
+        &[
+            photo::red_filter(),
+            photo::bw_filter(),
+            photo::compression(),
+        ],
         &photo::memory(),
         &photo::interface(),
         &doms,

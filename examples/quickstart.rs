@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_constraint(
             Constraint::table(
                 WeightedInt,
-                &[x.clone()],
+                std::slice::from_ref(&x),
                 [(vec![Val::sym("a")], 1), (vec![Val::sym("b")], 9)],
                 u64::MAX,
             )
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_constraint(
             Constraint::table(
                 WeightedInt,
-                &[y.clone()],
+                std::slice::from_ref(&y),
                 [(vec![Val::sym("a")], 5), (vec![Val::sym("b")], 5)],
                 u64::MAX,
             )
@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c2 = &problem.constraints()[1];
     let combined = c1.combine(c2);
     println!("scope of c1 ⊗ c2 = {:?}", combined.scope());
-    let projected = combined.project(&[x.clone()], problem.domains())?;
+    let projected = combined.project(std::slice::from_ref(&x), problem.domains())?;
     println!(
         "(c1 ⊗ c2) ⇓ x at ⟨a⟩ = {}",
         projected.eval(&Assignment::new().bind("x", "a"))

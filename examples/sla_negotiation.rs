@@ -127,10 +127,7 @@ fn sec41_negotiation_examples() -> Result<(), Box<dyn std::error::Error>> {
 
     // Example 3: update{x}(c2) refreshes x; the store becomes y + 4,
     // depending only on the number of reboots y.
-    run(
-        "Example 3 (update) ",
-        "tell(c1) update{x}(c2) success",
-    )?;
+    run("Example 3 (update) ", "tell(c1) update{x}(c2) success")?;
 
     Ok(())
 }

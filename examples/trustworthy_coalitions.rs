@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let small = TrustNetwork::random(4, 42);
     let scsp = scsp_formation(&small, compose, true)?.expect("feasible");
     let direct = exact_formation(&small, cfg).expect("feasible");
-    println!("  SCSP solution:   {} (score {})", scsp.partition, scsp.score);
+    println!(
+        "  SCSP solution:   {} (score {})",
+        scsp.partition, scsp.score
+    );
     println!(
         "  direct search:   {} (score {})",
         direct.partition, direct.score
@@ -86,9 +89,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         7,
         2000,
     );
-    println!("  individually oriented: score {} ({})", ind.score, ind.partition);
-    println!("  socially oriented:     score {} ({})", soc.score, soc.partition);
-    println!("  local search:          score {} ({})", loc.score, loc.partition);
+    println!(
+        "  individually oriented: score {} ({})",
+        ind.score, ind.partition
+    );
+    println!(
+        "  socially oriented:     score {} ({})",
+        soc.score, soc.partition
+    );
+    println!(
+        "  local search:          score {} ({})",
+        loc.score, loc.partition
+    );
 
     // --- Semiring trust propagation ----------------------------------------
     println!("\n== Trust propagation (multitrust over the probabilistic semiring) ==");

@@ -1,0 +1,336 @@
+//! Workspace-local shim of the `criterion` benchmark API (no crates.io
+//! access in this build environment).
+//!
+//! Implements a small but honest measuring harness: per benchmark it
+//! warms up, auto-calibrates an iteration count, takes `sample_size`
+//! timed samples, and reports min/median/mean wall-clock time per
+//! iteration on stdout. The API mirrors the subset the workspace's
+//! benches use: `Criterion`, `BenchmarkGroup`, `BenchmarkId`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(400);
+/// Warm-up budget before sampling starts.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Applies command-line arguments (`cargo bench -- <filter>`).
+    ///
+    /// Recognises a positional substring filter and ignores harness
+    /// flags such as `--bench` that cargo passes through.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown harness flag; skip a possible value.
+                    let _ = s;
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label;
+        self.run_one(&label, self.sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, label: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            stats: None,
+        };
+        f(&mut bencher);
+        match bencher.stats {
+            Some(stats) => println!("{label:<60} {stats}"),
+            None => println!("{label:<60} (no measurement)"),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs `f` as the benchmark `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&label, samples, f);
+        self
+    }
+
+    /// Runs `f` with an input value as the benchmark `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report is printed eagerly; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// The canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing statistics for one benchmark, in ns per iteration.
+struct Stats {
+    min: f64,
+    median: f64,
+    mean: f64,
+    iters_per_sample: u64,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "median {:>12}  min {:>12}  mean {:>12}  ({} iters/sample)",
+            fmt_ns(self.median),
+            fmt_ns(self.min),
+            fmt_ns(self.mean),
+            self.iters_per_sample
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to each benchmark closure; runs the timed loop.
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing its result from being optimised
+    /// away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count such that one
+        // sample lasts long enough for the clock to resolve it.
+        let mut iters: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_micros(200) || warmup_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Fit the sample loop into the measurement budget.
+        let per_sample = MEASUREMENT_BUDGET
+            .checked_div(self.sample_size as u32)
+            .unwrap_or(Duration::from_millis(10));
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            let mut done: u64 = 0;
+            while done < iters {
+                black_box(routine());
+                done += 1;
+            }
+            let elapsed = t.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / iters as f64);
+            if elapsed > per_sample.saturating_mul(4) {
+                // A single sample blew the budget; stop early rather
+                // than hang the harness on very slow benchmarks.
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.stats = Some(Stats {
+            min,
+            median,
+            mean,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("solver", 10).label, "solver/10");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

@@ -1,0 +1,590 @@
+//! Workspace-local shim of the `proptest` crate (no crates.io access).
+//!
+//! Provides the API subset the workspace's property tests use: the
+//! [`proptest!`]/[`prop_oneof!`]/[`prop_assert!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
+//! `prop_recursive` and `boxed`, range/tuple/`Just`/`any` strategies,
+//! [`collection::vec`], and [`test_runner::Config`].
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case reports its case index, and the
+//!   run is reproducible because each test derives its RNG seed from
+//!   the test name (override with `PROPTEST_SEED`);
+//! - `&str` regex strategies generate printable strings of the
+//!   requested rough length rather than full regex-directed text
+//!   (the workspace only uses `"\\PC{0,64}"`);
+//! - `.proptest-regressions` files are not replayed; regression
+//!   inputs are pinned in ordinary unit tests instead.
+
+// Re-exported so the `proptest!` macro expansion can name the RNG via
+// `$crate::rand` even in crates that do not depend on `rand` directly.
+#[doc(hidden)]
+pub use rand;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds out of it.
+        fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            U: Strategy,
+            F: Fn(Self::Value) -> U,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursively extends this leaf strategy `depth` times via
+        /// `recurse`, mixing shallower cases back in at every level.
+        ///
+        /// The `_desired_size`/`_expected_branch_size` hints of real
+        /// proptest are accepted and ignored.
+        fn prop_recursive<B, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            B: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> B,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current.clone()).boxed();
+                current = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            current
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Object-safe view used by [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut StdRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Arc<dyn DynStrategy<V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.inner.dyn_generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        U: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> U::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<V: Clone>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+
+        fn generate(&self, _rng: &mut StdRng) -> V {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut pick = rng.random_range(0..self.total);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Types with a canonical whole-carrier strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty => $sample:expr),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    let f: fn(&mut StdRng) -> $t = $sample;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uniform! {
+        bool => |rng| rng.random(),
+        u8 => |rng| rng.random(),
+        u32 => |rng| rng.random(),
+        u64 => |rng| rng.random(),
+        usize => |rng| rng.random(),
+        i64 => |rng| rng.random(),
+        f64 => |rng| rng.random(),
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Produces the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::SampleUniform + PartialOrd + Copy,
+        Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: rand::SampleUniform + PartialOrd + Copy,
+        RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Regex-flavoured string strategy: the workspace only uses
+    /// printable-character classes, so generate `0..=64` printable
+    /// chars (mostly ASCII, occasionally multi-byte) regardless of
+    /// the exact pattern.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let len = rng.random_range(0..=64usize);
+            (0..len)
+                .map(|_| {
+                    if rng.random_ratio(1, 8) {
+                        // Some non-ASCII printable characters.
+                        ['é', 'λ', '→', '√', '∞', '中', '𝄞'][rng.random_range(0..7usize)]
+                    } else {
+                        rng.random_range(0x20u32..0x7f) as u8 as char
+                    }
+                })
+                .collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specifications accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` element count.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            self.into_inner()
+        }
+    }
+
+    /// Strategy for vectors with the given element strategy and size.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates `Vec`s whose length lies within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-`proptest!` configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// Derives the deterministic per-test RNG seed: a stable hash of
+    /// An explicit property failure, produced by `return Err(..)` from a
+    /// test body. The shim's `prop_assert!` family panics instead, so this
+    /// mostly exists to give test bodies a concrete `Result` error type.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// the test name unless `PROPTEST_SEED` overrides it.
+    pub fn seed_for(test_name: &str) -> u64 {
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = seed.parse() {
+                return seed;
+            }
+        }
+        // FNV-1a, stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Property-test entry point mirroring proptest's macro shape.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr; ) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($param:pat_param in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config = $config;
+            let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(seed);
+            for case in 0..config.cases {
+                $(let $param = ($strategy).generate(&mut rng);)+
+                // Mirror proptest: the body runs in a `Result`-returning
+                // closure so `return Ok(())` early-exits are valid.
+                let run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    #[allow(unused_must_use, unreachable_code, clippy::unused_unit)]
+                    {
+                        $body;
+                    }
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if !matches!(outcome, ::std::result::Result::Ok(::std::result::Result::Ok(()))) {
+                    panic!(
+                        "property {} failed at case {case}/{} (seed {seed}); \
+                         rerun with PROPTEST_SEED={seed}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+}
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// Assertion inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        crate::collection::vec(0u8..10, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds, tuples compose, maps apply.
+        #[test]
+        fn generated_values_obey_bounds(
+            x in 3usize..9,
+            (lo, hi) in (0u64..5, 10u64..20),
+            v in small_vec(),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(lo < 5 && (10..20).contains(&hi));
+            prop_assert!(v.len() < 5 && v.iter().all(|&b| b < 10));
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_recursive_terminate(n in oneof_strategy(), depth in nested()) {
+            prop_assert!(n == 1 || n == 7);
+            prop_assert!(depth <= 4);
+        }
+    }
+
+    fn oneof_strategy() -> impl Strategy<Value = u8> {
+        prop_oneof![4 => Just(1u8), 1 => Just(7u8)]
+    }
+
+    fn nested() -> BoxedStrategy<u8> {
+        Just(0u8).prop_recursive(4, 8, 2, |inner| inner.prop_map(|d| d + 1))
+    }
+
+    #[test]
+    fn string_strategy_is_printable() {
+        use crate::strategy::Strategy;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        for _ in 0..50 {
+            let s = "\\PC{0,64}".generate(&mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn flat_map_feeds_downstream_strategy() {
+        use crate::strategy::Strategy;
+        let strategy = (1usize..4).prop_flat_map(|n| crate::collection::vec(0u8..3, n));
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

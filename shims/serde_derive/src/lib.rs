@@ -1,0 +1,501 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's serde shim.
+//!
+//! Hand-rolled over `proc_macro` token trees (`syn`/`quote` are not
+//! available offline). Supports exactly the shapes this workspace
+//! serialises:
+//!
+//! - structs with named fields;
+//! - enums with unit, newtype and struct variants (externally tagged);
+//! - container attributes `#[serde(rename_all = "kebab-case")]` and
+//!   `#[serde(untagged)]` (unit/newtype variants only);
+//! - field attributes `#[serde(default)]` and
+//!   `#[serde(default = "path")]`.
+//!
+//! Anything outside that subset fails the build with an explicit
+//! message rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- model -----------------------------------------------------------
+
+struct Container {
+    name: String,
+    kebab: bool,
+    untagged: bool,
+    data: Data,
+}
+
+enum Data {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: Option<FieldDefault>,
+}
+
+enum FieldDefault {
+    DefaultTrait,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+// ---- parsing ---------------------------------------------------------
+
+struct ContainerAttrs {
+    kebab: bool,
+    untagged: bool,
+}
+
+/// Reads `#[serde(...)]` container attributes, skipping everything else
+/// (doc comments, other attributes).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> (ContainerAttrs, Option<FieldDefault>) {
+    let mut attrs = ContainerAttrs {
+        kebab: false,
+        untagged: false,
+    };
+    let mut default = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(group)) = tokens.get(*i + 1) else {
+            panic!("expected attribute body after `#`");
+        };
+        *i += 2;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            panic!("expected `#[serde(...)]` arguments");
+        };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        let mut j = 0;
+        while j < args.len() {
+            let name = match &args[j] {
+                TokenTree::Ident(id) => id.to_string(),
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    j += 1;
+                    continue;
+                }
+                other => panic!("unsupported serde attribute token `{other}`"),
+            };
+            match name.as_str() {
+                "untagged" => {
+                    attrs.untagged = true;
+                    j += 1;
+                }
+                "rename_all" => {
+                    let lit = attr_value(&args, &mut j);
+                    assert!(
+                        lit == "kebab-case",
+                        "serde shim derive only supports rename_all = \"kebab-case\", got {lit:?}"
+                    );
+                    attrs.kebab = true;
+                }
+                "default" => {
+                    if matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        default = Some(FieldDefault::Path(attr_value(&args, &mut j)));
+                    } else {
+                        default = Some(FieldDefault::DefaultTrait);
+                        j += 1;
+                    }
+                }
+                other => panic!("unsupported serde attribute `{other}` (shim derive)"),
+            }
+        }
+    }
+    (attrs, default)
+}
+
+/// Parses `name = "literal"` starting at `args[*j]`; advances past it.
+fn attr_value(args: &[TokenTree], j: &mut usize) -> String {
+    assert!(
+        matches!(args.get(*j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '='),
+        "expected `=` in serde attribute"
+    );
+    let Some(TokenTree::Literal(lit)) = args.get(*j + 2) else {
+        panic!("expected string literal in serde attribute");
+    };
+    *j += 3;
+    let text = lit.to_string();
+    text.trim_matches('"').to_string()
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let (attrs, _) = take_attrs(&tokens, &mut i);
+
+    // Optional visibility: `pub`, `pub(crate)`, ...
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        panic!("serde shim derive requires a braced body on `{name}` (no tuple/unit structs)");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "serde shim derive requires named fields on `{name}`"
+    );
+    let body: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    let data = match kind.as_str() {
+        "struct" => Data::Struct(parse_fields(&body, &name)),
+        "enum" => Data::Enum(parse_variants(&body, &name)),
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+    Container {
+        name,
+        kebab: attrs.kebab,
+        untagged: attrs.untagged,
+        data,
+    }
+}
+
+fn parse_fields(tokens: &[TokenTree], container: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, default) = take_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name in `{container}`, found {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{container}.{name}`"
+        );
+        i += 1;
+        // Skip the type: everything up to a comma at angle-bracket
+        // depth 0 (generic arguments hide their commas behind depth).
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree], container: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_, default) = take_attrs(tokens, &mut i);
+        assert!(
+            default.is_none(),
+            "serde shim derive does not support `default` on variants of `{container}`"
+        );
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name in `{container}`, found {other}"),
+        };
+        i += 1;
+        let kind = match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_fields(&inner, container))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// `RoundRobin` -> `round-robin` (serde's kebab-case rule).
+fn kebab(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('-');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+impl Container {
+    fn wire_name(&self, variant: &str) -> String {
+        if self.kebab {
+            kebab(variant)
+        } else {
+            variant.to_string()
+        }
+    }
+}
+
+// ---- codegen: Serialize ---------------------------------------------
+
+fn serialize_fields_expr(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from(
+        "{ let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for field in fields {
+        code.push_str(&format!(
+            "obj.push((\"{name}\".to_string(), \
+             ::serde::Serialize::to_value({access_prefix}{name})));\n",
+            name = field.name,
+        ));
+    }
+    code.push_str("::serde::Value::Obj(obj) }");
+    code
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    let name = &container.name;
+    let body = match &container.data {
+        Data::Struct(fields) => serialize_fields_expr(fields, "&self."),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                let wire = container.wire_name(vname);
+                let arm = match (&variant.kind, container.untagged) {
+                    (VariantKind::Unit, false) => {
+                        format!("{name}::{vname} => ::serde::Value::Str(\"{wire}\".to_string()),\n")
+                    }
+                    (VariantKind::Unit, true) => {
+                        format!("{name}::{vname} => ::serde::Value::Null,\n")
+                    }
+                    (VariantKind::Newtype, false) => format!(
+                        "{name}::{vname}(inner) => ::serde::Value::Obj(vec![(\
+                         \"{wire}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                    ),
+                    (VariantKind::Newtype, true) => {
+                        format!("{name}::{vname}(inner) => ::serde::Serialize::to_value(inner),\n")
+                    }
+                    (VariantKind::Struct(fields), untagged) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let fields_expr = serialize_fields_expr(fields, "");
+                        let payload = if untagged {
+                            fields_expr
+                        } else {
+                            format!(
+                                "::serde::Value::Obj(vec![(\"{wire}\".to_string(), \
+                                 {fields_expr})])"
+                            )
+                        };
+                        format!(
+                            "{name}::{vname} {{ {} }} => {payload},\n",
+                            bindings.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serialize impl parses")
+}
+
+// ---- codegen: Deserialize -------------------------------------------
+
+/// Expression (re)constructing one field from `pairs`.
+fn field_expr(field: &Field, container: &str) -> String {
+    let name = &field.name;
+    let missing = match &field.default {
+        Some(FieldDefault::DefaultTrait) => "::std::default::Default::default()".to_string(),
+        Some(FieldDefault::Path(path)) => format!("{path}()"),
+        None => format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null)\
+             .map_err(|_| ::serde::Error::missing_field(\"{name}\", \"{container}\"))?"
+        ),
+    };
+    format!(
+        "{name}: match pairs.iter().find(|(k, _)| k == \"{name}\") {{\n\
+         Some((_, v)) => ::serde::Deserialize::from_value(v)\
+         .map_err(|e| e.in_field(\"{name}\"))?,\n\
+         None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn deserialize_struct_body(constructor: &str, fields: &[Field], container: &str) -> String {
+    let mut code = format!("Ok({constructor} {{\n");
+    for field in fields {
+        code.push_str(&field_expr(field, container));
+    }
+    code.push_str("})");
+    code
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    let name = &container.name;
+    let body = match &container.data {
+        Data::Struct(fields) => format!(
+            "match value {{\n\
+             ::serde::Value::Obj(pairs) => {},\n\
+             other => Err(::serde::Error::expected(\"object\", other)),\n\
+             }}",
+            deserialize_struct_body(name, fields, name)
+        ),
+        Data::Enum(variants) if container.untagged => {
+            let mut tries = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => tries.push_str(&format!(
+                        "if matches!(value, ::serde::Value::Null) \
+                         {{ return Ok({name}::{vname}); }}\n"
+                    )),
+                    VariantKind::Newtype => tries.push_str(&format!(
+                        "if let Ok(inner) = ::serde::Deserialize::from_value(value) \
+                         {{ return Ok({name}::{vname}(inner)); }}\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!("{name}::{vname}");
+                        let inner = deserialize_struct_body(&ctor, fields, name);
+                        tries.push_str(&format!(
+                            "if let ::serde::Value::Obj(pairs) = value {{\n\
+                             let attempt = (|| -> ::std::result::Result<{name}, ::serde::Error> \
+                             {{ {inner} }})();\n\
+                             if let Ok(parsed) = attempt {{ return Ok(parsed); }}\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{{\n{tries}\
+                 Err(::serde::Error::custom(\
+                 \"no untagged variant of {name} matched the input\"))\n}}"
+            )
+        }
+        Data::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                let wire = container.wire_name(vname);
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        string_arms.push_str(&format!("\"{wire}\" => Ok({name}::{vname}),\n"))
+                    }
+                    VariantKind::Newtype => object_arms.push_str(&format!(
+                        "\"{wire}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)\
+                         .map_err(|e| e.in_field(\"{wire}\"))?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let ctor = format!("{name}::{vname}");
+                        let inner_body = deserialize_struct_body(&ctor, fields, name);
+                        object_arms.push_str(&format!(
+                            "\"{wire}\" => match inner {{\n\
+                             ::serde::Value::Obj(pairs) => {inner_body},\n\
+                             other => Err(::serde::Error::expected(\
+                             \"object payload for variant `{wire}`\", other)),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {string_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                 {object_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::Error::expected(\
+                 \"variant name or single-key object\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("deserialize impl parses")
+}

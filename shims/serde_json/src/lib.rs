@@ -1,0 +1,474 @@
+//! Workspace-local JSON codec over the serde shim's [`Value`] tree.
+//!
+//! Provides `to_string`, `to_string_pretty` and `from_str` with the
+//! `serde_json::Error` type the workspace names. The parser is a
+//! recursive-descent JSON reader (escapes, `\uXXXX` with surrogate
+//! pairs, nesting-depth cap); the writer emits compact or two-space
+//! indented JSON.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 128;
+
+/// A JSON encoding or decoding failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e)
+    }
+}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as two-space indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses `text` into a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_complete(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+// ---- writer ----------------------------------------------------------
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => write_seq(items.iter(), out, indent, level, ('[', ']'), |v, o, l| {
+            write_value(v, o, indent, l)
+        }),
+        Value::Obj(pairs) => write_seq(
+            pairs.iter(),
+            out,
+            indent,
+            level,
+            ('{', '}'),
+            |(k, v), o, l| {
+                write_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(v, o, indent, l);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    items: I,
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(I::Item, &mut String, usize),
+{
+    out.push(brackets.0);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(item, out, level + 1);
+    }
+    if !empty {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let text = f.to_string();
+        out.push_str(&text);
+    } else {
+        // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl fmt::Display) -> Error {
+        Error::new(format!("{} at byte {}", message, self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("maximum nesting depth exceeded"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(self.error("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value(depth + 1)?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(pairs));
+                        }
+                        _ => return Err(self.error("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(escape) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: require a low one.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (input is &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let text =
+                        std::str::from_utf8(rest).map_err(|_| self.error("invalid utf-8"))?;
+                    let ch = text.chars().next().expect("nonempty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Value {
+        parse_value_complete(text).unwrap()
+    }
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null"), Value::Null);
+        assert_eq!(parse("true"), Value::Bool(true));
+        assert_eq!(parse("-42"), Value::Int(-42));
+        assert_eq!(parse("18446744073709551615"), Value::UInt(u64::MAX));
+        assert_eq!(parse("2.5"), Value::Float(2.5));
+        assert_eq!(parse("1e3"), Value::Float(1000.0));
+        assert_eq!(parse("\"a\\nb\\u00e9\""), Value::Str("a\nbé".to_string()));
+    }
+
+    #[test]
+    fn compounds_parse() {
+        let v = parse(r#"{"xs": [1, 2], "nested": {"k": "v"}, "empty": []}"#);
+        assert_eq!(
+            v.get("xs"),
+            Some(&Value::Arr(vec![Value::Int(1), Value::Int(2)]))
+        );
+        assert_eq!(
+            v.get("nested").and_then(|n| n.get("k")),
+            Some(&Value::Str("v".into()))
+        );
+        assert_eq!(v.get("empty"), Some(&Value::Arr(vec![])));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(parse("\"\\ud834\\udd1e\""), Value::Str("𝄞".to_string()));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_value_complete("{").is_err());
+        assert!(parse_value_complete("[1,]").is_err());
+        assert!(parse_value_complete("1 2").is_err());
+        assert!(parse_value_complete("\"\\q\"").is_err());
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse_value_complete(&deep).is_err());
+    }
+
+    #[test]
+    fn write_round_trips() {
+        let value = Value::Obj(vec![
+            (
+                "a".to_string(),
+                Value::Arr(vec![Value::Int(1), Value::Float(0.5)]),
+            ),
+            ("s".to_string(), Value::Str("q\"\\\n".to_string())),
+            ("big".to_string(), Value::UInt(u64::MAX)),
+            ("none".to_string(), Value::Null),
+        ]);
+        let mut compact = String::new();
+        write_value(&value, &mut compact, None, 0);
+        assert_eq!(parse(&compact), value);
+        let mut pretty = String::new();
+        write_value(&value, &mut pretty, Some(2), 0);
+        assert_eq!(parse(&pretty), value);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn typed_round_trip_through_text() {
+        let spec: (Vec<u64>, Option<String>) = (vec![1, 2, 3], None);
+        let text = to_string(&spec).unwrap();
+        let back: (Vec<u64>, Option<String>) = from_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+}

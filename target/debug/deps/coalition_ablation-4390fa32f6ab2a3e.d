@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coalition_ablation-4390fa32f6ab2a3e.d: crates/bench/benches/coalition_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoalition_ablation-4390fa32f6ab2a3e.rmeta: crates/bench/benches/coalition_ablation.rs Cargo.toml
+
+crates/bench/benches/coalition_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cylindric_axioms-686f95c4130f2d29.d: crates/core/tests/cylindric_axioms.rs
+
+/root/repo/target/debug/deps/cylindric_axioms-686f95c4130f2d29: crates/core/tests/cylindric_axioms.rs
+
+crates/core/tests/cylindric_axioms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cylindric_axioms-d3e7b3a073baf0fb.d: crates/core/tests/cylindric_axioms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcylindric_axioms-d3e7b3a073baf0fb.rmeta: crates/core/tests/cylindric_axioms.rs Cargo.toml
+
+crates/core/tests/cylindric_axioms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

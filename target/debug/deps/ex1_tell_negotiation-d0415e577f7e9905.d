@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ex1_tell_negotiation-d0415e577f7e9905.d: crates/bench/benches/ex1_tell_negotiation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libex1_tell_negotiation-d0415e577f7e9905.rmeta: crates/bench/benches/ex1_tell_negotiation.rs Cargo.toml
+
+crates/bench/benches/ex1_tell_negotiation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

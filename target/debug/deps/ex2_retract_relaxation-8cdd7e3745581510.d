@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ex2_retract_relaxation-8cdd7e3745581510.d: crates/bench/benches/ex2_retract_relaxation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libex2_retract_relaxation-8cdd7e3745581510.rmeta: crates/bench/benches/ex2_retract_relaxation.rs Cargo.toml
+
+crates/bench/benches/ex2_retract_relaxation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ex3_update_policy-b23c7c280757c5d8.d: crates/bench/benches/ex3_update_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libex3_update_policy-b23c7c280757c5d8.rmeta: crates/bench/benches/ex3_update_policy.rs Cargo.toml
+
+crates/bench/benches/ex3_update_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

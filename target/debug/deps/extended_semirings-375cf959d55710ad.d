@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_semirings-375cf959d55710ad.d: tests/extended_semirings.rs
+
+/root/repo/target/debug/deps/extended_semirings-375cf959d55710ad: tests/extended_semirings.rs
+
+tests/extended_semirings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extended_semirings-906220702a4f19b3.d: tests/extended_semirings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextended_semirings-906220702a4f19b3.rmeta: tests/extended_semirings.rs Cargo.toml
+
+tests/extended_semirings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_weighted_scsp-65125b3419fc9916.d: crates/bench/benches/fig1_weighted_scsp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_weighted_scsp-65125b3419fc9916.rmeta: crates/bench/benches/fig1_weighted_scsp.rs Cargo.toml
+
+crates/bench/benches/fig1_weighted_scsp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

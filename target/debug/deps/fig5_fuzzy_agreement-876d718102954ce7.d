@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_fuzzy_agreement-876d718102954ce7.d: crates/bench/benches/fig5_fuzzy_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_fuzzy_agreement-876d718102954ce7.rmeta: crates/bench/benches/fig5_fuzzy_agreement.rs Cargo.toml
+
+crates/bench/benches/fig5_fuzzy_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/formation_properties-71e11ebc5d21a1e7.d: crates/coalition/tests/formation_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformation_properties-71e11ebc5d21a1e7.rmeta: crates/coalition/tests/formation_properties.rs Cargo.toml
+
+crates/coalition/tests/formation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

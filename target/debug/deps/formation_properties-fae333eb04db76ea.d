@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/formation_properties-fae333eb04db76ea.d: crates/coalition/tests/formation_properties.rs
+
+/root/repo/target/debug/deps/formation_properties-fae333eb04db76ea: crates/coalition/tests/formation_properties.rs
+
+crates/coalition/tests/formation_properties.rs:

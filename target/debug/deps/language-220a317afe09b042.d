@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language-220a317afe09b042.d: tests/language.rs
+
+/root/repo/target/debug/deps/language-220a317afe09b042: tests/language.rs
+
+tests/language.rs:

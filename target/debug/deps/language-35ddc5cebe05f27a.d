@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language-35ddc5cebe05f27a.d: tests/language.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage-35ddc5cebe05f27a.rmeta: tests/language.rs Cargo.toml
+
+tests/language.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/language_properties-aeea9a56777df293.d: crates/nmsccp/tests/language_properties.rs
+
+/root/repo/target/debug/deps/language_properties-aeea9a56777df293: crates/nmsccp/tests/language_properties.rs
+
+crates/nmsccp/tests/language_properties.rs:

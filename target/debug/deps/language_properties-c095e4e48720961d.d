@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/language_properties-c095e4e48720961d.d: crates/nmsccp/tests/language_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblanguage_properties-c095e4e48720961d.rmeta: crates/nmsccp/tests/language_properties.rs Cargo.toml
+
+crates/nmsccp/tests/language_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

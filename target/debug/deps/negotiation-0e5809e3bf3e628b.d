@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/negotiation-0e5809e3bf3e628b.d: tests/negotiation.rs
+
+/root/repo/target/debug/deps/negotiation-0e5809e3bf3e628b: tests/negotiation.rs
+
+tests/negotiation.rs:

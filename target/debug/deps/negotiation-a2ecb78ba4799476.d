@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/negotiation-a2ecb78ba4799476.d: tests/negotiation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnegotiation-a2ecb78ba4799476.rmeta: tests/negotiation.rs Cargo.toml
+
+tests/negotiation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

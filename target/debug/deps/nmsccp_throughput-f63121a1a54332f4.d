@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nmsccp_throughput-f63121a1a54332f4.d: crates/bench/benches/nmsccp_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnmsccp_throughput-f63121a1a54332f4.rmeta: crates/bench/benches/nmsccp_throughput.rs Cargo.toml
+
+crates/bench/benches/nmsccp_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_experiments-8df9a10c4e94add8.d: tests/paper_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_experiments-8df9a10c4e94add8.rmeta: tests/paper_experiments.rs Cargo.toml
+
+tests/paper_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

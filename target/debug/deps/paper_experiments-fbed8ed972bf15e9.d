@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_experiments-fbed8ed972bf15e9.d: tests/paper_experiments.rs
+
+/root/repo/target/debug/deps/paper_experiments-fbed8ed972bf15e9: tests/paper_experiments.rs
+
+tests/paper_experiments.rs:

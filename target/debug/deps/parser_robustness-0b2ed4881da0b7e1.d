@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parser_robustness-0b2ed4881da0b7e1.d: crates/nmsccp/tests/parser_robustness.rs
+
+/root/repo/target/debug/deps/parser_robustness-0b2ed4881da0b7e1: crates/nmsccp/tests/parser_robustness.rs
+
+crates/nmsccp/tests/parser_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parser_robustness-6f96ad4409fb90ca.d: crates/nmsccp/tests/parser_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparser_robustness-6f96ad4409fb90ca.rmeta: crates/nmsccp/tests/parser_robustness.rs Cargo.toml
+
+crates/nmsccp/tests/parser_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-368874b43f64a737.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-368874b43f64a737: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

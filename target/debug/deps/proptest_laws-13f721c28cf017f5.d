@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_laws-13f721c28cf017f5.d: crates/semiring/tests/proptest_laws.rs
+
+/root/repo/target/debug/deps/proptest_laws-13f721c28cf017f5: crates/semiring/tests/proptest_laws.rs
+
+crates/semiring/tests/proptest_laws.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_laws-259c4813606bfb47.d: crates/semiring/tests/proptest_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_laws-259c4813606bfb47.rmeta: crates/semiring/tests/proptest_laws.rs Cargo.toml
+
+crates/semiring/tests/proptest_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/query_engine-59b2b02dcc414991.d: tests/query_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquery_engine-59b2b02dcc414991.rmeta: tests/query_engine.rs Cargo.toml
+
+tests/query_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_engine-8140980943642289.d: tests/query_engine.rs
+
+/root/repo/target/debug/deps/query_engine-8140980943642289: tests/query_engine.rs
+
+tests/query_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec5_crisp_integrity-6e8eaa329abc310c.d: crates/bench/benches/sec5_crisp_integrity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec5_crisp_integrity-6e8eaa329abc310c.rmeta: crates/bench/benches/sec5_crisp_integrity.rs Cargo.toml
+
+crates/bench/benches/sec5_crisp_integrity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec5_probabilistic_integrity-20635ce2e6f21206.d: crates/bench/benches/sec5_probabilistic_integrity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec5_probabilistic_integrity-20635ce2e6f21206.rmeta: crates/bench/benches/sec5_probabilistic_integrity.rs Cargo.toml
+
+crates/bench/benches/sec5_probabilistic_integrity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

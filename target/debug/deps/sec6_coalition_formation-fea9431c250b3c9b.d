@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec6_coalition_formation-fea9431c250b3c9b.d: crates/bench/benches/sec6_coalition_formation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec6_coalition_formation-fea9431c250b3c9b.rmeta: crates/bench/benches/sec6_coalition_formation.rs Cargo.toml
+
+crates/bench/benches/sec6_coalition_formation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security_rights-261dddf1d9b3cae1.d: tests/security_rights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity_rights-261dddf1d9b3cae1.rmeta: tests/security_rights.rs Cargo.toml
+
+tests/security_rights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_rights-72c3451a34f4c6a6.d: tests/security_rights.rs
+
+/root/repo/target/debug/deps/security_rights-72c3451a34f4c6a6: tests/security_rights.rs
+
+tests/security_rights.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semiring_ops-c9456fb0451324f5.d: crates/bench/benches/semiring_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemiring_ops-c9456fb0451324f5.rmeta: crates/bench/benches/semiring_ops.rs Cargo.toml
+
+crates/bench/benches/semiring_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

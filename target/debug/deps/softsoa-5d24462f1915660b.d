@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsoa-5d24462f1915660b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/softsoa-5d24462f1915660b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

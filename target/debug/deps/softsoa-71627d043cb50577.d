@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsoa-71627d043cb50577.d: src/lib.rs
+
+/root/repo/target/debug/deps/softsoa-71627d043cb50577: src/lib.rs
+
+src/lib.rs:

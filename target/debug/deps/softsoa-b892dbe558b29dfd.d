@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsoa-b892dbe558b29dfd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsoa-b892dbe558b29dfd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsoa-b892dbe558b29dfd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsoa-c6b52f898d315bf4.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/softsoa-c6b52f898d315bf4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsoa-c79c533a7004e644.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa-c79c533a7004e644.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsoa-e4dd2d9c03fa9a74.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa-e4dd2d9c03fa9a74.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

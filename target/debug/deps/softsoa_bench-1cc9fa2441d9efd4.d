@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsoa_bench-1cc9fa2441d9efd4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa_bench-1cc9fa2441d9efd4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsoa_bench-f8bc3f4bb57cec0e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsoa_bench-f8bc3f4bb57cec0e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsoa_bench-f8bc3f4bb57cec0e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

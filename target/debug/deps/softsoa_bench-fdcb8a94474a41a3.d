@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsoa_bench-fdcb8a94474a41a3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/softsoa_bench-fdcb8a94474a41a3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsoa_cli-0166a3bd6f26d175.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/debug/deps/softsoa_cli-0166a3bd6f26d175: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/format.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsoa_cli-205f7490856adf38.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/debug/deps/libsoftsoa_cli-205f7490856adf38.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/debug/deps/libsoftsoa_cli-205f7490856adf38.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/format.rs:

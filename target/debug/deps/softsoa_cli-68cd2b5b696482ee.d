@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsoa_cli-68cd2b5b696482ee.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/debug/deps/softsoa_cli-68cd2b5b696482ee: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/format.rs:

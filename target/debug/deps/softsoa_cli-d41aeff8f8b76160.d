@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsoa_cli-d41aeff8f8b76160.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/debug/deps/libsoftsoa_cli-d41aeff8f8b76160.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/debug/deps/libsoftsoa_cli-d41aeff8f8b76160.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/format.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softsoa_cli-d66a2edf266e7643.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa_cli-d66a2edf266e7643.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/format.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/softsoa_coalition-33d8c1a2b4cde336.d: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa_coalition-33d8c1a2b4cde336.rmeta: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs Cargo.toml
+
+crates/coalition/src/lib.rs:
+crates/coalition/src/coalition.rs:
+crates/coalition/src/network.rs:
+crates/coalition/src/propagate.rs:
+crates/coalition/src/scsp.rs:
+crates/coalition/src/solvers.rs:
+crates/coalition/src/stability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

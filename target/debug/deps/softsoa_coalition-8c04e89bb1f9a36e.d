@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softsoa_coalition-8c04e89bb1f9a36e.d: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+/root/repo/target/debug/deps/libsoftsoa_coalition-8c04e89bb1f9a36e.rlib: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+/root/repo/target/debug/deps/libsoftsoa_coalition-8c04e89bb1f9a36e.rmeta: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+crates/coalition/src/lib.rs:
+crates/coalition/src/coalition.rs:
+crates/coalition/src/network.rs:
+crates/coalition/src/propagate.rs:
+crates/coalition/src/scsp.rs:
+crates/coalition/src/solvers.rs:
+crates/coalition/src/stability.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softsoa_coalition-daef0b79ed6e7d1d.d: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+/root/repo/target/debug/deps/softsoa_coalition-daef0b79ed6e7d1d: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+crates/coalition/src/lib.rs:
+crates/coalition/src/coalition.rs:
+crates/coalition/src/network.rs:
+crates/coalition/src/propagate.rs:
+crates/coalition/src/scsp.rs:
+crates/coalition/src/solvers.rs:
+crates/coalition/src/stability.rs:

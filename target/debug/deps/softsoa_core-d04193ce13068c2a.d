@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/softsoa_core-d04193ce13068c2a.d: crates/core/src/lib.rs crates/core/src/assignment.rs crates/core/src/compile.rs crates/core/src/constraint.rs crates/core/src/cylindric.rs crates/core/src/domain.rs crates/core/src/generate.rs crates/core/src/ops.rs crates/core/src/problem.rs crates/core/src/solve/mod.rs crates/core/src/solve/branch_bound.rs crates/core/src/solve/bucket.rs crates/core/src/solve/config.rs crates/core/src/solve/enumeration.rs crates/core/src/solve/parallel.rs crates/core/src/solve/pareto.rs crates/core/src/solve/preprocess.rs crates/core/src/solve/stats.rs crates/core/src/testutil.rs crates/core/src/value.rs crates/core/src/var.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa_core-d04193ce13068c2a.rmeta: crates/core/src/lib.rs crates/core/src/assignment.rs crates/core/src/compile.rs crates/core/src/constraint.rs crates/core/src/cylindric.rs crates/core/src/domain.rs crates/core/src/generate.rs crates/core/src/ops.rs crates/core/src/problem.rs crates/core/src/solve/mod.rs crates/core/src/solve/branch_bound.rs crates/core/src/solve/bucket.rs crates/core/src/solve/config.rs crates/core/src/solve/enumeration.rs crates/core/src/solve/parallel.rs crates/core/src/solve/pareto.rs crates/core/src/solve/preprocess.rs crates/core/src/solve/stats.rs crates/core/src/testutil.rs crates/core/src/value.rs crates/core/src/var.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/assignment.rs:
+crates/core/src/compile.rs:
+crates/core/src/constraint.rs:
+crates/core/src/cylindric.rs:
+crates/core/src/domain.rs:
+crates/core/src/generate.rs:
+crates/core/src/ops.rs:
+crates/core/src/problem.rs:
+crates/core/src/solve/mod.rs:
+crates/core/src/solve/branch_bound.rs:
+crates/core/src/solve/bucket.rs:
+crates/core/src/solve/config.rs:
+crates/core/src/solve/enumeration.rs:
+crates/core/src/solve/parallel.rs:
+crates/core/src/solve/pareto.rs:
+crates/core/src/solve/preprocess.rs:
+crates/core/src/solve/stats.rs:
+crates/core/src/testutil.rs:
+crates/core/src/value.rs:
+crates/core/src/var.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

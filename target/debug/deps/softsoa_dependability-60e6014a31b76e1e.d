@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/softsoa_dependability-60e6014a31b76e1e.d: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa_dependability-60e6014a31b76e1e.rmeta: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs Cargo.toml
+
+crates/dependability/src/lib.rs:
+crates/dependability/src/attributes.rs:
+crates/dependability/src/availability.rs:
+crates/dependability/src/fault.rs:
+crates/dependability/src/photo.rs:
+crates/dependability/src/refinement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

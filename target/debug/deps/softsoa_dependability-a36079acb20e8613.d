@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/softsoa_dependability-a36079acb20e8613.d: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa_dependability-a36079acb20e8613.rmeta: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs Cargo.toml
+
+crates/dependability/src/lib.rs:
+crates/dependability/src/attributes.rs:
+crates/dependability/src/availability.rs:
+crates/dependability/src/fault.rs:
+crates/dependability/src/photo.rs:
+crates/dependability/src/refinement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

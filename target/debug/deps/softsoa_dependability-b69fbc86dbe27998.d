@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsoa_dependability-b69fbc86dbe27998.d: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+/root/repo/target/debug/deps/libsoftsoa_dependability-b69fbc86dbe27998.rlib: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+/root/repo/target/debug/deps/libsoftsoa_dependability-b69fbc86dbe27998.rmeta: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+crates/dependability/src/lib.rs:
+crates/dependability/src/attributes.rs:
+crates/dependability/src/availability.rs:
+crates/dependability/src/fault.rs:
+crates/dependability/src/photo.rs:
+crates/dependability/src/refinement.rs:

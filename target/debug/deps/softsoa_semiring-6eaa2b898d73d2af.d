@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/softsoa_semiring-6eaa2b898d73d2af.d: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsoa_semiring-6eaa2b898d73d2af.rmeta: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs Cargo.toml
+
+crates/semiring/src/lib.rs:
+crates/semiring/src/boolean.rs:
+crates/semiring/src/extra.rs:
+crates/semiring/src/fuzzy.rs:
+crates/semiring/src/laws.rs:
+crates/semiring/src/probabilistic.rs:
+crates/semiring/src/product.rs:
+crates/semiring/src/set.rs:
+crates/semiring/src/traits.rs:
+crates/semiring/src/unit.rs:
+crates/semiring/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

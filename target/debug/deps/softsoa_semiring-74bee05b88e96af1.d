@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/softsoa_semiring-74bee05b88e96af1.d: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+/root/repo/target/debug/deps/softsoa_semiring-74bee05b88e96af1: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+crates/semiring/src/lib.rs:
+crates/semiring/src/boolean.rs:
+crates/semiring/src/extra.rs:
+crates/semiring/src/fuzzy.rs:
+crates/semiring/src/laws.rs:
+crates/semiring/src/probabilistic.rs:
+crates/semiring/src/product.rs:
+crates/semiring/src/set.rs:
+crates/semiring/src/traits.rs:
+crates/semiring/src/unit.rs:
+crates/semiring/src/weighted.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/softsoa_semiring-90c5e92c8d6d77ad.d: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+/root/repo/target/debug/deps/libsoftsoa_semiring-90c5e92c8d6d77ad.rlib: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+/root/repo/target/debug/deps/libsoftsoa_semiring-90c5e92c8d6d77ad.rmeta: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+crates/semiring/src/lib.rs:
+crates/semiring/src/boolean.rs:
+crates/semiring/src/extra.rs:
+crates/semiring/src/fuzzy.rs:
+crates/semiring/src/laws.rs:
+crates/semiring/src/probabilistic.rs:
+crates/semiring/src/product.rs:
+crates/semiring/src/set.rs:
+crates/semiring/src/traits.rs:
+crates/semiring/src/unit.rs:
+crates/semiring/src/weighted.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_comparison-6783d8a1dabbcf38.d: crates/bench/benches/solver_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_comparison-6783d8a1dabbcf38.rmeta: crates/bench/benches/solver_comparison.rs Cargo.toml
+
+crates/bench/benches/solver_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_properties-0f43b82a9ec6287b.d: tests/solver_properties.rs
+
+/root/repo/target/debug/deps/solver_properties-0f43b82a9ec6287b: tests/solver_properties.rs
+
+tests/solver_properties.rs:

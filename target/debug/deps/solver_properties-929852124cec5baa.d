@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_properties-929852124cec5baa.d: tests/solver_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_properties-929852124cec5baa.rmeta: tests/solver_properties.rs Cargo.toml
+
+tests/solver_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multicriteria_selection-0aefe4f62ec7cb36.d: examples/multicriteria_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulticriteria_selection-0aefe4f62ec7cb36.rmeta: examples/multicriteria_selection.rs Cargo.toml
+
+examples/multicriteria_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multicriteria_selection-9c86033285debc38.d: examples/multicriteria_selection.rs
+
+/root/repo/target/debug/examples/multicriteria_selection-9c86033285debc38: examples/multicriteria_selection.rs
+
+examples/multicriteria_selection.rs:

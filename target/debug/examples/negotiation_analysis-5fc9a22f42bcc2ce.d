@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/negotiation_analysis-5fc9a22f42bcc2ce.d: examples/negotiation_analysis.rs
+
+/root/repo/target/debug/examples/negotiation_analysis-5fc9a22f42bcc2ce: examples/negotiation_analysis.rs
+
+examples/negotiation_analysis.rs:

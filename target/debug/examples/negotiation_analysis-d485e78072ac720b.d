@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/negotiation_analysis-d485e78072ac720b.d: examples/negotiation_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnegotiation_analysis-d485e78072ac720b.rmeta: examples/negotiation_analysis.rs Cargo.toml
+
+examples/negotiation_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/photo_editing_integrity-9cec67f8b23799bd.d: examples/photo_editing_integrity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphoto_editing_integrity-9cec67f8b23799bd.rmeta: examples/photo_editing_integrity.rs Cargo.toml
+
+examples/photo_editing_integrity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/photo_editing_integrity-a7530a1a3260b352.d: examples/photo_editing_integrity.rs
+
+/root/repo/target/debug/examples/photo_editing_integrity-a7530a1a3260b352: examples/photo_editing_integrity.rs
+
+examples/photo_editing_integrity.rs:

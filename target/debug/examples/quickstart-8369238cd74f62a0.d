@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8369238cd74f62a0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8369238cd74f62a0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/service_query-35acd246c4a6a137.d: examples/service_query.rs Cargo.toml
+
+/root/repo/target/debug/examples/libservice_query-35acd246c4a6a137.rmeta: examples/service_query.rs Cargo.toml
+
+examples/service_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_query-f38e09ef87a6315e.d: examples/service_query.rs
+
+/root/repo/target/debug/examples/service_query-f38e09ef87a6315e: examples/service_query.rs
+
+examples/service_query.rs:

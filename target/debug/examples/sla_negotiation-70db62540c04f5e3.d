@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sla_negotiation-70db62540c04f5e3.d: examples/sla_negotiation.rs
+
+/root/repo/target/debug/examples/sla_negotiation-70db62540c04f5e3: examples/sla_negotiation.rs
+
+examples/sla_negotiation.rs:

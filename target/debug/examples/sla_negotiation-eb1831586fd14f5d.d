@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sla_negotiation-eb1831586fd14f5d.d: examples/sla_negotiation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsla_negotiation-eb1831586fd14f5d.rmeta: examples/sla_negotiation.rs Cargo.toml
+
+examples/sla_negotiation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trustworthy_coalitions-36034da72e15e12d.d: examples/trustworthy_coalitions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrustworthy_coalitions-36034da72e15e12d.rmeta: examples/trustworthy_coalitions.rs Cargo.toml
+
+examples/trustworthy_coalitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

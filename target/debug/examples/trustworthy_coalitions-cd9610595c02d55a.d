@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trustworthy_coalitions-cd9610595c02d55a.d: examples/trustworthy_coalitions.rs
+
+/root/repo/target/debug/examples/trustworthy_coalitions-cd9610595c02d55a: examples/trustworthy_coalitions.rs
+
+examples/trustworthy_coalitions.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-890976fca9d41701.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-890976fca9d41701.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-890976fca9d41701.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsoa-014aa6b0a3d9cfd3.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsoa-014aa6b0a3d9cfd3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsoa-014aa6b0a3d9cfd3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/softsoa-661f993d520e4837.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/softsoa-661f993d520e4837: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsoa_bench-95b3a71af5caf032.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsoa_bench-95b3a71af5caf032.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsoftsoa_bench-95b3a71af5caf032.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

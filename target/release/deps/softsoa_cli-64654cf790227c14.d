@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/softsoa_cli-64654cf790227c14.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/release/deps/libsoftsoa_cli-64654cf790227c14.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+/root/repo/target/release/deps/libsoftsoa_cli-64654cf790227c14.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/format.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/format.rs:

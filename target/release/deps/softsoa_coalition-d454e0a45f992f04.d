@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/softsoa_coalition-d454e0a45f992f04.d: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+/root/repo/target/release/deps/libsoftsoa_coalition-d454e0a45f992f04.rlib: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+/root/repo/target/release/deps/libsoftsoa_coalition-d454e0a45f992f04.rmeta: crates/coalition/src/lib.rs crates/coalition/src/coalition.rs crates/coalition/src/network.rs crates/coalition/src/propagate.rs crates/coalition/src/scsp.rs crates/coalition/src/solvers.rs crates/coalition/src/stability.rs
+
+crates/coalition/src/lib.rs:
+crates/coalition/src/coalition.rs:
+crates/coalition/src/network.rs:
+crates/coalition/src/propagate.rs:
+crates/coalition/src/scsp.rs:
+crates/coalition/src/solvers.rs:
+crates/coalition/src/stability.rs:

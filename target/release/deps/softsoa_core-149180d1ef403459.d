@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/softsoa_core-149180d1ef403459.d: crates/core/src/lib.rs crates/core/src/assignment.rs crates/core/src/compile.rs crates/core/src/constraint.rs crates/core/src/cylindric.rs crates/core/src/domain.rs crates/core/src/generate.rs crates/core/src/ops.rs crates/core/src/problem.rs crates/core/src/solve/mod.rs crates/core/src/solve/branch_bound.rs crates/core/src/solve/bucket.rs crates/core/src/solve/config.rs crates/core/src/solve/enumeration.rs crates/core/src/solve/parallel.rs crates/core/src/solve/pareto.rs crates/core/src/solve/preprocess.rs crates/core/src/solve/stats.rs crates/core/src/value.rs crates/core/src/var.rs
+
+/root/repo/target/release/deps/libsoftsoa_core-149180d1ef403459.rlib: crates/core/src/lib.rs crates/core/src/assignment.rs crates/core/src/compile.rs crates/core/src/constraint.rs crates/core/src/cylindric.rs crates/core/src/domain.rs crates/core/src/generate.rs crates/core/src/ops.rs crates/core/src/problem.rs crates/core/src/solve/mod.rs crates/core/src/solve/branch_bound.rs crates/core/src/solve/bucket.rs crates/core/src/solve/config.rs crates/core/src/solve/enumeration.rs crates/core/src/solve/parallel.rs crates/core/src/solve/pareto.rs crates/core/src/solve/preprocess.rs crates/core/src/solve/stats.rs crates/core/src/value.rs crates/core/src/var.rs
+
+/root/repo/target/release/deps/libsoftsoa_core-149180d1ef403459.rmeta: crates/core/src/lib.rs crates/core/src/assignment.rs crates/core/src/compile.rs crates/core/src/constraint.rs crates/core/src/cylindric.rs crates/core/src/domain.rs crates/core/src/generate.rs crates/core/src/ops.rs crates/core/src/problem.rs crates/core/src/solve/mod.rs crates/core/src/solve/branch_bound.rs crates/core/src/solve/bucket.rs crates/core/src/solve/config.rs crates/core/src/solve/enumeration.rs crates/core/src/solve/parallel.rs crates/core/src/solve/pareto.rs crates/core/src/solve/preprocess.rs crates/core/src/solve/stats.rs crates/core/src/value.rs crates/core/src/var.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assignment.rs:
+crates/core/src/compile.rs:
+crates/core/src/constraint.rs:
+crates/core/src/cylindric.rs:
+crates/core/src/domain.rs:
+crates/core/src/generate.rs:
+crates/core/src/ops.rs:
+crates/core/src/problem.rs:
+crates/core/src/solve/mod.rs:
+crates/core/src/solve/branch_bound.rs:
+crates/core/src/solve/bucket.rs:
+crates/core/src/solve/config.rs:
+crates/core/src/solve/enumeration.rs:
+crates/core/src/solve/parallel.rs:
+crates/core/src/solve/pareto.rs:
+crates/core/src/solve/preprocess.rs:
+crates/core/src/solve/stats.rs:
+crates/core/src/value.rs:
+crates/core/src/var.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/softsoa_dependability-4ebdfa20ae124fc9.d: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+/root/repo/target/release/deps/libsoftsoa_dependability-4ebdfa20ae124fc9.rlib: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+/root/repo/target/release/deps/libsoftsoa_dependability-4ebdfa20ae124fc9.rmeta: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+crates/dependability/src/lib.rs:
+crates/dependability/src/attributes.rs:
+crates/dependability/src/availability.rs:
+crates/dependability/src/fault.rs:
+crates/dependability/src/photo.rs:
+crates/dependability/src/refinement.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/softsoa_semiring-f4aa703ee4f5fc51.d: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+/root/repo/target/release/deps/libsoftsoa_semiring-f4aa703ee4f5fc51.rlib: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+/root/repo/target/release/deps/libsoftsoa_semiring-f4aa703ee4f5fc51.rmeta: crates/semiring/src/lib.rs crates/semiring/src/boolean.rs crates/semiring/src/extra.rs crates/semiring/src/fuzzy.rs crates/semiring/src/laws.rs crates/semiring/src/probabilistic.rs crates/semiring/src/product.rs crates/semiring/src/set.rs crates/semiring/src/traits.rs crates/semiring/src/unit.rs crates/semiring/src/weighted.rs
+
+crates/semiring/src/lib.rs:
+crates/semiring/src/boolean.rs:
+crates/semiring/src/extra.rs:
+crates/semiring/src/fuzzy.rs:
+crates/semiring/src/laws.rs:
+crates/semiring/src/probabilistic.rs:
+crates/semiring/src/product.rs:
+crates/semiring/src/set.rs:
+crates/semiring/src/traits.rs:
+crates/semiring/src/unit.rs:
+crates/semiring/src/weighted.rs:

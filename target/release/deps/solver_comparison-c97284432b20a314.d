@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_comparison-c97284432b20a314.d: crates/bench/benches/solver_comparison.rs
+
+/root/repo/target/release/deps/solver_comparison-c97284432b20a314: crates/bench/benches/solver_comparison.rs
+
+crates/bench/benches/solver_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/service_query-df070197ae708e7b.d: examples/service_query.rs
+
+/root/repo/target/release/examples/service_query-df070197ae708e7b: examples/service_query.rs
+
+examples/service_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trustworthy_coalitions-488f6392de0bfed7.d: examples/trustworthy_coalitions.rs
+
+/root/repo/target/release/examples/trustworthy_coalitions-488f6392de0bfed7: examples/trustworthy_coalitions.rs
+
+examples/trustworthy_coalitions.rs:

@@ -69,16 +69,18 @@ fn capacity_store_retraction_over_relaxes() {
 #[test]
 fn capacity_negotiation_with_bandwidth_floor() {
     let doms = softsoa::core::Domains::new().with("r", Domain::ints(0..2));
-    let offer = |cap: f64| {
-        Constraint::unary(Capacity, "r", move |_| mbps(cap)).with_label("offer")
-    };
+    let offer = |cap: f64| Constraint::unary(Capacity, "r", move |_| mbps(cap)).with_label("offer");
     // Interval: lower = 30 Mb/s (at least), upper = top (no cap).
     let accept = Interval::levels(mbps(30.0), Weight::INFINITY);
     let session = |cap: f64| {
         let agent = Agent::tell(
             offer(cap),
             Interval::any(&Capacity),
-            Agent::ask(Constraint::always(Capacity), accept.clone(), Agent::success()),
+            Agent::ask(
+                Constraint::always(Capacity),
+                accept.clone(),
+                Agent::success(),
+            ),
         );
         Interpreter::new(Program::new())
             .run(agent, Store::empty(Capacity, doms.clone()))
@@ -139,8 +141,5 @@ fn extension_semirings_roundtrip_through_stores() {
     let store = Store::empty(Lukasiewicz, doms);
     let told = store.tell(&c).unwrap();
     let back = told.retract(&c).unwrap();
-    assert_eq!(
-        back.consistency().unwrap(),
-        store.consistency().unwrap()
-    );
+    assert_eq!(back.consistency().unwrap(), store.consistency().unwrap());
 }

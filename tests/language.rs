@@ -3,9 +3,8 @@
 
 use softsoa::core::{Constraint, Domain, Domains, Var};
 use softsoa::nmsccp::{
-    parse_program, run_sessions, Agent, AgentOutcome, ConcurrentExecutor, EventStatus,
-    Interpreter, Interval, Outcome, ParseEnv, Policy, Program, Store, TimedAction, TimedEvent,
-    TimedInterpreter,
+    parse_program, run_sessions, Agent, AgentOutcome, ConcurrentExecutor, EventStatus, Interpreter,
+    Interval, Outcome, ParseEnv, Policy, Program, Store, TimedAction, TimedEvent, TimedInterpreter,
 };
 use softsoa::semiring::WeightedInt;
 
@@ -120,11 +119,7 @@ fn sequential_and_concurrent_agree_on_example2() {
 fn parallel_sessions_are_isolated() {
     let sessions: Vec<_> = (0..6u64)
         .map(|i| {
-            let agent = Agent::tell(
-                lin(1, i),
-                Interval::any(&WeightedInt),
-                Agent::success(),
-            );
+            let agent = Agent::tell(lin(1, i), Interval::any(&WeightedInt), Agent::success());
             (agent, Store::empty(WeightedInt, doms()))
         })
         .collect();
@@ -139,9 +134,8 @@ fn parallel_sessions_are_isolated() {
 /// agent waits on a constraint nobody will tell.
 #[test]
 fn three_way_deadlock() {
-    let waiter = |c: Constraint<WeightedInt>| {
-        Agent::ask(c, Interval::any(&WeightedInt), Agent::success())
-    };
+    let waiter =
+        |c: Constraint<WeightedInt>| Agent::ask(c, Interval::any(&WeightedInt), Agent::success());
     let report = ConcurrentExecutor::new(Program::new())
         .run(
             vec![waiter(lin(1, 1)), waiter(lin(2, 2)), waiter(lin(3, 3))],
@@ -194,7 +188,11 @@ fn five_stage_concurrent_pipeline() {
         Agent::ask(
             lin(0, level),
             Interval::any(&WeightedInt),
-            Agent::tell(lin(0, next_level - level), Interval::any(&WeightedInt), Agent::success()),
+            Agent::tell(
+                lin(0, next_level - level),
+                Interval::any(&WeightedInt),
+                Agent::success(),
+            ),
         )
     };
     for seed in 0..5 {
@@ -241,9 +239,7 @@ fn constraint_thresholds_via_parser() {
     // Swap the thresholds: the interval is contradictory, the tell is
     // permanently disabled, and validation catches it statically.
     let bad = parse_agent("tell(c3) tell(c4) ->[phi_hi, phi_lo] success", &env).unwrap();
-    assert!(bad
-        .validate_intervals(&WeightedInt, &doms())
-        .is_err());
+    assert!(bad.validate_intervals(&WeightedInt, &doms()).is_err());
     let report = Interpreter::new(Program::new())
         .run(bad, Store::empty(WeightedInt, doms()))
         .unwrap();
@@ -270,7 +266,10 @@ fn livelock_is_bounded() {
 
     let concurrent = ConcurrentExecutor::new(program)
         .with_max_steps(25)
-        .run(vec![Agent::call("spin", [])], Store::empty(WeightedInt, doms()))
+        .run(
+            vec![Agent::call("spin", [])],
+            Store::empty(WeightedInt, doms()),
+        )
         .unwrap();
     assert_eq!(concurrent.agents[0].outcome, AgentOutcome::OutOfFuel);
 }

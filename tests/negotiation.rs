@@ -51,9 +51,13 @@ fn broker_selects_among_many_providers() {
         ));
     }
     let broker = Broker::new(Fuzzy, registry);
-    let slas = broker.negotiate_all(&fuzzy_request(0.0), QosOffer::to_fuzzy).unwrap();
+    let slas = broker
+        .negotiate_all(&fuzzy_request(0.0), QosOffer::to_fuzzy)
+        .unwrap();
     assert_eq!(slas.len(), 3);
-    let best = broker.negotiate(&fuzzy_request(0.0), QosOffer::to_fuzzy).unwrap();
+    let best = broker
+        .negotiate(&fuzzy_request(0.0), QosOffer::to_fuzzy)
+        .unwrap();
     assert_eq!(best.service, ServiceId::new("p2"));
     assert_eq!(best.agreed_level, Unit::clamped(0.9));
 }
@@ -61,27 +65,50 @@ fn broker_selects_among_many_providers() {
 #[test]
 fn acceptance_floor_filters_agreements() {
     let mut registry = Registry::new();
-    registry.publish(provider("weak", "filter", "x", OfferShape::Constant { level: 0.3 }));
-    registry.publish(provider("strong", "filter", "x", OfferShape::Constant { level: 0.7 }));
+    registry.publish(provider(
+        "weak",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.3 },
+    ));
+    registry.publish(provider(
+        "strong",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.7 },
+    ));
     let broker = Broker::new(Fuzzy, registry);
     // Floor 0.5: only "strong" passes.
-    let slas = broker.negotiate_all(&fuzzy_request(0.5), QosOffer::to_fuzzy).unwrap();
+    let slas = broker
+        .negotiate_all(&fuzzy_request(0.5), QosOffer::to_fuzzy)
+        .unwrap();
     assert_eq!(slas.len(), 1);
     assert_eq!(slas[0].service, ServiceId::new("strong"));
     // Floor 0.8: nobody passes.
-    let err = broker.negotiate(&fuzzy_request(0.8), QosOffer::to_fuzzy).unwrap_err();
+    let err = broker
+        .negotiate(&fuzzy_request(0.8), QosOffer::to_fuzzy)
+        .unwrap_err();
     assert!(matches!(err, NegotiationError::NoAgreement(_)));
 }
 
 #[test]
 fn failure_injection_deregistering_the_only_provider() {
     let mut registry = Registry::new();
-    registry.publish(provider("only", "filter", "x", OfferShape::Constant { level: 0.9 }));
+    registry.publish(provider(
+        "only",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.9 },
+    ));
     let mut broker = Broker::new(Fuzzy, registry);
-    assert!(broker.negotiate(&fuzzy_request(0.0), QosOffer::to_fuzzy).is_ok());
+    assert!(broker
+        .negotiate(&fuzzy_request(0.0), QosOffer::to_fuzzy)
+        .is_ok());
     // The provider goes away (simulated crash): rediscovery fails.
     broker.registry_mut().deregister(&ServiceId::new("only"));
-    let err = broker.negotiate(&fuzzy_request(0.0), QosOffer::to_fuzzy).unwrap_err();
+    let err = broker
+        .negotiate(&fuzzy_request(0.0), QosOffer::to_fuzzy)
+        .unwrap_err();
     assert!(matches!(err, NegotiationError::NoProvider(_)));
 }
 
@@ -94,7 +121,10 @@ fn weighted_negotiation_with_linear_policies() {
         "recovery",
         "failure-mgmt",
         "x",
-        OfferShape::Linear { slope: 2.0, intercept: 0.0 },
+        OfferShape::Linear {
+            slope: 2.0,
+            intercept: 0.0,
+        },
     ));
     let request = NegotiationRequest {
         capability: "failure-mgmt".into(),
@@ -115,8 +145,18 @@ fn weighted_negotiation_with_linear_policies() {
 #[test]
 fn composition_aggregates_reliability_across_stages() {
     let mut registry = Registry::new();
-    registry.publish(provider("red", "red-filter", "r", OfferShape::Constant { level: 0.9 }));
-    registry.publish(provider("bw", "bw-filter", "b", OfferShape::Constant { level: 0.96 }));
+    registry.publish(provider(
+        "red",
+        "red-filter",
+        "r",
+        OfferShape::Constant { level: 0.9 },
+    ));
+    registry.publish(provider(
+        "bw",
+        "bw-filter",
+        "b",
+        OfferShape::Constant { level: 0.96 },
+    ));
     registry.publish(provider(
         "comp",
         "compression",
@@ -155,7 +195,12 @@ fn composition_aggregates_reliability_across_stages() {
 #[test]
 fn monitoring_detects_sla_violations_of_a_negotiated_binding() {
     let mut registry = Registry::new();
-    registry.publish(provider("svc", "filter", "x", OfferShape::Constant { level: 0.95 }));
+    registry.publish(provider(
+        "svc",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.95 },
+    ));
     let broker = Broker::new(Probabilistic, registry);
     let request = NegotiationRequest {
         capability: "filter".into(),
@@ -164,7 +209,9 @@ fn monitoring_detects_sla_violations_of_a_negotiated_binding() {
         constraint: Constraint::always(Probabilistic),
         acceptance: Interval::any(&Probabilistic),
     };
-    let sla = broker.negotiate(&request, QosOffer::to_probabilistic).unwrap();
+    let sla = broker
+        .negotiate(&request, QosOffer::to_probabilistic)
+        .unwrap();
     assert_eq!(sla.agreed_level, Unit::clamped(0.95));
 
     // An honest service passes the monitor...
@@ -192,8 +239,18 @@ fn negotiate_compose_orchestrate_end_to_end() {
 
     // 1. Negotiate a two-stage composition...
     let mut registry = Registry::new();
-    registry.publish(provider("red", "red-filter", "r", OfferShape::Constant { level: 0.95 }));
-    registry.publish(provider("bw", "bw-filter", "b", OfferShape::Constant { level: 0.99 }));
+    registry.publish(provider(
+        "red",
+        "red-filter",
+        "r",
+        OfferShape::Constant { level: 0.95 },
+    ));
+    registry.publish(provider(
+        "bw",
+        "bw-filter",
+        "b",
+        OfferShape::Constant { level: 0.99 },
+    ));
     let stage = |capability: &str, var: &str| NegotiationRequest {
         capability: capability.into(),
         variable: Var::new(var),
@@ -213,23 +270,27 @@ fn negotiate_compose_orchestrate_end_to_end() {
     let mut orch = Orchestrator::new(0)
         .with_stage(
             composition.slas[0].service.clone(),
-            SimConfig { reliability: 0.80, seed: 21, ..Default::default() },
+            SimConfig {
+                reliability: 0.80,
+                seed: 21,
+                ..Default::default()
+            },
         )
         .with_stage(
             composition.slas[1].service.clone(),
-            SimConfig { reliability: 0.99, seed: 22, ..Default::default() },
+            SimConfig {
+                reliability: 0.99,
+                seed: 22,
+                ..Default::default()
+            },
         );
     let report = orch.run_workload(4_000);
 
     // 3. The measured end-to-end reliability falls short of the agreed
     // composition level, and the verdicts blame exactly the red filter.
     assert!(report.end_to_end_reliability < composition.end_to_end_level.get());
-    let verdicts = Orchestrator::check_slas(
-        &report,
-        &composition.slas,
-        |sla| sla.agreed_level,
-        0.02,
-    );
+    let verdicts =
+        Orchestrator::check_slas(&report, &composition.slas, |sla| sla.agreed_level, 0.02);
     assert_eq!(verdicts.len(), 2);
     assert!(verdicts[0].violated, "red filter must be flagged");
     assert!(!verdicts[1].violated, "bw filter is honest");
@@ -238,7 +299,13 @@ fn negotiate_compose_orchestrate_end_to_end() {
 #[test]
 fn qos_documents_roundtrip_through_the_wire_format() {
     let doc = QosDocument::new("svc")
-        .with_offer(reliability_offer("x", OfferShape::Linear { slope: 0.05, intercept: 0.8 }))
+        .with_offer(reliability_offer(
+            "x",
+            OfferShape::Linear {
+                slope: 0.05,
+                intercept: 0.8,
+            },
+        ))
         .with_offer(QosOffer {
             attribute: Attribute::Availability,
             variable: "slots".into(),

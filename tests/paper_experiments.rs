@@ -26,7 +26,7 @@ fn e1_fig1_weighted_scsp() {
         .with_domain(y.clone(), Domain::syms(["a", "b"]))
         .with_constraint(Constraint::table(
             WeightedInt,
-            &[x.clone()],
+            std::slice::from_ref(&x),
             [(vec![Val::sym("a")], 1), (vec![Val::sym("b")], 9)],
             u64::MAX,
         ))
@@ -43,7 +43,7 @@ fn e1_fig1_weighted_scsp() {
         ))
         .with_constraint(Constraint::table(
             WeightedInt,
-            &[y.clone()],
+            std::slice::from_ref(&y),
             [(vec![Val::sym("a")], 5), (vec![Val::sym("b")], 5)],
             u64::MAX,
         ))
@@ -190,9 +190,7 @@ fn e5_example3_update() {
 #[test]
 fn e6_crisp_integrity() {
     let doms = photo::domains(4096, 512);
-    assert!(
-        locally_refines(&photo::imp1(), &photo::memory(), &photo::interface(), &doms).unwrap()
-    );
+    assert!(locally_refines(&photo::imp1(), &photo::memory(), &photo::interface(), &doms).unwrap());
     let report =
         check_refinement(&photo::imp2(), &photo::memory(), &photo::interface(), &doms).unwrap();
     assert!(!report.holds());

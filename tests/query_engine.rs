@@ -11,7 +11,13 @@ use softsoa::soa::{
 };
 use softsoa_dependability::Attribute;
 
-fn linear_provider(id: &str, capability: &str, var: &str, slope: f64, intercept: f64) -> ServiceDescription {
+fn linear_provider(
+    id: &str,
+    capability: &str,
+    var: &str,
+    slope: f64,
+    intercept: f64,
+) -> ServiceDescription {
     ServiceDescription::new(
         id,
         "org",
@@ -74,7 +80,9 @@ fn three_stage_query() -> ServiceQuery<Weighted> {
 #[test]
 fn three_stage_joint_plan_is_cost_optimal() {
     let broker = Broker::new(Weighted, three_stage_registry());
-    let plan = broker.query(&three_stage_query(), QosOffer::to_weighted).unwrap();
+    let plan = broker
+        .query(&three_stage_query(), QosOffer::to_weighted)
+        .unwrap();
     // Hand-computed optimum: storage tier 1 via s-a (6); quality floor
     // met by filter tier 2 via f-b (8) and delivery tier 0 via d-b (0):
     // total 14. (Any cheaper split violates a constraint.)
@@ -117,12 +125,16 @@ fn budget_infeasibility_is_no_plan() {
 #[test]
 fn deregistration_reroutes_the_plan() {
     let mut broker = Broker::new(Weighted, three_stage_registry());
-    let before = broker.query(&three_stage_query(), QosOffer::to_weighted).unwrap();
+    let before = broker
+        .query(&three_stage_query(), QosOffer::to_weighted)
+        .unwrap();
     // Remove the filter provider the plan chose; the query must fall
     // back to the other one (and get more expensive, never cheaper).
     let chosen_filter = before.selections[1].0.clone();
     broker.registry_mut().deregister(&chosen_filter);
-    let after = broker.query(&three_stage_query(), QosOffer::to_weighted).unwrap();
+    let after = broker
+        .query(&three_stage_query(), QosOffer::to_weighted)
+        .unwrap();
     assert_ne!(after.selections[1].0, chosen_filter);
     // Losing a provider can only make the plan worse-or-equal in the
     // semiring order (costlier, for weighted).

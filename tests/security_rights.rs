@@ -8,14 +8,16 @@
 //! composition intersects them, and requirements are entailment
 //! checks.
 
-use softsoa::core::{entails, vars, Assignment, Constraint, Domain, Domains, Val};
+use softsoa::core::{entails, Assignment, Constraint, Domain, Domains, Val};
 use softsoa::semiring::{Semiring, SetSemiring};
 use std::collections::BTreeSet;
 
 type Rights = SetSemiring<&'static str>;
 
 fn rights() -> Rights {
-    ["http-auth", "tls", "gzip", "plaintext"].into_iter().collect()
+    ["http-auth", "tls", "gzip", "plaintext"]
+        .into_iter()
+        .collect()
 }
 
 fn grant(
@@ -46,13 +48,19 @@ fn composition_intersects_supported_mechanisms() {
     let gateway = grant(
         &s,
         "tier",
-        vec![(0, &["plaintext"]), (1, &["http-auth", "tls", "gzip", "plaintext"])],
+        vec![
+            (0, &["plaintext"]),
+            (1, &["http-auth", "tls", "gzip", "plaintext"]),
+        ],
     );
     // The backend never speaks plaintext.
     let backend = grant(
         &s,
         "tier",
-        vec![(0, &["http-auth", "tls"]), (1, &["http-auth", "tls", "gzip"])],
+        vec![
+            (0, &["http-auth", "tls"]),
+            (1, &["http-auth", "tls", "gzip"]),
+        ],
     );
     let composed = gateway.combine(&backend);
 
@@ -92,9 +100,7 @@ fn must_use_http_auth_is_an_entailment_check() {
 
     // The interesting direction: does every grant CONTAIN http-auth?
     // That is a lower-bound check: auth_required ⊑ service.
-    let auth_required = Constraint::unary(s.clone(), "tier", |_| {
-        BTreeSet::from(["http-auth"])
-    });
+    let auth_required = Constraint::unary(s.clone(), "tier", |_| BTreeSet::from(["http-auth"]));
     assert!(auth_required.leq(&service, &doms).unwrap());
 
     // A service that drops auth at tier 1 fails the check.
@@ -141,8 +147,5 @@ fn time_slots_intersect_and_solve() {
 fn set_values_in_domains() {
     let doms = Domains::new().with("grp", Domain::powerset(3));
     assert_eq!(doms.get(&"grp".into()).unwrap().len(), 8);
-    assert!(doms
-        .get(&"grp".into())
-        .unwrap()
-        .contains(&Val::set([0, 2])));
+    assert!(doms.get(&"grp".into()).unwrap().contains(&Val::set([0, 2])));
 }

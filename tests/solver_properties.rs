@@ -1,13 +1,19 @@
 //! Property-based cross-crate tests: solver agreement and algebraic
 //! identities of the soft constraint system.
 
+use std::collections::BTreeSet;
+
 use proptest::prelude::*;
-use softsoa::core::generate::{chain_weighted, random_fuzzy, random_weighted, RandomScsp};
-use softsoa::core::solve::{
-    BranchAndBound, BucketElimination, EliminationOrder, EnumerationSolver, Solver, VarOrder,
+use proptest::test_runner::TestCaseError;
+use softsoa::core::generate::{
+    chain_weighted, random_fuzzy, random_probabilistic, random_product, random_weighted, RandomScsp,
 };
-use softsoa::core::{combine_all, Constraint, Domain, Domains, Var};
-use softsoa::semiring::{Residuated, Semiring, WeightedInt};
+use softsoa::core::solve::{
+    BranchAndBound, BucketElimination, EliminationOrder, EnumerationSolver, Parallelism,
+    ParetoBranchAndBound, Solution, Solver, SolverConfig, VarOrder,
+};
+use softsoa::core::{combine_all, Constraint, Domain, Domains, Scsp, Var};
+use softsoa::semiring::{Probabilistic, Residuated, Semiring, Unit, WeightedInt};
 
 fn cfg_strategy() -> impl Strategy<Value = RandomScsp> {
     (2usize..6, 2usize..4, 1usize..8, 1usize..3, any::<u64>()).prop_map(
@@ -149,6 +155,194 @@ proptest! {
         let c2 = &p.constraints()[1];
         let q = c1.divide(c2);
         prop_assert!(c2.combine(&q).leq(c1, doms).unwrap());
+    }
+}
+
+/// The frontier of a solution as an order-free set of rendered
+/// `(assignment, level)` pairs, for cross-solver comparison.
+fn frontier_set<S: Semiring>(solution: &Solution<S>) -> BTreeSet<String> {
+    solution
+        .best()
+        .iter()
+        .map(|(eta, level)| format!("{eta} -> {level:?}"))
+        .collect()
+}
+
+/// Every engine configuration (compiled evaluation, 1 or 3 worker
+/// threads) of the enumeration, branch-and-bound and bucket solvers
+/// must reproduce the lazy sequential reference on a totally ordered
+/// semiring.
+fn check_total_order_engines<S: Semiring>(p: &Scsp<S>) -> Result<(), TestCaseError> {
+    let reference = EnumerationSolver::new().solve(p).unwrap();
+    for threads in [1, 3] {
+        let config = SolverConfig::default().with_parallelism(Parallelism::Threads(threads));
+        let enumeration = EnumerationSolver::with_config(config).solve(p).unwrap();
+        prop_assert_eq!(enumeration.blevel(), reference.blevel());
+        let t1 = enumeration.solution_constraint().unwrap();
+        let t2 = reference.solution_constraint().unwrap();
+        prop_assert!(t1.equivalent(t2, p.domains()).unwrap());
+        prop_assert_eq!(frontier_set(&enumeration), frontier_set(&reference));
+
+        let bnb = BranchAndBound::with_config(VarOrder::Input, config)
+            .solve(p)
+            .unwrap();
+        prop_assert_eq!(bnb.blevel(), reference.blevel());
+
+        let be = BucketElimination::with_config(EliminationOrder::InputReverse, config)
+            .solve(p)
+            .unwrap();
+        prop_assert_eq!(be.blevel(), reference.blevel());
+        let t3 = be.solution_constraint().unwrap();
+        prop_assert!(t3.equivalent(t2, p.domains()).unwrap());
+    }
+    Ok(())
+}
+
+/// Whether every frontier element of `a` is dominated-or-equalled by
+/// some frontier element of `b`. Only this direction is meaningful
+/// against the enumeration reference on partial orders: its `con`-table
+/// entries are `+`-aggregates (least upper bounds) over the eliminated
+/// variables, which no single assignment need attain.
+fn frontier_covered<S: Semiring>(semiring: &S, a: &Solution<S>, b: &Solution<S>) -> bool {
+    a.best()
+        .iter()
+        .all(|(_, x)| b.best().iter().any(|(_, y)| semiring.leq(x, y)))
+}
+
+/// The probabilistic engines agree up to floating-point rounding: the
+/// compiled evaluator multiplies constraint levels in scope-completion
+/// order rather than declaration order, which can differ in the last
+/// ulp on ℝ-valued semirings.
+fn check_probabilistic_engines(p: &Scsp<Probabilistic>) -> Result<(), TestCaseError> {
+    let close = |a: &Unit, b: &Unit| (a.get() - b.get()).abs() <= 1e-9;
+    let reference = EnumerationSolver::new().solve(p).unwrap();
+    for threads in [1, 3] {
+        let config = SolverConfig::default().with_parallelism(Parallelism::Threads(threads));
+        let enumeration = EnumerationSolver::with_config(config).solve(p).unwrap();
+        prop_assert!(close(enumeration.blevel(), reference.blevel()));
+        let bnb = BranchAndBound::with_config(VarOrder::Input, config)
+            .solve(p)
+            .unwrap();
+        prop_assert!(close(bnb.blevel(), reference.blevel()));
+        let be = BucketElimination::with_config(EliminationOrder::InputReverse, config)
+            .solve(p)
+            .unwrap();
+        prop_assert!(close(be.blevel(), reference.blevel()));
+    }
+    Ok(())
+}
+
+/// The partial-order engines (Pareto branch-and-bound, bucket
+/// elimination) must reproduce the reference blevel and a
+/// Pareto-equivalent frontier at every thread count.
+fn check_partial_order_engines<S: Semiring>(p: &Scsp<S>) -> Result<(), TestCaseError> {
+    let reference = EnumerationSolver::new().solve(p).unwrap();
+    let pareto_reference = ParetoBranchAndBound::with_config(SolverConfig::reference())
+        .solve(p)
+        .unwrap();
+    for threads in [1, 3] {
+        let config = SolverConfig::default().with_parallelism(Parallelism::Threads(threads));
+        let enumeration = EnumerationSolver::with_config(config).solve(p).unwrap();
+        prop_assert_eq!(enumeration.blevel(), reference.blevel());
+        prop_assert_eq!(frontier_set(&enumeration), frontier_set(&reference));
+
+        let pareto = ParetoBranchAndBound::with_config(config).solve(p).unwrap();
+        prop_assert_eq!(pareto.blevel(), reference.blevel());
+        // Determinism: the compiled parallel frontier is identical (in
+        // content, not just up to domination) to the lazy sequential one.
+        prop_assert_eq!(frontier_set(&pareto), frontier_set(&pareto_reference));
+        // And every witness it reports is consistent with the
+        // enumeration aggregates.
+        prop_assert!(frontier_covered(p.semiring(), &pareto, &reference));
+
+        let be = BucketElimination::with_config(EliminationOrder::InputReverse, config)
+            .solve(p)
+            .unwrap();
+        prop_assert_eq!(be.blevel(), reference.blevel());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compiled + parallel engines agree with the lazy reference on
+    /// random weighted problems.
+    #[test]
+    fn parallel_engines_agree_weighted(cfg in cfg_strategy()) {
+        check_total_order_engines(&random_weighted(&cfg))?;
+    }
+
+    /// ... on random fuzzy problems (idempotent ×).
+    #[test]
+    fn parallel_engines_agree_fuzzy(cfg in cfg_strategy()) {
+        check_total_order_engines(&random_fuzzy(&cfg))?;
+    }
+
+    /// ... on random probabilistic problems (× is ℝ multiplication, so
+    /// agreement is up to rounding).
+    #[test]
+    fn parallel_engines_agree_probabilistic(cfg in cfg_strategy()) {
+        check_probabilistic_engines(&random_probabilistic(&cfg))?;
+    }
+
+    /// ... and on the partially ordered product semiring, where the
+    /// frontier itself must match.
+    #[test]
+    fn parallel_engines_agree_product(cfg in cfg_strategy()) {
+        check_partial_order_engines(&random_product(&cfg))?;
+    }
+}
+
+/// The shrunk configurations recorded in
+/// `solver_properties.proptest-regressions`, re-run deterministically
+/// on every engine so the historical failures stay covered even when
+/// the regression file is not replayed.
+#[test]
+fn pinned_regression_configs_stay_green() {
+    let pinned = [
+        RandomScsp {
+            vars: 2,
+            domain_size: 2,
+            constraints: 2,
+            arity: 2,
+            seed: 3797179113194468951,
+        },
+        RandomScsp {
+            vars: 3,
+            domain_size: 2,
+            constraints: 1,
+            arity: 1,
+            seed: 4927027093462901669,
+        },
+        RandomScsp {
+            vars: 3,
+            domain_size: 2,
+            constraints: 1,
+            arity: 1,
+            seed: 1496016651266552688,
+        },
+    ];
+    for cfg in pinned {
+        let p = random_weighted(&cfg);
+        let reference = EnumerationSolver::new().solve(&p).unwrap();
+        for order in [
+            VarOrder::Input,
+            VarOrder::SmallestDomain,
+            VarOrder::MostConstrained,
+        ] {
+            let bnb = BranchAndBound::new(order).solve(&p).unwrap();
+            assert_eq!(bnb.blevel(), reference.blevel(), "{cfg:?}");
+        }
+        for order in [EliminationOrder::InputReverse, EliminationOrder::MinDegree] {
+            let be = BucketElimination::new(order).solve(&p).unwrap();
+            assert_eq!(be.blevel(), reference.blevel(), "{cfg:?}");
+            let t1 = be.solution_constraint().unwrap();
+            let t2 = reference.solution_constraint().unwrap();
+            assert!(t1.equivalent(t2, p.domains()).unwrap(), "{cfg:?}");
+        }
+        check_total_order_engines(&p).unwrap();
+        check_partial_order_engines(&random_product(&cfg)).unwrap();
     }
 }
 
