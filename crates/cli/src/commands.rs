@@ -12,7 +12,10 @@ use softsoa_core::solve::{
 };
 use softsoa_core::{Domain, Domains, Scsp, Var};
 use softsoa_dependability::{check_refinement, photo};
-use softsoa_nmsccp::{parse_program, Interpreter, Outcome, ParseEnv, Policy, Store};
+use softsoa_nmsccp::{
+    parse_program, FaultPalette, FaultPlan, Interpreter, Interval, ParseEnv, Policy,
+    RecoveryPolicy, ResilientInterpreter, Store,
+};
 use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Semiring, Weighted};
 
 use crate::format::{
@@ -235,27 +238,15 @@ where
             fmt_level(&entry.consistency)
         );
     }
-    match &report.outcome {
-        Outcome::Success { store } => {
-            let level = store
-                .consistency()
-                .map_err(|e| CommandError::Engine(e.to_string()))?;
-            let _ = writeln!(out, "outcome: SUCCESS at σ⇓∅ = {}", fmt_level(&level));
-        }
-        Outcome::Deadlock { store, agent } => {
-            let level = store
-                .consistency()
-                .map_err(|e| CommandError::Engine(e.to_string()))?;
-            let _ = writeln!(
-                out,
-                "outcome: DEADLOCK at σ⇓∅ = {} (residual: {agent})",
-                fmt_level(&level)
-            );
-        }
-        Outcome::OutOfFuel { .. } => {
-            let _ = writeln!(out, "outcome: OUT OF FUEL after {} steps", report.steps);
-        }
-    }
+    let level = report
+        .final_consistency()
+        .map_err(|e| CommandError::Engine(e.to_string()))?;
+    let _ = writeln!(
+        out,
+        "outcome: {} at σ⇓∅ = {}",
+        report.outcome,
+        fmt_level(&level)
+    );
     Ok(out)
 }
 
@@ -277,6 +268,174 @@ pub fn negotiate(text: &str) -> Result<String, CommandError> {
             negotiate_generic(&spec, Probabilistic, unit_level, ToString::to_string)
         }
         SemiringKind::Boolean => negotiate_generic(&spec, Boolean, bool_level, ToString::to_string),
+    }
+}
+
+/// Chaos-mode options for `negotiate` (`--chaos-*` flags).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosOptions {
+    /// RNG seed for the fault plan (`--chaos-seed`); equal seeds give
+    /// bit-identical runs.
+    pub seed: u64,
+    /// Per-step fault probability (`--chaos-rate`).
+    pub rate: f64,
+    /// Steps covered by the fault plan (`--chaos-horizon`).
+    pub horizon: usize,
+    /// Retry budget for blocked configurations (`--chaos-retries`).
+    pub retries: usize,
+    /// Idle steps before each retry (`--chaos-deadline`).
+    pub deadline: usize,
+    /// Base of the exponential retry backoff (`--chaos-backoff`).
+    pub backoff: usize,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> ChaosOptions {
+        ChaosOptions {
+            seed: 0,
+            rate: 0.1,
+            horizon: 16,
+            retries: 3,
+            deadline: 4,
+            backoff: 2,
+        }
+    }
+}
+
+fn negotiate_chaos_generic<S, L>(
+    spec: &NegotiationSpec,
+    options: ChaosOptions,
+    semiring: S,
+    level: L,
+    fmt_level: impl Fn(&S::Value) -> String,
+) -> Result<String, CommandError>
+where
+    S: softsoa_semiring::Residuated,
+    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+{
+    let mut env = ParseEnv::new(semiring.clone());
+    let mut named = std::collections::BTreeMap::new();
+    for (name, cspec) in &spec.constraints {
+        let mut c = cspec.to_constraint(semiring.clone(), level.clone())?;
+        if c.label().is_none() {
+            // Fault and recovery trace notes name constraints by label.
+            c = c.with_label(name.clone());
+        }
+        env = env.with_constraint(name, c.clone());
+        named.insert(name.clone(), c);
+    }
+    for (name, raw) in &spec.levels {
+        env = env.with_level(name, level(*raw)?);
+    }
+    let (program, agent) = parse_program(&spec.agent, &env)
+        .map_err(|e| CommandError::Engine(format!("agent syntax: {e}")))?;
+    let mut domains = Domains::new();
+    for (name, dspec) in &spec.domains {
+        domains.insert(Var::new(name), dspec.to_domain()?);
+    }
+
+    // Faults draw from the scenario's own vocabulary: any named
+    // constraint may be forcibly retracted, and chosen transitions may
+    // be dropped.
+    let palette = FaultPalette {
+        retractions: named.values().cloned().collect(),
+        drop_transitions: true,
+        ..FaultPalette::default()
+    };
+    let plan = FaultPlan::seeded(options.seed, options.horizon, options.rate, &palette);
+
+    let relaxations = spec
+        .relaxations
+        .iter()
+        .map(|name| {
+            named.get(name).cloned().ok_or_else(|| {
+                CommandError::Usage(format!("relaxation `{name}` names no constraint"))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let invariant = spec
+        .invariant
+        .map(|[lo, hi]| Ok::<_, FormatError>(Interval::levels(level(lo)?, level(hi)?)))
+        .transpose()?;
+    let recovery = RecoveryPolicy {
+        guard_deadline: options.deadline,
+        max_retries: options.retries,
+        backoff_base: options.backoff,
+        relaxations,
+        invariant,
+    };
+
+    let policy = match spec.policy {
+        PolicySpec::First => Policy::First,
+        PolicySpec::RoundRobin => Policy::RoundRobin,
+        PolicySpec::Random(seed) => Policy::Random(seed),
+    };
+    let report = ResilientInterpreter::new(program)
+        .with_plan(plan)
+        .with_recovery(recovery)
+        .with_policy(policy)
+        .with_max_steps(spec.max_steps)
+        .run(agent, Store::empty(semiring, domains))
+        .map_err(|e| CommandError::Engine(e.to_string()))?;
+
+    let mut out = String::new();
+    for entry in &report.report.trace {
+        let _ = writeln!(
+            out,
+            "step {:3}  {:8} {:12} {:40} σ⇓∅ = {}",
+            entry.step,
+            entry.origin.to_string(),
+            entry.rule.to_string(),
+            entry.note,
+            fmt_level(&entry.consistency)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "faults: {} injected, {} transitions dropped",
+        report.faults_injected, report.dropped_transitions
+    );
+    let _ = writeln!(
+        out,
+        "recovery: {} retries, {} rollbacks, {} relaxations, {} interval violations",
+        report.retries, report.rollbacks, report.relaxations_applied, report.invariant_violations
+    );
+    let _ = writeln!(
+        out,
+        "outcome: {} at σ⇓∅ = {}",
+        report.report.outcome,
+        fmt_level(&report.final_consistency)
+    );
+    Ok(out)
+}
+
+/// `softsoa negotiate --chaos-*`: run an `nmsccp` scenario under
+/// deterministic fault injection with retry, rollback and relaxation
+/// recovery. Same seed, same report, bit for bit.
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents, unknown
+/// relaxation names, agent syntax errors or engine failures.
+pub fn negotiate_chaos(text: &str, options: ChaosOptions) -> Result<String, CommandError> {
+    let spec = NegotiationSpec::from_json(text)?;
+    match spec.semiring {
+        SemiringKind::Weighted => {
+            negotiate_chaos_generic(&spec, options, Weighted, weight_level, ToString::to_string)
+        }
+        SemiringKind::Fuzzy => {
+            negotiate_chaos_generic(&spec, options, Fuzzy, unit_level, ToString::to_string)
+        }
+        SemiringKind::Probabilistic => negotiate_chaos_generic(
+            &spec,
+            options,
+            Probabilistic,
+            unit_level,
+            ToString::to_string,
+        ),
+        SemiringKind::Boolean => {
+            negotiate_chaos_generic(&spec, options, Boolean, bool_level, ToString::to_string)
+        }
     }
 }
 
@@ -549,6 +708,60 @@ mod tests {
         let report = negotiate(doc).unwrap();
         assert!(report.contains("DEADLOCK"), "{report}");
         assert!(report.contains("σ⇓∅ = 5"), "{report}");
+    }
+
+    const DEADLOCKED: &str = r#"{
+        "semiring": "weighted",
+        "domains": {"x": {"ints": [0, 10]}},
+        "constraints": {
+            "c1": {"linear": {"var": "x", "slope": 1.0, "intercept": 3.0}},
+            "c3": {"linear": {"var": "x", "slope": 2.0, "intercept": 0.0}},
+            "c4": {"linear": {"var": "x", "slope": 1.0, "intercept": 5.0}},
+            "one": {"linear": {"var": "x", "slope": 0.0, "intercept": 0.0}}
+        },
+        "levels": {"two": 2.0, "four": 4.0},
+        "agent": "tell(c4) success || tell(c3) ask(one) ->[four, two] success",
+        "relaxations": ["c1"],
+        "invariant": [10.0, 0.0]
+    }"#;
+
+    #[test]
+    fn negotiate_chaos_rescues_a_deadlock() {
+        // Naively the same scenario deadlocks (see
+        // `negotiate_reports_deadlocks`); under chaos mode the
+        // relaxation ladder concedes c1 and the ask is granted.
+        let options = ChaosOptions {
+            rate: 0.0,
+            ..ChaosOptions::default()
+        };
+        let report = negotiate_chaos(DEADLOCKED, options).unwrap();
+        assert!(report.contains("SUCCESS"), "{report}");
+        assert!(report.contains("σ⇓∅ = 2"), "{report}");
+        assert!(report.contains("relax(c1)"), "{report}");
+    }
+
+    #[test]
+    fn negotiate_chaos_is_bit_reproducible() {
+        let options = ChaosOptions {
+            seed: 7,
+            rate: 0.3,
+            ..ChaosOptions::default()
+        };
+        let a = negotiate_chaos(DEADLOCKED, options).unwrap();
+        let b = negotiate_chaos(DEADLOCKED, options).unwrap();
+        assert_eq!(a, b);
+        // A different seed perturbs the run.
+        let c = negotiate_chaos(DEADLOCKED, ChaosOptions { seed: 8, ..options }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn negotiate_chaos_rejects_unknown_relaxations() {
+        let doc = DEADLOCKED.replace("\"relaxations\": [\"c1\"]", "\"relaxations\": [\"c9\"]");
+        assert!(matches!(
+            negotiate_chaos(&doc, ChaosOptions::default()),
+            Err(CommandError::Usage(_))
+        ));
     }
 
     #[test]

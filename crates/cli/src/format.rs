@@ -334,6 +334,16 @@ pub struct NegotiationSpec {
     /// The step budget (defaults to 10 000).
     #[serde(default = "default_fuel")]
     pub max_steps: usize,
+    /// Relaxation ladder for chaos mode: names from `constraints`,
+    /// retracted in order when a chaos run deadlocks or leaves its
+    /// invariant (ignored outside chaos mode).
+    #[serde(default)]
+    pub relaxations: Vec<String>,
+    /// Dependability invariant for chaos mode, as `[lower, upper]`
+    /// threshold levels (the paper's C1–C4 interval; ignored outside
+    /// chaos mode).
+    #[serde(default)]
+    pub invariant: Option<[f64; 2]>,
 }
 
 fn default_policy() -> PolicySpec {

@@ -10,6 +10,7 @@
 //! ```console
 //! $ softsoa solve problem.json --solver bucket
 //! $ softsoa negotiate scenario.json
+//! $ softsoa negotiate scenario.json --chaos-seed 7 --chaos-rate 0.2
 //! $ softsoa explore scenario.json
 //! $ softsoa coalitions trust.json
 //! $ softsoa integrity --step 512
@@ -26,8 +27,8 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    coalitions, explore, integrity, negotiate, solve, solve_with, CommandError, SolveOptions,
-    SolverChoice,
+    coalitions, explore, integrity, negotiate, negotiate_chaos, solve, solve_with, ChaosOptions,
+    CommandError, SolveOptions, SolverChoice,
 };
 pub use format::{
     CoalitionSpec, ConstraintSpec, DomainSpec, FormatError, NegotiationSpec, PolicySpec,

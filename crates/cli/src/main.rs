@@ -3,7 +3,8 @@
 use std::process::ExitCode;
 
 use softsoa_cli::{
-    coalitions, explore, integrity, negotiate, solve_with, SolveOptions, SolverChoice,
+    coalitions, explore, integrity, negotiate, negotiate_chaos, solve_with, ChaosOptions,
+    SolveOptions, SolverChoice,
 };
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
@@ -12,6 +13,8 @@ USAGE:
     softsoa solve <problem.json> [--solver enum|bnb|bucket]
                   [--jobs <n>] [--lazy] [--stats]
     softsoa negotiate <scenario.json>
+                  [--chaos-seed <n>] [--chaos-rate <p>] [--chaos-horizon <n>]
+                  [--chaos-retries <n>] [--chaos-deadline <n>] [--chaos-backoff <n>]
     softsoa explore <scenario.json>
     softsoa coalitions <trust.json>
     softsoa integrity [--step <kb>]
@@ -51,9 +54,40 @@ fn run() -> Result<String, String> {
         }
         "negotiate" => {
             let path = it.next().ok_or("negotiate: missing <scenario.json>")?;
+            fn parse_num<T: std::str::FromStr>(
+                flag: &str,
+                value: Option<&String>,
+            ) -> Result<T, String>
+            where
+                T::Err: std::fmt::Display,
+            {
+                let value = value.ok_or_else(|| format!("{flag}: missing value"))?;
+                value
+                    .parse()
+                    .map_err(|e| format!("{flag}: invalid value: {e}"))
+            }
+            let mut chaos = ChaosOptions::default();
+            let mut chaos_mode = false;
+            while let Some(flag) = it.next() {
+                chaos_mode = true;
+                let flag = flag.as_str();
+                match flag {
+                    "--chaos-seed" => chaos.seed = parse_num(flag, it.next())?,
+                    "--chaos-rate" => chaos.rate = parse_num(flag, it.next())?,
+                    "--chaos-horizon" => chaos.horizon = parse_num(flag, it.next())?,
+                    "--chaos-retries" => chaos.retries = parse_num(flag, it.next())?,
+                    "--chaos-deadline" => chaos.deadline = parse_num(flag, it.next())?,
+                    "--chaos-backoff" => chaos.backoff = parse_num(flag, it.next())?,
+                    other => return Err(format!("negotiate: unknown flag `{other}`")),
+                }
+            }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            negotiate(&text).map_err(|e| e.to_string())
+            if chaos_mode {
+                negotiate_chaos(&text, chaos).map_err(|e| e.to_string())
+            } else {
+                negotiate(&text).map_err(|e| e.to_string())
+            }
         }
         "explore" => {
             let path = it.next().ok_or("explore: missing <scenario.json>")?;

@@ -25,19 +25,34 @@ pub fn unconstrain<S: Semiring>(policy: &Constraint<S>) -> Constraint<S> {
     Constraint::from_fn(semiring, &scope, move |_| one.clone()).with_label(label)
 }
 
-/// Degrades a probabilistic policy by multiplying every level by
-/// `factor` (e.g. an ageing component at 90% of its nominal
-/// reliability).
-pub fn degrade(policy: &Constraint<Probabilistic>, factor: Unit) -> Constraint<Probabilistic> {
+/// Attenuates a policy uniformly: every level is `×`-combined with
+/// `factor`, whatever the semiring — multiply probabilities, add
+/// weighted costs, take fuzzy minima. This is the semiring-generic
+/// fault of an ageing or partially failed component; it is also the
+/// policy-level counterpart of a store-wide
+/// `Degrade` fault in `nmsccp`'s resilience machinery.
+pub fn attenuate<S: Semiring>(policy: &Constraint<S>, factor: &S::Value) -> Constraint<S> {
+    let semiring = policy.semiring().clone();
     let inner = policy.clone();
+    let factor = factor.clone();
     let scope: Vec<Var> = policy.scope().to_vec();
     let label = policy
         .label()
-        .map_or_else(|| "degraded".to_string(), |l| format!("{l}(degraded)"));
-    Constraint::from_fn(Probabilistic, &scope, move |vals| {
-        inner.eval_tuple(vals).mul(factor)
+        .map_or_else(|| "attenuated".to_string(), |l| format!("{l}(attenuated)"));
+    Constraint::from_fn(semiring.clone(), &scope, move |vals| {
+        semiring.times(&inner.eval_tuple(vals), &factor)
     })
     .with_label(label)
+}
+
+/// Degrades a probabilistic policy by multiplying every level by
+/// `factor` (e.g. an ageing component at 90% of its nominal
+/// reliability). Delegates to the semiring-generic [`attenuate`].
+pub fn degrade(policy: &Constraint<Probabilistic>, factor: Unit) -> Constraint<Probabilistic> {
+    let label = policy
+        .label()
+        .map_or_else(|| "degraded".to_string(), |l| format!("{l}(degraded)"));
+    attenuate(policy, &factor).with_label(label)
 }
 
 /// The verdict for injecting a fault into one module.
@@ -143,6 +158,20 @@ mod tests {
             .bind(photo::outcomp(), 4096)
             .bind(photo::bwbyte(), 1024);
         assert!((d.eval(&eta).get() - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attenuate_is_semiring_generic() {
+        use softsoa_semiring::{Weight, Weighted};
+        // In the weighted semiring, attenuation adds a flat cost.
+        let c = Constraint::unary(Weighted, "x", |v| {
+            Weight::saturating(v.as_int().unwrap() as f64)
+        })
+        .with_label("cost");
+        let a = attenuate(&c, &Weight::new(2.0).unwrap());
+        let eta = Assignment::new().bind(Var::new("x"), 3);
+        assert_eq!(a.eval(&eta), Weight::new(5.0).unwrap());
+        assert_eq!(a.label(), Some("cost(attenuated)"));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod photo;
 mod refinement;
 
 pub use attributes::{Attribute, MetricClass};
-pub use fault::{degrade, single_fault_campaign, unconstrain, FaultVerdict};
+pub use fault::{attenuate, degrade, single_fault_campaign, unconstrain, FaultVerdict};
 pub use refinement::{
     check_refinement, dependably_safe, locally_refines, meets_requirement, Counterexample,
     RefinementReport,

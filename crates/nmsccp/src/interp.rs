@@ -24,6 +24,35 @@ pub enum Policy {
     Random(u64),
 }
 
+/// Who caused a trace entry: the agent itself, the timed environment,
+/// an injected fault, or a recovery action.
+///
+/// Faults and recoveries share the trace with ordinary transitions so
+/// a resilient run stays replayable from its trace alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryOrigin {
+    /// An ordinary agent transition (rules R1–R10).
+    Agent,
+    /// A scheduled environment event ([`crate::TimedEvent`]).
+    Environment,
+    /// An injected fault ([`crate::FaultPlan`]).
+    Fault,
+    /// A recovery action: retry, rollback or relaxation.
+    Recovery,
+}
+
+impl std::fmt::Display for EntryOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EntryOrigin::Agent => "agent",
+            EntryOrigin::Environment => "env",
+            EntryOrigin::Fault => "fault",
+            EntryOrigin::Recovery => "recovery",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One executed step, for post-mortem inspection of a run.
 #[derive(Debug, Clone)]
 pub struct TraceEntry<S: Semiring> {
@@ -37,6 +66,8 @@ pub struct TraceEntry<S: Semiring> {
     pub consistency: S::Value,
     /// How many transitions were enabled when this one was chosen.
     pub enabled: usize,
+    /// Who caused the step.
+    pub origin: EntryOrigin,
 }
 
 /// The terminal state of a run.
@@ -81,6 +112,16 @@ impl<S: Semiring> Outcome<S> {
     }
 }
 
+impl<S: Semiring> std::fmt::Display for Outcome<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Success { .. } => write!(f, "SUCCESS"),
+            Outcome::Deadlock { agent, .. } => write!(f, "DEADLOCK (residual: {agent})"),
+            Outcome::OutOfFuel { agent, .. } => write!(f, "OUT OF FUEL (residual: {agent})"),
+        }
+    }
+}
+
 /// The full report of a run: outcome, step count and trace.
 #[derive(Debug, Clone)]
 pub struct RunReport<S: Semiring> {
@@ -90,6 +131,20 @@ pub struct RunReport<S: Semiring> {
     pub steps: usize,
     /// The executed transitions, in order.
     pub trace: Vec<TraceEntry<S>>,
+}
+
+impl<S: Semiring> RunReport<S> {
+    /// The consistency level `σ ⇓ ∅` of the final store, whatever the
+    /// outcome — the single number the paper uses to judge a
+    /// negotiation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StoreError`] if a variable of the store's
+    /// scope has no declared domain.
+    pub fn final_consistency(&self) -> Result<S::Value, crate::StoreError> {
+        self.outcome.store().consistency()
+    }
 }
 
 /// A sequential interpreter executing an agent against a store.
@@ -202,6 +257,7 @@ impl<S: Residuated> Interpreter<S> {
                 note: chosen.note,
                 consistency: chosen.store.consistency()?,
                 enabled: count,
+                origin: EntryOrigin::Agent,
             });
             agent = chosen.agent.normalize();
             store = chosen.store;

@@ -28,6 +28,9 @@
 //! - [`run_sessions`] — many independent negotiations in parallel;
 //! - [`TimedInterpreter`] — scheduled tells/retracts (the timing
 //!   mechanisms of the paper's Example 2);
+//! - [`ResilientInterpreter`] — deterministic fault injection
+//!   ([`FaultPlan`]) with retry, checkpoint/rollback and relaxation
+//!   recovery ([`RecoveryPolicy`]);
 //! - [`Explorer`] — bounded exploration of *all* schedules: is an
 //!   agreement possible under some schedule, and is it guaranteed
 //!   under every one?
@@ -75,6 +78,7 @@ mod concurrent;
 mod explore;
 mod interp;
 mod parser;
+mod resilience;
 pub mod semantics;
 mod store;
 mod timed;
@@ -85,8 +89,12 @@ pub use concurrent::{
     run_sessions, AgentOutcome, AgentReport, ConcurrentExecutor, ConcurrentReport,
 };
 pub use explore::{Exploration, ExplorationStats, Explorer};
-pub use interp::{Interpreter, Outcome, Policy, RunReport, TraceEntry};
+pub use interp::{EntryOrigin, Interpreter, Outcome, Policy, RunReport, TraceEntry};
 pub use parser::{parse_agent, parse_program, ParseEnv, ParseError};
+pub use resilience::{
+    FaultAction, FaultEvent, FaultPalette, FaultPlan, FaultStatus, RecoveryPolicy,
+    ResilienceReport, ResilientInterpreter,
+};
 pub use semantics::{enabled, FreshGen, Rule, SemanticsError, Transition};
 pub use store::{Store, StoreError};
 pub use timed::{EventStatus, TimedAction, TimedEvent, TimedInterpreter, TimedRunReport};

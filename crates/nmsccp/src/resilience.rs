@@ -1,0 +1,1035 @@
+//! Deterministic fault injection and recovery for `nmsccp` runs.
+//!
+//! Sec. 5 of the paper motivates the checked transitions C1–C4 with a
+//! module that "could take on any behaviour": dependability means the
+//! negotiation keeps its store inside a declared interval *while the
+//! environment misbehaves*. This module makes that story executable.
+//! A [`FaultPlan`] is a step-indexed schedule of faults — the chaos
+//! counterpart of the timed tells/retracts in [`crate::TimedEvent`] —
+//! injected *during* interpretation, and a [`RecoveryPolicy`] gives
+//! the runtime four ways to survive them:
+//!
+//! - **guard deadlines + bounded retry** — a starved `ask` suspends
+//!   for a step budget and retries with deterministic exponential
+//!   backoff instead of deadlocking immediately;
+//! - **checkpoint/rollback** — the last `(agent, store)` pair that
+//!   satisfied the declared interval is restored when a mutation
+//!   leaves the interval;
+//! - **graceful degradation** — a retract-based relaxation ladder is
+//!   consumed rung by rung (residuation `÷`, Example 2 of the paper)
+//!   until the interval is re-entered or a blocked run unblocks;
+//! - **replayable traces** — every fault and every recovery action is
+//!   a [`TraceEntry`] with a [`EntryOrigin::Fault`] or
+//!   [`EntryOrigin::Recovery`] origin, so a fixed seed reproduces the
+//!   run bit for bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use softsoa_core::Constraint;
+use softsoa_semiring::{Residuated, Semiring};
+
+use crate::semantics::{enabled, FreshGen, Rule, SemanticsError};
+use crate::{
+    Agent, EntryOrigin, Interval, Outcome, Policy, Program, RunReport, Store, StoreError,
+    TraceEntry,
+};
+
+/// A fault the environment can inject into a running configuration.
+#[derive(Debug, Clone)]
+pub enum FaultAction<S: Semiring> {
+    /// Silently swallow the next chosen transition: the scheduler
+    /// picks it, the trace records it as dropped, the configuration
+    /// does not move (a lost message).
+    DropTransition,
+    /// Tell an adversarial constraint into the store (a corrupted
+    /// policy, Sec. 5's "any behaviour" module).
+    Corrupt(Constraint<S>),
+    /// Worsen every level of the store uniformly by the given semiring
+    /// value ([`Store::attenuate`]) — a provider-wide quality loss.
+    Degrade(S::Value),
+    /// Replace the `i mod n`-th parallel branch (of `n` leaves) with
+    /// `success`, silencing it forever (a crashed provider). Skipped
+    /// when the agent has no parallel branch.
+    CrashBranch(usize),
+    /// Retract a told policy from the store (rule R7) — the dual of
+    /// [`FaultAction::Corrupt`]. Skipped when the store does not
+    /// entail the constraint.
+    Unconstrain(Constraint<S>),
+}
+
+/// A scheduled fault: *at* the given interpreter step, inject the
+/// action. Events at step `k` fire before the `k`-th transition, and
+/// each firing consumes one step, exactly like [`crate::TimedEvent`].
+#[derive(Debug, Clone)]
+pub struct FaultEvent<S: Semiring> {
+    /// The step count at which the fault fires.
+    pub at_step: usize,
+    /// The fault to inject.
+    pub action: FaultAction<S>,
+}
+
+/// What happened to a scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStatus {
+    /// The fault was injected.
+    Applied,
+    /// An [`FaultAction::Unconstrain`] was skipped because the store
+    /// did not entail the constraint at fire time.
+    SkippedNotEntailed,
+    /// A [`FaultAction::CrashBranch`] was skipped because the agent
+    /// had no parallel branch to crash.
+    SkippedNoBranch,
+}
+
+/// The kinds of faults a seeded [`FaultPlan`] may draw from.
+///
+/// An empty palette generates no faults regardless of the rate.
+#[derive(Debug, Clone)]
+pub struct FaultPalette<S: Semiring> {
+    /// Constraints available to [`FaultAction::Corrupt`].
+    pub corruptions: Vec<Constraint<S>>,
+    /// Values available to [`FaultAction::Degrade`].
+    pub degradations: Vec<S::Value>,
+    /// Constraints available to [`FaultAction::Unconstrain`].
+    pub retractions: Vec<Constraint<S>>,
+    /// Whether [`FaultAction::DropTransition`] may be drawn.
+    pub drop_transitions: bool,
+    /// Whether [`FaultAction::CrashBranch`] may be drawn.
+    pub crash_branches: bool,
+}
+
+impl<S: Semiring> Default for FaultPalette<S> {
+    fn default() -> FaultPalette<S> {
+        FaultPalette {
+            corruptions: Vec::new(),
+            degradations: Vec::new(),
+            retractions: Vec::new(),
+            drop_transitions: false,
+            crash_branches: false,
+        }
+    }
+}
+
+/// A deterministic, replayable schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan<S: Semiring> {
+    events: Vec<FaultEvent<S>>,
+}
+
+impl<S: Semiring> FaultPlan<S> {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan<S> {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Creates a plan from explicit events.
+    pub fn new(events: Vec<FaultEvent<S>>) -> FaultPlan<S> {
+        FaultPlan { events }
+    }
+
+    /// Draws a plan from a seed: at every step below `horizon` a fault
+    /// fires with probability `rate`, its kind and payload picked
+    /// uniformly from the palette. The same `(seed, horizon, rate,
+    /// palette)` always yields the same plan.
+    pub fn seeded(seed: u64, horizon: usize, rate: f64, palette: &FaultPalette<S>) -> FaultPlan<S> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for at_step in 0..horizon {
+            if rng.random::<f64>() >= rate {
+                continue;
+            }
+            let mut actions: Vec<FaultAction<S>> = Vec::new();
+            if palette.drop_transitions {
+                actions.push(FaultAction::DropTransition);
+            }
+            if !palette.corruptions.is_empty() {
+                let i = rng.random_range(0..palette.corruptions.len());
+                actions.push(FaultAction::Corrupt(palette.corruptions[i].clone()));
+            }
+            if !palette.degradations.is_empty() {
+                let i = rng.random_range(0..palette.degradations.len());
+                actions.push(FaultAction::Degrade(palette.degradations[i].clone()));
+            }
+            if !palette.retractions.is_empty() {
+                let i = rng.random_range(0..palette.retractions.len());
+                actions.push(FaultAction::Unconstrain(palette.retractions[i].clone()));
+            }
+            if palette.crash_branches {
+                actions.push(FaultAction::CrashBranch(rng.random_range(0..8)));
+            }
+            if actions.is_empty() {
+                continue;
+            }
+            let pick = rng.random_range(0..actions.len());
+            events.push(FaultEvent {
+                at_step,
+                action: actions.swap_remove(pick),
+            });
+        }
+        FaultPlan { events }
+    }
+
+    /// The scheduled events, in declaration order.
+    pub fn events(&self) -> &[FaultEvent<S>] {
+        &self.events
+    }
+
+    /// The number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// How the runtime recovers from suspensions and interval violations.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy<S: Semiring> {
+    /// How many steps a blocked configuration idles before each retry
+    /// (the per-guard deadline that turns a starved `ask` into a
+    /// recoverable suspension).
+    pub guard_deadline: usize,
+    /// How many retries a blocked configuration gets before the
+    /// relaxation ladder is consulted. The budget resets whenever a
+    /// transition or a relaxation makes progress.
+    pub max_retries: usize,
+    /// Base of the deterministic exponential backoff: retry `n` idles
+    /// `guard_deadline + backoff_base · 2ⁿ⁻¹` steps.
+    pub backoff_base: usize,
+    /// The relaxation ladder: constraints retracted one rung at a time
+    /// (weakest contribution first) to unblock a deadlocked run or
+    /// re-enter a violated interval. Rungs the store does not entail
+    /// are skipped.
+    pub relaxations: Vec<Constraint<S>>,
+    /// The dependability interval (C1–C4) the store must stay inside.
+    /// `None` disables checkpointing and rollback.
+    pub invariant: Option<Interval<S>>,
+}
+
+impl<S: Semiring> Default for RecoveryPolicy<S> {
+    fn default() -> RecoveryPolicy<S> {
+        RecoveryPolicy {
+            guard_deadline: 4,
+            max_retries: 3,
+            backoff_base: 2,
+            relaxations: Vec::new(),
+            invariant: None,
+        }
+    }
+}
+
+/// The report of a resilient run: the usual [`RunReport`] plus the
+/// fate of every fault and the recovery counters.
+#[derive(Debug, Clone)]
+pub struct ResilienceReport<S: Semiring> {
+    /// The underlying run report (outcome, steps, full trace —
+    /// including fault and recovery entries).
+    pub report: RunReport<S>,
+    /// `(event index, status)` for every fault that fired, in firing
+    /// order. Indices refer to [`FaultPlan::events`].
+    pub fault_log: Vec<(usize, FaultStatus)>,
+    /// How many faults were actually injected (status `Applied`).
+    pub faults_injected: usize,
+    /// How many chosen transitions a [`FaultAction::DropTransition`]
+    /// swallowed.
+    pub dropped_transitions: usize,
+    /// How many retries a blocked configuration consumed.
+    pub retries: usize,
+    /// How many rollbacks to a checkpoint were performed.
+    pub rollbacks: usize,
+    /// How many relaxation rungs were retracted.
+    pub relaxations_applied: usize,
+    /// How many times the declared interval was violated (recovered or
+    /// not).
+    pub invariant_violations: usize,
+    /// The consistency level `σ ⇓ ∅` of the final store.
+    pub final_consistency: S::Value,
+}
+
+impl<S: Semiring> ResilienceReport<S> {
+    /// Whether the run terminated with `success`.
+    pub fn is_success(&self) -> bool {
+        self.report.outcome.is_success()
+    }
+}
+
+/// Tracks checkpoint, ladder position and recovery counters during a
+/// resilient run.
+struct RecoveryState<S: Semiring> {
+    checkpoint: Option<(Agent<S>, Store<S>)>,
+    next_rung: usize,
+    rollbacks: usize,
+    relaxations: usize,
+    violations: usize,
+    unrecovered_logged: bool,
+}
+
+impl<S: Residuated> RecoveryState<S> {
+    fn new() -> RecoveryState<S> {
+        RecoveryState {
+            checkpoint: None,
+            next_rung: 0,
+            rollbacks: 0,
+            relaxations: 0,
+            violations: 0,
+            unrecovered_logged: false,
+        }
+    }
+
+    /// Retracts the next entailed rung of the ladder, if any.
+    fn apply_next_rung(
+        &mut self,
+        recovery: &RecoveryPolicy<S>,
+        store: &mut Store<S>,
+        steps: &mut usize,
+        trace: &mut Vec<TraceEntry<S>>,
+    ) -> Result<bool, SemanticsError> {
+        while self.next_rung < recovery.relaxations.len() {
+            let rung = recovery.relaxations[self.next_rung].clone();
+            self.next_rung += 1;
+            match store.retract(&rung) {
+                Ok(next) => {
+                    *store = next;
+                    self.relaxations += 1;
+                    trace.push(TraceEntry {
+                        step: *steps,
+                        rule: Rule::Retract,
+                        note: format!("recovery: relax({})", label(&rung)),
+                        consistency: store.consistency()?,
+                        enabled: 0,
+                        origin: EntryOrigin::Recovery,
+                    });
+                    *steps += 1;
+                    return Ok(true);
+                }
+                Err(StoreError::NotEntailed) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(false)
+    }
+
+    /// Checks the declared interval after a mutation. On a pass with
+    /// `arm_checkpoint`, records the state as the rollback target. On
+    /// a violation: restore the checkpoint if one is armed, otherwise
+    /// relax rung by rung until the interval is re-entered, otherwise
+    /// record (once) that the violation is unrecoverable and carry on.
+    fn ensure_invariant(
+        &mut self,
+        recovery: &RecoveryPolicy<S>,
+        agent: &mut Agent<S>,
+        store: &mut Store<S>,
+        steps: &mut usize,
+        trace: &mut Vec<TraceEntry<S>>,
+        arm_checkpoint: bool,
+    ) -> Result<(), SemanticsError> {
+        let Some(interval) = &recovery.invariant else {
+            return Ok(());
+        };
+        if interval.check(store).map_err(SemanticsError::from)? {
+            if arm_checkpoint {
+                self.checkpoint = Some((agent.clone(), store.clone()));
+            }
+            return Ok(());
+        }
+        self.violations += 1;
+        if let Some((ck_agent, ck_store)) = self.checkpoint.take() {
+            *agent = ck_agent;
+            *store = ck_store;
+            self.rollbacks += 1;
+            trace.push(TraceEntry {
+                step: *steps,
+                rule: Rule::Update,
+                note: "recovery: rollback to last checkpoint inside the interval".to_string(),
+                consistency: store.consistency()?,
+                enabled: 0,
+                origin: EntryOrigin::Recovery,
+            });
+            *steps += 1;
+            return Ok(());
+        }
+        loop {
+            if interval.check(store).map_err(SemanticsError::from)? {
+                return Ok(());
+            }
+            if !self.apply_next_rung(recovery, store, steps, trace)? {
+                if !self.unrecovered_logged {
+                    self.unrecovered_logged = true;
+                    trace.push(TraceEntry {
+                        step: *steps,
+                        rule: Rule::Ask,
+                        note: "recovery: interval violated, no recovery available".to_string(),
+                        consistency: store.consistency()?,
+                        enabled: 0,
+                        origin: EntryOrigin::Recovery,
+                    });
+                    *steps += 1;
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// How a resilient run ended (internal; converted to [`Outcome`]).
+enum End {
+    Success,
+    OutOfFuel,
+    Deadlock,
+}
+
+/// An interpreter that injects a [`FaultPlan`] into a run and applies
+/// a [`RecoveryPolicy`] to survive it.
+///
+/// Both the fault schedule and every recovery decision are functions
+/// of `(plan, recovery, policy, max_steps)` and the step counter
+/// alone, so a fixed seed reproduces the whole run — trace, fault log
+/// and counters — bit for bit.
+///
+/// # Examples
+///
+/// Example 1 of the paper deadlocks: the merged policies cost 5 hours,
+/// outside the client's `[1, 4]` interval. Under a recovery policy
+/// whose relaxation ladder holds `c1 = x + 3`, the runtime retries,
+/// then retracts `c1` (Example 2's relaxation) and the negotiation
+/// completes at level 2:
+///
+/// ```
+/// use softsoa_nmsccp::{Agent, Interval, Program, RecoveryPolicy,
+///     ResilientInterpreter, Store};
+/// use softsoa_core::{Constraint, Domain, Domains};
+/// use softsoa_semiring::WeightedInt;
+///
+/// let doms = Domains::new().with("x", Domain::ints(0..=10));
+/// let lin = |a: u64, b: u64| Constraint::unary(WeightedInt, "x", move |v| {
+///     a * v.as_int().unwrap() as u64 + b
+/// });
+/// let p1 = Agent::tell(lin(1, 5), Interval::any(&WeightedInt), Agent::success());
+/// let p2 = Agent::tell(lin(2, 0), Interval::any(&WeightedInt),
+///     Agent::ask(Constraint::always(WeightedInt),
+///         Interval::levels(4u64, 1u64), Agent::success()));
+///
+/// let recovery = RecoveryPolicy {
+///     relaxations: vec![lin(1, 3).with_label("c1")],
+///     ..RecoveryPolicy::default()
+/// };
+/// let report = ResilientInterpreter::new(Program::new())
+///     .with_recovery(recovery)
+///     .run(Agent::par(p1, p2), Store::empty(WeightedInt, doms))?;
+/// assert!(report.is_success());
+/// assert_eq!(report.final_consistency, 2);
+/// assert_eq!(report.relaxations_applied, 1);
+/// # Ok::<(), softsoa_nmsccp::SemanticsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilientInterpreter<S: Semiring> {
+    program: Program<S>,
+    plan: FaultPlan<S>,
+    recovery: RecoveryPolicy<S>,
+    policy: Policy,
+    max_steps: usize,
+}
+
+impl<S: Residuated> ResilientInterpreter<S> {
+    /// Creates a resilient interpreter with no faults, the default
+    /// [`RecoveryPolicy`], the [`Policy::First`] schedule and a budget
+    /// of 10 000 steps.
+    pub fn new(program: Program<S>) -> ResilientInterpreter<S> {
+        ResilientInterpreter {
+            program,
+            plan: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
+            policy: Policy::First,
+            max_steps: 10_000,
+        }
+    }
+
+    /// Sets the fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan<S>) -> ResilientInterpreter<S> {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the recovery policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy<S>) -> ResilientInterpreter<S> {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_policy(mut self, policy: Policy) -> ResilientInterpreter<S> {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> ResilientInterpreter<S> {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs the agent under the fault plan and recovery policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemanticsError`] as the sequential interpreter does.
+    pub fn run(
+        &self,
+        agent: Agent<S>,
+        store: Store<S>,
+    ) -> Result<ResilienceReport<S>, SemanticsError> {
+        let mut rng = match self.policy {
+            Policy::First | Policy::RoundRobin => None,
+            Policy::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        };
+        let mut fresh = FreshGen::new();
+        let mut agent = agent.normalize();
+        let mut store = store;
+        let mut trace = Vec::new();
+        let mut steps = 0usize;
+
+        let mut schedule: Vec<(usize, &FaultEvent<S>)> =
+            self.plan.events.iter().enumerate().collect();
+        schedule.sort_by_key(|(i, e)| (e.at_step, *i));
+        let mut next_fault = 0usize;
+
+        let mut fault_log = Vec::new();
+        let mut faults_injected = 0usize;
+        let mut dropped_transitions = 0usize;
+        let mut retries = 0usize;
+        let mut retry_attempt = 0usize;
+        let mut drop_pending = false;
+        let mut rec = RecoveryState::new();
+
+        // Arm the initial checkpoint if the empty-run store already
+        // satisfies the invariant.
+        rec.ensure_invariant(
+            &self.recovery,
+            &mut agent,
+            &mut store,
+            &mut steps,
+            &mut trace,
+            true,
+        )?;
+
+        let end = loop {
+            // 1. Inject due faults (each costs a step, like a timed
+            //    event).
+            while next_fault < schedule.len() && schedule[next_fault].1.at_step <= steps {
+                let (event_index, event) = schedule[next_fault];
+                next_fault += 1;
+                let mut mutated = false;
+                let (status, rule, note) = match &event.action {
+                    FaultAction::DropTransition => {
+                        drop_pending = true;
+                        (
+                            FaultStatus::Applied,
+                            Rule::Tell,
+                            "fault: drop next transition".to_string(),
+                        )
+                    }
+                    FaultAction::Corrupt(c) => {
+                        store = store.tell(c)?;
+                        mutated = true;
+                        (
+                            FaultStatus::Applied,
+                            Rule::Tell,
+                            format!("fault: corrupt({})", label(c)),
+                        )
+                    }
+                    FaultAction::Degrade(v) => {
+                        store = store.attenuate(v)?;
+                        mutated = true;
+                        (
+                            FaultStatus::Applied,
+                            Rule::Tell,
+                            format!("fault: degrade({v:?})"),
+                        )
+                    }
+                    FaultAction::CrashBranch(i) => {
+                        let leaves = par_leaf_count(&agent);
+                        if leaves <= 1 {
+                            (
+                                FaultStatus::SkippedNoBranch,
+                                Rule::Tell,
+                                "fault: crash branch skipped (no parallel branch)".to_string(),
+                            )
+                        } else {
+                            let target = i % leaves;
+                            agent = crash_leaf(agent, target).normalize();
+                            (
+                                FaultStatus::Applied,
+                                Rule::Tell,
+                                format!("fault: crash branch {target} of {leaves}"),
+                            )
+                        }
+                    }
+                    FaultAction::Unconstrain(c) => match store.retract(c) {
+                        Ok(next) => {
+                            store = next;
+                            mutated = true;
+                            (
+                                FaultStatus::Applied,
+                                Rule::Retract,
+                                format!("fault: unconstrain({})", label(c)),
+                            )
+                        }
+                        Err(StoreError::NotEntailed) => (
+                            FaultStatus::SkippedNotEntailed,
+                            Rule::Retract,
+                            format!("fault: unconstrain({}) skipped", label(c)),
+                        ),
+                        Err(e) => return Err(e.into()),
+                    },
+                };
+                if status == FaultStatus::Applied {
+                    faults_injected += 1;
+                }
+                trace.push(TraceEntry {
+                    step: steps,
+                    rule,
+                    note,
+                    consistency: store.consistency()?,
+                    enabled: 0,
+                    origin: EntryOrigin::Fault,
+                });
+                fault_log.push((event_index, status));
+                steps += 1;
+                if mutated {
+                    rec.ensure_invariant(
+                        &self.recovery,
+                        &mut agent,
+                        &mut store,
+                        &mut steps,
+                        &mut trace,
+                        false,
+                    )?;
+                }
+            }
+
+            if agent.is_success() {
+                break End::Success;
+            }
+            if steps >= self.max_steps {
+                break End::OutOfFuel;
+            }
+
+            let transitions = enabled(&self.program, &agent, &store, &mut fresh)?;
+            if transitions.is_empty() {
+                if next_fault < schedule.len() {
+                    // Suspended, but faults still pend: advance the
+                    // clock to the next one — it may unblock us.
+                    steps = steps.max(schedule[next_fault].1.at_step);
+                    continue;
+                }
+                if retry_attempt < self.recovery.max_retries {
+                    // Per-guard deadline: idle, then retry with
+                    // deterministic exponential backoff.
+                    retry_attempt += 1;
+                    retries += 1;
+                    let wait = self.recovery.guard_deadline
+                        + (self.recovery.backoff_base << (retry_attempt - 1));
+                    steps += wait;
+                    trace.push(TraceEntry {
+                        step: steps,
+                        rule: Rule::Ask,
+                        note: format!(
+                            "recovery: retry {retry_attempt} after {wait}-step suspension"
+                        ),
+                        consistency: store.consistency()?,
+                        enabled: 0,
+                        origin: EntryOrigin::Recovery,
+                    });
+                    continue;
+                }
+                // Retries exhausted: degrade gracefully, one rung at a
+                // time, with a fresh retry budget per rung.
+                if rec.apply_next_rung(&self.recovery, &mut store, &mut steps, &mut trace)? {
+                    retry_attempt = 0;
+                    continue;
+                }
+                break End::Deadlock;
+            }
+
+            let count = transitions.len();
+            let index = match (&self.policy, &mut rng) {
+                (Policy::RoundRobin, _) => steps % count,
+                (_, Some(rng)) => rng.random_range(0..count),
+                _ => 0,
+            };
+            let chosen = transitions.into_iter().nth(index).expect("index in range");
+            if drop_pending {
+                // The armed fault swallows the chosen transition: the
+                // configuration does not move.
+                drop_pending = false;
+                dropped_transitions += 1;
+                trace.push(TraceEntry {
+                    step: steps,
+                    rule: chosen.rule,
+                    note: format!("fault: dropped {}", chosen.note),
+                    consistency: store.consistency()?,
+                    enabled: count,
+                    origin: EntryOrigin::Fault,
+                });
+                steps += 1;
+                continue;
+            }
+            trace.push(TraceEntry {
+                step: steps,
+                rule: chosen.rule,
+                note: chosen.note,
+                consistency: chosen.store.consistency()?,
+                enabled: count,
+                origin: EntryOrigin::Agent,
+            });
+            agent = chosen.agent.normalize();
+            store = chosen.store;
+            steps += 1;
+            retry_attempt = 0;
+            rec.ensure_invariant(
+                &self.recovery,
+                &mut agent,
+                &mut store,
+                &mut steps,
+                &mut trace,
+                true,
+            )?;
+        };
+
+        let final_consistency = store.consistency()?;
+        let outcome = match end {
+            End::Success => Outcome::Success { store },
+            End::OutOfFuel => Outcome::OutOfFuel { store, agent },
+            End::Deadlock => Outcome::Deadlock { store, agent },
+        };
+        Ok(ResilienceReport {
+            report: RunReport {
+                outcome,
+                steps,
+                trace,
+            },
+            fault_log,
+            faults_injected,
+            dropped_transitions,
+            retries,
+            rollbacks: rec.rollbacks,
+            relaxations_applied: rec.relaxations,
+            invariant_violations: rec.violations,
+            final_consistency,
+        })
+    }
+}
+
+/// The number of parallel leaves of an agent (1 for a non-`Par`).
+fn par_leaf_count<S: Semiring>(agent: &Agent<S>) -> usize {
+    match agent {
+        Agent::Par(l, r) => par_leaf_count(l) + par_leaf_count(r),
+        _ => 1,
+    }
+}
+
+/// Replaces the `target`-th parallel leaf (in-order) with `success`.
+fn crash_leaf<S: Semiring>(agent: Agent<S>, target: usize) -> Agent<S> {
+    fn go<S: Semiring>(agent: Agent<S>, target: usize, counter: &mut usize) -> Agent<S> {
+        match agent {
+            Agent::Par(l, r) => {
+                let l = go(*l, target, counter);
+                let r = go(*r, target, counter);
+                Agent::par(l, r)
+            }
+            other => {
+                let i = *counter;
+                *counter += 1;
+                if i == target {
+                    Agent::success()
+                } else {
+                    other
+                }
+            }
+        }
+    }
+    go(agent, target, &mut 0)
+}
+
+fn label<S: Semiring>(c: &Constraint<S>) -> String {
+    c.label().map_or_else(|| "c".to_string(), str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsoa_core::{Constraint, Domain, Domains};
+    use softsoa_semiring::WeightedInt;
+
+    fn doms() -> Domains {
+        Domains::new().with("x", Domain::ints(0..=10))
+    }
+
+    fn lin(a: u64, b: u64, name: &str) -> Constraint<WeightedInt> {
+        Constraint::unary(WeightedInt, "x", move |v| {
+            a * v.as_int().unwrap() as u64 + b
+        })
+        .with_label(name)
+    }
+
+    fn any() -> Interval<WeightedInt> {
+        Interval::any(&WeightedInt)
+    }
+
+    /// Example 1 (deadlocks naively) completes under retry +
+    /// relaxation — the headline acceptance demo.
+    #[test]
+    fn deadlocked_negotiation_completes_under_relaxation() {
+        let mk = || {
+            let p1 = Agent::tell(lin(1, 5, "c4"), any(), Agent::success());
+            let p2 = Agent::tell(
+                lin(2, 0, "c3"),
+                any(),
+                Agent::ask(
+                    Constraint::always(WeightedInt).with_label("1"),
+                    Interval::levels(4u64, 1u64),
+                    Agent::success(),
+                ),
+            );
+            Agent::par(p1, p2)
+        };
+        // Naive interpretation deadlocks at level 5 ∉ [1, 4].
+        let naive = crate::Interpreter::new(Program::new())
+            .run(mk(), Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(matches!(naive.outcome, Outcome::Deadlock { .. }));
+
+        // Resilient interpretation retries, then relaxes c1 away.
+        let recovery = RecoveryPolicy {
+            relaxations: vec![lin(1, 3, "c1")],
+            ..RecoveryPolicy::default()
+        };
+        let report = ResilientInterpreter::new(Program::new())
+            .with_recovery(recovery)
+            .run(mk(), Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.final_consistency, 2);
+        assert_eq!(report.retries, 3);
+        assert_eq!(report.relaxations_applied, 1);
+        assert!(report
+            .report
+            .trace
+            .iter()
+            .any(|t| t.origin == EntryOrigin::Recovery && t.note.contains("relax(c1)")));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let palette = FaultPalette {
+            corruptions: vec![lin(0, 2, "noise")],
+            degradations: vec![1u64],
+            retractions: vec![lin(0, 1, "one")],
+            drop_transitions: true,
+            crash_branches: true,
+        };
+        let a = FaultPlan::seeded(42, 50, 0.3, &palette);
+        let b = FaultPlan::seeded(42, 50, 0.3, &palette);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        for (ea, eb) in a.events().iter().zip(b.events()) {
+            assert_eq!(ea.at_step, eb.at_step);
+            assert_eq!(
+                std::mem::discriminant(&ea.action),
+                std::mem::discriminant(&eb.action)
+            );
+        }
+        // A different seed yields a different plan (for this seed
+        // pair; both draws are deterministic).
+        let c = FaultPlan::seeded(43, 50, 0.3, &palette);
+        let fingerprint =
+            |p: &FaultPlan<WeightedInt>| p.events().iter().map(|e| e.at_step).collect::<Vec<_>>();
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn corrupting_fault_triggers_rollback() {
+        // The agent tells a good policy (level 1, inside [3, 0]); a
+        // corruption at step 1 pushes the store to level 6, and the
+        // rollback restores the checkpointed state.
+        let agent = Agent::tell(
+            lin(1, 1, "good"),
+            any(),
+            Agent::ask(
+                Constraint::always(WeightedInt).with_label("1"),
+                Interval::levels(3u64, 0u64),
+                Agent::success(),
+            ),
+        );
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 1,
+            action: FaultAction::Corrupt(lin(0, 5, "garbage")),
+        }]);
+        let recovery = RecoveryPolicy {
+            invariant: Some(Interval::levels(3u64, 0u64)),
+            ..RecoveryPolicy::default()
+        };
+        let report = ResilientInterpreter::new(Program::new())
+            .with_plan(plan)
+            .with_recovery(recovery)
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.faults_injected, 1);
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.invariant_violations, 1);
+        assert_eq!(report.final_consistency, 1); // corruption undone
+    }
+
+    #[test]
+    fn dropped_transition_is_recorded_and_not_applied() {
+        let agent = Agent::tell(lin(0, 2, "c"), any(), Agent::success());
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            action: FaultAction::DropTransition,
+        }]);
+        let report = ResilientInterpreter::new(Program::new())
+            .with_plan(plan)
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        // The tell is dropped once, then re-chosen and applied.
+        assert!(report.is_success());
+        assert_eq!(report.dropped_transitions, 1);
+        assert_eq!(report.final_consistency, 2);
+        let dropped: Vec<&TraceEntry<WeightedInt>> = report
+            .report
+            .trace
+            .iter()
+            .filter(|t| t.note.starts_with("fault: dropped"))
+            .collect();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].origin, EntryOrigin::Fault);
+        assert_eq!(dropped[0].consistency, 0); // store unchanged
+    }
+
+    #[test]
+    fn crash_branch_silences_one_provider() {
+        // Two providers; crashing leaf 1 removes the second tell.
+        let mk =
+            |tag: u64, name: &'static str| Agent::tell(lin(0, tag, name), any(), Agent::success());
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            action: FaultAction::CrashBranch(1),
+        }]);
+        let report = ResilientInterpreter::new(Program::new())
+            .with_plan(plan)
+            .run(
+                Agent::par(mk(1, "a"), mk(2, "b")),
+                Store::empty(WeightedInt, doms()),
+            )
+            .unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.faults_injected, 1);
+        assert_eq!(report.final_consistency, 1); // only "a" told
+    }
+
+    #[test]
+    fn crash_branch_skipped_without_parallelism() {
+        let agent = Agent::tell(lin(0, 1, "c"), any(), Agent::success());
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            action: FaultAction::CrashBranch(0),
+        }]);
+        let report = ResilientInterpreter::new(Program::new())
+            .with_plan(plan)
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert_eq!(report.fault_log, vec![(0, FaultStatus::SkippedNoBranch)]);
+        assert_eq!(report.faults_injected, 0);
+        assert!(report.is_success());
+    }
+
+    #[test]
+    fn unconstrain_fault_skipped_when_not_entailed() {
+        let agent = Agent::tell(lin(1, 1, "c"), any(), Agent::success());
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 0,
+            action: FaultAction::Unconstrain(lin(9, 9, "big")),
+        }]);
+        let report = ResilientInterpreter::new(Program::new())
+            .with_plan(plan)
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert_eq!(report.fault_log, vec![(0, FaultStatus::SkippedNotEntailed)]);
+        assert!(report.is_success());
+    }
+
+    #[test]
+    fn degrade_fault_attenuates_the_store() {
+        let agent = Agent::tell(lin(1, 1, "c"), any(), Agent::success());
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at_step: 1,
+            action: FaultAction::Degrade(3u64),
+        }]);
+        let report = ResilientInterpreter::new(Program::new())
+            .with_plan(plan)
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(report.is_success());
+        assert_eq!(report.final_consistency, 4); // 1 + 3
+    }
+
+    #[test]
+    fn fixed_seed_run_is_bit_reproducible() {
+        let palette = FaultPalette {
+            corruptions: vec![lin(0, 1, "noise")],
+            degradations: vec![2u64],
+            retractions: vec![lin(0, 1, "noise")],
+            drop_transitions: true,
+            crash_branches: true,
+        };
+        let run = || {
+            let plan = FaultPlan::seeded(7, 30, 0.4, &palette);
+            let recovery = RecoveryPolicy {
+                relaxations: vec![lin(0, 1, "noise")],
+                invariant: Some(Interval::levels(9u64, 0u64)),
+                ..RecoveryPolicy::default()
+            };
+            let p = |tag: u64, name: &'static str| {
+                Agent::tell(
+                    lin(0, tag, name),
+                    any(),
+                    Agent::ask(
+                        Constraint::always(WeightedInt).with_label("1"),
+                        Interval::levels(9u64, 0u64),
+                        Agent::success(),
+                    ),
+                )
+            };
+            ResilientInterpreter::new(Program::new())
+                .with_plan(plan)
+                .with_recovery(recovery)
+                .with_policy(Policy::Random(11))
+                .run(
+                    Agent::par(p(1, "a"), p(2, "b")),
+                    Store::empty(WeightedInt, doms()),
+                )
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.fault_log, b.fault_log);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.rollbacks, b.rollbacks);
+        assert_eq!(a.relaxations_applied, b.relaxations_applied);
+        assert_eq!(a.final_consistency, b.final_consistency);
+        assert_eq!(a.report.steps, b.report.steps);
+        let sig = |r: &ResilienceReport<WeightedInt>| {
+            r.report
+                .trace
+                .iter()
+                .map(|t| (t.step, t.note.clone(), t.consistency, t.origin))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&a), sig(&b));
+    }
+}

@@ -173,6 +173,21 @@ impl<S: Semiring> Store<S> {
         Ok(phi.leq(&self.sigma, &self.domains)?)
     }
 
+    /// Uniformly worsens every level of the store by `factor`:
+    /// `σ' = σ ⊗ factor̄` — the store-level form of a degradation
+    /// fault, where a provider's whole policy loses quality without
+    /// changing shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::MissingDomain`] if a support variable has
+    /// no domain.
+    pub fn attenuate(&self, factor: &S::Value) -> Result<Store<S>, StoreError> {
+        let c =
+            Constraint::constant(self.semiring.clone(), factor.clone()).with_label("attenuation");
+        self.tell(&c)
+    }
+
     /// Replaces the information on `vars`: `σ' = (σ ⇓ (V \ X)) ⊗ c`
     /// (rule R8) — the transactional *update* that resembles an
     /// imperative assignment.
@@ -324,6 +339,19 @@ mod tests {
         assert!(store.entails(&c_linear(1, 1)).unwrap());
         // but not 3x + 3.
         assert!(!store.entails(&c_linear(3, 3)).unwrap());
+    }
+
+    #[test]
+    fn attenuate_worsens_every_level_uniformly() {
+        let store = Store::empty(WeightedInt, doms())
+            .tell(&c_linear(2, 1))
+            .unwrap();
+        let degraded = store.attenuate(&3).unwrap();
+        assert_eq!(degraded.consistency().unwrap(), 4); // (2·0 + 1) + 3
+        for x in 0..=10u64 {
+            let eta = Assignment::new().bind("x", x as i64);
+            assert_eq!(degraded.sigma().eval(&eta), 2 * x + 1 + 3);
+        }
     }
 
     #[test]

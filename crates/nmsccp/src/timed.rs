@@ -170,6 +170,7 @@ impl<S: Residuated> TimedInterpreter<S> {
                     note,
                     consistency: store.consistency()?,
                     enabled: 0,
+                    origin: crate::EntryOrigin::Environment,
                 });
                 events.push((event_index, status));
                 steps += 1;
@@ -221,6 +222,7 @@ impl<S: Residuated> TimedInterpreter<S> {
                 note: chosen.note,
                 consistency: chosen.store.consistency()?,
                 enabled: count,
+                origin: crate::EntryOrigin::Agent,
             });
             agent = chosen.agent.normalize();
             store = chosen.store;
@@ -321,6 +323,95 @@ mod tests {
         assert!(report.report.outcome.is_success());
         // 1̄ ⊗ 1 ⊗ 1 = constant 2 ≥ goal = 2.
         assert_eq!(report.report.outcome.store().consistency().unwrap(), 2);
+    }
+
+    #[test]
+    fn mid_run_retraction_not_entailed_is_skipped_and_run_continues() {
+        // The store holds x+1 when the retraction of 2x+2 fires: the
+        // store does not entail it (x+1 ⋢ 2x+2), so the event is
+        // skipped and the remaining agent steps still run.
+        let agent = Agent::tell(
+            lin(1, 1, "c"),
+            Interval::any(&WeightedInt),
+            Agent::tell(
+                lin(0, 1, "d"),
+                Interval::any(&WeightedInt),
+                Agent::success(),
+            ),
+        );
+        let schedule = vec![TimedEvent {
+            at_step: 1,
+            action: TimedAction::Retract(lin(2, 2, "big")),
+        }];
+        let report = TimedInterpreter::new(Program::new(), schedule)
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(report.report.outcome.is_success());
+        assert_eq!(report.events, vec![(0, EventStatus::SkippedNotEntailed)]);
+        // Both tells still landed: σ⇓∅ = (x+1 ⊗ 1̄+1)⇓∅ = 2 at x = 0.
+        assert_eq!(report.report.final_consistency().unwrap(), 2);
+        // The skipped event still leaves a trace entry, marked as the
+        // environment's.
+        let skip = report
+            .report
+            .trace
+            .iter()
+            .find(|t| t.note.contains("skipped"))
+            .expect("skipped event traced");
+        assert_eq!(skip.origin, crate::EntryOrigin::Environment);
+    }
+
+    #[test]
+    fn events_sharing_a_step_fire_in_schedule_order() {
+        // Two tells and a retract all at step 0. Schedule order is
+        // tell(a), tell(b), retract(a): the retract must see a store
+        // already holding a ⊗ b, so it applies (not skipped) and the
+        // final level is b's alone.
+        let agent = Agent::ask(
+            Constraint::always(WeightedInt).with_label("1"),
+            Interval::levels(3u64, 0u64),
+            Agent::success(),
+        );
+        let schedule = vec![
+            TimedEvent {
+                at_step: 0,
+                action: TimedAction::Tell(lin(0, 5, "a")),
+            },
+            TimedEvent {
+                at_step: 0,
+                action: TimedAction::Tell(lin(0, 3, "b")),
+            },
+            TimedEvent {
+                at_step: 0,
+                action: TimedAction::Retract(lin(0, 5, "a")),
+            },
+        ];
+        let report = TimedInterpreter::new(Program::new(), schedule)
+            .run(agent, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        // All three applied, in declaration order.
+        assert_eq!(
+            report.events,
+            vec![
+                (0, EventStatus::Applied),
+                (1, EventStatus::Applied),
+                (2, EventStatus::Applied),
+            ]
+        );
+        // Trace notes confirm the firing order a, b, retract(a).
+        let notes: Vec<&str> = report
+            .report
+            .trace
+            .iter()
+            .filter(|t| t.origin == crate::EntryOrigin::Environment)
+            .map(|t| t.note.as_str())
+            .collect();
+        assert_eq!(
+            notes,
+            vec!["timed tell(a)", "timed tell(b)", "timed retract(a)"]
+        );
+        assert!(report.report.outcome.is_success());
+        assert_eq!(report.report.final_consistency().unwrap(), 3);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Property-based tests of the resilient runtime: trace
+//! replayability under fixed seeds, C1–C4 interval preservation (every
+//! excursion outside the declared interval is followed by a recorded
+//! recovery or by the explicit "no recovery available" marker), and
+//! the acceptance demo — a negotiation that deadlocks naively but
+//! completes under retry plus relaxation.
+
+use proptest::prelude::*;
+use softsoa_core::{Constraint, Domain, Domains};
+use softsoa_nmsccp::{
+    Agent, EntryOrigin, FaultPalette, FaultPlan, Interpreter, Interval, Policy, Program,
+    RecoveryPolicy, ResilienceReport, ResilientInterpreter, Store, TraceEntry,
+};
+use softsoa_semiring::WeightedInt;
+
+fn doms() -> Domains {
+    Domains::new().with("x", Domain::ints(0..=6))
+}
+
+fn store() -> Store<WeightedInt> {
+    Store::empty(WeightedInt, doms())
+}
+
+fn lin(a: u64, b: u64) -> Constraint<WeightedInt> {
+    Constraint::unary(WeightedInt, "x", move |v| {
+        a * v.as_int().unwrap() as u64 + b
+    })
+    .with_label(format!("{a}x+{b}"))
+}
+
+fn any_iv() -> Interval<WeightedInt> {
+    Interval::any(&WeightedInt)
+}
+
+/// A random chain of tells over a small constraint pool.
+fn tell_chain_strategy() -> impl Strategy<Value = Agent<WeightedInt>> {
+    proptest::collection::vec((0u64..3, 0u64..4), 1..4).prop_map(|coeffs| {
+        coeffs
+            .into_iter()
+            .rev()
+            .fold(Agent::success(), |acc, (a, b)| {
+                Agent::tell(lin(a, b), any_iv(), acc)
+            })
+    })
+}
+
+/// The full fault vocabulary over the same constraint pool.
+fn palette() -> FaultPalette<WeightedInt> {
+    FaultPalette {
+        corruptions: vec![lin(1, 2), lin(2, 1)],
+        degradations: vec![1u64, 2u64],
+        retractions: vec![lin(0, 1), lin(1, 0)],
+        drop_transitions: true,
+        crash_branches: true,
+    }
+}
+
+/// A comparable fingerprint of one trace entry.
+fn fingerprint(entry: &TraceEntry<WeightedInt>) -> (usize, String, u64, EntryOrigin) {
+    (
+        entry.step,
+        entry.note.clone(),
+        entry.consistency,
+        entry.origin,
+    )
+}
+
+fn run_chaos(
+    agent: &Agent<WeightedInt>,
+    plan: &FaultPlan<WeightedInt>,
+    recovery: &RecoveryPolicy<WeightedInt>,
+) -> ResilienceReport<WeightedInt> {
+    ResilientInterpreter::new(Program::new())
+        .with_plan(plan.clone())
+        .with_recovery(recovery.clone())
+        .with_max_steps(500)
+        .run(agent.clone(), store())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same seed, same run: the full trace, the fault log and every
+    /// recovery counter are bit-identical across replays.
+    #[test]
+    fn fixed_seed_chaos_runs_replay_identically(
+        left in tell_chain_strategy(),
+        right in tell_chain_strategy(),
+        seed in any::<u64>(),
+        rate_pct in 0u32..90,
+    ) {
+        let agent = Agent::par(left, right);
+        let rate = f64::from(rate_pct) / 100.0;
+        let plan = FaultPlan::seeded(seed, 24, rate, &palette());
+        let recovery = RecoveryPolicy::default();
+        let a = run_chaos(&agent, &plan, &recovery);
+        let b = run_chaos(&agent, &plan, &recovery);
+        let trace = |r: &ResilienceReport<WeightedInt>| {
+            r.report.trace.iter().map(fingerprint).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(trace(&a), trace(&b));
+        prop_assert_eq!(&a.fault_log, &b.fault_log);
+        prop_assert_eq!(a.report.steps, b.report.steps);
+        prop_assert_eq!(a.faults_injected, b.faults_injected);
+        prop_assert_eq!(a.dropped_transitions, b.dropped_transitions);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(a.rollbacks, b.rollbacks);
+        prop_assert_eq!(a.relaxations_applied, b.relaxations_applied);
+        prop_assert_eq!(a.invariant_violations, b.invariant_violations);
+        prop_assert_eq!(a.final_consistency, b.final_consistency);
+    }
+
+    /// Seeded fault plans are pure functions of the seed.
+    #[test]
+    fn fault_plans_are_pure_functions_of_the_seed(
+        seed in any::<u64>(),
+        rate_pct in 0u32..100,
+    ) {
+        let rate = f64::from(rate_pct) / 100.0;
+        let a = FaultPlan::seeded(seed, 32, rate, &palette());
+        let b = FaultPlan::seeded(seed, 32, rate, &palette());
+        let steps = |p: &FaultPlan<WeightedInt>| {
+            p.events().iter().map(|e| e.at_step).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(steps(&a), steps(&b));
+        prop_assert_eq!(a.len(), b.len());
+    }
+
+    /// The dependability guarantee of the paper's checked transitions,
+    /// under chaos: whenever an intermediate store leaves the declared
+    /// C1–C4 interval, the runtime *reacts* — a recovery-origin entry
+    /// (rollback or relaxation) follows the excursion, or the trace
+    /// carries the explicit marker that no recovery was available.
+    /// Violations never pass silently.
+    #[test]
+    fn interval_excursions_are_always_answered(
+        left in tell_chain_strategy(),
+        right in tell_chain_strategy(),
+        seed in any::<u64>(),
+        lower in 2u64..8,
+    ) {
+        let agent = Agent::par(left, right);
+        // Upper bound at the semiring one (cost 0): the empty store is
+        // inside, so only "too bad" excursions count.
+        let invariant = Interval::levels(lower, 0u64);
+        let recovery = RecoveryPolicy {
+            relaxations: vec![lin(0, 1), lin(1, 0)],
+            invariant: Some(invariant),
+            ..RecoveryPolicy::default()
+        };
+        let plan = FaultPlan::seeded(seed, 24, 0.4, &palette());
+        let report = run_chaos(&agent, &plan, &recovery);
+
+        let trace = &report.report.trace;
+        let unrecovered = trace
+            .iter()
+            .any(|e| e.note == "recovery: interval violated, no recovery available");
+        for (i, entry) in trace.iter().enumerate() {
+            let inside = entry.consistency <= lower;
+            if !inside {
+                let answered = trace[i + 1..]
+                    .iter()
+                    .any(|later| later.origin == EntryOrigin::Recovery);
+                prop_assert!(
+                    answered || unrecovered,
+                    "unanswered excursion to {} (> {lower}) at trace index {i}",
+                    entry.consistency
+                );
+            }
+        }
+        // The report's counters agree with the trace.
+        let recovery_entries = trace
+            .iter()
+            .filter(|e| e.origin == EntryOrigin::Recovery)
+            .count();
+        prop_assert!(
+            report.rollbacks + report.relaxations_applied + report.retries <= recovery_entries + 1,
+            "counters exceed recorded recovery entries"
+        );
+    }
+
+    /// Chaos runs always terminate within fuel and report a valid
+    /// final level, whatever the plan does to the store.
+    #[test]
+    fn chaos_runs_terminate_cleanly(
+        left in tell_chain_strategy(),
+        right in tell_chain_strategy(),
+        seed in any::<u64>(),
+        rate_pct in 0u32..100,
+    ) {
+        let agent = Agent::par(left, right);
+        let rate = f64::from(rate_pct) / 100.0;
+        let plan = FaultPlan::seeded(seed, 16, rate, &palette());
+        let report = run_chaos(&agent, &plan, &RecoveryPolicy::default());
+        // Tell-only programs always re-enable; only injected faults and
+        // recovery idling can consume extra steps, both bounded.
+        prop_assert!(report.report.steps <= 500);
+        prop_assert_eq!(
+            report.final_consistency,
+            report.report.final_consistency().unwrap()
+        );
+    }
+}
+
+/// The acceptance demo: Example 2 of the paper with an inflexible
+/// provider deadlocks under the plain interpreter, and completes at
+/// the agreed level 2 once the resilient runtime retries and then
+/// concedes `c1` from the relaxation ladder.
+#[test]
+fn deadlocked_negotiation_completes_under_retry_and_relaxation() {
+    let provider = Agent::tell(lin(1, 5), any_iv(), Agent::success());
+    let client = Agent::tell(
+        lin(2, 0),
+        any_iv(),
+        Agent::ask(
+            Constraint::always(WeightedInt),
+            Interval::levels(4u64, 2u64),
+            Agent::success(),
+        ),
+    );
+    let agent = Agent::par(provider, client);
+
+    let naive = Interpreter::new(Program::new())
+        .with_policy(Policy::First)
+        .run(agent.clone(), store())
+        .unwrap();
+    assert!(!naive.outcome.is_success(), "naive run must deadlock");
+
+    let recovery = RecoveryPolicy {
+        relaxations: vec![lin(1, 3).with_label("c1")],
+        ..RecoveryPolicy::default()
+    };
+    let report = ResilientInterpreter::new(Program::new())
+        .with_recovery(recovery)
+        .run(agent, store())
+        .unwrap();
+    assert!(report.is_success(), "resilient run must complete");
+    assert_eq!(report.final_consistency, 2);
+    assert!(report.retries > 0, "the deadlock is noticed via retries");
+    assert_eq!(report.relaxations_applied, 1);
+}

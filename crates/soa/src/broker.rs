@@ -319,20 +319,11 @@ impl<S: Residuated> Broker<S> {
         F: Fn(&QosOffer) -> Constraint<S>,
     {
         // Translate the offers concerning the negotiation variable.
-        let offers: Vec<Constraint<S>> = service
-            .qos
-            .offers
-            .iter()
-            .filter(|o| o.variable == request.variable.name())
-            .map(translate)
-            .collect();
-        if offers.is_empty() {
+        let Some(provider_constraint) =
+            provider_constraint(service, request.variable.name(), translate)
+        else {
             return Ok(None);
-        }
-        let provider_constraint = offers
-            .iter()
-            .skip(1)
-            .fold(offers[0].clone(), |acc, c| acc.combine(c));
+        };
 
         // The provider agent publishes its policy; the client agent
         // publishes its own and then checks the agreement interval.
@@ -376,6 +367,27 @@ impl<S: Residuated> Broker<S> {
             binding,
         }))
     }
+}
+
+/// Combines a provider's offers on the negotiation variable into its
+/// single policy constraint; `None` if no offer matches the variable.
+pub(crate) fn provider_constraint<S: Semiring, F>(
+    service: &ServiceDescription,
+    variable: &str,
+    translate: &F,
+) -> Option<Constraint<S>>
+where
+    F: Fn(&QosOffer) -> Constraint<S>,
+{
+    let offers: Vec<Constraint<S>> = service
+        .qos
+        .offers
+        .iter()
+        .filter(|o| o.variable == variable)
+        .map(translate)
+        .collect();
+    let first = offers.first()?.clone();
+    Some(offers.iter().skip(1).fold(first, |acc, c| acc.combine(c)))
 }
 
 #[cfg(test)]

@@ -21,7 +21,12 @@
 //!   failure models, and the monitoring the paper requires for
 //!   compositions;
 //! - [`Orchestrator`] — workload execution over a composed pipeline
-//!   with retries, per-stage measurement and SLA verdicts.
+//!   with retries, per-stage measurement and SLA verdicts;
+//! - [`ChaosConfig`] — chaos-mode negotiation and querying: provider
+//!   faults from the seeded failure model are injected into running
+//!   `nmsccp` sessions, which recover by retrying, rolling back and
+//!   relaxing ([`Broker::negotiate_resilient`],
+//!   [`Broker::query_resilient`]).
 //!
 //! # Example: negotiating the fuzzy agreement of Fig. 5
 //!
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod broker;
+mod chaos;
 mod compose;
 mod orchestrator;
 mod qos;
@@ -68,6 +74,7 @@ mod registry;
 mod sim;
 
 pub use broker::{Broker, NegotiationError, NegotiationRequest, Sla};
+pub use chaos::{provider_fault_plan, ChaosConfig, ChaosReport, QueryChaosReport};
 pub use compose::Composition;
 pub use orchestrator::{Orchestrator, SlaVerdict, StageStats, WorkloadReport};
 pub use qos::{OfferShape, QosDocument, QosOffer};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_properties-0cdbac1d46d522ca.d: crates/nmsccp/tests/chaos_properties.rs
+
+/root/repo/target/debug/deps/chaos_properties-0cdbac1d46d522ca: crates/nmsccp/tests/chaos_properties.rs
+
+crates/nmsccp/tests/chaos_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_properties-c5baf0e8472ecc62.d: crates/nmsccp/tests/chaos_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_properties-c5baf0e8472ecc62.rmeta: crates/nmsccp/tests/chaos_properties.rs Cargo.toml
+
+crates/nmsccp/tests/chaos_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

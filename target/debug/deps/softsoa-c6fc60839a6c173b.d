@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsoa-c6fc60839a6c173b.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/softsoa-c6fc60839a6c173b: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/softsoa_dependability-d5b70986122ebb12.d: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+/root/repo/target/debug/deps/softsoa_dependability-d5b70986122ebb12: crates/dependability/src/lib.rs crates/dependability/src/attributes.rs crates/dependability/src/availability.rs crates/dependability/src/fault.rs crates/dependability/src/photo.rs crates/dependability/src/refinement.rs
+
+crates/dependability/src/lib.rs:
+crates/dependability/src/attributes.rs:
+crates/dependability/src/availability.rs:
+crates/dependability/src/fault.rs:
+crates/dependability/src/photo.rs:
+crates/dependability/src/refinement.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/softsoa_nmsccp-2960a87e90a71f10.d: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
+/root/repo/target/debug/deps/softsoa_nmsccp-2960a87e90a71f10.d: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/resilience.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
 
-/root/repo/target/debug/deps/softsoa_nmsccp-2960a87e90a71f10: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
+/root/repo/target/debug/deps/softsoa_nmsccp-2960a87e90a71f10: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/resilience.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
 
 crates/nmsccp/src/lib.rs:
 crates/nmsccp/src/agent.rs:
@@ -9,6 +9,7 @@ crates/nmsccp/src/concurrent.rs:
 crates/nmsccp/src/explore.rs:
 crates/nmsccp/src/interp.rs:
 crates/nmsccp/src/parser.rs:
+crates/nmsccp/src/resilience.rs:
 crates/nmsccp/src/semantics.rs:
 crates/nmsccp/src/store.rs:
 crates/nmsccp/src/timed.rs:

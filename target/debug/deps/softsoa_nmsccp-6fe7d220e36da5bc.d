@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/softsoa_nmsccp-6fe7d220e36da5bc.d: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs Cargo.toml
+/root/repo/target/debug/deps/softsoa_nmsccp-6fe7d220e36da5bc.d: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/resilience.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsoftsoa_nmsccp-6fe7d220e36da5bc.rmeta: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs Cargo.toml
+/root/repo/target/debug/deps/libsoftsoa_nmsccp-6fe7d220e36da5bc.rmeta: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/resilience.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs Cargo.toml
 
 crates/nmsccp/src/lib.rs:
 crates/nmsccp/src/agent.rs:
@@ -9,6 +9,7 @@ crates/nmsccp/src/concurrent.rs:
 crates/nmsccp/src/explore.rs:
 crates/nmsccp/src/interp.rs:
 crates/nmsccp/src/parser.rs:
+crates/nmsccp/src/resilience.rs:
 crates/nmsccp/src/semantics.rs:
 crates/nmsccp/src/store.rs:
 crates/nmsccp/src/timed.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/softsoa_nmsccp-e41e042c19751667.d: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
+/root/repo/target/debug/deps/softsoa_nmsccp-e41e042c19751667.d: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/resilience.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
 
-/root/repo/target/debug/deps/libsoftsoa_nmsccp-e41e042c19751667.rlib: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
+/root/repo/target/debug/deps/libsoftsoa_nmsccp-e41e042c19751667.rlib: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/resilience.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
 
-/root/repo/target/debug/deps/libsoftsoa_nmsccp-e41e042c19751667.rmeta: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
+/root/repo/target/debug/deps/libsoftsoa_nmsccp-e41e042c19751667.rmeta: crates/nmsccp/src/lib.rs crates/nmsccp/src/agent.rs crates/nmsccp/src/checked.rs crates/nmsccp/src/concurrent.rs crates/nmsccp/src/explore.rs crates/nmsccp/src/interp.rs crates/nmsccp/src/parser.rs crates/nmsccp/src/resilience.rs crates/nmsccp/src/semantics.rs crates/nmsccp/src/store.rs crates/nmsccp/src/timed.rs
 
 crates/nmsccp/src/lib.rs:
 crates/nmsccp/src/agent.rs:
@@ -11,6 +11,7 @@ crates/nmsccp/src/concurrent.rs:
 crates/nmsccp/src/explore.rs:
 crates/nmsccp/src/interp.rs:
 crates/nmsccp/src/parser.rs:
+crates/nmsccp/src/resilience.rs:
 crates/nmsccp/src/semantics.rs:
 crates/nmsccp/src/store.rs:
 crates/nmsccp/src/timed.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/softsoa_soa-5ec6700854b03fae.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/debug/deps/softsoa_soa-5ec6700854b03fae.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
-/root/repo/target/debug/deps/libsoftsoa_soa-5ec6700854b03fae.rlib: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/debug/deps/libsoftsoa_soa-5ec6700854b03fae.rlib: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
-/root/repo/target/debug/deps/libsoftsoa_soa-5ec6700854b03fae.rmeta: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/debug/deps/libsoftsoa_soa-5ec6700854b03fae.rmeta: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
 crates/soa/src/lib.rs:
 crates/soa/src/broker.rs:
+crates/soa/src/chaos.rs:
 crates/soa/src/compose.rs:
 crates/soa/src/orchestrator.rs:
 crates/soa/src/qos.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/softsoa_soa-b0ae25c74f8d1e10.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/debug/deps/softsoa_soa-b0ae25c74f8d1e10.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
-/root/repo/target/debug/deps/softsoa_soa-b0ae25c74f8d1e10: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/debug/deps/softsoa_soa-b0ae25c74f8d1e10: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
 crates/soa/src/lib.rs:
 crates/soa/src/broker.rs:
+crates/soa/src/chaos.rs:
 crates/soa/src/compose.rs:
 crates/soa/src/orchestrator.rs:
 crates/soa/src/qos.rs:

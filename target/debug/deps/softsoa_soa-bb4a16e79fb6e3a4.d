@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/softsoa_soa-bb4a16e79fb6e3a4.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs Cargo.toml
+/root/repo/target/debug/deps/softsoa_soa-bb4a16e79fb6e3a4.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsoftsoa_soa-bb4a16e79fb6e3a4.rmeta: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs Cargo.toml
+/root/repo/target/debug/deps/libsoftsoa_soa-bb4a16e79fb6e3a4.rmeta: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs Cargo.toml
 
 crates/soa/src/lib.rs:
 crates/soa/src/broker.rs:
+crates/soa/src/chaos.rs:
 crates/soa/src/compose.rs:
 crates/soa/src/orchestrator.rs:
 crates/soa/src/qos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/chaos_negotiation-c796c6c9a3e31a39.d: examples/chaos_negotiation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libchaos_negotiation-c796c6c9a3e31a39.rmeta: examples/chaos_negotiation.rs Cargo.toml
+
+examples/chaos_negotiation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/chaos_negotiation-c87434c0d297d7c3.d: examples/chaos_negotiation.rs
+
+/root/repo/target/debug/examples/chaos_negotiation-c87434c0d297d7c3: examples/chaos_negotiation.rs
+
+examples/chaos_negotiation.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/softsoa_soa-1d678af12f6606f1.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/release/deps/softsoa_soa-1d678af12f6606f1.d: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
-/root/repo/target/release/deps/libsoftsoa_soa-1d678af12f6606f1.rlib: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/release/deps/libsoftsoa_soa-1d678af12f6606f1.rlib: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
-/root/repo/target/release/deps/libsoftsoa_soa-1d678af12f6606f1.rmeta: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
+/root/repo/target/release/deps/libsoftsoa_soa-1d678af12f6606f1.rmeta: crates/soa/src/lib.rs crates/soa/src/broker.rs crates/soa/src/chaos.rs crates/soa/src/compose.rs crates/soa/src/orchestrator.rs crates/soa/src/qos.rs crates/soa/src/query.rs crates/soa/src/registry.rs crates/soa/src/sim.rs
 
 crates/soa/src/lib.rs:
 crates/soa/src/broker.rs:
+crates/soa/src/chaos.rs:
 crates/soa/src/compose.rs:
 crates/soa/src/orchestrator.rs:
 crates/soa/src/qos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_chaos_sweep-fe901e903c7d29b3.d: examples/_chaos_sweep.rs
+
+/root/repo/target/release/examples/_chaos_sweep-fe901e903c7d29b3: examples/_chaos_sweep.rs
+
+examples/_chaos_sweep.rs:

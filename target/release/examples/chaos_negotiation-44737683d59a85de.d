@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/chaos_negotiation-44737683d59a85de.d: examples/chaos_negotiation.rs
+
+/root/repo/target/release/examples/chaos_negotiation-44737683d59a85de: examples/chaos_negotiation.rs
+
+examples/chaos_negotiation.rs:

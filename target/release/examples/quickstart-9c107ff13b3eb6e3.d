@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9c107ff13b3eb6e3.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9c107ff13b3eb6e3: examples/quickstart.rs
+
+examples/quickstart.rs:
