@@ -2,25 +2,31 @@
 //! text to report text (the binary in `main.rs` is a thin shell).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use softsoa_coalition::{
-    exact_formation, individually_oriented, local_search, socially_oriented, FormationConfig,
+    exact_formation_instrumented, individually_oriented, local_search, socially_oriented,
+    FormationConfig, MAX_EXACT_AGENTS,
 };
 use softsoa_core::solve::{
     BranchAndBound, BucketElimination, EliminationOrder, EnumerationSolver, Parallelism, Solver,
     SolverConfig, VarOrder,
 };
-use softsoa_core::{Domain, Domains, Scsp, Var};
+use softsoa_core::{Constraint, Domain, Domains, Scsp, Var};
 use softsoa_dependability::{check_refinement, photo};
 use softsoa_nmsccp::{
     parse_program, FaultPalette, FaultPlan, Interpreter, Interval, ParseEnv, Policy,
     RecoveryPolicy, ResilientInterpreter, Store,
 };
 use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Semiring, Weighted};
+use softsoa_soa::{
+    Broker, ChaosConfig, NegotiationRequest, QosDocument, QosOffer, Registry, ServiceDescription,
+};
+use softsoa_telemetry::{MemorySink, Telemetry};
 
 use crate::format::{
-    bool_level, unit_level, weight_level, CoalitionSpec, FormatError, NegotiationSpec, PolicySpec,
-    ProblemSpec, SemiringKind,
+    bool_level, unit_level, weight_level, BrokerSpec, CoalitionSpec, FormatError, NegotiationSpec,
+    PolicySpec, ProblemSpec, SemiringKind,
 };
 
 /// An error from a command.
@@ -78,6 +84,71 @@ impl SolverChoice {
             other => Err(CommandError::Usage(format!("unknown solver `{other}`"))),
         }
     }
+
+    /// The label this solver carries in telemetry snapshots.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverChoice::Enumeration => "enumeration",
+            SolverChoice::BranchAndBound => "branch-and-bound",
+            SolverChoice::Bucket => "bucket",
+        }
+    }
+}
+
+/// Output format for the `--metrics` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The deterministic one-line JSON snapshot (no wall-clock data),
+    /// appended as the report's final line.
+    #[default]
+    Json,
+    /// A human-readable table, including wall-clock timings.
+    Pretty,
+}
+
+impl MetricsFormat {
+    /// Parses a `--metrics=<format>` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommandError::Usage`] for unknown names.
+    pub fn parse(name: &str) -> Result<MetricsFormat, CommandError> {
+        match name {
+            "json" => Ok(MetricsFormat::Json),
+            "pretty" => Ok(MetricsFormat::Pretty),
+            other => Err(CommandError::Usage(format!(
+                "unknown metrics format `{other}` (expected `json` or `pretty`)"
+            ))),
+        }
+    }
+}
+
+/// A telemetry handle paired with the sink it records into; disabled
+/// (and free) when `--metrics` was not requested.
+fn metrics_recorder(
+    format: Option<MetricsFormat>,
+) -> (Telemetry, Option<(Arc<MemorySink>, MetricsFormat)>) {
+    match format {
+        None => (Telemetry::disabled(), None),
+        Some(format) => {
+            let (telemetry, sink) = Telemetry::recording();
+            (telemetry, Some((sink, format)))
+        }
+    }
+}
+
+/// Appends the recorded snapshot to a report: JSON as one final line
+/// (so scripts can `tail -n 1`), pretty as a trailing block.
+fn append_metrics(out: &mut String, recorder: Option<(Arc<MemorySink>, MetricsFormat)>) {
+    if let Some((sink, format)) = recorder {
+        let snapshot = sink.snapshot();
+        match format {
+            MetricsFormat::Json => {
+                let _ = writeln!(out, "{}", snapshot.to_json());
+            }
+            MetricsFormat::Pretty => out.push_str(&snapshot.render_pretty()),
+        }
+    }
 }
 
 /// Engine options shared by every `solve` invocation.
@@ -90,6 +161,8 @@ pub struct SolveOptions {
     pub lazy: bool,
     /// Append the engine statistics to the report (`--stats`).
     pub stats: bool,
+    /// Append a telemetry snapshot to the report (`--metrics`).
+    pub metrics: Option<MetricsFormat>,
 }
 
 impl SolveOptions {
@@ -121,6 +194,10 @@ fn solve_generic<S: Semiring>(
         }
     }
     .map_err(|e| CommandError::Engine(e.to_string()))?;
+    let (telemetry, recorder) = metrics_recorder(options.metrics);
+    if let Some(stats) = solution.stats() {
+        stats.emit(&telemetry, solver.label());
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "blevel: {}", fmt_level(solution.blevel()));
@@ -146,6 +223,7 @@ fn solve_generic<S: Semiring>(
             let _ = writeln!(out, "engine: {stats}");
         }
     }
+    append_metrics(&mut out, recorder);
     Ok(out)
 }
 
@@ -197,6 +275,7 @@ fn negotiate_generic<S, L>(
     semiring: S,
     level: L,
     fmt_level: impl Fn(&S::Value) -> String,
+    metrics: Option<MetricsFormat>,
 ) -> Result<String, CommandError>
 where
     S: softsoa_semiring::Residuated,
@@ -221,9 +300,11 @@ where
         PolicySpec::RoundRobin => Policy::RoundRobin,
         PolicySpec::Random(seed) => Policy::Random(seed),
     };
+    let (telemetry, recorder) = metrics_recorder(metrics);
     let report = Interpreter::new(program)
         .with_policy(policy)
         .with_max_steps(spec.max_steps)
+        .with_telemetry(telemetry)
         .run(agent, Store::empty(semiring, domains))
         .map_err(|e| CommandError::Engine(e.to_string()))?;
 
@@ -247,27 +328,90 @@ where
         report.outcome,
         fmt_level(&level)
     );
+    append_metrics(&mut out, recorder);
     Ok(out)
 }
 
 /// `softsoa negotiate`: run an `nmsccp` scenario and report the trace
-/// and outcome.
+/// and outcome. Documents with a `broker` section run the Sec. 4
+/// broker protocol instead.
 ///
 /// # Errors
 ///
 /// Returns [`CommandError`] for malformed documents, agent syntax
 /// errors or engine failures.
 pub fn negotiate(text: &str) -> Result<String, CommandError> {
+    negotiate_with(text, None)
+}
+
+/// [`negotiate`] with an optional telemetry snapshot appended
+/// (`--metrics`).
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents, agent syntax
+/// errors or engine failures.
+pub fn negotiate_with(text: &str, metrics: Option<MetricsFormat>) -> Result<String, CommandError> {
     let spec = NegotiationSpec::from_json(text)?;
     match spec.semiring {
-        SemiringKind::Weighted => {
-            negotiate_generic(&spec, Weighted, weight_level, ToString::to_string)
-        }
-        SemiringKind::Fuzzy => negotiate_generic(&spec, Fuzzy, unit_level, ToString::to_string),
-        SemiringKind::Probabilistic => {
-            negotiate_generic(&spec, Probabilistic, unit_level, ToString::to_string)
-        }
-        SemiringKind::Boolean => negotiate_generic(&spec, Boolean, bool_level, ToString::to_string),
+        SemiringKind::Weighted => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                None,
+                Weighted,
+                weight_level,
+                QosOffer::to_weighted,
+                ToString::to_string,
+                metrics,
+            ),
+            None => negotiate_generic(&spec, Weighted, weight_level, ToString::to_string, metrics),
+        },
+        SemiringKind::Fuzzy => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                None,
+                Fuzzy,
+                unit_level,
+                QosOffer::to_fuzzy,
+                ToString::to_string,
+                metrics,
+            ),
+            None => negotiate_generic(&spec, Fuzzy, unit_level, ToString::to_string, metrics),
+        },
+        SemiringKind::Probabilistic => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                None,
+                Probabilistic,
+                unit_level,
+                QosOffer::to_probabilistic,
+                ToString::to_string,
+                metrics,
+            ),
+            None => negotiate_generic(
+                &spec,
+                Probabilistic,
+                unit_level,
+                ToString::to_string,
+                metrics,
+            ),
+        },
+        SemiringKind::Boolean => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                None,
+                Boolean,
+                bool_level,
+                QosOffer::to_crisp,
+                ToString::to_string,
+                metrics,
+            ),
+            None => negotiate_generic(&spec, Boolean, bool_level, ToString::to_string, metrics),
+        },
     }
 }
 
@@ -287,6 +431,8 @@ pub struct ChaosOptions {
     pub deadline: usize,
     /// Base of the exponential retry backoff (`--chaos-backoff`).
     pub backoff: usize,
+    /// Append a telemetry snapshot to the report (`--metrics`).
+    pub metrics: Option<MetricsFormat>,
 }
 
 impl Default for ChaosOptions {
@@ -298,6 +444,7 @@ impl Default for ChaosOptions {
             retries: 3,
             deadline: 4,
             backoff: 2,
+            metrics: None,
         }
     }
 }
@@ -370,11 +517,13 @@ where
         PolicySpec::RoundRobin => Policy::RoundRobin,
         PolicySpec::Random(seed) => Policy::Random(seed),
     };
+    let (telemetry, recorder) = metrics_recorder(options.metrics);
     let report = ResilientInterpreter::new(program)
         .with_plan(plan)
         .with_recovery(recovery)
         .with_policy(policy)
         .with_max_steps(spec.max_steps)
+        .with_telemetry(telemetry)
         .run(agent, Store::empty(semiring, domains))
         .map_err(|e| CommandError::Engine(e.to_string()))?;
 
@@ -406,12 +555,15 @@ where
         report.report.outcome,
         fmt_level(&report.final_consistency)
     );
+    append_metrics(&mut out, recorder);
     Ok(out)
 }
 
 /// `softsoa negotiate --chaos-*`: run an `nmsccp` scenario under
 /// deterministic fault injection with retry, rollback and relaxation
-/// recovery. Same seed, same report, bit for bit.
+/// recovery. Same seed, same report, bit for bit. Documents with a
+/// `broker` section negotiate resiliently against every declared
+/// provider instead.
 ///
 /// # Errors
 ///
@@ -420,22 +572,219 @@ where
 pub fn negotiate_chaos(text: &str, options: ChaosOptions) -> Result<String, CommandError> {
     let spec = NegotiationSpec::from_json(text)?;
     match spec.semiring {
-        SemiringKind::Weighted => {
-            negotiate_chaos_generic(&spec, options, Weighted, weight_level, ToString::to_string)
+        SemiringKind::Weighted => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                Some(options),
+                Weighted,
+                weight_level,
+                QosOffer::to_weighted,
+                ToString::to_string,
+                options.metrics,
+            ),
+            None => {
+                negotiate_chaos_generic(&spec, options, Weighted, weight_level, ToString::to_string)
+            }
+        },
+        SemiringKind::Fuzzy => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                Some(options),
+                Fuzzy,
+                unit_level,
+                QosOffer::to_fuzzy,
+                ToString::to_string,
+                options.metrics,
+            ),
+            None => negotiate_chaos_generic(&spec, options, Fuzzy, unit_level, ToString::to_string),
+        },
+        SemiringKind::Probabilistic => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                Some(options),
+                Probabilistic,
+                unit_level,
+                QosOffer::to_probabilistic,
+                ToString::to_string,
+                options.metrics,
+            ),
+            None => negotiate_chaos_generic(
+                &spec,
+                options,
+                Probabilistic,
+                unit_level,
+                ToString::to_string,
+            ),
+        },
+        SemiringKind::Boolean => match spec.broker.clone() {
+            Some(broker) => broker_generic(
+                &spec,
+                &broker,
+                Some(options),
+                Boolean,
+                bool_level,
+                QosOffer::to_crisp,
+                ToString::to_string,
+                options.metrics,
+            ),
+            None => {
+                negotiate_chaos_generic(&spec, options, Boolean, bool_level, ToString::to_string)
+            }
+        },
+    }
+}
+
+/// Runs the broker section of a negotiation document: publishes the
+/// declared providers, builds the client request and negotiates —
+/// plainly, or resiliently under `--chaos-*` options.
+#[allow(clippy::too_many_arguments)]
+fn broker_generic<S, L, F>(
+    spec: &NegotiationSpec,
+    broker_spec: &BrokerSpec,
+    chaos: Option<ChaosOptions>,
+    semiring: S,
+    level: L,
+    translate: F,
+    fmt_level: impl Fn(&S::Value) -> String,
+    metrics: Option<MetricsFormat>,
+) -> Result<String, CommandError>
+where
+    S: softsoa_semiring::Residuated,
+    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+    F: Fn(&QosOffer) -> Constraint<S>,
+{
+    let mut registry = Registry::new();
+    for provider in &broker_spec.providers {
+        let mut doc = QosDocument::new(&provider.id);
+        for offer in &provider.offers {
+            doc = doc.with_offer(offer.clone());
         }
-        SemiringKind::Fuzzy => {
-            negotiate_chaos_generic(&spec, options, Fuzzy, unit_level, ToString::to_string)
+        registry.publish(ServiceDescription::new(
+            provider.id.as_str(),
+            provider.provider.as_deref().unwrap_or(&provider.id),
+            broker_spec.capability.as_str(),
+            doc,
+        ));
+    }
+
+    let domain = spec
+        .domains
+        .get(&broker_spec.variable)
+        .ok_or_else(|| {
+            CommandError::Usage(format!(
+                "broker variable `{}` has no domain",
+                broker_spec.variable
+            ))
+        })?
+        .to_domain()?;
+    let client = spec
+        .constraints
+        .get(&broker_spec.client)
+        .ok_or_else(|| {
+            CommandError::Usage(format!(
+                "broker client policy `{}` names no constraint",
+                broker_spec.client
+            ))
+        })?
+        .to_constraint(semiring.clone(), level.clone())?;
+    let [lo, hi] = broker_spec.acceptance;
+    let request = NegotiationRequest {
+        capability: broker_spec.capability.clone(),
+        variable: Var::new(&broker_spec.variable),
+        domain,
+        constraint: client,
+        acceptance: Interval::levels(level(lo)?, level(hi)?),
+    };
+
+    let (telemetry, recorder) = metrics_recorder(metrics);
+    let broker = Broker::new(semiring.clone(), registry).with_telemetry(telemetry);
+    let mut out = String::new();
+    match chaos {
+        None => {
+            let sla = broker
+                .negotiate(&request, &translate)
+                .map_err(|e| CommandError::Engine(e.to_string()))?;
+            write_sla(&mut out, &sla, &fmt_level);
         }
-        SemiringKind::Probabilistic => negotiate_chaos_generic(
-            &spec,
-            options,
-            Probabilistic,
-            unit_level,
-            ToString::to_string,
-        ),
-        SemiringKind::Boolean => {
-            negotiate_chaos_generic(&spec, options, Boolean, bool_level, ToString::to_string)
+        Some(options) => {
+            let relaxations = spec
+                .relaxations
+                .iter()
+                .map(|name| {
+                    spec.constraints
+                        .get(name)
+                        .ok_or_else(|| {
+                            CommandError::Usage(format!("relaxation `{name}` names no constraint"))
+                        })
+                        .and_then(|cspec| Ok(cspec.to_constraint(semiring.clone(), level.clone())?))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let config = ChaosConfig {
+                seed: options.seed,
+                fault_rate: options.rate,
+                horizon: options.horizon,
+                guard_deadline: options.deadline,
+                max_retries: options.retries,
+                backoff_base: options.backoff,
+                ..ChaosConfig::default()
+            };
+            let report = broker
+                .negotiate_resilient(&request, &relaxations, &config, &translate)
+                .map_err(|e| CommandError::Engine(e.to_string()))?;
+            for (service, session) in &report.sessions {
+                let _ = writeln!(
+                    out,
+                    "session {:12} {:10} faults {} retries {} rollbacks {} relaxations {}",
+                    service.as_str(),
+                    session.report.outcome.to_string(),
+                    session.faults_injected,
+                    session.retries,
+                    session.rollbacks,
+                    session.relaxations_applied,
+                );
+            }
+            let _ = writeln!(
+                out,
+                "faults: {} injected, {} transitions dropped",
+                report.faults_injected, report.dropped_transitions
+            );
+            let _ = writeln!(
+                out,
+                "recovery: {} retries, {} rollbacks, {} relaxations, {} interval violations",
+                report.retries,
+                report.rollbacks,
+                report.relaxations_applied,
+                report.invariant_violations
+            );
+            match &report.sla {
+                Some(sla) => write_sla(&mut out, sla, &fmt_level),
+                None => {
+                    let _ = writeln!(out, "outcome: no agreement survived the chaos run");
+                }
+            }
         }
+    }
+    append_metrics(&mut out, recorder);
+    Ok(out)
+}
+
+fn write_sla<S: Semiring>(
+    out: &mut String,
+    sla: &softsoa_soa::Sla<S>,
+    fmt_level: &impl Fn(&S::Value) -> String,
+) {
+    let _ = writeln!(
+        out,
+        "sla: {} from {} at {}",
+        sla.service.as_str(),
+        sla.provider.as_str(),
+        fmt_level(&sla.agreed_level)
+    );
+    if let Some((eta, level)) = &sla.binding {
+        let _ = writeln!(out, "binding: {eta} at {}", fmt_level(level));
     }
 }
 
@@ -525,9 +874,20 @@ pub fn explore(text: &str) -> Result<String, CommandError> {
 ///
 /// # Errors
 ///
-/// Returns [`CommandError`] for malformed documents or unknown
-/// algorithm names.
+/// Returns [`CommandError`] for malformed documents, unknown
+/// algorithm names, or an `exact` request beyond the Bell-number
+/// ceiling of [`MAX_EXACT_AGENTS`] agents.
 pub fn coalitions(text: &str) -> Result<String, CommandError> {
+    coalitions_with(text, None)
+}
+
+/// [`coalitions`] with an optional telemetry snapshot appended
+/// (`--metrics`).
+///
+/// # Errors
+///
+/// Same as [`coalitions`].
+pub fn coalitions_with(text: &str, metrics: Option<MetricsFormat>) -> Result<String, CommandError> {
     let spec = CoalitionSpec::from_json(text)?;
     let network = spec.network()?;
     let compose = spec.composition()?;
@@ -536,9 +896,22 @@ pub fn coalitions(text: &str) -> Result<String, CommandError> {
         require_stability: spec.require_stability,
         max_coalitions: spec.max_coalitions,
     };
+    let (telemetry, recorder) = metrics_recorder(metrics);
     let result = match spec.algorithm.as_str() {
-        "exact" => exact_formation(&network, cfg)
-            .ok_or_else(|| CommandError::Engine("no feasible partition".into()))?,
+        "exact" => {
+            // The exact solver enumerates set partitions (Bell numbers)
+            // and asserts its ceiling; turn that panic into a usage
+            // error before it is reachable.
+            if network.len() > MAX_EXACT_AGENTS {
+                return Err(CommandError::Usage(format!(
+                    "exact formation handles at most {MAX_EXACT_AGENTS} agents, got {} \
+                     (use `local`, `individual` or `social`)",
+                    network.len()
+                )));
+            }
+            exact_formation_instrumented(&network, cfg, Parallelism::Sequential, &telemetry)
+                .ok_or_else(|| CommandError::Engine("no feasible partition".into()))?
+        }
         "individual" => individually_oriented(&network, compose),
         "social" => socially_oriented(&network, compose),
         "local" => local_search(&network, cfg, 0, 2_000),
@@ -551,6 +924,7 @@ pub fn coalitions(text: &str) -> Result<String, CommandError> {
     let _ = writeln!(out, "objective (min coalition trust): {}", result.score);
     let stable = softsoa_coalition::is_stable(&network, &result.partition, compose);
     let _ = writeln!(out, "stable: {stable}");
+    append_metrics(&mut out, recorder);
     Ok(out)
 }
 
@@ -641,11 +1015,13 @@ mod tests {
                     jobs: Some(2),
                     lazy: false,
                     stats: true,
+                    metrics: None,
                 },
                 SolveOptions {
                     jobs: Some(1),
                     lazy: true,
                     stats: true,
+                    metrics: None,
                 },
             ] {
                 let report = solve_with(FIG1, solver, options).unwrap();
@@ -789,6 +1165,210 @@ mod tests {
         let report1 = explore(&doc1).unwrap();
         assert!(report1.contains("agreement possible:   NO"), "{report1}");
         assert!(report1.contains("deadlock reachable:   YES"), "{report1}");
+    }
+
+    #[test]
+    fn solve_metrics_json_is_deterministic_and_parses() {
+        let options = SolveOptions {
+            metrics: Some(MetricsFormat::Json),
+            ..SolveOptions::default()
+        };
+        let a = solve_with(FIG1, SolverChoice::Enumeration, options).unwrap();
+        let b = solve_with(FIG1, SolverChoice::Enumeration, options).unwrap();
+        assert_eq!(a, b);
+        let last = a.lines().last().unwrap();
+        let json: serde::Value = serde_json::from_str(last).unwrap();
+        let counters = json.get("counters").unwrap();
+        assert!(counters.get("solve.nodes").is_some(), "{last}");
+        assert!(counters.get("solve.prunings").is_some(), "{last}");
+        assert!(counters.get("solve.runs{enumeration}").is_some(), "{last}");
+        // The pretty format is a block, not a JSON line.
+        let pretty = solve_with(
+            FIG1,
+            SolverChoice::Enumeration,
+            SolveOptions {
+                metrics: Some(MetricsFormat::Pretty),
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(pretty.contains("solve.nodes"), "{pretty}");
+    }
+
+    #[test]
+    fn negotiate_metrics_include_rule_counts() {
+        let doc = r#"{
+            "semiring": "weighted",
+            "domains": {"x": {"ints": [0, 10]}},
+            "constraints": {
+                "c4": {"linear": {"var": "x", "slope": 1.0, "intercept": 5.0}},
+                "one": {"linear": {"var": "x", "slope": 0.0, "intercept": 0.0}}
+            },
+            "levels": {"ten": 10.0, "zero": 0.0},
+            "agent": "tell(c4) ask(one) ->[ten, zero] success"
+        }"#;
+        let a = negotiate_with(doc, Some(MetricsFormat::Json)).unwrap();
+        let b = negotiate_with(doc, Some(MetricsFormat::Json)).unwrap();
+        assert_eq!(a, b);
+        let last = a.lines().last().unwrap();
+        let json: serde::Value = serde_json::from_str(last).unwrap();
+        let counters = json.get("counters").unwrap();
+        assert!(counters.get("nmsccp.runs").is_some(), "{last}");
+        let has_rule = counters
+            .as_obj()
+            .unwrap()
+            .iter()
+            .any(|(k, _)| k.starts_with("nmsccp.rule{"));
+        assert!(has_rule, "{last}");
+    }
+
+    fn broker_doc() -> String {
+        use softsoa_dependability::Attribute;
+        use softsoa_soa::OfferShape;
+        let offer = QosOffer {
+            attribute: Attribute::Reliability,
+            variable: "x".into(),
+            shape: OfferShape::Linear {
+                slope: 2.0,
+                intercept: 0.0,
+            },
+        };
+        format!(
+            r#"{{
+            "semiring": "weighted",
+            "domains": {{"x": {{"ints": [0, 10]}}}},
+            "constraints": {{
+                "c4": {{"linear": {{"var": "x", "slope": 1.0, "intercept": 1.0}}}},
+                "c1": {{"linear": {{"var": "x", "slope": 0.0, "intercept": 1.0}}}}
+            }},
+            "relaxations": ["c1"],
+            "broker": {{
+                "capability": "compute",
+                "variable": "x",
+                "client": "c4",
+                "acceptance": [6.0, 1.0],
+                "providers": [{{"id": "svc-w", "offers": [{}]}}]
+            }}
+        }}"#,
+            serde_json::to_string(&offer).unwrap()
+        )
+    }
+
+    #[test]
+    fn negotiate_broker_section_runs_the_protocol() {
+        // Provider charges 2x, client charges x + 1; the broker binds
+        // x = 0 at total cost 1 (within the [1, 6] acceptance).
+        let report = negotiate(&broker_doc()).unwrap();
+        assert!(report.contains("sla: svc-w from svc-w at 1"), "{report}");
+        assert!(report.contains("binding: [x:=0] at 1"), "{report}");
+    }
+
+    #[test]
+    fn negotiate_chaos_broker_reports_sessions() {
+        let options = ChaosOptions {
+            rate: 0.0,
+            ..ChaosOptions::default()
+        };
+        let report = negotiate_chaos(&broker_doc(), options).unwrap();
+        assert!(report.contains("session svc-w"), "{report}");
+        assert!(report.contains("sla: svc-w"), "{report}");
+        assert!(report.contains("recovery: 0 retries"), "{report}");
+    }
+
+    #[test]
+    fn negotiate_chaos_broker_metrics_are_deterministic() {
+        // The acceptance bar for the observability layer: a fixed-seed
+        // chaos negotiation with --metrics=json is byte-for-byte
+        // reproducible and carries per-rule transition counts,
+        // per-provider recovery counters and solver node totals.
+        let options = ChaosOptions {
+            seed: 7,
+            rate: 0.0,
+            metrics: Some(MetricsFormat::Json),
+            ..ChaosOptions::default()
+        };
+        let a = negotiate_chaos(&broker_doc(), options).unwrap();
+        let b = negotiate_chaos(&broker_doc(), options).unwrap();
+        assert_eq!(a, b);
+        let last = a.lines().last().unwrap();
+        let json: serde::Value = serde_json::from_str(last).unwrap();
+        let counters = json.get("counters").unwrap();
+        let keys: Vec<&str> = counters
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert!(keys.iter().any(|k| k.starts_with("nmsccp.rule{")), "{last}");
+        assert!(keys.contains(&"broker.provider.retries{svc-w}"), "{last}");
+        assert!(
+            keys.contains(&"broker.provider.degradation_rung{svc-w}"),
+            "{last}"
+        );
+        assert!(keys.contains(&"solve.nodes"), "{last}");
+        // A hostile run stays deterministic too.
+        let hostile = ChaosOptions {
+            rate: 0.4,
+            ..options
+        };
+        let c = negotiate_chaos(&broker_doc(), hostile).unwrap();
+        let d = negotiate_chaos(&broker_doc(), hostile).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn broker_section_rejects_dangling_names() {
+        let bad_client = broker_doc().replace("\"client\": \"c4\"", "\"client\": \"c9\"");
+        assert!(matches!(
+            negotiate(&bad_client),
+            Err(CommandError::Usage(_))
+        ));
+        let bad_var = broker_doc().replace("\"variable\": \"x\"", "\"variable\": \"y\"");
+        assert!(matches!(negotiate(&bad_var), Err(CommandError::Usage(_))));
+    }
+
+    #[test]
+    fn exact_coalitions_beyond_the_ceiling_are_rejected() {
+        let n = 14;
+        let trust: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.5 }).collect())
+            .collect();
+        let spec = CoalitionSpec {
+            trust,
+            compose: "avg".into(),
+            require_stability: false,
+            max_coalitions: None,
+            algorithm: "exact".into(),
+        };
+        let doc = serde_json::to_string(&spec).unwrap();
+        let err = coalitions(&doc).unwrap_err();
+        assert!(matches!(err, CommandError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("13"), "{err}");
+        // The heuristics still handle the same matrix.
+        let local = serde_json::to_string(&CoalitionSpec {
+            algorithm: "local".into(),
+            ..spec
+        })
+        .unwrap();
+        assert!(coalitions(&local).is_ok());
+    }
+
+    #[test]
+    fn coalitions_metrics_report_exploration() {
+        let doc = r#"{
+            "trust": [[1.0, 0.9], [0.9, 1.0]],
+            "algorithm": "exact"
+        }"#;
+        let report = coalitions_with(doc, Some(MetricsFormat::Json)).unwrap();
+        let last = report.lines().last().unwrap();
+        let json: serde::Value = serde_json::from_str(last).unwrap();
+        assert!(
+            json.get("counters")
+                .unwrap()
+                .get("formation.explored")
+                .is_some(),
+            "{last}"
+        );
     }
 
     #[test]

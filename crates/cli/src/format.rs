@@ -13,6 +13,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use softsoa_core::{Constraint, Domain, Scsp, Val, Var};
 use softsoa_semiring::{Semiring, Unit, Weight};
+use softsoa_soa::QosOffer;
 
 /// An error while reading or interpreting a specification.
 #[derive(Debug)]
@@ -77,18 +78,26 @@ pub enum DomainSpec {
     Syms(Vec<String>),
 }
 
+/// The largest domain a specification may materialise (number of
+/// values). Domains are enumerated eagerly, so an unchecked
+/// `{"ints": [0, 10000000000]}` would exhaust memory before the solver
+/// ever ran.
+pub const MAX_DOMAIN_SIZE: i64 = 1 << 20;
+
 impl DomainSpec {
     /// Builds the concrete domain.
     ///
     /// # Errors
     ///
-    /// Returns [`FormatError::Invalid`] for empty or inverted ranges.
+    /// Returns [`FormatError::Invalid`] for empty or inverted ranges,
+    /// or ranges spanning more than [`MAX_DOMAIN_SIZE`] values.
     pub fn to_domain(&self) -> Result<Domain, FormatError> {
         match self {
             DomainSpec::Ints([lo, hi]) => {
                 if lo > hi {
                     return Err(invalid(format!("empty int range [{lo}, {hi}]")));
                 }
+                check_domain_size(*lo, *hi, 1)?;
                 Ok(Domain::ints(*lo..=*hi))
             }
             DomainSpec::Stepped([lo, hi, step]) => {
@@ -98,6 +107,7 @@ impl DomainSpec {
                 if lo > hi {
                     return Err(invalid(format!("empty int range [{lo}, {hi}]")));
                 }
+                check_domain_size(*lo, *hi, *step)?;
                 Ok(Domain::ints_stepped(*lo, *hi, *step))
             }
             DomainSpec::Syms(names) => {
@@ -108,6 +118,19 @@ impl DomainSpec {
             }
         }
     }
+}
+
+fn check_domain_size(lo: i64, hi: i64, step: i64) -> Result<(), FormatError> {
+    let size = hi
+        .checked_sub(lo)
+        .map(|span| span / step.max(1) + 1)
+        .unwrap_or(i64::MAX);
+    if size > MAX_DOMAIN_SIZE {
+        return Err(invalid(format!(
+            "domain [{lo}, {hi}] holds {size} values, more than the {MAX_DOMAIN_SIZE} limit"
+        )));
+    }
+    Ok(())
 }
 
 /// A domain value in a table entry.
@@ -326,7 +349,10 @@ pub struct NegotiationSpec {
     #[serde(default)]
     pub levels: BTreeMap<String, f64>,
     /// The agent, in the textual syntax of `softsoa-nmsccp` (may
-    /// include clause declarations).
+    /// include clause declarations). Unused (and may be omitted) when
+    /// a [`BrokerSpec`] section is present: the broker builds the
+    /// client and provider agents itself.
+    #[serde(default)]
     pub agent: String,
     /// The scheduling policy (defaults to `first`).
     #[serde(default = "default_policy")]
@@ -344,6 +370,42 @@ pub struct NegotiationSpec {
     /// chaos mode).
     #[serde(default)]
     pub invariant: Option<[f64; 2]>,
+    /// Optional QoS-broker section. When present, `negotiate` runs the
+    /// Sec. 4 five-step broker protocol against the declared providers
+    /// (and, under `--chaos-*`, [`softsoa_soa::Broker::negotiate_resilient`])
+    /// instead of interpreting `agent`.
+    #[serde(default)]
+    pub broker: Option<BrokerSpec>,
+}
+
+/// The broker section of a [`NegotiationSpec`]: a client request plus
+/// the providers to register, turning `softsoa negotiate` into the
+/// paper's Fig. 6 protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerSpec {
+    /// The capability the client requests (discovery key).
+    pub capability: String,
+    /// The negotiation variable; must name an entry in `domains`.
+    pub variable: String,
+    /// The client's policy: the name of an entry in `constraints`.
+    pub client: String,
+    /// The client's acceptance interval, as `[lower, upper]` raw
+    /// levels (Fig. 3 checked transition).
+    pub acceptance: [f64; 2],
+    /// The providers to publish in the broker's registry.
+    pub providers: Vec<ProviderSpec>,
+}
+
+/// One provider in a [`BrokerSpec`]: a service with its QoS offers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderSpec {
+    /// The service identifier.
+    pub id: String,
+    /// The provider name (defaults to the service id).
+    #[serde(default)]
+    pub provider: Option<String>,
+    /// The service's QoS offers (`softsoa-soa` documents verbatim).
+    pub offers: Vec<QosOffer>,
 }
 
 fn default_policy() -> PolicySpec {
@@ -407,10 +469,16 @@ impl CoalitionSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`FormatError::Invalid`] for ragged or out-of-range
-    /// matrices.
+    /// Returns [`FormatError::Invalid`] for ragged, oversized or
+    /// out-of-range matrices.
     pub fn network(&self) -> Result<softsoa_coalition::TrustNetwork, FormatError> {
+        const MAX_AGENTS: usize = 512;
         let n = self.trust.len();
+        if n > MAX_AGENTS {
+            return Err(invalid(format!(
+                "trust matrix has {n} agents, more than the {MAX_AGENTS} limit"
+            )));
+        }
         let mut net = softsoa_coalition::TrustNetwork::new(n as u32, Unit::MIN);
         for (i, row) in self.trust.iter().enumerate() {
             if row.len() != n {
@@ -516,6 +584,59 @@ mod tests {
         assert!(DomainSpec::Ints([3, 0]).to_domain().is_err());
         assert!(DomainSpec::Syms(vec![]).to_domain().is_err());
         assert!(DomainSpec::Stepped([0, 10, 0]).to_domain().is_err());
+    }
+
+    #[test]
+    fn oversized_domains_are_rejected_before_materialising() {
+        // A naive `Domain::ints` here would try to allocate 2^40
+        // values; the cap turns that into a format error.
+        assert!(DomainSpec::Ints([0, 1 << 40]).to_domain().is_err());
+        // Overflowing spans (full i64 range) must not wrap around.
+        assert!(DomainSpec::Ints([i64::MIN, i64::MAX]).to_domain().is_err());
+        assert!(DomainSpec::Stepped([0, i64::MAX, 2]).to_domain().is_err());
+        // Stepping can bring an otherwise oversized range under the cap.
+        assert!(DomainSpec::Stepped([0, 1 << 24, 1 << 10])
+            .to_domain()
+            .is_ok());
+        assert!(DomainSpec::Ints([0, MAX_DOMAIN_SIZE - 1])
+            .to_domain()
+            .is_ok());
+    }
+
+    #[test]
+    fn oversized_trust_matrices_are_rejected() {
+        let n = 600;
+        let spec = CoalitionSpec {
+            trust: vec![vec![0.5; n]; n],
+            compose: "avg".into(),
+            require_stability: false,
+            max_coalitions: None,
+            algorithm: "local".into(),
+        };
+        assert!(spec.network().is_err());
+    }
+
+    #[test]
+    fn broker_section_roundtrips() {
+        let text = r#"{
+            "semiring": "weighted",
+            "domains": {"x": {"ints": [0, 10]}},
+            "constraints": {"c4": {"linear": {"var": "x", "slope": 1.0, "intercept": 1.0}}},
+            "broker": {
+                "capability": "compute",
+                "variable": "x",
+                "client": "c4",
+                "acceptance": [6.0, 1.0],
+                "providers": [{"id": "svc", "offers": []}]
+            }
+        }"#;
+        let spec = NegotiationSpec::from_json(text).unwrap();
+        let broker = spec.broker.as_ref().unwrap();
+        assert_eq!(broker.capability, "compute");
+        assert_eq!(broker.providers.len(), 1);
+        assert!(broker.providers[0].provider.is_none());
+        // `agent` may be omitted in broker documents.
+        assert!(spec.agent.is_empty());
     }
 
     #[test]

@@ -27,10 +27,10 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    coalitions, explore, integrity, negotiate, negotiate_chaos, solve, solve_with, ChaosOptions,
-    CommandError, SolveOptions, SolverChoice,
+    coalitions, coalitions_with, explore, integrity, negotiate, negotiate_chaos, negotiate_with,
+    solve, solve_with, ChaosOptions, CommandError, MetricsFormat, SolveOptions, SolverChoice,
 };
 pub use format::{
-    CoalitionSpec, ConstraintSpec, DomainSpec, FormatError, NegotiationSpec, PolicySpec,
-    ProblemSpec, SemiringKind, ValSpec,
+    BrokerSpec, CoalitionSpec, ConstraintSpec, DomainSpec, FormatError, NegotiationSpec,
+    PolicySpec, ProblemSpec, ProviderSpec, SemiringKind, ValSpec, MAX_DOMAIN_SIZE,
 };

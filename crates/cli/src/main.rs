@@ -3,23 +3,37 @@
 use std::process::ExitCode;
 
 use softsoa_cli::{
-    coalitions, explore, integrity, negotiate, negotiate_chaos, solve_with, ChaosOptions,
-    SolveOptions, SolverChoice,
+    coalitions_with, explore, integrity, negotiate_chaos, negotiate_with, solve_with, ChaosOptions,
+    MetricsFormat, SolveOptions, SolverChoice,
 };
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
 
 USAGE:
     softsoa solve <problem.json> [--solver enum|bnb|bucket]
-                  [--jobs <n>] [--lazy] [--stats]
-    softsoa negotiate <scenario.json>
+                  [--jobs <n>] [--lazy] [--stats] [--metrics[=json|pretty]]
+    softsoa negotiate <scenario.json> [--metrics[=json|pretty]]
                   [--chaos-seed <n>] [--chaos-rate <p>] [--chaos-horizon <n>]
                   [--chaos-retries <n>] [--chaos-deadline <n>] [--chaos-backoff <n>]
     softsoa explore <scenario.json>
-    softsoa coalitions <trust.json>
+    softsoa coalitions <trust.json> [--metrics[=json|pretty]]
     softsoa integrity [--step <kb>]
 
+--metrics appends a telemetry snapshot to the report: json (the
+default) is a deterministic final line without wall-clock data; pretty
+is a human-readable table with timings.
+
 Document formats are described in the softsoa-cli crate docs.";
+
+/// Parses a `--metrics` / `--metrics=<format>` flag; `None` if the
+/// flag is something else.
+fn parse_metrics_flag(flag: &str) -> Option<Result<MetricsFormat, String>> {
+    if flag == "--metrics" {
+        return Some(Ok(MetricsFormat::Json));
+    }
+    flag.strip_prefix("--metrics=")
+        .map(|value| MetricsFormat::parse(value).map_err(|e| e.to_string()))
+}
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,7 +59,10 @@ fn run() -> Result<String, String> {
                     }
                     "--lazy" => options.lazy = true,
                     "--stats" => options.stats = true,
-                    other => return Err(format!("solve: unknown flag `{other}`")),
+                    other => match parse_metrics_flag(other) {
+                        Some(format) => options.metrics = Some(format?),
+                        None => return Err(format!("solve: unknown flag `{other}`")),
+                    },
                 }
             }
             let text =
@@ -69,8 +86,9 @@ fn run() -> Result<String, String> {
             let mut chaos = ChaosOptions::default();
             let mut chaos_mode = false;
             while let Some(flag) = it.next() {
-                chaos_mode = true;
                 let flag = flag.as_str();
+                // Only --chaos-* flags select chaos mode; --metrics
+                // composes with either mode.
                 match flag {
                     "--chaos-seed" => chaos.seed = parse_num(flag, it.next())?,
                     "--chaos-rate" => chaos.rate = parse_num(flag, it.next())?,
@@ -78,15 +96,22 @@ fn run() -> Result<String, String> {
                     "--chaos-retries" => chaos.retries = parse_num(flag, it.next())?,
                     "--chaos-deadline" => chaos.deadline = parse_num(flag, it.next())?,
                     "--chaos-backoff" => chaos.backoff = parse_num(flag, it.next())?,
-                    other => return Err(format!("negotiate: unknown flag `{other}`")),
+                    other => match parse_metrics_flag(other) {
+                        Some(format) => {
+                            chaos.metrics = Some(format?);
+                            continue;
+                        }
+                        None => return Err(format!("negotiate: unknown flag `{other}`")),
+                    },
                 }
+                chaos_mode = true;
             }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             if chaos_mode {
                 negotiate_chaos(&text, chaos).map_err(|e| e.to_string())
             } else {
-                negotiate(&text).map_err(|e| e.to_string())
+                negotiate_with(&text, chaos.metrics).map_err(|e| e.to_string())
             }
         }
         "explore" => {
@@ -97,9 +122,16 @@ fn run() -> Result<String, String> {
         }
         "coalitions" => {
             let path = it.next().ok_or("coalitions: missing <trust.json>")?;
+            let mut metrics = None;
+            for flag in it.by_ref() {
+                match parse_metrics_flag(flag) {
+                    Some(format) => metrics = Some(format?),
+                    None => return Err(format!("coalitions: unknown flag `{flag}`")),
+                }
+            }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            coalitions(&text).map_err(|e| e.to_string())
+            coalitions_with(&text, metrics).map_err(|e| e.to_string())
         }
         "integrity" => {
             let mut step = 512i64;

@@ -62,7 +62,7 @@ pub use network::{AgentId, TrustNetwork};
 pub use propagate::propagate;
 pub use scsp::{formation_scsp, scsp_formation};
 pub use solvers::{
-    exact_formation, exact_formation_with, individually_oriented, local_search, socially_oriented,
-    stabilize, FormationConfig, FormationResult,
+    exact_formation, exact_formation_instrumented, exact_formation_with, individually_oriented,
+    local_search, socially_oriented, stabilize, FormationConfig, FormationResult, MAX_EXACT_AGENTS,
 };
 pub use stability::{find_blocking, is_stable, BlockingPair};

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use softsoa_core::solve::Parallelism;
 use softsoa_semiring::Unit;
+use softsoa_telemetry::Telemetry;
 
 use crate::{
     find_blocking, is_stable, AgentId, Coalition, Partition, TrustComposition, TrustNetwork,
@@ -98,8 +99,34 @@ pub fn exact_formation_with(
     cfg: FormationConfig,
     parallelism: Parallelism,
 ) -> Option<FormationResult> {
+    exact_formation_instrumented(network, cfg, parallelism, &Telemetry::disabled())
+}
+
+/// The largest network [`exact_formation`] accepts: Bell numbers grow
+/// super-exponentially, and B(13) ≈ 27.6 million partitions is the
+/// practical ceiling. Check against this before calling to avoid the
+/// documented panic.
+pub const MAX_EXACT_AGENTS: u32 = 13;
+
+/// [`exact_formation_with`] reporting through `telemetry`: the
+/// partitions-explored total (`formation.explored`), the per-chunk
+/// partition balance (`formation.chunk_explored` observations), the
+/// thread gauge and the winning partition's coalition count.
+///
+/// # Panics
+///
+/// Panics if `network.len() > `[`MAX_EXACT_AGENTS`].
+pub fn exact_formation_instrumented(
+    network: &TrustNetwork,
+    cfg: FormationConfig,
+    parallelism: Parallelism,
+    telemetry: &Telemetry,
+) -> Option<FormationResult> {
     let n = network.len();
-    assert!(n <= 13, "exact formation is limited to 13 agents");
+    assert!(
+        n <= MAX_EXACT_AGENTS,
+        "exact formation is limited to {MAX_EXACT_AGENTS} agents"
+    );
     if n == 0 {
         return Some(FormationResult {
             partition: Partition::new(0, vec![]).expect("empty partition"),
@@ -143,6 +170,13 @@ pub fn exact_formation_with(
 
     let mut best: Option<(Partition, Unit)> = None;
     let mut explored = 0usize;
+    if telemetry.enabled() {
+        telemetry.incr("formation.runs");
+        telemetry.gauge("formation.threads", threads as i64);
+        for (_, count) in &parts {
+            telemetry.observe("formation.chunk_explored", *count as u64);
+        }
+    }
     for (local, count) in parts {
         explored += count;
         if let Some((partition, score)) = local {
@@ -152,11 +186,16 @@ pub fn exact_formation_with(
             }
         }
     }
-    best.map(|(partition, score)| FormationResult {
+    telemetry.count("formation.explored", explored as u64);
+    let result = best.map(|(partition, score)| FormationResult {
         partition,
         score,
         explored,
-    })
+    });
+    if let Some(result) = &result {
+        telemetry.gauge("formation.coalitions", result.partition.len() as i64);
+    }
+    result
 }
 
 /// Enumerates every valid restricted-growth-string prefix of the given

@@ -156,6 +156,7 @@ impl BranchAndBound {
         for (value, wit, nodes, prunings, worker_evals) in workers {
             stats.nodes += nodes;
             stats.prunings += prunings;
+            stats.thread_nodes.push(nodes);
             for (acc, e) in evals.iter_mut().zip(&worker_evals) {
                 *acc += e;
             }

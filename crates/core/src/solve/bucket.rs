@@ -143,6 +143,7 @@ impl BucketElimination {
             compile_time += cp.compile_time();
             let threads = self.config.parallelism.thread_count(cp.outer_size());
             let parts = fan_out(threads, cp.outer_size(), |range| cp.aggregate_range(range));
+            stats.thread_nodes.extend(parts.iter().map(|p| p.nodes));
             let agg = Aggregate::merge(&semiring, parts);
             stats.nodes += agg.nodes;
             stats.prunings += agg.prunings;

@@ -74,6 +74,7 @@ impl EnumerationSolver {
         let parts = fan_out(threads, compiled.outer_size(), |range| {
             compiled.aggregate_range(range)
         });
+        let thread_nodes: Vec<u64> = parts.iter().map(|p| p.nodes).collect();
         let agg = Aggregate::merge(&semiring, parts);
         let entries = compiled.con_entries(agg.table);
         let blevel = semiring.sum(entries.iter().map(|(_, v)| v));
@@ -84,6 +85,7 @@ impl EnumerationSolver {
             nodes: agg.nodes,
             prunings: agg.prunings,
             threads,
+            thread_nodes,
             compile_time: compiled.compile_time(),
             solve_time: start.elapsed(),
             constraint_evals: compiled.eval_stats(&agg.evals),

@@ -109,6 +109,7 @@ impl ParetoBranchAndBound {
         for (local, nodes, prunings, worker_evals) in workers {
             stats.nodes += nodes;
             stats.prunings += prunings;
+            stats.thread_nodes.push(nodes);
             for (acc, e) in evals.iter_mut().zip(&worker_evals) {
                 *acc += e;
             }

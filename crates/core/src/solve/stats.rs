@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use softsoa_telemetry::Telemetry;
+
 /// Per-operand evaluation counters collected by the compiled engine.
 ///
 /// One entry per `⊗`-operand of the compiled problem (combine DAGs are
@@ -37,6 +39,9 @@ pub struct SolverStats {
     pub prunings: u64,
     /// Worker threads used (`1` for sequential runs).
     pub threads: usize,
+    /// Search-tree nodes visited per worker chunk, in chunk order
+    /// (empty for sequential paths). Exposes partition balance.
+    pub thread_nodes: Vec<u64>,
     /// Time spent compiling the problem (flattening, embeddings, dense
     /// tables); zero on lazy paths.
     pub compile_time: Duration,
@@ -44,6 +49,43 @@ pub struct SolverStats {
     pub solve_time: Duration,
     /// Per-operand evaluation counters (compiled paths only).
     pub constraint_evals: Vec<ConstraintEvalStats>,
+}
+
+impl SolverStats {
+    /// Emits the run's counters through `telemetry`, tagged with the
+    /// solver's name.
+    ///
+    /// Deterministic families (safe for [`Snapshot::to_json`]
+    /// comparison across fixed-seed runs): `solve.runs`,
+    /// `solve.nodes`, `solve.prunings`, the per-operand
+    /// `solve.constraint_evals{..}` counters, the `solve.threads`
+    /// gauge, and the `solve.thread_nodes` balance observations. The
+    /// compile/search time split is recorded as timings, which the
+    /// JSON snapshot excludes.
+    ///
+    /// [`Snapshot::to_json`]: softsoa_telemetry::Snapshot::to_json
+    pub fn emit(&self, telemetry: &Telemetry, solver: &str) {
+        if !telemetry.enabled() {
+            return;
+        }
+        telemetry.incr("solve.runs");
+        telemetry.count_labeled("solve.runs", solver, 1);
+        telemetry.count("solve.nodes", self.nodes);
+        telemetry.count("solve.prunings", self.prunings);
+        telemetry.gauge("solve.threads", self.threads as i64);
+        for &nodes in &self.thread_nodes {
+            telemetry.observe("solve.thread_nodes", nodes);
+        }
+        for c in &self.constraint_evals {
+            telemetry.count_labeled("solve.constraint_evals", &c.label, c.evals);
+        }
+        telemetry.timing("solve.compile_time", self.compile_time);
+        telemetry.timing(
+            "solve.search_time",
+            self.solve_time.saturating_sub(self.compile_time),
+        );
+        telemetry.timing("solve.solve_time", self.solve_time);
+    }
 }
 
 impl fmt::Display for SolverStats {

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use softsoa_semiring::{Residuated, Semiring};
+use softsoa_telemetry::Telemetry;
 
 use crate::semantics::{enabled, FreshGen, Rule, SemanticsError};
 use crate::{Agent, Program, Store};
@@ -102,6 +103,15 @@ impl<S: Semiring> Outcome<S> {
         matches!(self, Outcome::Success { .. })
     }
 
+    /// A short, residual-free name for metric labels.
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            Outcome::Success { .. } => "success",
+            Outcome::Deadlock { .. } => "deadlock",
+            Outcome::OutOfFuel { .. } => "out_of_fuel",
+        }
+    }
+
     /// The store carried by any outcome.
     pub fn store(&self) -> &Store<S> {
         match self {
@@ -147,6 +157,30 @@ impl<S: Semiring> RunReport<S> {
     }
 }
 
+/// Replays a finished run into `telemetry`: per-rule and per-origin
+/// transition counts, the consistency-level time series (indexed by
+/// step), the enabled-transition fan-out distribution, the step total
+/// and the outcome tally. All derived from the existing trace, so
+/// instrumentation costs the run itself one branch.
+pub(crate) fn emit_run<S: Semiring>(telemetry: &Telemetry, report: &RunReport<S>) {
+    if !telemetry.enabled() {
+        return;
+    }
+    telemetry.incr("nmsccp.runs");
+    telemetry.count_labeled("nmsccp.outcome", report.outcome.label(), 1);
+    telemetry.count("nmsccp.steps", report.steps as u64);
+    for entry in &report.trace {
+        telemetry.count_labeled("nmsccp.rule", &entry.rule.to_string(), 1);
+        telemetry.count_labeled("nmsccp.origin", &entry.origin.to_string(), 1);
+        telemetry.observe("nmsccp.enabled_transitions", entry.enabled as u64);
+        telemetry.series(
+            "nmsccp.consistency",
+            entry.step as u64,
+            format!("{:?}", entry.consistency),
+        );
+    }
+}
+
 /// A sequential interpreter executing an agent against a store.
 ///
 /// # Examples
@@ -179,6 +213,7 @@ pub struct Interpreter<S: Semiring> {
     program: Program<S>,
     policy: Policy,
     max_steps: usize,
+    telemetry: Telemetry,
 }
 
 impl<S: Residuated> Interpreter<S> {
@@ -189,6 +224,7 @@ impl<S: Residuated> Interpreter<S> {
             program,
             policy: Policy::First,
             max_steps: 10_000,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -201,6 +237,13 @@ impl<S: Residuated> Interpreter<S> {
     /// Sets the step budget.
     pub fn with_max_steps(mut self, max_steps: usize) -> Interpreter<S> {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Attaches a telemetry handle; each finished run is replayed
+    /// into it (per-rule counts, consistency series, outcome tally).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Interpreter<S> {
+        self.telemetry = telemetry;
         self
     }
 
@@ -221,28 +264,25 @@ impl<S: Residuated> Interpreter<S> {
         let mut trace = Vec::new();
         let mut steps = 0;
 
+        let finish = |outcome, steps, trace| {
+            let report = RunReport {
+                outcome,
+                steps,
+                trace,
+            };
+            emit_run(&self.telemetry, &report);
+            Ok(report)
+        };
         loop {
             if agent.is_success() {
-                return Ok(RunReport {
-                    outcome: Outcome::Success { store },
-                    steps,
-                    trace,
-                });
+                return finish(Outcome::Success { store }, steps, trace);
             }
             if steps >= self.max_steps {
-                return Ok(RunReport {
-                    outcome: Outcome::OutOfFuel { store, agent },
-                    steps,
-                    trace,
-                });
+                return finish(Outcome::OutOfFuel { store, agent }, steps, trace);
             }
             let transitions = enabled(&self.program, &agent, &store, &mut fresh)?;
             if transitions.is_empty() {
-                return Ok(RunReport {
-                    outcome: Outcome::Deadlock { store, agent },
-                    steps,
-                    trace,
-                });
+                return finish(Outcome::Deadlock { store, agent }, steps, trace);
             }
             let count = transitions.len();
             let index = match (&self.policy, &mut rng) {

@@ -27,7 +27,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use softsoa_core::Constraint;
 use softsoa_semiring::{Residuated, Semiring};
+use softsoa_telemetry::Telemetry;
 
+use crate::interp::emit_run;
 use crate::semantics::{enabled, FreshGen, Rule, SemanticsError};
 use crate::{
     Agent, EntryOrigin, Interval, Outcome, Policy, Program, RunReport, Store, StoreError,
@@ -431,7 +433,17 @@ pub struct ResilientInterpreter<S: Semiring> {
     recovery: RecoveryPolicy<S>,
     policy: Policy,
     max_steps: usize,
+    telemetry: Telemetry,
 }
+
+/// Upper bound on the idle wait of a single retry, in steps.
+///
+/// The exponential backoff `backoff_base · 2^(attempt−1)` saturates
+/// here: beyond this the step clock would race past any realistic
+/// fuel budget in one suspension, and with large `max_retries` the
+/// unbounded shift itself overflows. The cap keeps every retry wait
+/// finite and lets `max_steps` decide when the run is out of fuel.
+pub const MAX_RETRY_WAIT: usize = 1 << 16;
 
 impl<S: Residuated> ResilientInterpreter<S> {
     /// Creates a resilient interpreter with no faults, the default
@@ -444,7 +456,16 @@ impl<S: Residuated> ResilientInterpreter<S> {
             recovery: RecoveryPolicy::default(),
             policy: Policy::First,
             max_steps: 10_000,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; each finished run is replayed
+    /// into it (per-rule counts, consistency series, fault and
+    /// recovery counters).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ResilientInterpreter<S> {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Sets the fault plan.
@@ -627,12 +648,26 @@ impl<S: Residuated> ResilientInterpreter<S> {
                 }
                 if retry_attempt < self.recovery.max_retries {
                     // Per-guard deadline: idle, then retry with
-                    // deterministic exponential backoff.
+                    // deterministic exponential backoff, saturating
+                    // at MAX_RETRY_WAIT (a `1 << attempt` shift is
+                    // otherwise undefined past 63 attempts).
                     retry_attempt += 1;
                     retries += 1;
-                    let wait = self.recovery.guard_deadline
-                        + (self.recovery.backoff_base << (retry_attempt - 1));
-                    steps += wait;
+                    let exp = u32::try_from(retry_attempt - 1).unwrap_or(u32::MAX);
+                    let base = self.recovery.backoff_base;
+                    let backoff = if base == 0 || exp <= base.leading_zeros() {
+                        base.checked_shl(exp).unwrap_or(usize::MAX)
+                    } else {
+                        usize::MAX
+                    };
+                    let wait = self
+                        .recovery
+                        .guard_deadline
+                        .saturating_add(backoff)
+                        .min(MAX_RETRY_WAIT);
+                    self.telemetry
+                        .observe("nmsccp.recovery.backoff_wait", wait as u64);
+                    steps = steps.saturating_add(wait);
                     trace.push(TraceEntry {
                         step: steps,
                         rule: Rule::Ask,
@@ -705,7 +740,7 @@ impl<S: Residuated> ResilientInterpreter<S> {
             End::OutOfFuel => Outcome::OutOfFuel { store, agent },
             End::Deadlock => Outcome::Deadlock { store, agent },
         };
-        Ok(ResilienceReport {
+        let report = ResilienceReport {
             report: RunReport {
                 outcome,
                 steps,
@@ -719,7 +754,40 @@ impl<S: Residuated> ResilientInterpreter<S> {
             relaxations_applied: rec.relaxations,
             invariant_violations: rec.violations,
             final_consistency,
-        })
+        };
+        self.emit(&report);
+        Ok(report)
+    }
+
+    /// Replays a finished resilient run into the attached telemetry:
+    /// the base run metrics plus fault and recovery counters. The
+    /// degradation rung reached and the interval excursions come from
+    /// the report itself, so emission is deterministic.
+    fn emit(&self, report: &ResilienceReport<S>) {
+        let t = &self.telemetry;
+        if !t.enabled() {
+            return;
+        }
+        emit_run(t, &report.report);
+        t.count("nmsccp.faults.injected", report.faults_injected as u64);
+        t.count(
+            "nmsccp.faults.dropped_transitions",
+            report.dropped_transitions as u64,
+        );
+        t.count("nmsccp.recovery.retries", report.retries as u64);
+        t.count("nmsccp.recovery.rollbacks", report.rollbacks as u64);
+        t.count(
+            "nmsccp.recovery.relaxations",
+            report.relaxations_applied as u64,
+        );
+        t.count(
+            "nmsccp.recovery.interval_excursions",
+            report.invariant_violations as u64,
+        );
+        t.gauge(
+            "nmsccp.recovery.rung_reached",
+            report.relaxations_applied as i64,
+        );
     }
 }
 
@@ -1031,5 +1099,46 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(sig(&a), sig(&b));
+    }
+
+    /// Regression: `max_retries = 80` used to shift `backoff_base`
+    /// by up to 79 bits — an overflow panic in debug builds. The
+    /// saturated backoff must complete (here: run out of fuel on a
+    /// permanently starved ask) without panicking, with every idle
+    /// wait capped at [`MAX_RETRY_WAIT`].
+    #[test]
+    fn saturated_backoff_at_eighty_retries_completes() {
+        // An ask whose interval can never be met: the empty store
+        // sits at level 0 ∉ [3, 1].
+        let starved = Agent::ask(
+            Constraint::always(WeightedInt).with_label("1"),
+            Interval::levels(1u64, 3u64),
+            Agent::success(),
+        );
+        let recovery = RecoveryPolicy {
+            guard_deadline: 1,
+            max_retries: 80,
+            backoff_base: 2,
+            ..RecoveryPolicy::default()
+        };
+        let report = ResilientInterpreter::new(Program::new())
+            .with_recovery(recovery)
+            .with_max_steps(usize::MAX)
+            .run(starved, Store::empty(WeightedInt, doms()))
+            .expect("runs without panicking");
+        assert!(!report.is_success());
+        assert_eq!(report.retries, 80);
+        // Every retry waited at most the cap (plus the deadline).
+        for entry in &report.report.trace {
+            if let Some(rest) = entry.note.strip_prefix("recovery: retry ") {
+                let wait: usize = rest
+                    .split_whitespace()
+                    .nth(2)
+                    .and_then(|w| w.split('-').next())
+                    .and_then(|w| w.parse().ok())
+                    .expect("note carries the wait");
+                assert!(wait <= MAX_RETRY_WAIT);
+            }
+        }
     }
 }

@@ -18,6 +18,7 @@ use std::fmt;
 use softsoa_core::{Assignment, Constraint, Domain, Domains, Scsp, SolveError, Var};
 use softsoa_nmsccp::{Agent, Interpreter, Interval, Outcome, Program, SemanticsError, Store};
 use softsoa_semiring::{Residuated, Semiring};
+use softsoa_telemetry::Telemetry;
 
 use crate::registry::ProviderId;
 use crate::{QosOffer, Registry, ServiceDescription, ServiceId};
@@ -164,12 +165,25 @@ impl From<SolveError> for NegotiationError {
 pub struct Broker<S: Semiring> {
     semiring: S,
     registry: Registry,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl<S: Residuated> Broker<S> {
     /// Creates a broker over a registry.
     pub fn new(semiring: S, registry: Registry) -> Broker<S> {
-        Broker { semiring, registry }
+        Broker {
+            semiring,
+            registry,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: per-provider session latency and
+    /// outcomes, binding-solve counters, and the nmsccp run metrics
+    /// of every negotiation session flow through it.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Broker<S> {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The semiring the broker negotiates over.
@@ -298,7 +312,11 @@ impl<S: Residuated> Broker<S> {
                 current.constraint = current.constraint.divide(relaxation);
             }
             match self.negotiate(&current, translate) {
-                Ok(sla) => return Ok((sla, concessions)),
+                Ok(sla) => {
+                    self.telemetry
+                        .count("broker.concessions", concessions as u64);
+                    return Ok((sla, concessions));
+                }
                 Err(NegotiationError::NoAgreement(_)) => continue,
                 Err(other) => return Err(other),
             }
@@ -343,12 +361,29 @@ impl<S: Residuated> Broker<S> {
         );
         let domains = Domains::new().with(request.variable.clone(), request.domain.clone());
         let store = Store::empty(self.semiring.clone(), domains.clone());
-        let report = Interpreter::new(Program::new()).run(Agent::par(provider, client), store)?;
+        let session_start = self.telemetry.enabled().then(std::time::Instant::now);
+        self.telemetry.incr("broker.sessions");
+        let report = Interpreter::new(Program::new())
+            .with_telemetry(self.telemetry.clone())
+            .run(Agent::par(provider, client), store)?;
+        if let Some(start) = session_start {
+            self.telemetry.timing_labeled(
+                "broker.provider.latency",
+                service.id.as_str(),
+                start.elapsed(),
+            );
+        }
 
         let final_store = match report.outcome {
             Outcome::Success { store } => store,
-            _ => return Ok(None),
+            _ => {
+                self.telemetry
+                    .count_labeled("broker.provider.rejections", service.id.as_str(), 1);
+                return Ok(None);
+            }
         };
+        self.telemetry
+            .count_labeled("broker.provider.agreements", service.id.as_str(), 1);
         let agreed_level = final_store.consistency().map_err(SemanticsError::from)?;
 
         // The concrete binding: the best value of the negotiation
@@ -358,6 +393,9 @@ impl<S: Residuated> Broker<S> {
             .with_constraint(final_store.sigma().clone())
             .of_interest([request.variable.clone()]);
         let solution = problem.solve()?;
+        if let Some(stats) = solution.stats() {
+            stats.emit(&self.telemetry, "binding");
+        }
         let binding = solution.best().first().cloned();
 
         Ok(Some(Sla {

@@ -154,6 +154,15 @@ fn fnv1a(s: &str) -> u64 {
     hash
 }
 
+/// Derives the per-provider chaos seed: `seed ^ fnv1a(service id)`.
+///
+/// Fault-plan replayability depends on this exact derivation — both
+/// the negotiation fault plans and the query outage streams use it,
+/// and a pinned-value test guards it against refactors.
+pub fn provider_seed(base_seed: u64, service: &ServiceId) -> u64 {
+    base_seed ^ fnv1a(service.as_str())
+}
+
 /// The steps (below `horizon`) at which a provider's seeded failure
 /// stream misfires.
 fn fault_steps(seed: u64, fault_rate: f64, horizon: usize) -> Vec<usize> {
@@ -191,7 +200,7 @@ pub fn provider_fault_plan<S: Semiring>(
         return FaultPlan::none();
     }
     let steps = fault_steps(
-        chaos.seed ^ fnv1a(service.as_str()),
+        provider_seed(chaos.seed, service),
         chaos.fault_rate,
         chaos.horizon,
     );
@@ -277,10 +286,40 @@ impl<S: Residuated> Broker<S> {
                 ),
             );
             let store = Store::empty(self.semiring().clone(), domains.clone());
+            let session_start = self.telemetry.enabled().then(std::time::Instant::now);
+            self.telemetry.incr("broker.sessions");
             let report = ResilientInterpreter::new(Program::new())
                 .with_plan(plan)
                 .with_recovery(recovery.clone())
+                .with_telemetry(self.telemetry.clone())
                 .run(Agent::par(provider, client), store)?;
+            if self.telemetry.enabled() {
+                let id = service.id.as_str();
+                if let Some(start) = session_start {
+                    self.telemetry
+                        .timing_labeled("broker.provider.latency", id, start.elapsed());
+                }
+                let t = &self.telemetry;
+                t.count_labeled("broker.provider.retries", id, report.retries as u64);
+                t.count_labeled("broker.provider.faults", id, report.faults_injected as u64);
+                t.count_labeled("broker.provider.rollbacks", id, report.rollbacks as u64);
+                t.count_labeled(
+                    "broker.provider.degradation_rung",
+                    id,
+                    report.relaxations_applied as u64,
+                );
+                t.count_labeled(
+                    "broker.provider.interval_excursions",
+                    id,
+                    report.invariant_violations as u64,
+                );
+                let outcome = if report.is_success() {
+                    "broker.provider.agreements"
+                } else {
+                    "broker.provider.rejections"
+                };
+                t.count_labeled(outcome, id, 1);
+            }
 
             if report.is_success() {
                 let final_store = report.report.outcome.store();
@@ -290,6 +329,9 @@ impl<S: Residuated> Broker<S> {
                     .with_constraint(final_store.sigma().clone())
                     .of_interest([request.variable.clone()]);
                 let solution = problem.solve()?;
+                if let Some(stats) = solution.stats() {
+                    stats.emit(&self.telemetry, "binding");
+                }
                 let sla = Sla {
                     service: service.id.clone(),
                     provider: service.provider.clone(),
@@ -354,7 +396,7 @@ impl<S: Residuated> Broker<S> {
             .registry()
             .iter()
             .map(|service| {
-                let seed = chaos.seed ^ fnv1a(service.id.as_str());
+                let seed = provider_seed(chaos.seed, &service.id);
                 (
                     service.id.clone(),
                     SimService::new(SimConfig {
@@ -387,13 +429,15 @@ impl<S: Residuated> Broker<S> {
                 } else if current.cross_constraints.pop().is_some() {
                     dropped_cross_constraints += 1;
                 } else {
-                    return Ok(QueryChaosReport {
+                    let report = QueryChaosReport {
                         plan: None,
                         attempts,
                         blackouts,
                         dropped_min_level,
                         dropped_cross_constraints,
-                    });
+                    };
+                    self.emit_query(&report);
+                    return Ok(report);
                 }
             }
             attempts += 1;
@@ -404,16 +448,19 @@ impl<S: Residuated> Broker<S> {
                 registry.deregister(id);
             }
             blackouts.push(down);
-            let degraded_broker = Broker::new(self.semiring().clone(), registry);
+            let degraded_broker = Broker::new(self.semiring().clone(), registry)
+                .with_telemetry(self.telemetry.clone());
             match degraded_broker.query_with(&current, &translate, config) {
                 Ok(plan) => {
-                    return Ok(QueryChaosReport {
+                    let report = QueryChaosReport {
                         plan: Some(plan),
                         attempts,
                         blackouts,
                         dropped_min_level,
                         dropped_cross_constraints,
-                    });
+                    };
+                    self.emit_query(&report);
+                    return Ok(report);
                 }
                 Err(QueryError::Solve(e)) => return Err(QueryError::Solve(e)),
                 // No provider alive / no plan this round: retry or
@@ -421,6 +468,35 @@ impl<S: Residuated> Broker<S> {
                 Err(_) => continue,
             }
         }
+    }
+
+    /// Replays a finished chaos query into the attached telemetry:
+    /// attempts, total provider blackouts, degradation concessions
+    /// and the planned/exhausted tally.
+    fn emit_query(&self, report: &QueryChaosReport<S>) {
+        let t = &self.telemetry;
+        if !t.enabled() {
+            return;
+        }
+        t.count("broker.query.attempts", report.attempts as u64);
+        t.count(
+            "broker.query.blackouts",
+            report.blackouts.iter().map(|b| b.len() as u64).sum(),
+        );
+        t.count(
+            "broker.query.dropped_min_level",
+            u64::from(report.dropped_min_level),
+        );
+        t.count(
+            "broker.query.dropped_cross_constraints",
+            report.dropped_cross_constraints as u64,
+        );
+        let outcome = if report.plan.is_some() {
+            "broker.query.planned"
+        } else {
+            "broker.query.exhausted"
+        };
+        t.incr(outcome);
     }
 }
 
@@ -562,6 +638,26 @@ mod tests {
             ))
         );
         assert_ne!(steps(&a), steps(&b));
+    }
+
+    /// Pins the per-provider seed derivation `seed ^ fnv1a(id)` to
+    /// concrete values: stored fault plans and outage streams replay
+    /// only while this derivation is stable, so a refactor that
+    /// changes it must consciously break this test.
+    #[test]
+    fn provider_seed_derivation_is_pinned() {
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(
+            provider_seed(0, &ServiceId::new("svc-a")),
+            0xbfbe_289c_a313_c913
+        );
+        assert_eq!(
+            provider_seed(0xdead_beef, &ServiceId::new("svc-a")),
+            0xbfbe_289c_7dbe_77fc
+        );
+        // XOR with the base seed, nothing else.
+        let id = ServiceId::new("video-transcode");
+        assert_eq!(provider_seed(42, &id), 42 ^ provider_seed(0, &id));
     }
 
     #[test]

@@ -271,6 +271,9 @@ impl<S: Residuated> Broker<S> {
         } else {
             ParetoBranchAndBound::with_config(*config).solve(&problem)?
         };
+        if let Some(stats) = solution.stats() {
+            stats.emit(&self.telemetry, "query");
+        }
         let Some((eta, level)) = solution.best().first() else {
             return Err(QueryError::NoPlan);
         };

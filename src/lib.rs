@@ -64,3 +64,4 @@ pub use softsoa_dependability as dependability;
 pub use softsoa_nmsccp as nmsccp;
 pub use softsoa_semiring as semiring;
 pub use softsoa_soa as soa;
+pub use softsoa_telemetry as telemetry;
