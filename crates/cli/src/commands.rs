@@ -163,6 +163,15 @@ pub struct SolveOptions {
     pub stats: bool,
     /// Append a telemetry snapshot to the report (`--metrics`).
     pub metrics: Option<MetricsFormat>,
+    /// Variable order for branch-and-bound (`--order`); `None` keeps
+    /// the default most-constrained-first heuristic.
+    pub order: Option<VarOrder>,
+    /// Mini-bucket joint-scope cap (`--ibound`): precompute per-depth
+    /// admissible completion bounds and prune against them.
+    pub ibound: Option<usize>,
+    /// Seed the branch-and-bound incumbent from a greedy probe of the
+    /// first full assignment (`--warm-start`).
+    pub warm_start: bool,
 }
 
 impl SolveOptions {
@@ -174,7 +183,44 @@ impl SolveOptions {
         SolverConfig::default()
             .with_parallelism(parallelism)
             .with_compiled(!self.lazy)
+            .with_ibound(self.ibound)
     }
+}
+
+/// Parses a `--order` value into a [`VarOrder`].
+///
+/// # Errors
+///
+/// Returns the list of accepted names for anything else.
+pub fn parse_var_order(name: &str) -> Result<VarOrder, String> {
+    match name {
+        "input" => Ok(VarOrder::Input),
+        "smallest" | "smallest-domain" => Ok(VarOrder::SmallestDomain),
+        "most-constrained" => Ok(VarOrder::MostConstrained),
+        "dynamic" => Ok(VarOrder::Dynamic),
+        other => Err(format!(
+            "unknown variable order `{other}` (expected input, smallest, most-constrained or dynamic)"
+        )),
+    }
+}
+
+/// An achievable seed level for `--warm-start`: the combined level of
+/// the lexicographically first complete assignment. Any complete
+/// assignment's level is a sound incumbent seed (the search only cuts
+/// branches strictly below it), and this one costs a single sweep over
+/// the constraints.
+fn greedy_probe_level<S: Semiring>(problem: &Scsp<S>) -> Option<S::Value> {
+    let semiring = problem.semiring().clone();
+    let mut eta = softsoa_core::Assignment::new();
+    for v in problem.problem_vars() {
+        let first = problem.domains().get(&v).ok()?.values().first()?.clone();
+        eta = eta.bind(v, first);
+    }
+    let mut level = semiring.one();
+    for c in problem.constraints() {
+        level = semiring.times(&level, &c.eval(&eta));
+    }
+    Some(level)
 }
 
 fn solve_generic<S: Semiring>(
@@ -187,7 +233,16 @@ fn solve_generic<S: Semiring>(
     let solution = match solver {
         SolverChoice::Enumeration => EnumerationSolver::with_config(config).solve(problem),
         SolverChoice::BranchAndBound => {
-            BranchAndBound::with_config(VarOrder::MostConstrained, config).solve(problem)
+            let order = options.order.unwrap_or(VarOrder::MostConstrained);
+            let bnb = BranchAndBound::with_config(order, config);
+            match options
+                .warm_start
+                .then(|| greedy_probe_level(problem))
+                .flatten()
+            {
+                Some(seed) => bnb.solve_seeded(problem, seed),
+                None => bnb.solve(problem),
+            }
         }
         SolverChoice::Bucket => {
             BucketElimination::with_config(EliminationOrder::default(), config).solve(problem)
@@ -899,9 +954,9 @@ pub fn coalitions_with(text: &str, metrics: Option<MetricsFormat>) -> Result<Str
     let (telemetry, recorder) = metrics_recorder(metrics);
     let result = match spec.algorithm.as_str() {
         "exact" => {
-            // The exact solver enumerates set partitions (Bell numbers)
-            // and asserts its ceiling; turn that panic into a usage
-            // error before it is reachable.
+            // The exact solver runs an O(3^n) subset DP and asserts
+            // its ceiling; turn that panic into a usage error before
+            // it is reachable.
             if network.len() > MAX_EXACT_AGENTS {
                 return Err(CommandError::Usage(format!(
                     "exact formation handles at most {MAX_EXACT_AGENTS} agents, got {} \
@@ -1015,13 +1070,13 @@ mod tests {
                     jobs: Some(2),
                     lazy: false,
                     stats: true,
-                    metrics: None,
+                    ..SolveOptions::default()
                 },
                 SolveOptions {
                     jobs: Some(1),
                     lazy: true,
                     stats: true,
-                    metrics: None,
+                    ..SolveOptions::default()
                 },
             ] {
                 let report = solve_with(FIG1, solver, options).unwrap();
@@ -1033,6 +1088,58 @@ mod tests {
         // Without --stats the engine line is absent.
         let quiet = solve(FIG1, SolverChoice::Enumeration).unwrap();
         assert!(!quiet.contains("engine:"), "{quiet}");
+    }
+
+    #[test]
+    fn bounded_warm_dynamic_solves_agree_with_blind() {
+        // Every combination of variable order, mini-bucket bound and
+        // warm start reports the same blevel and witness as the plain
+        // branch-and-bound run.
+        let blind = solve(FIG1, SolverChoice::BranchAndBound).unwrap();
+        for order in ["input", "smallest", "most-constrained", "dynamic"] {
+            for ibound in [None, Some(1), Some(2)] {
+                for warm_start in [false, true] {
+                    let options = SolveOptions {
+                        order: Some(parse_var_order(order).unwrap()),
+                        ibound,
+                        warm_start,
+                        ..SolveOptions::default()
+                    };
+                    let report = solve_with(FIG1, SolverChoice::BranchAndBound, options).unwrap();
+                    assert!(
+                        report.contains("blevel: 7"),
+                        "{order}/{ibound:?}/{warm_start}: {report}"
+                    );
+                    assert!(
+                        report.contains("[x:=a]"),
+                        "{order}/{ibound:?}/{warm_start}: {report}"
+                    );
+                    assert_eq!(
+                        report, blind,
+                        "{order}/{ibound:?}/{warm_start} diverged from the blind run"
+                    );
+                }
+            }
+        }
+        // Bound statistics surface in the engine line when requested.
+        let stats = solve_with(
+            FIG1,
+            SolverChoice::BranchAndBound,
+            SolveOptions {
+                ibound: Some(2),
+                stats: true,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(stats.contains("bound)"), "{stats}");
+    }
+
+    #[test]
+    fn parse_var_order_rejects_unknown_names() {
+        assert_eq!(parse_var_order("input").unwrap(), VarOrder::Input);
+        assert_eq!(parse_var_order("dynamic").unwrap(), VarOrder::Dynamic);
+        assert!(parse_var_order("random").is_err());
     }
 
     #[test]
@@ -1329,7 +1436,7 @@ mod tests {
 
     #[test]
     fn exact_coalitions_beyond_the_ceiling_are_rejected() {
-        let n = 14;
+        let n = 19;
         let trust: Vec<Vec<f64>> = (0..n)
             .map(|i| (0..n).map(|j| if i == j { 1.0 } else { 0.5 }).collect())
             .collect();
@@ -1343,7 +1450,7 @@ mod tests {
         let doc = serde_json::to_string(&spec).unwrap();
         let err = coalitions(&doc).unwrap_err();
         assert!(matches!(err, CommandError::Usage(_)), "{err}");
-        assert!(err.to_string().contains("13"), "{err}");
+        assert!(err.to_string().contains("18"), "{err}");
         // The heuristics still handle the same matrix.
         let local = serde_json::to_string(&CoalitionSpec {
             algorithm: "local".into(),

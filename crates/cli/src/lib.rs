@@ -28,7 +28,8 @@ pub mod format;
 
 pub use commands::{
     coalitions, coalitions_with, explore, integrity, negotiate, negotiate_chaos, negotiate_with,
-    solve, solve_with, ChaosOptions, CommandError, MetricsFormat, SolveOptions, SolverChoice,
+    parse_var_order, solve, solve_with, ChaosOptions, CommandError, MetricsFormat, SolveOptions,
+    SolverChoice,
 };
 pub use format::{
     BrokerSpec, CoalitionSpec, ConstraintSpec, DomainSpec, FormatError, NegotiationSpec,

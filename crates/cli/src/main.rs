@@ -3,8 +3,8 @@
 use std::process::ExitCode;
 
 use softsoa_cli::{
-    coalitions_with, explore, integrity, negotiate_chaos, negotiate_with, solve_with, ChaosOptions,
-    MetricsFormat, SolveOptions, SolverChoice,
+    coalitions_with, explore, integrity, negotiate_chaos, negotiate_with, parse_var_order,
+    solve_with, ChaosOptions, MetricsFormat, SolveOptions, SolverChoice,
 };
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
@@ -12,6 +12,8 @@ const USAGE: &str = "softsoa — soft constraints for dependable SOAs
 USAGE:
     softsoa solve <problem.json> [--solver enum|bnb|bucket]
                   [--jobs <n>] [--lazy] [--stats] [--metrics[=json|pretty]]
+                  [--order input|smallest|most-constrained|dynamic]
+                  [--ibound <n>] [--warm-start]
     softsoa negotiate <scenario.json> [--metrics[=json|pretty]]
                   [--chaos-seed <n>] [--chaos-rate <p>] [--chaos-horizon <n>]
                   [--chaos-retries <n>] [--chaos-deadline <n>] [--chaos-backoff <n>]
@@ -22,6 +24,12 @@ USAGE:
 --metrics appends a telemetry snapshot to the report: json (the
 default) is a deterministic final line without wall-clock data; pretty
 is a human-readable table with timings.
+
+--order, --ibound and --warm-start steer the bnb solver (other solvers
+ignore them): --order picks the variable-ordering heuristic, --ibound
+enables mini-bucket completion bounds with the given joint-scope cap,
+and --warm-start seeds the incumbent from a greedy probe. All three
+leave the reported blevel and witness unchanged.
 
 Document formats are described in the softsoa-cli crate docs.";
 
@@ -59,6 +67,19 @@ fn run() -> Result<String, String> {
                     }
                     "--lazy" => options.lazy = true,
                     "--stats" => options.stats = true,
+                    "--order" => {
+                        let name = it.next().ok_or("--order: missing value")?;
+                        options.order =
+                            Some(parse_var_order(name).map_err(|e| format!("--order: {e}"))?);
+                    }
+                    "--ibound" => {
+                        let value = it.next().ok_or("--ibound: missing value")?;
+                        let ibound: usize = value
+                            .parse()
+                            .map_err(|e| format!("--ibound: not an integer: {e}"))?;
+                        options.ibound = Some(ibound);
+                    }
+                    "--warm-start" => options.warm_start = true,
                     other => match parse_metrics_flag(other) {
                         Some(format) => options.metrics = Some(format?),
                         None => return Err(format!("solve: unknown flag `{other}`")),

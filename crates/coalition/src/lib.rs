@@ -16,8 +16,9 @@
 //!
 //! - [`formation_scsp`] / [`scsp_formation`] — the paper's SCSP
 //!   encoding verbatim, solved by `softsoa-core` (small `n`);
-//! - [`exact_formation`] — direct set-partition search (up to
-//!   `n = 13`);
+//! - [`exact_formation`] — exact search via an `O(3ⁿ)` bitmask subset
+//!   DP (up to `n = 18`; the Bell-number enumeration it replaced is
+//!   kept as [`exact_formation_enumerated`], up to `n = 13`);
 //! - [`individually_oriented`] / [`socially_oriented`] — the greedy
 //!   mechanisms the paper contrasts (Breban & Vassileva);
 //! - [`local_search`] and best-response [`stabilize`] — scalable
@@ -62,7 +63,8 @@ pub use network::{AgentId, TrustNetwork};
 pub use propagate::propagate;
 pub use scsp::{formation_scsp, scsp_formation};
 pub use solvers::{
-    exact_formation, exact_formation_instrumented, exact_formation_with, individually_oriented,
-    local_search, socially_oriented, stabilize, FormationConfig, FormationResult, MAX_EXACT_AGENTS,
+    exact_formation, exact_formation_enumerated, exact_formation_instrumented,
+    exact_formation_with, individually_oriented, local_search, socially_oriented, stabilize,
+    FormationConfig, FormationResult, MAX_ENUMERATED_AGENTS, MAX_EXACT_AGENTS,
 };
 pub use stability::{find_blocking, is_stable, BlockingPair};

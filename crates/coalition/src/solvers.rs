@@ -2,8 +2,12 @@
 //! search.
 //!
 //! The exact solver maximises the Sec. 6.1 fuzzy objective (the
-//! minimum coalition trustworthiness) over *all* set partitions,
-//! optionally restricted to stable ones. The greedy baselines are the
+//! minimum coalition trustworthiness) over *all* set partitions via a
+//! bitmask subset DP — `O(3ⁿ)` transitions instead of the Bell number
+//! `B(n)` of whole partitions; the retired enumeration survives as
+//! [`exact_formation_enumerated`], the `bell_vs_dp` benchmark
+//! baseline — optionally restricted to stable ones. The greedy
+//! baselines are the
 //! two mechanisms the paper contrasts (after Breban & Vassileva):
 //! *individually oriented* — each agent clusters with the agent it
 //! trusts most — and *socially oriented* — each agent joins the
@@ -50,16 +54,24 @@ pub struct FormationResult {
     pub explored: usize,
 }
 
-/// Exhaustively searches every set partition (restricted-growth-string
-/// enumeration) for the best objective; `None` when stability is
-/// required and no stable partition exists.
+/// Exhaustively finds a best-scoring set partition; `None` when
+/// stability is required and no stable partition exists.
 ///
-/// The number of partitions is the Bell number `B(n)` — callers are
-/// limited to `n ≤ 13` (`B(13) ≈ 2.7·10⁷`).
+/// Coalitions are `u32` bitmasks. Every subset's trustworthiness
+/// `T(C)` is memoized once (`O(2ⁿ·n²)`), then a subset DP assembles
+/// the optimal partition of each subset from the optimal partitions
+/// of its sub-subsets — `O(3ⁿ)` transitions in total, far below the
+/// Bell number `B(n)` of whole partitions, which raises the practical
+/// ceiling from 13 to [`MAX_EXACT_AGENTS`]` = 18` agents. The retired
+/// enumeration is kept as [`exact_formation_enumerated`].
 ///
 /// # Panics
 ///
-/// Panics if `network.len() > 13`.
+/// Panics if `network.len() > `[`MAX_EXACT_AGENTS`]; also if
+/// stability is required, the unconstrained optimum turns out
+/// unstable, *and* `network.len() > `[`MAX_ENUMERATED_AGENTS`] — the
+/// blocking-pair filter does not decompose over subsets, so those
+/// runs fall back to filtered enumeration.
 ///
 /// # Examples
 ///
@@ -84,16 +96,15 @@ pub fn exact_formation(network: &TrustNetwork, cfg: FormationConfig) -> Option<F
 }
 
 /// [`exact_formation`] with an explicit parallelism level: the
-/// restricted-growth-string prefixes of a fixed depth are enumerated up
-/// front and their subtrees are distributed contiguously over worker
-/// threads. Local optima are merged in prefix order with strict
-/// improvement only, so the winning partition (and the tie-breaking
-/// towards the earliest enumerated optimum) is identical to the
-/// sequential search at every thread count.
+/// subset-trust memo table is filled in contiguous mask ranges across
+/// worker threads (every entry is independent, so any split yields an
+/// identical table), and the DP itself is deterministic — the winning
+/// partition, score and work counter are identical at every thread
+/// count.
 ///
 /// # Panics
 ///
-/// Panics if `network.len() > 13`.
+/// As for [`exact_formation`].
 pub fn exact_formation_with(
     network: &TrustNetwork,
     cfg: FormationConfig,
@@ -102,20 +113,27 @@ pub fn exact_formation_with(
     exact_formation_instrumented(network, cfg, parallelism, &Telemetry::disabled())
 }
 
-/// The largest network [`exact_formation`] accepts: Bell numbers grow
-/// super-exponentially, and B(13) ≈ 27.6 million partitions is the
-/// practical ceiling. Check against this before calling to avoid the
-/// documented panic.
-pub const MAX_EXACT_AGENTS: u32 = 13;
+/// The largest network [`exact_formation`] accepts. The subset DP
+/// costs `O(3ⁿ)` time over an `O(2ⁿ)` memo table: at `n = 18` that is
+/// ≈193 million transitions over 2 MiB, the practical ceiling. Check
+/// against this before calling to avoid the documented panic.
+pub const MAX_EXACT_AGENTS: u32 = 18;
 
-/// [`exact_formation_with`] reporting through `telemetry`: the
-/// partitions-explored total (`formation.explored`), the per-chunk
-/// partition balance (`formation.chunk_explored` observations), the
-/// thread gauge and the winning partition's coalition count.
+/// The largest network [`exact_formation_enumerated`] accepts — and
+/// the ceiling for [`exact_formation`] runs that must fall back to it
+/// (stability required and the unconstrained optimum unstable). Bell
+/// numbers grow super-exponentially; `B(13) ≈ 27.6` million
+/// partitions is the practical limit.
+pub const MAX_ENUMERATED_AGENTS: u32 = 13;
+
+/// [`exact_formation_with`] reporting through `telemetry`: the DP
+/// transitions examined (`formation.explored`), the per-chunk memo
+/// balance (`formation.chunk_explored` observations), the thread
+/// gauge and the winning partition's coalition count.
 ///
 /// # Panics
 ///
-/// Panics if `network.len() > `[`MAX_EXACT_AGENTS`].
+/// As for [`exact_formation`].
 pub fn exact_formation_instrumented(
     network: &TrustNetwork,
     cfg: FormationConfig,
@@ -135,6 +153,115 @@ pub fn exact_formation_instrumented(
         });
     }
 
+    let full: u32 = (1u32 << n) - 1;
+    let size = full as usize + 1;
+    let threads = parallelism.thread_count(full as usize);
+    if telemetry.enabled() {
+        telemetry.incr("formation.runs");
+        telemetry.gauge("formation.threads", threads as i64);
+        let chunk = size.div_ceil(threads.max(1));
+        let mut start = 0usize;
+        while start < size {
+            let len = chunk.min(size - start);
+            telemetry.observe("formation.chunk_explored", len as u64);
+            start += len;
+        }
+    }
+    let val = subset_trust_table(network, cfg.compose, threads);
+
+    // A budget of `k ≥ n` coalitions never binds; `Some(0)` behaves as
+    // a single mandatory coalition, as in the enumerated baseline.
+    let budget = cfg
+        .max_coalitions
+        .map(|k| k.max(1))
+        .filter(|&k| k < n as usize);
+    let dp = match budget {
+        None => dp_unbounded(n, &val, full),
+        Some(k) => dp_bounded(n, &val, full, k),
+    };
+    let mut explored = dp.explored;
+    let mut outcome = Some(dp);
+
+    if cfg.require_stability {
+        let already_stable = outcome
+            .as_ref()
+            .is_some_and(|r| is_stable(network, &r.partition, cfg.compose));
+        if !already_stable {
+            // Stability (Def. 4) is a property of the whole partition —
+            // a coalition is blocked by agents *outside* it — so it
+            // does not decompose over subsets. When the unconstrained
+            // optimum fails the check, fall back to the filtered
+            // Bell-number enumeration.
+            assert!(
+                n <= MAX_ENUMERATED_AGENTS,
+                "stable formation is limited to {MAX_ENUMERATED_AGENTS} agents \
+                 when the unconstrained optimum is unstable"
+            );
+            let (best, enumerated) = enumerate_partitions(network, cfg, parallelism);
+            explored += enumerated;
+            outcome = best.map(|(partition, score)| FormationResult {
+                partition,
+                score,
+                explored: 0,
+            });
+        }
+    }
+
+    telemetry.count("formation.explored", explored as u64);
+    let result = outcome.map(|r| FormationResult { explored, ..r });
+    if let Some(result) = &result {
+        telemetry.gauge("formation.coalitions", result.partition.len() as i64);
+    }
+    result
+}
+
+/// The restricted-growth-string Bell-number search that backed
+/// [`exact_formation`] before the subset DP. Retained as the
+/// reference baseline for equivalence tests and the `bell_vs_dp`
+/// benchmark, and as the fallback engine for stable formation (it
+/// filters partitions *during* the search, which the DP cannot).
+///
+/// Prefixes of a fixed depth are distributed contiguously over worker
+/// threads; local optima merge in prefix order with strict
+/// improvement only, so the result is identical at every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `network.len() > `[`MAX_ENUMERATED_AGENTS`].
+pub fn exact_formation_enumerated(
+    network: &TrustNetwork,
+    cfg: FormationConfig,
+    parallelism: Parallelism,
+) -> Option<FormationResult> {
+    let n = network.len();
+    assert!(
+        n <= MAX_ENUMERATED_AGENTS,
+        "enumerated formation is limited to {MAX_ENUMERATED_AGENTS} agents"
+    );
+    if n == 0 {
+        return Some(FormationResult {
+            partition: Partition::new(0, vec![]).expect("empty partition"),
+            score: Unit::MAX,
+            explored: 1,
+        });
+    }
+    let (best, explored) = enumerate_partitions(network, cfg, parallelism);
+    best.map(|(partition, score)| FormationResult {
+        partition,
+        score,
+        explored,
+    })
+}
+
+/// The parallel RGS enumeration shared by
+/// [`exact_formation_enumerated`] and the stability fallback.
+fn enumerate_partitions(
+    network: &TrustNetwork,
+    cfg: FormationConfig,
+    parallelism: Parallelism,
+) -> (Option<(Partition, Unit)>, usize) {
+    let n = network.len();
     // Deep enough that every worker gets several independent subtrees,
     // shallow enough that prefix enumeration stays negligible.
     let depth = (n as usize).min(4);
@@ -170,13 +297,6 @@ pub fn exact_formation_instrumented(
 
     let mut best: Option<(Partition, Unit)> = None;
     let mut explored = 0usize;
-    if telemetry.enabled() {
-        telemetry.incr("formation.runs");
-        telemetry.gauge("formation.threads", threads as i64);
-        for (_, count) in &parts {
-            telemetry.observe("formation.chunk_explored", *count as u64);
-        }
-    }
     for (local, count) in parts {
         explored += count;
         if let Some((partition, score)) = local {
@@ -186,16 +306,181 @@ pub fn exact_formation_instrumented(
             }
         }
     }
-    telemetry.count("formation.explored", explored as u64);
-    let result = best.map(|(partition, score)| FormationResult {
-        partition,
+    (best, explored)
+}
+
+/// The members of a bitmask coalition, ascending.
+fn mask_members(mask: u32) -> Vec<AgentId> {
+    let mut members = Vec::with_capacity(mask.count_ones() as usize);
+    let mut rest = mask;
+    while rest != 0 {
+        members.push(rest.trailing_zeros());
+        rest &= rest - 1;
+    }
+    members
+}
+
+fn mask_coalition(mask: u32) -> Coalition {
+    mask_members(mask).into_iter().collect()
+}
+
+/// `T(C)` for a bitmask coalition: the same ascending ordered-pair
+/// sweep as [`coalition_trust`] over a [`Coalition`], so scores —
+/// including the float-summation-order-sensitive `Average` — are
+/// bit-identical to `Partition::score`.
+fn mask_trust(network: &TrustNetwork, mask: u32, compose: TrustComposition) -> Unit {
+    let members = mask_members(mask);
+    compose.compose(
+        members
+            .iter()
+            .flat_map(|&i| members.iter().map(move |&j| (i, j)))
+            .map(|(i, j)| network.get(i, j)),
+    )
+}
+
+/// Memoizes `T(C)` for every non-empty coalition bitmask. Entries are
+/// independent, so the table is filled in contiguous ranges across
+/// worker threads with an identical result at every thread count.
+fn subset_trust_table(
+    network: &TrustNetwork,
+    compose: TrustComposition,
+    threads: usize,
+) -> Vec<Unit> {
+    let size = 1usize << network.len();
+    let mut val = vec![Unit::MIN; size];
+    let fill = |start: usize, slice: &mut [Unit]| {
+        for (offset, slot) in slice.iter_mut().enumerate() {
+            let mask = (start + offset) as u32;
+            if mask != 0 {
+                *slot = mask_trust(network, mask, compose);
+            }
+        }
+    };
+    if threads <= 1 {
+        fill(0, &mut val);
+    } else {
+        let chunk = size.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (index, slice) in val.chunks_mut(chunk).enumerate() {
+                let fill = &fill;
+                scope.spawn(move || fill(index * chunk, slice));
+            }
+        });
+    }
+    val
+}
+
+/// The unconstrained subset DP. `best[S]` is the optimal score over
+/// partitions of the subset `S`, assembled by choosing the block that
+/// contains `S`'s lowest agent — every partition of `S` is generated
+/// exactly once. Submasks are scanned in increasing order with ties
+/// keeping the first candidate, which fixes the reconstruction
+/// deterministically. Work is `Σ_S 2^(|S|−1) = (3ⁿ − 1)/2`
+/// transitions.
+fn dp_unbounded(n: u32, val: &[Unit], full: u32) -> FormationResult {
+    let mut best = vec![Unit::MAX; val.len()];
+    let mut choice = vec![0u32; val.len()];
+    let mut explored = 0usize;
+    for mask in 1..=full {
+        let low = mask & mask.wrapping_neg();
+        let rest = mask ^ low;
+        let mut local: Option<(Unit, u32)> = None;
+        let mut sub = 0u32;
+        loop {
+            let block = sub | low;
+            // The objective is the min over blocks: the block's own
+            // trust meets the best score of the remainder.
+            let cand = val[block as usize].min(best[(mask ^ block) as usize]);
+            explored += 1;
+            match local {
+                Some((score, _)) if score >= cand => {}
+                _ => local = Some((cand, block)),
+            }
+            if sub == rest {
+                break;
+            }
+            sub = sub.wrapping_sub(rest) & rest;
+        }
+        let (score, block) = local.expect("the subset itself is always a candidate block");
+        best[mask as usize] = score;
+        choice[mask as usize] = block;
+    }
+
+    let mut coalitions = Vec::new();
+    let mut mask = full;
+    while mask != 0 {
+        let block = choice[mask as usize];
+        coalitions.push(mask_coalition(block));
+        mask ^= block;
+    }
+    FormationResult {
+        partition: Partition::new(n, coalitions).expect("blocks partition the agents"),
+        score: best[full as usize],
+        explored,
+    }
+}
+
+/// The budgeted subset DP: layer `j` holds the best score over
+/// partitions of each subset into *at most* `j` coalitions (`None`
+/// while infeasible). Scores roll between two rows; only the chosen
+/// blocks are kept per layer, enough to reconstruct the winner.
+fn dp_bounded(n: u32, val: &[Unit], full: u32, budget: usize) -> FormationResult {
+    let size = val.len();
+    let mut prev: Vec<Option<Unit>> = vec![None; size];
+    let mut current: Vec<Option<Unit>> = vec![None; size];
+    prev[0] = Some(Unit::MAX);
+    let mut choices: Vec<Vec<u32>> = Vec::with_capacity(budget);
+    let mut explored = 0usize;
+    for _ in 1..=budget {
+        current[0] = Some(Unit::MAX);
+        let mut choice = vec![0u32; size];
+        for mask in 1..=full {
+            let low = mask & mask.wrapping_neg();
+            let rest = mask ^ low;
+            let mut local: Option<(Unit, u32)> = None;
+            let mut sub = 0u32;
+            loop {
+                let block = sub | low;
+                if let Some(tail) = prev[(mask ^ block) as usize] {
+                    let cand = val[block as usize].min(tail);
+                    explored += 1;
+                    match local {
+                        Some((score, _)) if score >= cand => {}
+                        _ => local = Some((cand, block)),
+                    }
+                }
+                if sub == rest {
+                    break;
+                }
+                sub = sub.wrapping_sub(rest) & rest;
+            }
+            match local {
+                Some((score, block)) => {
+                    current[mask as usize] = Some(score);
+                    choice[mask as usize] = block;
+                }
+                None => current[mask as usize] = None,
+            }
+        }
+        choices.push(choice);
+        std::mem::swap(&mut prev, &mut current);
+    }
+
+    let score = prev[full as usize].expect("one coalition is always feasible");
+    let mut coalitions = Vec::new();
+    let mut mask = full;
+    let mut layer = budget;
+    while mask != 0 {
+        let block = choices[layer - 1][mask as usize];
+        coalitions.push(mask_coalition(block));
+        mask ^= block;
+        layer -= 1;
+    }
+    FormationResult {
+        partition: Partition::new(n, coalitions).expect("blocks partition the agents"),
         score,
         explored,
-    });
-    if let Some(result) = &result {
-        telemetry.gauge("formation.coalitions", result.partition.len() as i64);
     }
-    result
 }
 
 /// Enumerates every valid restricted-growth-string prefix of the given
@@ -474,7 +759,9 @@ mod tests {
             let parities: std::collections::BTreeSet<u32> = c.iter().map(|a| a % 2).collect();
             assert_eq!(parities.len(), 1, "mixed coalition {c:?}");
         }
-        assert!(best.explored >= 203); // B(6) = 203 partitions
+        // (3⁶ − 1)/2 = 364 DP transitions — still above the B(6) = 203
+        // partitions the enumeration used to visit.
+        assert!(best.explored >= 203);
     }
 
     #[test]
@@ -629,8 +916,8 @@ mod tests {
 
     #[test]
     fn exact_matches_brute_force_score_small() {
-        // Cross-check the RGS enumeration against scores of the two
-        // canonical partitions on a 3-agent network.
+        // Cross-check the subset DP against the enumerated baseline
+        // and the two canonical partitions on a 3-agent network.
         let net = TrustNetwork::random(3, 2);
         let cfg = FormationConfig {
             compose: TrustComposition::Average,
@@ -638,9 +925,72 @@ mod tests {
             ..Default::default()
         };
         let best = exact_formation(&net, cfg).unwrap();
-        assert_eq!(best.explored, 5); // B(3) = 5
+        assert_eq!(best.explored, 13); // (3³ − 1)/2 DP transitions
         for p in [Partition::singletons(3), Partition::grand(3)] {
             assert!(best.score >= p.score(&net, cfg.compose));
+        }
+        let baseline = exact_formation_enumerated(&net, cfg, Parallelism::Sequential).unwrap();
+        assert_eq!(baseline.explored, 5); // B(3) = 5 partitions
+        assert_eq!(best.score, baseline.score);
+    }
+
+    #[test]
+    fn dp_scales_past_the_bell_ceiling() {
+        // n = 14 is beyond the old enumeration limit (B(14) ≈ 1.9·10⁸)
+        // but cheap for the DP: (3¹⁴ − 1)/2 ≈ 2.4M transitions.
+        let net = TrustNetwork::random(14, 3);
+        let cfg = FormationConfig {
+            compose: TrustComposition::Min,
+            require_stability: false,
+            ..Default::default()
+        };
+        let best = exact_formation(&net, cfg).unwrap();
+        // Full self-trust makes all-singletons the MAX-scored optimum.
+        assert_eq!(best.score, Unit::MAX);
+        assert_eq!(best.explored, (3usize.pow(14) - 1) / 2);
+    }
+
+    #[test]
+    #[ignore = "release-mode scale check: 193M DP transitions at n = 18"]
+    fn dp_accepts_eighteen_agents() {
+        let net = TrustNetwork::clustered(18, 3, 0.9, 0.1, 7);
+        let cfg = FormationConfig {
+            compose: TrustComposition::Average,
+            require_stability: false,
+            max_coalitions: Some(3),
+        };
+        let best = exact_formation(&net, cfg).unwrap();
+        assert!(best.partition.len() <= 3);
+        for c in best.partition.coalitions() {
+            let residues: std::collections::BTreeSet<u32> = c.iter().map(|a| a % 3).collect();
+            assert_eq!(residues.len(), 1, "mixed coalition {c:?}");
+        }
+    }
+
+    #[test]
+    fn dp_matches_enumeration_scores_on_random_networks() {
+        for seed in 0..8 {
+            let net = TrustNetwork::random(6, seed);
+            for compose in [
+                TrustComposition::Min,
+                TrustComposition::Max,
+                TrustComposition::Average,
+            ] {
+                for max_coalitions in [None, Some(2), Some(3)] {
+                    let cfg = FormationConfig {
+                        compose,
+                        require_stability: false,
+                        max_coalitions,
+                    };
+                    let dp = exact_formation(&net, cfg).unwrap();
+                    let baseline =
+                        exact_formation_enumerated(&net, cfg, Parallelism::Sequential).unwrap();
+                    assert_eq!(dp.score, baseline.score, "seed {seed} {compose:?}");
+                    if let Some(limit) = max_coalitions {
+                        assert!(dp.partition.len() <= limit);
+                    }
+                }
+            }
         }
     }
 }

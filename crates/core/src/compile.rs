@@ -349,6 +349,13 @@ impl<S: Semiring> CompiledProblem<S> {
         &self.completing[depth]
     }
 
+    /// The scope of operand `oi` as positions into [`vars`](Self::vars),
+    /// in the operand's own (sorted-by-variable) scope order — empty
+    /// for constants.
+    pub fn operand_scope(&self, oi: usize) -> &[usize] {
+        &self.operands[oi].emb
+    }
+
     /// Evaluates operand `oi` on the index tuple `idx` (one domain
     /// index per compiled variable; only the operand's own positions
     /// are read). `scratch` is reused for lazy operands' sub-tuples.

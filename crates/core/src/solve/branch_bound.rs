@@ -6,6 +6,7 @@ use std::time::Instant;
 use softsoa_semiring::Semiring;
 
 use crate::compile::CompiledProblem;
+use crate::solve::bucket::MiniBucketBound;
 use crate::solve::parallel::fan_out;
 use crate::solve::{Solution, SolveError, Solver, SolverConfig, SolverStats};
 use crate::{Assignment, Scsp, Val, Var};
@@ -21,6 +22,13 @@ pub enum VarOrder {
     SmallestDomain,
     /// Variable appearing in the most constraints first.
     MostConstrained,
+    /// Greedy combined ordering: repeatedly pick the unplaced variable
+    /// with the smallest domain, breaking ties towards the one that
+    /// *completes* the most constraint scopes given everything placed
+    /// so far (so constraints start pruning at the shallowest possible
+    /// depth), then towards the smallest variable name. Computed once
+    /// per solve over the problem structure.
+    Dynamic,
 }
 
 /// A depth-first branch-and-bound solver for totally ordered semirings.
@@ -97,6 +105,35 @@ impl BranchAndBound {
                 keyed.sort();
                 vars = keyed.into_iter().map(|(_, v)| v).collect();
             }
+            VarOrder::Dynamic => {
+                let mut remaining = vars;
+                let mut placed: Vec<Var> = Vec::with_capacity(remaining.len());
+                while !remaining.is_empty() {
+                    let mut best = 0;
+                    let mut best_key = (usize::MAX, usize::MAX);
+                    for (i, v) in remaining.iter().enumerate() {
+                        let domain = problem.domains().get(v)?.len();
+                        // Scopes newly fully covered by placed ∪ {v}.
+                        let completes = problem
+                            .constraints()
+                            .iter()
+                            .filter(|c| {
+                                c.scope().contains(v)
+                                    && c.scope().iter().all(|u| u == v || placed.contains(u))
+                            })
+                            .count();
+                        // `remaining` stays sorted, so strict `<` makes
+                        // ties fall to the smallest variable name.
+                        let key = (domain, usize::MAX - completes);
+                        if key < best_key {
+                            best_key = key;
+                            best = i;
+                        }
+                    }
+                    placed.push(remaining.remove(best));
+                }
+                vars = placed;
+            }
         }
         Ok(vars)
     }
@@ -110,19 +147,32 @@ impl BranchAndBound {
     /// foreign bound) or when the sequential prune condition holds
     /// against the worker's own incumbent — so the merged result,
     /// taken in chunk order, reproduces the sequential witness.
-    fn solve_compiled<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+    fn solve_compiled<S: Semiring>(
+        &self,
+        problem: &Scsp<S>,
+        seed: Option<S::Value>,
+    ) -> Result<Solution<S>, SolveError> {
         let start = Instant::now();
         let semiring = problem.semiring().clone();
         let vars = self.order_vars(problem)?;
         let compiled = CompiledProblem::with_order(problem, vars)?;
+        let bound = self
+            .config
+            .ibound
+            .map(|ibound| MiniBucketBound::new(&compiled, ibound));
         let threads = self.config.parallelism.thread_count(compiled.outer_size());
-        let shared: Mutex<S::Value> = Mutex::new(semiring.zero());
+        // An achievable seed enters the search as a pre-published
+        // foreign bound: workers cut branches *strictly* below it, which
+        // never touches the first assignment attaining the optimum.
+        let floor = seed.unwrap_or_else(|| semiring.zero());
+        let shared: Mutex<S::Value> = Mutex::new(floor.clone());
         let workers = fan_out(threads, compiled.outer_size(), |range| {
             let mut worker = BnbWorker {
                 semiring: &semiring,
                 compiled: &compiled,
+                bounds: bound.as_ref().map(|b| b.bounds()),
                 shared: &shared,
-                foreign: semiring.zero(),
+                foreign: floor.clone(),
                 since_refresh: 0,
                 idx: vec![0; compiled.vars().len()],
                 scratch: Vec::new(),
@@ -130,6 +180,7 @@ impl BranchAndBound {
                 witness: None,
                 nodes: 0,
                 prunings: 0,
+                bound_prunes: 0,
                 evals: vec![0; compiled.num_operands()],
             };
             worker.run(range);
@@ -138,6 +189,7 @@ impl BranchAndBound {
                 worker.witness,
                 worker.nodes,
                 worker.prunings,
+                worker.bound_prunes,
                 worker.evals,
             )
         });
@@ -153,9 +205,10 @@ impl BranchAndBound {
             ..SolverStats::default()
         };
         let mut evals = vec![0u64; compiled.num_operands()];
-        for (value, wit, nodes, prunings, worker_evals) in workers {
+        for (value, wit, nodes, prunings, bound_prunes, worker_evals) in workers {
             stats.nodes += nodes;
             stats.prunings += prunings;
+            stats.bound_prunes += bound_prunes;
             stats.thread_nodes.push(nodes);
             for (acc, e) in evals.iter_mut().zip(&worker_evals) {
                 *acc += e;
@@ -178,7 +231,11 @@ impl BranchAndBound {
         Ok(Solution::new(best_value, best, None).with_stats(stats))
     }
 
-    fn solve_lazy<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
+    fn solve_lazy<S: Semiring>(
+        &self,
+        problem: &Scsp<S>,
+        seed: Option<S::Value>,
+    ) -> Result<Solution<S>, SolveError> {
         let start = Instant::now();
         let semiring = problem.semiring().clone();
         let vars = self.order_vars(problem)?;
@@ -208,6 +265,7 @@ impl BranchAndBound {
             domains: &domains,
             completing: &completing,
             slots: vec![None; vars.len()],
+            floor: seed.unwrap_or_else(|| semiring.zero()),
             best_value: semiring.zero(),
             best_assignment: None,
             nodes: 0,
@@ -241,15 +299,46 @@ impl BranchAndBound {
     }
 }
 
+impl BranchAndBound {
+    /// Solves with the incumbent floor seeded at `seed` — a level that
+    /// is **achievable** on `problem`, i.e. the combined level of some
+    /// complete assignment (typically a previous round's witness
+    /// re-evaluated on the current constraints).
+    ///
+    /// The seed is pre-published as a foreign bound, so the search cuts
+    /// every branch strictly below it from the first node on instead of
+    /// discovering the level itself; `blevel` and witness are identical
+    /// to a cold [`solve`](Solver::solve) (property-tested). Seeding an
+    /// *unachievable* level is unsound: it can prune every witness.
+    ///
+    /// # Errors
+    ///
+    /// As [`solve`](Solver::solve).
+    pub fn solve_seeded<S: Semiring>(
+        &self,
+        problem: &Scsp<S>,
+        seed: S::Value,
+    ) -> Result<Solution<S>, SolveError> {
+        if !problem.semiring().is_total() {
+            return Err(SolveError::RequiresTotalOrder);
+        }
+        if self.config.compiled {
+            self.solve_compiled(problem, Some(seed))
+        } else {
+            self.solve_lazy(problem, Some(seed))
+        }
+    }
+}
+
 impl<S: Semiring> Solver<S> for BranchAndBound {
     fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
         if !problem.semiring().is_total() {
             return Err(SolveError::RequiresTotalOrder);
         }
         if self.config.compiled {
-            self.solve_compiled(problem)
+            self.solve_compiled(problem, None)
         } else {
-            self.solve_lazy(problem)
+            self.solve_lazy(problem, None)
         }
     }
 }
@@ -261,6 +350,9 @@ const REFRESH_INTERVAL: u32 = 256;
 struct BnbWorker<'a, S: Semiring> {
     semiring: &'a S,
     compiled: &'a CompiledProblem<S>,
+    /// Per-depth admissible completion bounds (mini-bucket pass), when
+    /// the engine was configured with an `ibound`.
+    bounds: Option<&'a [S::Value]>,
     shared: &'a Mutex<S::Value>,
     /// Local cache of the shared bound.
     foreign: S::Value,
@@ -271,6 +363,7 @@ struct BnbWorker<'a, S: Semiring> {
     witness: Option<Vec<usize>>,
     nodes: u64,
     prunings: u64,
+    bound_prunes: u64,
     evals: Vec<u64>,
 }
 
@@ -329,6 +422,23 @@ impl<'a, S: Semiring> BnbWorker<'a, S> {
             self.prunings += 1;
             return;
         }
+        // Bound prune: even the *best possible* completion of this
+        // prefix (mini-bucket estimate) cannot beat what is already
+        // known. The same strictness discipline as above keeps the
+        // witness identical to the blind sequential run.
+        if let Some(bounds) = self.bounds {
+            if depth < self.compiled.vars().len() {
+                let reachable = self.semiring.times(&value, &bounds[depth]);
+                if (self.semiring.leq(&reachable, &self.best_value)
+                    && (self.witness.is_some() || self.semiring.is_zero(&reachable)))
+                    || self.semiring.lt(&reachable, &self.foreign)
+                {
+                    self.prunings += 1;
+                    self.bound_prunes += 1;
+                    return;
+                }
+            }
+        }
         if depth == self.compiled.vars().len() {
             self.best_value = value;
             self.witness = Some(self.idx.clone());
@@ -360,6 +470,8 @@ struct Search<'a, S: Semiring> {
     domains: &'a [&'a crate::Domain],
     completing: &'a [Vec<(usize, Vec<usize>)>],
     slots: Vec<Option<Val>>,
+    /// Pre-published achievable level (warm seed); `0` when cold.
+    floor: S::Value,
     best_value: S::Value,
     best_assignment: Option<Assignment>,
     nodes: u64,
@@ -390,6 +502,11 @@ impl<'a, S: Semiring> Search<'a, S> {
         if self.semiring.leq(&value, &self.best_value)
             && (self.best_assignment.is_some() || self.semiring.is_zero(&value))
         {
+            self.prunings += 1;
+            return;
+        }
+        // Warm-seed prune: strictly below a level known achievable.
+        if self.semiring.lt(&value, &self.floor) {
             self.prunings += 1;
             return;
         }
@@ -429,6 +546,7 @@ mod tests {
             VarOrder::Input,
             VarOrder::SmallestDomain,
             VarOrder::MostConstrained,
+            VarOrder::Dynamic,
         ] {
             let bnb = BranchAndBound::new(order).solve(&p).unwrap();
             assert_eq!(bnb.blevel(), reference.blevel());
@@ -501,5 +619,96 @@ mod tests {
         let stats = sol.stats().unwrap();
         assert!(stats.nodes > 0);
         assert_eq!(stats.constraint_evals.len(), 3);
+    }
+
+    #[test]
+    fn mini_bucket_pruning_matches_blind_search() {
+        use crate::solve::{Parallelism, SolverConfig};
+        for seed in 0..6 {
+            let p = crate::generate::random_weighted(&crate::generate::RandomScsp {
+                vars: 6,
+                domain_size: 3,
+                constraints: 9,
+                arity: 2,
+                seed,
+            });
+            let blind = BranchAndBound::default().solve(&p).unwrap();
+            for ibound in [1, 2, 3] {
+                let cfg = SolverConfig::default()
+                    .with_parallelism(Parallelism::Sequential)
+                    .with_ibound(Some(ibound));
+                let bounded = BranchAndBound::with_config(VarOrder::Input, cfg)
+                    .solve(&p)
+                    .unwrap();
+                assert_eq!(bounded.blevel(), blind.blevel(), "seed {seed} i{ibound}");
+                assert_eq!(
+                    bounded.best_assignment(),
+                    blind.best_assignment(),
+                    "bounded search must keep the blind witness (seed {seed}, ibound {ibound})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mini_bucket_bound_reduces_explored_nodes() {
+        use crate::solve::{Parallelism, SolverConfig};
+        let p = crate::generate::random_weighted(&crate::generate::RandomScsp {
+            vars: 8,
+            domain_size: 3,
+            constraints: 12,
+            arity: 2,
+            seed: 1,
+        });
+        let seq = SolverConfig::default().with_parallelism(Parallelism::Sequential);
+        let blind = BranchAndBound::with_config(VarOrder::Input, seq)
+            .solve(&p)
+            .unwrap();
+        let bounded = BranchAndBound::with_config(VarOrder::Input, seq.with_ibound(Some(2)))
+            .solve(&p)
+            .unwrap();
+        let (blind_stats, bounded_stats) = (blind.stats().unwrap(), bounded.stats().unwrap());
+        assert!(bounded_stats.bound_prunes > 0);
+        assert!(
+            bounded_stats.nodes < blind_stats.nodes,
+            "bound must cut nodes: {} vs {}",
+            bounded_stats.nodes,
+            blind_stats.nodes
+        );
+        assert_eq!(blind_stats.bound_prunes, 0);
+    }
+
+    #[test]
+    fn warm_seed_preserves_blevel_and_witness() {
+        use crate::solve::{Parallelism, SolverConfig};
+        for seed in 0..6 {
+            let p = crate::generate::random_weighted(&crate::generate::RandomScsp {
+                vars: 5,
+                domain_size: 3,
+                constraints: 7,
+                arity: 2,
+                seed,
+            });
+            let cold = BranchAndBound::default().solve(&p).unwrap();
+            // The hardest valid seed: the optimum itself.
+            for threads in [1, 3] {
+                let cfg = SolverConfig::default().with_parallelism(Parallelism::Threads(threads));
+                let warm = BranchAndBound::with_config(VarOrder::Input, cfg)
+                    .solve_seeded(&p, *cold.blevel())
+                    .unwrap();
+                assert_eq!(warm.blevel(), cold.blevel(), "seed {seed} x{threads}");
+                assert_eq!(
+                    warm.best_assignment(),
+                    cold.best_assignment(),
+                    "warm start must keep the cold witness (seed {seed}, {threads} threads)"
+                );
+            }
+            // Lazy path takes the same seed.
+            let warm_lazy = BranchAndBound::with_config(VarOrder::Input, SolverConfig::reference())
+                .solve_seeded(&p, *cold.blevel())
+                .unwrap();
+            assert_eq!(warm_lazy.blevel(), cold.blevel());
+            assert_eq!(warm_lazy.best_assignment(), cold.best_assignment());
+        }
     }
 }

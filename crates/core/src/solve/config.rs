@@ -54,6 +54,15 @@ pub struct SolverConfig {
     /// scope embeddings, materialise small operand tables) before
     /// searching. When `false`, solvers evaluate constraints lazily.
     pub compiled: bool,
+    /// Joint-scope cap for the mini-bucket bound pass
+    /// ([`MiniBucketBound`](crate::solve::MiniBucketBound)). `None`
+    /// searches blind (incumbent pruning only); `Some(i)` precomputes
+    /// per-depth admissible completion bounds with mini-buckets of at
+    /// most `i` variables and additionally prunes branches whose
+    /// `partial ⊗ bound(depth)` cannot beat the incumbent. Only the
+    /// compiled [`BranchAndBound`](crate::solve::BranchAndBound)
+    /// engine consumes this knob.
+    pub ibound: Option<usize>,
 }
 
 impl Default for SolverConfig {
@@ -61,6 +70,7 @@ impl Default for SolverConfig {
         SolverConfig {
             parallelism: Parallelism::Auto,
             compiled: true,
+            ibound: None,
         }
     }
 }
@@ -71,6 +81,7 @@ impl SolverConfig {
         SolverConfig {
             parallelism: Parallelism::Sequential,
             compiled: false,
+            ibound: None,
         }
     }
 
@@ -83,6 +94,13 @@ impl SolverConfig {
     /// Enables or disables compiled evaluation (builder style).
     pub fn with_compiled(mut self, compiled: bool) -> SolverConfig {
         self.compiled = compiled;
+        self
+    }
+
+    /// Sets the mini-bucket joint-scope cap (builder style). `None`
+    /// disables bound-driven pruning.
+    pub fn with_ibound(mut self, ibound: Option<usize>) -> SolverConfig {
+        self.ibound = ibound;
         self
     }
 }

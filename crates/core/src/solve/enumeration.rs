@@ -89,6 +89,7 @@ impl EnumerationSolver {
             compile_time: compiled.compile_time(),
             solve_time: start.elapsed(),
             constraint_evals: compiled.eval_stats(&agg.evals),
+            ..SolverStats::default()
         };
         Ok(Solution::new(blevel, best, Some(table)).with_stats(stats))
     }

@@ -8,6 +8,12 @@
 //! - [`BranchAndBound`] — depth-first search with `×`-monotonicity
 //!   pruning; finds a best assignment and `blevel` for *totally
 //!   ordered* semirings without building the solution table.
+//!   Optionally bound-driven: a [`MiniBucketBound`] pass
+//!   ([`SolverConfig::ibound`]) precomputes admissible per-depth
+//!   completion estimates, and
+//!   [`solve_seeded`](BranchAndBound::solve_seeded) warm-starts the
+//!   incumbent from a known-achievable level — both preserve the blind
+//!   search's `blevel` and witness exactly.
 //! - [`BucketElimination`] — variable elimination; cost is exponential
 //!   only in the induced width of the chosen elimination order, not in
 //!   the total number of variables.
@@ -28,7 +34,7 @@ mod preprocess;
 mod stats;
 
 pub use branch_bound::{BranchAndBound, VarOrder};
-pub use bucket::{BucketElimination, EliminationOrder};
+pub use bucket::{BucketElimination, EliminationOrder, MiniBucketBound};
 pub use config::{Parallelism, SolverConfig};
 pub use enumeration::EnumerationSolver;
 pub use pareto::ParetoBranchAndBound;

@@ -15,6 +15,15 @@
 //! Both return a *new* problem; `Sol`, `blevel` and maximal solutions
 //! with non-`0` level are preserved exactly (property-tested against
 //! the unpreprocessed problem).
+//!
+//! These passes rewrite the *problem* before any solver runs; they
+//! compose with the in-search bound machinery
+//! ([`MiniBucketBound`](crate::solve::MiniBucketBound) via
+//! [`SolverConfig::ibound`](crate::solve::SolverConfig::ibound)),
+//! which leaves the problem untouched and instead over-estimates best
+//! completions per depth. [`add_unary_projections`] in particular
+//! tightens those mini-bucket estimates, since the injected unary
+//! tables complete at their variable's own depth.
 
 use softsoa_semiring::{IdempotentTimes, Semiring};
 

@@ -37,6 +37,13 @@ pub struct SolverStats {
     pub nodes: u64,
     /// Subtrees pruned (bound, domination or zero-absorption cuts).
     pub prunings: u64,
+    /// The subset of [`prunings`](SolverStats::prunings) cut by the
+    /// mini-bucket completion bound
+    /// ([`MiniBucketBound`](crate::solve::MiniBucketBound)) rather
+    /// than by the incumbent alone; zero when
+    /// [`SolverConfig::ibound`](crate::solve::SolverConfig::ibound)
+    /// is `None`.
+    pub bound_prunes: u64,
     /// Worker threads used (`1` for sequential runs).
     pub threads: usize,
     /// Search-tree nodes visited per worker chunk, in chunk order
@@ -57,7 +64,8 @@ impl SolverStats {
     ///
     /// Deterministic families (safe for [`Snapshot::to_json`]
     /// comparison across fixed-seed runs): `solve.runs`,
-    /// `solve.nodes`, `solve.prunings`, the per-operand
+    /// `solve.nodes`, `solve.prunings`, `solver.bound_prunes`, the
+    /// per-operand
     /// `solve.constraint_evals{..}` counters, the `solve.threads`
     /// gauge, and the `solve.thread_nodes` balance observations. The
     /// compile/search time split is recorded as timings, which the
@@ -72,6 +80,7 @@ impl SolverStats {
         telemetry.count_labeled("solve.runs", solver, 1);
         telemetry.count("solve.nodes", self.nodes);
         telemetry.count("solve.prunings", self.prunings);
+        telemetry.count("solver.bound_prunes", self.bound_prunes);
         telemetry.gauge("solve.threads", self.threads as i64);
         for &nodes in &self.thread_nodes {
             telemetry.observe("solve.thread_nodes", nodes);
@@ -92,8 +101,13 @@ impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes: {}, prunings: {}, threads: {}, compile: {:?}, solve: {:?}",
-            self.nodes, self.prunings, self.threads, self.compile_time, self.solve_time
+            "nodes: {}, prunings: {} ({} bound), threads: {}, compile: {:?}, solve: {:?}",
+            self.nodes,
+            self.prunings,
+            self.bound_prunes,
+            self.threads,
+            self.compile_time,
+            self.solve_time
         )?;
         for c in &self.constraint_evals {
             write!(f, "\n  {}: {} evals", c.label, c.evals)?;

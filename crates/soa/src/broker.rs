@@ -13,9 +13,12 @@
 //!    lies within the client's checked-transition interval;
 //! 5. on success a *binding* (an [`Sla`]) is returned to both parties.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
-use softsoa_core::{Assignment, Constraint, Domain, Domains, Scsp, SolveError, Var};
+use softsoa_core::solve::{BranchAndBound, Parallelism, Solution, Solver, SolverConfig, VarOrder};
+use softsoa_core::{Assignment, Constraint, Domain, Domains, Scsp, SolveError, Val, Var};
 use softsoa_nmsccp::{Agent, Interpreter, Interval, Outcome, Program, SemanticsError, Store};
 use softsoa_semiring::{Residuated, Semiring};
 use softsoa_telemetry::Telemetry;
@@ -166,6 +169,76 @@ pub struct Broker<S: Semiring> {
     semiring: S,
     registry: Registry,
     pub(crate) telemetry: Telemetry,
+    pub(crate) cache: SolveCache,
+}
+
+/// A cross-round cache of binding-solve witnesses.
+///
+/// Negotiation re-solves near-identical single-variable problems on
+/// every provider, relaxation rung and chaos retry. The cache keys each
+/// binding problem by a structural hash (variable, domain, a few probe
+/// levels of the agreed store's policy) and remembers the winning
+/// domain value; the next structurally matching solve re-evaluates that
+/// witness on its *own* store — so the seeded level is achievable by
+/// construction, even across hash collisions — and hands it to
+/// [`BranchAndBound::solve_seeded`] as a warm incumbent. Hits are
+/// counted on the `solver.warm_hits` telemetry counter.
+///
+/// Clones share the underlying table, so a cloned [`Broker`] keeps
+/// benefiting from (and feeding) the same cache.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SolveCache {
+    entries: Arc<Mutex<HashMap<u64, Val>>>,
+}
+
+impl SolveCache {
+    fn lookup(&self, key: u64) -> Option<Val> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    fn store(&self, key: u64, witness: Val) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, witness);
+    }
+}
+
+/// Domain points probed when hashing a binding problem: enough to
+/// separate stores that differ anywhere a small problem can differ,
+/// cheap enough that a key never costs more than a handful of evals.
+const KEY_PROBES: usize = 4;
+
+/// The structural hash (FNV-1a) of a single-variable binding problem.
+///
+/// Collisions are a heuristic miss, never an unsoundness: the cached
+/// witness is re-evaluated on the actual store before seeding.
+fn binding_key<S: Semiring>(variable: &Var, domain: &Domain, sigma: &Constraint<S>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let eat = |hash: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&mut hash, variable.name().as_bytes());
+    let values = domain.values();
+    eat(&mut hash, format!("{values:?}").as_bytes());
+    let probes = values.len().min(KEY_PROBES);
+    for k in 0..probes {
+        let i = if probes > 1 {
+            k * (values.len() - 1) / (probes - 1)
+        } else {
+            0
+        };
+        let level = sigma.eval(&Assignment::new().bind(variable.clone(), values[i].clone()));
+        eat(&mut hash, format!("{level:?}").as_bytes());
+    }
+    hash
 }
 
 impl<S: Residuated> Broker<S> {
@@ -175,6 +248,7 @@ impl<S: Residuated> Broker<S> {
             semiring,
             registry,
             telemetry: Telemetry::disabled(),
+            cache: SolveCache::default(),
         }
     }
 
@@ -269,9 +343,23 @@ impl<S: Residuated> Broker<S> {
                 request.capability.clone(),
             ));
         }
+        // The client side of the session is provider-independent: build
+        // its agent (and the session domains) once instead of
+        // re-translating the client policy for every provider.
+        let client = Agent::tell(
+            request.constraint.clone(),
+            Interval::any(&self.semiring),
+            Agent::ask(
+                Constraint::always(self.semiring.clone()),
+                request.acceptance.clone(),
+                Agent::success(),
+            ),
+        );
         let mut agreements = Vec::new();
         for service in candidates {
-            if let Some(sla) = self.negotiate_one(request, service, &translate)? {
+            if let Some(sla) =
+                self.negotiate_one(request, service, &client, &domains, &translate)?
+            {
                 agreements.push(sla);
             }
         }
@@ -331,6 +419,8 @@ impl<S: Residuated> Broker<S> {
         &self,
         request: &NegotiationRequest<S>,
         service: &ServiceDescription,
+        client: &Agent<S>,
+        domains: &Domains,
         translate: &F,
     ) -> Result<Option<Sla<S>>, NegotiationError>
     where
@@ -343,29 +433,20 @@ impl<S: Residuated> Broker<S> {
             return Ok(None);
         };
 
-        // The provider agent publishes its policy; the client agent
-        // publishes its own and then checks the agreement interval.
+        // The provider agent publishes its policy; the (precompiled)
+        // client agent publishes its own and then checks the agreement
+        // interval.
         let provider = Agent::tell(
             provider_constraint,
             Interval::any(&self.semiring),
             Agent::success(),
         );
-        let client = Agent::tell(
-            request.constraint.clone(),
-            Interval::any(&self.semiring),
-            Agent::ask(
-                Constraint::always(self.semiring.clone()),
-                request.acceptance.clone(),
-                Agent::success(),
-            ),
-        );
-        let domains = Domains::new().with(request.variable.clone(), request.domain.clone());
         let store = Store::empty(self.semiring.clone(), domains.clone());
         let session_start = self.telemetry.enabled().then(std::time::Instant::now);
         self.telemetry.incr("broker.sessions");
         let report = Interpreter::new(Program::new())
             .with_telemetry(self.telemetry.clone())
-            .run(Agent::par(provider, client), store)?;
+            .run(Agent::par(provider, client.clone()), store)?;
         if let Some(start) = session_start {
             self.telemetry.timing_labeled(
                 "broker.provider.latency",
@@ -388,14 +469,8 @@ impl<S: Residuated> Broker<S> {
 
         // The concrete binding: the best value of the negotiation
         // variable under the agreed store.
-        let problem = Scsp::new(self.semiring.clone())
-            .with_domain(request.variable.clone(), request.domain.clone())
-            .with_constraint(final_store.sigma().clone())
-            .of_interest([request.variable.clone()]);
-        let solution = problem.solve()?;
-        if let Some(stats) = solution.stats() {
-            stats.emit(&self.telemetry, "binding");
-        }
+        let solution =
+            self.solve_binding(&request.variable, &request.domain, final_store.sigma())?;
         let binding = solution.best().first().cloned();
 
         Ok(Some(Sla {
@@ -404,6 +479,63 @@ impl<S: Residuated> Broker<S> {
             agreed_level,
             binding,
         }))
+    }
+
+    /// Solves the single-variable binding problem, warm-starting the
+    /// incumbent from a structurally matching previous round's witness
+    /// (see [`SolveCache`]). Identical `blevel` and first-best binding
+    /// as the cold reference solve; warm hits increment the
+    /// `solver.warm_hits` telemetry counter and the run's stats flow
+    /// out on the usual `solve.*` / `solver.bound_prunes` families.
+    pub(crate) fn solve_binding(
+        &self,
+        variable: &Var,
+        domain: &Domain,
+        sigma: &Constraint<S>,
+    ) -> Result<Solution<S>, SolveError> {
+        let problem = Scsp::new(self.semiring.clone())
+            .with_domain(variable.clone(), domain.clone())
+            .with_constraint(sigma.clone())
+            .of_interest([variable.clone()]);
+        if !self.semiring.is_total() {
+            // Partially ordered QoS: stay on the reference solver.
+            let solution = problem.solve()?;
+            if let Some(stats) = solution.stats() {
+                stats.emit(&self.telemetry, "binding");
+            }
+            return Ok(solution);
+        }
+
+        let key = binding_key(variable, domain, sigma);
+        let seed = self.cache.lookup(key).and_then(|witness| {
+            domain
+                .values()
+                .contains(&witness)
+                .then(|| sigma.eval(&Assignment::new().bind(variable.clone(), witness)))
+        });
+        // A tiny problem: sequential branch-and-bound in input order
+        // reproduces the reference solver's lexicographically first
+        // best binding, witness-exactly, warm or cold.
+        let solver = BranchAndBound::with_config(
+            VarOrder::Input,
+            SolverConfig::default().with_parallelism(Parallelism::Sequential),
+        );
+        let solution = match seed {
+            Some(level) if !self.semiring.is_zero(&level) => {
+                self.telemetry.incr("solver.warm_hits");
+                solver.solve_seeded(&problem, level)?
+            }
+            _ => solver.solve(&problem)?,
+        };
+        if let Some(stats) = solution.stats() {
+            stats.emit(&self.telemetry, "binding");
+        }
+        if let Some((eta, _)) = solution.best().first() {
+            if let Some(val) = eta.get(variable) {
+                self.cache.store(key, val.clone());
+            }
+        }
+        Ok(solution)
     }
 }
 
@@ -619,6 +751,72 @@ mod tests {
             .negotiate_with_relaxation(&request, &[], QosOffer::to_weighted)
             .unwrap_err();
         assert!(matches!(err, NegotiationError::NoAgreement(_)));
+    }
+
+    #[test]
+    fn repeated_negotiations_warm_start_and_agree() {
+        let mut registry = Registry::new();
+        registry.publish(fuzzy_provider("svc-1", vec![(1, 1.0), (9, 0.0)]));
+        let (telemetry, sink) = Telemetry::recording();
+        let broker = Broker::new(Fuzzy, registry).with_telemetry(telemetry);
+        let cold = broker
+            .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap();
+        assert_eq!(sink.snapshot().counters.get("solver.warm_hits"), None);
+        // The second round re-solves the structurally identical binding
+        // problem: a warm hit, with the identical agreement.
+        let warm = broker
+            .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap();
+        assert_eq!(
+            sink.snapshot().counters.get("solver.warm_hits"),
+            Some(&1u64)
+        );
+        assert_eq!(warm.agreed_level, cold.agreed_level);
+        assert_eq!(warm.binding, cold.binding);
+        assert_eq!(warm.service, cold.service);
+    }
+
+    #[test]
+    fn hoisted_client_compilation_keeps_agreements() {
+        // negotiate_all over one registry must agree, provider by
+        // provider, with negotiating each provider in isolation — the
+        // client-side hoist may not change any per-provider outcome.
+        let providers = [
+            ("svc-steep", vec![(1, 1.0), (9, 0.0)]),
+            ("svc-flat", vec![(1, 0.8), (9, 0.8)]),
+            ("svc-bad", vec![(1, 0.2), (9, 0.2)]),
+        ];
+        let mut registry = Registry::new();
+        for (id, points) in &providers {
+            registry.publish(fuzzy_provider(id, points.clone()));
+        }
+        let all = Broker::new(Fuzzy, registry)
+            .negotiate_all(&fig5_request(), QosOffer::to_fuzzy)
+            .unwrap();
+
+        let mut isolated = Vec::new();
+        for (id, points) in &providers {
+            let mut registry = Registry::new();
+            registry.publish(fuzzy_provider(id, points.clone()));
+            match Broker::new(Fuzzy, registry).negotiate_all(&fig5_request(), QosOffer::to_fuzzy) {
+                Ok(slas) => isolated.extend(slas),
+                Err(NegotiationError::NoProvider(_)) => {}
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+
+        // Registry discovery and the fixture array order providers
+        // differently; compare by service id.
+        let mut all = all;
+        all.sort_by(|a, b| a.service.cmp(&b.service));
+        isolated.sort_by(|a, b| a.service.cmp(&b.service));
+        assert_eq!(all.len(), isolated.len());
+        for (a, b) in all.iter().zip(&isolated) {
+            assert_eq!(a.service, b.service);
+            assert_eq!(a.agreed_level, b.agreed_level);
+            assert_eq!(a.binding, b.binding);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use softsoa_core::solve::SolverConfig;
-use softsoa_core::{Constraint, Domains, Scsp};
+use softsoa_core::{Constraint, Domains};
 use softsoa_nmsccp::{
     Agent, Bound, FaultAction, FaultEvent, FaultPlan, Interval, Program, RecoveryPolicy,
     ResilienceReport, ResilientInterpreter, SemanticsError, Store,
@@ -267,6 +267,17 @@ impl<S: Residuated> Broker<S> {
             Some(lower_only_invariant(self.semiring(), &request.acceptance)),
         );
 
+        // Provider-independent: the client agent is identical for every
+        // session, so translate the client policy once.
+        let client = Agent::tell(
+            request.constraint.clone(),
+            Interval::any(self.semiring()),
+            Agent::ask(
+                Constraint::always(self.semiring().clone()),
+                request.acceptance.clone(),
+                Agent::success(),
+            ),
+        );
         let mut sessions = Vec::new();
         let mut best: Option<Sla<S>> = None;
         for service in candidates {
@@ -276,15 +287,6 @@ impl<S: Residuated> Broker<S> {
             };
             let plan = provider_fault_plan(chaos, &service.id, &policy);
             let provider = Agent::tell(policy, Interval::any(self.semiring()), Agent::success());
-            let client = Agent::tell(
-                request.constraint.clone(),
-                Interval::any(self.semiring()),
-                Agent::ask(
-                    Constraint::always(self.semiring().clone()),
-                    request.acceptance.clone(),
-                    Agent::success(),
-                ),
-            );
             let store = Store::empty(self.semiring().clone(), domains.clone());
             let session_start = self.telemetry.enabled().then(std::time::Instant::now);
             self.telemetry.incr("broker.sessions");
@@ -292,7 +294,7 @@ impl<S: Residuated> Broker<S> {
                 .with_plan(plan)
                 .with_recovery(recovery.clone())
                 .with_telemetry(self.telemetry.clone())
-                .run(Agent::par(provider, client), store)?;
+                .run(Agent::par(provider, client.clone()), store)?;
             if self.telemetry.enabled() {
                 let id = service.id.as_str();
                 if let Some(start) = session_start {
@@ -324,14 +326,11 @@ impl<S: Residuated> Broker<S> {
             if report.is_success() {
                 let final_store = report.report.outcome.store();
                 let agreed_level = final_store.consistency().map_err(SemanticsError::from)?;
-                let problem = Scsp::new(self.semiring().clone())
-                    .with_domain(request.variable.clone(), request.domain.clone())
-                    .with_constraint(final_store.sigma().clone())
-                    .of_interest([request.variable.clone()]);
-                let solution = problem.solve()?;
-                if let Some(stats) = solution.stats() {
-                    stats.emit(&self.telemetry, "binding");
-                }
+                // Warm-started across retries and relaxation rungs: the
+                // broker's SolveCache seeds the incumbent from the last
+                // structurally matching round's witness.
+                let solution =
+                    self.solve_binding(&request.variable, &request.domain, final_store.sigma())?;
                 let sla = Sla {
                     service: service.id.clone(),
                     provider: service.provider.clone(),

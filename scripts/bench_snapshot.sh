@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Snapshot the bounds-driven-search benchmark groups into a
+# machine-readable JSON file (nanoseconds per iteration, one entry per
+# benchmark id). Usage:
+#
+#   scripts/bench_snapshot.sh [out.json]
+#
+# Runs the `bounded_vs_blind` and `bell_vs_dp` criterion groups and
+# parses the harness report lines, e.g.
+#
+#   bell_vs_dp/subset_dp/13    median  5.16 ms  min  4.79 ms  mean  5.13 ms  (1 iters/sample)
+#
+# into {"median_ns": ..., "min_ns": ..., "mean_ns": ...} records. The
+# default output name, BENCH_5.json, is the committed snapshot for the
+# bounds/warm-start/coalition-DP change; CI regenerates it as an
+# artifact on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_5.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for bench in bounded_vs_blind bell_vs_dp; do
+    cargo bench -p softsoa-bench --bench "$bench" | tee -a "$raw"
+done
+
+python3 - "$raw" "$out" <<'EOF'
+import json
+import re
+import sys
+
+raw, out = sys.argv[1], sys.argv[2]
+scale = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+row = re.compile(
+    r"^(?P<label>[\w./-]+)"
+    r"\s+median\s+(?P<median>[\d.]+)\s+(?P<mu>\S+)"
+    r"\s+min\s+(?P<min>[\d.]+)\s+(?P<nu>\S+)"
+    r"\s+mean\s+(?P<mean>[\d.]+)\s+(?P<eu>\S+)"
+    r"\s+\((?P<iters>\d+) iters/sample\)$"
+)
+
+groups = {}
+with open(raw, encoding="utf-8") as fh:
+    for line in fh:
+        m = row.match(line.strip())
+        if not m:
+            continue
+        label = m.group("label")
+        group = label.split("/", 1)[0]
+        groups.setdefault(group, {})[label] = {
+            "median_ns": round(float(m.group("median")) * scale[m.group("mu")], 3),
+            "min_ns": round(float(m.group("min")) * scale[m.group("nu")], 3),
+            "mean_ns": round(float(m.group("mean")) * scale[m.group("eu")], 3),
+            "iters_per_sample": int(m.group("iters")),
+        }
+
+if not groups:
+    sys.exit("bench_snapshot: no benchmark report lines found")
+
+snapshot = {
+    "script": "scripts/bench_snapshot.sh",
+    "groups": {g: dict(sorted(rows.items())) for g, rows in sorted(groups.items())},
+}
+with open(out, "w", encoding="utf-8") as fh:
+    json.dump(snapshot, fh, indent=2)
+    fh.write("\n")
+print(f"bench_snapshot: wrote {out}")
+EOF
