@@ -5,12 +5,12 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use softsoa_coalition::{
-    exact_formation_instrumented, individually_oriented, local_search, socially_oriented,
-    FormationConfig, MAX_EXACT_AGENTS,
+    exact_formation_instrumented, individually_oriented, local_search, scsp_formation_with,
+    socially_oriented, FormationConfig, MAX_EXACT_AGENTS,
 };
 use softsoa_core::solve::{
-    BranchAndBound, BucketElimination, EliminationOrder, EnumerationSolver, Parallelism, Solver,
-    SolverConfig, VarOrder,
+    BranchAndBound, BucketElimination, EliminationOrder, EnumerationSolver, Parallelism,
+    PropagationMode, Solver, SolverConfig, VarOrder,
 };
 use softsoa_core::{Constraint, Domain, Domains, Scsp, Var};
 use softsoa_dependability::{check_refinement, photo};
@@ -151,6 +151,51 @@ fn append_metrics(out: &mut String, recorder: Option<(Arc<MemorySink>, MetricsFo
     }
 }
 
+/// Preprocessing knobs shared by `solve`, `negotiate` and
+/// `coalitions` (`--propagate`, `--decompose`, `--no-decompose`).
+///
+/// `None` keeps the [`SolverConfig`] default (root propagation,
+/// decomposition on); the flags exist to force a mode or switch the
+/// machinery off for comparison runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Soft arc-consistency mode (`--propagate=off|root|full`).
+    pub propagate: Option<PropagationMode>,
+    /// Solve independent constraint-graph components separately
+    /// (`--decompose` / `--no-decompose`).
+    pub decompose: Option<bool>,
+}
+
+impl EngineOptions {
+    /// Applies the requested overrides to a base configuration.
+    #[must_use]
+    pub fn apply(&self, mut config: SolverConfig) -> SolverConfig {
+        if let Some(mode) = self.propagate {
+            config = config.with_propagation(mode);
+        }
+        if let Some(decompose) = self.decompose {
+            config = config.with_decompose(decompose);
+        }
+        config
+    }
+}
+
+/// Parses a `--propagate` value into a [`PropagationMode`].
+///
+/// # Errors
+///
+/// Returns the list of accepted names for anything else.
+pub fn parse_propagation(name: &str) -> Result<PropagationMode, String> {
+    match name {
+        "off" => Ok(PropagationMode::Off),
+        "root" => Ok(PropagationMode::Root),
+        "full" => Ok(PropagationMode::Full),
+        other => Err(format!(
+            "unknown propagation mode `{other}` (expected off, root or full)"
+        )),
+    }
+}
+
 /// Engine options shared by every `solve` invocation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveOptions {
@@ -172,6 +217,9 @@ pub struct SolveOptions {
     /// Seed the branch-and-bound incumbent from a greedy probe of the
     /// first full assignment (`--warm-start`).
     pub warm_start: bool,
+    /// Propagation and decomposition overrides (`--propagate`,
+    /// `--decompose`, `--no-decompose`).
+    pub engine: EngineOptions,
 }
 
 impl SolveOptions {
@@ -180,10 +228,12 @@ impl SolveOptions {
             Some(n) => Parallelism::Threads(n.max(1)),
             None => Parallelism::Auto,
         };
-        SolverConfig::default()
-            .with_parallelism(parallelism)
-            .with_compiled(!self.lazy)
-            .with_ibound(self.ibound)
+        self.engine.apply(
+            SolverConfig::default()
+                .with_parallelism(parallelism)
+                .with_compiled(!self.lazy)
+                .with_ibound(self.ibound),
+        )
     }
 }
 
@@ -198,8 +248,9 @@ pub fn parse_var_order(name: &str) -> Result<VarOrder, String> {
         "smallest" | "smallest-domain" => Ok(VarOrder::SmallestDomain),
         "most-constrained" => Ok(VarOrder::MostConstrained),
         "dynamic" => Ok(VarOrder::Dynamic),
+        "estimate" => Ok(VarOrder::Estimate),
         other => Err(format!(
-            "unknown variable order `{other}` (expected input, smallest, most-constrained or dynamic)"
+            "unknown variable order `{other}` (expected input, smallest, most-constrained, dynamic or estimate)"
         )),
     }
 }
@@ -407,6 +458,24 @@ pub fn negotiate(text: &str) -> Result<String, CommandError> {
 /// Returns [`CommandError`] for malformed documents, agent syntax
 /// errors or engine failures.
 pub fn negotiate_with(text: &str, metrics: Option<MetricsFormat>) -> Result<String, CommandError> {
+    negotiate_with_options(text, metrics, EngineOptions::default())
+}
+
+/// [`negotiate_with`] with explicit propagation and decomposition
+/// overrides for the broker's binding solver (`--propagate`,
+/// `--decompose`, `--no-decompose`). Store-based (`nmsccp`) scenarios
+/// ignore the overrides: their consistency checks are projections, not
+/// branch-and-bound searches.
+///
+/// # Errors
+///
+/// Returns [`CommandError`] for malformed documents, agent syntax
+/// errors or engine failures.
+pub fn negotiate_with_options(
+    text: &str,
+    metrics: Option<MetricsFormat>,
+    engine: EngineOptions,
+) -> Result<String, CommandError> {
     let spec = NegotiationSpec::from_json(text)?;
     match spec.semiring {
         SemiringKind::Weighted => match spec.broker.clone() {
@@ -419,6 +488,7 @@ pub fn negotiate_with(text: &str, metrics: Option<MetricsFormat>) -> Result<Stri
                 QosOffer::to_weighted,
                 ToString::to_string,
                 metrics,
+                engine,
             ),
             None => negotiate_generic(&spec, Weighted, weight_level, ToString::to_string, metrics),
         },
@@ -432,6 +502,7 @@ pub fn negotiate_with(text: &str, metrics: Option<MetricsFormat>) -> Result<Stri
                 QosOffer::to_fuzzy,
                 ToString::to_string,
                 metrics,
+                engine,
             ),
             None => negotiate_generic(&spec, Fuzzy, unit_level, ToString::to_string, metrics),
         },
@@ -445,6 +516,7 @@ pub fn negotiate_with(text: &str, metrics: Option<MetricsFormat>) -> Result<Stri
                 QosOffer::to_probabilistic,
                 ToString::to_string,
                 metrics,
+                engine,
             ),
             None => negotiate_generic(
                 &spec,
@@ -464,6 +536,7 @@ pub fn negotiate_with(text: &str, metrics: Option<MetricsFormat>) -> Result<Stri
                 QosOffer::to_crisp,
                 ToString::to_string,
                 metrics,
+                engine,
             ),
             None => negotiate_generic(&spec, Boolean, bool_level, ToString::to_string, metrics),
         },
@@ -488,6 +561,9 @@ pub struct ChaosOptions {
     pub backoff: usize,
     /// Append a telemetry snapshot to the report (`--metrics`).
     pub metrics: Option<MetricsFormat>,
+    /// Propagation and decomposition overrides for broker binding
+    /// solves (`--propagate`, `--decompose`, `--no-decompose`).
+    pub engine: EngineOptions,
 }
 
 impl Default for ChaosOptions {
@@ -500,6 +576,7 @@ impl Default for ChaosOptions {
             deadline: 4,
             backoff: 2,
             metrics: None,
+            engine: EngineOptions::default(),
         }
     }
 }
@@ -637,6 +714,7 @@ pub fn negotiate_chaos(text: &str, options: ChaosOptions) -> Result<String, Comm
                 QosOffer::to_weighted,
                 ToString::to_string,
                 options.metrics,
+                options.engine,
             ),
             None => {
                 negotiate_chaos_generic(&spec, options, Weighted, weight_level, ToString::to_string)
@@ -652,6 +730,7 @@ pub fn negotiate_chaos(text: &str, options: ChaosOptions) -> Result<String, Comm
                 QosOffer::to_fuzzy,
                 ToString::to_string,
                 options.metrics,
+                options.engine,
             ),
             None => negotiate_chaos_generic(&spec, options, Fuzzy, unit_level, ToString::to_string),
         },
@@ -665,6 +744,7 @@ pub fn negotiate_chaos(text: &str, options: ChaosOptions) -> Result<String, Comm
                 QosOffer::to_probabilistic,
                 ToString::to_string,
                 options.metrics,
+                options.engine,
             ),
             None => negotiate_chaos_generic(
                 &spec,
@@ -684,6 +764,7 @@ pub fn negotiate_chaos(text: &str, options: ChaosOptions) -> Result<String, Comm
                 QosOffer::to_crisp,
                 ToString::to_string,
                 options.metrics,
+                options.engine,
             ),
             None => {
                 negotiate_chaos_generic(&spec, options, Boolean, bool_level, ToString::to_string)
@@ -705,6 +786,7 @@ fn broker_generic<S, L, F>(
     translate: F,
     fmt_level: impl Fn(&S::Value) -> String,
     metrics: Option<MetricsFormat>,
+    engine: EngineOptions,
 ) -> Result<String, CommandError>
 where
     S: softsoa_semiring::Residuated,
@@ -755,7 +837,11 @@ where
     };
 
     let (telemetry, recorder) = metrics_recorder(metrics);
-    let broker = Broker::new(semiring.clone(), registry).with_telemetry(telemetry);
+    let broker = Broker::new(semiring.clone(), registry)
+        .with_telemetry(telemetry)
+        .with_solver_config(
+            engine.apply(SolverConfig::default().with_parallelism(Parallelism::Sequential)),
+        );
     let mut out = String::new();
     match chaos {
         None => {
@@ -943,6 +1029,23 @@ pub fn coalitions(text: &str) -> Result<String, CommandError> {
 ///
 /// Same as [`coalitions`].
 pub fn coalitions_with(text: &str, metrics: Option<MetricsFormat>) -> Result<String, CommandError> {
+    coalitions_with_options(text, metrics, EngineOptions::default())
+}
+
+/// [`coalitions_with`] with explicit propagation and decomposition
+/// overrides for the `scsp` algorithm's branch-and-bound solver
+/// (`--propagate`, `--decompose`, `--no-decompose`); the other
+/// algorithms do not search an SCSP and ignore the overrides.
+///
+/// # Errors
+///
+/// Same as [`coalitions`], plus an `scsp` request beyond the encoding's
+/// five-agent ceiling.
+pub fn coalitions_with_options(
+    text: &str,
+    metrics: Option<MetricsFormat>,
+    engine: EngineOptions,
+) -> Result<String, CommandError> {
     let spec = CoalitionSpec::from_json(text)?;
     let network = spec.network()?;
     let compose = spec.composition()?;
@@ -970,6 +1073,22 @@ pub fn coalitions_with(text: &str, metrics: Option<MetricsFormat>) -> Result<Str
         "individual" => individually_oriented(&network, compose),
         "social" => socially_oriented(&network, compose),
         "local" => local_search(&network, cfg, 0, 2_000),
+        "scsp" => {
+            // The Sec. 6.1 encoding enumerates (2^n)^n tuples; its
+            // builder asserts the ceiling, so report it as a usage
+            // error before it is reachable.
+            if network.len() > 5 {
+                return Err(CommandError::Usage(format!(
+                    "the scsp encoding handles at most 5 agents, got {} \
+                     (use `exact`, `local`, `individual` or `social`)",
+                    network.len()
+                )));
+            }
+            let config = engine.apply(SolverConfig::default());
+            scsp_formation_with(&network, compose, spec.require_stability, &config)
+                .map_err(|e| CommandError::Engine(e.to_string()))?
+                .ok_or_else(|| CommandError::Engine("no feasible partition".into()))?
+        }
         other => {
             return Err(CommandError::Usage(format!("unknown algorithm `{other}`")));
         }
@@ -1139,7 +1258,93 @@ mod tests {
     fn parse_var_order_rejects_unknown_names() {
         assert_eq!(parse_var_order("input").unwrap(), VarOrder::Input);
         assert_eq!(parse_var_order("dynamic").unwrap(), VarOrder::Dynamic);
+        assert_eq!(parse_var_order("estimate").unwrap(), VarOrder::Estimate);
         assert!(parse_var_order("random").is_err());
+    }
+
+    #[test]
+    fn parse_propagation_rejects_unknown_names() {
+        assert_eq!(parse_propagation("off").unwrap(), PropagationMode::Off);
+        assert_eq!(parse_propagation("root").unwrap(), PropagationMode::Root);
+        assert_eq!(parse_propagation("full").unwrap(), PropagationMode::Full);
+        assert!(parse_propagation("eager").is_err());
+    }
+
+    #[test]
+    fn propagated_and_decomposed_solves_agree_with_blind() {
+        // Every --propagate/--decompose combination (and the estimate
+        // order, which rides on the root propagation pass) reports the
+        // same blevel and witness as the fully blind run.
+        let blind = solve_with(
+            FIG1,
+            SolverChoice::BranchAndBound,
+            SolveOptions {
+                engine: EngineOptions {
+                    propagate: Some(PropagationMode::Off),
+                    decompose: Some(false),
+                },
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(blind.contains("blevel: 7"), "{blind}");
+        for propagate in [
+            None,
+            Some(PropagationMode::Off),
+            Some(PropagationMode::Root),
+            Some(PropagationMode::Full),
+        ] {
+            for decompose in [None, Some(false), Some(true)] {
+                for order in [None, Some(VarOrder::Estimate)] {
+                    let options = SolveOptions {
+                        order,
+                        engine: EngineOptions {
+                            propagate,
+                            decompose,
+                        },
+                        ..SolveOptions::default()
+                    };
+                    let report = solve_with(FIG1, SolverChoice::BranchAndBound, options).unwrap();
+                    assert_eq!(
+                        report, blind,
+                        "{propagate:?}/{decompose:?}/{order:?} diverged from the blind run"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_counters_surface_in_stats_and_metrics() {
+        let options = SolveOptions {
+            stats: true,
+            metrics: Some(MetricsFormat::Json),
+            ..SolveOptions::default()
+        };
+        let report = solve_with(FIG1, SolverChoice::BranchAndBound, options).unwrap();
+        assert!(report.contains("propagation:"), "{report}");
+        let last = report.lines().last().unwrap();
+        let json: serde::Value = serde_json::from_str(last).unwrap();
+        let counters = json.get("counters").unwrap();
+        assert!(
+            counters.get("solver.propagation.revisions").is_some(),
+            "{last}"
+        );
+        // Propagation off keeps the report clean.
+        let off = solve_with(
+            FIG1,
+            SolverChoice::BranchAndBound,
+            SolveOptions {
+                stats: true,
+                engine: EngineOptions {
+                    propagate: Some(PropagationMode::Off),
+                    decompose: None,
+                },
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!off.contains("propagation:"), "{off}");
     }
 
     #[test]
@@ -1424,6 +1629,27 @@ mod tests {
     }
 
     #[test]
+    fn broker_engine_flags_leave_the_agreement_unchanged() {
+        // Binding solves are single-variable problems: any
+        // propagation/decomposition configuration negotiates the same
+        // SLA, byte for byte.
+        let reference = negotiate(&broker_doc()).unwrap();
+        for engine in [
+            EngineOptions {
+                propagate: Some(PropagationMode::Off),
+                decompose: Some(false),
+            },
+            EngineOptions {
+                propagate: Some(PropagationMode::Full),
+                decompose: Some(true),
+            },
+        ] {
+            let report = negotiate_with_options(&broker_doc(), None, engine).unwrap();
+            assert_eq!(report, reference, "{engine:?}");
+        }
+    }
+
+    #[test]
     fn broker_section_rejects_dangling_names() {
         let bad_client = broker_doc().replace("\"client\": \"c4\"", "\"client\": \"c9\"");
         assert!(matches!(
@@ -1499,6 +1725,60 @@ mod tests {
     fn coalitions_unknown_algorithm() {
         let doc = r#"{"trust": [[1.0]], "algorithm": "quantum"}"#;
         assert!(matches!(coalitions(doc), Err(CommandError::Usage(_))));
+    }
+
+    #[test]
+    fn coalitions_scsp_algorithm_matches_exact_objective() {
+        let doc = |algorithm: &str| {
+            format!(
+                r#"{{
+                    "trust": [
+                        [1.0, 0.9, 0.1, 0.1],
+                        [0.9, 1.0, 0.1, 0.1],
+                        [0.1, 0.1, 1.0, 0.9],
+                        [0.1, 0.1, 0.9, 1.0]
+                    ],
+                    "compose": "avg",
+                    "require_stability": true,
+                    "algorithm": "{algorithm}"
+                }}"#
+            )
+        };
+        let objective = |report: &str| {
+            report
+                .lines()
+                .find(|l| l.starts_with("objective"))
+                .map(String::from)
+                .unwrap()
+        };
+        let exact = coalitions(&doc("exact")).unwrap();
+        // Any engine configuration reaches the same formation score
+        // (the fuzzy semiring is idempotent, so the partition itself
+        // may be a different equally trustworthy one).
+        for engine in [
+            EngineOptions::default(),
+            EngineOptions {
+                propagate: Some(PropagationMode::Off),
+                decompose: Some(false),
+            },
+        ] {
+            let scsp = coalitions_with_options(&doc("scsp"), None, engine).unwrap();
+            assert_eq!(objective(&scsp), objective(&exact), "{engine:?}");
+            assert!(scsp.contains("stable: true"), "{scsp}");
+        }
+        // Beyond five agents the encoding is refused up front.
+        let big: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..6).map(|j| if i == j { 1.0 } else { 0.5 }).collect())
+            .collect();
+        let spec = CoalitionSpec {
+            trust: big,
+            compose: "avg".into(),
+            require_stability: false,
+            max_coalitions: None,
+            algorithm: "scsp".into(),
+        };
+        let err = coalitions(&serde_json::to_string(&spec).unwrap()).unwrap_err();
+        assert!(matches!(err, CommandError::Usage(_)), "{err}");
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    coalitions, coalitions_with, explore, integrity, negotiate, negotiate_chaos, negotiate_with,
-    parse_var_order, solve, solve_with, ChaosOptions, CommandError, MetricsFormat, SolveOptions,
+    coalitions, coalitions_with, coalitions_with_options, explore, integrity, negotiate,
+    negotiate_chaos, negotiate_with, negotiate_with_options, parse_propagation, parse_var_order,
+    solve, solve_with, ChaosOptions, CommandError, EngineOptions, MetricsFormat, SolveOptions,
     SolverChoice,
 };
 pub use format::{

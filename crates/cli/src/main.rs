@@ -3,8 +3,9 @@
 use std::process::ExitCode;
 
 use softsoa_cli::{
-    coalitions_with, explore, integrity, negotiate_chaos, negotiate_with, parse_var_order,
-    solve_with, ChaosOptions, MetricsFormat, SolveOptions, SolverChoice,
+    coalitions_with_options, explore, integrity, negotiate_chaos, negotiate_with_options,
+    parse_propagation, parse_var_order, solve_with, ChaosOptions, EngineOptions, MetricsFormat,
+    SolveOptions, SolverChoice,
 };
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
@@ -12,13 +13,16 @@ const USAGE: &str = "softsoa — soft constraints for dependable SOAs
 USAGE:
     softsoa solve <problem.json> [--solver enum|bnb|bucket]
                   [--jobs <n>] [--lazy] [--stats] [--metrics[=json|pretty]]
-                  [--order input|smallest|most-constrained|dynamic]
+                  [--order input|smallest|most-constrained|dynamic|estimate]
                   [--ibound <n>] [--warm-start]
+                  [--propagate[=off|root|full]] [--decompose|--no-decompose]
     softsoa negotiate <scenario.json> [--metrics[=json|pretty]]
+                  [--propagate[=off|root|full]] [--decompose|--no-decompose]
                   [--chaos-seed <n>] [--chaos-rate <p>] [--chaos-horizon <n>]
                   [--chaos-retries <n>] [--chaos-deadline <n>] [--chaos-backoff <n>]
     softsoa explore <scenario.json>
     softsoa coalitions <trust.json> [--metrics[=json|pretty]]
+                  [--propagate[=off|root|full]] [--decompose|--no-decompose]
     softsoa integrity [--step <kb>]
 
 --metrics appends a telemetry snapshot to the report: json (the
@@ -31,6 +35,14 @@ enables mini-bucket completion bounds with the given joint-scope cap,
 and --warm-start seeds the incumbent from a greedy probe. All three
 leave the reported blevel and witness unchanged.
 
+--propagate sets the soft arc-consistency mode (default root: one
+bounds-propagation pass before search; full re-propagates at every
+node; off disables it) and --decompose/--no-decompose toggles solving
+independent constraint-graph components separately (default on). Both
+preserve the reported blevel and yield an equally best witness; they
+steer bnb solves, broker bindings, and the coalitions `scsp`
+algorithm.
+
 Document formats are described in the softsoa-cli crate docs.";
 
 /// Parses a `--metrics` / `--metrics=<format>` flag; `None` if the
@@ -41,6 +53,37 @@ fn parse_metrics_flag(flag: &str) -> Option<Result<MetricsFormat, String>> {
     }
     flag.strip_prefix("--metrics=")
         .map(|value| MetricsFormat::parse(value).map_err(|e| e.to_string()))
+}
+
+/// Parses a `--propagate [=]<mode>`, `--decompose` or `--no-decompose`
+/// flag into `engine`; `None` if the flag is something else.
+fn parse_engine_flag<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+    engine: &mut EngineOptions,
+) -> Option<Result<(), String>> {
+    let mode = if flag == "--propagate" {
+        match it.next() {
+            Some(value) => value.as_str(),
+            None => return Some(Err("--propagate: missing value".to_string())),
+        }
+    } else if let Some(value) = flag.strip_prefix("--propagate=") {
+        value
+    } else {
+        match flag {
+            "--decompose" => engine.decompose = Some(true),
+            "--no-decompose" => engine.decompose = Some(false),
+            _ => return None,
+        }
+        return Some(Ok(()));
+    };
+    Some(match parse_propagation(mode) {
+        Ok(mode) => {
+            engine.propagate = Some(mode);
+            Ok(())
+        }
+        Err(e) => Err(format!("--propagate: {e}")),
+    })
 }
 
 fn run() -> Result<String, String> {
@@ -82,7 +125,10 @@ fn run() -> Result<String, String> {
                     "--warm-start" => options.warm_start = true,
                     other => match parse_metrics_flag(other) {
                         Some(format) => options.metrics = Some(format?),
-                        None => return Err(format!("solve: unknown flag `{other}`")),
+                        None => match parse_engine_flag(other, &mut it, &mut options.engine) {
+                            Some(parsed) => parsed?,
+                            None => return Err(format!("solve: unknown flag `{other}`")),
+                        },
                     },
                 }
             }
@@ -109,7 +155,7 @@ fn run() -> Result<String, String> {
             while let Some(flag) = it.next() {
                 let flag = flag.as_str();
                 // Only --chaos-* flags select chaos mode; --metrics
-                // composes with either mode.
+                // and the engine flags compose with either mode.
                 match flag {
                     "--chaos-seed" => chaos.seed = parse_num(flag, it.next())?,
                     "--chaos-rate" => chaos.rate = parse_num(flag, it.next())?,
@@ -122,7 +168,13 @@ fn run() -> Result<String, String> {
                             chaos.metrics = Some(format?);
                             continue;
                         }
-                        None => return Err(format!("negotiate: unknown flag `{other}`")),
+                        None => match parse_engine_flag(other, &mut it, &mut chaos.engine) {
+                            Some(parsed) => {
+                                parsed?;
+                                continue;
+                            }
+                            None => return Err(format!("negotiate: unknown flag `{other}`")),
+                        },
                     },
                 }
                 chaos_mode = true;
@@ -132,7 +184,8 @@ fn run() -> Result<String, String> {
             if chaos_mode {
                 negotiate_chaos(&text, chaos).map_err(|e| e.to_string())
             } else {
-                negotiate_with(&text, chaos.metrics).map_err(|e| e.to_string())
+                negotiate_with_options(&text, chaos.metrics, chaos.engine)
+                    .map_err(|e| e.to_string())
             }
         }
         "explore" => {
@@ -144,15 +197,19 @@ fn run() -> Result<String, String> {
         "coalitions" => {
             let path = it.next().ok_or("coalitions: missing <trust.json>")?;
             let mut metrics = None;
-            for flag in it.by_ref() {
+            let mut engine = EngineOptions::default();
+            while let Some(flag) = it.next() {
                 match parse_metrics_flag(flag) {
                     Some(format) => metrics = Some(format?),
-                    None => return Err(format!("coalitions: unknown flag `{flag}`")),
+                    None => match parse_engine_flag(flag, &mut it, &mut engine) {
+                        Some(parsed) => parsed?,
+                        None => return Err(format!("coalitions: unknown flag `{flag}`")),
+                    },
                 }
             }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            coalitions_with(&text, metrics).map_err(|e| e.to_string())
+            coalitions_with_options(&text, metrics, engine).map_err(|e| e.to_string())
         }
         "integrity" => {
             let mut step = 512i64;

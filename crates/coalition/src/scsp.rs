@@ -11,6 +11,7 @@
 
 use std::collections::BTreeSet;
 
+use softsoa_core::solve::{BranchAndBound, Solver, SolverConfig, VarOrder};
 use softsoa_core::{Constraint, Domain, Scsp, SolveError, Val, Var};
 use softsoa_semiring::{Fuzzy, Unit};
 
@@ -172,7 +173,41 @@ pub fn scsp_formation(
     let n = network.len();
     let problem = formation_scsp(network, compose, require_stability);
     let solution = problem.solve()?;
-    let Some((eta, score)) = solution.best().first() else {
+    decode(n, solution.best().first())
+}
+
+/// [`scsp_formation`] on the branch-and-bound engine with an explicit
+/// [`SolverConfig`] — the path behind the CLI's `--propagate` /
+/// `--decompose` flags. The formation score is identical to the
+/// enumeration path for every configuration; the decoded partition is
+/// always feasible (and stable when required) but, the fuzzy semiring
+/// being idempotent, may be a different equally best partition.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if solving fails.
+///
+/// # Panics
+///
+/// Panics if `network.len() > 5` (see [`formation_scsp`]).
+pub fn scsp_formation_with(
+    network: &TrustNetwork,
+    compose: TrustComposition,
+    require_stability: bool,
+    config: &SolverConfig,
+) -> Result<Option<FormationResult>, SolveError> {
+    let n = network.len();
+    let problem = formation_scsp(network, compose, require_stability);
+    let solver = BranchAndBound::with_config(VarOrder::Input, *config);
+    let solution = solver.solve(&problem)?;
+    decode(n, solution.best().first())
+}
+
+fn decode(
+    n: u32,
+    best: Option<&(softsoa_core::Assignment, Unit)>,
+) -> Result<Option<FormationResult>, SolveError> {
+    let Some((eta, score)) = best else {
         return Ok(None);
     };
     let mut coalitions: Vec<Coalition> = Vec::new();
@@ -228,6 +263,32 @@ mod tests {
             &result.partition,
             TrustComposition::Average
         ));
+    }
+
+    #[test]
+    fn branch_and_bound_formation_matches_enumeration_score() {
+        use softsoa_core::solve::PropagationMode;
+        let net = TrustNetwork::random(4, 3);
+        let reference = scsp_formation(&net, TrustComposition::Average, true)
+            .unwrap()
+            .expect("feasible");
+        for config in [
+            SolverConfig::default(),
+            SolverConfig::default().with_propagation(PropagationMode::Full),
+            SolverConfig::default()
+                .with_propagation(PropagationMode::Off)
+                .with_decompose(false),
+        ] {
+            let result = scsp_formation_with(&net, TrustComposition::Average, true, &config)
+                .unwrap()
+                .expect("feasible");
+            assert_eq!(result.score, reference.score);
+            assert!(is_stable(
+                &net,
+                &result.partition,
+                TrustComposition::Average
+            ));
+        }
     }
 
     #[test]

@@ -356,6 +356,35 @@ impl<S: Semiring> CompiledProblem<S> {
         &self.operands[oi].emb
     }
 
+    /// The mixed-radix strides of operand `oi` over its own scope
+    /// (aligned with [`operand_scope`](Self::operand_scope), last
+    /// variable fastest).
+    pub(crate) fn operand_strides(&self, oi: usize) -> &[usize] {
+        &self.operands[oi].strides
+    }
+
+    /// The dense table of operand `oi`, or `None` for constants and
+    /// operands that stayed lazy.
+    pub(crate) fn operand_dense(&self, oi: usize) -> Option<&[S::Value]> {
+        match &self.operands[oi].kind {
+            OperandKind::Dense(table) => Some(table),
+            _ => None,
+        }
+    }
+
+    /// The display label of operand `oi`.
+    pub(crate) fn operand_label(&self, oi: usize) -> &str {
+        &self.operands[oi].label
+    }
+
+    /// The fixed level of operand `oi`, when it is a constant.
+    pub(crate) fn operand_const(&self, oi: usize) -> Option<&S::Value> {
+        match &self.operands[oi].kind {
+            OperandKind::Const(value) => Some(value),
+            _ => None,
+        }
+    }
+
     /// Evaluates operand `oi` on the index tuple `idx` (one domain
     /// index per compiled variable; only the operand's own positions
     /// are read). `scratch` is reused for lazy operands' sub-tuples.

@@ -128,6 +128,115 @@ pub fn chain_weighted(n: usize, domain_size: usize, seed: u64) -> Scsp<WeightedI
     p.of_interest([var(0)])
 }
 
+/// A weighted random *tree*: every variable `x1..` is tied to a random
+/// earlier parent by a binary distance constraint. Induced width 1,
+/// like [`chain_weighted`], but with branching.
+pub fn tree_weighted(n: usize, domain_size: usize, seed: u64) -> Scsp<WeightedInt> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Scsp::new(WeightedInt);
+    for i in 0..n {
+        p.add_domain(var(i), Domain::ints(0..domain_size as i64));
+    }
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        let offset = rng.random_range(0..domain_size as i64);
+        p.add_constraint(Constraint::binary(
+            WeightedInt,
+            var(parent),
+            var(i),
+            move |a, b| (a.as_int().unwrap() + offset - b.as_int().unwrap()).unsigned_abs(),
+        ));
+    }
+    p.of_interest([var(0)])
+}
+
+/// Parameters of a structured *union* SCSP: `components` independent
+/// banded sub-problems with no constraints between them. The
+/// constraint graph of each component is the band graph (variable `i`
+/// constrained to its `band` predecessors), so its treewidth is at
+/// most `band`; the whole problem decomposes into exactly
+/// `components` connected components.
+///
+/// This is the family behind the `propagation_vs_blind` benchmark:
+/// tight extensional tables give the root arc-consistency pass real
+/// values to prune, and the component structure lets decomposition
+/// replace one search of size `d^(k·m)` with `k` searches of size
+/// `d^m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnionScsp {
+    /// Number of independent components.
+    pub components: usize,
+    /// Variables in each component.
+    pub vars_per_component: usize,
+    /// Size of every integer domain.
+    pub domain_size: usize,
+    /// Bandwidth: variable `i` of a component is constrained to each
+    /// of its `band` predecessors (clamped to at least 1).
+    pub band: usize,
+    /// RNG seed; equal seeds give equal problems.
+    pub seed: u64,
+}
+
+/// Generates a structured union SCSP over an arbitrary semiring,
+/// drawing each table entry's level from `level`. Variables are
+/// `x0..` numbered component-major; the first variable of every
+/// component is of interest.
+pub fn union_scsp<S, F>(semiring: S, cfg: &UnionScsp, mut level: F) -> Scsp<S>
+where
+    S: Semiring,
+    F: FnMut(&mut StdRng) -> S::Value,
+{
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let band = cfg.band.max(1);
+    let mut p = Scsp::new(semiring.clone());
+    let total = cfg.components * cfg.vars_per_component;
+    for i in 0..total {
+        p.add_domain(var(i), Domain::ints(0..cfg.domain_size as i64));
+    }
+    for c in 0..cfg.components {
+        let base = c * cfg.vars_per_component;
+        for i in 1..cfg.vars_per_component {
+            for j in i.saturating_sub(band)..i {
+                let scope = vec![var(base + j), var(base + i)];
+                let doms = p.domains().clone();
+                let mut entries = Vec::new();
+                for tuple in doms.tuples(&scope).expect("domains declared") {
+                    entries.push((tuple, level(&mut rng)));
+                }
+                let zero = semiring.zero();
+                p.add_constraint(Constraint::table(semiring.clone(), &scope, entries, zero));
+            }
+        }
+    }
+    p.of_interest((0..cfg.components).map(|c| var(c * cfg.vars_per_component)))
+}
+
+/// A weighted structured union with tight tables: roughly a third of
+/// the tuples are forbidden (`∞`), the rest cost `0..=9` — dense
+/// enough in `∞` that the root arc-consistency pass prunes real
+/// domain values, sparse enough that components stay consistent.
+pub fn union_weighted(cfg: &UnionScsp) -> Scsp<WeightedInt> {
+    union_scsp(WeightedInt, cfg, |rng| {
+        if rng.random_ratio(3, 10) {
+            u64::MAX
+        } else {
+            rng.random_range(0..10)
+        }
+    })
+}
+
+/// A single-component banded problem of treewidth at most `band`
+/// (a [`UnionScsp`] with one component).
+pub fn banded_weighted(n: usize, domain_size: usize, band: usize, seed: u64) -> Scsp<WeightedInt> {
+    union_weighted(&UnionScsp {
+        components: 1,
+        vars_per_component: n,
+        domain_size,
+        band,
+        seed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +318,44 @@ mod tests {
         let p = chain_weighted(6, 3, 1);
         assert_eq!(p.constraints().len(), 5);
         assert!(p.constraints().iter().all(|c| c.scope().len() == 2));
+    }
+
+    #[test]
+    fn tree_is_connected_with_width_one() {
+        let p = tree_weighted(7, 3, 5);
+        assert_eq!(p.constraints().len(), 6);
+        assert_eq!(crate::solve::constraint_components(&p).len(), 1);
+    }
+
+    #[test]
+    fn union_splits_into_its_components() {
+        let cfg = UnionScsp {
+            components: 3,
+            vars_per_component: 4,
+            domain_size: 3,
+            band: 2,
+            seed: 9,
+        };
+        let p = union_weighted(&cfg);
+        let comps = crate::solve::constraint_components(&p);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 4));
+        // Deterministic given the seed.
+        assert_eq!(p.blevel().unwrap(), union_weighted(&cfg).blevel().unwrap());
+    }
+
+    #[test]
+    fn banded_respects_the_band() {
+        let p = banded_weighted(5, 3, 2, 3);
+        // Edges (j, i) with i - band <= j < i: 1 + 2 + 2 + 2.
+        assert_eq!(p.constraints().len(), 7);
+        for c in p.constraints() {
+            let idx: Vec<i64> = c
+                .scope()
+                .iter()
+                .map(|v| v.name()[1..].parse().unwrap())
+                .collect();
+            assert!((idx[1] - idx[0]).abs() <= 2);
+        }
     }
 }

@@ -7,8 +7,12 @@ use softsoa_semiring::Semiring;
 
 use crate::compile::CompiledProblem;
 use crate::solve::bucket::MiniBucketBound;
+use crate::solve::decompose::Decomposition;
 use crate::solve::parallel::fan_out;
-use crate::solve::{Solution, SolveError, Solver, SolverConfig, SolverStats};
+use crate::solve::propagate::{PropagationStats, Propagator};
+use crate::solve::{
+    Parallelism, PropagationMode, Solution, SolveError, Solver, SolverConfig, SolverStats,
+};
 use crate::{Assignment, Scsp, Val, Var};
 
 /// Variable-ordering heuristics for [`BranchAndBound`].
@@ -29,6 +33,20 @@ pub enum VarOrder {
     /// depth), then towards the smallest variable name. Computed once
     /// per solve over the problem structure.
     Dynamic,
+    /// Estimate-driven ordering (generalising [`VarOrder::Dynamic`]):
+    /// a root soft arc-consistency pass first tightens per-variable
+    /// candidate estimates, then variables are confirmed one at a
+    /// time in a propose/confirm loop — every unplaced variable
+    /// proposes its surviving candidate count, the smallest estimate
+    /// wins, ties break towards completing the most constraint
+    /// scopes, then towards the smallest name. Values are additionally
+    /// visited best-supported-bound first. Preserves the exact
+    /// `blevel`; the witness is guaranteed *valid* but — unlike the
+    /// other orders — not bit-identical to [`VarOrder::Input`]'s,
+    /// since value reordering changes which equally optimal
+    /// assignment is found first. Requires the compiled engine; the
+    /// lazy path falls back to the input order.
+    Estimate,
 }
 
 /// A depth-first branch-and-bound solver for totally ordered semirings.
@@ -39,6 +57,14 @@ pub enum VarOrder {
 /// `blevel` and one witness assignment; it does **not** build the
 /// solution table (see
 /// [`Solution::solution_constraint`](crate::solve::Solution::solution_constraint)).
+///
+/// Behind the search sits a preprocessing-and-decomposition layer,
+/// on by default (see [`SolverConfig`]): connected components of the
+/// constraint graph solve independently in parallel
+/// ([`SolverConfig::decompose`]), and a soft arc-consistency pass
+/// prunes domain values that cannot appear in any optimal solution
+/// ([`SolverConfig::propagate`]). Both preserve the exact `blevel`
+/// and a valid witness on every semiring.
 ///
 /// # Examples
 ///
@@ -65,7 +91,8 @@ pub struct BranchAndBound {
 
 impl BranchAndBound {
     /// Creates the solver with the given variable ordering and the
-    /// default engine (compiled, automatic thread count).
+    /// default engine (compiled, automatic thread count, root
+    /// propagation, component decomposition).
     pub fn new(order: VarOrder) -> BranchAndBound {
         BranchAndBound {
             order,
@@ -81,7 +108,10 @@ impl BranchAndBound {
     fn order_vars<S: Semiring>(&self, problem: &Scsp<S>) -> Result<Vec<Var>, SolveError> {
         let mut vars = problem.problem_vars();
         match self.order {
-            VarOrder::Input => {}
+            // `Estimate` is resolved inside the compiled engine (it
+            // needs a root propagation pass); elsewhere it degrades
+            // to the input order.
+            VarOrder::Input | VarOrder::Estimate => {}
             VarOrder::SmallestDomain => {
                 let mut keyed: Vec<(usize, Var)> = vars
                     .into_iter()
@@ -139,6 +169,79 @@ impl BranchAndBound {
     }
 }
 
+/// The propose/confirm ordering loop behind [`VarOrder::Estimate`]:
+/// each unplaced variable proposes its post-propagation candidate
+/// count, the smallest is confirmed, ties break towards the variable
+/// completing the most operand scopes given the confirmed prefix,
+/// then towards the smallest name (`vars` is visited in compiled
+/// order, which here is sorted).
+fn estimate_order<S: Semiring>(pre: &CompiledProblem<S>, prop: &Propagator<S>) -> Vec<Var> {
+    let vars = pre.vars();
+    let mut remaining: Vec<usize> = (0..vars.len()).collect();
+    let mut placed = vec![false; vars.len()];
+    let mut out = Vec::with_capacity(vars.len());
+    while !remaining.is_empty() {
+        let mut best = 0;
+        let mut best_key = (usize::MAX, usize::MAX);
+        for (slot, &pos) in remaining.iter().enumerate() {
+            let completes = (0..pre.num_operands())
+                .filter(|&oi| {
+                    let emb = pre.operand_scope(oi);
+                    !emb.is_empty()
+                        && emb.contains(&pos)
+                        && emb.iter().all(|&q| q == pos || placed[q])
+                })
+                .count();
+            let key = (prop.live_count(pos), usize::MAX - completes);
+            if key < best_key {
+                best_key = key;
+                best = slot;
+            }
+        }
+        let pos = remaining.remove(best);
+        placed[pos] = true;
+        out.push(vars[pos].clone());
+    }
+    out
+}
+
+/// Per-depth value visit orders for [`VarOrder::Estimate`]: live
+/// values sorted best root support-bound first, ties towards the
+/// smaller domain index.
+fn value_orders<S: Semiring>(
+    compiled: &CompiledProblem<S>,
+    prop: &Propagator<S>,
+) -> Vec<Vec<usize>> {
+    let semiring = compiled.semiring();
+    (0..compiled.vars().len())
+        .map(|pos| {
+            let bounds: Vec<S::Value> = (0..compiled.sizes()[pos])
+                .map(|d| prop.value_bound(pos, d))
+                .collect();
+            let mut order: Vec<usize> = (0..compiled.sizes()[pos]).collect();
+            order.sort_by(|&a, &b| {
+                semiring
+                    .partial_cmp(&bounds[b], &bounds[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            order
+        })
+        .collect()
+}
+
+/// Node-time pruning state of one search worker.
+enum Pruner<'a, S: Semiring> {
+    /// Blind search ([`PropagationMode::Off`]).
+    Off,
+    /// Shared read-only live masks from the root fixpoint
+    /// ([`PropagationMode::Root`]).
+    Masks(&'a Propagator<'a, S>),
+    /// A private incremental propagator re-run at every node
+    /// ([`PropagationMode::Full`]).
+    Mac(Box<Propagator<'a, S>>),
+}
+
 impl BranchAndBound {
     /// The compiled engine: DFS over domain-index tuples with dense
     /// operand tables, the outermost variable's values split across
@@ -146,7 +249,11 @@ impl BranchAndBound {
     /// when it is *strictly* below the shared bound (safe for any
     /// foreign bound) or when the sequential prune condition holds
     /// against the worker's own incumbent — so the merged result,
-    /// taken in chunk order, reproduces the sequential witness.
+    /// taken in chunk order, reproduces the sequential witness. The
+    /// same strictness discipline governs the soft arc-consistency
+    /// prunes: a domain value is removed only when its best bound is
+    /// `0` or strictly below an achievable floor, which keeps the
+    /// first optimal assignment intact.
     fn solve_compiled<S: Semiring>(
         &self,
         problem: &Scsp<S>,
@@ -154,8 +261,74 @@ impl BranchAndBound {
     ) -> Result<Solution<S>, SolveError> {
         let start = Instant::now();
         let semiring = problem.semiring().clone();
-        let vars = self.order_vars(problem)?;
+        let floor = seed.unwrap_or_else(|| semiring.zero());
+        // Propagation bounds are products re-associated away from the
+        // search's own combination order; comparing them against an
+        // achievable floor is only sound when `×` is exact. On
+        // rounding semirings propagation keeps the zero-prune only.
+        let prop_floor = if semiring.exact_times() {
+            floor.clone()
+        } else {
+            semiring.zero()
+        };
+
+        // `Estimate` orders from a pre-pass: compile in sorted order,
+        // propagate at the root, and run the propose/confirm loop on
+        // the tightened candidate counts.
+        let vars = if self.order == VarOrder::Estimate {
+            let pre = CompiledProblem::with_order(problem, problem.problem_vars())?;
+            let mut pre_prop = Propagator::new(&pre);
+            if !pre_prop.root(&prop_floor) {
+                let stats = SolverStats {
+                    threads: 1,
+                    compile_time: pre.compile_time(),
+                    solve_time: start.elapsed(),
+                    propagation: Some(pre_prop.take_stats()),
+                    ..SolverStats::default()
+                };
+                return Ok(Solution::new(semiring.zero(), Vec::new(), None).with_stats(stats));
+            }
+            estimate_order(&pre, &pre_prop)
+        } else {
+            self.order_vars(problem)?
+        };
         let compiled = CompiledProblem::with_order(problem, vars)?;
+
+        // Root propagation: prune values that cannot reach the floor
+        // (the warm seed when present, `0` otherwise). `Estimate`
+        // needs the pass for its value orders even when the config
+        // says `Off`.
+        let propagate = match self.config.propagate {
+            PropagationMode::Off if self.order == VarOrder::Estimate => PropagationMode::Root,
+            mode => mode,
+        };
+        let mut root_prop = match propagate {
+            PropagationMode::Off => None,
+            _ => Some(Propagator::new(&compiled)),
+        };
+        let mut pstats: Option<PropagationStats> = None;
+        if let Some(prop) = &mut root_prop {
+            let alive = prop.root(&prop_floor);
+            let snapshot = prop.take_stats();
+            if !alive {
+                // Some variable has no value that can reach the
+                // floor: with a cold floor of `0` the problem is
+                // inconsistent, and the blind engine would likewise
+                // report `blevel = 0` with no witness.
+                let stats = SolverStats {
+                    threads: 1,
+                    compile_time: compiled.compile_time(),
+                    solve_time: start.elapsed(),
+                    propagation: Some(snapshot),
+                    ..SolverStats::default()
+                };
+                return Ok(Solution::new(semiring.zero(), Vec::new(), None).with_stats(stats));
+            }
+            pstats = Some(snapshot);
+        }
+        let val_order: Option<Vec<Vec<usize>>> = (self.order == VarOrder::Estimate)
+            .then(|| value_orders(&compiled, root_prop.as_ref().expect("estimate propagated")));
+
         let bound = self
             .config
             .ibound
@@ -164,13 +337,21 @@ impl BranchAndBound {
         // An achievable seed enters the search as a pre-published
         // foreign bound: workers cut branches *strictly* below it, which
         // never touches the first assignment attaining the optimum.
-        let floor = seed.unwrap_or_else(|| semiring.zero());
         let shared: Mutex<S::Value> = Mutex::new(floor.clone());
+        let full = propagate == PropagationMode::Full;
         let workers = fan_out(threads, compiled.outer_size(), |range| {
+            let pruner = match &root_prop {
+                None => Pruner::Off,
+                Some(prop) if full => Pruner::Mac(Box::new(prop.clone())),
+                Some(prop) => Pruner::Masks(prop),
+            };
             let mut worker = BnbWorker {
                 semiring: &semiring,
                 compiled: &compiled,
                 bounds: bound.as_ref().map(|b| b.bounds()),
+                pruner,
+                exact_times: semiring.exact_times(),
+                val_order: val_order.as_deref(),
                 shared: &shared,
                 foreign: floor.clone(),
                 since_refresh: 0,
@@ -184,6 +365,10 @@ impl BranchAndBound {
                 evals: vec![0; compiled.num_operands()],
             };
             worker.run(range);
+            let prop_stats = match worker.pruner {
+                Pruner::Mac(mut prop) => Some(prop.take_stats()),
+                _ => None,
+            };
             (
                 worker.best_value,
                 worker.witness,
@@ -191,6 +376,7 @@ impl BranchAndBound {
                 worker.prunings,
                 worker.bound_prunes,
                 worker.evals,
+                prop_stats,
             )
         });
 
@@ -205,7 +391,7 @@ impl BranchAndBound {
             ..SolverStats::default()
         };
         let mut evals = vec![0u64; compiled.num_operands()];
-        for (value, wit, nodes, prunings, bound_prunes, worker_evals) in workers {
+        for (value, wit, nodes, prunings, bound_prunes, worker_evals, prop_stats) in workers {
             stats.nodes += nodes;
             stats.prunings += prunings;
             stats.bound_prunes += bound_prunes;
@@ -213,12 +399,19 @@ impl BranchAndBound {
             for (acc, e) in evals.iter_mut().zip(&worker_evals) {
                 *acc += e;
             }
+            if let Some(worker_pstats) = prop_stats {
+                match &mut pstats {
+                    Some(acc) => acc.absorb(&worker_pstats),
+                    None => pstats = Some(worker_pstats),
+                }
+            }
             if wit.is_some() && semiring.lt(&best_value, &value) {
                 best_value = value;
                 witness = wit;
             }
         }
         stats.constraint_evals = compiled.eval_stats(&evals);
+        stats.propagation = pstats;
         stats.solve_time = start.elapsed();
 
         let best = match witness {
@@ -297,6 +490,75 @@ impl BranchAndBound {
         };
         Ok(Solution::new(best_value, best, None).with_stats(stats))
     }
+
+    /// Solves each connected component independently (in parallel
+    /// under the configured [`Parallelism`]) and combines the results
+    /// with the semiring product. Returns `Ok(None)` when the problem
+    /// does not split.
+    fn solve_decomposed<S: Semiring>(
+        &self,
+        problem: &Scsp<S>,
+    ) -> Result<Option<Solution<S>>, SolveError> {
+        let Some(dec) = Decomposition::split(problem)? else {
+            return Ok(None);
+        };
+        let start = Instant::now();
+        let semiring = problem.semiring().clone();
+        // Components run on the fan-out, so each inner solve stays
+        // sequential; decomposition itself must not recurse.
+        let inner = BranchAndBound::with_config(
+            self.order,
+            self.config
+                .with_decompose(false)
+                .with_parallelism(Parallelism::Sequential),
+        );
+        let threads = self.config.parallelism.thread_count(dec.parts.len());
+        let results = fan_out(threads, dec.parts.len(), |range| {
+            range
+                .map(|i| inner.solve(&dec.parts[i]))
+                .collect::<Vec<_>>()
+        });
+
+        let mut stats = SolverStats {
+            threads,
+            components: dec.parts.len(),
+            ..SolverStats::default()
+        };
+        let mut blevel = dec.constant.clone();
+        let mut witness = Assignment::new();
+        let mut complete = true;
+        for result in results.into_iter().flatten() {
+            let solution = result?;
+            if let Some(part_stats) = solution.stats() {
+                stats.nodes += part_stats.nodes;
+                stats.prunings += part_stats.prunings;
+                stats.bound_prunes += part_stats.bound_prunes;
+                stats.thread_nodes.push(part_stats.nodes);
+                stats.compile_time += part_stats.compile_time;
+                stats
+                    .constraint_evals
+                    .extend(part_stats.constraint_evals.iter().cloned());
+                if let Some(part_prop) = &part_stats.propagation {
+                    match &mut stats.propagation {
+                        Some(acc) => acc.absorb(part_prop),
+                        None => stats.propagation = Some(part_prop.clone()),
+                    }
+                }
+            }
+            blevel = semiring.times(&blevel, solution.blevel());
+            match solution.best().first() {
+                Some((eta, _)) => witness = witness.merged(eta),
+                None => complete = false,
+            }
+        }
+        stats.solve_time = start.elapsed();
+        let best = if complete && !semiring.is_zero(&blevel) {
+            vec![(witness, blevel.clone())]
+        } else {
+            Vec::new()
+        };
+        Ok(Some(Solution::new(blevel, best, None).with_stats(stats)))
+    }
 }
 
 impl BranchAndBound {
@@ -310,6 +572,10 @@ impl BranchAndBound {
     /// discovering the level itself; `blevel` and witness are identical
     /// to a cold [`solve`](Solver::solve) (property-tested). Seeding an
     /// *unachievable* level is unsound: it can prune every witness.
+    /// A multi-component problem under [`SolverConfig::decompose`]
+    /// ignores the seed (a scalar cannot be split across components)
+    /// and solves cold — same result, the warm speed-up just does not
+    /// apply.
     ///
     /// # Errors
     ///
@@ -321,6 +587,11 @@ impl BranchAndBound {
     ) -> Result<Solution<S>, SolveError> {
         if !problem.semiring().is_total() {
             return Err(SolveError::RequiresTotalOrder);
+        }
+        if self.config.decompose {
+            if let Some(solution) = self.solve_decomposed(problem)? {
+                return Ok(solution);
+            }
         }
         if self.config.compiled {
             self.solve_compiled(problem, Some(seed))
@@ -334,6 +605,11 @@ impl<S: Semiring> Solver<S> for BranchAndBound {
     fn solve(&self, problem: &Scsp<S>) -> Result<Solution<S>, SolveError> {
         if !problem.semiring().is_total() {
             return Err(SolveError::RequiresTotalOrder);
+        }
+        if self.config.decompose {
+            if let Some(solution) = self.solve_decomposed(problem)? {
+                return Ok(solution);
+            }
         }
         if self.config.compiled {
             self.solve_compiled(problem, None)
@@ -353,6 +629,15 @@ struct BnbWorker<'a, S: Semiring> {
     /// Per-depth admissible completion bounds (mini-bucket pass), when
     /// the engine was configured with an `ibound`.
     bounds: Option<&'a [S::Value]>,
+    /// Soft arc-consistency state: root live masks or a private
+    /// incremental propagator.
+    pruner: Pruner<'a, S>,
+    /// Whether `×` re-associates exactly; when it does not, the
+    /// incremental propagator only uses its zero-prune (an inexact
+    /// bound may land an ulp below an achievable floor).
+    exact_times: bool,
+    /// Per-depth value visit order ([`VarOrder::Estimate`] only).
+    val_order: Option<&'a [Vec<usize>]>,
     shared: &'a Mutex<S::Value>,
     /// Local cache of the shared bound.
     foreign: S::Value,
@@ -383,16 +668,68 @@ impl<'a, S: Semiring> BnbWorker<'a, S> {
             }
             return;
         }
-        for i in range {
-            self.idx[0] = i;
-            let value = self.compiled.apply_completed(
-                1,
-                root.clone(),
-                &self.idx,
-                &mut self.scratch,
-                &mut self.evals,
-            );
-            self.dfs(1, value);
+        for slot in range {
+            self.descend(0, slot, &root);
+        }
+    }
+
+    /// The domain index visited at `slot` for the variable at `depth`.
+    fn value_at_slot(&self, depth: usize, slot: usize) -> usize {
+        match self.val_order {
+            Some(orders) => orders[depth][slot],
+            None => slot,
+        }
+    }
+
+    fn is_live(&self, depth: usize, val: usize) -> bool {
+        match &self.pruner {
+            Pruner::Off => true,
+            Pruner::Masks(prop) => prop.is_live(depth, val),
+            Pruner::Mac(prop) => prop.is_live(depth, val),
+        }
+    }
+
+    /// Tries `slot`'s value for the variable at `depth`: skips dead
+    /// values, narrows the incremental propagator (pruning the branch
+    /// on wipeout), and recurses.
+    fn descend(&mut self, depth: usize, slot: usize, value: &S::Value) {
+        let i = self.value_at_slot(depth, slot);
+        if !self.is_live(depth, i) {
+            return;
+        }
+        self.idx[depth] = i;
+        let mut frame_open = false;
+        if let Pruner::Mac(prop) = &mut self.pruner {
+            prop.begin_frame();
+            frame_open = true;
+            let floor = if !self.exact_times {
+                self.semiring.zero()
+            } else if self.witness.is_some() {
+                self.semiring.plus(&self.foreign, &self.best_value)
+            } else {
+                self.foreign.clone()
+            };
+            let Pruner::Mac(prop) = &mut self.pruner else {
+                unreachable!()
+            };
+            if !prop.assign(depth, i, &floor) {
+                self.prunings += 1;
+                prop.undo_frame();
+                return;
+            }
+        }
+        let next = self.compiled.apply_completed(
+            depth + 1,
+            value.clone(),
+            &self.idx,
+            &mut self.scratch,
+            &mut self.evals,
+        );
+        self.dfs(depth + 1, next);
+        if frame_open {
+            if let Pruner::Mac(prop) = &mut self.pruner {
+                prop.undo_frame();
+            }
         }
     }
 
@@ -449,16 +786,8 @@ impl<'a, S: Semiring> BnbWorker<'a, S> {
             self.foreign = shared.clone();
             return;
         }
-        for i in 0..self.compiled.sizes()[depth] {
-            self.idx[depth] = i;
-            let next = self.compiled.apply_completed(
-                depth + 1,
-                value.clone(),
-                &self.idx,
-                &mut self.scratch,
-                &mut self.evals,
-            );
-            self.dfs(depth + 1, next);
+        for slot in 0..self.compiled.sizes()[depth] {
+            self.descend(depth, slot, &value);
         }
     }
 }
@@ -547,6 +876,7 @@ mod tests {
             VarOrder::SmallestDomain,
             VarOrder::MostConstrained,
             VarOrder::Dynamic,
+            VarOrder::Estimate,
         ] {
             let bnb = BranchAndBound::new(order).solve(&p).unwrap();
             assert_eq!(bnb.blevel(), reference.blevel());
@@ -619,6 +949,8 @@ mod tests {
         let stats = sol.stats().unwrap();
         assert!(stats.nodes > 0);
         assert_eq!(stats.constraint_evals.len(), 3);
+        // The default engine runs root propagation and records it.
+        assert!(stats.propagation.is_some());
     }
 
     #[test]
@@ -709,6 +1041,90 @@ mod tests {
                 .unwrap();
             assert_eq!(warm_lazy.blevel(), cold.blevel());
             assert_eq!(warm_lazy.best_assignment(), cold.best_assignment());
+        }
+    }
+
+    #[test]
+    fn propagation_modes_agree_with_blind_search() {
+        use crate::solve::{Parallelism, SolverConfig};
+        for seed in 0..6 {
+            let p = crate::generate::random_weighted(&crate::generate::RandomScsp {
+                vars: 6,
+                domain_size: 3,
+                constraints: 9,
+                arity: 2,
+                seed,
+            });
+            let seq = SolverConfig::default().with_parallelism(Parallelism::Sequential);
+            let blind = BranchAndBound::with_config(
+                VarOrder::Input,
+                seq.with_propagation(PropagationMode::Off),
+            )
+            .solve(&p)
+            .unwrap();
+            for mode in [PropagationMode::Root, PropagationMode::Full] {
+                let propagated =
+                    BranchAndBound::with_config(VarOrder::Input, seq.with_propagation(mode))
+                        .solve(&p)
+                        .unwrap();
+                assert_eq!(propagated.blevel(), blind.blevel(), "seed {seed} {mode:?}");
+                assert_eq!(
+                    propagated.best_assignment(),
+                    blind.best_assignment(),
+                    "propagation must keep the blind witness (seed {seed}, {mode:?})"
+                );
+                assert!(
+                    propagated.stats().unwrap().nodes <= blind.stats().unwrap().nodes,
+                    "propagation must not expand the tree (seed {seed}, {mode:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decomposed_solve_matches_joint_solve() {
+        use crate::solve::{Parallelism, SolverConfig};
+        // Two independent chains plus a constant constraint.
+        let mut p = crate::generate::chain_weighted(4, 3, 7);
+        let q = crate::generate::chain_weighted(4, 3, 9);
+        for v in q.problem_vars() {
+            let renamed = Var::new(format!("y{}", v.name()));
+            p.add_domain(renamed, q.domains().get(&v).unwrap().clone());
+        }
+        for c in q.constraints() {
+            let scope: Vec<Var> = c
+                .scope()
+                .iter()
+                .map(|v| Var::new(format!("y{}", v.name())))
+                .collect();
+            let inner = c.clone();
+            let orig_scope = c.scope().to_vec();
+            p.add_constraint(Constraint::from_fn(WeightedInt, &scope, move |vals| {
+                let _ = &orig_scope;
+                inner.eval_tuple(vals)
+            }));
+        }
+        p.add_constraint(Constraint::constant(WeightedInt, 2));
+        let p = p.of_interest(["x0", "yx0"]);
+
+        let seq = SolverConfig::default().with_parallelism(Parallelism::Sequential);
+        let joint = BranchAndBound::with_config(VarOrder::Input, seq.with_decompose(false))
+            .solve(&p)
+            .unwrap();
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(2)] {
+            let split = BranchAndBound::with_config(
+                VarOrder::Input,
+                seq.with_decompose(true).with_parallelism(parallelism),
+            )
+            .solve(&p)
+            .unwrap();
+            assert_eq!(split.blevel(), joint.blevel());
+            assert_eq!(
+                split.best_assignment(),
+                joint.best_assignment(),
+                "weighted components merge to the joint witness"
+            );
+            assert_eq!(split.stats().unwrap().components, 2);
         }
     }
 }

@@ -1,4 +1,32 @@
-//! Solver execution knobs: parallelism and compiled evaluation.
+//! Solver execution knobs: parallelism, compiled evaluation,
+//! propagation and decomposition.
+
+/// How much soft arc-consistency propagation the compiled
+/// [`BranchAndBound`](crate::solve::BranchAndBound) engine runs.
+///
+/// Propagation maintains, per (operand, variable) revision pair, the
+/// best level any extension of each domain value can reach through
+/// that operand, and prunes values whose combined upper bound is `0`
+/// or strictly below a level already known achievable. Both prune
+/// rules preserve the exact `blevel` and the blind engine's witness
+/// (property-tested in `propagation_properties`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PropagationMode {
+    /// No propagation: the blind search of earlier revisions.
+    Off,
+    /// One fixpoint pass before the search; the surviving domain
+    /// values become the search space. Near-free and never slower
+    /// than blind on anything but trivial problems, so it is the
+    /// default.
+    #[default]
+    Root,
+    /// Root pass plus incremental re-propagation at every search
+    /// node (maintaining arc consistency during descent). Strongest
+    /// pruning, but pays a revision worklist per node — worth it on
+    /// tightly constrained problems, a constant-factor tax on loose
+    /// ones.
+    Full,
+}
 
 /// How many worker threads a solver may use.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,6 +91,19 @@ pub struct SolverConfig {
     /// compiled [`BranchAndBound`](crate::solve::BranchAndBound)
     /// engine consumes this knob.
     pub ibound: Option<usize>,
+    /// Soft arc-consistency level for the compiled
+    /// [`BranchAndBound`](crate::solve::BranchAndBound) engine; the
+    /// lazy path ignores it (like [`ibound`](SolverConfig::ibound)).
+    pub propagate: PropagationMode,
+    /// Whether [`BranchAndBound`](crate::solve::BranchAndBound)
+    /// splits the constraint graph into its connected components and
+    /// solves them independently (in parallel under the
+    /// [`parallelism`](SolverConfig::parallelism) policy), combining
+    /// the per-component results with the semiring product. Exact for
+    /// `blevel` on every semiring; the merged witness is always valid
+    /// and coincides with the blind witness on strictly monotone `×`
+    /// (weighted, probabilistic).
+    pub decompose: bool,
 }
 
 impl Default for SolverConfig {
@@ -71,6 +112,8 @@ impl Default for SolverConfig {
             parallelism: Parallelism::Auto,
             compiled: true,
             ibound: None,
+            propagate: PropagationMode::Root,
+            decompose: true,
         }
     }
 }
@@ -82,6 +125,8 @@ impl SolverConfig {
             parallelism: Parallelism::Sequential,
             compiled: false,
             ibound: None,
+            propagate: PropagationMode::Off,
+            decompose: false,
         }
     }
 
@@ -101,6 +146,19 @@ impl SolverConfig {
     /// disables bound-driven pruning.
     pub fn with_ibound(mut self, ibound: Option<usize>) -> SolverConfig {
         self.ibound = ibound;
+        self
+    }
+
+    /// Sets the propagation level (builder style).
+    pub fn with_propagation(mut self, propagate: PropagationMode) -> SolverConfig {
+        self.propagate = propagate;
+        self
+    }
+
+    /// Enables or disables connected-component decomposition (builder
+    /// style).
+    pub fn with_decompose(mut self, decompose: bool) -> SolverConfig {
+        self.decompose = decompose;
         self
     }
 }
@@ -132,5 +190,19 @@ mod tests {
         let cfg = SolverConfig::reference();
         assert!(!cfg.compiled);
         assert_eq!(cfg.parallelism, Parallelism::Sequential);
+        assert_eq!(cfg.propagate, PropagationMode::Off);
+        assert!(!cfg.decompose);
+    }
+
+    #[test]
+    fn default_config_propagates_and_decomposes() {
+        let cfg = SolverConfig::default();
+        assert_eq!(cfg.propagate, PropagationMode::Root);
+        assert!(cfg.decompose);
+        let off = cfg
+            .with_propagation(PropagationMode::Full)
+            .with_decompose(false);
+        assert_eq!(off.propagate, PropagationMode::Full);
+        assert!(!off.decompose);
     }
 }

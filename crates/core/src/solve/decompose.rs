@@ -1,0 +1,176 @@
+//! Connected-component decomposition of the constraint graph.
+//!
+//! Two variables are connected when some constraint's scope contains
+//! both. Constraints never span components, so the combination `⊗C`
+//! factors as a product over components and
+//! `blevel(P) = k × Π_i blevel(P_i)` where `k` is the product of the
+//! empty-scope (constant) constraints — exact on **every** semiring,
+//! totally or partially ordered. A witness for `P` is the disjoint
+//! union of per-component witnesses; on strictly monotone `×`
+//! (weighted, probabilistic) it is precisely the blind search's
+//! lexicographically first witness, while idempotent `×` (fuzzy) may
+//! admit other equally optimal witnesses and the merged one is only
+//! guaranteed *valid* (it attains the `blevel`).
+//!
+//! Structured instances — the broker's per-provider binding problems
+//! are naturally near-decomposable — drop from exponential in the
+//! total variable count to exponential only in the largest component,
+//! and the components solve in parallel on the existing
+//! [`Parallelism`](crate::solve::Parallelism) fan-out.
+
+use std::collections::BTreeMap;
+
+use softsoa_semiring::Semiring;
+
+use crate::{Scsp, SolveError, Var};
+
+/// The connected components of `problem`'s constraint graph, each a
+/// sorted variable list; components are ordered by their smallest
+/// variable. Isolated variables (constrained by nothing, including
+/// bare `con` variables) form singleton components.
+pub fn constraint_components<S: Semiring>(problem: &Scsp<S>) -> Vec<Vec<Var>> {
+    let vars = problem.problem_vars();
+    let pos: BTreeMap<&Var, usize> = vars.iter().zip(0..).collect();
+    let mut parent: Vec<usize> = (0..vars.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut walk = i;
+        while parent[walk] != root {
+            let next = parent[walk];
+            parent[walk] = root;
+            walk = next;
+        }
+        root
+    }
+    for c in problem.constraints() {
+        let mut scope = c.scope().iter();
+        let Some(first) = scope.next() else { continue };
+        let anchor = find(&mut parent, pos[first]);
+        for v in scope {
+            let root = find(&mut parent, pos[v]);
+            parent[root] = anchor;
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<Var>> = BTreeMap::new();
+    for (i, v) in vars.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(v.clone());
+    }
+    // `vars` is sorted, so each group is sorted; order the groups by
+    // their smallest member for a deterministic component order.
+    let mut components: Vec<Vec<Var>> = groups.into_values().collect();
+    components.sort();
+    components
+}
+
+/// A problem split into independent sub-problems plus the constant
+/// level contributed by empty-scope constraints.
+pub(crate) struct Decomposition<S: Semiring> {
+    pub parts: Vec<Scsp<S>>,
+    pub constant: S::Value,
+}
+
+impl<S: Semiring> Decomposition<S> {
+    /// Splits `problem` along its connected components, or returns
+    /// `None` when there is nothing to split (zero or one component).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::MissingDomain`] if a component variable
+    /// has no declared domain.
+    pub(crate) fn split(problem: &Scsp<S>) -> Result<Option<Decomposition<S>>, SolveError> {
+        let components = constraint_components(problem);
+        if components.len() <= 1 {
+            return Ok(None);
+        }
+        let semiring = problem.semiring();
+        let constant = semiring.product(
+            &problem
+                .constraints()
+                .iter()
+                .filter(|c| c.scope().is_empty())
+                .map(|c| c.eval_tuple(&[]))
+                .collect::<Vec<_>>(),
+        );
+        let mut parts = Vec::with_capacity(components.len());
+        for comp in &components {
+            let mut part = Scsp::new(semiring.clone());
+            for v in comp {
+                part.add_domain(v.clone(), problem.domains().get(v)?.clone());
+            }
+            for c in problem.constraints() {
+                // A non-empty scope lies entirely inside one component.
+                if c.scope().first().is_some_and(|v| comp.contains(v)) {
+                    part.add_constraint(c.clone());
+                }
+            }
+            parts
+                .push(part.of_interest(problem.con().iter().filter(|v| comp.contains(v)).cloned()));
+        }
+        Ok(Some(Decomposition { parts, constant }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constraint, Domain};
+    use softsoa_semiring::WeightedInt;
+
+    fn two_component_problem() -> Scsp<WeightedInt> {
+        Scsp::new(WeightedInt)
+            .with_domain("a", Domain::ints(0..=1))
+            .with_domain("b", Domain::ints(0..=1))
+            .with_domain("c", Domain::ints(0..=1))
+            .with_domain("d", Domain::ints(0..=1))
+            .with_constraint(Constraint::binary(WeightedInt, "a", "b", |x, y| {
+                (x.as_int().unwrap() + y.as_int().unwrap()) as u64
+            }))
+            .with_constraint(Constraint::binary(WeightedInt, "c", "d", |x, y| {
+                (2 * x.as_int().unwrap() + y.as_int().unwrap()) as u64
+            }))
+            .with_constraint(Constraint::constant(WeightedInt, 3))
+            .of_interest(["a", "c"])
+    }
+
+    #[test]
+    fn components_partition_the_variables() {
+        let p = two_component_problem();
+        let comps = constraint_components(&p);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], crate::vars(["a", "b"]));
+        assert_eq!(comps[1], crate::vars(["c", "d"]));
+    }
+
+    #[test]
+    fn isolated_variables_are_singleton_components() {
+        let p = Scsp::new(WeightedInt)
+            .with_domain("x", Domain::ints(0..=1))
+            .with_domain("y", Domain::ints(0..=1))
+            .of_interest(["x", "y"]);
+        let comps = constraint_components(&p);
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn split_carries_constants_and_interest() {
+        let p = two_component_problem();
+        let dec = Decomposition::split(&p).unwrap().unwrap();
+        assert_eq!(dec.constant, 3);
+        assert_eq!(dec.parts.len(), 2);
+        assert_eq!(dec.parts[0].con(), crate::vars(["a"]).as_slice());
+        assert_eq!(dec.parts[1].con(), crate::vars(["c"]).as_slice());
+        // The constant constraint belongs to neither part.
+        assert_eq!(dec.parts[0].constraints().len(), 1);
+        assert_eq!(dec.parts[1].constraints().len(), 1);
+    }
+
+    #[test]
+    fn connected_problems_do_not_split() {
+        let p = crate::testutil::fig1_problem();
+        assert!(Decomposition::split(&p).unwrap().is_none());
+    }
+}

@@ -27,18 +27,22 @@
 mod branch_bound;
 mod bucket;
 mod config;
+mod decompose;
 mod enumeration;
 pub(crate) mod parallel;
 mod pareto;
 mod preprocess;
+mod propagate;
 mod stats;
 
 pub use branch_bound::{BranchAndBound, VarOrder};
 pub use bucket::{BucketElimination, EliminationOrder, MiniBucketBound};
-pub use config::{Parallelism, SolverConfig};
+pub use config::{Parallelism, PropagationMode, SolverConfig};
+pub use decompose::constraint_components;
 pub use enumeration::EnumerationSolver;
 pub use pareto::ParetoBranchAndBound;
 pub use preprocess::{add_unary_projections, prune_zero_supports, PruneReport};
+pub use propagate::{PerConstraintStats, PropagationStats};
 pub use stats::{ConstraintEvalStats, SolverStats};
 
 use std::fmt;

@@ -5,6 +5,8 @@ use std::time::Duration;
 
 use softsoa_telemetry::Telemetry;
 
+use crate::solve::propagate::PropagationStats;
+
 /// Per-operand evaluation counters collected by the compiled engine.
 ///
 /// One entry per `⊗`-operand of the compiled problem (combine DAGs are
@@ -56,6 +58,15 @@ pub struct SolverStats {
     pub solve_time: Duration,
     /// Per-operand evaluation counters (compiled paths only).
     pub constraint_evals: Vec<ConstraintEvalStats>,
+    /// Soft arc-consistency counters, when the run propagated
+    /// ([`SolverConfig::propagate`](crate::solve::SolverConfig::propagate)
+    /// not `Off`, or [`VarOrder::Estimate`](crate::solve::VarOrder)).
+    pub propagation: Option<PropagationStats>,
+    /// Connected components solved independently; `0` when the run
+    /// did not decompose (single component or
+    /// [`SolverConfig::decompose`](crate::solve::SolverConfig::decompose)
+    /// off).
+    pub components: usize,
 }
 
 impl SolverStats {
@@ -88,6 +99,20 @@ impl SolverStats {
         for c in &self.constraint_evals {
             telemetry.count_labeled("solve.constraint_evals", &c.label, c.evals);
         }
+        if self.components > 1 {
+            telemetry.gauge("solver.components", self.components as i64);
+        }
+        if let Some(p) = &self.propagation {
+            telemetry.count("solver.propagation.revisions", p.revisions);
+            telemetry.count("solver.propagation.root_prunes", p.root_prunes);
+            telemetry.count("solver.propagation.node_prunes", p.node_prunes);
+            telemetry.count("solver.propagation.wipeouts", p.wipeouts);
+            for c in &p.per_constraint {
+                telemetry.count_labeled("solver.propagation.revisions", &c.label, c.revisions);
+                telemetry.count_labeled("solver.propagation.prunes", &c.label, c.prunes);
+            }
+            telemetry.timing("solver.propagation.time", p.time);
+        }
         telemetry.timing("solve.compile_time", self.compile_time);
         telemetry.timing(
             "solve.search_time",
@@ -109,6 +134,23 @@ impl fmt::Display for SolverStats {
             self.compile_time,
             self.solve_time
         )?;
+        if self.components > 1 {
+            write!(f, "\n  components: {}", self.components)?;
+        }
+        if let Some(p) = &self.propagation {
+            write!(
+                f,
+                "\n  propagation: {} revisions, {} root prunes, {} node prunes, {} wipeouts, {:?}",
+                p.revisions, p.root_prunes, p.node_prunes, p.wipeouts, p.time
+            )?;
+            for c in &p.per_constraint {
+                write!(
+                    f,
+                    "\n    {}: {} revisions, {} prunes",
+                    c.label, c.revisions, c.prunes
+                )?;
+            }
+        }
         for c in &self.constraint_evals {
             write!(f, "\n  {}: {} evals", c.label, c.evals)?;
             if c.dense_cells > 0 {

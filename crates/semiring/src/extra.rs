@@ -123,6 +123,12 @@ impl Semiring for Lukasiewicz {
         Unit::clamped(a.get() + b.get() - 1.0)
     }
 
+    // Clamped floating-point addition is neither exact nor
+    // re-association-stable.
+    fn exact_times(&self) -> bool {
+        false
+    }
+
     fn leq(&self, a: &Unit, b: &Unit) -> bool {
         a <= b
     }

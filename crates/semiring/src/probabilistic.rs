@@ -57,6 +57,12 @@ impl Semiring for Probabilistic {
         a.mul(*b)
     }
 
+    // Floating-point multiplication rounds, so re-associating a
+    // product can drift by an ulp.
+    fn exact_times(&self) -> bool {
+        false
+    }
+
     fn leq(&self, a: &Unit, b: &Unit) -> bool {
         a <= b
     }

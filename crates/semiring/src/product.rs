@@ -73,6 +73,10 @@ impl<S1: Semiring, S2: Semiring> Semiring for Product<S1, S2> {
         (self.first.times(&a.0, &b.0), self.second.times(&a.1, &b.1))
     }
 
+    fn exact_times(&self) -> bool {
+        self.first.exact_times() && self.second.exact_times()
+    }
+
     fn is_total(&self) -> bool {
         false
     }

@@ -116,6 +116,17 @@ pub trait Semiring: Clone + fmt::Debug + PartialEq + Send + Sync + 'static {
             .fold(self.one(), |acc, v| self.times(&acc, v))
     }
 
+    /// `true` iff `×` is *exactly* associative on the value
+    /// representation — re-associating a product can never change the
+    /// result by even an ulp. Engines that compare a recombined
+    /// product (e.g. a propagation bound) against a level computed in
+    /// a different association rely on this; semirings whose `×`
+    /// rounds (floating-point multiplication) must return `false`,
+    /// and such engines then fall back to rounding-proof rules.
+    fn exact_times(&self) -> bool {
+        true
+    }
+
     /// `true` iff `v` is the bottom element `0`.
     fn is_zero(&self, v: &Self::Value) -> bool {
         *v == self.zero()

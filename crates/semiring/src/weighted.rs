@@ -206,6 +206,12 @@ impl Semiring for Weighted {
         *a + *b
     }
 
+    // Floating-point addition rounds, so re-associating a combined
+    // cost can drift by an ulp.
+    fn exact_times(&self) -> bool {
+        false
+    }
+
     fn leq(&self, a: &Weight, b: &Weight) -> bool {
         // a ≤S b ⇔ min(a, b) = b ⇔ b ≥num ... ⇔ a ≥num b.
         a >= b

@@ -170,6 +170,7 @@ pub struct Broker<S: Semiring> {
     registry: Registry,
     pub(crate) telemetry: Telemetry,
     pub(crate) cache: SolveCache,
+    solver: SolverConfig,
 }
 
 /// A cross-round cache of binding-solve witnesses.
@@ -249,7 +250,21 @@ impl<S: Residuated> Broker<S> {
             registry,
             telemetry: Telemetry::disabled(),
             cache: SolveCache::default(),
+            // Binding problems are tiny: sequential search wins, and
+            // the default root propagation / decomposition are no-ops
+            // on a single variable.
+            solver: SolverConfig::default().with_parallelism(Parallelism::Sequential),
         }
+    }
+
+    /// Overrides the engine configuration used for binding solves
+    /// (propagation mode, decomposition, parallelism, bounds). Any
+    /// configuration yields the same agreed levels; this is a
+    /// performance knob surfaced to the CLI's `--propagate` and
+    /// `--decompose` flags.
+    pub fn with_solver_config(mut self, solver: SolverConfig) -> Broker<S> {
+        self.solver = solver;
+        self
     }
 
     /// Attaches a telemetry handle: per-provider session latency and
@@ -513,13 +528,12 @@ impl<S: Residuated> Broker<S> {
                 .contains(&witness)
                 .then(|| sigma.eval(&Assignment::new().bind(variable.clone(), witness)))
         });
-        // A tiny problem: sequential branch-and-bound in input order
-        // reproduces the reference solver's lexicographically first
-        // best binding, witness-exactly, warm or cold.
-        let solver = BranchAndBound::with_config(
-            VarOrder::Input,
-            SolverConfig::default().with_parallelism(Parallelism::Sequential),
-        );
+        // Branch-and-bound in input order reproduces the reference
+        // solver's lexicographically first best binding,
+        // witness-exactly, warm or cold, under every engine
+        // configuration (single-variable problems have one component
+        // and propagation preserves the first witness).
+        let solver = BranchAndBound::with_config(VarOrder::Input, self.solver);
         let solution = match seed {
             Some(level) if !self.semiring.is_zero(&level) => {
                 self.telemetry.incr("solver.warm_hits");

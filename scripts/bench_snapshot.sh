@@ -5,23 +5,24 @@
 #
 #   scripts/bench_snapshot.sh [out.json]
 #
-# Runs the `bounded_vs_blind` and `bell_vs_dp` criterion groups and
-# parses the harness report lines, e.g.
+# Runs the `bounded_vs_blind`, `bell_vs_dp` and `propagation_vs_blind`
+# criterion groups and parses the harness report lines, e.g.
 #
 #   bell_vs_dp/subset_dp/13    median  5.16 ms  min  4.79 ms  mean  5.13 ms  (1 iters/sample)
 #
 # into {"median_ns": ..., "min_ns": ..., "mean_ns": ...} records. The
-# default output name, BENCH_5.json, is the committed snapshot for the
-# bounds/warm-start/coalition-DP change; CI regenerates it as an
+# default output name, BENCH_6.json, is the committed snapshot for the
+# propagation/decomposition change (BENCH_5.json was the
+# bounds/warm-start/coalition-DP one); CI regenerates it as an
 # artifact on every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-for bench in bounded_vs_blind bell_vs_dp; do
+for bench in bounded_vs_blind bell_vs_dp propagation_vs_blind; do
     cargo bench -p softsoa-bench --bench "$bench" | tee -a "$raw"
 done
 
