@@ -1,0 +1,103 @@
+//! E17 — incremental re-solve vs from-scratch search under registry
+//! churn.
+//!
+//! The churn family (`softsoa_bench::churn`) hits a registry of many
+//! independent 2-variable clusters with join / leave / QoS-update
+//! events; every event dirties exactly one cluster. The incremental
+//! engine re-searches that one component and pulls the rest out of its
+//! component cache, while the cold baseline re-solves the whole
+//! registry after every event — same deltas, same blevels, asserted
+//! below before anything is timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use softsoa_bench::churn::{
+    apply, build, churn_events, run_cold, run_incremental, run_warm, ChurnWorkload,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn shapes() -> [ChurnWorkload; 2] {
+    [
+        ChurnWorkload {
+            clusters: 12,
+            domain_size: 8,
+            events: 32,
+            seed: 7,
+        },
+        ChurnWorkload::default_shape(),
+    ]
+}
+
+fn report_row() {
+    println!(
+        "--- E17 / registry churn (shape: incremental == cold, one component re-searched) ---"
+    );
+    for w in shapes() {
+        let (incremental, stats) = run_incremental(&w);
+        let cold = run_cold(&w);
+        let warm = run_warm(&w);
+        assert_eq!(
+            incremental, cold,
+            "incremental and from-scratch blevels diverged at {w:?}"
+        );
+        assert_eq!(
+            incremental, warm,
+            "incremental and warm-seeded blevels diverged at {w:?}"
+        );
+        // Every post-event solve sees `clusters` components and should
+        // re-search only the one the event dirtied.
+        assert!(
+            stats.components_reused > stats.components_resolved,
+            "churn should mostly reuse cached components: {stats:?}"
+        );
+
+        // Per-event latency of the steady-state incremental loop.
+        let events = churn_events(&w);
+        let (mut solver, mut handles) = build(&w);
+        solver.solve().unwrap();
+        let mut micros: Vec<u128> = events
+            .iter()
+            .map(|event| {
+                let start = Instant::now();
+                apply(&mut solver, &mut handles, event);
+                black_box(solver.solve().unwrap());
+                start.elapsed().as_micros()
+            })
+            .collect();
+        micros.sort_unstable();
+        let p50 = micros[micros.len() / 2];
+        let p99 = micros[(micros.len() * 99 / 100).min(micros.len() - 1)];
+        println!(
+            "measured: clusters={:>2} events={:>2}  per-event p50 {p50} µs  p99 {p99} µs  \
+             reuse ratio {:.3}",
+            w.clusters,
+            w.events,
+            stats.reuse_ratio()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_row();
+    let mut group = c.benchmark_group("churn_incremental");
+    for w in shapes() {
+        let id = format!("{}x{}", w.clusters, w.events);
+        group.bench_with_input(BenchmarkId::new("incremental", &id), &w, |b, w| {
+            b.iter(|| run_incremental(black_box(w)))
+        });
+        group.bench_with_input(BenchmarkId::new("warm", &id), &w, |b, w| {
+            b.iter(|| run_warm(black_box(w)))
+        });
+        group.bench_with_input(BenchmarkId::new("cold", &id), &w, |b, w| {
+            b.iter(|| run_cold(black_box(w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

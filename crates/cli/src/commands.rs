@@ -164,6 +164,11 @@ pub struct EngineOptions {
     /// Solve independent constraint-graph components separately
     /// (`--decompose` / `--no-decompose`).
     pub decompose: Option<bool>,
+    /// Route broker binding solves through the persistent incremental
+    /// re-solve engine (`--incremental`); work avoided is reported on
+    /// the `solver.incremental.*` telemetry family. `solve` and
+    /// `coalitions` runs (one-shot problems) ignore it.
+    pub incremental: bool,
 }
 
 impl EngineOptions {
@@ -839,6 +844,7 @@ where
     let (telemetry, recorder) = metrics_recorder(metrics);
     let broker = Broker::new(semiring.clone(), registry)
         .with_telemetry(telemetry)
+        .with_incremental(engine.incremental)
         .with_solver_config(
             engine.apply(SolverConfig::default().with_parallelism(Parallelism::Sequential)),
         );
@@ -1282,6 +1288,7 @@ mod tests {
                 engine: EngineOptions {
                     propagate: Some(PropagationMode::Off),
                     decompose: Some(false),
+                    incremental: false,
                 },
                 ..SolveOptions::default()
             },
@@ -1301,6 +1308,7 @@ mod tests {
                         engine: EngineOptions {
                             propagate,
                             decompose,
+                            incremental: false,
                         },
                         ..SolveOptions::default()
                     };
@@ -1339,6 +1347,7 @@ mod tests {
                 engine: EngineOptions {
                     propagate: Some(PropagationMode::Off),
                     decompose: None,
+                    incremental: false,
                 },
                 ..SolveOptions::default()
             },
@@ -1638,10 +1647,17 @@ mod tests {
             EngineOptions {
                 propagate: Some(PropagationMode::Off),
                 decompose: Some(false),
+                incremental: false,
             },
             EngineOptions {
                 propagate: Some(PropagationMode::Full),
                 decompose: Some(true),
+                incremental: false,
+            },
+            EngineOptions {
+                propagate: None,
+                decompose: None,
+                incremental: true,
             },
         ] {
             let report = negotiate_with_options(&broker_doc(), None, engine).unwrap();
@@ -1760,6 +1776,7 @@ mod tests {
             EngineOptions {
                 propagate: Some(PropagationMode::Off),
                 decompose: Some(false),
+                incremental: false,
             },
         ] {
             let scsp = coalitions_with_options(&doc("scsp"), None, engine).unwrap();

@@ -18,6 +18,7 @@ USAGE:
                   [--propagate[=off|root|full]] [--decompose|--no-decompose]
     softsoa negotiate <scenario.json> [--metrics[=json|pretty]]
                   [--propagate[=off|root|full]] [--decompose|--no-decompose]
+                  [--incremental]
                   [--chaos-seed <n>] [--chaos-rate <p>] [--chaos-horizon <n>]
                   [--chaos-retries <n>] [--chaos-deadline <n>] [--chaos-backoff <n>]
     softsoa explore <scenario.json>
@@ -42,6 +43,13 @@ independent constraint-graph components separately (default on). Both
 preserve the reported blevel and yield an equally best witness; they
 steer bnb solves, broker bindings, and the coalitions `scsp`
 algorithm.
+
+--incremental routes broker binding solves through the persistent
+incremental re-solve engine: binding problems are kept alive across
+negotiation rounds as constraint deltas, clean components are reused
+and the previous optimum seeds the new search. Agreements are
+unchanged; `--metrics` exposes the solver.incremental.* counters
+(deltas applied, components re-searched, reuse ratio).
 
 Document formats are described in the softsoa-cli crate docs.";
 
@@ -73,6 +81,7 @@ fn parse_engine_flag<'a>(
         match flag {
             "--decompose" => engine.decompose = Some(true),
             "--no-decompose" => engine.decompose = Some(false),
+            "--incremental" => engine.incremental = true,
             _ => return None,
         }
         return Some(Ok(()));

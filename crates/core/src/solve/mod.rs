@@ -19,6 +19,10 @@
 //!   the total number of variables.
 //! - [`ParetoBranchAndBound`] — frontier-bounded search for *partially
 //!   ordered* semirings (multi-criteria Pareto optimisation).
+//! - [`IncrementalSolver`] — a persistent solver accepting
+//!   add/retract/update constraint deltas that re-searches only the
+//!   connected components a delta touched, replaying clean components
+//!   from a shared cache.
 //!
 //! Plus two equivalence-preserving preprocessing passes:
 //! [`prune_zero_supports`] (semiring arc consistency, any semiring)
@@ -29,6 +33,7 @@ mod bucket;
 mod config;
 mod decompose;
 mod enumeration;
+mod incremental;
 pub(crate) mod parallel;
 mod pareto;
 mod preprocess;
@@ -40,6 +45,7 @@ pub use bucket::{BucketElimination, EliminationOrder, MiniBucketBound};
 pub use config::{Parallelism, PropagationMode, SolverConfig};
 pub use decompose::constraint_components;
 pub use enumeration::EnumerationSolver;
+pub use incremental::{ConstraintId, IncrementalSolver, IncrementalStats};
 pub use pareto::ParetoBranchAndBound;
 pub use preprocess::{add_unary_projections, prune_zero_supports, PruneReport};
 pub use propagate::{PerConstraintStats, PropagationStats};

@@ -15,9 +15,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Mutex};
 
-use softsoa_core::solve::{BranchAndBound, Parallelism, Solution, Solver, SolverConfig, VarOrder};
+use softsoa_core::solve::{
+    BranchAndBound, ConstraintId, IncrementalSolver, Parallelism, Solution, Solver, SolverConfig,
+    VarOrder,
+};
 use softsoa_core::{Assignment, Constraint, Domain, Domains, Scsp, SolveError, Val, Var};
 use softsoa_nmsccp::{Agent, Interpreter, Interval, Outcome, Program, SemanticsError, Store};
 use softsoa_semiring::{Residuated, Semiring};
@@ -167,10 +171,109 @@ impl From<SolveError> for NegotiationError {
 #[derive(Debug, Clone)]
 pub struct Broker<S: Semiring> {
     semiring: S,
-    registry: Registry,
+    registry: EpochRegistry,
     pub(crate) telemetry: Telemetry,
     pub(crate) cache: SolveCache,
     solver: SolverConfig,
+    incremental: bool,
+    /// One persistent incremental solver per binding problem shape
+    /// (negotiation variable + domain), shared across clones.
+    binding_solvers: BindingSolvers<S>,
+}
+
+/// Persistent per-binding-shape incremental solvers, keyed by the
+/// negotiation variable and its domain, shared across broker clones.
+type BindingSolvers<S> = Arc<Mutex<HashMap<(Var, Vec<Val>), (IncrementalSolver<S>, ConstraintId)>>>;
+
+/// Epoch-versioned registry storage: the registry lives behind an
+/// [`Arc`] swapped out wholesale on every write, so readers take a
+/// cheap [`RegistrySnapshot`] (an `Arc` clone under a momentary lock)
+/// and never block on — or observe a partial state from — a writer.
+/// Each write bumps the epoch; [`SolveCache`] entries are stamped with
+/// the epoch they were computed under so eviction can prefer stale
+/// rounds.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EpochRegistry {
+    shared: Arc<Mutex<(u64, Arc<Registry>)>>,
+}
+
+impl EpochRegistry {
+    fn new(registry: Registry) -> EpochRegistry {
+        EpochRegistry {
+            shared: Arc::new(Mutex::new((0, Arc::new(registry)))),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> RegistrySnapshot {
+        let guard = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        RegistrySnapshot {
+            epoch: guard.0,
+            registry: Arc::clone(&guard.1),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.shared.lock().unwrap_or_else(|e| e.into_inner()).0
+    }
+}
+
+/// A read-only view of the registry at one epoch. Derefs to
+/// [`Registry`], so discovery and lookups read as before; the snapshot
+/// stays consistent even while writers publish new epochs.
+#[derive(Debug)]
+pub struct RegistrySnapshot {
+    epoch: u64,
+    registry: Arc<Registry>,
+}
+
+impl RegistrySnapshot {
+    /// The epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Deref for RegistrySnapshot {
+    type Target = Registry;
+
+    fn deref(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// A write guard over the registry: mutations stage on a private copy
+/// and are published atomically — with an epoch bump — when the guard
+/// drops. Readers holding a [`RegistrySnapshot`] are unaffected.
+#[derive(Debug)]
+pub struct RegistryWriter<'a> {
+    owner: &'a EpochRegistry,
+    staged: Option<Registry>,
+    telemetry: Telemetry,
+}
+
+impl Deref for RegistryWriter<'_> {
+    type Target = Registry;
+
+    fn deref(&self) -> &Registry {
+        self.staged.as_ref().expect("staged registry present")
+    }
+}
+
+impl DerefMut for RegistryWriter<'_> {
+    fn deref_mut(&mut self) -> &mut Registry {
+        self.staged.as_mut().expect("staged registry present")
+    }
+}
+
+impl Drop for RegistryWriter<'_> {
+    fn drop(&mut self) {
+        let staged = self.staged.take().expect("staged registry present");
+        let mut guard = self.owner.shared.lock().unwrap_or_else(|e| e.into_inner());
+        guard.0 += 1;
+        guard.1 = Arc::new(staged);
+        self.telemetry
+            .gauge("broker.registry.epoch", guard.0 as i64);
+    }
 }
 
 /// A cross-round cache of binding-solve witnesses.
@@ -187,25 +290,92 @@ pub struct Broker<S: Semiring> {
 ///
 /// Clones share the underlying table, so a cloned [`Broker`] keeps
 /// benefiting from (and feeding) the same cache.
-#[derive(Debug, Clone, Default)]
+/// The table is bounded: each entry carries the registry epoch it was
+/// computed under and a last-use stamp, and at capacity (default
+/// [`DEFAULT_BINDING_CACHE_CAPACITY`], tunable via
+/// [`Broker::with_cache_capacity`]) the entry from the stalest epoch —
+/// least recently used within it — is evicted. A sustained churn
+/// stream therefore keeps memory flat instead of growing one entry per
+/// store shape ever seen.
+#[derive(Debug, Clone)]
 pub(crate) struct SolveCache {
-    entries: Arc<Mutex<HashMap<u64, Val>>>,
+    inner: Arc<Mutex<SolveCacheInner>>,
+}
+
+#[derive(Debug)]
+struct SolveCacheInner {
+    entries: HashMap<u64, CacheEntry>,
+    stamp: u64,
+    capacity: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    witness: Val,
+    epoch: u64,
+    stamp: u64,
+}
+
+/// Default bound on cached binding witnesses.
+pub(crate) const DEFAULT_BINDING_CACHE_CAPACITY: usize = 1024;
+
+impl Default for SolveCache {
+    fn default() -> SolveCache {
+        SolveCache::with_capacity(DEFAULT_BINDING_CACHE_CAPACITY)
+    }
 }
 
 impl SolveCache {
-    fn lookup(&self, key: u64) -> Option<Val> {
-        self.entries
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-            .cloned()
+    fn with_capacity(capacity: usize) -> SolveCache {
+        SolveCache {
+            inner: Arc::new(Mutex::new(SolveCacheInner {
+                entries: HashMap::new(),
+                stamp: 0,
+                capacity: capacity.max(1),
+            })),
+        }
     }
 
-    fn store(&self, key: u64, witness: Val) {
-        self.entries
+    fn lookup(&self, key: u64) -> Option<Val> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        let entry = inner.entries.get_mut(&key)?;
+        entry.stamp = stamp;
+        Some(entry.witness.clone())
+    }
+
+    fn store(&self, key: u64, witness: Val, epoch: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if inner.entries.len() >= inner.capacity && !inner.entries.contains_key(&key) {
+            // Evict from the stalest epoch first, LRU within it.
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| (e.epoch, e.stamp))
+                .map(|(k, _)| *k)
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner.entries.insert(
+            key,
+            CacheEntry {
+                witness,
+                epoch,
+                stamp,
+            },
+        );
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(key, witness);
+            .entries
+            .len()
     }
 }
 
@@ -247,14 +417,35 @@ impl<S: Residuated> Broker<S> {
     pub fn new(semiring: S, registry: Registry) -> Broker<S> {
         Broker {
             semiring,
-            registry,
+            registry: EpochRegistry::new(registry),
             telemetry: Telemetry::disabled(),
             cache: SolveCache::default(),
             // Binding problems are tiny: sequential search wins, and
             // the default root propagation / decomposition are no-ops
             // on a single variable.
             solver: SolverConfig::default().with_parallelism(Parallelism::Sequential),
+            incremental: false,
+            binding_solvers: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Routes binding solves through persistent per-problem
+    /// [`IncrementalSolver`]s: each negotiation round applies the
+    /// agreed store as an `update` delta instead of building a fresh
+    /// problem, re-searching only when the policy actually changed and
+    /// warm-starting from the previous round's optimum. Identical
+    /// agreed levels and bindings; work avoided is reported on the
+    /// `solver.incremental.*` telemetry family.
+    pub fn with_incremental(mut self, incremental: bool) -> Broker<S> {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Bounds the binding-witness cache (entries, not bytes). Existing
+    /// entries are kept; the bound applies from the next insertion.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Broker<S> {
+        self.cache = SolveCache::with_capacity(capacity);
+        self
     }
 
     /// Overrides the engine configuration used for binding solves
@@ -280,14 +471,23 @@ impl<S: Residuated> Broker<S> {
         &self.semiring
     }
 
-    /// The broker's registry.
-    pub fn registry(&self) -> &Registry {
-        &self.registry
+    /// A consistent snapshot of the broker's registry at the current
+    /// epoch. Snapshots never block writers (and vice versa); cloned
+    /// brokers share the registry and see each other's epochs.
+    pub fn registry(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
     }
 
-    /// Mutable access to the registry (to publish or deregister).
-    pub fn registry_mut(&mut self) -> &mut Registry {
-        &mut self.registry
+    /// Write access to the registry (to publish or deregister).
+    /// Mutations stage privately and publish atomically — bumping the
+    /// registry epoch — when the returned guard drops.
+    pub fn registry_mut(&mut self) -> RegistryWriter<'_> {
+        let staged = (*self.registry.snapshot().registry).clone();
+        RegistryWriter {
+            owner: &self.registry,
+            staged: Some(staged),
+            telemetry: self.telemetry.clone(),
+        }
     }
 
     /// Negotiates a binding for the request, returning the best
@@ -343,7 +543,13 @@ impl<S: Residuated> Broker<S> {
     where
         F: Fn(&QosOffer) -> Constraint<S>,
     {
-        let candidates = self.registry.discover(&request.capability);
+        // One snapshot per negotiation: every provider in this round is
+        // discovered and negotiated against the same registry epoch,
+        // even if writers publish mid-round.
+        let registry = self.registry.snapshot();
+        self.telemetry
+            .gauge("broker.registry.epoch", registry.epoch() as i64);
+        let candidates = registry.discover(&request.capability);
         if candidates.is_empty() {
             return Err(NegotiationError::NoProvider(request.capability.clone()));
         }
@@ -508,6 +714,9 @@ impl<S: Residuated> Broker<S> {
         domain: &Domain,
         sigma: &Constraint<S>,
     ) -> Result<Solution<S>, SolveError> {
+        if self.incremental && self.semiring.is_total() {
+            return self.solve_binding_incremental(variable, domain, sigma);
+        }
         let problem = Scsp::new(self.semiring.clone())
             .with_domain(variable.clone(), domain.clone())
             .with_constraint(sigma.clone())
@@ -546,9 +755,68 @@ impl<S: Residuated> Broker<S> {
         }
         if let Some((eta, _)) = solution.best().first() {
             if let Some(val) = eta.get(variable) {
-                self.cache.store(key, val.clone());
+                self.cache.store(key, val.clone(), self.registry.epoch());
+                self.telemetry
+                    .gauge("broker.cache.entries", self.cache.len() as i64);
             }
         }
+        Ok(solution)
+    }
+
+    /// The `--incremental` binding path: a persistent
+    /// [`IncrementalSolver`] per `(variable, domain)` shape receives
+    /// the agreed store as an `update_constraint` delta and re-solves
+    /// only what the delta dirtied, warm-starting from the previous
+    /// round's witness. Same `blevel` and first-best binding as the
+    /// from-scratch path (the differential harness in
+    /// `tests/incremental_properties.rs` pins this).
+    fn solve_binding_incremental(
+        &self,
+        variable: &Var,
+        domain: &Domain,
+        sigma: &Constraint<S>,
+    ) -> Result<Solution<S>, SolveError> {
+        let key = (variable.clone(), domain.values().to_vec());
+        let mut solvers = self
+            .binding_solvers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match solvers.get_mut(&key) {
+            Some((solver, id)) => {
+                solver.update_constraint(*id, sigma.clone());
+            }
+            None => {
+                let mut solver = IncrementalSolver::new(self.semiring.clone())
+                    .with_domain(variable.clone(), domain.clone())
+                    .of_interest([variable.clone()])
+                    .with_config(VarOrder::Input, self.solver);
+                let id = solver.add_constraint(sigma.clone());
+                solvers.insert(key.clone(), (solver, id));
+            }
+        }
+        let (solver, _) = solvers.get_mut(&key).expect("binding solver present");
+        let before = solver.stats().clone();
+        let solution = solver.solve()?;
+        let after = solver.stats().clone();
+        self.telemetry.incr("solver.incremental.solves");
+        self.telemetry
+            .count("solver.incremental.deltas", after.deltas - before.deltas);
+        self.telemetry.count(
+            "solver.incremental.components_resolved",
+            after.components_resolved - before.components_resolved,
+        );
+        self.telemetry.count(
+            "solver.incremental.components_reused",
+            after.components_reused - before.components_reused,
+        );
+        self.telemetry.count(
+            "solver.incremental.warm_seeds",
+            after.warm_seeds - before.warm_seeds,
+        );
+        self.telemetry.gauge(
+            "solver.incremental.reuse_ratio_permille",
+            (after.reuse_ratio() * 1000.0) as i64,
+        );
         Ok(solution)
     }
 }
@@ -831,6 +1099,87 @@ mod tests {
             assert_eq!(a.agreed_level, b.agreed_level);
             assert_eq!(a.binding, b.binding);
         }
+    }
+
+    #[test]
+    fn solve_cache_stays_bounded_under_churn() {
+        // Regression: the binding cache used to be an unbounded
+        // HashMap; a churning registry (every provider reshaping its
+        // policy each round) grew it one entry per store shape ever
+        // seen. It must stay at its capacity.
+        let mut registry = Registry::new();
+        registry.publish(fuzzy_provider("svc-1", vec![(1, 1.0), (9, 0.0)]));
+        let broker = Broker::new(Fuzzy, registry).with_cache_capacity(8);
+        let request = fig5_request();
+        for round in 0..64u64 {
+            // A distinct policy each round → a distinct structural key.
+            let wobble = (round % 32) as f64 / 64.0;
+            let sigma = Constraint::unary(Fuzzy, "x", move |v| {
+                Unit::clamped((v.as_int().unwrap() as f64 - 1.0) / 8.0 - wobble)
+            });
+            broker
+                .solve_binding(&request.variable, &request.domain, &sigma)
+                .unwrap();
+        }
+        assert!(broker.cache.len() <= 8, "cache grew past its capacity");
+    }
+
+    #[test]
+    fn registry_snapshots_are_epoch_consistent() {
+        let mut registry = Registry::new();
+        registry.publish(fuzzy_provider("svc-1", vec![(1, 1.0), (9, 0.0)]));
+        let mut broker = Broker::new(Fuzzy, registry);
+        let before = broker.registry();
+        assert_eq!(before.epoch(), 0);
+        broker
+            .registry_mut()
+            .publish(fuzzy_provider("svc-2", vec![(1, 0.9), (9, 0.9)]));
+        // The old snapshot still sees the pre-write registry; a fresh
+        // snapshot sees the new epoch and the new provider.
+        assert_eq!(before.len(), 1);
+        let after = broker.registry();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(after.len(), 2);
+        // Clones share the registry (and its epochs).
+        let clone = broker.clone();
+        broker.registry_mut().deregister(&ServiceId::new("svc-2"));
+        assert_eq!(clone.registry().epoch(), 2);
+        assert_eq!(clone.registry().len(), 1);
+    }
+
+    #[test]
+    fn incremental_bindings_match_from_scratch() {
+        let mut registry = Registry::new();
+        registry.publish(fuzzy_provider("svc-1", vec![(1, 1.0), (9, 0.0)]));
+        registry.publish(fuzzy_provider("svc-flat", vec![(1, 0.8), (9, 0.8)]));
+        let (telemetry, sink) = Telemetry::recording();
+        let cold = Broker::new(Fuzzy, registry);
+        let warm = cold
+            .clone()
+            .with_incremental(true)
+            .with_telemetry(telemetry);
+        // Several rounds (the second exercises the delta path on the
+        // persistent solvers): identical agreements throughout.
+        for _ in 0..3 {
+            let a = cold.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap();
+            let b = warm.negotiate(&fig5_request(), QosOffer::to_fuzzy).unwrap();
+            assert_eq!(a.agreed_level, b.agreed_level);
+            assert_eq!(a.binding, b.binding);
+            assert_eq!(a.service, b.service);
+        }
+        let snapshot = sink.snapshot();
+        assert!(
+            snapshot.counters.get("solver.incremental.solves").copied() >= Some(6),
+            "every binding went through the incremental engine"
+        );
+        assert!(
+            snapshot
+                .counters
+                .get("solver.incremental.warm_seeds")
+                .copied()
+                >= Some(1),
+            "later rounds warm-start from the previous optimum"
+        );
     }
 
     #[test]

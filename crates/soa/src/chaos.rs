@@ -249,7 +249,8 @@ impl<S: Residuated> Broker<S> {
     where
         F: Fn(&QosOffer) -> Constraint<S>,
     {
-        let candidates = self.registry().discover(&request.capability);
+        let registry = self.registry();
+        let candidates = registry.discover(&request.capability);
         if candidates.is_empty() {
             return Err(NegotiationError::NoProvider(request.capability.clone()));
         }

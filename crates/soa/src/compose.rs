@@ -78,8 +78,8 @@ impl<S: Residuated> Broker<S> {
             domains.insert(stage.variable.clone(), stage.domain.clone());
             // Recreate the agreed store constraint for the chosen
             // provider: client policy ⊗ chosen provider offers.
-            let service = self
-                .registry()
+            let registry = self.registry();
+            let service = registry
                 .get(&sla.service)
                 .expect("negotiated service is registered");
             let mut stage_constraint = stage.constraint.clone();

@@ -73,7 +73,9 @@ mod query;
 mod registry;
 mod sim;
 
-pub use broker::{Broker, NegotiationError, NegotiationRequest, Sla};
+pub use broker::{
+    Broker, NegotiationError, NegotiationRequest, RegistrySnapshot, RegistryWriter, Sla,
+};
 pub use chaos::{provider_fault_plan, ChaosConfig, ChaosReport, QueryChaosReport};
 pub use compose::Composition;
 pub use orchestrator::{Orchestrator, SlaVerdict, StageStats, WorkloadReport};

@@ -5,24 +5,26 @@
 #
 #   scripts/bench_snapshot.sh [out.json]
 #
-# Runs the `bounded_vs_blind`, `bell_vs_dp` and `propagation_vs_blind`
-# criterion groups and parses the harness report lines, e.g.
+# Runs the `bounded_vs_blind`, `bell_vs_dp`, `propagation_vs_blind`
+# and `churn_incremental` criterion groups and parses the harness
+# report lines, e.g.
 #
 #   bell_vs_dp/subset_dp/13    median  5.16 ms  min  4.79 ms  mean  5.13 ms  (1 iters/sample)
 #
 # into {"median_ns": ..., "min_ns": ..., "mean_ns": ...} records. The
-# default output name, BENCH_6.json, is the committed snapshot for the
-# propagation/decomposition change (BENCH_5.json was the
+# default output name, BENCH_7.json, is the committed snapshot for the
+# incremental re-solve engine (BENCH_6.json was the
+# propagation/decomposition one, BENCH_5.json the
 # bounds/warm-start/coalition-DP one); CI regenerates it as an
 # artifact on every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-for bench in bounded_vs_blind bell_vs_dp propagation_vs_blind; do
+for bench in bounded_vs_blind bell_vs_dp propagation_vs_blind churn_incremental; do
     cargo bench -p softsoa-bench --bench "$bench" | tee -a "$raw"
 done
 

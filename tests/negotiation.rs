@@ -314,3 +314,103 @@ fn qos_documents_roundtrip_through_the_wire_format() {
     let json = doc.to_json().unwrap();
     assert_eq!(QosDocument::from_json(&json).unwrap(), doc);
 }
+
+#[test]
+fn relaxation_retract_never_worsens_the_agreement() {
+    // R7 `retract` driven through the broker: a client concession
+    // (dividing out part of its policy) is nonmonotonic removal, and
+    // the resulting agreement level must never be worse than the one
+    // the un-relaxed policy achieved.
+    let mut registry = Registry::new();
+    registry.publish(provider(
+        "svc",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.8 },
+    ));
+    let broker = Broker::new(Fuzzy, registry);
+
+    // The client's policy is its base preference capped at 0.3 — too
+    // strict for a 0.5 acceptance floor.
+    let cap = Constraint::unary(Fuzzy, "x", |_| Unit::clamped(0.3));
+    let mut strict = fuzzy_request(0.5);
+    strict.constraint = strict.constraint.combine(&cap);
+
+    let err = broker.negotiate(&strict, QosOffer::to_fuzzy).unwrap_err();
+    assert!(matches!(err, NegotiationError::NoAgreement(_)));
+
+    // The level the strict policy actually achieves (floor dropped).
+    let mut strict_any = strict.clone();
+    strict_any.acceptance = Interval::levels(Unit::MIN, Unit::MAX);
+    let strict_level = broker
+        .negotiate(&strict_any, QosOffer::to_fuzzy)
+        .unwrap()
+        .agreed_level;
+
+    // One concession — retracting the cap — turns the rejection into
+    // an agreement inside the interval, and cannot worsen the level.
+    let (sla, concessions) = broker
+        .negotiate_with_relaxation(&strict, &[cap], QosOffer::to_fuzzy)
+        .unwrap();
+    assert_eq!(concessions, 1);
+    assert!(sla.agreed_level >= Unit::clamped(0.5), "interval check");
+    assert!(
+        sla.agreed_level >= strict_level,
+        "retract must never worsen: {:?} vs {:?}",
+        sla.agreed_level,
+        strict_level
+    );
+}
+
+#[test]
+fn qos_republication_updates_bindings_across_epochs() {
+    // R8 `update` driven through the broker: a provider re-publishes
+    // its QoS document, the epoch-versioned registry publishes the new
+    // snapshot atomically, and the incremental binding path re-solves
+    // against the new offer — while readers holding the old snapshot
+    // keep seeing the old epoch.
+    let mut registry = Registry::new();
+    registry.publish(provider(
+        "svc",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.6 },
+    ));
+    let mut broker = Broker::new(Fuzzy, registry).with_incremental(true);
+
+    let before = broker
+        .negotiate(&fuzzy_request(0.5), QosOffer::to_fuzzy)
+        .unwrap();
+    assert_eq!(before.agreed_level, Unit::clamped(0.6));
+
+    let stale = broker.registry();
+    // Upgrade: same service id, better constant offer.
+    broker.registry_mut().publish(provider(
+        "svc",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.9 },
+    ));
+    assert!(
+        stale.epoch() < broker.registry().epoch(),
+        "re-publication must bump the registry epoch"
+    );
+
+    let after = broker
+        .negotiate(&fuzzy_request(0.5), QosOffer::to_fuzzy)
+        .unwrap();
+    assert_eq!(after.agreed_level, Unit::clamped(0.9));
+    assert!(after.agreed_level >= before.agreed_level);
+
+    // Downgrade below the floor: the interval check must now reject.
+    broker.registry_mut().publish(provider(
+        "svc",
+        "filter",
+        "x",
+        OfferShape::Constant { level: 0.2 },
+    ));
+    let err = broker
+        .negotiate(&fuzzy_request(0.5), QosOffer::to_fuzzy)
+        .unwrap_err();
+    assert!(matches!(err, NegotiationError::NoAgreement(_)));
+}
