@@ -32,6 +32,12 @@
 //! The component cache is shared across [`Clone`]d solvers and bounded
 //! (least-recently-used eviction), so a long-lived broker holding one
 //! solver per binding problem keeps flat memory under sustained churn.
+//! Sharing is sound because every part of a [`ComponentKey`] is
+//! globally unique across clones: constraint ids, `update` version
+//! stamps and domain generations are all allocated from one shared
+//! atomic counter, so two clones that diverge (updating the same id,
+//! or re-declaring the same variable, with different content) can
+//! never produce the same key.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,10 +125,16 @@ struct Slot<S: Semiring> {
 /// Cache key for one connected component: its variable set, the
 /// `(id, version)` signature of its constraints (sorted, since ids
 /// come out of a `BTreeMap`), and the domain generation at which it
-/// was solved.
+/// was solved. Versions and generations are globally unique stamps
+/// (see the module docs), so keys built by different clones collide
+/// only when their content is genuinely identical.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ComponentKey {
-    vars: Vec<Var>,
+    /// Shared with the memoised [`Structure`], so building a key per
+    /// component per solve clones a pointer, not the variable vector.
+    /// Hashing and equality go through to the contents, so keys built
+    /// by different solvers still unify in the shared cache.
+    vars: Arc<Vec<Var>>,
     parts: Vec<(u64, u64)>,
     domain_gen: u64,
 }
@@ -141,6 +153,15 @@ struct CacheState<S: Semiring> {
     capacity: usize,
 }
 
+/// Fraction of the cache evicted per batch, as a divisor: at capacity,
+/// the oldest `capacity / EVICTION_DIVISOR` entries (at least one) are
+/// dropped in a single `O(n)` pass. The next batch-size-minus-one
+/// inserts then evict nothing, so sustained-churn inserts cost
+/// amortized `O(EVICTION_DIVISOR)` comparisons — constant in the
+/// capacity — while the replay path (`touch`) stays a plain hash
+/// lookup with no recency bookkeeping at all.
+const EVICTION_DIVISOR: usize = 10;
+
 impl<S: Semiring> CacheState<S> {
     fn touch(&mut self, key: &ComponentKey) -> Option<(S::Value, Option<Assignment>)> {
         self.stamp += 1;
@@ -153,15 +174,17 @@ impl<S: Semiring> CacheState<S> {
     fn insert(&mut self, key: ComponentKey, blevel: S::Value, witness: Option<Assignment>) {
         self.stamp += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            // Evict the least-recently-used entry to stay bounded.
-            if let Some(oldest) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, c)| c.stamp)
-                .map(|(k, _)| k.clone())
-            {
-                self.entries.remove(&oldest);
-            }
+            // Batch-evict the least-recently-used ~10% to stay
+            // bounded. Stamps are unique, so selecting the k-th
+            // oldest stamp and retaining strictly newer entries
+            // removes exactly k.
+            let k = (self.capacity / EVICTION_DIVISOR)
+                .max(1)
+                .min(self.entries.len());
+            let mut stamps: Vec<u64> = self.entries.values().map(|c| c.stamp).collect();
+            let (_, cutoff, _) = stamps.select_nth_unstable(k - 1);
+            let cutoff = *cutoff;
+            self.entries.retain(|_, c| c.stamp > cutoff);
         }
         self.entries.insert(
             key,
@@ -208,7 +231,13 @@ pub struct IncrementalSolver<S: Semiring> {
     constraints: BTreeMap<u64, Slot<S>>,
     order: VarOrder,
     config: SolverConfig,
-    ids: Arc<AtomicU64>,
+    /// Shared allocator for constraint ids, `update` version stamps
+    /// and domain generations. One counter for all three keeps every
+    /// [`ComponentKey`] ingredient globally unique across clones — a
+    /// per-clone counter would let two diverging clones both reach
+    /// "version 1" / "generation 1" with different content and poison
+    /// the shared cache.
+    stamps: Arc<AtomicU64>,
     cache: Arc<Mutex<CacheState<S>>>,
     domain_gen: u64,
     /// Full witness (all problem variables) from the last solve, used
@@ -227,7 +256,7 @@ pub struct IncrementalSolver<S: Semiring> {
 /// empty-scope constants.
 struct Structure {
     /// `(component variables, member constraint ids)`, both sorted.
-    components: Vec<(Vec<Var>, Vec<u64>)>,
+    components: Vec<(Arc<Vec<Var>>, Vec<u64>)>,
     /// Ids of empty-scope (constant) constraints, sorted.
     constants: Vec<u64>,
 }
@@ -252,7 +281,7 @@ impl<S: Semiring> Clone for IncrementalSolver<S> {
             constraints: self.constraints.clone(),
             order: self.order,
             config: self.config,
-            ids: Arc::clone(&self.ids),
+            stamps: Arc::clone(&self.stamps),
             cache: Arc::clone(&self.cache),
             domain_gen: self.domain_gen,
             last_witness: self.last_witness.clone(),
@@ -275,7 +304,7 @@ impl<S: Semiring> IncrementalSolver<S> {
             constraints: BTreeMap::new(),
             order: VarOrder::Input,
             config: SolverConfig::default(),
-            ids: Arc::new(AtomicU64::new(0)),
+            stamps: Arc::new(AtomicU64::new(0)),
             cache: Arc::new(Mutex::new(CacheState {
                 entries: HashMap::new(),
                 stamp: 0,
@@ -336,15 +365,25 @@ impl<S: Semiring> IncrementalSolver<S> {
         self
     }
 
+    /// Allocates a fresh globally unique stamp (id, version, or
+    /// domain generation) from the counter shared across clones.
+    fn next_stamp(&self) -> u64 {
+        self.stamps.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Declares (or re-declares) a variable's domain.
     ///
-    /// Re-declaration bumps the domain generation, invalidating every
-    /// cached component and the warm-start witness: cached results are
-    /// only sound against the domains they were computed over.
+    /// Re-declaration moves the solver to a fresh domain generation,
+    /// invalidating every cached component and the warm-start witness:
+    /// cached results are only sound against the domains they were
+    /// computed over. The generation is a globally unique stamp (`+ 1`
+    /// keeps it distinct from the initial generation `0` every clone
+    /// starts at), so clones re-declaring the same variable with
+    /// different domains never alias each other's cache entries.
     pub fn declare(&mut self, var: impl Into<Var>, domain: Domain) {
         let var = var.into();
         if self.domains.contains(&var) {
-            self.domain_gen += 1;
+            self.domain_gen = self.next_stamp() + 1;
             self.last_witness = None;
         }
         self.domains.insert(var, domain);
@@ -352,7 +391,7 @@ impl<S: Semiring> IncrementalSolver<S> {
 
     /// Adds a constraint, returning its handle.
     pub fn add_constraint(&mut self, constraint: Constraint<S>) -> ConstraintId {
-        let id = self.ids.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_stamp();
         self.constraints.insert(
             id,
             Slot {
@@ -381,8 +420,14 @@ impl<S: Semiring> IncrementalSolver<S> {
         id: ConstraintId,
         constraint: Constraint<S>,
     ) -> Option<Constraint<S>> {
+        // The new content gets a globally unique version stamp, never
+        // a per-clone increment: two clones updating the same id with
+        // different constraints must key the shared cache differently.
+        // `+ 1` keeps update stamps distinct from the original
+        // content's version `0`.
+        let version = self.next_stamp() + 1;
         let slot = self.constraints.get_mut(&id.0)?;
-        slot.version += 1;
+        slot.version = version;
         self.stats.deltas += 1;
         if slot.constraint.scope() != constraint.scope() {
             self.structure = None;
@@ -500,6 +545,10 @@ impl<S: Semiring> IncrementalSolver<S> {
         }
         let mut components: Vec<(Vec<Var>, Vec<u64>)> = groups.into_values().collect();
         components.sort();
+        let components = components
+            .into_iter()
+            .map(|(vars, members)| (Arc::new(vars), members))
+            .collect();
         let structure = Arc::new(Structure {
             components,
             constants,
@@ -530,7 +579,7 @@ impl<S: Semiring> IncrementalSolver<S> {
         let witness = self.last_witness.as_ref()?;
         // Every component variable must still be bound to a value in
         // its (current) domain.
-        for v in comp {
+        for v in comp.iter() {
             let val = witness.get(v)?;
             if !self.domains.get(v).ok()?.contains(val) {
                 return None;
@@ -585,7 +634,7 @@ impl<S: Semiring> IncrementalSolver<S> {
                 })
                 .collect();
             let key = ComponentKey {
-                vars: comp.clone(),
+                vars: Arc::clone(comp),
                 parts: comp_constraints
                     .iter()
                     .map(|(id, v, _)| (*id, *v))
@@ -599,7 +648,7 @@ impl<S: Semiring> IncrementalSolver<S> {
             } else {
                 self.stats.components_resolved += 1;
                 let mut part = Scsp::new(self.semiring.clone());
-                for v in comp {
+                for v in comp.iter() {
                     part.add_domain(v.clone(), self.domains.get(v)?.clone());
                 }
                 for (_, _, c) in &comp_constraints {
@@ -808,6 +857,39 @@ mod tests {
             solver.solve().unwrap();
         }
         assert!(solver.cache.lock().unwrap().entries.len() <= 4);
+    }
+
+    #[test]
+    fn diverging_clone_updates_never_alias_the_shared_cache() {
+        // Regression: versions used to be per-slot counters, so two
+        // clones that updated the same id with different constraints
+        // both reached version 1 — identical ComponentKeys — and the
+        // second clone replayed the first clone's cached result.
+        // Version stamps now come from the shared allocator.
+        let (solver, _ab, cd) = churn_solver();
+        let mut left = solver.clone();
+        let mut right = solver;
+        left.update_constraint(cd, pair_cost("c", "d", 20));
+        right.update_constraint(cd, pair_cost("c", "d", 40));
+        assert_eq!(*left.solve().unwrap().blevel(), 21);
+        assert_eq!(*right.solve().unwrap().blevel(), 41);
+        assert_matches_scratch(&mut left);
+        assert_matches_scratch(&mut right);
+    }
+
+    #[test]
+    fn diverging_clone_redeclarations_never_alias_the_shared_cache() {
+        // Same regression for domain generations: one re-declare used
+        // to put every clone at generation 1 regardless of content.
+        let (solver, _ab, _cd) = churn_solver();
+        let mut left = solver.clone();
+        let mut right = solver;
+        left.declare("a", Domain::ints(1..=2));
+        right.declare("a", Domain::ints(2..=2));
+        assert_eq!(*left.solve().unwrap().blevel(), 7);
+        assert_eq!(*right.solve().unwrap().blevel(), 9);
+        assert_matches_scratch(&mut left);
+        assert_matches_scratch(&mut right);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use softsoa_core::solve::{
     BranchAndBound, ConstraintId, IncrementalSolver, Parallelism, Solution, Solver, SolverConfig,
@@ -183,7 +183,94 @@ pub struct Broker<S: Semiring> {
 
 /// Persistent per-binding-shape incremental solvers, keyed by the
 /// negotiation variable and its domain, shared across broker clones.
-type BindingSolvers<S> = Arc<Mutex<HashMap<(Var, Vec<Val>), (IncrementalSolver<S>, ConstraintId)>>>;
+///
+/// Like [`SolveCache`], the table is bounded (LRU eviction at
+/// [`DEFAULT_BINDING_SOLVER_CAPACITY`]): a churn stream whose domains
+/// vary would otherwise retain one solver — witness, cache traffic and
+/// all — per shape ever seen. Solvers are *taken out* of the table for
+/// the duration of a solve and re-inserted afterwards, so the mutex is
+/// only held for the map operations and concurrent negotiations on
+/// cloned brokers never serialize on each other's searches.
+#[derive(Debug, Clone)]
+struct BindingSolvers<S: Semiring> {
+    inner: Arc<Mutex<BindingSolversInner<S>>>,
+}
+
+#[derive(Debug)]
+struct BindingSolversInner<S: Semiring> {
+    entries: HashMap<(Var, Vec<Val>), BindingEntry<S>>,
+    stamp: u64,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct BindingEntry<S: Semiring> {
+    solver: IncrementalSolver<S>,
+    id: ConstraintId,
+    stamp: u64,
+}
+
+/// Default bound on persistent per-shape binding solvers. Smaller than
+/// the witness cache's: each entry holds a full solver (domains,
+/// constraint, last witness), not just a winning value.
+pub(crate) const DEFAULT_BINDING_SOLVER_CAPACITY: usize = 64;
+
+impl<S: Semiring> Default for BindingSolvers<S> {
+    fn default() -> BindingSolvers<S> {
+        BindingSolvers {
+            inner: Arc::new(Mutex::new(BindingSolversInner {
+                entries: HashMap::new(),
+                stamp: 0,
+                capacity: DEFAULT_BINDING_SOLVER_CAPACITY,
+            })),
+        }
+    }
+}
+
+impl<S: Semiring> BindingSolvers<S> {
+    /// Removes and returns the solver for `key`, leaving the slot
+    /// empty while the caller solves outside the lock.
+    fn take(&self, key: &(Var, Vec<Val>)) -> Option<BindingEntry<S>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.entries.remove(key)
+    }
+
+    /// Puts a solver back (or registers a fresh one), evicting the
+    /// least-recently-used entry at capacity. If a racing negotiation
+    /// re-created the same shape meanwhile, last-writer-wins — each
+    /// solve is self-contained, so dropping the loser only costs its
+    /// warm state.
+    fn put(&self, key: (Var, Vec<Val>), solver: IncrementalSolver<S>, id: ConstraintId) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.stamp += 1;
+        let stamp = inner.stamp;
+        if inner.entries.len() >= inner.capacity && !inner.entries.contains_key(&key) {
+            // The capacity is small and fixed, so a linear LRU scan is
+            // cheaper than maintaining a recency index over the
+            // clone-heavy keys.
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+            }
+        }
+        inner
+            .entries
+            .insert(key, BindingEntry { solver, id, stamp });
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
+    }
+}
 
 /// Epoch-versioned registry storage: the registry lives behind an
 /// [`Arc`] swapped out wholesale on every write, so readers take a
@@ -192,20 +279,36 @@ type BindingSolvers<S> = Arc<Mutex<HashMap<(Var, Vec<Val>), (IncrementalSolver<S
 /// Each write bumps the epoch; [`SolveCache`] entries are stamped with
 /// the epoch they were computed under so eviction can prefer stale
 /// rounds.
+///
+/// Writers *serialize*: [`RegistryWriter`] holds the `write` mutex for
+/// its whole lifetime, so a second writer (on this broker or a clone)
+/// blocks until the first has published. Without that, two writers
+/// staging from the same epoch would each publish a full copy and the
+/// later drop would silently discard the earlier one's mutations.
+/// Readers only ever touch the `state` mutex, held momentarily.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct EpochRegistry {
-    shared: Arc<Mutex<(u64, Arc<Registry>)>>,
+    shared: Arc<RegistryShared>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryShared {
+    state: Mutex<(u64, Arc<Registry>)>,
+    write: Mutex<()>,
 }
 
 impl EpochRegistry {
     fn new(registry: Registry) -> EpochRegistry {
         EpochRegistry {
-            shared: Arc::new(Mutex::new((0, Arc::new(registry)))),
+            shared: Arc::new(RegistryShared {
+                state: Mutex::new((0, Arc::new(registry))),
+                write: Mutex::new(()),
+            }),
         }
     }
 
     pub(crate) fn snapshot(&self) -> RegistrySnapshot {
-        let guard = self.shared.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
         RegistrySnapshot {
             epoch: guard.0,
             registry: Arc::clone(&guard.1),
@@ -213,7 +316,11 @@ impl EpochRegistry {
     }
 
     fn epoch(&self) -> u64 {
-        self.shared.lock().unwrap_or_else(|e| e.into_inner()).0
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .0
     }
 }
 
@@ -244,9 +351,17 @@ impl Deref for RegistrySnapshot {
 /// A write guard over the registry: mutations stage on a private copy
 /// and are published atomically — with an epoch bump — when the guard
 /// drops. Readers holding a [`RegistrySnapshot`] are unaffected.
+///
+/// The guard holds the registry's writer lock, so concurrent writers
+/// (e.g. on cloned brokers) queue behind it and always stage from the
+/// latest published epoch — no mutation is ever lost to a concurrent
+/// publish. Dropping the guard during a panic unwind discards the
+/// staged copy instead of publishing a half-applied mutation.
 #[derive(Debug)]
 pub struct RegistryWriter<'a> {
     owner: &'a EpochRegistry,
+    /// Serializes writers for the guard's lifetime.
+    _serialize: MutexGuard<'a, ()>,
     staged: Option<Registry>,
     telemetry: Telemetry,
 }
@@ -267,8 +382,18 @@ impl DerefMut for RegistryWriter<'_> {
 
 impl Drop for RegistryWriter<'_> {
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            // The mutation sequence was cut short; publishing the
+            // staged copy would commit a half-applied write.
+            return;
+        }
         let staged = self.staged.take().expect("staged registry present");
-        let mut guard = self.owner.shared.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = self
+            .owner
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         guard.0 += 1;
         guard.1 = Arc::new(staged);
         self.telemetry
@@ -425,7 +550,7 @@ impl<S: Residuated> Broker<S> {
             // on a single variable.
             solver: SolverConfig::default().with_parallelism(Parallelism::Sequential),
             incremental: false,
-            binding_solvers: Arc::new(Mutex::new(HashMap::new())),
+            binding_solvers: BindingSolvers::default(),
         }
     }
 
@@ -480,11 +605,22 @@ impl<S: Residuated> Broker<S> {
 
     /// Write access to the registry (to publish or deregister).
     /// Mutations stage privately and publish atomically — bumping the
-    /// registry epoch — when the returned guard drops.
+    /// registry epoch — when the returned guard drops. Writers
+    /// serialize: while one guard is alive, `registry_mut` on a clone
+    /// of this broker blocks, so no concurrent write is ever lost.
     pub fn registry_mut(&mut self) -> RegistryWriter<'_> {
+        let serialize = self
+            .registry
+            .shared
+            .write
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Stage only after the writer lock is held, so serialized
+        // writers always build on each other's published state.
         let staged = (*self.registry.snapshot().registry).clone();
         RegistryWriter {
             owner: &self.registry,
+            _serialize: serialize,
             staged: Some(staged),
             telemetry: self.telemetry.clone(),
         }
@@ -777,13 +913,15 @@ impl<S: Residuated> Broker<S> {
         sigma: &Constraint<S>,
     ) -> Result<Solution<S>, SolveError> {
         let key = (variable.clone(), domain.values().to_vec());
-        let mut solvers = self
-            .binding_solvers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        match solvers.get_mut(&key) {
-            Some((solver, id)) => {
-                solver.update_constraint(*id, sigma.clone());
+        // Take the persistent solver out of the shared table (or build
+        // a fresh one) so the solve itself runs without the lock:
+        // concurrent incremental negotiations on cloned brokers must
+        // not serialize on each other's searches.
+        let (mut solver, id) = match self.binding_solvers.take(&key) {
+            Some(entry) => {
+                let mut solver = entry.solver;
+                solver.update_constraint(entry.id, sigma.clone());
+                (solver, entry.id)
             }
             None => {
                 let mut solver = IncrementalSolver::new(self.semiring.clone())
@@ -791,13 +929,16 @@ impl<S: Residuated> Broker<S> {
                     .of_interest([variable.clone()])
                     .with_config(VarOrder::Input, self.solver);
                 let id = solver.add_constraint(sigma.clone());
-                solvers.insert(key.clone(), (solver, id));
+                (solver, id)
             }
-        }
-        let (solver, _) = solvers.get_mut(&key).expect("binding solver present");
+        };
         let before = solver.stats().clone();
-        let solution = solver.solve()?;
+        let solution = solver.solve();
         let after = solver.stats().clone();
+        // Re-insert even on error: the solver's state stays valid and
+        // the next round may still reuse it.
+        self.binding_solvers.put(key, solver, id);
+        let solution = solution?;
         self.telemetry.incr("solver.incremental.solves");
         self.telemetry
             .count("solver.incremental.deltas", after.deltas - before.deltas);
@@ -1145,6 +1286,71 @@ mod tests {
         broker.registry_mut().deregister(&ServiceId::new("svc-2"));
         assert_eq!(clone.registry().epoch(), 2);
         assert_eq!(clone.registry().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        // Regression: writers used to stage read-copy-update style
+        // with no conflict detection, so two cloned brokers writing
+        // concurrently could both stage from the same epoch and the
+        // later publish silently discarded the earlier one's services.
+        let broker = Broker::new(Fuzzy, Registry::new());
+        let mut clones: Vec<Broker<Fuzzy>> = (0..4).map(|_| broker.clone()).collect();
+        std::thread::scope(|scope| {
+            for (i, clone) in clones.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for j in 0..8 {
+                        clone.registry_mut().publish(fuzzy_provider(
+                            &format!("svc-{i}-{j}"),
+                            vec![(1, 1.0), (9, 0.0)],
+                        ));
+                    }
+                });
+            }
+        });
+        assert_eq!(broker.registry().len(), 32, "every publish survived");
+        assert_eq!(broker.registry().epoch(), 32, "one epoch per write");
+    }
+
+    #[test]
+    fn panicking_writer_does_not_publish() {
+        let mut broker = Broker::new(Fuzzy, Registry::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut writer = broker.registry_mut();
+            writer.publish(fuzzy_provider("svc-half", vec![(1, 1.0), (9, 0.0)]));
+            panic!("mutation sequence cut short");
+        }));
+        assert!(result.is_err());
+        // The half-applied staged copy was discarded, not committed.
+        assert_eq!(broker.registry().len(), 0);
+        assert_eq!(broker.registry().epoch(), 0);
+        // The writer lock was released by the unwind: writes still work.
+        broker
+            .registry_mut()
+            .publish(fuzzy_provider("svc-next", vec![(1, 1.0), (9, 0.0)]));
+        assert_eq!(broker.registry().len(), 1);
+        assert_eq!(broker.registry().epoch(), 1);
+    }
+
+    #[test]
+    fn binding_solvers_stay_bounded_under_domain_churn() {
+        // Regression: the per-shape solver table was unbounded — a
+        // churn stream whose domains vary grew one persistent solver
+        // per shape ever seen.
+        let broker = Broker::new(Fuzzy, Registry::new()).with_incremental(true);
+        let variable = Var::new("x");
+        for round in 0..(3 * DEFAULT_BINDING_SOLVER_CAPACITY as i64) {
+            // A distinct domain each round → a distinct solver shape.
+            let domain = Domain::ints(0..=(1 + round % 150));
+            let sigma = Constraint::unary(Fuzzy, "x", |v| {
+                Unit::clamped(v.as_int().unwrap() as f64 / 200.0)
+            });
+            broker.solve_binding(&variable, &domain, &sigma).unwrap();
+        }
+        assert!(
+            broker.binding_solvers.len() <= DEFAULT_BINDING_SOLVER_CAPACITY,
+            "solver table grew past its capacity"
+        );
     }
 
     #[test]

@@ -3,11 +3,13 @@
 # machine-readable JSON file (nanoseconds per iteration, one entry per
 # benchmark id). Usage:
 #
-#   scripts/bench_snapshot.sh [out.json]
+#   scripts/bench_snapshot.sh [out.json] [group ...]
 #
 # Runs the `bounded_vs_blind`, `bell_vs_dp`, `propagation_vs_blind`
-# and `churn_incremental` criterion groups and parses the harness
-# report lines, e.g.
+# and `churn_incremental` criterion groups — or just the groups named
+# on the command line, merging their fresh numbers into an existing
+# out.json so one group can be re-measured without re-running the
+# multi-minute full sweep — and parses the harness report lines, e.g.
 #
 #   bell_vs_dp/subset_dp/13    median  5.16 ms  min  4.79 ms  mean  5.13 ms  (1 iters/sample)
 #
@@ -21,10 +23,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_7.json}"
+shift $(($# > 0 ? 1 : 0))
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+    benches=(bounded_vs_blind bell_vs_dp propagation_vs_blind churn_incremental)
+fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-for bench in bounded_vs_blind bell_vs_dp propagation_vs_blind churn_incremental; do
+for bench in "${benches[@]}"; do
     cargo bench -p softsoa-bench --bench "$bench" | tee -a "$raw"
 done
 
@@ -61,9 +68,20 @@ with open(raw, encoding="utf-8") as fh:
 if not groups:
     sys.exit("bench_snapshot: no benchmark report lines found")
 
+# Partial re-measure: start from the existing snapshot (if any) and
+# overwrite just the groups that were run, so the untouched groups keep
+# their committed numbers.
+merged = {}
+try:
+    with open(out, encoding="utf-8") as fh:
+        merged = json.load(fh).get("groups", {})
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+merged.update(groups)
+
 snapshot = {
     "script": "scripts/bench_snapshot.sh",
-    "groups": {g: dict(sorted(rows.items())) for g, rows in sorted(groups.items())},
+    "groups": {g: dict(sorted(rows.items())) for g, rows in sorted(merged.items())},
 }
 with open(out, "w", encoding="utf-8") as fh:
     json.dump(snapshot, fh, indent=2)
