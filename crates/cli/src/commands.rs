@@ -2,7 +2,10 @@
 //! text to report text (the binary in `main.rs` is a thin shell).
 
 use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::ToSocketAddrs;
 use std::sync::Arc;
+use std::time::Duration;
 
 use softsoa_coalition::{
     exact_formation_instrumented, individually_oriented, local_search, scsp_formation_with,
@@ -19,8 +22,12 @@ use softsoa_nmsccp::{
     RecoveryPolicy, ResilientInterpreter, Store,
 };
 use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Semiring, Weighted};
+use softsoa_soa::server::loadgen::{self, LoadConfig};
+use softsoa_soa::server::protocol::WireSemiring;
+use softsoa_soa::server::transport::TransportChaos;
 use softsoa_soa::{
-    Broker, ChaosConfig, NegotiationRequest, QosDocument, QosOffer, Registry, ServiceDescription,
+    Broker, ChaosConfig, NegotiationRequest, NegotiationServer, QosDocument, QosOffer, Registry,
+    ServerConfig, ServiceDescription, StoreChaos,
 };
 use softsoa_telemetry::{MemorySink, Telemetry};
 
@@ -647,6 +654,7 @@ where
         backoff_base: options.backoff,
         relaxations,
         invariant,
+        deadline: None,
     };
 
     let policy = match spec.policy {
@@ -1140,6 +1148,267 @@ pub fn integrity(step: i64) -> Result<String, CommandError> {
         photo::stage_reliability(4096, 1024)
     );
     Ok(out)
+}
+
+/// Shared daemon knobs for the `serve` and `load` commands: plain
+/// values as parsed from flags, lowered onto a [`ServerConfig`] by
+/// [`DaemonOptions::server_config`].
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Semiring the daemon negotiates in (`boolean` is rejected:
+    /// the wire protocol carries graded QoS levels).
+    pub semiring: SemiringKind,
+    /// Synthetic `compute` providers seeded into the registry.
+    pub providers: usize,
+    /// Worker threads (`None` keeps the server default).
+    pub workers: Option<usize>,
+    /// Accept-queue bound (`None` keeps the server default).
+    pub queue_limit: Option<usize>,
+    /// Per-session wall-clock budget in milliseconds.
+    pub session_deadline_ms: Option<u64>,
+    /// Drain deadline applied at shutdown, milliseconds.
+    pub drain_ms: u64,
+    /// Store-level chaos seed (setting either chaos knob enables it).
+    pub store_chaos_seed: Option<u64>,
+    /// Store-level chaos fault rate.
+    pub store_chaos_rate: Option<f64>,
+    /// Server-side transport chaos seed.
+    pub wire_chaos_seed: Option<u64>,
+    /// Server-side transport chaos fault rate.
+    pub wire_chaos_rate: Option<f64>,
+    /// Whether binding solves use the incremental engine.
+    pub incremental: bool,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> DaemonOptions {
+        DaemonOptions {
+            addr: "127.0.0.1:0".to_string(),
+            semiring: SemiringKind::Fuzzy,
+            providers: 8,
+            workers: None,
+            queue_limit: None,
+            session_deadline_ms: None,
+            drain_ms: 2_000,
+            store_chaos_seed: None,
+            store_chaos_rate: None,
+            wire_chaos_seed: None,
+            wire_chaos_rate: None,
+            incremental: true,
+        }
+    }
+}
+
+impl DaemonOptions {
+    /// Lowers the flag values onto a concrete server configuration.
+    fn server_config(&self) -> ServerConfig {
+        let mut config = ServerConfig {
+            addr: self.addr.clone(),
+            incremental: self.incremental,
+            ..ServerConfig::default()
+        };
+        if let Some(workers) = self.workers {
+            config.workers = workers;
+        }
+        if let Some(limit) = self.queue_limit {
+            config.queue_limit = limit;
+        }
+        if let Some(ms) = self.session_deadline_ms {
+            config.session_deadline = Duration::from_millis(ms);
+        }
+        if self.store_chaos_seed.is_some() || self.store_chaos_rate.is_some() {
+            config.store_chaos = Some(StoreChaos {
+                seed: self.store_chaos_seed.unwrap_or(7),
+                fault_rate: self.store_chaos_rate.unwrap_or(0.2),
+            });
+        }
+        if self.wire_chaos_seed.is_some() || self.wire_chaos_rate.is_some() {
+            config.transport_chaos = Some(TransportChaos {
+                seed: self.wire_chaos_seed.unwrap_or(7),
+                fault_rate: self.wire_chaos_rate.unwrap_or(0.1),
+                ..TransportChaos::default()
+            });
+        }
+        config
+    }
+
+    /// The drain deadline as a duration.
+    fn drain(&self) -> Duration {
+        Duration::from_millis(self.drain_ms)
+    }
+}
+
+/// Parses a `--semiring` flag value.
+///
+/// # Errors
+///
+/// Returns [`CommandError::Usage`] for an unknown name.
+pub fn parse_semiring(name: &str) -> Result<SemiringKind, CommandError> {
+    match name {
+        "weighted" => Ok(SemiringKind::Weighted),
+        "fuzzy" => Ok(SemiringKind::Fuzzy),
+        "probabilistic" => Ok(SemiringKind::Probabilistic),
+        "boolean" => Ok(SemiringKind::Boolean),
+        other => Err(CommandError::Usage(format!(
+            "unknown semiring `{other}` (expected weighted, fuzzy or probabilistic)"
+        ))),
+    }
+}
+
+/// `softsoa serve`: runs the negotiation daemon until stdin reaches
+/// EOF, then drains gracefully and reports what the drain saw.
+///
+/// The listening address is printed (and flushed) as soon as the
+/// daemon is up, so scripts can scrape the ephemeral port.
+///
+/// # Errors
+///
+/// Returns [`CommandError::Usage`] for the boolean semiring and
+/// [`CommandError::Engine`] for bind/spawn failures.
+pub fn serve(options: &DaemonOptions) -> Result<String, CommandError> {
+    match options.semiring {
+        SemiringKind::Weighted => serve_on(Weighted, options),
+        SemiringKind::Fuzzy => serve_on(Fuzzy, options),
+        SemiringKind::Probabilistic => serve_on(Probabilistic, options),
+        SemiringKind::Boolean => Err(CommandError::Usage(
+            "serve: the daemon negotiates graded QoS — use weighted, fuzzy or probabilistic".into(),
+        )),
+    }
+}
+
+fn serve_on<S: WireSemiring>(semiring: S, options: &DaemonOptions) -> Result<String, CommandError> {
+    let registry = loadgen::seed_providers(options.providers);
+    let handle = NegotiationServer::start(
+        semiring,
+        registry,
+        options.server_config(),
+        Telemetry::disabled(),
+    )
+    .map_err(|e| CommandError::Engine(format!("serve: {e}")))?;
+    println!(
+        "listening on {} ({}, {} workers, queue {}, {} providers)",
+        handle.local_addr(),
+        S::NAME,
+        handle.config().workers,
+        handle.config().queue_limit,
+        options.providers,
+    );
+    println!("serving until stdin closes (EOF drains and stops)");
+    let _ = std::io::stdout().flush();
+
+    // Block until the operator closes stdin; every other thread in the
+    // daemon is already bounded, so this is the only open-ended wait.
+    let mut stdin = std::io::stdin();
+    let mut buffer = [0u8; 256];
+    loop {
+        match stdin.read(&mut buffer) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+
+    let report = handle.shutdown(options.drain());
+    Ok(format!(
+        "drained: served {} aborted {} shed {} in {:.0} ms (within deadline: {})\n",
+        report.drained,
+        report.aborted,
+        report.shed,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.within_deadline,
+    ))
+}
+
+/// Options for the `load` command.
+#[derive(Debug, Clone, Default)]
+pub struct LoadOptions {
+    /// Attach to an already-running daemon instead of self-hosting.
+    pub attach: Option<String>,
+    /// Daemon knobs (self-hosted mode; in attach mode only
+    /// `session_deadline_ms` is read, to size the hang detector).
+    pub daemon: DaemonOptions,
+    /// Client sessions to run.
+    pub clients: Option<usize>,
+    /// Concurrent client threads.
+    pub concurrency: Option<usize>,
+    /// Fraction of clients that misbehave at the transport level.
+    pub fault_rate: Option<f64>,
+    /// Fraction of well-behaved clients that churn the registry.
+    pub churn_rate: Option<f64>,
+    /// Seed for the deterministic client plans.
+    pub seed: Option<u64>,
+}
+
+impl LoadOptions {
+    fn load_config(&self) -> LoadConfig {
+        let mut config = LoadConfig::default();
+        if let Some(clients) = self.clients {
+            config.clients = clients;
+        }
+        if let Some(concurrency) = self.concurrency {
+            config.concurrency = concurrency;
+        }
+        if let Some(rate) = self.fault_rate {
+            config.transport_fault_rate = rate;
+        }
+        if let Some(rate) = self.churn_rate {
+            config.churn_rate = rate;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
+}
+
+/// `softsoa load`: drives the deterministic load generator — against a
+/// self-hosted daemon (default; the report includes the drain) or an
+/// already-running one (`--attach`).
+///
+/// # Errors
+///
+/// Returns [`CommandError::Usage`] for the boolean semiring or an
+/// unresolvable `--attach` address, [`CommandError::Engine`] for
+/// bind/spawn failures.
+pub fn load(options: &LoadOptions) -> Result<String, CommandError> {
+    let config = options.load_config();
+    if let Some(addr) = &options.attach {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| CommandError::Usage(format!("--attach `{addr}`: {e}")))?
+            .next()
+            .ok_or_else(|| {
+                CommandError::Usage(format!("--attach `{addr}`: resolved to nothing"))
+            })?;
+        let deadline = Duration::from_millis(options.daemon.session_deadline_ms.unwrap_or(2_000));
+        let report = loadgen::run(addr, &config, deadline);
+        return Ok(report.to_json() + "\n");
+    }
+    match options.daemon.semiring {
+        SemiringKind::Weighted => load_self_hosted(Weighted, options, &config),
+        SemiringKind::Fuzzy => load_self_hosted(Fuzzy, options, &config),
+        SemiringKind::Probabilistic => load_self_hosted(Probabilistic, options, &config),
+        SemiringKind::Boolean => Err(CommandError::Usage(
+            "load: the daemon negotiates graded QoS — use weighted, fuzzy or probabilistic".into(),
+        )),
+    }
+}
+
+fn load_self_hosted<S: WireSemiring>(
+    semiring: S,
+    options: &LoadOptions,
+    config: &LoadConfig,
+) -> Result<String, CommandError> {
+    let report = loadgen::run_self_hosted(
+        semiring,
+        loadgen::seed_providers(options.daemon.providers),
+        options.daemon.server_config(),
+        config,
+        options.daemon.drain(),
+    )
+    .map_err(|e| CommandError::Engine(format!("load: {e}")))?;
+    Ok(report.to_json() + "\n")
 }
 
 /// Resolves domains for display in `solve` reports (kept for parity

@@ -14,6 +14,8 @@
 //! $ softsoa explore scenario.json
 //! $ softsoa coalitions trust.json
 //! $ softsoa integrity --step 512
+//! $ softsoa serve --workers 8 --session-deadline-ms 2000
+//! $ softsoa load --clients 200 --fault-rate 0.15 --store-chaos-rate 0.3
 //! ```
 //!
 //! Document formats are defined in the [`mod@format`]
@@ -27,10 +29,10 @@ pub mod commands;
 pub mod format;
 
 pub use commands::{
-    coalitions, coalitions_with, coalitions_with_options, explore, integrity, negotiate,
-    negotiate_chaos, negotiate_with, negotiate_with_options, parse_propagation, parse_var_order,
-    solve, solve_with, ChaosOptions, CommandError, EngineOptions, MetricsFormat, SolveOptions,
-    SolverChoice,
+    coalitions, coalitions_with, coalitions_with_options, explore, integrity, load, negotiate,
+    negotiate_chaos, negotiate_with, negotiate_with_options, parse_propagation, parse_semiring,
+    parse_var_order, serve, solve, solve_with, ChaosOptions, CommandError, DaemonOptions,
+    EngineOptions, LoadOptions, MetricsFormat, SolveOptions, SolverChoice,
 };
 pub use format::{
     BrokerSpec, CoalitionSpec, ConstraintSpec, DomainSpec, FormatError, NegotiationSpec,

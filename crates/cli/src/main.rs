@@ -3,9 +3,9 @@
 use std::process::ExitCode;
 
 use softsoa_cli::{
-    coalitions_with_options, explore, integrity, negotiate_chaos, negotiate_with_options,
-    parse_propagation, parse_var_order, solve_with, ChaosOptions, EngineOptions, MetricsFormat,
-    SolveOptions, SolverChoice,
+    coalitions_with_options, explore, integrity, load, negotiate_chaos, negotiate_with_options,
+    parse_propagation, parse_semiring, parse_var_order, serve, solve_with, ChaosOptions,
+    DaemonOptions, EngineOptions, LoadOptions, MetricsFormat, SolveOptions, SolverChoice,
 };
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
@@ -25,6 +25,15 @@ USAGE:
     softsoa coalitions <trust.json> [--metrics[=json|pretty]]
                   [--propagate[=off|root|full]] [--decompose|--no-decompose]
     softsoa integrity [--step <kb>]
+    softsoa serve [--addr <host:port>] [--semiring weighted|fuzzy|probabilistic]
+                  [--providers <n>] [--workers <n>] [--queue <n>]
+                  [--session-deadline-ms <n>] [--drain-ms <n>]
+                  [--store-chaos-seed <n>] [--store-chaos-rate <p>]
+                  [--wire-chaos-seed <n>] [--wire-chaos-rate <p>]
+                  [--no-incremental]
+    softsoa load  [--attach <host:port>] [--clients <n>] [--concurrency <n>]
+                  [--fault-rate <p>] [--churn-rate <p>] [--seed <n>]
+                  [... plus the serve daemon flags when self-hosting]
 
 --metrics appends a telemetry snapshot to the report: json (the
 default) is a deterministic final line without wall-clock data; pretty
@@ -43,6 +52,17 @@ independent constraint-graph components separately (default on). Both
 preserve the reported blevel and yield an equally best witness; they
 steer bnb solves, broker bindings, and the coalitions `scsp`
 algorithm.
+
+`serve` runs the negotiation daemon (line-JSON over TCP) until stdin
+reaches EOF, then drains gracefully within --drain-ms. `load` drives
+the deterministic load generator — self-hosting a daemon by default
+(the JSON report then includes the drain), or against a running one
+with --attach. --fault-rate makes that fraction of clients hostile at
+the transport level (stalls, truncated frames, slow-loris,
+disconnects); --store-chaos-* injects faults inside every negotiation;
+--wire-chaos-* adds server-side transport chaos. Every session must
+still terminate with a typed outcome — the report's `hung` tally is
+the invariant to watch.
 
 --incremental routes broker binding solves through the persistent
 incremental re-solve engine: binding problems are kept alive across
@@ -93,6 +113,66 @@ fn parse_engine_flag<'a>(
         }
         Err(e) => Err(format!("--propagate: {e}")),
     })
+}
+
+/// Parses the value following a numeric flag.
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let value = value.ok_or_else(|| format!("{flag}: missing value"))?;
+    value
+        .parse()
+        .map_err(|e| format!("{flag}: invalid value: {e}"))
+}
+
+/// Parses one daemon flag (shared between `serve` and `load`) into
+/// `daemon`; `None` if the flag is something else.
+fn parse_daemon_flag<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+    daemon: &mut DaemonOptions,
+) -> Option<Result<(), String>> {
+    let parsed = match flag {
+        "--addr" => match it.next() {
+            Some(value) => {
+                daemon.addr = value.clone();
+                Ok(())
+            }
+            None => Err("--addr: missing value".to_string()),
+        },
+        "--semiring" => match it.next() {
+            Some(name) => match parse_semiring(name) {
+                Ok(kind) => {
+                    daemon.semiring = kind;
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            },
+            None => Err("--semiring: missing value".to_string()),
+        },
+        "--providers" => parse_num(flag, it.next()).map(|n| daemon.providers = n),
+        "--workers" => parse_num(flag, it.next()).map(|n| daemon.workers = Some(n)),
+        "--queue" => parse_num(flag, it.next()).map(|n| daemon.queue_limit = Some(n)),
+        "--session-deadline-ms" => {
+            parse_num(flag, it.next()).map(|n| daemon.session_deadline_ms = Some(n))
+        }
+        "--drain-ms" => parse_num(flag, it.next()).map(|n| daemon.drain_ms = n),
+        "--store-chaos-seed" => {
+            parse_num(flag, it.next()).map(|n| daemon.store_chaos_seed = Some(n))
+        }
+        "--store-chaos-rate" => {
+            parse_num(flag, it.next()).map(|n| daemon.store_chaos_rate = Some(n))
+        }
+        "--wire-chaos-seed" => parse_num(flag, it.next()).map(|n| daemon.wire_chaos_seed = Some(n)),
+        "--wire-chaos-rate" => parse_num(flag, it.next()).map(|n| daemon.wire_chaos_rate = Some(n)),
+        "--no-incremental" => {
+            daemon.incremental = false;
+            Ok(())
+        }
+        _ => return None,
+    };
+    Some(parsed)
 }
 
 fn run() -> Result<String, String> {
@@ -147,18 +227,6 @@ fn run() -> Result<String, String> {
         }
         "negotiate" => {
             let path = it.next().ok_or("negotiate: missing <scenario.json>")?;
-            fn parse_num<T: std::str::FromStr>(
-                flag: &str,
-                value: Option<&String>,
-            ) -> Result<T, String>
-            where
-                T::Err: std::fmt::Display,
-            {
-                let value = value.ok_or_else(|| format!("{flag}: missing value"))?;
-                value
-                    .parse()
-                    .map_err(|e| format!("{flag}: invalid value: {e}"))
-            }
             let mut chaos = ChaosOptions::default();
             let mut chaos_mode = false;
             while let Some(flag) = it.next() {
@@ -234,6 +302,37 @@ fn run() -> Result<String, String> {
                 }
             }
             integrity(step).map_err(|e| e.to_string())
+        }
+        "serve" => {
+            let mut daemon = DaemonOptions::default();
+            while let Some(flag) = it.next() {
+                match parse_daemon_flag(flag, &mut it, &mut daemon) {
+                    Some(parsed) => parsed?,
+                    None => return Err(format!("serve: unknown flag `{flag}`")),
+                }
+            }
+            serve(&daemon).map_err(|e| e.to_string())
+        }
+        "load" => {
+            let mut options = LoadOptions::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--attach" => {
+                        let addr = it.next().ok_or("--attach: missing value")?;
+                        options.attach = Some(addr.clone());
+                    }
+                    "--clients" => options.clients = Some(parse_num(flag, it.next())?),
+                    "--concurrency" => options.concurrency = Some(parse_num(flag, it.next())?),
+                    "--fault-rate" => options.fault_rate = Some(parse_num(flag, it.next())?),
+                    "--churn-rate" => options.churn_rate = Some(parse_num(flag, it.next())?),
+                    "--seed" => options.seed = Some(parse_num(flag, it.next())?),
+                    other => match parse_daemon_flag(other, &mut it, &mut options.daemon) {
+                        Some(parsed) => parsed?,
+                        None => return Err(format!("load: unknown flag `{other}`")),
+                    },
+                }
+            }
+            load(&options).map_err(|e| e.to_string())
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),

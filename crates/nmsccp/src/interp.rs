@@ -95,6 +95,19 @@ pub enum Outcome<S: Semiring> {
         /// The residual agent.
         agent: Agent<S>,
     },
+    /// The session deadline passed before the agents finished: the
+    /// virtual clock (driven by transitions and retry suspensions)
+    /// crossed [`crate::RecoveryPolicy::deadline`] with agents still
+    /// pending. Unlike `OutOfFuel` — an interpreter budget — this is a
+    /// *negotiated* bound: the client declared how long the session
+    /// may take, and a retry schedule is never allowed to sleep past
+    /// it.
+    DeadlineExceeded {
+        /// The store when the deadline passed.
+        store: Store<S>,
+        /// The residual agent.
+        agent: Agent<S>,
+    },
 }
 
 impl<S: Semiring> Outcome<S> {
@@ -109,6 +122,7 @@ impl<S: Semiring> Outcome<S> {
             Outcome::Success { .. } => "success",
             Outcome::Deadlock { .. } => "deadlock",
             Outcome::OutOfFuel { .. } => "out_of_fuel",
+            Outcome::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 
@@ -117,7 +131,8 @@ impl<S: Semiring> Outcome<S> {
         match self {
             Outcome::Success { store }
             | Outcome::Deadlock { store, .. }
-            | Outcome::OutOfFuel { store, .. } => store,
+            | Outcome::OutOfFuel { store, .. }
+            | Outcome::DeadlineExceeded { store, .. } => store,
         }
     }
 }
@@ -128,6 +143,9 @@ impl<S: Semiring> std::fmt::Display for Outcome<S> {
             Outcome::Success { .. } => write!(f, "SUCCESS"),
             Outcome::Deadlock { agent, .. } => write!(f, "DEADLOCK (residual: {agent})"),
             Outcome::OutOfFuel { agent, .. } => write!(f, "OUT OF FUEL (residual: {agent})"),
+            Outcome::DeadlineExceeded { agent, .. } => {
+                write!(f, "DEADLINE EXCEEDED (residual: {agent})")
+            }
         }
     }
 }

@@ -209,6 +209,14 @@ pub struct RecoveryPolicy<S: Semiring> {
     /// The dependability interval (C1–C4) the store must stay inside.
     /// `None` disables checkpointing and rollback.
     pub invariant: Option<Interval<S>>,
+    /// Absolute session deadline on the virtual step clock. A retry is
+    /// never allowed to sleep past it: the idle wait is clamped to the
+    /// steps remaining, and once the clock reaches the deadline with
+    /// agents still pending the run ends with
+    /// [`Outcome::DeadlineExceeded`] instead of retrying into a dead
+    /// session. `None` leaves the session unbounded (the `max_steps`
+    /// fuel budget still applies).
+    pub deadline: Option<usize>,
 }
 
 impl<S: Semiring> Default for RecoveryPolicy<S> {
@@ -219,6 +227,7 @@ impl<S: Semiring> Default for RecoveryPolicy<S> {
             backoff_base: 2,
             relaxations: Vec::new(),
             invariant: None,
+            deadline: None,
         }
     }
 }
@@ -381,6 +390,7 @@ enum End {
     Success,
     OutOfFuel,
     Deadlock,
+    DeadlineExceeded,
 }
 
 /// An interpreter that injects a [`FaultPlan`] into a run and applies
@@ -634,6 +644,9 @@ impl<S: Residuated> ResilientInterpreter<S> {
             if agent.is_success() {
                 break End::Success;
             }
+            if self.recovery.deadline.is_some_and(|d| steps >= d) {
+                break End::DeadlineExceeded;
+            }
             if steps >= self.max_steps {
                 break End::OutOfFuel;
             }
@@ -660,11 +673,19 @@ impl<S: Residuated> ResilientInterpreter<S> {
                     } else {
                         usize::MAX
                     };
-                    let wait = self
+                    let mut wait = self
                         .recovery
                         .guard_deadline
                         .saturating_add(backoff)
                         .min(MAX_RETRY_WAIT);
+                    if let Some(deadline) = self.recovery.deadline {
+                        // Never sleep past the session deadline: the
+                        // final wait is clamped to the steps remaining
+                        // (the top of the loop then ends the run with
+                        // `DeadlineExceeded` if the retry still finds
+                        // the configuration blocked).
+                        wait = wait.min(deadline.saturating_sub(steps));
+                    }
                     self.telemetry
                         .observe("nmsccp.recovery.backoff_wait", wait as u64);
                     steps = steps.saturating_add(wait);
@@ -739,6 +760,7 @@ impl<S: Residuated> ResilientInterpreter<S> {
             End::Success => Outcome::Success { store },
             End::OutOfFuel => Outcome::OutOfFuel { store, agent },
             End::Deadlock => Outcome::Deadlock { store, agent },
+            End::DeadlineExceeded => Outcome::DeadlineExceeded { store, agent },
         };
         let report = ResilienceReport {
             report: RunReport {
@@ -1099,6 +1121,78 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(sig(&a), sig(&b));
+    }
+
+    /// A 3-retry plan with a session deadline falling mid-backoff:
+    /// retry 1 idles the full 6 steps (4 + 2·2⁰), retry 2's 8-step
+    /// wait is clamped to the 4 steps remaining before the deadline at
+    /// 10, and the third retry never happens — the run ends with the
+    /// typed `DeadlineExceeded` instead of sleeping into a dead
+    /// session.
+    #[test]
+    fn retry_schedule_never_sleeps_past_the_deadline() {
+        // An ask that can never fire: the empty store sits at level
+        // 0 ∉ [3, 1], so every retry finds the configuration blocked.
+        let starved = Agent::ask(
+            Constraint::always(WeightedInt).with_label("1"),
+            Interval::levels(1u64, 3u64),
+            Agent::success(),
+        );
+        let recovery = RecoveryPolicy {
+            guard_deadline: 4,
+            max_retries: 3,
+            backoff_base: 2,
+            deadline: Some(10),
+            ..RecoveryPolicy::default()
+        };
+        let report = ResilientInterpreter::new(Program::new())
+            .with_recovery(recovery)
+            .run(starved, Store::empty(WeightedInt, doms()))
+            .unwrap();
+        assert!(matches!(
+            report.report.outcome,
+            Outcome::DeadlineExceeded { .. }
+        ));
+        // Only two of the three budgeted retries ran before the clock
+        // hit the deadline.
+        assert_eq!(report.retries, 2);
+        // The virtual clock stopped exactly at the deadline: the
+        // second wait was clamped from 8 to 4.
+        assert_eq!(report.report.steps, 10);
+        let waits: Vec<usize> = report
+            .report
+            .trace
+            .iter()
+            .filter_map(|t| {
+                let rest = t.note.strip_prefix("recovery: retry ")?;
+                rest.split_whitespace()
+                    .nth(2)
+                    .and_then(|w| w.split('-').next())
+                    .and_then(|w| w.parse().ok())
+            })
+            .collect();
+        assert_eq!(waits, vec![6, 4]);
+        // Without the deadline the same plan exhausts all three
+        // retries and deadlocks well past step 10.
+        let unbounded = ResilientInterpreter::new(Program::new())
+            .with_recovery(RecoveryPolicy {
+                guard_deadline: 4,
+                max_retries: 3,
+                backoff_base: 2,
+                ..RecoveryPolicy::default()
+            })
+            .run(
+                Agent::ask(
+                    Constraint::always(WeightedInt).with_label("1"),
+                    Interval::levels(1u64, 3u64),
+                    Agent::success(),
+                ),
+                Store::empty(WeightedInt, doms()),
+            )
+            .unwrap();
+        assert!(matches!(unbounded.report.outcome, Outcome::Deadlock { .. }));
+        assert_eq!(unbounded.retries, 3);
+        assert!(unbounded.report.steps > 10);
     }
 
     /// Regression: `max_retries = 80` used to shift `backoff_base`

@@ -215,19 +215,47 @@ struct BindingEntry<S: Semiring> {
 /// constraint, last witness), not just a winning value.
 pub(crate) const DEFAULT_BINDING_SOLVER_CAPACITY: usize = 64;
 
-impl<S: Semiring> Default for BindingSolvers<S> {
-    fn default() -> BindingSolvers<S> {
-        BindingSolvers {
-            inner: Arc::new(Mutex::new(BindingSolversInner {
-                entries: HashMap::new(),
-                stamp: 0,
-                capacity: DEFAULT_BINDING_SOLVER_CAPACITY,
-            })),
+/// Capacity limits for the broker's two bounded tables, surfaced so a
+/// long-running deployment (notably the [`crate::server`] daemon) can
+/// size memory explicitly instead of inheriting magic numbers.
+///
+/// Both bounds are entry counts, clamped to at least 1. Any capacity —
+/// including 1 — yields identical negotiation results; smaller tables
+/// only trade away warm-start and witness-reuse hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerConfig {
+    /// Bound on cached binding witnesses ([`SolveCache`] entries).
+    pub binding_cache_capacity: usize,
+    /// Bound on persistent per-shape incremental binding solvers.
+    pub binding_solver_capacity: usize,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            binding_cache_capacity: DEFAULT_BINDING_CACHE_CAPACITY,
+            binding_solver_capacity: DEFAULT_BINDING_SOLVER_CAPACITY,
         }
     }
 }
 
+impl<S: Semiring> Default for BindingSolvers<S> {
+    fn default() -> BindingSolvers<S> {
+        BindingSolvers::with_capacity(DEFAULT_BINDING_SOLVER_CAPACITY)
+    }
+}
+
 impl<S: Semiring> BindingSolvers<S> {
+    fn with_capacity(capacity: usize) -> BindingSolvers<S> {
+        BindingSolvers {
+            inner: Arc::new(Mutex::new(BindingSolversInner {
+                entries: HashMap::new(),
+                stamp: 0,
+                capacity: capacity.max(1),
+            })),
+        }
+    }
+
     /// Removes and returns the solver for `key`, leaving the slot
     /// empty while the caller solves outside the lock.
     fn take(&self, key: &(Var, Vec<Val>)) -> Option<BindingEntry<S>> {
@@ -570,6 +598,16 @@ impl<S: Residuated> Broker<S> {
     /// entries are kept; the bound applies from the next insertion.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Broker<S> {
         self.cache = SolveCache::with_capacity(capacity);
+        self
+    }
+
+    /// Applies a [`BrokerConfig`], replacing both bounded tables with
+    /// fresh ones at the configured capacities. Call before the broker
+    /// is cloned or used — the replaced tables are no longer shared
+    /// with pre-existing clones.
+    pub fn with_broker_config(mut self, config: BrokerConfig) -> Broker<S> {
+        self.cache = SolveCache::with_capacity(config.binding_cache_capacity);
+        self.binding_solvers = BindingSolvers::with_capacity(config.binding_solver_capacity);
         self
     }
 
@@ -1351,6 +1389,48 @@ mod tests {
             broker.binding_solvers.len() <= DEFAULT_BINDING_SOLVER_CAPACITY,
             "solver table grew past its capacity"
         );
+    }
+
+    #[test]
+    fn capacity_one_broker_config_still_solves() {
+        // The tightest possible BrokerConfig (both tables bounded at a
+        // single entry) must change nothing about negotiation results:
+        // caches and persistent solvers are performance state only.
+        let mut registry = Registry::new();
+        registry.publish(fuzzy_provider("svc-1", vec![(1, 1.0), (9, 0.0)]));
+        registry.publish(fuzzy_provider("svc-flat", vec![(1, 0.8), (9, 0.8)]));
+        let reference = Broker::new(Fuzzy, registry.clone());
+        let tight = Broker::new(Fuzzy, registry)
+            .with_broker_config(BrokerConfig {
+                binding_cache_capacity: 1,
+                binding_solver_capacity: 1,
+            })
+            .with_incremental(true);
+        for round in 0..4 {
+            let a = reference
+                .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+                .unwrap();
+            let b = tight
+                .negotiate(&fig5_request(), QosOffer::to_fuzzy)
+                .unwrap();
+            assert_eq!(a.agreed_level, b.agreed_level, "round {round}");
+            assert_eq!(a.binding, b.binding, "round {round}");
+            // Distinct shapes each round keep evicting the single slot.
+            let domain = Domain::ints(0..=(2 + round));
+            let sigma = Constraint::unary(Fuzzy, "x", |v| {
+                Unit::clamped(v.as_int().unwrap() as f64 / 10.0)
+            });
+            let solution = tight
+                .solve_binding(&Var::new("x"), &domain, &sigma)
+                .unwrap();
+            let witness = solution
+                .best_assignment()
+                .and_then(|a| a.get(&Var::new("x")))
+                .cloned();
+            assert_eq!(witness, Some(Val::Int(2 + round)));
+        }
+        assert!(tight.binding_solvers.len() <= 1);
+        assert!(tight.cache.len() <= 1);
     }
 
     #[test]

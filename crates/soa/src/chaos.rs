@@ -57,6 +57,12 @@ pub struct ChaosConfig<S: Semiring> {
     pub max_retries: usize,
     /// Base of the deterministic exponential backoff.
     pub backoff_base: usize,
+    /// Absolute per-session deadline on the virtual step clock (see
+    /// [`RecoveryPolicy::deadline`]): retries clamp their idle waits
+    /// to it and a session still blocked at the deadline ends with the
+    /// typed `DeadlineExceeded` outcome. `None` (the default) leaves
+    /// sessions unbounded.
+    pub session_deadline: Option<usize>,
 }
 
 impl<S: Semiring> Default for ChaosConfig<S> {
@@ -72,6 +78,7 @@ impl<S: Semiring> Default for ChaosConfig<S> {
             guard_deadline: 4,
             max_retries: 3,
             backoff_base: 2,
+            session_deadline: None,
         }
     }
 }
@@ -90,6 +97,7 @@ impl<S: Semiring> ChaosConfig<S> {
             backoff_base: self.backoff_base,
             relaxations: relaxations.to_vec(),
             invariant,
+            deadline: self.session_deadline,
         }
     }
 }

@@ -71,10 +71,12 @@ mod orchestrator;
 mod qos;
 mod query;
 mod registry;
+pub mod server;
 mod sim;
 
 pub use broker::{
-    Broker, NegotiationError, NegotiationRequest, RegistrySnapshot, RegistryWriter, Sla,
+    Broker, BrokerConfig, NegotiationError, NegotiationRequest, RegistrySnapshot, RegistryWriter,
+    Sla,
 };
 pub use chaos::{provider_fault_plan, ChaosConfig, ChaosReport, QueryChaosReport};
 pub use compose::Composition;
@@ -82,4 +84,5 @@ pub use orchestrator::{Orchestrator, SlaVerdict, StageStats, WorkloadReport};
 pub use qos::{OfferShape, QosDocument, QosOffer};
 pub use query::{QueryError, QueryPlan, QueryStage, ServiceQuery};
 pub use registry::{ProviderId, Registry, ServiceDescription, ServiceId};
+pub use server::{DrainReport, NegotiationServer, ServerConfig, ServerHandle, StoreChaos};
 pub use sim::{MonitorReport, ServiceFault, SimConfig, SimService, SlaMonitor};

@@ -1,0 +1,118 @@
+//! Admission control: the explicit accept-queue between the acceptor
+//! and the worker pool.
+//!
+//! The queue is the server's only elastic buffer, and it is *bounded*:
+//! when it is full the acceptor sheds the connection with a fast
+//! `overloaded` reply instead of queueing it into starvation. Fairness
+//! follows from FIFO order — admitted sessions are served in arrival
+//! order, so under overload every admitted client makes progress and
+//! the excess is refused predictably (the graceful-degradation stance
+//! of the fairness work cited in PAPERS.md, applied to admission).
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A connection admitted by the acceptor, waiting for a worker.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// The accepted stream.
+    pub stream: TcpStream,
+    /// Monotonic connection id (drives per-connection chaos plans).
+    pub conn_id: u64,
+    /// When the acceptor admitted it (starts the session deadline).
+    pub accepted_at: Instant,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// The bounded FIFO accept-queue.
+#[derive(Debug)]
+pub(crate) struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    limit: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue bounded at `limit` pending connections.
+    pub fn new(limit: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    /// Admits a connection, or returns it when the queue is full (the
+    /// caller sheds it). On success the new queue depth rides along
+    /// for the depth gauge.
+    pub fn offer(&self, pending: Pending) -> Result<usize, Pending> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed || inner.queue.len() >= self.limit {
+            return Err(pending);
+        }
+        inner.queue.push_back(pending);
+        let depth = inner.queue.len();
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes the oldest pending connection, waiting up to `timeout`.
+    /// Returns `None` on timeout or when the queue is closed and
+    /// empty — callers re-check drain state and loop.
+    pub fn take(&self, timeout: Duration) -> Option<Pending> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(pending) = inner.queue.pop_front() {
+                return Some(pending);
+            }
+            if inner.closed {
+                return None;
+            }
+            let (next, wait) = self
+                .available
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = next;
+            if wait.timed_out() {
+                return inner.queue.pop_front();
+            }
+        }
+    }
+
+    /// Closes the queue: `offer` refuses everything and blocked
+    /// `take`s wake up. Already-queued connections remain takeable
+    /// (the drain serves them while the deadline allows).
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Drains every still-queued connection (for shedding once the
+    /// drain deadline has passed).
+    pub fn drain_remaining(&self) -> Vec<Pending> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.queue.drain(..).collect()
+    }
+
+    /// The current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+}

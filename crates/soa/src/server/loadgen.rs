@@ -1,0 +1,499 @@
+//! Deterministic load generator for the negotiation daemon.
+//!
+//! Drives N client sessions (over a bounded thread pool) against a
+//! running server, mixing well-behaved negotiators with registry-churn
+//! clients and — at a configurable rate — deliberately hostile ones:
+//! silent stalls, truncated frames, slow-loris writers and abrupt
+//! disconnects. Client behaviour is a pure function of `(seed, client
+//! index)`, so a failing run replays exactly.
+//!
+//! The report tallies every session by its *typed* outcome; the
+//! headline dependability claim is `hung == 0` — no client ever waits
+//! past the server's deadline envelope without an answer or a close.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use softsoa_dependability::Attribute;
+use softsoa_telemetry::Telemetry;
+
+use crate::qos::{OfferShape, QosOffer};
+use crate::registry::{Registry, ServiceDescription};
+use crate::server::protocol::{NegotiateRequest, PublishRequest, Reply, Request, WireSemiring};
+use crate::server::{DrainReport, NegotiationServer, ServerConfig, ServerHandle};
+use crate::QosDocument;
+
+/// Load shape: how many sessions, how parallel, how hostile.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Total client sessions to run.
+    pub clients: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// Fraction of clients that misbehave at the transport level
+    /// (stall, truncate, slow-loris, disconnect).
+    pub transport_fault_rate: f64,
+    /// Fraction of well-behaved clients that churn the registry
+    /// (publish → negotiate → deregister) instead of just negotiating.
+    pub churn_rate: f64,
+    /// Seed for the deterministic per-client behaviour plan.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            clients: 200,
+            concurrency: 16,
+            transport_fault_rate: 0.0,
+            churn_rate: 0.2,
+            seed: 7,
+        }
+    }
+}
+
+/// What one load run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Sessions attempted.
+    pub sessions: usize,
+    /// Tally of typed outcomes (`bound`, `degraded`, `shed`,
+    /// `timed-out`, `error`, plus client-side `closed` / `abandoned` /
+    /// `garbled` / `connect-failed`).
+    pub outcomes: BTreeMap<String, usize>,
+    /// Sessions where the client waited past the full deadline
+    /// envelope with neither a reply nor a close. **Must be zero.**
+    pub hung: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Completed sessions per second.
+    pub sessions_per_sec: f64,
+    /// Median session latency (reply-awaiting sessions), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile session latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst session latency, milliseconds.
+    pub max_ms: f64,
+    /// Binding-cache entries after the run (flat-memory witness).
+    pub cache_entries: usize,
+    /// The configured binding-cache bound.
+    pub cache_capacity: usize,
+    /// Registry epoch after the run (how much churn was published).
+    pub final_epoch: u64,
+}
+
+impl LoadReport {
+    /// Renders the report as pretty JSON (the `BENCH_8.json` rows).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("report values always serialize")
+    }
+
+    /// The report as a JSON value, for embedding in larger documents.
+    pub fn to_value(&self) -> Value {
+        let outcomes = Value::Obj(
+            self.outcomes
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::UInt(*v as u64)))
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("sessions".into(), Value::UInt(self.sessions as u64)),
+            ("outcomes".into(), outcomes),
+            ("hung".into(), Value::UInt(self.hung as u64)),
+            (
+                "elapsed_ms".into(),
+                Value::Float(self.elapsed.as_secs_f64() * 1e3),
+            ),
+            (
+                "sessions_per_sec".into(),
+                Value::Float(self.sessions_per_sec),
+            ),
+            ("p50_ms".into(), Value::Float(self.p50_ms)),
+            ("p99_ms".into(), Value::Float(self.p99_ms)),
+            ("max_ms".into(), Value::Float(self.max_ms)),
+            (
+                "cache_entries".into(),
+                Value::UInt(self.cache_entries as u64),
+            ),
+            (
+                "cache_capacity".into(),
+                Value::UInt(self.cache_capacity as u64),
+            ),
+            ("final_epoch".into(), Value::UInt(self.final_epoch)),
+        ])
+    }
+}
+
+/// A self-hosted run: the load report plus what the drain saw.
+#[derive(Debug, Clone)]
+pub struct SelfHostedReport {
+    /// The client-side load report.
+    pub load: LoadReport,
+    /// The server-side drain report.
+    pub drain: DrainReport,
+}
+
+impl SelfHostedReport {
+    /// Renders both sides as one pretty-JSON document.
+    pub fn to_json(&self) -> String {
+        let drain = Value::Obj(vec![
+            ("drained".into(), Value::UInt(self.drain.drained as u64)),
+            ("shed".into(), Value::UInt(self.drain.shed as u64)),
+            ("aborted".into(), Value::UInt(self.drain.aborted as u64)),
+            (
+                "elapsed_ms".into(),
+                Value::Float(self.drain.elapsed.as_secs_f64() * 1e3),
+            ),
+            (
+                "within_deadline".into(),
+                Value::Bool(self.drain.within_deadline),
+            ),
+        ]);
+        let value = Value::Obj(vec![
+            ("load".into(), self.load.to_value()),
+            ("drain".into(), drain),
+        ]);
+        serde_json::to_string_pretty(&value).expect("report values always serialize")
+    }
+}
+
+/// Seeds a registry with `providers` services advertising the
+/// `compute` capability over the `x` variable, with varied linear
+/// offers so negotiations bind different levels.
+pub fn seed_providers(providers: usize) -> Registry {
+    let mut registry = Registry::new();
+    for p in 0..providers {
+        let service = format!("svc-{p:03}");
+        let slope = 0.01 + (p % 7) as f64 * 0.01;
+        let intercept = 0.40 + (p % 5) as f64 * 0.05;
+        registry.publish(ServiceDescription::new(
+            service.as_str(),
+            format!("provider-{}", p % 5),
+            "compute",
+            QosDocument::new(&service).with_offer(QosOffer {
+                attribute: Attribute::Reliability,
+                variable: "x".into(),
+                shape: OfferShape::Linear { slope, intercept },
+            }),
+        ));
+    }
+    registry
+}
+
+/// Starts a server on an ephemeral local port, runs the load against
+/// it, then drains. The returned report carries both sides.
+///
+/// # Errors
+///
+/// Propagates server start-up failures (bind, thread spawn).
+pub fn run_self_hosted<S: WireSemiring>(
+    semiring: S,
+    registry: Registry,
+    server: ServerConfig,
+    load: &LoadConfig,
+    drain: Duration,
+) -> std::io::Result<SelfHostedReport> {
+    let handle = NegotiationServer::start(semiring, registry, server, Telemetry::disabled())?;
+    let mut report = run(handle.local_addr(), load, handle.config().session_deadline);
+    annotate(&mut report, &handle);
+    let drain = handle.shutdown(drain);
+    Ok(SelfHostedReport {
+        load: report,
+        drain,
+    })
+}
+
+/// Fills the server-side fields of a report from a live handle.
+pub fn annotate<S: WireSemiring>(report: &mut LoadReport, handle: &ServerHandle<S>) {
+    report.cache_entries = handle.broker().cache.len();
+    report.cache_capacity = handle.config().broker.binding_cache_capacity;
+    report.final_epoch = handle.broker().registry().epoch();
+}
+
+/// Runs the load against an already-listening address.
+/// `session_deadline` must match the server's (it sizes the client's
+/// hang detector: a client only counts as hung after waiting out the
+/// server's whole deadline envelope plus slack).
+pub fn run(addr: SocketAddr, load: &LoadConfig, session_deadline: Duration) -> LoadReport {
+    let started = Instant::now();
+    let budget = session_deadline + session_deadline / 2 + Duration::from_secs(2);
+    let concurrency = load.concurrency.max(1);
+    let results: Vec<ClientResult> = thread::scope(|scope| {
+        let mut lanes = Vec::with_capacity(concurrency);
+        for lane in 0..concurrency {
+            let load = *load;
+            lanes.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut index = lane;
+                while index < load.clients {
+                    out.push(run_client(addr, index as u64, &load, budget));
+                    index += concurrency;
+                }
+                out
+            }));
+        }
+        lanes
+            .into_iter()
+            .flat_map(|lane| lane.join().unwrap_or_default())
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut outcomes = BTreeMap::new();
+    let mut hung = 0;
+    let mut latencies: Vec<f64> = Vec::new();
+    for result in &results {
+        *outcomes.entry(result.label.clone()).or_insert(0) += 1;
+        if result.hung {
+            hung += 1;
+        }
+        if let Some(latency) = result.latency {
+            latencies.push(latency.as_secs_f64() * 1e3);
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    LoadReport {
+        sessions: results.len(),
+        outcomes,
+        hung,
+        sessions_per_sec: results.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        cache_entries: 0,
+        cache_capacity: 0,
+        final_epoch: 0,
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The deterministic behaviour plan for one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientPlan {
+    /// Connect, negotiate, read the reply, close.
+    Negotiate,
+    /// Publish a service, negotiate, deregister it (registry churn).
+    Churn,
+    /// Send half a frame, then go silent until the server's session
+    /// deadline answers with a typed `timed-out`.
+    SilentStall,
+    /// Send a frame without its terminator and close the write side —
+    /// the server must answer `truncated-frame`.
+    TruncatedFrame,
+    /// Write the frame one byte at a time — slow, but inside the
+    /// deadline; the server must still answer normally.
+    SlowLoris,
+    /// Send a request and vanish without reading the reply.
+    Disconnect,
+}
+
+fn plan_for(load: &LoadConfig, index: u64) -> ClientPlan {
+    let mut rng = StdRng::seed_from_u64(load.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    if rng.random::<f64>() < load.transport_fault_rate {
+        match rng.random_range(0..4u32) {
+            0 => ClientPlan::SilentStall,
+            1 => ClientPlan::TruncatedFrame,
+            2 => ClientPlan::SlowLoris,
+            _ => ClientPlan::Disconnect,
+        }
+    } else if rng.random::<f64>() < load.churn_rate {
+        ClientPlan::Churn
+    } else {
+        ClientPlan::Negotiate
+    }
+}
+
+fn negotiate_request(index: u64) -> Request {
+    // Vary the domain upper bound so the broker sees several binding
+    // shapes (exercising the bounded per-shape solver table).
+    Request::Negotiate(NegotiateRequest {
+        capability: "compute".into(),
+        variable: "x".into(),
+        domain: [0, 4 + (index % 5) as i64],
+        policy: OfferShape::Linear {
+            slope: -0.01,
+            intercept: 0.9,
+        },
+        accept: [0.2, 1.0],
+    })
+}
+
+#[derive(Debug, Default)]
+struct ClientResult {
+    label: String,
+    latency: Option<Duration>,
+    hung: bool,
+}
+
+fn run_client(addr: SocketAddr, index: u64, load: &LoadConfig, budget: Duration) -> ClientResult {
+    let started = Instant::now();
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return ClientResult {
+            label: "connect-failed".into(),
+            latency: None,
+            hung: false,
+        };
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(budget));
+
+    let mut result = match plan_for(load, index) {
+        ClientPlan::Negotiate => exchange_all(&stream, &[negotiate_request(index)]),
+        ClientPlan::Churn => {
+            let service = format!("churn-{index}");
+            exchange_all(
+                &stream,
+                &[
+                    Request::Publish(PublishRequest {
+                        service: service.clone(),
+                        provider: "loadgen".into(),
+                        capability: "compute".into(),
+                        offer: QosOffer {
+                            attribute: Attribute::Reliability,
+                            variable: "x".into(),
+                            shape: OfferShape::Linear {
+                                slope: 0.01,
+                                intercept: 0.6,
+                            },
+                        },
+                    }),
+                    negotiate_request(index),
+                    Request::Deregister { service },
+                ],
+            )
+        }
+        ClientPlan::SilentStall => {
+            let mut s = &stream;
+            let _ = s.write_all(b"{\"op\":\"negot"); // half a frame, then silence
+            read_outcome(&stream)
+        }
+        ClientPlan::TruncatedFrame => {
+            let mut s = &stream;
+            let _ = s.write_all(b"{\"op\":\"ping\"}"); // no terminator
+            let _ = stream.shutdown(Shutdown::Write);
+            read_outcome(&stream)
+        }
+        ClientPlan::SlowLoris => {
+            let frame = format!("{}\n", negotiate_request(index).to_json());
+            let mut s = &stream;
+            for byte in frame.as_bytes() {
+                if s.write_all(std::slice::from_ref(byte)).is_err() {
+                    break;
+                }
+                thread::sleep(Duration::from_micros(200));
+            }
+            let _ = s.flush();
+            read_outcome(&stream)
+        }
+        ClientPlan::Disconnect => {
+            let frame = format!("{}\n", negotiate_request(index).to_json());
+            let mut s = &stream;
+            let _ = s.write_all(frame.as_bytes());
+            drop(stream);
+            ClientResult {
+                label: "abandoned".into(),
+                latency: None,
+                hung: false,
+            }
+        }
+    };
+    if result.latency.is_none() && !result.hung && result.label != "abandoned" {
+        result.latency = Some(started.elapsed());
+    }
+    result
+}
+
+/// Sends each request and reads its reply; the session's label is the
+/// last reply's outcome (the negotiation, for churn clients).
+fn exchange_all(stream: &TcpStream, requests: &[Request]) -> ClientResult {
+    let mut label = "closed".to_string();
+    for request in requests {
+        let frame = format!("{}\n", request.to_json());
+        let mut s = stream;
+        if s.write_all(frame.as_bytes()).is_err() || s.flush().is_err() {
+            return ClientResult {
+                label: "closed".into(),
+                latency: None,
+                hung: false,
+            };
+        }
+        let outcome = read_outcome(stream);
+        if outcome.hung || outcome.label == "closed" || outcome.label == "garbled" {
+            return outcome;
+        }
+        label = outcome.label;
+        // A shed/timed-out/error reply ends the session server-side.
+        if matches!(label.as_str(), "shed" | "timed-out" | "error") {
+            break;
+        }
+    }
+    ClientResult {
+        label,
+        latency: None,
+        hung: false,
+    }
+}
+
+/// Reads one reply frame; classifies timeout-without-data as **hung**
+/// (the dependability failure this whole PR exists to prevent).
+fn read_outcome(stream: &TcpStream) -> ClientResult {
+    let mut buffer = Vec::new();
+    let mut byte = [0u8; 1];
+    let mut s = stream;
+    loop {
+        match s.read(&mut byte) {
+            Ok(0) => {
+                return ClientResult {
+                    label: "closed".into(),
+                    latency: None,
+                    hung: false,
+                }
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    let text = String::from_utf8_lossy(&buffer);
+                    let label = Reply::parse(&text)
+                        .map(|r| r.outcome_label().to_string())
+                        .unwrap_or_else(|_| "garbled".to_string());
+                    return ClientResult {
+                        label,
+                        latency: None,
+                        hung: false,
+                    };
+                }
+                buffer.push(byte[0]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return ClientResult {
+                    label: "hung".into(),
+                    latency: None,
+                    hung: true,
+                }
+            }
+            Err(_) => {
+                return ClientResult {
+                    label: "closed".into(),
+                    latency: None,
+                    hung: false,
+                }
+            }
+        }
+    }
+}

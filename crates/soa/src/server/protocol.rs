@@ -1,0 +1,702 @@
+//! The daemon's wire protocol: line-JSON requests and typed replies.
+//!
+//! Every client interaction is one request frame answered by exactly
+//! one reply frame. Replies are *total*: whatever happens to a session
+//! — agreement, degradation, shed, timeout, malformed input — the
+//! client receives a typed outcome before the connection closes, never
+//! a silent hang. The reply vocabulary mirrors the dependability
+//! story: `bound` (a clean agreement), `degraded` (an agreement that
+//! needed the PR 3 recovery machinery — retries, rollbacks or
+//! relaxation rungs), `shed` (admission control refused the session),
+//! `timed-out` (a deadline fired; the partial store's checkpointed
+//! consistency level rides along) and `error` (typed rejection).
+//!
+//! [`WireSemiring`] bridges the protocol's plain-float levels to the
+//! semirings the broker negotiates over, so one server implementation
+//! serves fuzzy, weighted and probabilistic deployments.
+
+use serde::{Deserialize, Serialize, Value};
+use softsoa_core::Constraint;
+use softsoa_semiring::{Fuzzy, Probabilistic, Residuated, Unit, Weight, Weighted};
+
+use crate::qos::{OfferShape, QosOffer};
+
+/// A semiring the server can speak on the wire: levels parse from and
+/// render to plain JSON numbers, and QoS offers translate to provider
+/// constraints.
+pub trait WireSemiring: Residuated {
+    /// The protocol name of the semiring (`fuzzy`, `weighted`, …).
+    const NAME: &'static str;
+
+    /// Parses a wire-level number into a semiring value.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the number is out of range.
+    fn parse_level(x: f64) -> Result<Self::Value, String>;
+
+    /// Renders a semiring value as a wire-level number.
+    fn render_level(v: &Self::Value) -> f64;
+
+    /// Translates a registry offer into a provider constraint (the
+    /// broker's `translate` hook).
+    fn translate(offer: &QosOffer) -> Constraint<Self>;
+
+    /// Builds the client's policy constraint from an [`OfferShape`]
+    /// over the negotiation variable.
+    fn shape_constraint(variable: &str, shape: OfferShape) -> Constraint<Self>;
+}
+
+impl WireSemiring for Fuzzy {
+    const NAME: &'static str = "fuzzy";
+
+    fn parse_level(x: f64) -> Result<Unit, String> {
+        Unit::new(x).map_err(|e| e.to_string())
+    }
+
+    fn render_level(v: &Unit) -> f64 {
+        v.get()
+    }
+
+    fn translate(offer: &QosOffer) -> Constraint<Fuzzy> {
+        offer.to_fuzzy()
+    }
+
+    fn shape_constraint(variable: &str, shape: OfferShape) -> Constraint<Fuzzy> {
+        Constraint::unary(Fuzzy, variable, move |v| {
+            Unit::clamped(shape.level_at(v.as_int().unwrap_or(0)))
+        })
+        .with_label("client")
+    }
+}
+
+impl WireSemiring for Weighted {
+    const NAME: &'static str = "weighted";
+
+    fn parse_level(x: f64) -> Result<Weight, String> {
+        Weight::new(x).map_err(|e| e.to_string())
+    }
+
+    fn render_level(v: &Weight) -> f64 {
+        // `∞` is not representable in JSON; the largest finite float
+        // is unambiguous on the wire (no agreed level ever reaches it).
+        if v.is_infinite() {
+            f64::MAX
+        } else {
+            v.get()
+        }
+    }
+
+    fn translate(offer: &QosOffer) -> Constraint<Weighted> {
+        offer.to_weighted()
+    }
+
+    fn shape_constraint(variable: &str, shape: OfferShape) -> Constraint<Weighted> {
+        Constraint::unary(Weighted, variable, move |v| {
+            Weight::saturating(shape.level_at(v.as_int().unwrap_or(0)))
+        })
+        .with_label("client")
+    }
+}
+
+impl WireSemiring for Probabilistic {
+    const NAME: &'static str = "probabilistic";
+
+    fn parse_level(x: f64) -> Result<Unit, String> {
+        Unit::new(x).map_err(|e| e.to_string())
+    }
+
+    fn render_level(v: &Unit) -> f64 {
+        v.get()
+    }
+
+    fn translate(offer: &QosOffer) -> Constraint<Probabilistic> {
+        offer.to_probabilistic()
+    }
+
+    fn shape_constraint(variable: &str, shape: OfferShape) -> Constraint<Probabilistic> {
+        Constraint::unary(Probabilistic, variable, move |v| {
+            Unit::clamped(shape.level_at(v.as_int().unwrap_or(0)))
+        })
+        .with_label("client")
+    }
+}
+
+// ---- requests --------------------------------------------------------
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with the current registry epoch.
+    Ping,
+    /// Drive one discovery → negotiation → binding session.
+    Negotiate(NegotiateRequest),
+    /// Publish (or replace) a provider in the registry.
+    Publish(PublishRequest),
+    /// Remove a provider from the registry.
+    Deregister {
+        /// The service id to remove.
+        service: String,
+    },
+}
+
+/// The negotiation parameters a client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegotiateRequest {
+    /// The capability to discover providers for.
+    pub capability: String,
+    /// The negotiation variable.
+    pub variable: String,
+    /// Inclusive integer domain bounds for the variable.
+    pub domain: [i64; 2],
+    /// The client's policy over the variable.
+    pub policy: OfferShape,
+    /// Acceptance interval `[lo, hi]` as wire levels.
+    pub accept: [f64; 2],
+}
+
+/// A provider publication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishRequest {
+    /// The service id.
+    pub service: String,
+    /// The owning provider id.
+    pub provider: String,
+    /// The capability the service offers.
+    pub capability: String,
+    /// The QoS offer backing negotiations.
+    pub offer: QosOffer,
+}
+
+impl Request {
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason (surfaced to the client as a
+    /// `bad-request` reply).
+    pub fn parse(frame: &str) -> Result<Request, String> {
+        let value: Value = serde_json::from_str(frame).map_err(|e| e.to_string())?;
+        let op = str_field(&value, "op")?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "negotiate" => {
+                let domain = value.get("domain").ok_or("missing field `domain`")?;
+                let policy = value.get("policy").ok_or("missing field `policy`")?;
+                Ok(Request::Negotiate(NegotiateRequest {
+                    capability: str_field(&value, "capability")?.to_string(),
+                    variable: str_field(&value, "variable")?.to_string(),
+                    domain: [i64_field(domain, "min")?, i64_field(domain, "max")?],
+                    policy: OfferShape::from_value(policy).map_err(|e| e.to_string())?,
+                    accept: [
+                        f64_field(&value, "accept_lo")?,
+                        f64_field(&value, "accept_hi")?,
+                    ],
+                }))
+            }
+            "publish" => {
+                let offer = value.get("offer").ok_or("missing field `offer`")?;
+                Ok(Request::Publish(PublishRequest {
+                    service: str_field(&value, "service")?.to_string(),
+                    provider: str_field(&value, "provider")?.to_string(),
+                    capability: str_field(&value, "capability")?.to_string(),
+                    offer: QosOffer::from_value(offer).map_err(|e| e.to_string())?,
+                }))
+            }
+            "deregister" => Ok(Request::Deregister {
+                service: str_field(&value, "service")?.to_string(),
+            }),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Renders the request as one JSON frame payload.
+    pub fn to_json(&self) -> String {
+        let value = match self {
+            Request::Ping => obj(vec![("op", Value::Str("ping".into()))]),
+            Request::Negotiate(n) => obj(vec![
+                ("op", Value::Str("negotiate".into())),
+                ("capability", Value::Str(n.capability.clone())),
+                ("variable", Value::Str(n.variable.clone())),
+                (
+                    "domain",
+                    obj(vec![
+                        ("min", Value::Int(n.domain[0])),
+                        ("max", Value::Int(n.domain[1])),
+                    ]),
+                ),
+                ("policy", n.policy.to_value()),
+                ("accept_lo", Value::Float(n.accept[0])),
+                ("accept_hi", Value::Float(n.accept[1])),
+            ]),
+            Request::Publish(p) => obj(vec![
+                ("op", Value::Str("publish".into())),
+                ("service", Value::Str(p.service.clone())),
+                ("provider", Value::Str(p.provider.clone())),
+                ("capability", Value::Str(p.capability.clone())),
+                ("offer", p.offer.to_value()),
+            ]),
+            Request::Deregister { service } => obj(vec![
+                ("op", Value::Str("deregister".into())),
+                ("service", Value::Str(service.clone())),
+            ]),
+        };
+        serde_json::to_string(&value).expect("request values always serialize")
+    }
+}
+
+// ---- replies ---------------------------------------------------------
+
+/// Why admission control refused a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The accept queue (or in-flight budget) is full.
+    Overloaded,
+    /// The server is draining towards shutdown.
+    Draining,
+}
+
+impl ShedReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::Draining => "draining",
+        }
+    }
+}
+
+/// Which phase a deadline fired in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Waiting for (or mid-way through) a request frame.
+    Read,
+    /// Driving the negotiation engine.
+    Negotiate,
+    /// Writing the reply.
+    Write,
+    /// The whole-session deadline, between requests.
+    Session,
+}
+
+impl Phase {
+    /// The wire/metric label of the phase.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Read => "read",
+            Phase::Negotiate => "negotiate",
+            Phase::Write => "write",
+            Phase::Session => "session",
+        }
+    }
+}
+
+/// A typed request rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame was not a well-formed request.
+    BadRequest,
+    /// The peer closed mid-frame.
+    TruncatedFrame,
+    /// The frame exceeded the configured limit.
+    OversizedFrame,
+    /// Discovery found no provider for the capability.
+    NoProvider,
+    /// Every provider session failed to agree.
+    NoAgreement,
+    /// The acceptance interval is contradictory.
+    InvalidAcceptance,
+    /// An internal engine failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::TruncatedFrame => "truncated-frame",
+            ErrorCode::OversizedFrame => "oversized-frame",
+            ErrorCode::NoProvider => "no-provider",
+            ErrorCode::NoAgreement => "no-agreement",
+            ErrorCode::InvalidAcceptance => "invalid-acceptance",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad-request" => ErrorCode::BadRequest,
+            "truncated-frame" => ErrorCode::TruncatedFrame,
+            "oversized-frame" => ErrorCode::OversizedFrame,
+            "no-provider" => ErrorCode::NoProvider,
+            "no-agreement" => ErrorCode::NoAgreement,
+            "invalid-acceptance" => ErrorCode::InvalidAcceptance,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// One reply frame: the typed outcome of a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// A clean agreement.
+    Bound {
+        /// The winning service.
+        service: String,
+        /// Its provider.
+        provider: String,
+        /// The agreed level as a wire number.
+        level: f64,
+        /// The bound value of the negotiation variable, if any.
+        binding: Option<i64>,
+        /// The registry epoch the agreement was computed under.
+        epoch: u64,
+    },
+    /// An agreement that needed recovery (retries, rollbacks or
+    /// relaxation rungs) to survive injected faults.
+    Degraded {
+        /// The winning service.
+        service: String,
+        /// Its provider.
+        provider: String,
+        /// The agreed level as a wire number.
+        level: f64,
+        /// The bound value of the negotiation variable, if any.
+        binding: Option<i64>,
+        /// The registry epoch the agreement was computed under.
+        epoch: u64,
+        /// Total retries spent across provider sessions.
+        retries: u64,
+        /// Total relaxation rungs consumed.
+        relaxations: u64,
+    },
+    /// Admission control refused the session.
+    Shed {
+        /// Why the session was refused.
+        reason: ShedReason,
+    },
+    /// A deadline fired.
+    TimedOut {
+        /// The phase the deadline fired in.
+        phase: Phase,
+        /// The checkpointed consistency level of the partial store,
+        /// when a negotiation was cut off mid-way.
+        partial_level: Option<f64>,
+    },
+    /// A typed rejection.
+    Error {
+        /// The rejection code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Liveness answer.
+    Pong {
+        /// The current registry epoch.
+        epoch: u64,
+    },
+    /// A publication was accepted.
+    Published {
+        /// The epoch the publication created.
+        epoch: u64,
+    },
+    /// A deregistration was processed.
+    Deregistered {
+        /// The epoch after the removal.
+        epoch: u64,
+        /// Whether the service existed.
+        existed: bool,
+    },
+}
+
+impl Reply {
+    /// The typed outcome label (the value of the `outcome` field, also
+    /// used for metric labels and load-generator tallies).
+    pub fn outcome_label(&self) -> &'static str {
+        match self {
+            Reply::Bound { .. } => "bound",
+            Reply::Degraded { .. } => "degraded",
+            Reply::Shed { .. } => "shed",
+            Reply::TimedOut { .. } => "timed-out",
+            Reply::Error { .. } => "error",
+            Reply::Pong { .. } => "pong",
+            Reply::Published { .. } => "published",
+            Reply::Deregistered { .. } => "deregistered",
+        }
+    }
+
+    /// Renders the reply as one JSON frame payload.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![("outcome", Value::Str(self.outcome_label().into()))];
+        match self {
+            Reply::Bound {
+                service,
+                provider,
+                level,
+                binding,
+                epoch,
+            } => {
+                fields.push(("service", Value::Str(service.clone())));
+                fields.push(("provider", Value::Str(provider.clone())));
+                fields.push(("level", Value::Float(*level)));
+                fields.push(("binding", binding.map_or(Value::Null, Value::Int)));
+                fields.push(("epoch", Value::UInt(*epoch)));
+            }
+            Reply::Degraded {
+                service,
+                provider,
+                level,
+                binding,
+                epoch,
+                retries,
+                relaxations,
+            } => {
+                fields.push(("service", Value::Str(service.clone())));
+                fields.push(("provider", Value::Str(provider.clone())));
+                fields.push(("level", Value::Float(*level)));
+                fields.push(("binding", binding.map_or(Value::Null, Value::Int)));
+                fields.push(("epoch", Value::UInt(*epoch)));
+                fields.push(("retries", Value::UInt(*retries)));
+                fields.push(("relaxations", Value::UInt(*relaxations)));
+            }
+            Reply::Shed { reason } => {
+                fields.push(("reason", Value::Str(reason.as_str().into())));
+            }
+            Reply::TimedOut {
+                phase,
+                partial_level,
+            } => {
+                fields.push(("phase", Value::Str(phase.as_str().into())));
+                fields.push((
+                    "partial_level",
+                    partial_level.map_or(Value::Null, Value::Float),
+                ));
+            }
+            Reply::Error { code, detail } => {
+                fields.push(("code", Value::Str(code.as_str().into())));
+                fields.push(("detail", Value::Str(detail.clone())));
+            }
+            Reply::Pong { epoch } => {
+                fields.push(("epoch", Value::UInt(*epoch)));
+            }
+            Reply::Published { epoch } => {
+                fields.push(("epoch", Value::UInt(*epoch)));
+            }
+            Reply::Deregistered { epoch, existed } => {
+                fields.push(("epoch", Value::UInt(*epoch)));
+                fields.push(("existed", Value::Bool(*existed)));
+            }
+        }
+        serde_json::to_string(&obj(fields)).expect("reply values always serialize")
+    }
+
+    /// Parses a reply frame (the load generator's half of the
+    /// protocol).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason for malformed frames.
+    pub fn parse(frame: &str) -> Result<Reply, String> {
+        let value: Value = serde_json::from_str(frame).map_err(|e| e.to_string())?;
+        let outcome = str_field(&value, "outcome")?;
+        match outcome {
+            "bound" => Ok(Reply::Bound {
+                service: str_field(&value, "service")?.to_string(),
+                provider: str_field(&value, "provider")?.to_string(),
+                level: f64_field(&value, "level")?,
+                binding: opt_i64_field(&value, "binding")?,
+                epoch: u64_field(&value, "epoch")?,
+            }),
+            "degraded" => Ok(Reply::Degraded {
+                service: str_field(&value, "service")?.to_string(),
+                provider: str_field(&value, "provider")?.to_string(),
+                level: f64_field(&value, "level")?,
+                binding: opt_i64_field(&value, "binding")?,
+                epoch: u64_field(&value, "epoch")?,
+                retries: u64_field(&value, "retries")?,
+                relaxations: u64_field(&value, "relaxations")?,
+            }),
+            "shed" => Ok(Reply::Shed {
+                reason: match str_field(&value, "reason")? {
+                    "overloaded" => ShedReason::Overloaded,
+                    "draining" => ShedReason::Draining,
+                    other => return Err(format!("unknown shed reason `{other}`")),
+                },
+            }),
+            "timed-out" => Ok(Reply::TimedOut {
+                phase: match str_field(&value, "phase")? {
+                    "read" => Phase::Read,
+                    "negotiate" => Phase::Negotiate,
+                    "write" => Phase::Write,
+                    "session" => Phase::Session,
+                    other => return Err(format!("unknown phase `{other}`")),
+                },
+                partial_level: opt_f64_field(&value, "partial_level")?,
+            }),
+            "error" => Ok(Reply::Error {
+                code: ErrorCode::parse(str_field(&value, "code")?).ok_or("unknown error code")?,
+                detail: str_field(&value, "detail")?.to_string(),
+            }),
+            "pong" => Ok(Reply::Pong {
+                epoch: u64_field(&value, "epoch")?,
+            }),
+            "published" => Ok(Reply::Published {
+                epoch: u64_field(&value, "epoch")?,
+            }),
+            "deregistered" => Ok(Reply::Deregistered {
+                epoch: u64_field(&value, "epoch")?,
+                existed: bool_field(&value, "existed")?,
+            }),
+            other => Err(format!("unknown outcome `{other}`")),
+        }
+    }
+}
+
+// ---- value helpers ---------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn str_field<'v>(value: &'v Value, key: &str) -> Result<&'v str, String> {
+    match value.get(key) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(other) => Err(format!(
+            "field `{key}`: expected string, got {}",
+            other.kind()
+        )),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn number(value: &Value) -> Option<f64> {
+    match value {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn f64_field(value: &Value, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(number)
+        .ok_or_else(|| format!("field `{key}`: expected number"))
+}
+
+fn opt_f64_field(value: &Value, key: &str) -> Result<Option<f64>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => number(v)
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}`: expected number or null")),
+    }
+}
+
+fn i64_field(value: &Value, key: &str) -> Result<i64, String> {
+    match value.get(key) {
+        Some(Value::Int(i)) => Ok(*i),
+        Some(Value::UInt(u)) => i64::try_from(*u).map_err(|_| format!("field `{key}`: overflow")),
+        _ => Err(format!("field `{key}`: expected integer")),
+    }
+}
+
+fn opt_i64_field(value: &Value, key: &str) -> Result<Option<i64>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(i)) => Ok(Some(*i)),
+        Some(Value::UInt(u)) => i64::try_from(*u)
+            .map(Some)
+            .map_err(|_| format!("field `{key}`: overflow")),
+        Some(other) => Err(format!(
+            "field `{key}`: expected integer or null, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn u64_field(value: &Value, key: &str) -> Result<u64, String> {
+    match value.get(key) {
+        Some(Value::Int(i)) => u64::try_from(*i).map_err(|_| format!("field `{key}`: negative")),
+        Some(Value::UInt(u)) => Ok(*u),
+        _ => Err(format!("field `{key}`: expected unsigned integer")),
+    }
+}
+
+fn bool_field(value: &Value, key: &str) -> Result<bool, String> {
+    match value.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("field `{key}`: expected boolean")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Ping,
+            Request::Negotiate(NegotiateRequest {
+                capability: "compute".into(),
+                variable: "x".into(),
+                domain: [0, 9],
+                policy: OfferShape::Linear {
+                    slope: -0.1,
+                    intercept: 1.0,
+                },
+                accept: [0.3, 1.0],
+            }),
+            Request::Deregister {
+                service: "svc-1".into(),
+            },
+        ];
+        for request in requests {
+            let json = request.to_json();
+            assert_eq!(Request::parse(&json).unwrap(), request, "{json}");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let replies = vec![
+            Reply::Bound {
+                service: "svc-1".into(),
+                provider: "acme".into(),
+                level: 0.5,
+                binding: Some(5),
+                epoch: 3,
+            },
+            Reply::Shed {
+                reason: ShedReason::Overloaded,
+            },
+            Reply::TimedOut {
+                phase: Phase::Negotiate,
+                partial_level: Some(0.25),
+            },
+            Reply::Error {
+                code: ErrorCode::NoAgreement,
+                detail: "all sessions deadlocked".into(),
+            },
+            Reply::Pong { epoch: 0 },
+        ];
+        for reply in replies {
+            let json = reply.to_json();
+            assert_eq!(Reply::parse(&json).unwrap(), reply, "{json}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"warp"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"negotiate"}"#).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the daemon's line-JSON framing layer.
+//!
+//! The framing contract, stated as properties over arbitrary payloads
+//! and arbitrary chunk boundaries:
+//!
+//! - **Round trip** — however the byte stream is split across reads
+//!   (one byte at a time, several frames per chunk, cuts inside
+//!   multi-byte characters), decoding returns exactly the encoded
+//!   payload sequence, then a clean `Closed`.
+//! - **Truncation** — a stream that ends mid-frame yields every
+//!   complete frame first, then a typed `Truncated` carrying the
+//!   number of stranded bytes — never a silent partial payload.
+//! - **Oversize** — a frame exceeding the limit is rejected with a
+//!   typed `Oversized` no matter how it is chunked, *including* when
+//!   its terminator is already buffered; the reader stays poisoned
+//!   afterwards.
+
+use std::io::{self, Read};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use softsoa_soa::server::transport::{
+    encode_frame, FrameError, FrameReader, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Yields a byte stream split at caller-chosen positions, one segment
+/// per `read` call — the adversarial scheduler for the reader.
+struct ChunkedReader {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+    next_cut: usize,
+}
+
+impl ChunkedReader {
+    fn new(data: Vec<u8>, mut cuts: Vec<usize>) -> ChunkedReader {
+        cuts.sort_unstable();
+        ChunkedReader {
+            data,
+            cuts,
+            pos: 0,
+            next_cut: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let end = loop {
+            match self.cuts.get(self.next_cut) {
+                Some(&cut) if cut <= self.pos => self.next_cut += 1,
+                Some(&cut) => break cut.min(self.data.len()),
+                None => break self.data.len(),
+            }
+        };
+        let n = (end - self.pos)
+            .min(buf.len())
+            .max(1)
+            .min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #[test]
+    fn frames_round_trip_across_arbitrary_chunk_boundaries(
+        payloads in vec(".*", 1..8usize),
+        cuts in vec(0usize..600, 0..48usize),
+    ) {
+        let mut bytes = Vec::new();
+        for payload in &payloads {
+            bytes.extend_from_slice(&encode_frame(payload));
+        }
+        let mut reader =
+            FrameReader::new(ChunkedReader::new(bytes, cuts), DEFAULT_MAX_FRAME_BYTES);
+        for payload in &payloads {
+            prop_assert_eq!(&reader.read_frame().unwrap(), payload);
+        }
+        prop_assert!(matches!(reader.read_frame(), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_streams_yield_complete_frames_then_a_typed_rejection(
+        payloads in vec(".*", 0..5usize),
+        tail_len in 1usize..40,
+        cuts in vec(0usize..600, 0..24usize),
+    ) {
+        let mut bytes = Vec::new();
+        for payload in &payloads {
+            bytes.extend_from_slice(&encode_frame(payload));
+        }
+        // A final frame whose terminator never arrives.
+        let tail: String = "x".repeat(tail_len);
+        bytes.extend_from_slice(tail.as_bytes());
+        let mut reader =
+            FrameReader::new(ChunkedReader::new(bytes, cuts), DEFAULT_MAX_FRAME_BYTES);
+        for payload in &payloads {
+            prop_assert_eq!(&reader.read_frame().unwrap(), payload);
+        }
+        match reader.read_frame() {
+            Err(FrameError::Truncated { buffered }) => prop_assert_eq!(buffered, tail_len),
+            other => prop_assert!(false, "expected Truncated, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_however_chunked(
+        limit in 8usize..64,
+        excess in 1usize..64,
+        terminated in any::<bool>(),
+        cuts in vec(0usize..200, 0..16usize),
+    ) {
+        let mut bytes = vec![b'y'; limit + excess];
+        if terminated {
+            bytes.push(b'\n');
+            bytes.extend_from_slice(&encode_frame("after"));
+        }
+        let mut reader = FrameReader::new(ChunkedReader::new(bytes, cuts), limit);
+        match reader.read_frame() {
+            Err(FrameError::Oversized { limit: reported }) => {
+                prop_assert_eq!(reported, limit);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+        // Poisoned: the frame after the oversized one is unreachable.
+        prop_assert!(matches!(
+            reader.read_frame(),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+}

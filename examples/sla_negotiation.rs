@@ -106,6 +106,10 @@ fn sec41_negotiation_examples() -> Result<(), Box<dyn std::error::Error>> {
                 store.consistency()?
             ),
             Outcome::OutOfFuel { .. } => println!("  {label}: out of fuel"),
+            Outcome::DeadlineExceeded { store, .. } => println!(
+                "  {label}: DEADLINE EXCEEDED, best σ⇓∅ = {} hours",
+                store.consistency()?
+            ),
         }
         Ok(())
     };
