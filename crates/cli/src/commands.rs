@@ -22,12 +22,13 @@ use softsoa_nmsccp::{
     RecoveryPolicy, ResilientInterpreter, Store,
 };
 use softsoa_semiring::{Boolean, Fuzzy, Probabilistic, Semiring, Weighted};
-use softsoa_soa::server::loadgen::{self, LoadConfig};
+use softsoa_soa::server::loadgen::{self, ContentionConfig, LoadConfig};
 use softsoa_soa::server::protocol::WireSemiring;
 use softsoa_soa::server::transport::TransportChaos;
 use softsoa_soa::{
-    Broker, ChaosConfig, NegotiationRequest, NegotiationServer, QosDocument, QosOffer, Registry,
-    ServerConfig, ServiceDescription, StoreChaos,
+    Broker, ChaosConfig, ContendedRequest, ContentionOutcome, Fairness, NegotiationRequest,
+    NegotiationServer, QosDocument, QosOffer, Registry, ServerConfig, ServiceDescription,
+    StoreChaos,
 };
 use softsoa_telemetry::{MemorySink, Telemetry};
 
@@ -786,40 +787,41 @@ pub fn negotiate_chaos(text: &str, options: ChaosOptions) -> Result<String, Comm
     }
 }
 
-/// Runs the broker section of a negotiation document: publishes the
-/// declared providers, builds the client request and negotiates —
-/// plainly, or resiliently under `--chaos-*` options.
-#[allow(clippy::too_many_arguments)]
-fn broker_generic<S, L, F>(
-    spec: &NegotiationSpec,
-    broker_spec: &BrokerSpec,
-    chaos: Option<ChaosOptions>,
-    semiring: S,
-    level: L,
-    translate: F,
-    fmt_level: impl Fn(&S::Value) -> String,
-    metrics: Option<MetricsFormat>,
-    engine: EngineOptions,
-) -> Result<String, CommandError>
-where
-    S: softsoa_semiring::Residuated,
-    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
-    F: Fn(&QosOffer) -> Constraint<S>,
-{
+/// Publishes a broker section's declared providers into a fresh
+/// registry, carrying any declared concurrent-binding capacities.
+fn broker_registry(broker_spec: &BrokerSpec) -> Registry {
     let mut registry = Registry::new();
     for provider in &broker_spec.providers {
         let mut doc = QosDocument::new(&provider.id);
         for offer in &provider.offers {
             doc = doc.with_offer(offer.clone());
         }
-        registry.publish(ServiceDescription::new(
+        let mut description = ServiceDescription::new(
             provider.id.as_str(),
             provider.provider.as_deref().unwrap_or(&provider.id),
             broker_spec.capability.as_str(),
             doc,
-        ));
+        );
+        if let Some(slots) = provider.capacity {
+            description = description.with_capacity(slots);
+        }
+        registry.publish(description);
     }
+    registry
+}
 
+/// Builds the client-side negotiation request a broker section
+/// describes (variable domain, policy constraint, acceptance band).
+fn broker_request<S, L>(
+    spec: &NegotiationSpec,
+    broker_spec: &BrokerSpec,
+    semiring: &S,
+    level: &L,
+) -> Result<NegotiationRequest<S>, CommandError>
+where
+    S: softsoa_semiring::Residuated,
+    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+{
     let domain = spec
         .domains
         .get(&broker_spec.variable)
@@ -841,13 +843,37 @@ where
         })?
         .to_constraint(semiring.clone(), level.clone())?;
     let [lo, hi] = broker_spec.acceptance;
-    let request = NegotiationRequest {
+    Ok(NegotiationRequest {
         capability: broker_spec.capability.clone(),
         variable: Var::new(&broker_spec.variable),
         domain,
         constraint: client,
         acceptance: Interval::levels(level(lo)?, level(hi)?),
-    };
+    })
+}
+
+/// Runs the broker section of a negotiation document: publishes the
+/// declared providers, builds the client request and negotiates —
+/// plainly, or resiliently under `--chaos-*` options.
+#[allow(clippy::too_many_arguments)]
+fn broker_generic<S, L, F>(
+    spec: &NegotiationSpec,
+    broker_spec: &BrokerSpec,
+    chaos: Option<ChaosOptions>,
+    semiring: S,
+    level: L,
+    translate: F,
+    fmt_level: impl Fn(&S::Value) -> String,
+    metrics: Option<MetricsFormat>,
+    engine: EngineOptions,
+) -> Result<String, CommandError>
+where
+    S: softsoa_semiring::Residuated,
+    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+    F: Fn(&QosOffer) -> Constraint<S>,
+{
+    let registry = broker_registry(broker_spec);
+    let request = broker_request(spec, broker_spec, &semiring, &level)?;
 
     let (telemetry, recorder) = metrics_recorder(metrics);
     let broker = Broker::new(semiring.clone(), registry)
@@ -941,6 +967,161 @@ fn write_sla<S: Semiring>(
     if let Some((eta, level)) = &sla.binding {
         let _ = writeln!(out, "binding: {eta} at {}", fmt_level(level));
     }
+}
+
+/// Options for `negotiate --contend` (contended broker scenarios).
+#[derive(Debug, Clone, Copy)]
+pub struct ContendOptions {
+    /// Contending clients to replicate the scenario's request into
+    /// (`--contend <n>`).
+    pub contenders: usize,
+    /// The allocation objective (`--fairness`).
+    pub fairness: Fairness,
+    /// Append a telemetry snapshot to the report (`--metrics`).
+    pub metrics: Option<MetricsFormat>,
+    /// Propagation and decomposition overrides for binding solves.
+    pub engine: EngineOptions,
+}
+
+impl Default for ContendOptions {
+    fn default() -> ContendOptions {
+        ContendOptions {
+            contenders: 4,
+            fairness: Fairness::default(),
+            metrics: None,
+            engine: EngineOptions::default(),
+        }
+    }
+}
+
+/// `softsoa negotiate --contend <n>`: replicates a broker scenario's
+/// request into `n` contending clients and allocates them jointly
+/// under the configured fairness objective, reporting each client's
+/// typed outcome and the batch fairness metrics.
+///
+/// # Errors
+///
+/// Returns [`CommandError::Usage`] for documents without a `broker`
+/// section or for the boolean semiring (contention ranks agreements by
+/// graded softness), [`CommandError::Format`] for malformed documents.
+pub fn negotiate_contend(text: &str, options: &ContendOptions) -> Result<String, CommandError> {
+    let spec = NegotiationSpec::from_json(text)?;
+    let broker_spec = spec.broker.clone().ok_or_else(|| {
+        CommandError::Usage("--contend: the document has no `broker` section".into())
+    })?;
+    match spec.semiring {
+        SemiringKind::Weighted => contend_generic(
+            &spec,
+            &broker_spec,
+            options,
+            Weighted,
+            weight_level,
+            QosOffer::to_weighted,
+            ToString::to_string,
+        ),
+        SemiringKind::Fuzzy => contend_generic(
+            &spec,
+            &broker_spec,
+            options,
+            Fuzzy,
+            unit_level,
+            QosOffer::to_fuzzy,
+            ToString::to_string,
+        ),
+        SemiringKind::Probabilistic => contend_generic(
+            &spec,
+            &broker_spec,
+            options,
+            Probabilistic,
+            unit_level,
+            QosOffer::to_probabilistic,
+            ToString::to_string,
+        ),
+        SemiringKind::Boolean => Err(CommandError::Usage(
+            "--contend: contention ranks agreements by graded softness — \
+             use weighted, fuzzy or probabilistic"
+                .into(),
+        )),
+    }
+}
+
+fn contend_generic<S, L, F>(
+    spec: &NegotiationSpec,
+    broker_spec: &BrokerSpec,
+    options: &ContendOptions,
+    semiring: S,
+    level: L,
+    translate: F,
+    fmt_level: impl Fn(&S::Value) -> String,
+) -> Result<String, CommandError>
+where
+    S: WireSemiring,
+    L: Fn(f64) -> Result<S::Value, FormatError> + Clone + Send + Sync + 'static,
+    F: Fn(&QosOffer) -> Constraint<S>,
+{
+    let registry = broker_registry(broker_spec);
+    let request = broker_request(spec, broker_spec, &semiring, &level)?;
+    let (telemetry, recorder) = metrics_recorder(options.metrics);
+    let broker = Broker::new(semiring, registry)
+        .with_telemetry(telemetry)
+        .with_incremental(options.engine.incremental)
+        .with_solver_config(
+            options
+                .engine
+                .apply(SolverConfig::default().with_parallelism(Parallelism::Sequential)),
+        );
+    let contended: Vec<ContendedRequest<S>> = (0..options.contenders.max(1))
+        .map(|i| ContendedRequest {
+            client: format!("client-{i:02}"),
+            request: request.clone(),
+        })
+        .collect();
+    let allocation = broker.negotiate_contended(&contended, options.fairness, &translate);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "contended: {} clients for `{}`, objective {}, epoch {}",
+        contended.len(),
+        broker_spec.capability,
+        allocation.fairness,
+        allocation.epoch,
+    );
+    for (client, outcome) in &allocation.outcomes {
+        match outcome {
+            ContentionOutcome::Granted(sla) => {
+                let _ = writeln!(
+                    out,
+                    "{client:12} granted     {} from {} at {}",
+                    sla.service.as_str(),
+                    sla.provider.as_str(),
+                    fmt_level(&sla.agreed_level)
+                );
+            }
+            ContentionOutcome::Preempted => {
+                let _ = writeln!(out, "{client:12} preempted   (fcfs would have granted)");
+            }
+            ContentionOutcome::Waitlisted { age } => {
+                let _ = writeln!(out, "{client:12} waitlisted  (denied {age} rounds running)");
+            }
+            ContentionOutcome::Unserved => {
+                let _ = writeln!(out, "{client:12} unserved    (no provider agreed)");
+            }
+        }
+    }
+    let report = &allocation.report;
+    let _ = writeln!(
+        out,
+        "fairness: jain {:.3} min-utility {:.3} spread {:.3} sum-softness {:.3} \
+         max-starvation {}",
+        report.jain,
+        report.min_utility,
+        report.spread,
+        report.sum_softness,
+        report.max_starvation_age,
+    );
+    append_metrics(&mut out, recorder);
+    Ok(out)
 }
 
 fn explore_generic<S, L>(
@@ -1160,8 +1341,9 @@ pub struct DaemonOptions {
     /// Semiring the daemon negotiates in (`boolean` is rejected:
     /// the wire protocol carries graded QoS levels).
     pub semiring: SemiringKind,
-    /// Synthetic `compute` providers seeded into the registry.
-    pub providers: usize,
+    /// Synthetic `compute` providers seeded into the registry
+    /// (`None` keeps each workload's own default).
+    pub providers: Option<usize>,
     /// Worker threads (`None` keeps the server default).
     pub workers: Option<usize>,
     /// Accept-queue bound (`None` keeps the server default).
@@ -1180,6 +1362,9 @@ pub struct DaemonOptions {
     pub wire_chaos_rate: Option<f64>,
     /// Whether binding solves use the incremental engine.
     pub incremental: bool,
+    /// Contention objective for negotiate batching (`None` keeps the
+    /// historical per-session FCFS path).
+    pub fairness: Option<Fairness>,
 }
 
 impl Default for DaemonOptions {
@@ -1187,7 +1372,7 @@ impl Default for DaemonOptions {
         DaemonOptions {
             addr: "127.0.0.1:0".to_string(),
             semiring: SemiringKind::Fuzzy,
-            providers: 8,
+            providers: None,
             workers: None,
             queue_limit: None,
             session_deadline_ms: None,
@@ -1197,16 +1382,23 @@ impl Default for DaemonOptions {
             wire_chaos_seed: None,
             wire_chaos_rate: None,
             incremental: true,
+            fairness: None,
         }
     }
 }
 
 impl DaemonOptions {
+    /// Providers to seed for the independent-session workloads.
+    fn providers(&self) -> usize {
+        self.providers.unwrap_or(8)
+    }
+
     /// Lowers the flag values onto a concrete server configuration.
     fn server_config(&self) -> ServerConfig {
         let mut config = ServerConfig {
             addr: self.addr.clone(),
             incremental: self.incremental,
+            fairness: self.fairness,
             ..ServerConfig::default()
         };
         if let Some(workers) = self.workers {
@@ -1257,6 +1449,19 @@ pub fn parse_semiring(name: &str) -> Result<SemiringKind, CommandError> {
     }
 }
 
+/// Parses a `--fairness` flag value.
+///
+/// # Errors
+///
+/// Returns [`CommandError::Usage`] for an unknown objective name.
+pub fn parse_fairness(name: &str) -> Result<Fairness, CommandError> {
+    Fairness::parse(name).ok_or_else(|| {
+        CommandError::Usage(format!(
+            "unknown fairness objective `{name}` (expected fcfs, utilitarian, leximin or nash)"
+        ))
+    })
+}
+
 /// `softsoa serve`: runs the negotiation daemon until stdin reaches
 /// EOF, then drains gracefully and reports what the drain saw.
 ///
@@ -1279,7 +1484,7 @@ pub fn serve(options: &DaemonOptions) -> Result<String, CommandError> {
 }
 
 fn serve_on<S: WireSemiring>(semiring: S, options: &DaemonOptions) -> Result<String, CommandError> {
-    let registry = loadgen::seed_providers(options.providers);
+    let registry = loadgen::seed_providers(options.providers());
     let handle = NegotiationServer::start(
         semiring,
         registry,
@@ -1293,7 +1498,7 @@ fn serve_on<S: WireSemiring>(semiring: S, options: &DaemonOptions) -> Result<Str
         S::NAME,
         handle.config().workers,
         handle.config().queue_limit,
-        options.providers,
+        options.providers(),
     );
     println!("serving until stdin closes (EOF drains and stops)");
     let _ = std::io::stdout().flush();
@@ -1338,6 +1543,15 @@ pub struct LoadOptions {
     pub churn_rate: Option<f64>,
     /// Seed for the deterministic client plans.
     pub seed: Option<u64>,
+    /// Run the contended multi-client workload instead of the
+    /// independent-session one (`--contended`).
+    pub contended: bool,
+    /// Contended waves to run (`--waves`).
+    pub waves: Option<usize>,
+    /// Clients racing in each contended wave (`--wave-clients`).
+    pub wave_clients: Option<usize>,
+    /// Concurrent-binding slots per seeded provider (`--slots`).
+    pub slots: Option<u32>,
 }
 
 impl LoadOptions {
@@ -1360,6 +1574,32 @@ impl LoadOptions {
         }
         config
     }
+
+    fn contention_config(&self) -> ContentionConfig {
+        let mut config = ContentionConfig {
+            fairness: self.daemon.fairness.unwrap_or_default(),
+            ..ContentionConfig::default()
+        };
+        if let Some(providers) = self.daemon.providers {
+            config.providers = providers;
+        }
+        if let Some(waves) = self.waves {
+            config.waves = waves;
+        }
+        if let Some(clients) = self.wave_clients {
+            config.clients_per_wave = clients;
+        }
+        if let Some(slots) = self.slots {
+            config.slots_per_provider = slots;
+        }
+        if let Some(rate) = self.fault_rate {
+            config.transport_fault_rate = rate;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config
+    }
 }
 
 /// `softsoa load`: drives the deterministic load generator — against a
@@ -1372,15 +1612,12 @@ impl LoadOptions {
 /// unresolvable `--attach` address, [`CommandError::Engine`] for
 /// bind/spawn failures.
 pub fn load(options: &LoadOptions) -> Result<String, CommandError> {
+    if options.contended {
+        return load_contended(options);
+    }
     let config = options.load_config();
     if let Some(addr) = &options.attach {
-        let addr = addr
-            .to_socket_addrs()
-            .map_err(|e| CommandError::Usage(format!("--attach `{addr}`: {e}")))?
-            .next()
-            .ok_or_else(|| {
-                CommandError::Usage(format!("--attach `{addr}`: resolved to nothing"))
-            })?;
+        let addr = resolve_attach(addr)?;
         let deadline = Duration::from_millis(options.daemon.session_deadline_ms.unwrap_or(2_000));
         let report = loadgen::run(addr, &config, deadline);
         return Ok(report.to_json() + "\n");
@@ -1395,6 +1632,45 @@ pub fn load(options: &LoadOptions) -> Result<String, CommandError> {
     }
 }
 
+fn resolve_attach(addr: &str) -> Result<std::net::SocketAddr, CommandError> {
+    addr.to_socket_addrs()
+        .map_err(|e| CommandError::Usage(format!("--attach `{addr}`: {e}")))?
+        .next()
+        .ok_or_else(|| CommandError::Usage(format!("--attach `{addr}`: resolved to nothing")))
+}
+
+/// `softsoa load --contended`: waves of stable-identity clients race
+/// for capacity-limited slots through the server's batching window;
+/// the report carries the starvation and fairness tallies.
+fn load_contended(options: &LoadOptions) -> Result<String, CommandError> {
+    let config = options.contention_config();
+    if let Some(addr) = &options.attach {
+        let addr = resolve_attach(addr)?;
+        let deadline = Duration::from_millis(options.daemon.session_deadline_ms.unwrap_or(2_000));
+        let report = loadgen::run_contended(addr, &config, deadline);
+        return Ok(report.to_json() + "\n");
+    }
+    match options.daemon.semiring {
+        SemiringKind::Weighted => load_contended_self_hosted(Weighted, &config, options),
+        SemiringKind::Fuzzy => load_contended_self_hosted(Fuzzy, &config, options),
+        SemiringKind::Probabilistic => load_contended_self_hosted(Probabilistic, &config, options),
+        SemiringKind::Boolean => Err(CommandError::Usage(
+            "load: the daemon negotiates graded QoS — use weighted, fuzzy or probabilistic".into(),
+        )),
+    }
+}
+
+fn load_contended_self_hosted<S: WireSemiring>(
+    semiring: S,
+    config: &ContentionConfig,
+    options: &LoadOptions,
+) -> Result<String, CommandError> {
+    let (report, _drain) =
+        loadgen::run_contended_self_hosted(semiring, config, options.daemon.drain())
+            .map_err(|e| CommandError::Engine(format!("load: {e}")))?;
+    Ok(report.to_json() + "\n")
+}
+
 fn load_self_hosted<S: WireSemiring>(
     semiring: S,
     options: &LoadOptions,
@@ -1402,7 +1678,7 @@ fn load_self_hosted<S: WireSemiring>(
 ) -> Result<String, CommandError> {
     let report = loadgen::run_self_hosted(
         semiring,
-        loadgen::seed_providers(options.daemon.providers),
+        loadgen::seed_providers(options.daemon.providers()),
         options.daemon.server_config(),
         config,
         options.daemon.drain(),
@@ -1932,6 +2208,79 @@ mod tests {
             let report = negotiate_with_options(&broker_doc(), None, engine).unwrap();
             assert_eq!(report, reference, "{engine:?}");
         }
+    }
+
+    fn contended_doc() -> String {
+        r#"{
+            "semiring": "fuzzy",
+            "domains": {"x": {"ints": [1, 9]}},
+            "constraints": {
+                "want": {"linear": {"var": "x", "slope": 0.1, "intercept": 0.0}}
+            },
+            "broker": {
+                "capability": "compute",
+                "variable": "x",
+                "client": "want",
+                "acceptance": [0.1, 1.0],
+                "providers": [
+                    {"id": "svc-gold", "capacity": 1, "offers": [
+                        {"attribute": "Reliability", "variable": "x",
+                         "shape": {"Constant": {"level": 0.9}}}]},
+                    {"id": "svc-silver", "capacity": 1, "offers": [
+                        {"attribute": "Reliability", "variable": "x",
+                         "shape": {"Constant": {"level": 0.6}}}]}
+                ]
+            }
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn negotiate_contend_respects_declared_capacities() {
+        // Four identical clients over two capacity-1 providers: every
+        // client gets a typed line, and exactly two slots are granted.
+        let options = ContendOptions {
+            contenders: 4,
+            fairness: Fairness::Leximin,
+            ..ContendOptions::default()
+        };
+        let report = negotiate_contend(&contended_doc(), &options).unwrap();
+        for client in ["client-00", "client-01", "client-02", "client-03"] {
+            assert!(report.contains(client), "{report}");
+        }
+        let granted = report.matches(" granted ").count();
+        assert_eq!(granted, 2, "{report}");
+        assert!(report.contains("objective leximin"), "{report}");
+        assert!(report.contains("fairness: jain"), "{report}");
+    }
+
+    #[test]
+    fn negotiate_contend_without_capacities_grants_everyone() {
+        let options = ContendOptions {
+            contenders: 3,
+            ..ContendOptions::default()
+        };
+        let report = negotiate_contend(&broker_doc(), &options).unwrap();
+        assert_eq!(report.matches(" granted ").count(), 3, "{report}");
+    }
+
+    #[test]
+    fn negotiate_contend_rejects_boolean_and_brokerless_documents() {
+        let boolean = contended_doc().replace("\"fuzzy\"", "\"boolean\"");
+        assert!(matches!(
+            negotiate_contend(&boolean, &ContendOptions::default()),
+            Err(CommandError::Usage(_))
+        ));
+        let no_broker = r#"{
+            "semiring": "fuzzy",
+            "domains": {},
+            "constraints": {},
+            "agent": "success"
+        }"#;
+        assert!(matches!(
+            negotiate_contend(no_broker, &ContendOptions::default()),
+            Err(CommandError::Usage(_))
+        ));
     }
 
     #[test]

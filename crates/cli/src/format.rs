@@ -404,6 +404,10 @@ pub struct ProviderSpec {
     /// The provider name (defaults to the service id).
     #[serde(default)]
     pub provider: Option<String>,
+    /// Concurrent-binding capacity (`negotiate --contend` contention;
+    /// omitted means uncapped).
+    #[serde(default)]
+    pub capacity: Option<u32>,
     /// The service's QoS offers (`softsoa-soa` documents verbatim).
     pub offers: Vec<QosOffer>,
 }

@@ -3,9 +3,10 @@
 use std::process::ExitCode;
 
 use softsoa_cli::{
-    coalitions_with_options, explore, integrity, load, negotiate_chaos, negotiate_with_options,
-    parse_propagation, parse_semiring, parse_var_order, serve, solve_with, ChaosOptions,
-    DaemonOptions, EngineOptions, LoadOptions, MetricsFormat, SolveOptions, SolverChoice,
+    coalitions_with_options, explore, integrity, load, negotiate_chaos, negotiate_contend,
+    negotiate_with_options, parse_fairness, parse_propagation, parse_semiring, parse_var_order,
+    serve, solve_with, ChaosOptions, ContendOptions, DaemonOptions, EngineOptions, LoadOptions,
+    MetricsFormat, SolveOptions, SolverChoice,
 };
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
@@ -21,6 +22,7 @@ USAGE:
                   [--incremental]
                   [--chaos-seed <n>] [--chaos-rate <p>] [--chaos-horizon <n>]
                   [--chaos-retries <n>] [--chaos-deadline <n>] [--chaos-backoff <n>]
+                  [--contend <n>] [--fairness fcfs|utilitarian|leximin|nash]
     softsoa explore <scenario.json>
     softsoa coalitions <trust.json> [--metrics[=json|pretty]]
                   [--propagate[=off|root|full]] [--decompose|--no-decompose]
@@ -31,8 +33,10 @@ USAGE:
                   [--store-chaos-seed <n>] [--store-chaos-rate <p>]
                   [--wire-chaos-seed <n>] [--wire-chaos-rate <p>]
                   [--no-incremental]
+                  [--fairness fcfs|utilitarian|leximin|nash]
     softsoa load  [--attach <host:port>] [--clients <n>] [--concurrency <n>]
                   [--fault-rate <p>] [--churn-rate <p>] [--seed <n>]
+                  [--contended] [--waves <n>] [--wave-clients <n>] [--slots <n>]
                   [... plus the serve daemon flags when self-hosting]
 
 --metrics appends a telemetry snapshot to the report: json (the
@@ -63,6 +67,18 @@ disconnects); --store-chaos-* injects faults inside every negotiation;
 --wire-chaos-* adds server-side transport chaos. Every session must
 still terminate with a typed outcome — the report's `hung` tally is
 the invariant to watch.
+
+--fairness turns on capacity-aware contended allocation. On `serve`
+and `load` it batches concurrent negotiate requests in a short window
+and allocates the batch jointly under the named objective (leximin
+maximises the worst-off client, nash the proportional-fair product,
+utilitarian the total softness; fcfs reproduces arrival order).
+`load --contended` drives waves of stable-identity clients racing for
+`--slots` concurrent bindings per provider and reports starvation and
+Jain-index tallies. `negotiate --contend <n>` replicates a broker
+scenario's request into n contending clients and prints each client's
+typed outcome (granted, preempted, waitlisted, unserved) plus the
+batch fairness metrics; providers may declare a `capacity` slot count.
 
 --incremental routes broker binding solves through the persistent
 incremental re-solve engine: binding problems are kept alive across
@@ -151,7 +167,7 @@ fn parse_daemon_flag<'a>(
             },
             None => Err("--semiring: missing value".to_string()),
         },
-        "--providers" => parse_num(flag, it.next()).map(|n| daemon.providers = n),
+        "--providers" => parse_num(flag, it.next()).map(|n| daemon.providers = Some(n)),
         "--workers" => parse_num(flag, it.next()).map(|n| daemon.workers = Some(n)),
         "--queue" => parse_num(flag, it.next()).map(|n| daemon.queue_limit = Some(n)),
         "--session-deadline-ms" => {
@@ -170,6 +186,16 @@ fn parse_daemon_flag<'a>(
             daemon.incremental = false;
             Ok(())
         }
+        "--fairness" => match it.next() {
+            Some(name) => match parse_fairness(name) {
+                Ok(objective) => {
+                    daemon.fairness = Some(objective);
+                    Ok(())
+                }
+                Err(e) => Err(e.to_string()),
+            },
+            None => Err("--fairness: missing value".to_string()),
+        },
         _ => return None,
     };
     Some(parsed)
@@ -229,11 +255,25 @@ fn run() -> Result<String, String> {
             let path = it.next().ok_or("negotiate: missing <scenario.json>")?;
             let mut chaos = ChaosOptions::default();
             let mut chaos_mode = false;
+            let mut contend = ContendOptions::default();
+            let mut contend_mode = false;
             while let Some(flag) = it.next() {
                 let flag = flag.as_str();
-                // Only --chaos-* flags select chaos mode; --metrics
-                // and the engine flags compose with either mode.
+                // Only --chaos-* flags select chaos mode and only
+                // --contend/--fairness select contended mode; --metrics
+                // and the engine flags compose with any mode.
                 match flag {
+                    "--contend" => {
+                        contend.contenders = parse_num(flag, it.next())?;
+                        contend_mode = true;
+                        continue;
+                    }
+                    "--fairness" => {
+                        let name = it.next().ok_or("--fairness: missing value")?;
+                        contend.fairness = parse_fairness(name).map_err(|e| e.to_string())?;
+                        contend_mode = true;
+                        continue;
+                    }
                     "--chaos-seed" => chaos.seed = parse_num(flag, it.next())?,
                     "--chaos-rate" => chaos.rate = parse_num(flag, it.next())?,
                     "--chaos-horizon" => chaos.horizon = parse_num(flag, it.next())?,
@@ -258,7 +298,14 @@ fn run() -> Result<String, String> {
             }
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            if chaos_mode {
+            if chaos_mode && contend_mode {
+                return Err("negotiate: --contend/--fairness and --chaos-* are exclusive".into());
+            }
+            if contend_mode {
+                contend.metrics = chaos.metrics;
+                contend.engine = chaos.engine;
+                negotiate_contend(&text, &contend).map_err(|e| e.to_string())
+            } else if chaos_mode {
                 negotiate_chaos(&text, chaos).map_err(|e| e.to_string())
             } else {
                 negotiate_with_options(&text, chaos.metrics, chaos.engine)
@@ -326,11 +373,22 @@ fn run() -> Result<String, String> {
                     "--fault-rate" => options.fault_rate = Some(parse_num(flag, it.next())?),
                     "--churn-rate" => options.churn_rate = Some(parse_num(flag, it.next())?),
                     "--seed" => options.seed = Some(parse_num(flag, it.next())?),
+                    "--contended" => options.contended = true,
+                    "--waves" => options.waves = Some(parse_num(flag, it.next())?),
+                    "--wave-clients" => options.wave_clients = Some(parse_num(flag, it.next())?),
+                    "--slots" => options.slots = Some(parse_num(flag, it.next())?),
                     other => match parse_daemon_flag(other, &mut it, &mut options.daemon) {
                         Some(parsed) => parsed?,
                         None => return Err(format!("load: unknown flag `{other}`")),
                     },
                 }
+            }
+            if !options.contended
+                && (options.waves.is_some()
+                    || options.wave_clients.is_some()
+                    || options.slots.is_some())
+            {
+                return Err("load: --waves/--wave-clients/--slots require --contended".into());
             }
             load(&options).map_err(|e| e.to_string())
         }

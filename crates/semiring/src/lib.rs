@@ -50,6 +50,7 @@ mod boolean;
 mod extra;
 mod fuzzy;
 pub mod laws;
+mod lex;
 mod probabilistic;
 mod product;
 mod set;
@@ -60,6 +61,7 @@ mod weighted;
 pub use boolean::Boolean;
 pub use extra::{Capacity, Lukasiewicz};
 pub use fuzzy::Fuzzy;
+pub use lex::Lex;
 pub use probabilistic::Probabilistic;
 pub use product::{triple, Product};
 pub use set::{NotInUniverseError, SetElement, SetSemiring};
@@ -82,6 +84,7 @@ mod send_sync_tests {
         assert_send_sync::<Boolean>();
         assert_send_sync::<SetSemiring<u32>>();
         assert_send_sync::<Product<Weighted, Fuzzy>>();
+        assert_send_sync::<Lex<Probabilistic, Probabilistic>>();
     }
 
     #[test]

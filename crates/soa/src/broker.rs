@@ -179,6 +179,10 @@ pub struct Broker<S: Semiring> {
     /// One persistent incremental solver per binding problem shape
     /// (negotiation variable + domain), shared across clones.
     binding_solvers: BindingSolvers<S>,
+    /// Cross-batch contention history (per-client grants, starvation
+    /// ages), shared across clones so every worker's joint allocations
+    /// see the same fairness ledger.
+    pub(crate) contention: crate::contention::ContentionState,
 }
 
 /// Persistent per-binding-shape incremental solvers, keyed by the
@@ -263,27 +267,27 @@ impl<S: Semiring> BindingSolvers<S> {
         inner.entries.remove(key)
     }
 
-    /// Puts a solver back (or registers a fresh one), evicting the
-    /// least-recently-used entry at capacity. If a racing negotiation
-    /// re-created the same shape meanwhile, last-writer-wins — each
-    /// solve is self-contained, so dropping the loser only costs its
-    /// warm state.
+    /// Puts a solver back (or registers a fresh one), batch-evicting
+    /// the least-recently-used entries at capacity. If a racing
+    /// negotiation re-created the same shape meanwhile,
+    /// last-writer-wins — each solve is self-contained, so dropping
+    /// the loser only costs its warm state.
     fn put(&self, key: (Var, Vec<Val>), solver: IncrementalSolver<S>, id: ConstraintId) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.stamp += 1;
         let stamp = inner.stamp;
         if inner.entries.len() >= inner.capacity && !inner.entries.contains_key(&key) {
-            // The capacity is small and fixed, so a linear LRU scan is
-            // cheaper than maintaining a recency index over the
-            // clone-heavy keys.
-            if let Some(victim) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone())
-            {
-                inner.entries.remove(&victim);
-            }
+            // Drop the oldest `capacity / EVICTION_DIVISOR` entries in
+            // one O(n) pass instead of scanning for a single victim on
+            // every insert at capacity — the same amortized scheme as
+            // the core component cache.
+            let k = (inner.capacity / EVICTION_DIVISOR)
+                .max(1)
+                .min(inner.entries.len());
+            let mut stamps: Vec<u64> = inner.entries.values().map(|e| e.stamp).collect();
+            let (_, cutoff, _) = stamps.select_nth_unstable(k - 1);
+            let cutoff = *cutoff;
+            inner.entries.retain(|_, e| e.stamp > cutoff);
         }
         inner
             .entries
@@ -472,6 +476,12 @@ struct CacheEntry {
 /// Default bound on cached binding witnesses.
 pub(crate) const DEFAULT_BINDING_CACHE_CAPACITY: usize = 1024;
 
+/// At capacity, both broker caches drop the oldest
+/// `capacity / EVICTION_DIVISOR` entries (at least one) in one pass,
+/// making eviction amortized-constant per insert under sustained churn
+/// (mirrors the core component cache's scheme).
+const EVICTION_DIVISOR: usize = 10;
+
 impl Default for SolveCache {
     fn default() -> SolveCache {
         SolveCache::with_capacity(DEFAULT_BINDING_CACHE_CAPACITY)
@@ -503,15 +513,19 @@ impl SolveCache {
         inner.stamp += 1;
         let stamp = inner.stamp;
         if inner.entries.len() >= inner.capacity && !inner.entries.contains_key(&key) {
-            // Evict from the stalest epoch first, LRU within it.
-            if let Some(victim) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| (e.epoch, e.stamp))
-                .map(|(k, _)| *k)
-            {
-                inner.entries.remove(&victim);
-            }
+            // Batch-evict from the stalest epochs first, LRU within
+            // them: drop the oldest `capacity / EVICTION_DIVISOR`
+            // entries (at least one) in a single O(n) pass, so
+            // sustained churn pays amortized-constant eviction cost
+            // instead of a full scan per insert.
+            let k = (inner.capacity / EVICTION_DIVISOR)
+                .max(1)
+                .min(inner.entries.len());
+            let mut order: Vec<(u64, u64)> =
+                inner.entries.values().map(|e| (e.epoch, e.stamp)).collect();
+            let (_, cutoff, _) = order.select_nth_unstable(k - 1);
+            let cutoff = *cutoff;
+            inner.entries.retain(|_, e| (e.epoch, e.stamp) > cutoff);
         }
         inner.entries.insert(
             key,
@@ -579,6 +593,7 @@ impl<S: Residuated> Broker<S> {
             solver: SolverConfig::default().with_parallelism(Parallelism::Sequential),
             incremental: false,
             binding_solvers: BindingSolvers::default(),
+            contention: crate::contention::ContentionState::default(),
         }
     }
 
@@ -721,6 +736,21 @@ impl<S: Residuated> Broker<S> {
         // discovered and negotiated against the same registry epoch,
         // even if writers publish mid-round.
         let registry = self.registry.snapshot();
+        self.negotiate_all_at(&registry, request, translate)
+    }
+
+    /// [`Broker::negotiate_all`] against a caller-supplied snapshot, so
+    /// a *batch* of negotiations (contended allocation) can share one
+    /// registry epoch across every client.
+    pub(crate) fn negotiate_all_at<F>(
+        &self,
+        registry: &RegistrySnapshot,
+        request: &NegotiationRequest<S>,
+        translate: F,
+    ) -> Result<Vec<Sla<S>>, NegotiationError>
+    where
+        F: Fn(&QosOffer) -> Constraint<S>,
+    {
         self.telemetry
             .gauge("broker.registry.epoch", registry.epoch() as i64);
         let candidates = registry.discover(&request.capability);
@@ -1301,6 +1331,74 @@ mod tests {
                 .unwrap();
         }
         assert!(broker.cache.len() <= 8, "cache grew past its capacity");
+    }
+
+    #[test]
+    fn solve_cache_evicts_stalest_epoch_first() {
+        // Pins the eviction order of the amortized batch scheme: at
+        // capacity 4 each pass drops max(4/10, 1) = 1 entry, and the
+        // victim is from the stalest (epoch, stamp) pair.
+        let cache = SolveCache::with_capacity(4);
+        cache.store(1, Val::Int(1), 5);
+        cache.store(2, Val::Int(2), 1); // stalest epoch → first victim
+        cache.store(3, Val::Int(3), 5);
+        cache.store(4, Val::Int(4), 3); // next-stalest → second victim
+        cache.store(5, Val::Int(5), 5);
+        assert!(cache.lookup(2).is_none(), "stalest epoch must go first");
+        cache.store(6, Val::Int(6), 5);
+        assert!(cache.lookup(4).is_none(), "then the next-stalest epoch");
+        for key in [1, 3, 5, 6] {
+            assert!(cache.lookup(key).is_some(), "fresh entry {key} evicted");
+        }
+    }
+
+    #[test]
+    fn solve_cache_evicts_lru_within_an_epoch_in_batches() {
+        // Same epoch everywhere → order falls back to the use stamp,
+        // and capacity 20 drops 20/10 = 2 entries per eviction pass.
+        let cache = SolveCache::with_capacity(20);
+        for key in 0..20u64 {
+            cache.store(key, Val::Int(key as i64), 7);
+        }
+        // Refresh key 0 so keys 1 and 2 hold the two oldest stamps.
+        assert!(cache.lookup(0).is_some());
+        cache.store(100, Val::Int(100), 7);
+        assert_eq!(cache.len(), 19, "one batch pass drops two entries");
+        assert!(cache.lookup(1).is_none(), "oldest stamp evicted");
+        assert!(cache.lookup(2).is_none(), "second-oldest stamp evicted");
+        assert!(cache.lookup(0).is_some(), "refreshed entry survives");
+        assert!(cache.lookup(3).is_some(), "third-oldest survives the batch");
+        // The next insert fits in the freed slot without evicting.
+        cache.store(101, Val::Int(101), 7);
+        assert_eq!(cache.len(), 20);
+        assert!(cache.lookup(3).is_some());
+    }
+
+    #[test]
+    fn binding_solvers_evict_least_recently_used_shapes() {
+        let solvers: BindingSolvers<Fuzzy> = BindingSolvers::with_capacity(3);
+        let shape = |name: &str| (Var::new(name), vec![Val::Int(1), Val::Int(2)]);
+        let entry = || {
+            let mut solver = IncrementalSolver::new(Fuzzy)
+                .with_domain(Var::new("x"), Domain::ints(1..=2))
+                .of_interest([Var::new("x")]);
+            let id = solver.add_constraint(Constraint::unary(Fuzzy, "x", |_| Unit::MAX));
+            (solver, id)
+        };
+        for name in ["a", "b", "c"] {
+            let (solver, id) = entry();
+            solvers.put(shape(name), solver, id);
+        }
+        // Refresh "a" (take + put bumps its stamp) so "b" is the LRU.
+        let refreshed = solvers.take(&shape("a")).expect("entry a present");
+        solvers.put(shape("a"), refreshed.solver, refreshed.id);
+        let (solver, id) = entry();
+        solvers.put(shape("d"), solver, id);
+        assert_eq!(solvers.len(), 3);
+        assert!(solvers.take(&shape("b")).is_none(), "LRU shape evicted");
+        for name in ["a", "c", "d"] {
+            assert!(solvers.take(&shape(name)).is_some(), "{name} survived");
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@
 mod broker;
 mod chaos;
 mod compose;
+mod contention;
 mod orchestrator;
 mod qos;
 mod query;
@@ -80,6 +81,10 @@ pub use broker::{
 };
 pub use chaos::{provider_fault_plan, ChaosConfig, ChaosReport, QueryChaosReport};
 pub use compose::Composition;
+pub use contention::{
+    ContendedAllocation, ContendedRequest, ContentionOutcome, Fairness, FairnessReport,
+    MAX_EXACT_CLIENTS,
+};
 pub use orchestrator::{Orchestrator, SlaVerdict, StageStats, WorkloadReport};
 pub use qos::{OfferShape, QosDocument, QosOffer};
 pub use query::{QueryError, QueryPlan, QueryStage, ServiceQuery};

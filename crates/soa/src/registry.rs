@@ -77,10 +77,15 @@ pub struct ServiceDescription {
     pub capability: String,
     /// The non-functional offer.
     pub qos: QosDocument,
+    /// Declared concurrent-binding capacity: how many clients this
+    /// service can serve at once. `None` means unlimited (the paper's
+    /// original single-client model); contended allocation treats it
+    /// as slot count.
+    pub capacity: Option<u32>,
 }
 
 impl ServiceDescription {
-    /// Creates a description.
+    /// Creates a description with unlimited capacity.
     pub fn new(
         id: impl Into<ServiceId>,
         provider: impl AsRef<str>,
@@ -92,7 +97,14 @@ impl ServiceDescription {
             provider: ProviderId::new(provider),
             capability: capability.into(),
             qos,
+            capacity: None,
         }
+    }
+
+    /// Declares a concurrent-binding capacity (slot count).
+    pub fn with_capacity(mut self, slots: u32) -> ServiceDescription {
+        self.capacity = Some(slots);
+        self
     }
 }
 
@@ -198,6 +210,13 @@ mod tests {
         assert!(r.deregister(&ServiceId::new("a")).is_some());
         assert!(r.is_empty());
         assert!(r.deregister(&ServiceId::new("a")).is_none());
+    }
+
+    #[test]
+    fn capacity_defaults_to_unlimited() {
+        let d = desc("a", "filter");
+        assert_eq!(d.capacity, None);
+        assert_eq!(d.with_capacity(3).capacity, Some(3));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use serde::Value;
 use softsoa_dependability::Attribute;
 use softsoa_telemetry::Telemetry;
 
+use crate::contention::Fairness;
 use crate::qos::{OfferShape, QosOffer};
 use crate::registry::{Registry, ServiceDescription};
 use crate::server::protocol::{NegotiateRequest, PublishRequest, Reply, Request, WireSemiring};
@@ -257,28 +258,54 @@ pub fn run(addr: SocketAddr, load: &LoadConfig, session_deadline: Duration) -> L
             latencies.push(latency.as_secs_f64() * 1e3);
         }
     }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let (p50_ms, p99_ms, max_ms) = latency_summary(latencies);
     LoadReport {
         sessions: results.len(),
         outcomes,
         hung,
         sessions_per_sec: results.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         elapsed,
-        p50_ms: percentile(&latencies, 0.50),
-        p99_ms: percentile(&latencies, 0.99),
-        max_ms: latencies.last().copied().unwrap_or(0.0),
+        p50_ms,
+        p99_ms,
+        max_ms,
         cache_entries: 0,
         cache_capacity: 0,
         final_epoch: 0,
     }
 }
 
+/// Sorts the sample and extracts `(p50, p99, max)`.
+///
+/// `total_cmp`, not `partial_cmp().expect(...)`: one NaN latency (a
+/// poisoned sample from a clock glitch) must not panic away the whole
+/// load report — NaN sorts after every finite value instead.
+fn latency_summary(mut latencies: Vec<f64>) -> (f64, f64, f64) {
+    latencies.sort_by(f64::total_cmp);
+    (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0.0),
+    )
+}
+
+/// Linear-interpolation percentile (the "R-7" estimator) over an
+/// ascending sample. Nearest-rank rounding made p99 silently equal the
+/// maximum for fewer than 100 samples, overstating tail latencies; the
+/// interpolated estimate blends the two straddling order statistics
+/// instead.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let pos = (sorted.len() - 1) as f64 * q;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let hi = hi.min(sorted.len() - 1);
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// The deterministic behaviour plan for one client.
@@ -329,6 +356,7 @@ fn negotiate_request(index: u64) -> Request {
             intercept: 0.9,
         },
         accept: [0.2, 1.0],
+        client: None,
     })
 }
 
@@ -337,6 +365,8 @@ struct ClientResult {
     label: String,
     latency: Option<Duration>,
     hung: bool,
+    /// The agreed level when the reply carried a binding.
+    level: Option<f64>,
 }
 
 fn run_client(addr: SocketAddr, index: u64, load: &LoadConfig, budget: Duration) -> ClientResult {
@@ -346,6 +376,7 @@ fn run_client(addr: SocketAddr, index: u64, load: &LoadConfig, budget: Duration)
             label: "connect-failed".into(),
             latency: None,
             hung: false,
+            level: None,
         };
     };
     let _ = stream.set_nodelay(true);
@@ -370,6 +401,7 @@ fn run_client(addr: SocketAddr, index: u64, load: &LoadConfig, budget: Duration)
                                 intercept: 0.6,
                             },
                         },
+                        capacity: None,
                     }),
                     negotiate_request(index),
                     Request::Deregister { service },
@@ -408,6 +440,7 @@ fn run_client(addr: SocketAddr, index: u64, load: &LoadConfig, budget: Duration)
                 label: "abandoned".into(),
                 latency: None,
                 hung: false,
+                level: None,
             }
         }
     };
@@ -421,6 +454,7 @@ fn run_client(addr: SocketAddr, index: u64, load: &LoadConfig, budget: Duration)
 /// last reply's outcome (the negotiation, for churn clients).
 fn exchange_all(stream: &TcpStream, requests: &[Request]) -> ClientResult {
     let mut label = "closed".to_string();
+    let mut level = None;
     for request in requests {
         let frame = format!("{}\n", request.to_json());
         let mut s = stream;
@@ -429,6 +463,7 @@ fn exchange_all(stream: &TcpStream, requests: &[Request]) -> ClientResult {
                 label: "closed".into(),
                 latency: None,
                 hung: false,
+                level: None,
             };
         }
         let outcome = read_outcome(stream);
@@ -436,6 +471,7 @@ fn exchange_all(stream: &TcpStream, requests: &[Request]) -> ClientResult {
             return outcome;
         }
         label = outcome.label;
+        level = outcome.level;
         // A shed/timed-out/error reply ends the session server-side.
         if matches!(label.as_str(), "shed" | "timed-out" | "error") {
             break;
@@ -445,6 +481,7 @@ fn exchange_all(stream: &TcpStream, requests: &[Request]) -> ClientResult {
         label,
         latency: None,
         hung: false,
+        level,
     }
 }
 
@@ -461,18 +498,28 @@ fn read_outcome(stream: &TcpStream) -> ClientResult {
                     label: "closed".into(),
                     latency: None,
                     hung: false,
+                    level: None,
                 }
             }
             Ok(_) => {
                 if byte[0] == b'\n' {
                     let text = String::from_utf8_lossy(&buffer);
-                    let label = Reply::parse(&text)
-                        .map(|r| r.outcome_label().to_string())
-                        .unwrap_or_else(|_| "garbled".to_string());
+                    let (label, level) = Reply::parse(&text)
+                        .map(|r| {
+                            let level = match &r {
+                                Reply::Bound { level, .. } | Reply::Degraded { level, .. } => {
+                                    Some(*level)
+                                }
+                                _ => None,
+                            };
+                            (r.outcome_label().to_string(), level)
+                        })
+                        .unwrap_or_else(|_| ("garbled".to_string(), None));
                     return ClientResult {
                         label,
                         latency: None,
                         hung: false,
+                        level,
                     };
                 }
                 buffer.push(byte[0]);
@@ -485,6 +532,7 @@ fn read_outcome(stream: &TcpStream) -> ClientResult {
                     label: "hung".into(),
                     latency: None,
                     hung: true,
+                    level: None,
                 }
             }
             Err(_) => {
@@ -492,8 +540,354 @@ fn read_outcome(stream: &TcpStream) -> ClientResult {
                     label: "closed".into(),
                     latency: None,
                     hung: false,
+                    level: None,
                 }
             }
         }
+    }
+}
+
+/// Contended-workload shape: the same `clients_per_wave` stable
+/// identities race for `providers × slots_per_provider` capacity
+/// slots, wave after wave, so the server's batching window and the
+/// broker's fairness ledger are exercised end to end.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentionConfig {
+    /// Contended waves to run.
+    pub waves: usize,
+    /// Clients racing in each wave (stable identities across waves).
+    pub clients_per_wave: usize,
+    /// Capacity-limited providers to seed.
+    pub providers: usize,
+    /// Concurrent-binding slots per provider.
+    pub slots_per_provider: u32,
+    /// The allocation objective the server runs.
+    pub fairness: Fairness,
+    /// Fraction of wave clients that vanish after sending (testing
+    /// that a leader publishing to a dead peer never wedges a batch).
+    pub transport_fault_rate: f64,
+    /// Seed for the deterministic fault plan.
+    pub seed: u64,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> ContentionConfig {
+        ContentionConfig {
+            waves: 6,
+            clients_per_wave: 6,
+            providers: 2,
+            slots_per_provider: 1,
+            fairness: Fairness::Leximin,
+            transport_fault_rate: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// What a contended run observed, aggregated across waves.
+#[derive(Debug, Clone)]
+pub struct ContentionReport {
+    /// Waves run.
+    pub waves: usize,
+    /// Clients per wave.
+    pub clients_per_wave: usize,
+    /// The objective the server ran.
+    pub fairness: Fairness,
+    /// Tally of typed outcomes across every wave session.
+    pub outcomes: BTreeMap<String, usize>,
+    /// Wave sessions that waited out the deadline envelope unanswered.
+    /// **Must be zero.**
+    pub hung: usize,
+    /// Well-behaved clients that were *never* bound across all waves —
+    /// the starvation count the fairness objectives exist to zero.
+    pub starved_clients: usize,
+    /// The longest run of consecutive denials any well-behaved client
+    /// suffered.
+    pub max_denial_streak: u64,
+    /// Grants across all waves.
+    pub bound_total: usize,
+    /// Sum of agreed levels across grants (the utility side of the
+    /// fairness–utility frontier).
+    pub sum_level: f64,
+    /// Jain's fairness index over per-client grant counts.
+    pub jain_bound: f64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl ContentionReport {
+    /// Renders the report as pretty JSON (the `BENCH_9.json` rows).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("report values always serialize")
+    }
+
+    /// The report as a JSON value, for embedding in larger documents.
+    pub fn to_value(&self) -> Value {
+        let outcomes = Value::Obj(
+            self.outcomes
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::UInt(*v as u64)))
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("fairness".into(), Value::Str(self.fairness.to_string())),
+            ("waves".into(), Value::UInt(self.waves as u64)),
+            (
+                "clients_per_wave".into(),
+                Value::UInt(self.clients_per_wave as u64),
+            ),
+            ("outcomes".into(), outcomes),
+            ("hung".into(), Value::UInt(self.hung as u64)),
+            (
+                "starved_clients".into(),
+                Value::UInt(self.starved_clients as u64),
+            ),
+            (
+                "max_denial_streak".into(),
+                Value::UInt(self.max_denial_streak),
+            ),
+            ("bound_total".into(), Value::UInt(self.bound_total as u64)),
+            ("sum_level".into(), Value::Float(self.sum_level)),
+            ("jain_bound".into(), Value::Float(self.jain_bound)),
+            (
+                "elapsed_ms".into(),
+                Value::Float(self.elapsed.as_secs_f64() * 1e3),
+            ),
+        ])
+    }
+}
+
+/// Seeds `providers` capacity-limited services with distinct flat
+/// quality tiers (0.9, 0.75, 0.6, …) so contended allocations have a
+/// real best-slot/worst-slot spread.
+pub fn seed_contended_providers(providers: usize, slots: u32) -> Registry {
+    let mut registry = Registry::new();
+    for p in 0..providers {
+        let service = format!("slot-{p:02}");
+        let intercept = (0.9 - 0.15 * p as f64).max(0.3);
+        registry.publish(
+            ServiceDescription::new(
+                service.as_str(),
+                format!("provider-{p:02}"),
+                "compute",
+                QosDocument::new(&service).with_offer(QosOffer {
+                    attribute: Attribute::Reliability,
+                    variable: "x".into(),
+                    shape: OfferShape::Linear {
+                        slope: 0.0,
+                        intercept,
+                    },
+                }),
+            )
+            .with_capacity(slots),
+        );
+    }
+    registry
+}
+
+/// Starts a fairness-enabled server sized for the contended workload
+/// (one worker per wave client, window closing at the wave size), runs
+/// the waves, then drains.
+///
+/// # Errors
+///
+/// Propagates server start-up failures (bind, thread spawn).
+pub fn run_contended_self_hosted<S: WireSemiring>(
+    semiring: S,
+    config: &ContentionConfig,
+    drain: Duration,
+) -> std::io::Result<(ContentionReport, DrainReport)> {
+    let server = ServerConfig {
+        workers: config.clients_per_wave.max(2),
+        fairness: Some(config.fairness),
+        batch_window: Duration::from_millis(60),
+        max_batch: config.clients_per_wave.max(1),
+        ..ServerConfig::default()
+    };
+    let registry = seed_contended_providers(config.providers, config.slots_per_provider);
+    let handle = NegotiationServer::start(semiring, registry, server, Telemetry::disabled())?;
+    let report = run_contended(
+        handle.local_addr(),
+        config,
+        handle.config().session_deadline,
+    );
+    let drain = handle.shutdown(drain);
+    Ok((report, drain))
+}
+
+/// Runs the contended waves against an already-listening,
+/// fairness-enabled server.
+pub fn run_contended(
+    addr: SocketAddr,
+    config: &ContentionConfig,
+    session_deadline: Duration,
+) -> ContentionReport {
+    let started = Instant::now();
+    let budget = session_deadline + session_deadline / 2 + Duration::from_secs(2);
+    let clients = config.clients_per_wave;
+
+    #[derive(Default, Clone)]
+    struct Tally {
+        bound: usize,
+        level_sum: f64,
+        streak: u64,
+        max_streak: u64,
+        well_behaved_waves: usize,
+    }
+    let mut tallies: Vec<Tally> = vec![Tally::default(); clients];
+    let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut hung = 0usize;
+
+    for wave in 0..config.waves {
+        let results: Vec<(String, bool, Option<f64>, bool)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    scope.spawn(move || {
+                        // Deterministic fault plan per (wave, client).
+                        let mut rng = StdRng::seed_from_u64(
+                            config.seed
+                                ^ (wave as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                                ^ (i as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+                        );
+                        let faulty = rng.random::<f64>() < config.transport_fault_rate;
+                        run_wave_client(addr, i, budget, faulty)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or(("client-panicked".to_string(), false, None, false))
+                })
+                .collect()
+        });
+        for (i, (label, was_hung, level, faulty)) in results.into_iter().enumerate() {
+            *outcomes.entry(label.clone()).or_insert(0) += 1;
+            if was_hung {
+                hung += 1;
+            }
+            if faulty {
+                continue; // deliberately hostile: not a fairness datum
+            }
+            let tally = &mut tallies[i];
+            tally.well_behaved_waves += 1;
+            if let Some(level) = level {
+                tally.bound += 1;
+                tally.level_sum += level;
+                tally.streak = 0;
+            } else {
+                tally.streak += 1;
+                tally.max_streak = tally.max_streak.max(tally.streak);
+            }
+        }
+    }
+
+    let participants: Vec<&Tally> = tallies
+        .iter()
+        .filter(|t| t.well_behaved_waves > 0)
+        .collect();
+    let starved_clients = participants.iter().filter(|t| t.bound == 0).count();
+    let max_denial_streak = participants.iter().map(|t| t.max_streak).max().unwrap_or(0);
+    let bound_total: usize = participants.iter().map(|t| t.bound).sum();
+    let sum_level: f64 = participants.iter().map(|t| t.level_sum).sum();
+    let counts: Vec<f64> = participants.iter().map(|t| t.bound as f64).collect();
+    let sum: f64 = counts.iter().sum();
+    let sumsq: f64 = counts.iter().map(|c| c * c).sum();
+    let jain_bound = if sumsq > 0.0 {
+        (sum * sum) / (counts.len() as f64 * sumsq)
+    } else {
+        1.0
+    };
+
+    ContentionReport {
+        waves: config.waves,
+        clients_per_wave: clients,
+        fairness: config.fairness,
+        outcomes,
+        hung,
+        starved_clients,
+        max_denial_streak,
+        bound_total,
+        sum_level,
+        jain_bound,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// One wave client: connect, stagger into a deterministic arrival
+/// order, negotiate under a stable identity, read the verdict.
+/// Returns `(label, hung, bound level, faulty)`.
+fn run_wave_client(
+    addr: SocketAddr,
+    index: usize,
+    budget: Duration,
+    faulty: bool,
+) -> (String, bool, Option<f64>, bool) {
+    // Stagger sends so arrival order inside the window is the client
+    // index — giving FCFS a deterministic victim to starve.
+    thread::sleep(Duration::from_millis(3 * index as u64));
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return ("connect-failed".into(), false, None, faulty);
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(budget));
+    let request = Request::Negotiate(NegotiateRequest {
+        capability: "compute".into(),
+        variable: "x".into(),
+        domain: [0, 8],
+        policy: OfferShape::Linear {
+            slope: 0.0,
+            intercept: 1.0,
+        },
+        accept: [0.2, 1.0],
+        client: Some(format!("client-{index:02}")),
+    });
+    let frame = format!("{}\n", request.to_json());
+    let mut s = &stream;
+    if s.write_all(frame.as_bytes()).is_err() || s.flush().is_err() {
+        return ("closed".into(), false, None, faulty);
+    }
+    if faulty {
+        // Vanish without reading: the leader must still publish the
+        // batch and the worker must shrug off the dead socket.
+        drop(stream);
+        return ("abandoned".into(), false, None, faulty);
+    }
+    let outcome = read_outcome(&stream);
+    (outcome.label, outcome.hung, outcome.level, faulty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_survives_a_poisoned_sample() {
+        // Regression: the sort used `partial_cmp(..).expect("latencies
+        // are finite")`, so a single NaN panicked the whole report.
+        let (p50, _p99, _max) = latency_summary(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(p50, 2.5, "finite values still sort and interpolate");
+    }
+
+    #[test]
+    fn percentile_interpolates_between_order_statistics() {
+        // Regression: nearest-rank rounding made p99 equal the max for
+        // any sample smaller than 100.
+        let sorted: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        assert_eq!(percentile(&sorted, 0.50), 5.5);
+        // p99 over 10 samples: position 8.91 → 9 + 0.91 · (10 − 9).
+        let p99 = percentile(&sorted, 0.99);
+        assert!((p99 - 9.91).abs() < 1e-9, "p99 = {p99}, want 9.91");
+        assert!(p99 < 10.0, "p99 must no longer collapse to the max");
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[4.2], 0.99), 4.2);
+        assert_eq!(percentile(&[1.0, 2.0], 0.5), 1.5);
     }
 }

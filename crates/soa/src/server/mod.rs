@@ -23,6 +23,7 @@
 //!   the envelope from the wire side with a fixed seed.
 
 pub(crate) mod admission;
+mod batch;
 pub mod loadgen;
 pub mod protocol;
 mod session;
@@ -39,8 +40,10 @@ use std::time::{Duration, Instant};
 use softsoa_telemetry::Telemetry;
 
 use crate::broker::{Broker, BrokerConfig};
+use crate::contention::Fairness;
 use crate::registry::Registry;
 use crate::server::admission::{AdmissionQueue, Pending};
+use crate::server::batch::Batcher;
 use crate::server::protocol::{Reply, ShedReason, WireSemiring};
 use crate::server::session::{run_session, SessionContext, SessionEnd};
 use crate::server::shutdown::Control;
@@ -95,6 +98,17 @@ pub struct ServerConfig {
     /// Whether binding solves go through persistent incremental
     /// solvers (recommended under registry churn).
     pub incremental: bool,
+    /// Contended-allocation objective. `None` keeps the historical
+    /// per-session FCFS path; `Some` routes every negotiate request
+    /// through the batching window so clients arriving together
+    /// compete for capacity under the objective
+    /// ([`crate::Broker::negotiate_contended`]).
+    pub fairness: Option<Fairness>,
+    /// How long the batching window stays open after its first entry
+    /// (only consulted when `fairness` is set).
+    pub batch_window: Duration,
+    /// Entries that close the batching window early.
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +126,9 @@ impl Default for ServerConfig {
             transport_chaos: None,
             broker: BrokerConfig::default(),
             incremental: true,
+            fairness: None,
+            batch_window: Duration::from_millis(25),
+            max_batch: 8,
         }
     }
 }
@@ -148,6 +165,7 @@ impl NegotiationServer {
         let queue = Arc::new(AdmissionQueue::new(config.queue_limit));
         let shed_draining = Arc::new(AtomicUsize::new(0));
         let ctx = Arc::new(SessionContext {
+            batcher: Arc::new(Batcher::new(config.batch_window, config.max_batch)),
             config: config.clone(),
             control: Arc::clone(&control),
             telemetry: telemetry.clone(),

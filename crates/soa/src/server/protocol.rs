@@ -45,6 +45,12 @@ pub trait WireSemiring: Residuated {
     /// Builds the client's policy constraint from an [`OfferShape`]
     /// over the negotiation variable.
     fn shape_constraint(variable: &str, shape: OfferShape) -> Constraint<Self>;
+
+    /// Normalises an agreed level into a *softness* in `[0, 1]`,
+    /// higher-is-better, so fairness objectives can compare clients
+    /// across semirings. Level-valued semirings pass through; cost
+    /// semirings flip orientation (`1 / (1 + cost)`, `∞ → 0`).
+    fn softness(v: &Self::Value) -> f64;
 }
 
 impl WireSemiring for Fuzzy {
@@ -67,6 +73,10 @@ impl WireSemiring for Fuzzy {
             Unit::clamped(shape.level_at(v.as_int().unwrap_or(0)))
         })
         .with_label("client")
+    }
+
+    fn softness(v: &Unit) -> f64 {
+        v.get()
     }
 }
 
@@ -97,6 +107,14 @@ impl WireSemiring for Weighted {
         })
         .with_label("client")
     }
+
+    fn softness(v: &Weight) -> f64 {
+        if v.is_infinite() {
+            0.0
+        } else {
+            1.0 / (1.0 + v.get())
+        }
+    }
 }
 
 impl WireSemiring for Probabilistic {
@@ -119,6 +137,10 @@ impl WireSemiring for Probabilistic {
             Unit::clamped(shape.level_at(v.as_int().unwrap_or(0)))
         })
         .with_label("client")
+    }
+
+    fn softness(v: &Unit) -> f64 {
+        v.get()
     }
 }
 
@@ -153,6 +175,10 @@ pub struct NegotiateRequest {
     pub policy: OfferShape,
     /// Acceptance interval `[lo, hi]` as wire levels.
     pub accept: [f64; 2],
+    /// A stable client identity for fair contended allocation; absent
+    /// identities fall back to a per-connection id, losing cross-batch
+    /// starvation tracking.
+    pub client: Option<String>,
 }
 
 /// A provider publication.
@@ -166,6 +192,8 @@ pub struct PublishRequest {
     pub capability: String,
     /// The QoS offer backing negotiations.
     pub offer: QosOffer,
+    /// Declared concurrent-binding capacity (`None` = unlimited).
+    pub capacity: Option<u32>,
 }
 
 impl Request {
@@ -192,6 +220,7 @@ impl Request {
                         f64_field(&value, "accept_lo")?,
                         f64_field(&value, "accept_hi")?,
                     ],
+                    client: opt_str_field(&value, "client")?,
                 }))
             }
             "publish" => {
@@ -201,6 +230,7 @@ impl Request {
                     provider: str_field(&value, "provider")?.to_string(),
                     capability: str_field(&value, "capability")?.to_string(),
                     offer: QosOffer::from_value(offer).map_err(|e| e.to_string())?,
+                    capacity: opt_u32_field(&value, "capacity")?,
                 }))
             }
             "deregister" => Ok(Request::Deregister {
@@ -228,6 +258,12 @@ impl Request {
                 ("policy", n.policy.to_value()),
                 ("accept_lo", Value::Float(n.accept[0])),
                 ("accept_hi", Value::Float(n.accept[1])),
+                (
+                    "client",
+                    n.client
+                        .as_ref()
+                        .map_or(Value::Null, |c| Value::Str(c.clone())),
+                ),
             ]),
             Request::Publish(p) => obj(vec![
                 ("op", Value::Str("publish".into())),
@@ -235,6 +271,11 @@ impl Request {
                 ("provider", Value::Str(p.provider.clone())),
                 ("capability", Value::Str(p.capability.clone())),
                 ("offer", p.offer.to_value()),
+                (
+                    "capacity",
+                    p.capacity
+                        .map_or(Value::Null, |c| Value::UInt(u64::from(c))),
+                ),
             ]),
             Request::Deregister { service } => obj(vec![
                 ("op", Value::Str("deregister".into())),
@@ -407,6 +448,25 @@ pub enum Reply {
         /// Whether the service existed.
         existed: bool,
     },
+    /// The joint allocator left this client unbound even though plain
+    /// FCFS would have granted it: a fairness objective awarded the
+    /// contested slot elsewhere this round.
+    Preempted {
+        /// The registry epoch the joint allocation was computed under.
+        epoch: u64,
+        /// The fairness objective that arbitrated the batch.
+        objective: String,
+    },
+    /// Capacity ran out before this client under every candidate
+    /// provider; its starvation age is tracked and prioritised in the
+    /// next contended batch.
+    Waitlisted {
+        /// The registry epoch the joint allocation was computed under.
+        epoch: u64,
+        /// Contended rounds this client has waited since it last won a
+        /// grant (allocation pressure, fed to leximin priority).
+        age: u64,
+    },
 }
 
 impl Reply {
@@ -422,6 +482,8 @@ impl Reply {
             Reply::Pong { .. } => "pong",
             Reply::Published { .. } => "published",
             Reply::Deregistered { .. } => "deregistered",
+            Reply::Preempted { .. } => "preempted",
+            Reply::Waitlisted { .. } => "waitlisted",
         }
     }
 
@@ -486,6 +548,14 @@ impl Reply {
                 fields.push(("epoch", Value::UInt(*epoch)));
                 fields.push(("existed", Value::Bool(*existed)));
             }
+            Reply::Preempted { epoch, objective } => {
+                fields.push(("epoch", Value::UInt(*epoch)));
+                fields.push(("objective", Value::Str(objective.clone())));
+            }
+            Reply::Waitlisted { epoch, age } => {
+                fields.push(("epoch", Value::UInt(*epoch)));
+                fields.push(("age", Value::UInt(*age)));
+            }
         }
         serde_json::to_string(&obj(fields)).expect("reply values always serialize")
     }
@@ -547,6 +617,14 @@ impl Reply {
                 epoch: u64_field(&value, "epoch")?,
                 existed: bool_field(&value, "existed")?,
             }),
+            "preempted" => Ok(Reply::Preempted {
+                epoch: u64_field(&value, "epoch")?,
+                objective: str_field(&value, "objective")?.to_string(),
+            }),
+            "waitlisted" => Ok(Reply::Waitlisted {
+                epoch: u64_field(&value, "epoch")?,
+                age: u64_field(&value, "age")?,
+            }),
             other => Err(format!("unknown outcome `{other}`")),
         }
     }
@@ -571,6 +649,33 @@ fn str_field<'v>(value: &'v Value, key: &str) -> Result<&'v str, String> {
             other.kind()
         )),
         None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn opt_str_field(value: &Value, key: &str) -> Result<Option<String>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(format!(
+            "field `{key}`: expected string or null, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn opt_u32_field(value: &Value, key: &str) -> Result<Option<u32>, String> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Int(i)) => u32::try_from(*i)
+            .map(Some)
+            .map_err(|_| format!("field `{key}`: out of range")),
+        Some(Value::UInt(u)) => u32::try_from(*u)
+            .map(Some)
+            .map_err(|_| format!("field `{key}`: out of range")),
+        Some(other) => Err(format!(
+            "field `{key}`: expected unsigned integer or null, got {}",
+            other.kind()
+        )),
     }
 }
 
@@ -653,6 +758,26 @@ mod tests {
                     intercept: 1.0,
                 },
                 accept: [0.3, 1.0],
+                client: None,
+            }),
+            Request::Negotiate(NegotiateRequest {
+                capability: "compute".into(),
+                variable: "x".into(),
+                domain: [0, 4],
+                policy: OfferShape::Constant { level: 0.7 },
+                accept: [0.0, 1.0],
+                client: Some("tenant-a".into()),
+            }),
+            Request::Publish(PublishRequest {
+                service: "svc-9".into(),
+                provider: "acme".into(),
+                capability: "compute".into(),
+                offer: QosOffer {
+                    attribute: softsoa_dependability::Attribute::Reliability,
+                    variable: "x".into(),
+                    shape: OfferShape::Constant { level: 0.8 },
+                },
+                capacity: Some(2),
             }),
             Request::Deregister {
                 service: "svc-1".into(),
@@ -686,6 +811,11 @@ mod tests {
                 detail: "all sessions deadlocked".into(),
             },
             Reply::Pong { epoch: 0 },
+            Reply::Preempted {
+                epoch: 4,
+                objective: "leximin".into(),
+            },
+            Reply::Waitlisted { epoch: 4, age: 2 },
         ];
         for reply in replies {
             let json = reply.to_json();

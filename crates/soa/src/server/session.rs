@@ -20,8 +20,10 @@ use softsoa_telemetry::Telemetry;
 
 use crate::broker::{Broker, NegotiationError, NegotiationRequest};
 use crate::chaos::ChaosConfig;
+use crate::contention::{ContendedRequest, ContentionOutcome, Fairness};
 use crate::registry::ServiceDescription;
 use crate::server::admission::Pending;
+use crate::server::batch::{BatchEntry, Batcher, Turn};
 use crate::server::protocol::{
     ErrorCode, NegotiateRequest, Phase, PublishRequest, Reply, Request, WireSemiring,
 };
@@ -36,6 +38,9 @@ pub(crate) struct SessionContext {
     pub config: ServerConfig,
     pub control: Arc<Control>,
     pub telemetry: Telemetry,
+    /// The contended-batching window (used when `config.fairness` is
+    /// set).
+    pub batcher: Arc<Batcher>,
 }
 
 /// How a session ended (for drain accounting).
@@ -96,6 +101,7 @@ pub(crate) fn run_session<S: WireSemiring>(
 
     // Server-side transport chaos (off by default): wraps both halves
     // with the connection's deterministic fault.
+    let conn_id = pending.conn_id;
     let calm = TransportChaos::default();
     let chaos = config.transport_chaos.as_ref().unwrap_or(&calm);
     let mut reader = FrameReader::new(
@@ -174,7 +180,7 @@ pub(crate) fn run_session<S: WireSemiring>(
                 code: ErrorCode::BadRequest,
                 detail,
             },
-            Ok(request) => dispatch(broker, ctx, request, deadline),
+            Ok(request) => dispatch(broker, ctx, request, deadline, conn_id),
         };
         stats.requests += 1;
         if !reply(t, &mut writer, &mut stats, answer) {
@@ -230,6 +236,7 @@ fn dispatch<S: WireSemiring>(
     ctx: &SessionContext,
     request: Request,
     deadline: Instant,
+    conn_id: u64,
 ) -> Reply {
     match request {
         Request::Ping => Reply::Pong {
@@ -245,17 +252,20 @@ fn dispatch<S: WireSemiring>(
                 existed,
             }
         }
-        Request::Negotiate(negotiate) => handle_negotiate(broker, ctx, negotiate, deadline),
+        Request::Negotiate(negotiate) => {
+            handle_negotiate(broker, ctx, negotiate, deadline, conn_id)
+        }
     }
 }
 
 fn handle_publish<S: WireSemiring>(broker: &mut Broker<S>, publish: PublishRequest) -> Reply {
-    let description = ServiceDescription::new(
+    let mut description = ServiceDescription::new(
         publish.service.as_str(),
         publish.provider.as_str(),
         publish.capability.as_str(),
         crate::QosDocument::new(&publish.service).with_offer(publish.offer),
     );
+    description.capacity = publish.capacity;
     let mut writer = broker.registry_mut();
     writer.publish(description);
     drop(writer);
@@ -264,43 +274,62 @@ fn handle_publish<S: WireSemiring>(broker: &mut Broker<S>, publish: PublishReque
     }
 }
 
-fn handle_negotiate<S: WireSemiring>(
-    broker: &mut Broker<S>,
-    ctx: &SessionContext,
-    negotiate: NegotiateRequest,
-    deadline: Instant,
-) -> Reply {
-    let t = &ctx.telemetry;
+/// Validates a wire-level negotiate request and lowers it into the
+/// broker's typed form, or produces the typed error reply.
+fn build_request<S: WireSemiring>(
+    negotiate: &NegotiateRequest,
+) -> Result<NegotiationRequest<S>, Reply> {
     let [min, max] = negotiate.domain;
     if min > max {
-        return Reply::Error {
+        return Err(Reply::Error {
             code: ErrorCode::BadRequest,
             detail: format!("empty domain [{min}, {max}]"),
-        };
+        });
     }
     if (max - min) as u128 >= 4096 {
-        return Reply::Error {
+        return Err(Reply::Error {
             code: ErrorCode::BadRequest,
             detail: "domain wider than 4096 values".to_string(),
-        };
+        });
     }
     let lo = match S::parse_level(negotiate.accept[0]) {
         Ok(level) => level,
         Err(detail) => {
-            return Reply::Error {
+            return Err(Reply::Error {
                 code: ErrorCode::InvalidAcceptance,
                 detail,
-            }
+            })
         }
     };
     let hi = match S::parse_level(negotiate.accept[1]) {
         Ok(level) => level,
         Err(detail) => {
-            return Reply::Error {
+            return Err(Reply::Error {
                 code: ErrorCode::InvalidAcceptance,
                 detail,
-            }
+            })
         }
+    };
+    Ok(NegotiationRequest {
+        capability: negotiate.capability.clone(),
+        variable: negotiate.variable.as_str().into(),
+        domain: Domain::ints(min..=max),
+        constraint: S::shape_constraint(&negotiate.variable, negotiate.policy.clone()),
+        acceptance: Interval::levels(lo, hi),
+    })
+}
+
+fn handle_negotiate<S: WireSemiring>(
+    broker: &mut Broker<S>,
+    ctx: &SessionContext,
+    negotiate: NegotiateRequest,
+    deadline: Instant,
+    conn_id: u64,
+) -> Reply {
+    let t = &ctx.telemetry;
+    let request = match build_request::<S>(&negotiate) {
+        Ok(request) => request,
+        Err(reply) => return reply,
     };
     // The negotiation must leave time to write the reply: a session
     // already at its deadline times out here rather than starting an
@@ -311,14 +340,13 @@ fn handle_negotiate<S: WireSemiring>(
             partial_level: None,
         };
     }
+    // Contended mode: park in the batching window and let one leader
+    // allocate the whole batch jointly. Store chaos stays on the
+    // per-session path — contended batches run the plain engine.
+    if let Some(fairness) = ctx.config.fairness {
+        return negotiate_batched(broker, ctx, fairness, negotiate, deadline, conn_id);
+    }
 
-    let request = NegotiationRequest {
-        capability: negotiate.capability.clone(),
-        variable: negotiate.variable.as_str().into(),
-        domain: Domain::ints(min..=max),
-        constraint: S::shape_constraint(&negotiate.variable, negotiate.policy.clone()),
-        acceptance: Interval::levels(lo, hi),
-    };
     let epoch = broker.registry().epoch();
     let start = Instant::now();
     let answer = match ctx.config.store_chaos {
@@ -399,6 +427,101 @@ fn handle_negotiate<S: WireSemiring>(
     };
     t.timing("server.phase.negotiate", start.elapsed());
     answer
+}
+
+/// The contended path: parks the request in the batching window,
+/// waits for a leader's verdict, and — when elected leader — solves
+/// the closed window jointly and publishes everyone's replies.
+fn negotiate_batched<S: WireSemiring>(
+    broker: &mut Broker<S>,
+    ctx: &SessionContext,
+    fairness: Fairness,
+    negotiate: NegotiateRequest,
+    deadline: Instant,
+    conn_id: u64,
+) -> Reply {
+    let t = &ctx.telemetry;
+    // Anonymous clients fall back to a per-connection identity: still
+    // fair within the batch, but without cross-batch starvation
+    // tracking (a new connection is a new client to the ledger).
+    let client = negotiate
+        .client
+        .clone()
+        .unwrap_or_else(|| format!("conn-{conn_id}"));
+    let ticket = ctx.batcher.submit(client, negotiate);
+    loop {
+        match ctx.batcher.await_turn(ticket, deadline) {
+            Turn::Reply(reply) => return reply,
+            Turn::Deadline => {
+                return Reply::TimedOut {
+                    phase: Phase::Negotiate,
+                    partial_level: None,
+                }
+            }
+            Turn::Lead(batch) => {
+                t.incr("server.batch.led");
+                t.gauge("server.batch.size", batch.len() as i64);
+                let start = Instant::now();
+                let results = solve_batch(broker, fairness, batch);
+                t.timing("server.phase.negotiate", start.elapsed());
+                ctx.batcher.publish(results);
+                // Loop: our own reply is now published (or arrives
+                // with a later batch if our entry was invalid-free).
+            }
+        }
+    }
+}
+
+/// Solves one closed window: invalid entries get their own typed
+/// errors, the rest are allocated jointly against a single registry
+/// epoch.
+fn solve_batch<S: WireSemiring>(
+    broker: &Broker<S>,
+    fairness: Fairness,
+    batch: Vec<BatchEntry>,
+) -> Vec<(u64, Reply)> {
+    let mut results = Vec::with_capacity(batch.len());
+    let mut admitted: Vec<(u64, NegotiateRequest)> = Vec::new();
+    let mut contended: Vec<ContendedRequest<S>> = Vec::new();
+    for entry in batch {
+        match build_request::<S>(&entry.request) {
+            Err(reply) => results.push((entry.ticket, reply)),
+            Ok(request) => {
+                contended.push(ContendedRequest {
+                    client: entry.client,
+                    request,
+                });
+                admitted.push((entry.ticket, entry.request));
+            }
+        }
+    }
+    if contended.is_empty() {
+        return results;
+    }
+    let allocation = broker.negotiate_contended(&contended, fairness, S::translate);
+    let epoch = allocation.epoch;
+    for ((ticket, wire), (_, outcome)) in admitted.iter().zip(allocation.outcomes) {
+        let reply = match outcome {
+            ContentionOutcome::Granted(sla) => Reply::Bound {
+                service: sla.service.as_str().to_string(),
+                provider: sla.provider.as_str().to_string(),
+                level: S::render_level(&sla.agreed_level),
+                binding: binding_value::<S>(&wire.variable, &sla.binding),
+                epoch,
+            },
+            ContentionOutcome::Preempted => Reply::Preempted {
+                epoch,
+                objective: fairness.as_str().to_string(),
+            },
+            ContentionOutcome::Waitlisted { age } => Reply::Waitlisted { epoch, age },
+            ContentionOutcome::Unserved => Reply::Error {
+                code: ErrorCode::NoAgreement,
+                detail: format!("no provider agreed for `{}`", wire.capability),
+            },
+        };
+        results.push((*ticket, reply));
+    }
+    results
 }
 
 fn binding_value<S: WireSemiring>(

@@ -1,0 +1,78 @@
+//! End-to-end fairness smoke test: the contended load generator
+//! drives a fairness-enabled daemon through the full stack — TCP
+//! transport, batching window, contended allocator, cross-batch
+//! ledger — and the typed reports separate the objectives.
+//!
+//! The fixed-seed scenario is 6 stable clients racing for 2
+//! single-slot providers across 3 waves (6 grants total): exact
+//! leximin rotates the scarce slots so every client is bound at least
+//! once, while the FCFS baseline keeps re-granting the earliest
+//! arrivals and starves the tail. This is the assertion the CI
+//! `fairness-smoke` job runs.
+
+use std::time::Duration;
+
+use softsoa_semiring::Fuzzy;
+use softsoa_soa::server::loadgen::{run_contended_self_hosted, ContentionConfig};
+use softsoa_soa::Fairness;
+
+fn scenario(fairness: Fairness) -> ContentionConfig {
+    ContentionConfig {
+        waves: 3,
+        clients_per_wave: 6,
+        providers: 2,
+        slots_per_provider: 1,
+        fairness,
+        transport_fault_rate: 0.0,
+        seed: 7,
+    }
+}
+
+#[test]
+fn leximin_serves_every_client_where_fcfs_starves() {
+    let (leximin, drain) =
+        run_contended_self_hosted(Fuzzy, &scenario(Fairness::Leximin), Duration::from_secs(2))
+            .expect("leximin daemon");
+    assert_eq!(leximin.hung, 0, "{leximin:?}");
+    assert_eq!(leximin.starved_clients, 0, "{leximin:?}");
+    assert!(leximin.bound_total >= 1, "{leximin:?}");
+    assert!(drain.within_deadline, "{drain:?}");
+
+    let (fcfs, _) =
+        run_contended_self_hosted(Fuzzy, &scenario(Fairness::Fcfs), Duration::from_secs(2))
+            .expect("fcfs daemon");
+    assert_eq!(fcfs.hung, 0, "{fcfs:?}");
+    assert!(fcfs.starved_clients >= 1, "{fcfs:?}");
+    assert!(
+        leximin.jain_bound >= fcfs.jain_bound,
+        "leximin jain {} < fcfs jain {}",
+        leximin.jain_bound,
+        fcfs.jain_bound
+    );
+}
+
+#[test]
+fn nash_also_zeroes_starvation_end_to_end() {
+    let (nash, _) =
+        run_contended_self_hosted(Fuzzy, &scenario(Fairness::Nash), Duration::from_secs(2))
+            .expect("nash daemon");
+    assert_eq!(nash.hung, 0, "{nash:?}");
+    assert_eq!(nash.starved_clients, 0, "{nash:?}");
+}
+
+#[test]
+fn abandoning_clients_never_wedge_a_batch() {
+    // A quarter of each wave sends its request and vanishes; the
+    // leader publishes to dead peers and the batcher must drop the
+    // orphaned replies instead of wedging the window. Every surviving
+    // session still terminates with a typed outcome.
+    let config = ContentionConfig {
+        transport_fault_rate: 0.25,
+        ..scenario(Fairness::Leximin)
+    };
+    let (report, drain) =
+        run_contended_self_hosted(Fuzzy, &config, Duration::from_secs(2)).expect("chaotic daemon");
+    assert_eq!(report.hung, 0, "{report:?}");
+    assert!(report.outcomes.contains_key("abandoned"), "{report:?}");
+    assert!(drain.within_deadline, "{drain:?}");
+}

@@ -76,6 +76,7 @@ fn negotiate() -> Request {
             intercept: 0.9,
         },
         accept: [0.2, 1.0],
+        client: None,
     })
 }
 
@@ -127,6 +128,7 @@ fn publish_and_deregister_bump_the_epoch() {
                 intercept: 0.5,
             },
         },
+        capacity: None,
     });
     let published = match roundtrip(&stream, &publish) {
         Reply::Published { epoch } => epoch,
