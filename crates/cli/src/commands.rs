@@ -12,7 +12,7 @@ use softsoa_coalition::{
     socially_oriented, FormationConfig, MAX_EXACT_AGENTS,
 };
 use softsoa_core::solve::{
-    BranchAndBound, BucketElimination, EliminationOrder, EnumerationSolver, Parallelism,
+    BranchAndBound, BucketElimination, EliminationOrder, Engine, EnumerationSolver, Parallelism,
     PropagationMode, Solver, SolverConfig, VarOrder,
 };
 use softsoa_core::{Constraint, Domain, Domains, Scsp, Var};
@@ -172,6 +172,10 @@ pub struct EngineOptions {
     /// Solve independent constraint-graph components separately
     /// (`--decompose` / `--no-decompose`).
     pub decompose: Option<bool>,
+    /// Exact engine per component (`--engine auto|bnb|treedec`).
+    pub engine: Option<Engine>,
+    /// Separator-width cap for the tree engine (`--width-cap`).
+    pub width_cap: Option<usize>,
     /// Route broker binding solves through the persistent incremental
     /// re-solve engine (`--incremental`); work avoided is reported on
     /// the `solver.incremental.*` telemetry family. `solve` and
@@ -189,7 +193,29 @@ impl EngineOptions {
         if let Some(decompose) = self.decompose {
             config = config.with_decompose(decompose);
         }
+        if let Some(engine) = self.engine {
+            config = config.with_engine(engine);
+        }
+        if let Some(cap) = self.width_cap {
+            config = config.with_width_cap(cap);
+        }
         config
+    }
+}
+
+/// Parses an `--engine` value into an [`Engine`].
+///
+/// # Errors
+///
+/// Returns the list of accepted names for anything else.
+pub fn parse_engine(name: &str) -> Result<Engine, String> {
+    match name {
+        "bnb" | "branch-and-bound" => Ok(Engine::BranchBound),
+        "auto" => Ok(Engine::Auto),
+        "treedec" | "tree" => Ok(Engine::TreeDecompose),
+        other => Err(format!(
+            "unknown engine `{other}` (expected auto, bnb or treedec)"
+        )),
     }
 }
 
@@ -1315,7 +1341,9 @@ pub fn integrity(step: i64) -> Result<String, CommandError> {
         if report.holds() {
             let _ = writeln!(out, "{name} ⇓ {{incomp, outcomp}} ⊑ Memory: HOLDS");
         } else {
-            let ce = report.counterexample().expect("failing check");
+            let ce = report.counterexample().ok_or_else(|| {
+                CommandError::Engine("refinement check failed without a counterexample".into())
+            })?;
             let _ = writeln!(
                 out,
                 "{name} ⇓ {{incomp, outcomp}} ⊑ Memory: VIOLATED at {}",
@@ -1729,6 +1757,93 @@ mod tests {
     }
 
     #[test]
+    fn engine_choices_agree_on_fig1() {
+        // `--engine auto` and `--engine treedec` must never differ
+        // from the default branch-and-bound on a committed instance.
+        let blind = solve(FIG1, SolverChoice::BranchAndBound).unwrap();
+        for engine in [Engine::Auto, Engine::TreeDecompose] {
+            for width_cap in [None, Some(1)] {
+                let options = SolveOptions {
+                    engine: EngineOptions {
+                        engine: Some(engine),
+                        width_cap,
+                        ..EngineOptions::default()
+                    },
+                    ..SolveOptions::default()
+                };
+                let report = solve_with(FIG1, SolverChoice::BranchAndBound, options).unwrap();
+                assert_eq!(report, blind, "{engine:?} cap {width_cap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_engine_names() {
+        assert_eq!(parse_engine("bnb"), Ok(Engine::BranchBound));
+        assert_eq!(parse_engine("branch-and-bound"), Ok(Engine::BranchBound));
+        assert_eq!(parse_engine("auto"), Ok(Engine::Auto));
+        assert_eq!(parse_engine("treedec"), Ok(Engine::TreeDecompose));
+        assert_eq!(parse_engine("tree"), Ok(Engine::TreeDecompose));
+        let err = parse_engine("magic").unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn malformed_specs_are_diagnosed_not_panics() {
+        // Regression guard for the user-input audit: every malformed
+        // document must surface as a typed diagnostic. A panic here
+        // means a `solve` input path regressed to unwrap/expect.
+        let cases: &[(&str, &str)] = &[
+            ("truncated json", r#"{"semiring": "weighted", "domains""#),
+            (
+                "unknown semiring",
+                r#"{"semiring": "tropical", "domains": {}, "constraints": []}"#,
+            ),
+            (
+                "oversized domain",
+                r#"{"semiring": "weighted",
+                    "domains": {"x": {"ints": [0, 99999999]}},
+                    "constraints": []}"#,
+            ),
+            (
+                "arity mismatch",
+                r#"{"semiring": "weighted",
+                    "domains": {"x": {"syms": ["a"]}},
+                    "constraints": [{"table": {"scope": ["x"],
+                        "entries": [[["a", "a"], 1.0]], "label": "bad"}}]}"#,
+            ),
+            (
+                "negative weight level",
+                r#"{"semiring": "weighted",
+                    "domains": {"x": {"syms": ["a"]}},
+                    "constraints": [{"table": {"scope": ["x"],
+                        "entries": [[["a"], -3.0]], "label": "bad"}}]}"#,
+            ),
+            (
+                "probability above one",
+                r#"{"semiring": "probabilistic",
+                    "domains": {"x": {"syms": ["a"]}},
+                    "constraints": [{"table": {"scope": ["x"],
+                        "entries": [[["a"], 1.5]], "label": "bad"}}]}"#,
+            ),
+            (
+                "constraint over unknown variable",
+                r#"{"semiring": "weighted",
+                    "domains": {"x": {"syms": ["a"]}},
+                    "constraints": [{"table": {"scope": ["ghost"],
+                        "entries": [[["a"], 1.0]], "label": "bad"}}]}"#,
+            ),
+        ];
+        for (what, text) in cases {
+            for solver in [SolverChoice::Enumeration, SolverChoice::BranchAndBound] {
+                let err = solve(text, solver)
+                    .expect_err(&format!("{what} should be rejected by {solver:?}"));
+                assert!(!err.to_string().is_empty(), "{what}: empty diagnostic");
+            }
+        }
+    }
+
+    #[test]
     fn solve_options_control_engine_and_stats() {
         for solver in [
             SolverChoice::Enumeration,
@@ -1834,6 +1949,7 @@ mod tests {
                     propagate: Some(PropagationMode::Off),
                     decompose: Some(false),
                     incremental: false,
+                    ..EngineOptions::default()
                 },
                 ..SolveOptions::default()
             },
@@ -1854,6 +1970,7 @@ mod tests {
                             propagate,
                             decompose,
                             incremental: false,
+                            ..EngineOptions::default()
                         },
                         ..SolveOptions::default()
                     };
@@ -1893,6 +2010,7 @@ mod tests {
                     propagate: Some(PropagationMode::Off),
                     decompose: None,
                     incremental: false,
+                    ..EngineOptions::default()
                 },
                 ..SolveOptions::default()
             },
@@ -2193,16 +2311,19 @@ mod tests {
                 propagate: Some(PropagationMode::Off),
                 decompose: Some(false),
                 incremental: false,
+                ..EngineOptions::default()
             },
             EngineOptions {
                 propagate: Some(PropagationMode::Full),
                 decompose: Some(true),
                 incremental: false,
+                ..EngineOptions::default()
             },
             EngineOptions {
                 propagate: None,
                 decompose: None,
                 incremental: true,
+                ..EngineOptions::default()
             },
         ] {
             let report = negotiate_with_options(&broker_doc(), None, engine).unwrap();
@@ -2395,6 +2516,7 @@ mod tests {
                 propagate: Some(PropagationMode::Off),
                 decompose: Some(false),
                 incremental: false,
+                ..EngineOptions::default()
             },
         ] {
             let scsp = coalitions_with_options(&doc("scsp"), None, engine).unwrap();

@@ -4,9 +4,9 @@ use std::process::ExitCode;
 
 use softsoa_cli::{
     coalitions_with_options, explore, integrity, load, negotiate_chaos, negotiate_contend,
-    negotiate_with_options, parse_fairness, parse_propagation, parse_semiring, parse_var_order,
-    serve, solve_with, ChaosOptions, ContendOptions, DaemonOptions, EngineOptions, LoadOptions,
-    MetricsFormat, SolveOptions, SolverChoice,
+    negotiate_with_options, parse_engine, parse_fairness, parse_propagation, parse_semiring,
+    parse_var_order, serve, solve_with, ChaosOptions, ContendOptions, DaemonOptions, EngineOptions,
+    LoadOptions, MetricsFormat, SolveOptions, SolverChoice,
 };
 
 const USAGE: &str = "softsoa — soft constraints for dependable SOAs
@@ -17,8 +17,10 @@ USAGE:
                   [--order input|smallest|most-constrained|dynamic|estimate]
                   [--ibound <n>] [--warm-start]
                   [--propagate[=off|root|full]] [--decompose|--no-decompose]
+                  [--engine auto|bnb|treedec] [--width-cap <n>]
     softsoa negotiate <scenario.json> [--metrics[=json|pretty]]
                   [--propagate[=off|root|full]] [--decompose|--no-decompose]
+                  [--engine auto|bnb|treedec] [--width-cap <n>]
                   [--incremental]
                   [--chaos-seed <n>] [--chaos-rate <p>] [--chaos-horizon <n>]
                   [--chaos-retries <n>] [--chaos-deadline <n>] [--chaos-backoff <n>]
@@ -26,6 +28,7 @@ USAGE:
     softsoa explore <scenario.json>
     softsoa coalitions <trust.json> [--metrics[=json|pretty]]
                   [--propagate[=off|root|full]] [--decompose|--no-decompose]
+                  [--engine auto|bnb|treedec] [--width-cap <n>]
     softsoa integrity [--step <kb>]
     softsoa serve [--addr <host:port>] [--semiring weighted|fuzzy|probabilistic]
                   [--providers <n>] [--workers <n>] [--queue <n>]
@@ -56,6 +59,15 @@ independent constraint-graph components separately (default on). Both
 preserve the reported blevel and yield an equally best witness; they
 steer bnb solves, broker bindings, and the coalitions `scsp`
 algorithm.
+
+--engine picks the exact per-component engine: bnb (the default)
+searches with branch-and-bound, treedec solves by bucket-tree
+elimination along a min-fill/min-degree elimination order, and auto
+uses the tree engine exactly when the separator width fits under
+--width-cap (default 8) and falls back to bnb otherwise. treedec
+forced onto a too-wide component still falls back to search, seeded by
+a greedy tree bound. All engines report the same blevel and an equally
+best witness.
 
 `serve` runs the negotiation daemon (line-JSON over TCP) until stdin
 reaches EOF, then drains gracefully within --drain-ms. `load` drives
@@ -114,10 +126,30 @@ fn parse_engine_flag<'a>(
     } else if let Some(value) = flag.strip_prefix("--propagate=") {
         value
     } else {
+        let name = if flag == "--engine" {
+            match it.next() {
+                Some(value) => Some(value.as_str()),
+                None => return Some(Err("--engine: missing value".to_string())),
+            }
+        } else {
+            flag.strip_prefix("--engine=")
+        };
+        if let Some(name) = name {
+            return Some(match parse_engine(name) {
+                Ok(choice) => {
+                    engine.engine = Some(choice);
+                    Ok(())
+                }
+                Err(e) => Err(format!("--engine: {e}")),
+            });
+        }
         match flag {
             "--decompose" => engine.decompose = Some(true),
             "--no-decompose" => engine.decompose = Some(false),
             "--incremental" => engine.incremental = true,
+            "--width-cap" => {
+                return Some(parse_num(flag, it.next()).map(|n| engine.width_cap = Some(n)))
+            }
             _ => return None,
         }
         return Some(Ok(()));

@@ -237,6 +237,55 @@ pub fn banded_weighted(n: usize, domain_size: usize, band: usize, seed: u64) -> 
     })
 }
 
+fn one_component(n: usize, domain_size: usize, band: usize, seed: u64) -> UnionScsp {
+    UnionScsp {
+        components: 1,
+        vars_per_component: n,
+        domain_size,
+        band,
+        seed,
+    }
+}
+
+/// A single-component banded fuzzy problem: the [`banded_weighted`]
+/// band graph with preference levels from `{0.0, 0.1, .., 1.0}`,
+/// roughly a tenth of the tuples fully rejected (`0.0`) so pruning and
+/// consistency both stay exercised.
+pub fn banded_fuzzy(n: usize, domain_size: usize, band: usize, seed: u64) -> Scsp<Fuzzy> {
+    union_scsp(Fuzzy, &one_component(n, domain_size, band, seed), |rng| {
+        if rng.random_ratio(1, 10) {
+            Unit::MIN
+        } else {
+            Unit::clamped(rng.random_range(1..=10) as f64 / 10.0)
+        }
+    })
+}
+
+/// A single-component banded probabilistic problem: the
+/// [`banded_weighted`] band graph with success probabilities from
+/// `{0.0, 0.1, .., 1.0}`, roughly a tenth of the tuples impossible
+/// (`0.0`). Probabilistic `×` rounds, so engines that re-associate the
+/// product (tree elimination) may differ from search by final-ulp
+/// noise — the cross-semiring equivalence suite compares accordingly.
+pub fn banded_probabilistic(
+    n: usize,
+    domain_size: usize,
+    band: usize,
+    seed: u64,
+) -> Scsp<Probabilistic> {
+    union_scsp(
+        Probabilistic,
+        &one_component(n, domain_size, band, seed),
+        |rng| {
+            if rng.random_ratio(1, 10) {
+                Unit::MIN
+            } else {
+                Unit::clamped(rng.random_range(1..=10) as f64 / 10.0)
+            }
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +391,27 @@ mod tests {
         assert!(comps.iter().all(|c| c.len() == 4));
         // Deterministic given the seed.
         assert_eq!(p.blevel().unwrap(), union_weighted(&cfg).blevel().unwrap());
+    }
+
+    #[test]
+    fn banded_fuzzy_and_probabilistic_share_the_band_graph() {
+        let w = banded_weighted(6, 3, 2, 4);
+        let f = banded_fuzzy(6, 3, 2, 4);
+        let pr = banded_probabilistic(6, 3, 2, 4);
+        assert_eq!(w.constraints().len(), f.constraints().len());
+        assert_eq!(w.constraints().len(), pr.constraints().len());
+        for (a, b) in w.constraints().iter().zip(f.constraints()) {
+            assert_eq!(a.scope(), b.scope());
+        }
+        // Deterministic given the seed.
+        assert_eq!(
+            f.blevel().unwrap(),
+            banded_fuzzy(6, 3, 2, 4).blevel().unwrap()
+        );
+        assert_eq!(
+            pr.blevel().unwrap(),
+            banded_probabilistic(6, 3, 2, 4).blevel().unwrap()
+        );
     }
 
     #[test]

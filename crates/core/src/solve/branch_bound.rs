@@ -10,6 +10,7 @@ use crate::solve::bucket::MiniBucketBound;
 use crate::solve::decompose::Decomposition;
 use crate::solve::parallel::fan_out;
 use crate::solve::propagate::{PropagationStats, Propagator};
+use crate::solve::treedec::{self, TreeAttempt};
 use crate::solve::{
     Parallelism, PropagationMode, Solution, SolveError, Solver, SolverConfig, SolverStats,
 };
@@ -360,6 +361,8 @@ impl BranchAndBound {
                 best_value: semiring.zero(),
                 witness: None,
                 nodes: 0,
+                budget: self.config.node_budget,
+                exhausted: false,
                 prunings: 0,
                 bound_prunes: 0,
                 evals: vec![0; compiled.num_operands()],
@@ -377,6 +380,7 @@ impl BranchAndBound {
                 worker.bound_prunes,
                 worker.evals,
                 prop_stats,
+                worker.exhausted,
             )
         });
 
@@ -391,7 +395,19 @@ impl BranchAndBound {
             ..SolverStats::default()
         };
         let mut evals = vec![0u64; compiled.num_operands()];
-        for (value, wit, nodes, prunings, bound_prunes, worker_evals, prop_stats) in workers {
+        let mut exhausted = false;
+        for (
+            value,
+            wit,
+            nodes,
+            prunings,
+            bound_prunes,
+            worker_evals,
+            prop_stats,
+            worker_exhausted,
+        ) in workers
+        {
+            exhausted |= worker_exhausted;
             stats.nodes += nodes;
             stats.prunings += prunings;
             stats.bound_prunes += bound_prunes;
@@ -413,6 +429,11 @@ impl BranchAndBound {
         stats.constraint_evals = compiled.eval_stats(&evals);
         stats.propagation = pstats;
         stats.solve_time = start.elapsed();
+        if exhausted {
+            return Err(SolveError::NodeBudgetExceeded {
+                budget: self.config.node_budget.unwrap_or(0),
+            });
+        }
 
         let best = match witness {
             Some(idx) if !semiring.is_zero(&best_value) => {
@@ -462,12 +483,19 @@ impl BranchAndBound {
             best_value: semiring.zero(),
             best_assignment: None,
             nodes: 0,
+            budget: self.config.node_budget,
+            exhausted: false,
             prunings: 0,
         };
 
         // Constraints with empty scope complete at depth 0.
         let root = search.apply_completed(0, semiring.one());
         search.dfs(0, root);
+        if search.exhausted {
+            return Err(SolveError::NodeBudgetExceeded {
+                budget: self.config.node_budget.unwrap_or(0),
+            });
+        }
 
         let stats = SolverStats {
             nodes: search.nodes,
@@ -559,6 +587,50 @@ impl BranchAndBound {
         };
         Ok(Some(Solution::new(blevel, best, None).with_stats(stats)))
     }
+
+    /// Solves one (non-decomposable) problem under the configured
+    /// [`Engine`](crate::solve::Engine): offers it to the tree engine
+    /// first, then falls through to the search paths. A tree fallback's
+    /// greedy bound joins any caller seed via `+` (the lub keeps the
+    /// stronger incumbent), and its planning stats ride on the search
+    /// solution.
+    fn solve_single<S: Semiring>(
+        &self,
+        problem: &Scsp<S>,
+        mut seed: Option<S::Value>,
+    ) -> Result<Solution<S>, SolveError> {
+        let mut tree_stats = None;
+        match treedec::attempt(problem, &self.config)? {
+            TreeAttempt::Solved(solution) => return Ok(*solution),
+            TreeAttempt::Fallback { seed: bound, stats } => {
+                tree_stats = Some(stats);
+                if let Some(bound) = bound {
+                    seed = Some(match seed {
+                        Some(s) => problem.semiring().plus(&s, &bound),
+                        None => bound,
+                    });
+                }
+            }
+            TreeAttempt::Declined => {}
+        }
+        let mut solution = if self.config.compiled {
+            self.solve_compiled(problem, seed)?
+        } else {
+            self.solve_lazy(problem, seed)?
+        };
+        if let Some(tree) = tree_stats {
+            match &mut solution.stats {
+                Some(stats) => stats.tree = Some(tree),
+                None => {
+                    solution = solution.with_stats(SolverStats {
+                        tree: Some(tree),
+                        ..SolverStats::default()
+                    })
+                }
+            }
+        }
+        Ok(solution)
+    }
 }
 
 impl BranchAndBound {
@@ -593,11 +665,7 @@ impl BranchAndBound {
                 return Ok(solution);
             }
         }
-        if self.config.compiled {
-            self.solve_compiled(problem, Some(seed))
-        } else {
-            self.solve_lazy(problem, Some(seed))
-        }
+        self.solve_single(problem, Some(seed))
     }
 }
 
@@ -611,11 +679,7 @@ impl<S: Semiring> Solver<S> for BranchAndBound {
                 return Ok(solution);
             }
         }
-        if self.config.compiled {
-            self.solve_compiled(problem, None)
-        } else {
-            self.solve_lazy(problem, None)
-        }
+        self.solve_single(problem, None)
     }
 }
 
@@ -647,6 +711,11 @@ struct BnbWorker<'a, S: Semiring> {
     best_value: S::Value,
     witness: Option<Vec<usize>>,
     nodes: u64,
+    /// Diagnostic node budget ([`SolverConfig::node_budget`]): once
+    /// this worker's own expansions exceed it, the search unwinds and
+    /// the solve reports `NodeBudgetExceeded`.
+    budget: Option<u64>,
+    exhausted: bool,
     prunings: u64,
     bound_prunes: u64,
     evals: Vec<u64>,
@@ -693,6 +762,9 @@ impl<'a, S: Semiring> BnbWorker<'a, S> {
     /// values, narrows the incremental propagator (pruning the branch
     /// on wipeout), and recurses.
     fn descend(&mut self, depth: usize, slot: usize, value: &S::Value) {
+        if self.exhausted {
+            return;
+        }
         let i = self.value_at_slot(depth, slot);
         if !self.is_live(depth, i) {
             return;
@@ -735,6 +807,10 @@ impl<'a, S: Semiring> BnbWorker<'a, S> {
 
     fn dfs(&mut self, depth: usize, value: S::Value) {
         self.nodes += 1;
+        if self.budget.is_some_and(|b| self.nodes > b) {
+            self.exhausted = true;
+            return;
+        }
         // The sequential prune: extensions cannot beat the local
         // incumbent (×-monotonicity).
         if self.semiring.leq(&value, &self.best_value)
@@ -804,6 +880,9 @@ struct Search<'a, S: Semiring> {
     best_value: S::Value,
     best_assignment: Option<Assignment>,
     nodes: u64,
+    /// Diagnostic node budget; see [`SolverConfig::node_budget`].
+    budget: Option<u64>,
+    exhausted: bool,
     prunings: u64,
 }
 
@@ -827,6 +906,10 @@ impl<'a, S: Semiring> Search<'a, S> {
 
     fn dfs(&mut self, depth: usize, value: S::Value) {
         self.nodes += 1;
+        if self.budget.is_some_and(|b| self.nodes > b) {
+            self.exhausted = true;
+            return;
+        }
         // Prune: extensions cannot beat the incumbent (×-monotonicity).
         if self.semiring.leq(&value, &self.best_value)
             && (self.best_assignment.is_some() || self.semiring.is_zero(&value))
@@ -851,6 +934,9 @@ impl<'a, S: Semiring> Search<'a, S> {
             return;
         }
         for val in self.domains[depth].values().to_vec() {
+            if self.exhausted {
+                break;
+            }
             self.slots[depth] = Some(val);
             let next = self.apply_completed(depth + 1, value.clone());
             self.dfs(depth + 1, next);
@@ -895,6 +981,31 @@ mod tests {
             BranchAndBound::default().solve(&p),
             Err(SolveError::RequiresTotalOrder)
         ));
+    }
+
+    #[test]
+    fn node_budget_aborts_with_a_typed_error() {
+        let p = fig1_problem();
+        for compiled in [true, false] {
+            let config = SolverConfig::default()
+                .with_compiled(compiled)
+                .with_parallelism(Parallelism::Sequential)
+                .with_node_budget(Some(1));
+            let result = BranchAndBound::with_config(VarOrder::Input, config).solve(&p);
+            assert!(
+                matches!(result, Err(SolveError::NodeBudgetExceeded { budget: 1 })),
+                "compiled={compiled}: {result:?}"
+            );
+            // A generous budget solves normally with the usual answer.
+            let config = SolverConfig::default()
+                .with_compiled(compiled)
+                .with_parallelism(Parallelism::Sequential)
+                .with_node_budget(Some(1 << 20));
+            let sol = BranchAndBound::with_config(VarOrder::Input, config)
+                .solve(&p)
+                .unwrap();
+            assert_eq!(*sol.blevel(), 7);
+        }
     }
 
     #[test]

@@ -28,6 +28,35 @@ pub enum PropagationMode {
     Full,
 }
 
+/// Which exact engine the compiled [`BranchAndBound`](crate::solve::BranchAndBound)
+/// entry point runs after the connected-component split.
+///
+/// Every choice computes the identical `blevel` with a valid witness
+/// (property-tested in `treedec_properties`); they differ in *cost
+/// shape*. Branch-and-bound is exponential in the number of variables
+/// but needs no tables; bucket-tree elimination
+/// ([`treedec`](crate::solve::treedec)) is `O(n · d^(w+1))` in the
+/// induced width `w` of the elimination order, which turns banded /
+/// bounded-treewidth problems from exponential into polynomial at the
+/// price of materialising separator tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Always depth-first branch-and-bound (the pre-tree behaviour and
+    /// the default: its witness is the documented first-witness one).
+    #[default]
+    BranchBound,
+    /// Plan an elimination order per component; tree-solve when the
+    /// measured induced width fits
+    /// [`width_cap`](SolverConfig::width_cap) (and the table-memory
+    /// guard), branch-and-bound otherwise.
+    Auto,
+    /// Always attempt the tree solve. When the cap or the memory guard
+    /// is exceeded the engine falls back to branch-and-bound seeded by
+    /// the tree-guided greedy bound (see
+    /// [`treedec`](crate::solve::treedec)).
+    TreeDecompose,
+}
+
 /// How many worker threads a solver may use.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Parallelism {
@@ -104,7 +133,29 @@ pub struct SolverConfig {
     /// and coincides with the blind witness on strictly monotone `×`
     /// (weighted, probabilistic).
     pub decompose: bool,
+    /// Which exact engine runs per component (see [`Engine`]).
+    pub engine: Engine,
+    /// Induced-width cap for the tree engine: a component whose
+    /// planned elimination order has induced width above this (or
+    /// whose largest cluster table would exceed the memory guard)
+    /// is solved by branch-and-bound instead. Ignored under
+    /// [`Engine::BranchBound`].
+    pub width_cap: usize,
+    /// Diagnostic search budget: a branch-and-bound run that expands
+    /// more nodes than this aborts with
+    /// [`SolveError::NodeBudgetExceeded`](crate::solve::SolveError::NodeBudgetExceeded)
+    /// instead of running to completion. `None` (the default) never
+    /// aborts. The budget is checked per worker, so a parallel run may
+    /// expand up to `threads × budget` nodes before every worker
+    /// stops; tree solves do not consume it (their cost is the table
+    /// volume, bounded by the width cap and the memory guard).
+    pub node_budget: Option<u64>,
 }
+
+/// Default induced-width cap: `d^(w+1)` cluster tables stay small for
+/// the domain sizes this workspace's workloads use (`4^9 ≈ 262k`
+/// cells), while anything wider is usually faster to search.
+pub const DEFAULT_WIDTH_CAP: usize = 8;
 
 impl Default for SolverConfig {
     fn default() -> SolverConfig {
@@ -114,6 +165,9 @@ impl Default for SolverConfig {
             ibound: None,
             propagate: PropagationMode::Root,
             decompose: true,
+            engine: Engine::BranchBound,
+            width_cap: DEFAULT_WIDTH_CAP,
+            node_budget: None,
         }
     }
 }
@@ -127,6 +181,9 @@ impl SolverConfig {
             ibound: None,
             propagate: PropagationMode::Off,
             decompose: false,
+            engine: Engine::BranchBound,
+            width_cap: DEFAULT_WIDTH_CAP,
+            node_budget: None,
         }
     }
 
@@ -159,6 +216,36 @@ impl SolverConfig {
     /// style).
     pub fn with_decompose(mut self, decompose: bool) -> SolverConfig {
         self.decompose = decompose;
+        self
+    }
+
+    /// Selects the per-component engine (builder style).
+    pub fn with_engine(mut self, engine: Engine) -> SolverConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Switches to the bucket-tree elimination engine with the given
+    /// induced-width cap (builder style). Components whose planned
+    /// width exceeds the cap fall back to branch-and-bound seeded by
+    /// the tree-guided greedy bound.
+    pub fn with_tree_decompose(mut self, width_cap: usize) -> SolverConfig {
+        self.engine = Engine::TreeDecompose;
+        self.width_cap = width_cap.max(1);
+        self
+    }
+
+    /// Sets the induced-width cap without changing the engine
+    /// selection (builder style).
+    pub fn with_width_cap(mut self, width_cap: usize) -> SolverConfig {
+        self.width_cap = width_cap.max(1);
+        self
+    }
+
+    /// Sets the diagnostic branch-and-bound node budget (builder
+    /// style). `None` never aborts.
+    pub fn with_node_budget(mut self, node_budget: Option<u64>) -> SolverConfig {
+        self.node_budget = node_budget;
         self
     }
 }

@@ -46,8 +46,9 @@ use std::sync::{Arc, Mutex};
 use softsoa_semiring::Semiring;
 use softsoa_telemetry::Telemetry;
 
+use crate::solve::treedec::{self, TreeState};
 use crate::solve::{
-    BranchAndBound, EnumerationSolver, Solution, SolveError, Solver, SolverConfig, VarOrder,
+    BranchAndBound, Engine, EnumerationSolver, Solution, SolveError, Solver, SolverConfig, VarOrder,
 };
 use crate::{Assignment, Constraint, Domain, Domains, Scsp, Var};
 
@@ -75,6 +76,13 @@ pub struct IncrementalStats {
     /// Dirty components whose search was warm-started from the
     /// previous optimum.
     pub warm_seeds: u64,
+    /// Bucket-tree clusters replayed unchanged inside dirty components
+    /// (tree engines only: a content-only delta recomputes just the
+    /// touched bucket and its ancestors, and this counts the buckets
+    /// that kept their tables).
+    pub clusters_reused: u64,
+    /// Bucket-tree clusters whose tables were recomputed.
+    pub clusters_recomputed: u64,
 }
 
 impl IncrementalStats {
@@ -109,6 +117,14 @@ impl IncrementalStats {
             self.components_resolved as i64,
         );
         telemetry.gauge("solver.incremental.warm_seeds", self.warm_seeds as i64);
+        telemetry.gauge(
+            "solver.incremental.clusters_reused",
+            self.clusters_reused as i64,
+        );
+        telemetry.gauge(
+            "solver.incremental.clusters_recomputed",
+            self.clusters_recomputed as i64,
+        );
         telemetry.gauge(
             "solver.incremental.reuse_ratio_permille",
             (self.reuse_ratio() * 1000.0) as i64,
@@ -248,8 +264,21 @@ pub struct IncrementalSolver<S: Semiring> {
     /// version bumps and domain re-declarations leave the graph — and
     /// hence the memo — intact.
     structure: Option<Arc<Structure>>,
+    /// Per-component bucket-tree state (tree engines only), keyed by
+    /// the component's variable set and stamped with the domain
+    /// generation it was filled under. Not shared across clones: the
+    /// tables are bulky and cheap to rebuild, so a clone starts cold.
+    tree_states: TreeStateMap<S>,
     stats: IncrementalStats,
 }
+
+/// Per-component tree state: the component's variable set maps to the
+/// domain generation it was filled under plus the state itself.
+type TreeStateMap<S> = HashMap<Arc<Vec<Var>>, (u64, Option<TreeState<S>>)>;
+
+/// Bound on per-component tree states a solver keeps; scope churn that
+/// outgrows it drops the oldest wholesale (they rebuild on demand).
+const TREE_STATE_CAPACITY: usize = 64;
 
 /// The constraint-graph decomposition of the current problem:
 /// connected components with their member constraint ids, plus the
@@ -286,6 +315,7 @@ impl<S: Semiring> Clone for IncrementalSolver<S> {
             domain_gen: self.domain_gen,
             last_witness: self.last_witness.clone(),
             structure: self.structure.clone(),
+            tree_states: HashMap::new(),
             stats: self.stats.clone(),
         }
     }
@@ -313,6 +343,7 @@ impl<S: Semiring> IncrementalSolver<S> {
             domain_gen: 0,
             last_witness: None,
             structure: None,
+            tree_states: HashMap::new(),
             stats: IncrementalStats::default(),
         }
     }
@@ -657,17 +688,50 @@ impl<S: Semiring> IncrementalSolver<S> {
                 // con = all component variables, so the witness is a
                 // full assignment reusable as a future warm seed.
                 let part = part.of_interest(comp.iter().cloned());
-                let solution = if self.semiring.is_total() {
-                    let solver = BranchAndBound::with_config(self.order, self.config);
-                    match self.warm_seed(comp, &comp_constraints) {
-                        Some(seed) => {
-                            self.stats.warm_seeds += 1;
-                            solver.solve_seeded(&part, seed)?
-                        }
-                        None => solver.solve(&part)?,
+                // Tree engines first: a persistent per-component
+                // bucket tree lets a content-only delta recompute just
+                // the touched cluster and its ancestors. `None` means
+                // the component is too wide for the cap — fall through
+                // to search (which re-plans and may seed itself from
+                // the tree-guided greedy bound).
+                let tree = if self.semiring.is_total() && self.config.engine != Engine::BranchBound
+                {
+                    if self.tree_states.len() >= TREE_STATE_CAPACITY
+                        && !self.tree_states.contains_key(comp)
+                    {
+                        self.tree_states.clear();
                     }
+                    let gen = self.domain_gen;
+                    let entry = self
+                        .tree_states
+                        .entry(Arc::clone(comp))
+                        .or_insert((gen, None));
+                    if entry.0 != gen {
+                        // Tables are only sound against the domains
+                        // they were filled from.
+                        *entry = (gen, None);
+                    }
+                    treedec::solve_incremental(&part, &key.parts, &mut entry.1, &self.config)?
                 } else {
-                    EnumerationSolver::new().solve(&part)?
+                    None
+                };
+                let solution = match tree {
+                    Some((solution, reuse)) => {
+                        self.stats.clusters_reused += reuse.reused;
+                        self.stats.clusters_recomputed += reuse.recomputed;
+                        solution
+                    }
+                    None if self.semiring.is_total() => {
+                        let solver = BranchAndBound::with_config(self.order, self.config);
+                        match self.warm_seed(comp, &comp_constraints) {
+                            Some(seed) => {
+                                self.stats.warm_seeds += 1;
+                                solver.solve_seeded(&part, seed)?
+                            }
+                            None => solver.solve(&part)?,
+                        }
+                    }
+                    None => EnumerationSolver::new().solve(&part)?,
                 };
                 let result = (
                     solution.blevel().clone(),
@@ -890,6 +954,38 @@ mod tests {
         assert_eq!(*right.solve().unwrap().blevel(), 9);
         assert_matches_scratch(&mut left);
         assert_matches_scratch(&mut right);
+    }
+
+    #[test]
+    fn tree_engine_matches_search_and_reuses_clusters() {
+        let mut solver = IncrementalSolver::new(WeightedInt).with_config(
+            VarOrder::Input,
+            SolverConfig::default().with_tree_decompose(8),
+        );
+        for i in 0..6 {
+            solver.declare(format!("v{i}"), Domain::ints(0..=2));
+        }
+        solver = solver.of_interest((0..6).map(|i| format!("v{i}")));
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            ids.push(solver.add_constraint(pair_cost(&format!("v{i}"), &format!("v{}", i + 1), i)));
+        }
+        assert_matches_scratch(&mut solver);
+        let cold = solver.stats().clusters_recomputed;
+        assert_eq!(cold, 6, "one bucket per variable, all computed cold");
+
+        // Content-only delta in the middle of the chain: only the
+        // touched bucket and its ancestor path recompute.
+        solver.update_constraint(ids[2], pair_cost("v2", "v3", 50));
+        assert_matches_scratch(&mut solver);
+        let stats = solver.stats();
+        assert!(stats.clusters_reused > 0, "leaf clusters replayed");
+        assert!(stats.clusters_recomputed < cold + 6, "not a full rebuild");
+
+        // A clone starts with cold tree state but stays equivalent.
+        let mut clone = solver.clone();
+        clone.update_constraint(ids[0], pair_cost("v0", "v1", 9));
+        assert_matches_scratch(&mut clone);
     }
 
     #[test]

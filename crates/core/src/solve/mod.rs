@@ -23,6 +23,10 @@
 //!   add/retract/update constraint deltas that re-searches only the
 //!   connected components a delta touched, replaying clean components
 //!   from a shared cache.
+//! - [`treedec`] — bucket-tree elimination with AND/OR context caching
+//!   and witness reconstruction, selected per component via
+//!   [`SolverConfig::engine`]; polynomial in the induced width on
+//!   bounded-treewidth problems.
 //!
 //! Plus two equivalence-preserving preprocessing passes:
 //! [`prune_zero_supports`] (semiring arc consistency, any semiring)
@@ -39,17 +43,19 @@ mod pareto;
 mod preprocess;
 mod propagate;
 mod stats;
+pub mod treedec;
 
 pub use branch_bound::{BranchAndBound, VarOrder};
 pub use bucket::{BucketElimination, EliminationOrder, MiniBucketBound};
-pub use config::{Parallelism, PropagationMode, SolverConfig};
+pub use config::{Engine, Parallelism, PropagationMode, SolverConfig, DEFAULT_WIDTH_CAP};
 pub use decompose::constraint_components;
 pub use enumeration::EnumerationSolver;
 pub use incremental::{ConstraintId, IncrementalSolver, IncrementalStats};
 pub use pareto::ParetoBranchAndBound;
 pub use preprocess::{add_unary_projections, prune_zero_supports, PruneReport};
 pub use propagate::{PerConstraintStats, PropagationStats};
-pub use stats::{ConstraintEvalStats, SolverStats};
+pub use stats::{ConstraintEvalStats, SolverStats, TreeStats};
+pub use treedec::{plan_elimination, EliminationPlan, TreeHeuristic};
 
 use std::fmt;
 
@@ -65,6 +71,12 @@ pub enum SolveError {
     MissingDomain(MissingDomainError),
     /// The chosen algorithm requires a totally ordered semiring.
     RequiresTotalOrder,
+    /// A branch-and-bound run expanded more nodes than the configured
+    /// diagnostic [`node_budget`](SolverConfig::node_budget).
+    NodeBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -74,6 +86,9 @@ impl fmt::Display for SolveError {
             SolveError::RequiresTotalOrder => {
                 write!(f, "this solver requires a totally ordered semiring")
             }
+            SolveError::NodeBudgetExceeded { budget } => {
+                write!(f, "branch-and-bound exceeded its node budget of {budget}")
+            }
         }
     }
 }
@@ -82,7 +97,7 @@ impl std::error::Error for SolveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SolveError::MissingDomain(e) => Some(e),
-            SolveError::RequiresTotalOrder => None,
+            SolveError::RequiresTotalOrder | SolveError::NodeBudgetExceeded { .. } => None,
         }
     }
 }

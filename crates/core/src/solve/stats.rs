@@ -28,6 +28,33 @@ pub struct ConstraintEvalStats {
     pub materialize_time: Duration,
 }
 
+/// Counters from a bucket-tree elimination run
+/// ([`treedec`](crate::solve::treedec)), attached to
+/// [`SolverStats::tree`] whenever the configured
+/// [`Engine`](crate::solve::Engine) considered the tree path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Buckets in the tree (one per problem variable).
+    pub clusters: usize,
+    /// Induced width of the chosen elimination order — the exponent in
+    /// the `O(n · d^(w+1))` tree-solve cost.
+    pub induced_width: usize,
+    /// Largest separator along the order (equals the induced width for
+    /// bucket trees; kept separately for display symmetry).
+    pub max_separator: usize,
+    /// Which ordering heuristic won: `"min-fill"` or `"min-degree"`.
+    pub heuristic: &'static str,
+    /// Total cluster-table cells enumerated (`0` on the fallback path,
+    /// where no tables were materialised).
+    pub table_cells: u64,
+    /// Child context-cache reads beyond each entry's first use — the
+    /// work the AND/OR context caching avoided re-solving.
+    pub context_hits: u64,
+    /// `true` when the width cap or memory guard pushed the solve back
+    /// to branch-and-bound.
+    pub fallback: bool,
+}
+
 /// Counters describing one solver run.
 ///
 /// Attached to [`Solution`](crate::solve::Solution) by every solver;
@@ -67,6 +94,10 @@ pub struct SolverStats {
     /// [`SolverConfig::decompose`](crate::solve::SolverConfig::decompose)
     /// off).
     pub components: usize,
+    /// Bucket-tree counters, when the run used (or fell back from) the
+    /// tree engine ([`SolverConfig::engine`](crate::solve::SolverConfig::engine)
+    /// not `BranchBound`).
+    pub tree: Option<TreeStats>,
 }
 
 impl SolverStats {
@@ -113,6 +144,15 @@ impl SolverStats {
             }
             telemetry.timing("solver.propagation.time", p.time);
         }
+        if let Some(t) = &self.tree {
+            telemetry.gauge("solver.tree.clusters", t.clusters as i64);
+            telemetry.gauge("solver.tree.width", t.induced_width as i64);
+            telemetry.count("solver.tree.cells", t.table_cells);
+            telemetry.count("solver.tree.context_hits", t.context_hits);
+            if t.fallback {
+                telemetry.incr("solver.tree.fallbacks");
+            }
+        }
         telemetry.timing("solve.compile_time", self.compile_time);
         telemetry.timing(
             "solve.search_time",
@@ -136,6 +176,22 @@ impl fmt::Display for SolverStats {
         )?;
         if self.components > 1 {
             write!(f, "\n  components: {}", self.components)?;
+        }
+        if let Some(t) = &self.tree {
+            write!(
+                f,
+                "\n  tree: {} clusters, width {} ({}), {} cells, {} context hits{}",
+                t.clusters,
+                t.induced_width,
+                t.heuristic,
+                t.table_cells,
+                t.context_hits,
+                if t.fallback {
+                    ", fell back to search"
+                } else {
+                    ""
+                }
+            )?;
         }
         if let Some(p) = &self.propagation {
             write!(

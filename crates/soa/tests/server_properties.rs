@@ -370,3 +370,58 @@ fn chaos_load_terminates_every_session_with_a_typed_outcome() {
         "churn clients actually churned the registry"
     );
 }
+
+#[test]
+fn incremental_binding_state_is_reused_across_sessions() {
+    // Two *separate* TCP sessions negotiate the same shape. The
+    // persistent binding solvers live on the broker (shared across
+    // worker clones), so the second session's solve must reuse the
+    // state the first one built: its search warm-starts from the
+    // previous optimum instead of starting cold.
+    let (telemetry, sink) = Telemetry::recording();
+    let handle: ServerHandle<Fuzzy> = NegotiationServer::start(
+        Fuzzy,
+        loadgen::seed_providers(6),
+        ServerConfig {
+            incremental: true,
+            ..ServerConfig::default()
+        },
+        telemetry,
+    )
+    .expect("server starts");
+
+    let mut levels = Vec::new();
+    for session in 0..2 {
+        let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        match roundtrip(&stream, &negotiate()) {
+            Reply::Bound { level, .. } => levels.push(level),
+            other => panic!("session {session}: expected bound, got {other:?}"),
+        }
+        drop(stream);
+    }
+    assert_eq!(levels[0], levels[1], "identical agreements across sessions");
+
+    let report = handle.shutdown(Duration::from_secs(2));
+    assert!(report.within_deadline, "clean drain: {report:?}");
+
+    let counters = sink.snapshot().counters;
+    assert_eq!(
+        counters.get("server.incremental.negotiations").copied(),
+        Some(2),
+        "both sessions adopted the incremental binding path: {counters:?}"
+    );
+    assert!(
+        counters.get("server/solver.incremental.solves").copied() >= Some(2),
+        "both bindings went through the persistent engine: {counters:?}"
+    );
+    assert!(
+        counters
+            .get("server/solver.incremental.warm_seeds")
+            .copied()
+            >= Some(1),
+        "the second session warm-started from the first's state: {counters:?}"
+    );
+}

@@ -5,28 +5,28 @@
 #
 #   scripts/bench_snapshot.sh [out.json] [group ...]
 #
-# Runs the `bounded_vs_blind`, `bell_vs_dp`, `propagation_vs_blind`
-# and `churn_incremental` criterion groups — or just the groups named
-# on the command line, merging their fresh numbers into an existing
+# Runs the `bounded_vs_blind`, `bell_vs_dp`, `propagation_vs_blind`,
+# `churn_incremental` and `treedec_vs_blind` criterion groups — or
+# just the groups named on the command line, merging their fresh numbers into an existing
 # out.json so one group can be re-measured without re-running the
 # multi-minute full sweep — and parses the harness report lines, e.g.
 #
 #   bell_vs_dp/subset_dp/13    median  5.16 ms  min  4.79 ms  mean  5.13 ms  (1 iters/sample)
 #
 # into {"median_ns": ..., "min_ns": ..., "mean_ns": ...} records. The
-# default output name, BENCH_7.json, is the committed snapshot for the
-# incremental re-solve engine (BENCH_6.json was the
-# propagation/decomposition one, BENCH_5.json the
-# bounds/warm-start/coalition-DP one); CI regenerates it as an
-# artifact on every push.
+# default output name, BENCH_10.json, is the committed snapshot for
+# the bucket-tree elimination engine (BENCH_7.json was the incremental
+# re-solve one, BENCH_6.json the propagation/decomposition one,
+# BENCH_5.json the bounds/warm-start/coalition-DP one); CI regenerates
+# it as an artifact on every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_10.json}"
 shift $(($# > 0 ? 1 : 0))
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-    benches=(bounded_vs_blind bell_vs_dp propagation_vs_blind churn_incremental)
+    benches=(bounded_vs_blind bell_vs_dp propagation_vs_blind churn_incremental treedec_vs_blind)
 fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
